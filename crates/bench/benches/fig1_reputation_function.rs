@@ -1,0 +1,20 @@
+//! Criterion bench for Figure 1: evaluating the logistic reputation function
+//! over the paper's β values and contribution range.
+
+use collabsim_reputation::function::{figure1_series, LogisticReputation, ReputationFunction};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_reputation_function");
+    group.bench_function("figure1_series_0..50", |b| {
+        b.iter(|| black_box(figure1_series(black_box(50))))
+    });
+    let f = LogisticReputation::paper(0.2);
+    group.bench_function("single_evaluation", |b| {
+        b.iter(|| black_box(f.reputation(black_box(17.5))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

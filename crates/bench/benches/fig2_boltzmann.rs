@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 2: computing and sampling the Boltzmann
+//! action distribution at the paper's two temperatures.
+
+use collabsim_rl::boltzmann::{boltzmann_distribution, boltzmann_sample};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig2(c: &mut Criterion) {
+    let values: Vec<f64> = (1..=10).map(f64::from).collect();
+    let mut group = c.benchmark_group("fig2_boltzmann");
+    for &t in &[2.0, 1000.0] {
+        group.bench_function(format!("distribution_T{t}"), |b| {
+            b.iter(|| black_box(boltzmann_distribution(black_box(&values), black_box(t))))
+        });
+    }
+    group.bench_function("sample_T2", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(boltzmann_sample(black_box(&values), 2.0, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

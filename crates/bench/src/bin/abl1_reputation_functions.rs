@@ -1,0 +1,28 @@
+//! ABL1 — reputation-function ablation.
+//!
+//! Section VI of the paper names the reputation function as the main lever
+//! for how much is shared ("the reputation function has a great influence on
+//! how much resources are shared. Thus, future work will investigate new and
+//! existing reputation functions"). This ablation sweeps the logistic `β`
+//! (growth speed) on an all-rational population and reports the resulting
+//! sharing levels, realizing that future-work experiment.
+
+use collabsim::experiment::ablation_reputation_beta;
+use collabsim::results::{to_csv, to_table};
+use collabsim_bench::{maybe_write_csv, print_header, Scale};
+use collabsim_reputation::function::FIGURE1_BETAS;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    print_header("ABL1: reputation-function (logistic beta) ablation", scale);
+
+    let results = ablation_reputation_beta(scale.base_config(), &FIGURE1_BETAS);
+
+    println!("{}", to_table("all-rational population, incentive on", &results));
+    println!(
+        "interpretation: a steeper reputation function (larger beta) lets newcomers reach a high\n\
+         bandwidth priority sooner; the paper conjectures this changes how much rational peers share."
+    );
+
+    maybe_write_csv(&to_csv(&results));
+}

@@ -1,0 +1,49 @@
+//! Figure 1 — the logistic reputation function `R(C) = 1 / (1 + g·e^{−βC})`
+//! for `g = 19` and `β ∈ {0.3, 0.2, 0.15, 0.1}` over contribution values
+//! `0..=50`, exactly the series plotted in the paper.
+
+use collabsim_bench::{maybe_write_csv, print_header, Scale};
+use collabsim_reputation::function::{figure1_series, FIGURE1_BETAS};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    print_header("Figure 1: reputation function R(C), g = 19", scale);
+
+    let series = figure1_series(50);
+
+    // Human-readable table: one row per contribution value, one column per β.
+    print!("{:>12}", "C");
+    for beta in FIGURE1_BETAS {
+        print!("  {:>10}", format!("beta={beta}"));
+    }
+    println!();
+    for c in (0..=50).step_by(5) {
+        print!("{:>12}", c);
+        for (_, points) in &series {
+            print!("  {:>10.4}", points[c].1);
+        }
+        println!();
+    }
+
+    println!();
+    for (beta, points) in &series {
+        let half = points
+            .iter()
+            .find(|(_, r)| *r >= 0.5)
+            .map(|(c, _)| *c)
+            .unwrap_or(f64::NAN);
+        println!(
+            "beta={beta:<5} R(0)={:.3}  R(50)={:.3}  first C with R >= 0.5: {half}",
+            points[0].1, points[50].1
+        );
+    }
+
+    // CSV export: long format (beta, contribution, reputation).
+    let mut csv = String::from("beta,contribution,reputation\n");
+    for (beta, points) in &series {
+        for (c, r) in points {
+            csv.push_str(&format!("{beta},{c},{r:.6}\n"));
+        }
+    }
+    maybe_write_csv(&csv);
+}

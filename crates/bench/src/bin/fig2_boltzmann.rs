@@ -1,0 +1,44 @@
+//! Figure 2 — the Boltzmann action-selection distribution over Q-values
+//! `x = 1..10` at temperatures `T = 2` (strongly peaked) and `T = 1000`
+//! (almost uniform), as plotted in the paper.
+
+use collabsim_bench::{maybe_write_csv, print_header, Scale};
+use collabsim_rl::boltzmann::boltzmann_distribution;
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    print_header("Figure 2: Boltzmann distribution over Q-values 1..10", scale);
+
+    let values: Vec<f64> = (1..=10).map(f64::from).collect();
+    let temperatures = [2.0, 1000.0];
+
+    println!("{:>6} {:>14} {:>14}", "x", "p(x) @ T=2", "p(x) @ T=1000");
+    let distributions: Vec<Vec<f64>> = temperatures
+        .iter()
+        .map(|&t| boltzmann_distribution(&values, t))
+        .collect();
+    for (i, &x) in values.iter().enumerate() {
+        println!(
+            "{:>6} {:>14.6} {:>14.6}",
+            x, distributions[0][i], distributions[1][i]
+        );
+    }
+    println!();
+    println!(
+        "T=2    : max/min probability ratio = {:.1}",
+        distributions[0][9] / distributions[0][0]
+    );
+    println!(
+        "T=1000 : max/min probability ratio = {:.4}",
+        distributions[1][9] / distributions[1][0]
+    );
+    println!("paper reference: T=2 is strongly peaked at x=10, T=1000 is nearly uniform (p ≈ 0.1)");
+
+    let mut csv = String::from("temperature,x,probability\n");
+    for (t, dist) in temperatures.iter().zip(distributions.iter()) {
+        for (i, p) in dist.iter().enumerate() {
+            csv.push_str(&format!("{t},{},{p:.8}\n", i + 1));
+        }
+    }
+    maybe_write_csv(&csv);
+}

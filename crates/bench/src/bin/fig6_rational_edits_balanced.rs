@@ -1,0 +1,43 @@
+//! Figure 6 — constructive vs. destructive edits done by **rational**
+//! agents when altruistic and irrational peers are equally common. The
+//! paper finds the outcome to be essentially random / bistable because the
+//! balanced non-rational population gives the learners no consistent signal
+//! about which voting behaviour succeeds.
+
+use collabsim::experiment::figure6_balanced_edit_behaviour;
+use collabsim::results::to_csv;
+use collabsim_bench::{maybe_write_csv, print_header, Scale};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    print_header(
+        "Figure 6: rational edit behaviour with balanced altruistic/irrational shares",
+        scale,
+    );
+
+    let results = figure6_balanced_edit_behaviour(scale.base_config());
+
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "configuration", "constructive", "destructive", "constr. frac."
+    );
+    for r in &results {
+        let rational = r
+            .report
+            .breakdown(collabsim::BehaviorType::Rational);
+        println!(
+            "{:<18} {:>14} {:>14} {:>14.3}",
+            r.label,
+            rational.constructive_edits,
+            rational.destructive_edits,
+            rational.constructive_edit_fraction()
+        );
+    }
+    println!();
+    println!(
+        "paper reference: with a balanced non-rational population the split is close to random\n\
+         (the constructive fraction fluctuates around 0.5 rather than converging)"
+    );
+
+    maybe_write_csv(&to_csv(&results));
+}

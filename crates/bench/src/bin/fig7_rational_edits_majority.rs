@@ -1,0 +1,48 @@
+//! Figure 7 — constructive vs. destructive edits done by rational agents
+//! under a varying share of altruistic (top panel) or irrational (bottom
+//! panel) peers. The paper's headline: rational peers learn to behave like
+//! the majority — constructively when altruists dominate, destructively
+//! when irrational peers do.
+
+use collabsim::experiment::figure7_majority_following;
+use collabsim::results::to_csv;
+use collabsim::BehaviorType;
+use collabsim_bench::{maybe_write_csv, print_header, Scale};
+
+fn main() {
+    let scale = Scale::from_env_and_args();
+    print_header("Figure 7: rational edit behaviour follows the majority", scale);
+
+    let altruistic = figure7_majority_following(scale.base_config(), BehaviorType::Altruistic);
+    let irrational = figure7_majority_following(scale.base_config(), BehaviorType::Irrational);
+
+    for (panel, sweep) in [("altruistic (top panel)", &altruistic), ("irrational (bottom panel)", &irrational)] {
+        println!("varying {panel}:");
+        println!(
+            "{:<20} {:>14} {:>14} {:>14}",
+            "configuration", "constructive", "destructive", "constr. frac."
+        );
+        for r in sweep {
+            let rational = r.report.breakdown(BehaviorType::Rational);
+            println!(
+                "{:<20} {:>14} {:>14} {:>14.3}",
+                r.label,
+                rational.constructive_edits,
+                rational.destructive_edits,
+                rational.constructive_edit_fraction()
+            );
+        }
+        println!();
+    }
+    println!(
+        "paper reference: the constructive fraction of rational edits rises with the altruistic share\n\
+         and falls with the irrational share (majority following)"
+    );
+
+    let mut csv = String::new();
+    csv.push_str("sweep=altruistic\n");
+    csv.push_str(&to_csv(&altruistic));
+    csv.push_str("sweep=irrational\n");
+    csv.push_str(&to_csv(&irrational));
+    maybe_write_csv(&csv);
+}

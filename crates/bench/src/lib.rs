@@ -1,0 +1,126 @@
+//! Shared plumbing for the figure-regeneration binaries and criterion
+//! benches of collabsim.
+//!
+//! Every binary regenerates one figure (or ablation) of Bocek et al.,
+//! IPDPS 2008, as a numeric series printed to stdout. Because the paper-
+//! scale runs (100 peers × 12 000 steps × up to 18 configurations) take
+//! minutes, each binary honours a scale switch:
+//!
+//! * `COLLABSIM_SCALE=paper` (or `--paper`) — the paper's parameters,
+//! * `COLLABSIM_SCALE=quick` (or `--quick`, the default) — a reduced run
+//!   that finishes in seconds and preserves the qualitative shape.
+//!
+//! Binaries also accept `--csv <path>` to write the series as CSV next to
+//! printing the human-readable table.
+
+use collabsim::{PhaseConfig, SimulationConfig};
+
+/// The scale a figure run is executed at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced population / step counts for fast iteration.
+    Quick,
+    /// The paper's population and phase lengths.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the command line (`--quick` / `--paper`) or the
+    /// `COLLABSIM_SCALE` environment variable, defaulting to quick.
+    pub fn from_env_and_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--paper") {
+            return Scale::Paper;
+        }
+        if args.iter().any(|a| a == "--quick") {
+            return Scale::Quick;
+        }
+        match std::env::var("COLLABSIM_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// The base simulation configuration for this scale.
+    pub fn base_config(self) -> SimulationConfig {
+        match self {
+            Scale::Paper => SimulationConfig::default(),
+            Scale::Quick => SimulationConfig {
+                population: 40,
+                initial_articles: 20,
+                phases: PhaseConfig {
+                    training_steps: 1_500,
+                    evaluation_steps: 600,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Parses an optional `--csv <path>` argument.
+pub fn csv_path_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Writes CSV output to the path given by `--csv`, if any, and reports the
+/// destination on stdout.
+pub fn maybe_write_csv(csv: &str) {
+    if let Some(path) = csv_path_from_args() {
+        match std::fs::write(&path, csv) {
+            Ok(()) => println!("(csv written to {path})"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+}
+
+/// Prints the standard run header shared by every figure binary.
+pub fn print_header(figure: &str, scale: Scale) {
+    println!("collabsim — {figure} [scale: {}]", scale.label());
+    println!(
+        "(use --paper for the paper-scale run, --csv <path> to export the series)"
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_is_smaller_than_paper_scale() {
+        let quick = Scale::Quick.base_config();
+        let paper = Scale::Paper.base_config();
+        assert!(quick.population < paper.population);
+        assert!(quick.phases.training_steps < paper.phases.training_steps);
+        assert_eq!(paper.population, 100);
+        assert_eq!(paper.phases.training_steps, 10_000);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Scale::Quick.label(), "quick");
+        assert_eq!(Scale::Paper.label(), "paper");
+    }
+
+    #[test]
+    fn scale_default_is_quick() {
+        // Without --paper on the test binary's command line and without the
+        // env var, the default is quick.
+        if std::env::var("COLLABSIM_SCALE").is_err() {
+            assert_eq!(Scale::from_env_and_args(), Scale::Quick);
+        }
+    }
+}

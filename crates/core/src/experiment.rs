@@ -1,0 +1,345 @@
+//! Experiment definitions: the parameter sweeps behind every figure.
+//!
+//! Each function builds the set of [`SimulationConfig`]s a figure needs,
+//! runs them (fanned out over worker threads with `crossbeam::scope`), and
+//! returns the per-configuration reports in a fixed, deterministic order.
+//! The `collabsim-bench` binaries print these results as the numeric series
+//! corresponding to the paper's Figures 3–7; the ablations (ABL1–ABL3 of
+//! DESIGN.md) reuse the same machinery.
+
+use crate::config::SimulationConfig;
+use crate::engine::Simulation;
+use crate::incentive::IncentiveScheme;
+use crate::report::SimulationReport;
+use collabsim_gametheory::behavior::{BehaviorMix, BehaviorType};
+use serde::{Deserialize, Serialize};
+
+/// The percentages swept in the paper's mix experiments (Section IV-B:
+/// "the occurrence of each user type is varied from 10 − 100 %"; the figures
+/// plot 10–90 %).
+pub const MIX_SWEEP_PERCENTAGES: [u32; 9] = [10, 20, 30, 40, 50, 60, 70, 80, 90];
+
+/// One labelled simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelledReport {
+    /// Human-readable label of the configuration (e.g. "altruistic=40%").
+    pub label: String,
+    /// The swept numeric parameter, if the experiment is a sweep.
+    pub parameter: f64,
+    /// The simulation report.
+    pub report: SimulationReport,
+}
+
+/// Runs a batch of labelled configurations, in parallel when more than one
+/// worker is available. Results are returned in input order regardless of
+/// completion order, so sweeps stay deterministic.
+pub fn run_batch(configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(configs.len().max(1));
+    if workers <= 1 || configs.len() <= 1 {
+        return configs
+            .into_iter()
+            .map(|(label, parameter, config)| LabelledReport {
+                label,
+                parameter,
+                report: Simulation::new(config).run(),
+            })
+            .collect();
+    }
+
+    let jobs: Vec<(usize, String, f64, SimulationConfig)> = configs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, parameter, config))| (i, label, parameter, config))
+        .collect();
+    let total = jobs.len();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<LabelledReport>>> =
+        (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let (slot, label, parameter, config) = &jobs[index];
+                let report = Simulation::new(config.clone()).run();
+                *results[*slot].lock() = Some(LabelledReport {
+                    label: label.clone(),
+                    parameter: *parameter,
+                    report,
+                });
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("missing experiment result"))
+        .collect()
+}
+
+/// **Figure 3** — shared articles and bandwidth of an all-rational
+/// population, with and without the incentive scheme. Returns
+/// `(with incentive, without incentive)`.
+pub fn figure3_incentive_vs_none(base: SimulationConfig) -> (LabelledReport, LabelledReport) {
+    let with = base
+        .clone()
+        .with_mix(BehaviorMix::all_rational())
+        .with_incentive(IncentiveScheme::ReputationBased);
+    let without = base
+        .with_mix(BehaviorMix::all_rational())
+        .with_incentive(IncentiveScheme::None);
+    let mut results = run_batch(vec![
+        ("with-incentive".to_string(), 1.0, with),
+        ("without-incentive".to_string(), 0.0, without),
+    ]);
+    let second = results.pop().expect("two results");
+    let first = results.pop().expect("two results");
+    (first, second)
+}
+
+/// **Figure 3, replicated** — the same comparison averaged over
+/// `replications` independent seeds per arm, which is what the
+/// `fig3_incentive_vs_none` binary reports: the single-run gains at reduced
+/// scale are noisy, so the headline ±8–11 % comparison is made on seed
+/// averages. Returns `(with-incentive runs, without-incentive runs)`.
+pub fn figure3_replicated(
+    base: SimulationConfig,
+    replications: usize,
+) -> (Vec<LabelledReport>, Vec<LabelledReport>) {
+    assert!(replications > 0, "need at least one replication");
+    let mut configs = Vec::new();
+    for rep in 0..replications {
+        let seed = base.seed.wrapping_add(1_000 * rep as u64);
+        configs.push((
+            format!("with-incentive/seed{rep}"),
+            1.0,
+            base.clone()
+                .with_mix(BehaviorMix::all_rational())
+                .with_incentive(IncentiveScheme::ReputationBased)
+                .with_seed(seed),
+        ));
+        configs.push((
+            format!("without-incentive/seed{rep}"),
+            0.0,
+            base.clone()
+                .with_mix(BehaviorMix::all_rational())
+                .with_incentive(IncentiveScheme::None)
+                .with_seed(seed),
+        ));
+    }
+    let results = run_batch(configs);
+    let (with, without): (Vec<LabelledReport>, Vec<LabelledReport>) = results
+        .into_iter()
+        .partition(|r| r.label.starts_with("with-incentive"));
+    (with, without)
+}
+
+/// Mean shared-articles and shared-bandwidth fractions over a set of runs.
+pub fn mean_sharing(reports: &[LabelledReport]) -> (f64, f64) {
+    if reports.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = reports.len() as f64;
+    (
+        reports.iter().map(|r| r.report.shared_articles).sum::<f64>() / n,
+        reports.iter().map(|r| r.report.shared_bandwidth).sum::<f64>() / n,
+    )
+}
+
+/// **Figures 4 and 5** — sweep of the fraction of `primary`-type peers from
+/// 10 % to 90 %, the remainder split equally between the other two types.
+/// Figure 4 reads the whole-population sharing means of each report,
+/// Figure 5 the rational-only breakdown.
+pub fn mix_sweep(base: SimulationConfig, primary: BehaviorType) -> Vec<LabelledReport> {
+    let configs = MIX_SWEEP_PERCENTAGES
+        .iter()
+        .map(|&pct| {
+            let fraction = f64::from(pct) / 100.0;
+            let config = base
+                .clone()
+                .with_mix(BehaviorMix::sweep(primary, fraction))
+                .with_seed(base.seed.wrapping_add(u64::from(pct)));
+            (
+                format!("{}={}%", primary.label(), pct),
+                f64::from(pct),
+                config,
+            )
+        })
+        .collect();
+    run_batch(configs)
+}
+
+/// **Figure 6** — rational-peer edit behaviour when altruistic and
+/// irrational peers are equally common: the fraction of rational peers is
+/// swept from 10 % to 100 % and the rest is split evenly.
+pub fn figure6_balanced_edit_behaviour(base: SimulationConfig) -> Vec<LabelledReport> {
+    let mut percentages: Vec<u32> = MIX_SWEEP_PERCENTAGES.to_vec();
+    percentages.push(100);
+    let configs = percentages
+        .iter()
+        .map(|&pct| {
+            let fraction = f64::from(pct) / 100.0;
+            let config = base
+                .clone()
+                .with_mix(BehaviorMix::sweep(BehaviorType::Rational, fraction))
+                .with_seed(base.seed.wrapping_add(u64::from(pct) * 31));
+            (format!("rational={pct}%"), f64::from(pct), config)
+        })
+        .collect();
+    run_batch(configs)
+}
+
+/// **Figure 7** — rational-peer edit behaviour under a varying share of
+/// altruistic (top panel) or irrational (bottom panel) peers.
+pub fn figure7_majority_following(
+    base: SimulationConfig,
+    varying: BehaviorType,
+) -> Vec<LabelledReport> {
+    assert!(
+        varying != BehaviorType::Rational,
+        "figure 7 varies the altruistic or irrational share"
+    );
+    mix_sweep(base, varying)
+}
+
+/// **ABL1** — reputation-function ablation: the same all-rational run with
+/// different `β` values of the logistic function (and thus different growth
+/// speeds), the knob Section VI flags as future work.
+pub fn ablation_reputation_beta(base: SimulationConfig, betas: &[f64]) -> Vec<LabelledReport> {
+    let configs = betas
+        .iter()
+        .map(|&beta| {
+            let mut config = base.clone().with_mix(BehaviorMix::all_rational());
+            config.reputation_beta = beta;
+            (format!("beta={beta}"), beta, config)
+        })
+        .collect();
+    run_batch(configs)
+}
+
+/// **ABL3** — incentive-scheme ablation: no incentive vs. tit-for-tat vs.
+/// the full reputation scheme on a mixed population.
+pub fn ablation_schemes(base: SimulationConfig) -> Vec<LabelledReport> {
+    let mix = BehaviorMix::new(0.4, 0.3, 0.3);
+    let configs = IncentiveScheme::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, &scheme)| {
+            let config = base.clone().with_mix(mix).with_incentive(scheme);
+            (scheme.label().to_string(), i as f64, config)
+        })
+        .collect();
+    run_batch(configs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PhaseConfig;
+
+    fn tiny_base() -> SimulationConfig {
+        SimulationConfig {
+            population: 12,
+            initial_articles: 6,
+            phases: PhaseConfig {
+                training_steps: 60,
+                evaluation_steps: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn run_batch_preserves_input_order() {
+        let configs = vec![
+            ("a".to_string(), 1.0, tiny_base().with_seed(1)),
+            ("b".to_string(), 2.0, tiny_base().with_seed(2)),
+            ("c".to_string(), 3.0, tiny_base().with_seed(3)),
+        ];
+        let results = run_batch(configs);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].label, "a");
+        assert_eq!(results[1].label, "b");
+        assert_eq!(results[2].label, "c");
+        assert_eq!(results[2].parameter, 3.0);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_execution() {
+        let config = tiny_base().with_seed(9);
+        let parallel = run_batch(vec![
+            ("x".to_string(), 0.0, config.clone()),
+            ("y".to_string(), 0.0, config.clone()),
+        ]);
+        let sequential = Simulation::new(config).run();
+        assert_eq!(parallel[0].report, sequential);
+        assert_eq!(parallel[1].report, sequential);
+    }
+
+    #[test]
+    fn figure3_produces_both_arms() {
+        let (with, without) = figure3_incentive_vs_none(tiny_base());
+        assert_eq!(with.label, "with-incentive");
+        assert_eq!(without.label, "without-incentive");
+        assert_eq!(with.report.evaluation_steps, 40);
+    }
+
+    #[test]
+    fn figure3_replication_partitions_by_arm() {
+        let (with, without) = figure3_replicated(tiny_base(), 2);
+        assert_eq!(with.len(), 2);
+        assert_eq!(without.len(), 2);
+        assert!(with.iter().all(|r| r.label.starts_with("with-incentive")));
+        assert!(without.iter().all(|r| r.label.starts_with("without-incentive")));
+        let (articles, bandwidth) = mean_sharing(&with);
+        assert!((0.0..=1.0).contains(&articles));
+        assert!((0.0..=1.0).contains(&bandwidth));
+        assert_eq!(mean_sharing(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn mix_sweep_covers_nine_points() {
+        let results = mix_sweep(tiny_base(), BehaviorType::Altruistic);
+        assert_eq!(results.len(), 9);
+        assert_eq!(results[0].parameter, 10.0);
+        assert_eq!(results[8].parameter, 90.0);
+        assert!(results[0].label.contains("altruistic=10%"));
+    }
+
+    #[test]
+    fn figure6_includes_the_pure_rational_point() {
+        let results = figure6_balanced_edit_behaviour(tiny_base());
+        assert_eq!(results.len(), 10);
+        assert_eq!(results.last().unwrap().parameter, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "altruistic or irrational")]
+    fn figure7_rejects_rational_sweep() {
+        let _ = figure7_majority_following(tiny_base(), BehaviorType::Rational);
+    }
+
+    #[test]
+    fn ablation_runs_all_schemes() {
+        let results = ablation_schemes(tiny_base());
+        assert_eq!(results.len(), 3);
+        let labels: Vec<&str> = results.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["none", "reputation", "tit-for-tat"]);
+    }
+
+    #[test]
+    fn ablation_reputation_beta_labels() {
+        let results = ablation_reputation_beta(tiny_base(), &[0.1, 0.3]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].label, "beta=0.1");
+        assert_eq!(results[1].parameter, 0.3);
+    }
+}

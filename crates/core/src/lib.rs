@@ -1,0 +1,57 @@
+//! # collabsim
+//!
+//! The simulation model and experiment harness of the collabsim
+//! reproduction of *"Game Theoretical Analysis of Incentives for
+//! Large-scale, Fully Decentralized Collaboration Networks"* (Bocek, Shann,
+//! Hausheer, Stiller — IPDPS 2008).
+//!
+//! The crate assembles the substrates into the paper's Section-IV model:
+//!
+//! * a population of (by default) 100 peers connected by the
+//!   [`collabsim_netsim`] substrate,
+//! * every peer carrying the dual reputation of
+//!   [`collabsim_reputation`] (`R_S` for sharing, `R_E` for editing/voting),
+//! * rational peers learning with the tabular Q-learning of
+//!   [`collabsim_rl`] (Boltzmann exploration, the paper's two-phase
+//!   temperature schedule), while altruistic and irrational peers follow the
+//!   fixed behaviours of [`collabsim_gametheory::behavior`],
+//! * service differentiation applied (or not, for the baseline) when
+//!   bandwidth is allocated, votes are weighted and edits are admitted,
+//! * the utility functions `U_S`/`U_E` of
+//!   [`collabsim_gametheory::utility`] providing the per-step rewards.
+//!
+//! The top-level entry points are:
+//!
+//! * [`SimulationConfig`] / [`Simulation`] — configure and run one
+//!   simulation (training phase + measured evaluation phase) and obtain a
+//!   [`SimulationReport`],
+//! * [`experiment`] — the parameter sweeps that regenerate every figure of
+//!   the paper (Figures 3–7) plus the ablations, fanned out over worker
+//!   threads with `crossbeam`,
+//! * [`results`] — plain-text/CSV table rendering used by the
+//!   figure-regeneration binaries in `collabsim-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod agent;
+pub mod config;
+pub mod engine;
+pub mod experiment;
+pub mod incentive;
+pub mod report;
+pub mod results;
+
+pub use action::{CollabAction, EditBehavior, ShareLevel, ACTION_DIMS};
+pub use agent::{AgentState, CollabAgent};
+pub use config::{PhaseConfig, SimulationConfig};
+pub use engine::Simulation;
+pub use incentive::IncentiveScheme;
+pub use report::{BehaviorBreakdown, SimulationReport};
+
+// Re-export the pieces downstream users constantly need alongside the core
+// API so examples only import one crate.
+pub use collabsim_gametheory::behavior::{BehaviorMix, BehaviorType};
+pub use collabsim_gametheory::utility::UtilityModel;
+pub use collabsim_reputation::function::LogisticReputation;

@@ -1,0 +1,208 @@
+//! Best-response and pure Nash-equilibrium analysis for small bimatrix games.
+//!
+//! The paper's argument for why an incentive scheme is needed at all is an
+//! equilibrium argument: without service differentiation, free-riding is the
+//! dominant strategy of the one-shot sharing game, so the unique equilibrium
+//! is "nobody shares". This module provides the small amount of machinery
+//! needed to state and test that argument precisely, and to verify that the
+//! reputation-differentiated game moves the equilibrium towards sharing.
+
+use crate::payoff::BimatrixGame;
+use serde::{Deserialize, Serialize};
+
+/// A pure-strategy profile `(row action, column action)`.
+pub type PureProfile = (usize, usize);
+
+/// Floating-point tolerance used when comparing payoffs. Two payoffs within
+/// this distance are treated as equal, so weak best responses are included.
+pub const PAYOFF_EPSILON: f64 = 1e-12;
+
+/// Returns the set of best responses of the *row* player against a fixed
+/// column action.
+pub fn best_response_row(game: &BimatrixGame, col_action: usize) -> Vec<usize> {
+    assert!(col_action < game.col_actions(), "column action out of range");
+    let mut best = f64::NEG_INFINITY;
+    for r in 0..game.row_actions() {
+        best = best.max(game.row_payoffs().get(r, col_action));
+    }
+    (0..game.row_actions())
+        .filter(|&r| game.row_payoffs().get(r, col_action) >= best - PAYOFF_EPSILON)
+        .collect()
+}
+
+/// Returns the set of best responses of the *column* player against a fixed
+/// row action.
+pub fn best_response_col(game: &BimatrixGame, row_action: usize) -> Vec<usize> {
+    assert!(row_action < game.row_actions(), "row action out of range");
+    let mut best = f64::NEG_INFINITY;
+    for c in 0..game.col_actions() {
+        best = best.max(game.col_payoffs().get(row_action, c));
+    }
+    (0..game.col_actions())
+        .filter(|&c| game.col_payoffs().get(row_action, c) >= best - PAYOFF_EPSILON)
+        .collect()
+}
+
+/// Enumerates all pure-strategy Nash equilibria of a bimatrix game.
+///
+/// A profile is an equilibrium when each player's action is a (possibly
+/// weak) best response to the other player's action.
+pub fn pure_nash_equilibria(game: &BimatrixGame) -> Vec<PureProfile> {
+    let mut equilibria = Vec::new();
+    for r in 0..game.row_actions() {
+        for c in 0..game.col_actions() {
+            let row_ok = best_response_row(game, c).contains(&r);
+            let col_ok = best_response_col(game, r).contains(&c);
+            if row_ok && col_ok {
+                equilibria.push((r, c));
+            }
+        }
+    }
+    equilibria
+}
+
+/// Whether `action` strictly dominates every other row action (yields a
+/// strictly higher payoff against every column action).
+pub fn is_strictly_dominant_row(game: &BimatrixGame, action: usize) -> bool {
+    assert!(action < game.row_actions(), "row action out of range");
+    for other in 0..game.row_actions() {
+        if other == action {
+            continue;
+        }
+        for c in 0..game.col_actions() {
+            if game.row_payoffs().get(action, c) <= game.row_payoffs().get(other, c) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Result of a dominance scan over both players of a symmetric game.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DominanceReport {
+    /// Row actions that are strictly dominant.
+    pub dominant_row_actions: Vec<usize>,
+    /// Profiles that are pure Nash equilibria.
+    pub equilibria: Vec<PureProfile>,
+}
+
+/// Runs a dominance / equilibrium scan over a game.
+pub fn analyze(game: &BimatrixGame) -> DominanceReport {
+    let dominant_row_actions = (0..game.row_actions())
+        .filter(|&a| is_strictly_dominant_row(game, a))
+        .collect();
+    DominanceReport {
+        dominant_row_actions,
+        equilibria: pure_nash_equilibria(game),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payoff::PayoffMatrix;
+    use crate::prisoners::PrisonersDilemma;
+
+    #[test]
+    fn pd_unique_equilibrium_is_mutual_defection() {
+        let game = PrisonersDilemma::axelrod().as_bimatrix();
+        let eq = pure_nash_equilibria(&game);
+        assert_eq!(eq, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn pd_defection_is_strictly_dominant() {
+        let game = PrisonersDilemma::axelrod().as_bimatrix();
+        assert!(is_strictly_dominant_row(&game, 1));
+        assert!(!is_strictly_dominant_row(&game, 0));
+    }
+
+    #[test]
+    fn coordination_game_has_two_equilibria() {
+        // Stag hunt style coordination game.
+        let row = PayoffMatrix::from_rows(2, 2, &[4.0, 0.0, 3.0, 3.0]);
+        let game = BimatrixGame::symmetric(row);
+        let mut eq = pure_nash_equilibria(&game);
+        eq.sort_unstable();
+        assert_eq!(eq, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pure_equilibrium() {
+        let row = PayoffMatrix::from_rows(2, 2, &[1.0, -1.0, -1.0, 1.0]);
+        let col = PayoffMatrix::from_rows(2, 2, &[-1.0, 1.0, 1.0, -1.0]);
+        let game = BimatrixGame::new(row, col);
+        assert!(pure_nash_equilibria(&game).is_empty());
+    }
+
+    #[test]
+    fn best_responses_include_ties() {
+        let row = PayoffMatrix::from_rows(2, 2, &[2.0, 1.0, 2.0, 0.0]);
+        let col = row.transpose();
+        let game = BimatrixGame::new(row, col);
+        let br = best_response_row(&game, 0);
+        assert_eq!(br, vec![0, 1]);
+    }
+
+    #[test]
+    fn analyze_reports_dominance_and_equilibria() {
+        let game = PrisonersDilemma::axelrod().as_bimatrix();
+        let report = analyze(&game);
+        assert_eq!(report.dominant_row_actions, vec![1]);
+        assert_eq!(report.equilibria, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn best_response_bad_index_panics() {
+        let game = PrisonersDilemma::axelrod().as_bimatrix();
+        let _ = best_response_row(&game, 5);
+    }
+
+    #[test]
+    fn sharing_game_without_incentive_collapses_to_freeriding() {
+        // Two peers decide to Share (0) or FreeRide (1). Without service
+        // differentiation a peer benefits from the other's sharing (value 2)
+        // and pays a cost of 1 when it shares itself, irrespective of what it
+        // receives — the structure the paper describes in Section II-A.
+        let benefit = 2.0;
+        let cost = 1.0;
+        let row = PayoffMatrix::from_rows(
+            2,
+            2,
+            &[
+                benefit - cost, // both share
+                -cost,          // we share, they free-ride
+                benefit,        // we free-ride, they share
+                0.0,            // nobody shares
+            ],
+        );
+        let game = BimatrixGame::symmetric(row);
+        let report = analyze(&game);
+        assert_eq!(report.equilibria, vec![(1, 1)]);
+        assert_eq!(report.dominant_row_actions, vec![1]);
+    }
+
+    #[test]
+    fn sharing_game_with_service_differentiation_supports_sharing() {
+        // With reputation-based service differentiation, a free-rider's
+        // download bandwidth drops towards zero (its reputation share is
+        // negligible), so the benefit term is conditioned on having shared.
+        let benefit = 2.0;
+        let cost = 1.0;
+        let row = PayoffMatrix::from_rows(
+            2,
+            2,
+            &[
+                benefit - cost, // both share: full benefit
+                -cost + benefit, // we share, they free-ride: we still receive priority service
+                0.2,            // we free-ride: almost no bandwidth allocated to us
+                0.0,
+            ],
+        );
+        let game = BimatrixGame::symmetric(row);
+        let eq = pure_nash_equilibria(&game);
+        assert!(eq.contains(&(0, 0)), "mutual sharing should be an equilibrium: {eq:?}");
+    }
+}

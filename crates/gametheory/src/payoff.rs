@@ -1,0 +1,316 @@
+//! Normal-form games and payoff matrices.
+//!
+//! The paper's related-work section grounds the incentive analysis in
+//! classical game theory: a peer's utility is the difference between the
+//! benefit and the cost of an action, and interactions between peers are
+//! modelled as (repeated plays of) a two-player normal-form game. This
+//! module provides a small, allocation-friendly representation of such games
+//! that the [`crate::prisoners`], [`crate::equilibrium`] and
+//! [`crate::tournament`] modules build on.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A rectangular payoff matrix for a single player of a two-player game.
+///
+/// Entry `(r, c)` is the payoff the player receives when the *row* player
+/// chooses action `r` and the *column* player chooses action `c`. The matrix
+/// is stored row-major in a flat `Vec<f64>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PayoffMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<f64>,
+}
+
+impl PayoffMatrix {
+    /// Creates a payoff matrix from a row-major slice of values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols` or either dimension is zero.
+    pub fn from_rows(rows: usize, cols: usize, values: &[f64]) -> Self {
+        assert!(rows > 0 && cols > 0, "payoff matrix must be non-empty");
+        assert_eq!(
+            values.len(),
+            rows * cols,
+            "payoff matrix needs rows*cols values"
+        );
+        Self {
+            rows,
+            cols,
+            values: values.to_vec(),
+        }
+    }
+
+    /// Creates a matrix filled with a constant value.
+    pub fn constant(rows: usize, cols: usize, value: f64) -> Self {
+        assert!(rows > 0 && cols > 0, "payoff matrix must be non-empty");
+        Self {
+            rows,
+            cols,
+            values: vec![value; rows * cols],
+        }
+    }
+
+    /// Number of row-player actions.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of column-player actions.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Payoff for the `(row, col)` action profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.values[row * self.cols + col]
+    }
+
+    /// Sets the payoff for the `(row, col)` action profile.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "index out of range");
+        self.values[row * self.cols + col] = value;
+    }
+
+    /// Returns the transpose of the matrix (rows and columns swapped).
+    ///
+    /// Useful to express a symmetric game: the column player's payoffs in a
+    /// symmetric game are the transpose of the row player's payoffs.
+    pub fn transpose(&self) -> Self {
+        let mut values = vec![0.0; self.values.len()];
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                values[c * self.rows + r] = self.get(r, c);
+            }
+        }
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            values,
+        }
+    }
+
+    /// Returns an iterator over `(row, col, payoff)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Maximum payoff appearing anywhere in the matrix.
+    pub fn max_payoff(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum payoff appearing anywhere in the matrix.
+    pub fn min_payoff(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for PayoffMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:>8.3}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A two-player normal-form game described by one payoff matrix per player.
+///
+/// The row player's matrix and the column player's matrix must have the same
+/// shape; entry `(r, c)` of each matrix is the corresponding player's payoff
+/// when the row player plays `r` and the column player plays `c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BimatrixGame {
+    row: PayoffMatrix,
+    col: PayoffMatrix,
+}
+
+impl BimatrixGame {
+    /// Creates a bimatrix game from the two players' payoff matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices do not have identical dimensions.
+    pub fn new(row: PayoffMatrix, col: PayoffMatrix) -> Self {
+        assert_eq!(row.rows(), col.rows(), "matrices must share dimensions");
+        assert_eq!(row.cols(), col.cols(), "matrices must share dimensions");
+        Self { row, col }
+    }
+
+    /// Creates a *symmetric* game: the column player's payoff matrix is the
+    /// transpose of the row player's.
+    pub fn symmetric(row: PayoffMatrix) -> Self {
+        let col = row.transpose();
+        // A symmetric game needs a square action space for the transpose to
+        // share dimensions with the original matrix.
+        assert_eq!(row.rows(), row.cols(), "symmetric games must be square");
+        Self { row, col }
+    }
+
+    /// Row player's payoff matrix.
+    pub fn row_payoffs(&self) -> &PayoffMatrix {
+        &self.row
+    }
+
+    /// Column player's payoff matrix.
+    pub fn col_payoffs(&self) -> &PayoffMatrix {
+        &self.col
+    }
+
+    /// Number of actions available to the row player.
+    pub fn row_actions(&self) -> usize {
+        self.row.rows()
+    }
+
+    /// Number of actions available to the column player.
+    pub fn col_actions(&self) -> usize {
+        self.row.cols()
+    }
+
+    /// Payoff pair `(row player, column player)` for an action profile.
+    pub fn payoffs(&self, row_action: usize, col_action: usize) -> (f64, f64) {
+        (
+            self.row.get(row_action, col_action),
+            self.col.get(row_action, col_action),
+        )
+    }
+
+    /// Social welfare (sum of both payoffs) of an action profile.
+    pub fn welfare(&self, row_action: usize, col_action: usize) -> f64 {
+        let (a, b) = self.payoffs(row_action, col_action);
+        a + b
+    }
+
+    /// The action profile maximising social welfare, ties broken towards the
+    /// lexicographically smallest `(row, col)` pair.
+    pub fn welfare_maximum(&self) -> (usize, usize, f64) {
+        let mut best = (0, 0, f64::NEG_INFINITY);
+        for r in 0..self.row_actions() {
+            for c in 0..self.col_actions() {
+                let w = self.welfare(r, c);
+                if w > best.2 {
+                    best = (r, c, w);
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pd_row() -> PayoffMatrix {
+        // Classic Prisoner's Dilemma payoffs for the row player:
+        //            C      D
+        //   C       3.0    0.0
+        //   D       5.0    1.0
+        PayoffMatrix::from_rows(2, 2, &[3.0, 0.0, 5.0, 1.0])
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let m = pd_row();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(0, 0), 3.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 0), 5.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn from_rows_wrong_len_panics() {
+        let _ = PayoffMatrix::from_rows(2, 2, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_matrix_panics() {
+        let _ = PayoffMatrix::from_rows(0, 2, &[]);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m = PayoffMatrix::constant(3, 2, 0.0);
+        m.set(2, 1, 7.5);
+        assert_eq!(m.get(2, 1), 7.5);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let m = PayoffMatrix::from_rows(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(m.get(r, c), t.get(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn iter_visits_all_cells() {
+        let m = pd_row();
+        let cells: Vec<_> = m.iter().collect();
+        assert_eq!(cells.len(), 4);
+        assert!(cells.contains(&(1, 0, 5.0)));
+    }
+
+    #[test]
+    fn min_max_payoffs() {
+        let m = pd_row();
+        assert_eq!(m.max_payoff(), 5.0);
+        assert_eq!(m.min_payoff(), 0.0);
+    }
+
+    #[test]
+    fn symmetric_game_payoffs_mirror() {
+        let game = BimatrixGame::symmetric(pd_row());
+        // (row=D, col=C): row gets the temptation, col gets the sucker payoff.
+        let (r, c) = game.payoffs(1, 0);
+        assert_eq!(r, 5.0);
+        assert_eq!(c, 0.0);
+        // And mirrored.
+        let (r, c) = game.payoffs(0, 1);
+        assert_eq!(r, 0.0);
+        assert_eq!(c, 5.0);
+    }
+
+    #[test]
+    fn welfare_maximum_of_pd_is_mutual_cooperation() {
+        let game = BimatrixGame::symmetric(pd_row());
+        let (r, c, w) = game.welfare_maximum();
+        assert_eq!((r, c), (0, 0));
+        assert_eq!(w, 6.0);
+    }
+
+    #[test]
+    fn display_formats_all_rows() {
+        let s = format!("{}", pd_row());
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains("5.000"));
+    }
+}

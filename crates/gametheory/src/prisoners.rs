@@ -1,0 +1,371 @@
+//! The (repeated) Prisoner's Dilemma.
+//!
+//! The paper observes that "a repeated play of the Prisoner's Dilemma seems
+//! to be an appropriate model of interaction among users in a P2P network"
+//! and that tit-for-tat — as implemented by BitTorrent — is a very effective
+//! strategy for it (Section II-A). This module provides the stage game, the
+//! repeated game driver used by [`crate::tournament`], and the bookkeeping
+//! needed to compare cooperation levels of different strategies.
+
+use crate::payoff::{BimatrixGame, PayoffMatrix};
+use crate::strategy::Strategy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An action in the Prisoner's Dilemma stage game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PdAction {
+    /// Cooperate: share resources / behave constructively.
+    Cooperate,
+    /// Defect: free-ride / behave destructively.
+    Defect,
+}
+
+impl PdAction {
+    /// Index of the action in a payoff matrix (Cooperate = 0, Defect = 1).
+    pub fn index(self) -> usize {
+        match self {
+            PdAction::Cooperate => 0,
+            PdAction::Defect => 1,
+        }
+    }
+
+    /// The opposite action.
+    pub fn opposite(self) -> Self {
+        match self {
+            PdAction::Cooperate => PdAction::Defect,
+            PdAction::Defect => PdAction::Cooperate,
+        }
+    }
+}
+
+/// The canonical Prisoner's Dilemma stage game, parameterised by the four
+/// classical payoffs.
+///
+/// With temptation `T`, reward `R`, punishment `P` and sucker payoff `S`, a
+/// valid Prisoner's Dilemma requires `T > R > P > S` and, for the repeated
+/// game to favour alternating cooperation over exploitation, `2R > T + S`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrisonersDilemma {
+    /// Payoff for defecting against a cooperator.
+    pub temptation: f64,
+    /// Payoff for mutual cooperation.
+    pub reward: f64,
+    /// Payoff for mutual defection.
+    pub punishment: f64,
+    /// Payoff for cooperating against a defector.
+    pub sucker: f64,
+}
+
+impl Default for PrisonersDilemma {
+    fn default() -> Self {
+        Self::axelrod()
+    }
+}
+
+impl PrisonersDilemma {
+    /// The payoffs used in Axelrod's tournaments: T=5, R=3, P=1, S=0.
+    pub fn axelrod() -> Self {
+        Self {
+            temptation: 5.0,
+            reward: 3.0,
+            punishment: 1.0,
+            sucker: 0.0,
+        }
+    }
+
+    /// Creates a Prisoner's Dilemma with custom payoffs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `T > R > P > S` holds, which is what makes the game a
+    /// Prisoner's Dilemma in the first place.
+    pub fn new(temptation: f64, reward: f64, punishment: f64, sucker: f64) -> Self {
+        assert!(
+            temptation > reward && reward > punishment && punishment > sucker,
+            "Prisoner's Dilemma requires T > R > P > S"
+        );
+        Self {
+            temptation,
+            reward,
+            punishment,
+            sucker,
+        }
+    }
+
+    /// Whether the payoffs also satisfy `2R > T + S`, the condition that
+    /// makes sustained mutual cooperation better than alternating
+    /// exploitation in the repeated game.
+    pub fn favors_cooperation(&self) -> bool {
+        2.0 * self.reward > self.temptation + self.sucker
+    }
+
+    /// Stage-game payoffs for a pair of actions, `(row player, column player)`.
+    pub fn payoffs(&self, row: PdAction, col: PdAction) -> (f64, f64) {
+        use PdAction::*;
+        match (row, col) {
+            (Cooperate, Cooperate) => (self.reward, self.reward),
+            (Cooperate, Defect) => (self.sucker, self.temptation),
+            (Defect, Cooperate) => (self.temptation, self.sucker),
+            (Defect, Defect) => (self.punishment, self.punishment),
+        }
+    }
+
+    /// The game expressed as a [`BimatrixGame`] (Cooperate = action 0).
+    pub fn as_bimatrix(&self) -> BimatrixGame {
+        let row = PayoffMatrix::from_rows(
+            2,
+            2,
+            &[self.reward, self.sucker, self.temptation, self.punishment],
+        );
+        BimatrixGame::symmetric(row)
+    }
+}
+
+/// Outcome of a repeated-game match between two strategies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdOutcome {
+    /// Total payoff accumulated by the row player.
+    pub row_score: f64,
+    /// Total payoff accumulated by the column player.
+    pub col_score: f64,
+    /// Number of rounds played.
+    pub rounds: usize,
+    /// Number of rounds in which the row player cooperated.
+    pub row_cooperations: usize,
+    /// Number of rounds in which the column player cooperated.
+    pub col_cooperations: usize,
+    /// Number of rounds in which both players cooperated.
+    pub mutual_cooperations: usize,
+}
+
+impl PdOutcome {
+    /// Fraction of rounds in which the row player cooperated.
+    pub fn row_cooperation_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.row_cooperations as f64 / self.rounds as f64
+        }
+    }
+
+    /// Fraction of rounds in which the column player cooperated.
+    pub fn col_cooperation_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.col_cooperations as f64 / self.rounds as f64
+        }
+    }
+
+    /// Average per-round payoff of the row player.
+    pub fn row_mean_payoff(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.row_score / self.rounds as f64
+        }
+    }
+
+    /// Average per-round payoff of the column player.
+    pub fn col_mean_payoff(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.col_score / self.rounds as f64
+        }
+    }
+}
+
+/// Driver for repeated play of the Prisoner's Dilemma between two
+/// [`Strategy`] implementations.
+#[derive(Debug, Clone)]
+pub struct RepeatedGame {
+    game: PrisonersDilemma,
+    rounds: usize,
+    /// Per-round discount factor applied to payoffs (`1.0` = undiscounted).
+    discount: f64,
+}
+
+impl RepeatedGame {
+    /// Creates a repeated game of `rounds` rounds with undiscounted payoffs.
+    pub fn new(game: PrisonersDilemma, rounds: usize) -> Self {
+        Self {
+            game,
+            rounds,
+            discount: 1.0,
+        }
+    }
+
+    /// Sets a per-round discount factor `0 < discount <= 1`; round `t`'s
+    /// payoff is weighted by `discount^t`, matching the discounted reward
+    /// sum the paper writes down when introducing Q-Learning (Section IV-A).
+    pub fn with_discount(mut self, discount: f64) -> Self {
+        assert!(
+            discount > 0.0 && discount <= 1.0,
+            "discount must be in (0, 1]"
+        );
+        self.discount = discount;
+        self
+    }
+
+    /// Number of rounds per match.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The stage game.
+    pub fn stage_game(&self) -> &PrisonersDilemma {
+        &self.game
+    }
+
+    /// Plays a full match between `row` and `col`, resetting both strategies
+    /// first.
+    pub fn play<R: Rng>(
+        &self,
+        row: &mut dyn Strategy,
+        col: &mut dyn Strategy,
+        rng: &mut R,
+    ) -> PdOutcome {
+        row.reset();
+        col.reset();
+        let mut outcome = PdOutcome {
+            row_score: 0.0,
+            col_score: 0.0,
+            rounds: self.rounds,
+            row_cooperations: 0,
+            col_cooperations: 0,
+            mutual_cooperations: 0,
+        };
+        let mut row_prev: Option<PdAction> = None;
+        let mut col_prev: Option<PdAction> = None;
+        let mut weight = 1.0;
+        for _ in 0..self.rounds {
+            let a = row.next_action(col_prev, rng);
+            let b = col.next_action(row_prev, rng);
+            let (pa, pb) = self.game.payoffs(a, b);
+            outcome.row_score += weight * pa;
+            outcome.col_score += weight * pb;
+            if a == PdAction::Cooperate {
+                outcome.row_cooperations += 1;
+            }
+            if b == PdAction::Cooperate {
+                outcome.col_cooperations += 1;
+            }
+            if a == PdAction::Cooperate && b == PdAction::Cooperate {
+                outcome.mutual_cooperations += 1;
+            }
+            row.observe(a, b);
+            col.observe(b, a);
+            row_prev = Some(a);
+            col_prev = Some(b);
+            weight *= self.discount;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{AlwaysCooperate, AlwaysDefect, TitForTat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn axelrod_payoffs_are_canonical() {
+        let pd = PrisonersDilemma::axelrod();
+        assert_eq!(pd.payoffs(PdAction::Cooperate, PdAction::Cooperate), (3.0, 3.0));
+        assert_eq!(pd.payoffs(PdAction::Defect, PdAction::Cooperate), (5.0, 0.0));
+        assert_eq!(pd.payoffs(PdAction::Cooperate, PdAction::Defect), (0.0, 5.0));
+        assert_eq!(pd.payoffs(PdAction::Defect, PdAction::Defect), (1.0, 1.0));
+        assert!(pd.favors_cooperation());
+    }
+
+    #[test]
+    #[should_panic(expected = "T > R > P > S")]
+    fn invalid_ordering_panics() {
+        let _ = PrisonersDilemma::new(1.0, 2.0, 3.0, 4.0);
+    }
+
+    #[test]
+    fn bimatrix_matches_direct_payoffs() {
+        let pd = PrisonersDilemma::axelrod();
+        let g = pd.as_bimatrix();
+        for &a in &[PdAction::Cooperate, PdAction::Defect] {
+            for &b in &[PdAction::Cooperate, PdAction::Defect] {
+                assert_eq!(g.payoffs(a.index(), b.index()), pd.payoffs(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn all_cooperate_vs_all_defect() {
+        let game = RepeatedGame::new(PrisonersDilemma::axelrod(), 100);
+        let mut coop = AlwaysCooperate;
+        let mut defect = AlwaysDefect;
+        let out = game.play(&mut coop, &mut defect, &mut rng());
+        assert_eq!(out.row_score, 0.0);
+        assert_eq!(out.col_score, 500.0);
+        assert_eq!(out.row_cooperation_rate(), 1.0);
+        assert_eq!(out.col_cooperation_rate(), 0.0);
+        assert_eq!(out.mutual_cooperations, 0);
+    }
+
+    #[test]
+    fn tit_for_tat_sustains_cooperation_with_cooperator() {
+        let game = RepeatedGame::new(PrisonersDilemma::axelrod(), 50);
+        let mut tft = TitForTat;
+        let mut coop = AlwaysCooperate;
+        let out = game.play(&mut tft, &mut coop, &mut rng());
+        assert_eq!(out.mutual_cooperations, 50);
+        assert_eq!(out.row_score, 150.0);
+    }
+
+    #[test]
+    fn tit_for_tat_loses_at_most_one_round_to_defector() {
+        let game = RepeatedGame::new(PrisonersDilemma::axelrod(), 50);
+        let mut tft = TitForTat;
+        let mut defect = AlwaysDefect;
+        let out = game.play(&mut tft, &mut defect, &mut rng());
+        // TFT cooperates only in the first round, then defects forever.
+        assert_eq!(out.row_cooperations, 1);
+        assert_eq!(out.row_score, 0.0 + 49.0 * 1.0);
+        assert_eq!(out.col_score, 5.0 + 49.0 * 1.0);
+    }
+
+    #[test]
+    fn discounting_reduces_total_score() {
+        let undiscounted = RepeatedGame::new(PrisonersDilemma::axelrod(), 20);
+        let discounted = RepeatedGame::new(PrisonersDilemma::axelrod(), 20).with_discount(0.9);
+        let mut a = AlwaysCooperate;
+        let mut b = AlwaysCooperate;
+        let full = undiscounted.play(&mut a, &mut b, &mut rng());
+        let disc = discounted.play(&mut a, &mut b, &mut rng());
+        assert!(disc.row_score < full.row_score);
+        // Geometric series: 3 * (1 - 0.9^20) / (1 - 0.9).
+        let expected = 3.0 * (1.0 - 0.9f64.powi(20)) / 0.1;
+        assert!((disc.row_score - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_round_outcome_has_zero_rates() {
+        let game = RepeatedGame::new(PrisonersDilemma::axelrod(), 0);
+        let mut a = AlwaysCooperate;
+        let mut b = AlwaysDefect;
+        let out = game.play(&mut a, &mut b, &mut rng());
+        assert_eq!(out.row_cooperation_rate(), 0.0);
+        assert_eq!(out.row_mean_payoff(), 0.0);
+        assert_eq!(out.col_mean_payoff(), 0.0);
+    }
+
+    #[test]
+    fn opposite_action_flips() {
+        assert_eq!(PdAction::Cooperate.opposite(), PdAction::Defect);
+        assert_eq!(PdAction::Defect.opposite(), PdAction::Cooperate);
+    }
+}

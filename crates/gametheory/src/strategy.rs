@@ -1,0 +1,361 @@
+//! Classical strategies for the repeated Prisoner's Dilemma.
+//!
+//! Tit-for-Tat is singled out by the paper (following Axelrod and the
+//! BitTorrent design) as "a very effective strategy to play the repeated
+//! Prisoner's Dilemma"; the remaining strategies are the standard cast used
+//! in Axelrod-style tournaments and serve as baselines and adversaries in
+//! [`crate::tournament`].
+
+use crate::prisoners::PdAction;
+use std::fmt;
+
+/// A strategy for repeated play of the Prisoner's Dilemma.
+///
+/// A strategy is stateful: [`Strategy::reset`] is called at the beginning of
+/// every match, [`Strategy::next_action`] is asked for a move given the
+/// opponent's previous move (or `None` in the first round), and
+/// [`Strategy::observe`] reports the realised action profile after every
+/// round so strategies with richer memory (e.g. [`GrimTrigger`], [`Pavlov`])
+/// can update their internal state.
+pub trait Strategy: Send {
+    /// Human-readable name used in tournament reports.
+    fn name(&self) -> &'static str;
+
+    /// Resets any per-match state.
+    fn reset(&mut self) {}
+
+    /// Chooses the next action given the opponent's previous action.
+    fn next_action(
+        &mut self,
+        opponent_previous: Option<PdAction>,
+        rng: &mut dyn rand::RngCore,
+    ) -> PdAction;
+
+    /// Observes the realised action profile `(own, opponent)` of a round.
+    fn observe(&mut self, _own: PdAction, _opponent: PdAction) {}
+}
+
+impl fmt::Debug for dyn Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Strategy({})", self.name())
+    }
+}
+
+/// Always cooperates — the altruistic extreme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysCooperate;
+
+impl Strategy for AlwaysCooperate {
+    fn name(&self) -> &'static str {
+        "AllC"
+    }
+
+    fn next_action(&mut self, _prev: Option<PdAction>, _rng: &mut dyn rand::RngCore) -> PdAction {
+        PdAction::Cooperate
+    }
+}
+
+/// Always defects — the free-riding extreme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysDefect;
+
+impl Strategy for AlwaysDefect {
+    fn name(&self) -> &'static str {
+        "AllD"
+    }
+
+    fn next_action(&mut self, _prev: Option<PdAction>, _rng: &mut dyn rand::RngCore) -> PdAction {
+        PdAction::Defect
+    }
+}
+
+/// Tit-for-Tat: cooperate first, then mirror the opponent's last move.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TitForTat;
+
+impl Strategy for TitForTat {
+    fn name(&self) -> &'static str {
+        "TFT"
+    }
+
+    fn next_action(&mut self, prev: Option<PdAction>, _rng: &mut dyn rand::RngCore) -> PdAction {
+        prev.unwrap_or(PdAction::Cooperate)
+    }
+}
+
+/// Tit-for-Two-Tats: defects only after two consecutive opponent defections,
+/// which makes it more forgiving than plain Tit-for-Tat in noisy settings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TitForTwoTats {
+    previous_defections: u8,
+}
+
+impl Strategy for TitForTwoTats {
+    fn name(&self) -> &'static str {
+        "TF2T"
+    }
+
+    fn reset(&mut self) {
+        self.previous_defections = 0;
+    }
+
+    fn next_action(&mut self, _prev: Option<PdAction>, _rng: &mut dyn rand::RngCore) -> PdAction {
+        if self.previous_defections >= 2 {
+            PdAction::Defect
+        } else {
+            PdAction::Cooperate
+        }
+    }
+
+    fn observe(&mut self, _own: PdAction, opponent: PdAction) {
+        match opponent {
+            PdAction::Defect => self.previous_defections = self.previous_defections.saturating_add(1),
+            PdAction::Cooperate => self.previous_defections = 0,
+        }
+    }
+}
+
+/// Grim Trigger: cooperates until the opponent defects once, then defects
+/// forever.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GrimTrigger {
+    triggered: bool,
+}
+
+impl Strategy for GrimTrigger {
+    fn name(&self) -> &'static str {
+        "Grim"
+    }
+
+    fn reset(&mut self) {
+        self.triggered = false;
+    }
+
+    fn next_action(&mut self, _prev: Option<PdAction>, _rng: &mut dyn rand::RngCore) -> PdAction {
+        if self.triggered {
+            PdAction::Defect
+        } else {
+            PdAction::Cooperate
+        }
+    }
+
+    fn observe(&mut self, _own: PdAction, opponent: PdAction) {
+        if opponent == PdAction::Defect {
+            self.triggered = true;
+        }
+    }
+}
+
+/// Pavlov (win-stay / lose-shift): repeats its previous action after a good
+/// outcome (mutual cooperation or successful exploitation) and switches after
+/// a bad one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pavlov {
+    next: Option<PdAction>,
+}
+
+impl Strategy for Pavlov {
+    fn name(&self) -> &'static str {
+        "Pavlov"
+    }
+
+    fn reset(&mut self) {
+        self.next = None;
+    }
+
+    fn next_action(&mut self, _prev: Option<PdAction>, _rng: &mut dyn rand::RngCore) -> PdAction {
+        self.next.unwrap_or(PdAction::Cooperate)
+    }
+
+    fn observe(&mut self, own: PdAction, opponent: PdAction) {
+        // Win = opponent cooperated (we either got the reward or the
+        // temptation payoff); stay. Lose = opponent defected; shift.
+        let won = opponent == PdAction::Cooperate;
+        self.next = Some(if won { own } else { own.opposite() });
+    }
+}
+
+/// Cooperates independently at random with a fixed probability each round.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomStrategy {
+    /// Probability of cooperating in any given round.
+    pub cooperate_probability: f64,
+}
+
+impl RandomStrategy {
+    /// Creates a random strategy with the given cooperation probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability is outside `[0, 1]`.
+    pub fn new(cooperate_probability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cooperate_probability),
+            "probability must lie in [0, 1]"
+        );
+        Self {
+            cooperate_probability,
+        }
+    }
+}
+
+impl Default for RandomStrategy {
+    fn default() -> Self {
+        Self::new(0.5)
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "Random"
+    }
+
+    fn next_action(&mut self, _prev: Option<PdAction>, rng: &mut dyn rand::RngCore) -> PdAction {
+        // `dyn RngCore` does not expose the generic `Rng::gen_bool` helper,
+        // so draw a uniform value in [0, 1) from the raw 32-bit output.
+        let draw = rng.next_u32() as f64 / (u32::MAX as f64 + 1.0);
+        if draw < self.cooperate_probability {
+            PdAction::Cooperate
+        } else {
+            PdAction::Defect
+        }
+    }
+}
+
+/// A "suspicious" variant of Tit-for-Tat that defects in the first round.
+/// Included because it illustrates how the initial move changes long-run
+/// cooperation against reciprocal strategies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SuspiciousTitForTat;
+
+impl Strategy for SuspiciousTitForTat {
+    fn name(&self) -> &'static str {
+        "STFT"
+    }
+
+    fn next_action(&mut self, prev: Option<PdAction>, _rng: &mut dyn rand::RngCore) -> PdAction {
+        prev.unwrap_or(PdAction::Defect)
+    }
+}
+
+/// Builds one instance of every strategy shipped with this crate, useful for
+/// whole-roster tournaments.
+pub fn standard_roster() -> Vec<Box<dyn Strategy>> {
+    vec![
+        Box::new(AlwaysCooperate),
+        Box::new(AlwaysDefect),
+        Box::new(TitForTat),
+        Box::new(TitForTwoTats::default()),
+        Box::new(GrimTrigger::default()),
+        Box::new(Pavlov::default()),
+        Box::new(RandomStrategy::default()),
+        Box::new(SuspiciousTitForTat),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn tit_for_tat_mirrors_last_move() {
+        let mut tft = TitForTat;
+        let mut r = rng();
+        assert_eq!(tft.next_action(None, &mut r), PdAction::Cooperate);
+        assert_eq!(tft.next_action(Some(PdAction::Defect), &mut r), PdAction::Defect);
+        assert_eq!(
+            tft.next_action(Some(PdAction::Cooperate), &mut r),
+            PdAction::Cooperate
+        );
+    }
+
+    #[test]
+    fn suspicious_tft_defects_first() {
+        let mut s = SuspiciousTitForTat;
+        let mut r = rng();
+        assert_eq!(s.next_action(None, &mut r), PdAction::Defect);
+        assert_eq!(
+            s.next_action(Some(PdAction::Cooperate), &mut r),
+            PdAction::Cooperate
+        );
+    }
+
+    #[test]
+    fn grim_trigger_never_forgives() {
+        let mut g = GrimTrigger::default();
+        let mut r = rng();
+        assert_eq!(g.next_action(None, &mut r), PdAction::Cooperate);
+        g.observe(PdAction::Cooperate, PdAction::Defect);
+        assert_eq!(g.next_action(Some(PdAction::Cooperate), &mut r), PdAction::Defect);
+        g.observe(PdAction::Defect, PdAction::Cooperate);
+        assert_eq!(g.next_action(Some(PdAction::Cooperate), &mut r), PdAction::Defect);
+        g.reset();
+        assert_eq!(g.next_action(None, &mut r), PdAction::Cooperate);
+    }
+
+    #[test]
+    fn tf2t_requires_two_defections() {
+        let mut t = TitForTwoTats::default();
+        let mut r = rng();
+        t.observe(PdAction::Cooperate, PdAction::Defect);
+        assert_eq!(t.next_action(Some(PdAction::Defect), &mut r), PdAction::Cooperate);
+        t.observe(PdAction::Cooperate, PdAction::Defect);
+        assert_eq!(t.next_action(Some(PdAction::Defect), &mut r), PdAction::Defect);
+        // A cooperation resets the counter.
+        t.observe(PdAction::Defect, PdAction::Cooperate);
+        assert_eq!(t.next_action(Some(PdAction::Cooperate), &mut r), PdAction::Cooperate);
+    }
+
+    #[test]
+    fn pavlov_win_stay_lose_shift() {
+        let mut p = Pavlov::default();
+        let mut r = rng();
+        assert_eq!(p.next_action(None, &mut r), PdAction::Cooperate);
+        // Mutual cooperation: win, stay with Cooperate.
+        p.observe(PdAction::Cooperate, PdAction::Cooperate);
+        assert_eq!(p.next_action(None, &mut r), PdAction::Cooperate);
+        // Got suckered: lose, shift to Defect.
+        p.observe(PdAction::Cooperate, PdAction::Defect);
+        assert_eq!(p.next_action(None, &mut r), PdAction::Defect);
+        // Mutual defection: lose, shift back to Cooperate.
+        p.observe(PdAction::Defect, PdAction::Defect);
+        assert_eq!(p.next_action(None, &mut r), PdAction::Cooperate);
+        // Exploited the opponent: win, stay on Defect.
+        p.observe(PdAction::Defect, PdAction::Cooperate);
+        assert_eq!(p.next_action(None, &mut r), PdAction::Defect);
+    }
+
+    #[test]
+    fn random_strategy_extremes_are_deterministic() {
+        let mut always = RandomStrategy::new(1.0);
+        let mut never = RandomStrategy::new(0.0);
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(always.next_action(None, &mut r), PdAction::Cooperate);
+            assert_eq!(never.next_action(None, &mut r), PdAction::Defect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn random_strategy_rejects_bad_probability() {
+        let _ = RandomStrategy::new(1.5);
+    }
+
+    #[test]
+    fn roster_contains_unique_names() {
+        let roster = standard_roster();
+        let mut names: Vec<_> = roster.iter().map(|s| s.name()).collect();
+        let len = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), len);
+        assert!(len >= 8);
+    }
+}

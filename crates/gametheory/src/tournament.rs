@@ -1,0 +1,279 @@
+//! Axelrod-style round-robin tournaments between repeated-game strategies.
+//!
+//! The tournament runner is used by the examples and benches to reproduce
+//! the classical result the paper leans on: reciprocal strategies such as
+//! Tit-for-Tat dominate a mixed population even though Always-Defect wins
+//! any single encounter against a cooperator. It also provides the baseline
+//! cooperation statistics against which the reputation-based scheme is
+//! compared qualitatively.
+
+use crate::prisoners::{PrisonersDilemma, RepeatedGame};
+use crate::strategy::Strategy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate statistics for a single strategy across a tournament.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyStanding {
+    /// Strategy name.
+    pub name: String,
+    /// Total payoff accumulated over all matches (both as row and column).
+    pub total_score: f64,
+    /// Number of matches played.
+    pub matches: usize,
+    /// Number of rounds played over all matches.
+    pub rounds: usize,
+    /// Number of rounds in which this strategy cooperated.
+    pub cooperations: usize,
+}
+
+impl StrategyStanding {
+    /// Average payoff per round.
+    pub fn mean_payoff(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_score / self.rounds as f64
+        }
+    }
+
+    /// Fraction of rounds in which the strategy cooperated.
+    pub fn cooperation_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.cooperations as f64 / self.rounds as f64
+        }
+    }
+}
+
+/// Result of a full round-robin tournament.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TournamentResult {
+    /// Standings sorted by descending total score.
+    pub standings: Vec<StrategyStanding>,
+    /// Number of rounds each match lasted.
+    pub rounds_per_match: usize,
+    /// Number of times the round-robin schedule was repeated.
+    pub repetitions: usize,
+}
+
+impl TournamentResult {
+    /// Name of the winning strategy (highest total score).
+    pub fn winner(&self) -> &str {
+        &self.standings[0].name
+    }
+
+    /// Standing for a particular strategy name, if it participated.
+    pub fn standing(&self, name: &str) -> Option<&StrategyStanding> {
+        self.standings.iter().find(|s| s.name == name)
+    }
+
+    /// Renders the standings as a small fixed-width text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:>12} {:>12} {:>12}\n",
+            "strategy", "total", "mean/round", "coop-rate"
+        ));
+        for s in &self.standings {
+            out.push_str(&format!(
+                "{:<10} {:>12.2} {:>12.4} {:>12.4}\n",
+                s.name,
+                s.total_score,
+                s.mean_payoff(),
+                s.cooperation_rate()
+            ));
+        }
+        out
+    }
+}
+
+/// Round-robin tournament driver.
+///
+/// Every pair of distinct strategies plays `repetitions` matches of
+/// `rounds_per_match` rounds each; self-play can optionally be included
+/// (Axelrod's original tournaments included it).
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    game: PrisonersDilemma,
+    rounds_per_match: usize,
+    repetitions: usize,
+    include_self_play: bool,
+}
+
+impl Tournament {
+    /// Creates a tournament over the given stage game.
+    pub fn new(game: PrisonersDilemma, rounds_per_match: usize, repetitions: usize) -> Self {
+        assert!(rounds_per_match > 0, "matches need at least one round");
+        assert!(repetitions > 0, "need at least one repetition");
+        Self {
+            game,
+            rounds_per_match,
+            repetitions,
+            include_self_play: true,
+        }
+    }
+
+    /// Enables or disables self-play matches.
+    pub fn with_self_play(mut self, include: bool) -> Self {
+        self.include_self_play = include;
+        self
+    }
+
+    /// Runs the tournament over a roster of strategies.
+    ///
+    /// Strategy factories are used (rather than instances) because each side
+    /// of each match needs an independent, freshly reset strategy instance.
+    pub fn run<R: Rng>(
+        &self,
+        roster: &[Box<dyn Fn() -> Box<dyn Strategy>>],
+        rng: &mut R,
+    ) -> TournamentResult {
+        assert!(!roster.is_empty(), "tournament needs at least one strategy");
+        let repeated = RepeatedGame::new(self.game, self.rounds_per_match);
+        let mut standings: Vec<StrategyStanding> = roster
+            .iter()
+            .map(|f| {
+                let s = f();
+                StrategyStanding {
+                    name: s.name().to_string(),
+                    total_score: 0.0,
+                    matches: 0,
+                    rounds: 0,
+                    cooperations: 0,
+                }
+            })
+            .collect();
+
+        for _ in 0..self.repetitions {
+            for i in 0..roster.len() {
+                for j in i..roster.len() {
+                    if i == j && !self.include_self_play {
+                        continue;
+                    }
+                    let mut a = roster[i]();
+                    let mut b = roster[j]();
+                    let outcome = repeated.play(a.as_mut(), b.as_mut(), rng);
+                    standings[i].total_score += outcome.row_score;
+                    standings[i].matches += 1;
+                    standings[i].rounds += outcome.rounds;
+                    standings[i].cooperations += outcome.row_cooperations;
+                    standings[j].total_score += outcome.col_score;
+                    standings[j].matches += 1;
+                    standings[j].rounds += outcome.rounds;
+                    standings[j].cooperations += outcome.col_cooperations;
+                }
+            }
+        }
+
+        standings.sort_by(|a, b| {
+            b.total_score
+                .partial_cmp(&a.total_score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        TournamentResult {
+            standings,
+            rounds_per_match: self.rounds_per_match,
+            repetitions: self.repetitions,
+        }
+    }
+}
+
+/// Convenience: a factory roster for the standard strategy cast.
+pub fn standard_factories() -> Vec<Box<dyn Fn() -> Box<dyn Strategy>>> {
+    use crate::strategy::*;
+    vec![
+        Box::new(|| Box::new(AlwaysCooperate) as Box<dyn Strategy>),
+        Box::new(|| Box::new(AlwaysDefect) as Box<dyn Strategy>),
+        Box::new(|| Box::new(TitForTat) as Box<dyn Strategy>),
+        Box::new(|| Box::new(TitForTwoTats::default()) as Box<dyn Strategy>),
+        Box::new(|| Box::new(GrimTrigger::default()) as Box<dyn Strategy>),
+        Box::new(|| Box::new(Pavlov::default()) as Box<dyn Strategy>),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{AlwaysCooperate, AlwaysDefect, Strategy, TitForTat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn roster_of_three() -> Vec<Box<dyn Fn() -> Box<dyn Strategy>>> {
+        vec![
+            Box::new(|| Box::new(AlwaysCooperate) as Box<dyn Strategy>),
+            Box::new(|| Box::new(AlwaysDefect) as Box<dyn Strategy>),
+            Box::new(|| Box::new(TitForTat) as Box<dyn Strategy>),
+        ]
+    }
+
+    #[test]
+    fn standings_cover_every_strategy() {
+        let t = Tournament::new(PrisonersDilemma::axelrod(), 50, 2);
+        let result = t.run(&roster_of_three(), &mut rng());
+        assert_eq!(result.standings.len(), 3);
+        assert!(result.standing("TFT").is_some());
+        assert!(result.standing("AllC").is_some());
+        assert!(result.standing("AllD").is_some());
+        assert!(result.standing("Pavlov").is_none());
+    }
+
+    #[test]
+    fn tft_beats_alld_in_mixed_population() {
+        // With enough reciprocators in the population, AllD cannot win the
+        // tournament even though it wins every individual encounter —
+        // the classical Axelrod observation that motivates reputation-based
+        // incentives in the paper.
+        let t = Tournament::new(PrisonersDilemma::axelrod(), 200, 3);
+        let result = t.run(&standard_factories(), &mut rng());
+        let tft = result.standing("TFT").unwrap().total_score;
+        let alld = result.standing("AllD").unwrap().total_score;
+        assert!(
+            tft > alld,
+            "TFT ({tft}) should out-score AllD ({alld}) in a mixed population"
+        );
+    }
+
+    #[test]
+    fn self_play_toggle_changes_match_count() {
+        let with = Tournament::new(PrisonersDilemma::axelrod(), 10, 1);
+        let without = Tournament::new(PrisonersDilemma::axelrod(), 10, 1).with_self_play(false);
+        let a = with.run(&roster_of_three(), &mut rng());
+        let b = without.run(&roster_of_three(), &mut rng());
+        let total_a: usize = a.standings.iter().map(|s| s.matches).sum();
+        let total_b: usize = b.standings.iter().map(|s| s.matches).sum();
+        // 3 pairings + 3 self-plays, each self-play counts the strategy twice.
+        assert_eq!(total_a, 2 * 6);
+        assert_eq!(total_b, 2 * 3);
+    }
+
+    #[test]
+    fn winner_is_first_standing() {
+        let t = Tournament::new(PrisonersDilemma::axelrod(), 30, 1);
+        let result = t.run(&roster_of_three(), &mut rng());
+        assert_eq!(result.winner(), result.standings[0].name);
+    }
+
+    #[test]
+    fn table_lists_all_strategies() {
+        let t = Tournament::new(PrisonersDilemma::axelrod(), 10, 1);
+        let result = t.run(&roster_of_three(), &mut rng());
+        let table = result.to_table();
+        assert!(table.contains("TFT"));
+        assert!(table.contains("AllD"));
+        assert!(table.contains("coop-rate"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strategy")]
+    fn empty_roster_panics() {
+        let t = Tournament::new(PrisonersDilemma::axelrod(), 10, 1);
+        let empty: Vec<Box<dyn Fn() -> Box<dyn Strategy>>> = vec![];
+        let _ = t.run(&empty, &mut rng());
+    }
+}

@@ -1,0 +1,523 @@
+//! Articles, revisions and the edit life cycle.
+//!
+//! The collaboration network's shared objects are articles (the paper's
+//! running example is a decentralized wiki, following the authors' earlier
+//! AIMS 2007 work on "peer-to-peer large-scale collaborative storage
+//! networks"). An article carries a revision history; peers propose *edits*
+//! which are either constructive (improve the article) or destructive
+//! (vandalism), and the voting mechanism decides whether a pending edit is
+//! accepted into a new revision or declined.
+//!
+//! The netsim layer records only the mechanics (who authored what, which
+//! edit is pending, which revision is current); whether an edit *should* be
+//! accepted is policy and lives in the incentive layer.
+
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an article.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArticleId(pub u32);
+
+impl ArticleId {
+    /// The identifier as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArticleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "article#{}", self.0)
+    }
+}
+
+/// Identifier of an edit (unique across all articles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EditId(pub u64);
+
+/// Whether an edit improves or damages the article.
+///
+/// In a real network this is unknowable a priori — it is what the voting
+/// process estimates. The simulation, like the paper's, labels edits by the
+/// intent of the acting peer (altruistic/rational peers acting
+/// constructively vs. irrational peers vandalising) so the evaluation can
+/// report the constructive/destructive ratios of Figures 6 and 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EditKind {
+    /// The edit improves the article's quality.
+    Constructive,
+    /// The edit is vandalism.
+    Destructive,
+}
+
+impl EditKind {
+    /// Short label used in CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            EditKind::Constructive => "constructive",
+            EditKind::Destructive => "destructive",
+        }
+    }
+}
+
+/// Life-cycle state of an edit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EditStatus {
+    /// Submitted, waiting for the vote to conclude.
+    Pending,
+    /// Accepted by the (weighted) majority and merged into a new revision.
+    Accepted,
+    /// Declined by the vote.
+    Declined,
+}
+
+/// A proposed change to an article.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Edit {
+    /// Unique identifier.
+    pub id: EditId,
+    /// The article being edited.
+    pub article: ArticleId,
+    /// The peer proposing the edit.
+    pub author: PeerId,
+    /// Constructive or destructive intent.
+    pub kind: EditKind,
+    /// Current status.
+    pub status: EditStatus,
+    /// Time step at which the edit was submitted.
+    pub submitted_at: u64,
+    /// Time step at which the vote concluded (if it has).
+    pub decided_at: Option<u64>,
+}
+
+/// An article with its revision history and pending edit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Article {
+    /// Identifier.
+    pub id: ArticleId,
+    /// The peer that created the article.
+    pub creator: PeerId,
+    /// Time step of creation.
+    pub created_at: u64,
+    /// Authors of accepted revisions, in acceptance order (the creator is
+    /// revision 0). Successful editors gain the right to vote on future
+    /// changes of this article (Section III-C2).
+    pub revision_authors: Vec<PeerId>,
+    /// Number of accepted destructive edits (quality damage that slipped
+    /// through the vote).
+    pub accepted_destructive: u32,
+    /// Identifier of the edit currently awaiting a vote, if any. The model
+    /// serialises edits per article: a new edit can only be submitted once
+    /// the pending one is decided.
+    pub pending_edit: Option<EditId>,
+}
+
+impl Article {
+    /// Creates an article with the creator as the sole revision author.
+    pub fn new(id: ArticleId, creator: PeerId, created_at: u64) -> Self {
+        Self {
+            id,
+            creator,
+            created_at,
+            revision_authors: vec![creator],
+            accepted_destructive: 0,
+            pending_edit: None,
+        }
+    }
+
+    /// Number of accepted revisions (including the initial one).
+    pub fn revision_count(&self) -> usize {
+        self.revision_authors.len()
+    }
+
+    /// Whether `peer` has successfully edited (or created) this article and
+    /// therefore holds voting rights on its changes.
+    pub fn is_successful_editor(&self, peer: PeerId) -> bool {
+        self.revision_authors.contains(&peer)
+    }
+
+    /// The set of peers eligible to vote on changes of this article,
+    /// de-duplicated, excluding the author of the edit under vote.
+    pub fn eligible_voters(&self, edit_author: PeerId) -> Vec<PeerId> {
+        let mut voters: Vec<PeerId> = self
+            .revision_authors
+            .iter()
+            .copied()
+            .filter(|&p| p != edit_author)
+            .collect();
+        voters.sort_unstable();
+        voters.dedup();
+        voters
+    }
+
+    /// A simple quality score in `[0, 1]`: the fraction of accepted
+    /// revisions that were constructive. New articles start at 1.
+    pub fn quality(&self) -> f64 {
+        let total = self.revision_count() as f64 + f64::from(self.accepted_destructive);
+        self.revision_count() as f64 / total
+    }
+}
+
+/// The registry of all articles and edits in the network.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArticleRegistry {
+    articles: Vec<Article>,
+    edits: Vec<Edit>,
+    /// Pending edits per author, to let the policy layer limit concurrent
+    /// edits per peer cheaply.
+    pending_by_author: HashMap<PeerId, Vec<EditId>>,
+}
+
+impl ArticleRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of articles.
+    pub fn article_count(&self) -> usize {
+        self.articles.len()
+    }
+
+    /// Number of edits ever submitted.
+    pub fn edit_count(&self) -> usize {
+        self.edits.len()
+    }
+
+    /// Creates a new article and returns its identifier.
+    pub fn create_article(&mut self, creator: PeerId, now: u64) -> ArticleId {
+        let id = ArticleId(u32::try_from(self.articles.len()).expect("too many articles"));
+        self.articles.push(Article::new(id, creator, now));
+        id
+    }
+
+    /// Immutable access to an article.
+    pub fn article(&self, id: ArticleId) -> &Article {
+        &self.articles[id.index()]
+    }
+
+    /// Mutable access to an article.
+    pub fn article_mut(&mut self, id: ArticleId) -> &mut Article {
+        &mut self.articles[id.index()]
+    }
+
+    /// Immutable access to an edit.
+    pub fn edit(&self, id: EditId) -> &Edit {
+        &self.edits[id.0 as usize]
+    }
+
+    /// Iterator over all articles.
+    pub fn articles(&self) -> impl Iterator<Item = &Article> {
+        self.articles.iter()
+    }
+
+    /// Iterator over all edits.
+    pub fn edits(&self) -> impl Iterator<Item = &Edit> {
+        self.edits.iter()
+    }
+
+    /// Submits an edit to an article. Returns `None` (and records nothing)
+    /// if the article already has a pending edit.
+    pub fn submit_edit(
+        &mut self,
+        article: ArticleId,
+        author: PeerId,
+        kind: EditKind,
+        now: u64,
+    ) -> Option<EditId> {
+        if self.articles[article.index()].pending_edit.is_some() {
+            return None;
+        }
+        let id = EditId(self.edits.len() as u64);
+        self.edits.push(Edit {
+            id,
+            article,
+            author,
+            kind,
+            status: EditStatus::Pending,
+            submitted_at: now,
+            decided_at: None,
+        });
+        self.articles[article.index()].pending_edit = Some(id);
+        self.pending_by_author.entry(author).or_default().push(id);
+        Some(id)
+    }
+
+    /// Resolves a pending edit: accepted edits append their author to the
+    /// article's revision history (and count quality damage if they were
+    /// destructive); declined edits simply close.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edit is not pending.
+    pub fn resolve_edit(&mut self, id: EditId, accepted: bool, now: u64) {
+        let edit = &mut self.edits[id.0 as usize];
+        assert_eq!(edit.status, EditStatus::Pending, "edit already resolved");
+        edit.status = if accepted {
+            EditStatus::Accepted
+        } else {
+            EditStatus::Declined
+        };
+        edit.decided_at = Some(now);
+        let author = edit.author;
+        let kind = edit.kind;
+        let article_id = edit.article;
+
+        let article = &mut self.articles[article_id.index()];
+        debug_assert_eq!(article.pending_edit, Some(id));
+        article.pending_edit = None;
+        if accepted {
+            article.revision_authors.push(author);
+            if kind == EditKind::Destructive {
+                article.accepted_destructive += 1;
+            }
+        }
+        if let Some(pending) = self.pending_by_author.get_mut(&author) {
+            pending.retain(|&e| e != id);
+        }
+    }
+
+    /// Number of edits a peer currently has pending across all articles.
+    pub fn pending_edits_by(&self, author: PeerId) -> usize {
+        self.pending_by_author
+            .get(&author)
+            .map_or(0, |pending| pending.len())
+    }
+
+    /// Articles without a pending edit (candidates for a new edit).
+    pub fn editable_articles(&self) -> Vec<ArticleId> {
+        self.articles
+            .iter()
+            .filter(|a| a.pending_edit.is_none())
+            .map(|a| a.id)
+            .collect()
+    }
+
+    /// Counts of (accepted constructive, accepted destructive, declined
+    /// constructive, declined destructive) edits — the raw numbers behind
+    /// Figures 6 and 7.
+    pub fn edit_outcome_counts(&self) -> EditOutcomeCounts {
+        let mut counts = EditOutcomeCounts::default();
+        for edit in &self.edits {
+            match (edit.status, edit.kind) {
+                (EditStatus::Accepted, EditKind::Constructive) => counts.accepted_constructive += 1,
+                (EditStatus::Accepted, EditKind::Destructive) => counts.accepted_destructive += 1,
+                (EditStatus::Declined, EditKind::Constructive) => counts.declined_constructive += 1,
+                (EditStatus::Declined, EditKind::Destructive) => counts.declined_destructive += 1,
+                (EditStatus::Pending, _) => counts.pending += 1,
+            }
+        }
+        counts
+    }
+
+    /// Mean quality over all articles.
+    pub fn mean_quality(&self) -> f64 {
+        if self.articles.is_empty() {
+            return 1.0;
+        }
+        self.articles.iter().map(Article::quality).sum::<f64>() / self.articles.len() as f64
+    }
+}
+
+/// Aggregated edit outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EditOutcomeCounts {
+    /// Constructive edits accepted by the vote.
+    pub accepted_constructive: u64,
+    /// Destructive edits that slipped through the vote.
+    pub accepted_destructive: u64,
+    /// Constructive edits wrongly declined.
+    pub declined_constructive: u64,
+    /// Destructive edits correctly declined.
+    pub declined_destructive: u64,
+    /// Edits still awaiting a decision.
+    pub pending: u64,
+}
+
+impl EditOutcomeCounts {
+    /// Fraction of decided constructive edits that were accepted.
+    pub fn constructive_acceptance_rate(&self) -> f64 {
+        let total = self.accepted_constructive + self.declined_constructive;
+        if total == 0 {
+            0.0
+        } else {
+            self.accepted_constructive as f64 / total as f64
+        }
+    }
+
+    /// Fraction of decided destructive edits that were (wrongly) accepted.
+    pub fn destructive_acceptance_rate(&self) -> f64 {
+        let total = self.accepted_destructive + self.declined_destructive;
+        if total == 0 {
+            0.0
+        } else {
+            self.accepted_destructive as f64 / total as f64
+        }
+    }
+
+    /// Total number of decided edits.
+    pub fn decided(&self) -> u64 {
+        self.accepted_constructive
+            + self.accepted_destructive
+            + self.declined_constructive
+            + self.declined_destructive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_article_registers_creator_as_revision_author() {
+        let mut reg = ArticleRegistry::new();
+        let id = reg.create_article(PeerId(3), 7);
+        let article = reg.article(id);
+        assert_eq!(article.creator, PeerId(3));
+        assert_eq!(article.created_at, 7);
+        assert_eq!(article.revision_count(), 1);
+        assert!(article.is_successful_editor(PeerId(3)));
+        assert_eq!(article.quality(), 1.0);
+    }
+
+    #[test]
+    fn submit_and_accept_edit_extends_revision_history() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        let e = reg
+            .submit_edit(a, PeerId(1), EditKind::Constructive, 1)
+            .unwrap();
+        assert_eq!(reg.pending_edits_by(PeerId(1)), 1);
+        reg.resolve_edit(e, true, 2);
+        let article = reg.article(a);
+        assert_eq!(article.revision_count(), 2);
+        assert!(article.is_successful_editor(PeerId(1)));
+        assert_eq!(reg.edit(e).status, EditStatus::Accepted);
+        assert_eq!(reg.edit(e).decided_at, Some(2));
+        assert_eq!(reg.pending_edits_by(PeerId(1)), 0);
+    }
+
+    #[test]
+    fn declined_edit_does_not_extend_history() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        let e = reg
+            .submit_edit(a, PeerId(1), EditKind::Constructive, 1)
+            .unwrap();
+        reg.resolve_edit(e, false, 2);
+        assert_eq!(reg.article(a).revision_count(), 1);
+        assert!(!reg.article(a).is_successful_editor(PeerId(1)));
+        assert_eq!(reg.edit(e).status, EditStatus::Declined);
+    }
+
+    #[test]
+    fn only_one_pending_edit_per_article() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        let first = reg.submit_edit(a, PeerId(1), EditKind::Constructive, 1);
+        assert!(first.is_some());
+        let second = reg.submit_edit(a, PeerId(2), EditKind::Destructive, 1);
+        assert!(second.is_none());
+        reg.resolve_edit(first.unwrap(), true, 2);
+        assert!(reg
+            .submit_edit(a, PeerId(2), EditKind::Destructive, 3)
+            .is_some());
+    }
+
+    #[test]
+    fn accepted_destructive_edit_lowers_quality() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        let e = reg
+            .submit_edit(a, PeerId(1), EditKind::Destructive, 1)
+            .unwrap();
+        reg.resolve_edit(e, true, 2);
+        let article = reg.article(a);
+        assert_eq!(article.accepted_destructive, 1);
+        assert!(article.quality() < 1.0);
+        assert!((reg.mean_quality() - article.quality()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eligible_voters_are_past_authors_minus_editor() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        for peer in [1u32, 2, 1] {
+            let e = reg
+                .submit_edit(a, PeerId(peer), EditKind::Constructive, 1)
+                .unwrap();
+            reg.resolve_edit(e, true, 2);
+        }
+        let voters = reg.article(a).eligible_voters(PeerId(1));
+        assert_eq!(voters, vec![PeerId(0), PeerId(2)]);
+        let voters = reg.article(a).eligible_voters(PeerId(9));
+        assert_eq!(voters, vec![PeerId(0), PeerId(1), PeerId(2)]);
+    }
+
+    #[test]
+    fn editable_articles_excludes_pending() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        let b = reg.create_article(PeerId(0), 0);
+        reg.submit_edit(a, PeerId(1), EditKind::Constructive, 1);
+        assert_eq!(reg.editable_articles(), vec![b]);
+    }
+
+    #[test]
+    fn outcome_counts_and_rates() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        let e1 = reg
+            .submit_edit(a, PeerId(1), EditKind::Constructive, 1)
+            .unwrap();
+        reg.resolve_edit(e1, true, 2);
+        let e2 = reg
+            .submit_edit(a, PeerId(2), EditKind::Destructive, 3)
+            .unwrap();
+        reg.resolve_edit(e2, false, 4);
+        let e3 = reg
+            .submit_edit(a, PeerId(3), EditKind::Constructive, 5)
+            .unwrap();
+        reg.resolve_edit(e3, false, 6);
+        let b = reg.create_article(PeerId(0), 7);
+        reg.submit_edit(b, PeerId(4), EditKind::Destructive, 8);
+
+        let counts = reg.edit_outcome_counts();
+        assert_eq!(counts.accepted_constructive, 1);
+        assert_eq!(counts.declined_destructive, 1);
+        assert_eq!(counts.declined_constructive, 1);
+        assert_eq!(counts.pending, 1);
+        assert_eq!(counts.decided(), 3);
+        assert!((counts.constructive_acceptance_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(counts.destructive_acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_counts_rates_are_zero() {
+        let counts = EditOutcomeCounts::default();
+        assert_eq!(counts.constructive_acceptance_rate(), 0.0);
+        assert_eq!(counts.destructive_acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already resolved")]
+    fn double_resolution_panics() {
+        let mut reg = ArticleRegistry::new();
+        let a = reg.create_article(PeerId(0), 0);
+        let e = reg
+            .submit_edit(a, PeerId(1), EditKind::Constructive, 1)
+            .unwrap();
+        reg.resolve_edit(e, true, 2);
+        reg.resolve_edit(e, true, 3);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", ArticleId(4)), "article#4");
+        assert_eq!(EditKind::Constructive.label(), "constructive");
+        assert_eq!(EditKind::Destructive.label(), "destructive");
+    }
+}

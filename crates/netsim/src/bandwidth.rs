@@ -1,0 +1,337 @@
+//! Upload-bandwidth allocation among concurrent downloaders.
+//!
+//! This is the resource the incentive scheme differentiates: "if several
+//! peers want to download a file from the same source, they compete for the
+//! source's upload bandwidth" (Section III-C1). The allocator takes the set
+//! of download requests directed at one source in one time step and splits
+//! the source's offered upload bandwidth among them according to a policy:
+//!
+//! * [`AllocationPolicy::EqualSplit`] — the no-incentive baseline,
+//! * [`AllocationPolicy::WeightedByReputation`] — the paper's rule
+//!   `B_i = R_S^i / Σ_k R_S^k`,
+//! * [`AllocationPolicy::TitForTat`] — a BitTorrent-style direct-relation
+//!   policy: bandwidth is split proportionally to what the downloader has
+//!   previously uploaded *to this source* (the baseline the paper argues
+//!   cannot work for non-direct relations).
+//!
+//! Allocated bandwidth is additionally capped by each downloader's own
+//! download capacity; freed capacity is redistributed among the un-capped
+//! downloaders (water-filling), so the source's bandwidth is never wasted
+//! while any downloader could still use it.
+
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A request by `downloader` to download from a source during one step.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DownloadRequest {
+    /// The requesting peer.
+    pub downloader: PeerId,
+    /// The requester's sharing reputation `R_S` (used by the reputation
+    /// policy).
+    pub sharing_reputation: f64,
+    /// The requester's remaining download capacity this step.
+    pub download_capacity: f64,
+    /// Bandwidth this requester has historically uploaded to the source
+    /// (used by the tit-for-tat policy).
+    pub uploaded_to_source: f64,
+}
+
+/// How a source's upload bandwidth is divided among its downloaders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocationPolicy {
+    /// Every downloader gets an equal share (no incentive).
+    EqualSplit,
+    /// Shares proportional to sharing reputation (the paper's scheme).
+    WeightedByReputation,
+    /// Shares proportional to bandwidth previously uploaded to this source
+    /// (direct-relation tit-for-tat).
+    TitForTat,
+}
+
+/// One downloader's allocation result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// The downloader.
+    pub downloader: PeerId,
+    /// Fraction of the source's offered upload bandwidth granted
+    /// (before capacity capping).
+    pub share: f64,
+    /// Absolute bandwidth granted after capping by the downloader's
+    /// capacity and redistributing the excess.
+    pub bandwidth: f64,
+}
+
+/// The bandwidth allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BandwidthAllocator {
+    policy: AllocationPolicy,
+}
+
+impl BandwidthAllocator {
+    /// Creates an allocator with the given policy.
+    pub fn new(policy: AllocationPolicy) -> Self {
+        Self { policy }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> AllocationPolicy {
+        self.policy
+    }
+
+    /// Raw (pre-capacity) shares for a request set according to the policy.
+    /// Shares sum to 1 unless the request set is empty.
+    pub fn shares(&self, requests: &[DownloadRequest]) -> Vec<f64> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = match self.policy {
+            AllocationPolicy::EqualSplit => vec![1.0; requests.len()],
+            AllocationPolicy::WeightedByReputation => requests
+                .iter()
+                .map(|r| r.sharing_reputation.max(0.0))
+                .collect(),
+            AllocationPolicy::TitForTat => requests
+                .iter()
+                .map(|r| r.uploaded_to_source.max(0.0))
+                .collect(),
+        };
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            // Degenerate case (all-zero weights): fall back to equal split so
+            // the source's bandwidth is not wasted.
+            return vec![1.0 / requests.len() as f64; requests.len()];
+        }
+        weights.iter().map(|w| w / sum).collect()
+    }
+
+    /// Full allocation: splits `offered_upload` according to the policy,
+    /// caps each downloader at its capacity, and redistributes freed
+    /// bandwidth among the remaining downloaders (water-filling).
+    pub fn allocate(
+        &self,
+        offered_upload: f64,
+        requests: &[DownloadRequest],
+    ) -> Vec<Allocation> {
+        assert!(offered_upload >= 0.0, "offered upload must be >= 0");
+        let shares = self.shares(requests);
+        let mut allocations: Vec<Allocation> = requests
+            .iter()
+            .zip(shares.iter())
+            .map(|(r, &share)| Allocation {
+                downloader: r.downloader,
+                share,
+                bandwidth: 0.0,
+            })
+            .collect();
+        if requests.is_empty() || offered_upload <= 0.0 {
+            return allocations;
+        }
+
+        // Water-filling: repeatedly hand out bandwidth proportionally to the
+        // policy shares among downloaders that still have spare capacity.
+        let mut remaining_capacity: Vec<f64> =
+            requests.iter().map(|r| r.download_capacity.max(0.0)).collect();
+        let weights: Vec<f64> = shares.clone();
+        let mut budget = offered_upload;
+        for _ in 0..requests.len() {
+            let active_weight: f64 = weights
+                .iter()
+                .zip(remaining_capacity.iter())
+                .filter(|&(_, &cap)| cap > 1e-15)
+                .map(|(&w, _)| w)
+                .sum();
+            if budget <= 1e-15 || active_weight <= 1e-15 {
+                break;
+            }
+            let mut distributed = 0.0;
+            for i in 0..requests.len() {
+                if remaining_capacity[i] <= 1e-15 || weights[i] <= 0.0 {
+                    continue;
+                }
+                let offer = budget * weights[i] / active_weight;
+                let granted = offer.min(remaining_capacity[i]);
+                allocations[i].bandwidth += granted;
+                remaining_capacity[i] -= granted;
+                distributed += granted;
+            }
+            budget -= distributed;
+            if distributed <= 1e-15 {
+                break;
+            }
+        }
+        allocations
+    }
+
+    /// Convenience: allocation results keyed by downloader.
+    pub fn allocate_map(
+        &self,
+        offered_upload: f64,
+        requests: &[DownloadRequest],
+    ) -> HashMap<PeerId, Allocation> {
+        self.allocate(offered_upload, requests)
+            .into_iter()
+            .map(|a| (a.downloader, a))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u32, reputation: f64) -> DownloadRequest {
+        DownloadRequest {
+            downloader: PeerId(id),
+            sharing_reputation: reputation,
+            download_capacity: 1.0,
+            uploaded_to_source: 0.0,
+        }
+    }
+
+    #[test]
+    fn equal_split_ignores_reputation() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::EqualSplit);
+        let reqs = [request(0, 0.05), request(1, 0.9)];
+        let shares = alloc.shares(&reqs);
+        assert_eq!(shares, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn reputation_policy_matches_paper_formula() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::WeightedByReputation);
+        let reqs = [request(0, 0.1), request(1, 0.3), request(2, 0.6)];
+        let shares = alloc.shares(&reqs);
+        assert!((shares[0] - 0.1).abs() < 1e-12);
+        assert!((shares[1] - 0.3).abs() < 1e-12);
+        assert!((shares[2] - 0.6).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tit_for_tat_uses_direct_history() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::TitForTat);
+        let reqs = [
+            DownloadRequest {
+                downloader: PeerId(0),
+                sharing_reputation: 0.9, // ignored by TFT
+                download_capacity: 1.0,
+                uploaded_to_source: 0.0,
+            },
+            DownloadRequest {
+                downloader: PeerId(1),
+                sharing_reputation: 0.05,
+                download_capacity: 1.0,
+                uploaded_to_source: 3.0,
+            },
+        ];
+        let shares = alloc.shares(&reqs);
+        assert_eq!(shares[0], 0.0);
+        assert_eq!(shares[1], 1.0);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_equal_split() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::TitForTat);
+        let reqs = [request(0, 0.5), request(1, 0.5), request(2, 0.5)];
+        let shares = alloc.shares(&reqs);
+        for s in shares {
+            assert!((s - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn allocation_splits_offered_bandwidth() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::WeightedByReputation);
+        let reqs = [request(0, 0.25), request(1, 0.75)];
+        let result = alloc.allocate(1.0, &reqs);
+        assert!((result[0].bandwidth - 0.25).abs() < 1e-12);
+        assert!((result[1].bandwidth - 0.75).abs() < 1e-12);
+        let total: f64 = result.iter().map(|a| a.bandwidth).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_cap_redistributes_to_others() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::EqualSplit);
+        let reqs = [
+            DownloadRequest {
+                downloader: PeerId(0),
+                sharing_reputation: 0.5,
+                download_capacity: 0.1, // can only take 0.1
+                uploaded_to_source: 0.0,
+            },
+            DownloadRequest {
+                downloader: PeerId(1),
+                sharing_reputation: 0.5,
+                download_capacity: 1.0,
+                uploaded_to_source: 0.0,
+            },
+        ];
+        let result = alloc.allocate(1.0, &reqs);
+        assert!((result[0].bandwidth - 0.1).abs() < 1e-12);
+        assert!((result[1].bandwidth - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nothing_offered_allocates_nothing() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::EqualSplit);
+        let reqs = [request(0, 0.5)];
+        let result = alloc.allocate(0.0, &reqs);
+        assert_eq!(result[0].bandwidth, 0.0);
+    }
+
+    #[test]
+    fn empty_request_set_is_empty() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::EqualSplit);
+        assert!(alloc.allocate(1.0, &[]).is_empty());
+        assert!(alloc.shares(&[]).is_empty());
+    }
+
+    #[test]
+    fn total_never_exceeds_offer_or_capacity() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::WeightedByReputation);
+        let reqs = [
+            DownloadRequest {
+                downloader: PeerId(0),
+                sharing_reputation: 0.9,
+                download_capacity: 0.2,
+                uploaded_to_source: 0.0,
+            },
+            DownloadRequest {
+                downloader: PeerId(1),
+                sharing_reputation: 0.1,
+                download_capacity: 0.2,
+                uploaded_to_source: 0.0,
+            },
+        ];
+        let result = alloc.allocate(1.0, &reqs);
+        let total: f64 = result.iter().map(|a| a.bandwidth).sum();
+        assert!(total <= 0.4 + 1e-12);
+        for a in &result {
+            assert!(a.bandwidth <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn allocate_map_keys_by_downloader() {
+        let alloc = BandwidthAllocator::new(AllocationPolicy::EqualSplit);
+        let reqs = [request(7, 0.5), request(9, 0.5)];
+        let map = alloc.allocate_map(1.0, &reqs);
+        assert_eq!(map.len(), 2);
+        assert!(map.contains_key(&PeerId(7)));
+        assert!((map[&PeerId(9)].bandwidth - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_reputation_peer_beats_equal_split() {
+        // The incentive at work: with differentiation the contributor gets
+        // more than under the equal split, the free-rider less.
+        let reqs = [request(0, 0.05), request(1, 0.05), request(2, 0.9)];
+        let with = BandwidthAllocator::new(AllocationPolicy::WeightedByReputation).allocate(1.0, &reqs);
+        let without = BandwidthAllocator::new(AllocationPolicy::EqualSplit).allocate(1.0, &reqs);
+        assert!(with[2].bandwidth > without[2].bandwidth);
+        assert!(with[0].bandwidth < without[0].bandwidth);
+    }
+}

@@ -1,0 +1,206 @@
+//! Peer churn: joins, departures and whitewashing.
+//!
+//! The paper's simulation uses a fixed population of 100 peers, but its
+//! design discussion depends on churn: the minimum reputation `R_min` must
+//! be low enough that *whitewashing* — leaving and rejoining under a fresh
+//! identity to shed a bad reputation — does not pay off. The churn model
+//! generates join/leave/whitewash events per time step so the scheme can be
+//! exercised under a dynamic population, and so the whitewashing ablation
+//! has a concrete adversary to measure.
+
+use crate::peer::PeerId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChurnEvent {
+    /// A brand-new peer joins the network.
+    Join,
+    /// An existing peer goes offline.
+    Leave(PeerId),
+    /// An existing peer whitewashes: it leaves and immediately rejoins with
+    /// a fresh identity (the old identifier goes offline, a new one joins).
+    Whitewash(PeerId),
+}
+
+/// Per-step churn probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnModel {
+    /// Probability that a new peer joins in a given step.
+    pub join_probability: f64,
+    /// Per-peer probability of leaving in a given step.
+    pub leave_probability: f64,
+    /// Per-peer probability of whitewashing in a given step.
+    pub whitewash_probability: f64,
+}
+
+impl Default for ChurnModel {
+    fn default() -> Self {
+        // The paper's own simulation is churn-free; these defaults keep that
+        // behaviour unless an experiment opts in.
+        Self::stable()
+    }
+}
+
+impl ChurnModel {
+    /// No churn at all (the paper's setting).
+    pub fn stable() -> Self {
+        Self {
+            join_probability: 0.0,
+            leave_probability: 0.0,
+            whitewash_probability: 0.0,
+        }
+    }
+
+    /// A mild churn regime: occasional joins and departures.
+    pub fn mild() -> Self {
+        Self {
+            join_probability: 0.05,
+            leave_probability: 0.002,
+            whitewash_probability: 0.0,
+        }
+    }
+
+    /// An adversarial regime where free-riders whitewash aggressively.
+    pub fn whitewashing(probability: f64) -> Self {
+        Self {
+            join_probability: 0.0,
+            leave_probability: 0.0,
+            whitewash_probability: probability,
+        }
+    }
+
+    /// Validates the probability ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability lies outside `[0, 1]`.
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("join", self.join_probability),
+            ("leave", self.leave_probability),
+            ("whitewash", self.whitewash_probability),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} probability must lie in [0, 1], got {p}"
+            );
+        }
+    }
+
+    /// Whether this model produces no events at all.
+    pub fn is_stable(&self) -> bool {
+        self.join_probability == 0.0
+            && self.leave_probability == 0.0
+            && self.whitewash_probability == 0.0
+    }
+
+    /// Samples the churn events for one time step given the currently
+    /// online peers. At most one event per online peer plus at most one
+    /// join is generated per step.
+    pub fn sample_step<R: Rng + ?Sized>(
+        &self,
+        online_peers: &[PeerId],
+        rng: &mut R,
+    ) -> Vec<ChurnEvent> {
+        self.validate();
+        let mut events = Vec::new();
+        if self.is_stable() {
+            return events;
+        }
+        if rng.gen_bool(self.join_probability) {
+            events.push(ChurnEvent::Join);
+        }
+        for &peer in online_peers {
+            if self.whitewash_probability > 0.0 && rng.gen_bool(self.whitewash_probability) {
+                events.push(ChurnEvent::Whitewash(peer));
+            } else if self.leave_probability > 0.0 && rng.gen_bool(self.leave_probability) {
+                events.push(ChurnEvent::Leave(peer));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn peers(n: u32) -> Vec<PeerId> {
+        (0..n).map(PeerId).collect()
+    }
+
+    #[test]
+    fn stable_model_generates_nothing() {
+        let model = ChurnModel::stable();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(model.sample_step(&peers(50), &mut rng).is_empty());
+        }
+        assert!(model.is_stable());
+    }
+
+    #[test]
+    fn certain_leave_empties_the_network() {
+        let model = ChurnModel {
+            join_probability: 0.0,
+            leave_probability: 1.0,
+            whitewash_probability: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let events = model.sample_step(&peers(5), &mut rng);
+        assert_eq!(events.len(), 5);
+        assert!(events.iter().all(|e| matches!(e, ChurnEvent::Leave(_))));
+    }
+
+    #[test]
+    fn whitewash_takes_priority_over_leave() {
+        let model = ChurnModel {
+            join_probability: 0.0,
+            leave_probability: 1.0,
+            whitewash_probability: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let events = model.sample_step(&peers(4), &mut rng);
+        assert!(events.iter().all(|e| matches!(e, ChurnEvent::Whitewash(_))));
+    }
+
+    #[test]
+    fn joins_are_at_most_one_per_step() {
+        let model = ChurnModel {
+            join_probability: 1.0,
+            leave_probability: 0.0,
+            whitewash_probability: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let events = model.sample_step(&peers(10), &mut rng);
+        assert_eq!(events, vec![ChurnEvent::Join]);
+    }
+
+    #[test]
+    fn mild_model_event_rate_is_low() {
+        let model = ChurnModel::mild();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += model.sample_step(&peers(100), &mut rng).len();
+        }
+        // Expected ≈ 200 * (0.05 + 100*0.002) = 50; allow generous slack.
+        assert!(total > 10 && total < 120, "total events {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let model = ChurnModel {
+            join_probability: 1.5,
+            leave_probability: 0.0,
+            whitewash_probability: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        model.sample_step(&peers(1), &mut rng);
+    }
+}

@@ -1,0 +1,361 @@
+//! Key-based article location (a Kademlia-style XOR-metric lookup).
+//!
+//! The collaboration network is "fully decentralized": there is no central
+//! index mapping articles to the peers storing their replicas. This module
+//! provides the structured lookup substrate: every peer and every article is
+//! hashed into a 64-bit key space, article replicas are registered at the
+//! peers whose keys are closest (XOR metric) to the article key, and lookups
+//! walk greedily through the key space exactly like an iterative Kademlia
+//! `FIND_VALUE`. The routing table is the simplified "global view" variant —
+//! each peer knows a logarithmic sample of the population — which is
+//! sufficient for simulation purposes while preserving the lookup behaviour
+//! (O(log n) hops, locality by key distance).
+
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A key in the 64-bit DHT key space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DhtKey(pub u64);
+
+impl DhtKey {
+    /// XOR distance between two keys (the Kademlia metric).
+    pub fn distance(self, other: DhtKey) -> u64 {
+        self.0 ^ other.0
+    }
+
+    /// Deterministically hashes an arbitrary 64-bit identifier into the key
+    /// space (SplitMix64 finaliser — stable across platforms and runs).
+    pub fn from_id(id: u64) -> Self {
+        let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DhtKey(z ^ (z >> 31))
+    }
+
+    /// Key of a peer.
+    pub fn for_peer(peer: PeerId) -> Self {
+        Self::from_id(u64::from(peer.0) | 0x5045_4552_0000_0000) // "PEER" tag
+    }
+
+    /// Key of an article.
+    pub fn for_article(article: u32) -> Self {
+        Self::from_id(u64::from(article) | 0x4152_5400_0000_0000) // "ART" tag
+    }
+}
+
+/// Statistics of one lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupResult {
+    /// Peers holding a replica of the key, closest first.
+    pub holders: Vec<PeerId>,
+    /// Number of routing hops the iterative lookup took.
+    pub hops: usize,
+}
+
+/// The DHT: key space membership, replica registry, and routing tables.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dht {
+    /// Peers participating in the DHT with their keys.
+    members: Vec<(PeerId, DhtKey)>,
+    /// Routing table per peer: a subset of members used for iterative hops.
+    routing: HashMap<PeerId, Vec<PeerId>>,
+    /// Replica registry: key → peers storing a replica.
+    replicas: HashMap<DhtKey, HashSet<PeerId>>,
+    /// Replication factor (number of closest peers asked to store a value).
+    replication: usize,
+}
+
+impl Dht {
+    /// Creates an empty DHT with the given replication factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` is zero.
+    pub fn new(replication: usize) -> Self {
+        assert!(replication > 0, "replication factor must be positive");
+        Self {
+            replication,
+            ..Default::default()
+        }
+    }
+
+    /// Number of member peers.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the DHT has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Adds a peer to the DHT and (re)builds its routing table: each peer
+    /// keeps its `⌈log2 n⌉ + replication` closest members plus a spread of
+    /// exponentially spaced members for long hops.
+    pub fn join(&mut self, peer: PeerId) {
+        if self.members.iter().any(|&(p, _)| p == peer) {
+            return;
+        }
+        self.members.push((peer, DhtKey::for_peer(peer)));
+        self.rebuild_routing();
+    }
+
+    /// Removes a peer from the DHT (its replicas are dropped too).
+    pub fn leave(&mut self, peer: PeerId) {
+        self.members.retain(|&(p, _)| p != peer);
+        self.routing.remove(&peer);
+        for holders in self.replicas.values_mut() {
+            holders.remove(&peer);
+        }
+        self.rebuild_routing();
+    }
+
+    fn rebuild_routing(&mut self) {
+        self.routing.clear();
+        let n = self.members.len();
+        if n == 0 {
+            return;
+        }
+        let table_size = (usize::BITS - n.leading_zeros()) as usize + self.replication;
+        for &(peer, key) in &self.members {
+            let mut others: Vec<(u64, PeerId)> = self
+                .members
+                .iter()
+                .filter(|&&(p, _)| p != peer)
+                .map(|&(p, k)| (key.distance(k), p))
+                .collect();
+            others.sort_unstable();
+            let mut table: Vec<PeerId> =
+                others.iter().take(table_size).map(|&(_, p)| p).collect();
+            // Exponentially spaced far contacts for O(log n) routing.
+            let mut stride = table_size.max(1);
+            while stride < others.len() {
+                table.push(others[stride].1);
+                stride *= 2;
+            }
+            table.sort_unstable();
+            table.dedup();
+            self.routing.insert(peer, table);
+        }
+    }
+
+    /// The peers whose keys are closest to `key`, up to the replication
+    /// factor.
+    pub fn closest_peers(&self, key: DhtKey) -> Vec<PeerId> {
+        let mut members: Vec<(u64, PeerId)> = self
+            .members
+            .iter()
+            .map(|&(p, k)| (key.distance(k), p))
+            .collect();
+        members.sort_unstable();
+        members
+            .into_iter()
+            .take(self.replication)
+            .map(|(_, p)| p)
+            .collect()
+    }
+
+    /// Stores a value under `key`: the closest `replication` peers become
+    /// holders. Returns the holder set.
+    pub fn store(&mut self, key: DhtKey) -> Vec<PeerId> {
+        let holders = self.closest_peers(key);
+        self.replicas
+            .entry(key)
+            .or_default()
+            .extend(holders.iter().copied());
+        holders
+    }
+
+    /// Registers an explicit additional holder for a key (e.g. a peer that
+    /// downloaded the article and now seeds it).
+    pub fn add_holder(&mut self, key: DhtKey, peer: PeerId) {
+        self.replicas.entry(key).or_default().insert(peer);
+    }
+
+    /// Current holders of a key, unordered.
+    pub fn holders(&self, key: DhtKey) -> Vec<PeerId> {
+        self.replicas
+            .get(&key)
+            .map(|set| {
+                let mut v: Vec<PeerId> = set.iter().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Iterative greedy lookup starting from `origin`: at every hop the
+    /// query moves to the routing-table contact closest to the key, until no
+    /// contact is closer (Kademlia convergence). Returns the holders known
+    /// at the terminal peer's neighbourhood and the hop count.
+    pub fn lookup(&self, origin: PeerId, key: DhtKey) -> LookupResult {
+        let holders = self.holders(key);
+        if self.members.is_empty() {
+            return LookupResult { holders, hops: 0 };
+        }
+        let key_of = |peer: PeerId| {
+            self.members
+                .iter()
+                .find(|&&(p, _)| p == peer)
+                .map(|&(_, k)| k)
+                .unwrap_or_else(|| DhtKey::for_peer(peer))
+        };
+        let mut current = origin;
+        let mut current_distance = key_of(current).distance(key);
+        let mut hops = 0usize;
+        loop {
+            let Some(contacts) = self.routing.get(&current) else {
+                break;
+            };
+            let best = contacts
+                .iter()
+                .map(|&p| (key_of(p).distance(key), p))
+                .min();
+            match best {
+                Some((d, p)) if d < current_distance => {
+                    current = p;
+                    current_distance = d;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        LookupResult { holders, hops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dht_with(n: u32, replication: usize) -> Dht {
+        let mut d = Dht::new(replication);
+        for i in 0..n {
+            d.join(PeerId(i));
+        }
+        d
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let a = DhtKey::for_peer(PeerId(1));
+        let b = DhtKey::for_peer(PeerId(1));
+        let c = DhtKey::for_peer(PeerId(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(DhtKey::for_article(1), DhtKey::for_peer(PeerId(1)));
+    }
+
+    #[test]
+    fn xor_distance_properties() {
+        let a = DhtKey(0b1010);
+        let b = DhtKey(0b0110);
+        assert_eq!(a.distance(b), 0b1100);
+        assert_eq!(a.distance(a), 0);
+        assert_eq!(a.distance(b), b.distance(a));
+    }
+
+    #[test]
+    fn join_is_idempotent() {
+        let mut d = Dht::new(3);
+        d.join(PeerId(0));
+        d.join(PeerId(0));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn store_places_replication_factor_holders() {
+        let mut d = dht_with(20, 3);
+        let key = DhtKey::for_article(7);
+        let holders = d.store(key);
+        assert_eq!(holders.len(), 3);
+        assert_eq!(d.holders(key).len(), 3);
+        // Holders are exactly the closest peers.
+        assert_eq!(
+            holders.iter().copied().collect::<HashSet<_>>(),
+            d.closest_peers(key).into_iter().collect::<HashSet<_>>()
+        );
+    }
+
+    #[test]
+    fn small_population_stores_on_everyone() {
+        let mut d = dht_with(2, 5);
+        let holders = d.store(DhtKey::for_article(1));
+        assert_eq!(holders.len(), 2);
+    }
+
+    #[test]
+    fn add_holder_registers_seeders() {
+        let mut d = dht_with(5, 2);
+        let key = DhtKey::for_article(3);
+        d.store(key);
+        d.add_holder(key, PeerId(4));
+        assert!(d.holders(key).contains(&PeerId(4)));
+    }
+
+    #[test]
+    fn leave_drops_replicas_and_membership() {
+        let mut d = dht_with(6, 2);
+        let key = DhtKey::for_article(9);
+        let holders = d.store(key);
+        let victim = holders[0];
+        d.leave(victim);
+        assert_eq!(d.len(), 5);
+        assert!(!d.holders(key).contains(&victim));
+    }
+
+    #[test]
+    fn lookup_finds_holders_and_converges() {
+        let mut d = dht_with(64, 4);
+        let key = DhtKey::for_article(42);
+        d.store(key);
+        let result = d.lookup(PeerId(0), key);
+        assert_eq!(result.holders.len(), 4);
+        // With 64 peers the greedy walk should need only a handful of hops.
+        assert!(result.hops <= 8, "took {} hops", result.hops);
+    }
+
+    #[test]
+    fn lookup_hop_count_scales_sublinearly() {
+        let mut small = dht_with(16, 2);
+        let mut large = dht_with(256, 2);
+        let key = DhtKey::for_article(5);
+        small.store(key);
+        large.store(key);
+        let hops_small = (0..16)
+            .map(|i| small.lookup(PeerId(i), key).hops)
+            .max()
+            .unwrap();
+        let hops_large = (0..256)
+            .step_by(16)
+            .map(|i| large.lookup(PeerId(i), key).hops)
+            .max()
+            .unwrap();
+        // 16× more peers should cost far less than 16× more hops.
+        assert!(
+            hops_large <= hops_small * 4 + 4,
+            "small={hops_small} large={hops_large}"
+        );
+    }
+
+    #[test]
+    fn lookup_on_empty_dht_is_trivial() {
+        let d = Dht::new(2);
+        let res = d.lookup(PeerId(0), DhtKey::for_article(1));
+        assert!(res.holders.is_empty());
+        assert_eq!(res.hops, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn zero_replication_panics() {
+        let _ = Dht::new(0);
+    }
+}

@@ -1,0 +1,56 @@
+//! # collabsim-netsim
+//!
+//! The P2P collaboration-network substrate for the collabsim reproduction of
+//! Bocek et al. (IPDPS 2008). The paper's incentive scheme runs on top of a
+//! "large-scale, fully decentralized P2P collaboration network" in which
+//! peers share storage (articles), upload bandwidth, edits of articles and
+//! votes on edits. The authors do not publish their network substrate, so
+//! this crate builds one from scratch:
+//!
+//! * [`peer`] — peer identities and per-peer resource state (bandwidth,
+//!   storage, online status),
+//! * [`article`] — articles, revisions, pending edits and their life cycle,
+//! * [`overlay`] — the unstructured overlay graph connecting the peers
+//!   (random and Watts–Strogatz small-world topologies),
+//! * [`dht`] — a structured key-based article-location layer (XOR-metric
+//!   lookup à la Kademlia) realizing the "fully decentralized" storage of
+//!   article replicas,
+//! * [`bandwidth`] — upload-bandwidth allocation among concurrent
+//!   downloaders (the resource the incentive scheme differentiates),
+//! * [`transfer`] — multi-step download sessions driven by the allocator,
+//! * [`storage`] — per-peer article stores with capacity accounting and
+//!   replication bookkeeping,
+//! * [`churn`] — peer join/leave/whitewash dynamics,
+//! * [`clock`] — the discrete time-step clock shared by all components,
+//! * [`metrics`] — network-level counters (shared articles, shared
+//!   bandwidth, transfer completions) the evaluation reads out.
+//!
+//! The substrate is deliberately independent of the reputation/incentive
+//! layer: it exposes *mechanism* (who can upload how much to whom), while
+//! the `collabsim` core crate supplies *policy* (how bandwidth shares are
+//! differentiated, who may edit, how votes are weighted).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod article;
+pub mod bandwidth;
+pub mod churn;
+pub mod clock;
+pub mod dht;
+pub mod metrics;
+pub mod overlay;
+pub mod peer;
+pub mod storage;
+pub mod transfer;
+
+pub use article::{Article, ArticleId, ArticleRegistry, Edit, EditId, EditKind, EditStatus};
+pub use bandwidth::{AllocationPolicy, BandwidthAllocator, DownloadRequest};
+pub use churn::{ChurnEvent, ChurnModel};
+pub use clock::SimClock;
+pub use dht::{Dht, DhtKey};
+pub use metrics::NetworkMetrics;
+pub use overlay::{Overlay, Topology};
+pub use peer::{Peer, PeerId, PeerRegistry};
+pub use storage::ArticleStore;
+pub use transfer::{Transfer, TransferManager, TransferStatus};

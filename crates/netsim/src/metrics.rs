@@ -1,0 +1,225 @@
+//! Network-level metrics.
+//!
+//! The evaluation of the paper reports *percentages of shared files and
+//! bandwidth per user* (and per rational user), plus the constructive /
+//! destructive edit ratios. [`NetworkMetrics`] accumulates the per-step
+//! observations the simulation engine emits and computes those aggregates;
+//! it is deliberately dependency-free so the same sink can be filled from
+//! the incentive simulation, the baselines and the ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// A single peer's observation for one time step.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StepObservation {
+    /// Fraction of upload bandwidth the peer shared this step (0..=1).
+    pub shared_bandwidth_fraction: f64,
+    /// Fraction of its article capacity the peer offered this step (0..=1).
+    pub shared_articles_fraction: f64,
+    /// Bandwidth the peer received from downloads this step.
+    pub downloaded: f64,
+    /// Whether the peer attempted a constructive edit this step.
+    pub constructive_edit: bool,
+    /// Whether the peer attempted a destructive edit this step.
+    pub destructive_edit: bool,
+    /// Whether the peer cast a vote this step.
+    pub voted: bool,
+}
+
+/// Streaming mean helper.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+struct RunningMean {
+    sum: f64,
+    count: u64,
+}
+
+impl RunningMean {
+    fn push(&mut self, value: f64) {
+        self.sum += value;
+        self.count += 1;
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Aggregated network metrics over an observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    shared_bandwidth: RunningMean,
+    shared_articles: RunningMean,
+    downloaded: RunningMean,
+    constructive_edits: u64,
+    destructive_edits: u64,
+    votes: u64,
+    steps: u64,
+}
+
+impl NetworkMetrics {
+    /// Creates an empty metrics sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one peer-step observation.
+    pub fn record(&mut self, obs: &StepObservation) {
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&obs.shared_bandwidth_fraction));
+        debug_assert!((0.0..=1.0 + 1e-9).contains(&obs.shared_articles_fraction));
+        self.shared_bandwidth.push(obs.shared_bandwidth_fraction);
+        self.shared_articles.push(obs.shared_articles_fraction);
+        self.downloaded.push(obs.downloaded);
+        if obs.constructive_edit {
+            self.constructive_edits += 1;
+        }
+        if obs.destructive_edit {
+            self.destructive_edits += 1;
+        }
+        if obs.voted {
+            self.votes += 1;
+        }
+        self.steps += 1;
+    }
+
+    /// Merges another sink into this one (used when per-thread sinks are
+    /// combined after a parallel sweep).
+    pub fn merge(&mut self, other: &NetworkMetrics) {
+        self.shared_bandwidth.sum += other.shared_bandwidth.sum;
+        self.shared_bandwidth.count += other.shared_bandwidth.count;
+        self.shared_articles.sum += other.shared_articles.sum;
+        self.shared_articles.count += other.shared_articles.count;
+        self.downloaded.sum += other.downloaded.sum;
+        self.downloaded.count += other.downloaded.count;
+        self.constructive_edits += other.constructive_edits;
+        self.destructive_edits += other.destructive_edits;
+        self.votes += other.votes;
+        self.steps += other.steps;
+    }
+
+    /// Number of peer-step observations recorded.
+    pub fn observations(&self) -> u64 {
+        self.steps
+    }
+
+    /// Mean fraction of shared bandwidth per peer-step — the paper's
+    /// "percentage of shared bandwidth per user".
+    pub fn mean_shared_bandwidth(&self) -> f64 {
+        self.shared_bandwidth.mean()
+    }
+
+    /// Mean fraction of shared articles per peer-step — the paper's
+    /// "percentage of shared files per user".
+    pub fn mean_shared_articles(&self) -> f64 {
+        self.shared_articles.mean()
+    }
+
+    /// Mean downloaded bandwidth per peer-step.
+    pub fn mean_downloaded(&self) -> f64 {
+        self.downloaded.mean()
+    }
+
+    /// Total constructive edit attempts observed.
+    pub fn constructive_edits(&self) -> u64 {
+        self.constructive_edits
+    }
+
+    /// Total destructive edit attempts observed.
+    pub fn destructive_edits(&self) -> u64 {
+        self.destructive_edits
+    }
+
+    /// Total votes observed.
+    pub fn votes(&self) -> u64 {
+        self.votes
+    }
+
+    /// Fraction of edit attempts that were constructive (0 when no edits).
+    pub fn constructive_edit_fraction(&self) -> f64 {
+        let total = self.constructive_edits + self.destructive_edits;
+        if total == 0 {
+            0.0
+        } else {
+            self.constructive_edits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(bandwidth: f64, articles: f64) -> StepObservation {
+        StepObservation {
+            shared_bandwidth_fraction: bandwidth,
+            shared_articles_fraction: articles,
+            downloaded: 0.0,
+            constructive_edit: false,
+            destructive_edit: false,
+            voted: false,
+        }
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = NetworkMetrics::new();
+        assert_eq!(m.observations(), 0);
+        assert_eq!(m.mean_shared_bandwidth(), 0.0);
+        assert_eq!(m.mean_shared_articles(), 0.0);
+        assert_eq!(m.constructive_edit_fraction(), 0.0);
+    }
+
+    #[test]
+    fn means_average_over_observations() {
+        let mut m = NetworkMetrics::new();
+        m.record(&obs(1.0, 0.0));
+        m.record(&obs(0.0, 1.0));
+        m.record(&obs(0.5, 0.5));
+        assert_eq!(m.observations(), 3);
+        assert!((m.mean_shared_bandwidth() - 0.5).abs() < 1e-12);
+        assert!((m.mean_shared_articles() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edit_and_vote_counters() {
+        let mut m = NetworkMetrics::new();
+        m.record(&StepObservation {
+            constructive_edit: true,
+            voted: true,
+            ..obs(0.0, 0.0)
+        });
+        m.record(&StepObservation {
+            destructive_edit: true,
+            ..obs(0.0, 0.0)
+        });
+        m.record(&StepObservation {
+            constructive_edit: true,
+            ..obs(0.0, 0.0)
+        });
+        assert_eq!(m.constructive_edits(), 2);
+        assert_eq!(m.destructive_edits(), 1);
+        assert_eq!(m.votes(), 1);
+        assert!((m.constructive_edit_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_sinks() {
+        let mut a = NetworkMetrics::new();
+        a.record(&obs(1.0, 1.0));
+        let mut b = NetworkMetrics::new();
+        b.record(&obs(0.0, 0.0));
+        b.record(&StepObservation {
+            destructive_edit: true,
+            downloaded: 2.0,
+            ..obs(0.0, 0.0)
+        });
+        a.merge(&b);
+        assert_eq!(a.observations(), 3);
+        assert!((a.mean_shared_bandwidth() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.destructive_edits(), 1);
+        assert!((a.mean_downloaded() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

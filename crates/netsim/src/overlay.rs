@@ -1,0 +1,335 @@
+//! The unstructured overlay connecting the peers.
+//!
+//! A "fully decentralized" collaboration network needs some neighbourhood
+//! structure: peers learn about sources, gossip reputation values and route
+//! article lookups through their overlay neighbours. The paper does not fix
+//! a topology (its simulation lets every peer reach every other), so the
+//! overlay supports three options: a fully connected graph (the paper's
+//! implicit choice for 100 peers), an Erdős–Rényi random graph, and a
+//! Watts–Strogatz small-world ring — the latter two for scaling experiments
+//! beyond the paper.
+
+use crate::peer::PeerId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Overlay topology families.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every peer is a neighbour of every other peer.
+    FullMesh,
+    /// Erdős–Rényi: each undirected edge exists independently with
+    /// probability `p`.
+    Random {
+        /// Edge probability.
+        p: f64,
+    },
+    /// Watts–Strogatz: a ring lattice with `k` neighbours per side, each
+    /// edge rewired with probability `beta`.
+    SmallWorld {
+        /// Neighbours per side on the initial ring (total degree `2k`).
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+}
+
+/// An undirected overlay graph over a fixed peer population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Overlay {
+    peers: usize,
+    /// Adjacency lists, sorted, no self-loops, no duplicates.
+    neighbors: Vec<Vec<PeerId>>,
+    topology: Topology,
+}
+
+impl Overlay {
+    /// Builds an overlay over `peers` peers with the requested topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is zero or topology parameters are invalid.
+    pub fn build<R: Rng + ?Sized>(peers: usize, topology: Topology, rng: &mut R) -> Self {
+        assert!(peers > 0, "overlay needs at least one peer");
+        let mut neighbors = vec![Vec::new(); peers];
+        match topology {
+            Topology::FullMesh => {
+                for i in 0..peers {
+                    for j in 0..peers {
+                        if i != j {
+                            neighbors[i].push(PeerId(j as u32));
+                        }
+                    }
+                }
+            }
+            Topology::Random { p } => {
+                assert!((0.0..=1.0).contains(&p), "edge probability out of range");
+                for i in 0..peers {
+                    for j in (i + 1)..peers {
+                        if rng.gen_bool(p) {
+                            neighbors[i].push(PeerId(j as u32));
+                            neighbors[j].push(PeerId(i as u32));
+                        }
+                    }
+                }
+            }
+            Topology::SmallWorld { k, beta } => {
+                assert!(k >= 1, "small world needs k >= 1");
+                assert!((0.0..=1.0).contains(&beta), "beta out of range");
+                assert!(peers > 2 * k, "small world needs more than 2k peers");
+                // Ring lattice.
+                let mut edges: Vec<(usize, usize)> = Vec::new();
+                for i in 0..peers {
+                    for offset in 1..=k {
+                        let j = (i + offset) % peers;
+                        edges.push((i, j));
+                    }
+                }
+                // Rewire.
+                let finalized: Vec<(usize, usize)> = edges
+                    .iter()
+                    .map(|&(i, j)| {
+                        if rng.gen_bool(beta) {
+                            // Rewire the far endpoint to a uniformly random
+                            // peer that is neither i nor the current j.
+                            let mut candidates: Vec<usize> =
+                                (0..peers).filter(|&c| c != i && c != j).collect();
+                            candidates.shuffle(rng);
+                            (i, candidates[0])
+                        } else {
+                            (i, j)
+                        }
+                    })
+                    .collect();
+                for (i, j) in finalized {
+                    neighbors[i].push(PeerId(j as u32));
+                    neighbors[j].push(PeerId(i as u32));
+                }
+            }
+        }
+        for (i, list) in neighbors.iter_mut().enumerate() {
+            list.sort_unstable();
+            list.dedup();
+            list.retain(|p| p.index() != i);
+        }
+        Self {
+            peers,
+            neighbors,
+            topology,
+        }
+    }
+
+    /// Number of peers.
+    pub fn len(&self) -> usize {
+        self.peers
+    }
+
+    /// Always false; the constructor rejects empty overlays.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The topology this overlay was built with.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Neighbours of a peer, sorted by identifier.
+    pub fn neighbors(&self, peer: PeerId) -> &[PeerId] {
+        &self.neighbors[peer.index()]
+    }
+
+    /// Degree of a peer.
+    pub fn degree(&self, peer: PeerId) -> usize {
+        self.neighbors[peer.index()].len()
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether two peers are neighbours.
+    pub fn are_neighbors(&self, a: PeerId, b: PeerId) -> bool {
+        self.neighbors[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Breadth-first shortest path length (in hops) between two peers, or
+    /// `None` if they are disconnected.
+    pub fn hop_distance(&self, from: PeerId, to: PeerId) -> Option<usize> {
+        if from == to {
+            return Some(0);
+        }
+        let mut visited = vec![false; self.peers];
+        let mut queue = VecDeque::new();
+        visited[from.index()] = true;
+        queue.push_back((from, 0usize));
+        while let Some((node, dist)) = queue.pop_front() {
+            for &next in self.neighbors(node) {
+                if next == to {
+                    return Some(dist + 1);
+                }
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    queue.push_back((next, dist + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the overlay is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.peers <= 1 {
+            return true;
+        }
+        let mut visited = vec![false; self.peers];
+        let mut queue = VecDeque::new();
+        visited[0] = true;
+        queue.push_back(PeerId(0));
+        let mut seen = 1usize;
+        while let Some(node) = queue.pop_front() {
+            for &next in self.neighbors(node) {
+                if !visited[next.index()] {
+                    visited[next.index()] = true;
+                    seen += 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        seen == self.peers
+    }
+
+    /// Mean degree over all peers.
+    pub fn mean_degree(&self) -> f64 {
+        if self.peers == 0 {
+            return 0.0;
+        }
+        self.neighbors.iter().map(Vec::len).sum::<usize>() as f64 / self.peers as f64
+    }
+
+    /// A uniformly random neighbour of `peer`, if it has any.
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, peer: PeerId, rng: &mut R) -> Option<PeerId> {
+        self.neighbors(peer).choose(rng).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12)
+    }
+
+    #[test]
+    fn full_mesh_connects_everyone() {
+        let o = Overlay::build(10, Topology::FullMesh, &mut rng());
+        assert_eq!(o.len(), 10);
+        assert_eq!(o.edge_count(), 45);
+        assert!(o.is_connected());
+        for i in 0..10 {
+            assert_eq!(o.degree(PeerId(i)), 9);
+            assert!(!o.are_neighbors(PeerId(i), PeerId(i)));
+        }
+        assert_eq!(o.hop_distance(PeerId(0), PeerId(9)), Some(1));
+    }
+
+    #[test]
+    fn random_graph_extreme_probabilities() {
+        let empty = Overlay::build(8, Topology::Random { p: 0.0 }, &mut rng());
+        assert_eq!(empty.edge_count(), 0);
+        assert!(!empty.is_connected());
+        let full = Overlay::build(8, Topology::Random { p: 1.0 }, &mut rng());
+        assert_eq!(full.edge_count(), 28);
+        assert!(full.is_connected());
+    }
+
+    #[test]
+    fn random_graph_density_tracks_probability() {
+        let o = Overlay::build(60, Topology::Random { p: 0.3 }, &mut rng());
+        let possible = 60.0 * 59.0 / 2.0;
+        let density = o.edge_count() as f64 / possible;
+        assert!((density - 0.3).abs() < 0.06, "density {density}");
+    }
+
+    #[test]
+    fn small_world_without_rewiring_is_a_ring_lattice() {
+        let o = Overlay::build(
+            20,
+            Topology::SmallWorld { k: 2, beta: 0.0 },
+            &mut rng(),
+        );
+        assert!(o.is_connected());
+        for i in 0..20 {
+            assert_eq!(o.degree(PeerId(i)), 4, "peer {i}");
+        }
+        // Opposite peers on the ring are several hops apart.
+        assert!(o.hop_distance(PeerId(0), PeerId(10)).unwrap() >= 3);
+    }
+
+    #[test]
+    fn small_world_rewiring_shortens_paths_on_average() {
+        let ring = Overlay::build(
+            60,
+            Topology::SmallWorld { k: 2, beta: 0.0 },
+            &mut rng(),
+        );
+        let rewired = Overlay::build(
+            60,
+            Topology::SmallWorld { k: 2, beta: 0.3 },
+            &mut rng(),
+        );
+        let sample: Vec<(u32, u32)> = vec![(0, 30), (5, 35), (10, 40), (15, 45), (20, 50)];
+        let mean = |o: &Overlay| {
+            sample
+                .iter()
+                .filter_map(|&(a, b)| o.hop_distance(PeerId(a), PeerId(b)))
+                .map(|d| d as f64)
+                .sum::<f64>()
+                / sample.len() as f64
+        };
+        assert!(mean(&rewired) <= mean(&ring));
+    }
+
+    #[test]
+    fn hop_distance_handles_disconnected_and_self() {
+        let o = Overlay::build(4, Topology::Random { p: 0.0 }, &mut rng());
+        assert_eq!(o.hop_distance(PeerId(0), PeerId(0)), Some(0));
+        assert_eq!(o.hop_distance(PeerId(0), PeerId(3)), None);
+    }
+
+    #[test]
+    fn random_neighbor_is_a_neighbor() {
+        let o = Overlay::build(10, Topology::FullMesh, &mut rng());
+        let mut r = rng();
+        for _ in 0..20 {
+            let n = o.random_neighbor(PeerId(3), &mut r).unwrap();
+            assert!(o.are_neighbors(PeerId(3), n));
+        }
+        let lonely = Overlay::build(2, Topology::Random { p: 0.0 }, &mut rng());
+        assert!(lonely.random_neighbor(PeerId(0), &mut r).is_none());
+    }
+
+    #[test]
+    fn mean_degree_full_mesh() {
+        let o = Overlay::build(5, Topology::FullMesh, &mut rng());
+        assert!((o.mean_degree() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 2k")]
+    fn small_world_needs_enough_peers() {
+        let _ = Overlay::build(4, Topology::SmallWorld { k: 2, beta: 0.1 }, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_overlay_panics() {
+        let _ = Overlay::build(0, Topology::FullMesh, &mut rng());
+    }
+}

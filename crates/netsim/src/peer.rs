@@ -1,0 +1,342 @@
+//! Peer identities and per-peer resource state.
+//!
+//! The paper normalises every peer's download and upload bandwidth to 1 and
+//! every file size to 1 (Section III-D); peers choose per step how much of
+//! their bandwidth and how many of their files to share (0 %, 50 % or 100 %
+//! in the simulation model). [`Peer`] carries that resource state plus the
+//! online flag the churn model toggles; [`PeerRegistry`] owns the population
+//! and hands out dense [`PeerId`]s.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense peer identifier.
+///
+/// `PeerId`s are indices into the [`PeerRegistry`]; they stay stable for the
+/// lifetime of a simulation (whitewashing creates a *new* identity rather
+/// than reusing an old one, matching how real P2P identities work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    /// The identifier as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "peer#{}", self.0)
+    }
+}
+
+/// Per-peer resource state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Peer {
+    /// The peer's identifier.
+    pub id: PeerId,
+    /// Total upload bandwidth capacity (normalised to 1.0 in the paper).
+    pub upload_capacity: f64,
+    /// Total download bandwidth capacity (normalised to 1.0 in the paper).
+    pub download_capacity: f64,
+    /// Storage capacity in articles (the simulation uses 100).
+    pub storage_capacity: u32,
+    /// Fraction of upload bandwidth currently offered to the network (0..=1).
+    pub shared_upload_fraction: f64,
+    /// Number of articles currently offered for download.
+    pub shared_articles: u32,
+    /// Whether the peer is currently online.
+    pub online: bool,
+    /// Time step at which the peer joined the network.
+    pub joined_at: u64,
+}
+
+impl Peer {
+    /// Creates a peer with the paper's normalised capacities.
+    pub fn new(id: PeerId, joined_at: u64) -> Self {
+        Self {
+            id,
+            upload_capacity: 1.0,
+            download_capacity: 1.0,
+            storage_capacity: 100,
+            shared_upload_fraction: 0.0,
+            shared_articles: 0,
+            online: true,
+            joined_at,
+        }
+    }
+
+    /// Creates a peer with explicit capacities (heterogeneous-population
+    /// extension; the paper itself uses homogeneous peers).
+    pub fn with_capacities(
+        id: PeerId,
+        joined_at: u64,
+        upload_capacity: f64,
+        download_capacity: f64,
+        storage_capacity: u32,
+    ) -> Self {
+        assert!(upload_capacity >= 0.0, "upload capacity must be >= 0");
+        assert!(download_capacity >= 0.0, "download capacity must be >= 0");
+        Self {
+            id,
+            upload_capacity,
+            download_capacity,
+            storage_capacity,
+            shared_upload_fraction: 0.0,
+            shared_articles: 0,
+            online: true,
+            joined_at,
+        }
+    }
+
+    /// The absolute upload bandwidth the peer currently offers:
+    /// `shared_upload_fraction · upload_capacity`.
+    pub fn offered_upload(&self) -> f64 {
+        if self.online {
+            self.shared_upload_fraction * self.upload_capacity
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of storage currently used for shared articles.
+    pub fn storage_utilisation(&self) -> f64 {
+        if self.storage_capacity == 0 {
+            0.0
+        } else {
+            f64::from(self.shared_articles) / f64::from(self.storage_capacity)
+        }
+    }
+
+    /// Whether the peer currently offers anything for download.
+    pub fn is_sharing(&self) -> bool {
+        self.online && (self.shared_articles > 0 || self.offered_upload() > 0.0)
+    }
+
+    /// Sets the shared upload fraction, clamped to `[0, 1]`.
+    pub fn set_shared_upload_fraction(&mut self, fraction: f64) {
+        self.shared_upload_fraction = fraction.clamp(0.0, 1.0);
+    }
+
+    /// Sets the number of shared articles, clamped to the storage capacity.
+    pub fn set_shared_articles(&mut self, count: u32) {
+        self.shared_articles = count.min(self.storage_capacity);
+    }
+}
+
+/// The population of peers.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PeerRegistry {
+    peers: Vec<Peer>,
+}
+
+impl PeerRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry pre-populated with `count` homogeneous peers that
+    /// joined at time step 0.
+    pub fn with_population(count: usize) -> Self {
+        let mut registry = Self::new();
+        for _ in 0..count {
+            registry.join(0);
+        }
+        registry
+    }
+
+    /// Number of peers ever registered (including offline ones).
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Adds a new peer joining at `now` and returns its identifier.
+    pub fn join(&mut self, now: u64) -> PeerId {
+        let id = PeerId(u32::try_from(self.peers.len()).expect("too many peers"));
+        self.peers.push(Peer::new(id, now));
+        id
+    }
+
+    /// Adds a new peer with explicit capacities.
+    pub fn join_with_capacities(
+        &mut self,
+        now: u64,
+        upload_capacity: f64,
+        download_capacity: f64,
+        storage_capacity: u32,
+    ) -> PeerId {
+        let id = PeerId(u32::try_from(self.peers.len()).expect("too many peers"));
+        self.peers.push(Peer::with_capacities(
+            id,
+            now,
+            upload_capacity,
+            download_capacity,
+            storage_capacity,
+        ));
+        id
+    }
+
+    /// Immutable access to a peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer does not exist.
+    pub fn peer(&self, id: PeerId) -> &Peer {
+        &self.peers[id.index()]
+    }
+
+    /// Mutable access to a peer.
+    pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        &mut self.peers[id.index()]
+    }
+
+    /// Iterator over all peers.
+    pub fn iter(&self) -> impl Iterator<Item = &Peer> {
+        self.peers.iter()
+    }
+
+    /// Iterator over all currently online peers.
+    pub fn online(&self) -> impl Iterator<Item = &Peer> {
+        self.peers.iter().filter(|p| p.online)
+    }
+
+    /// Identifiers of all peers currently offering at least one article or
+    /// some upload bandwidth — the set `N_S` whose size determines the
+    /// per-step download probability `P = 1 / N_S` in the simulation model.
+    pub fn sharing_peers(&self) -> Vec<PeerId> {
+        self.peers
+            .iter()
+            .filter(|p| p.is_sharing())
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Marks a peer offline (churn).
+    pub fn set_online(&mut self, id: PeerId, online: bool) {
+        self.peers[id.index()].online = online;
+    }
+
+    /// Average shared upload fraction over online peers (a headline metric
+    /// of the paper's Figures 3–5).
+    pub fn mean_shared_upload_fraction(&self) -> f64 {
+        let online: Vec<_> = self.online().collect();
+        if online.is_empty() {
+            return 0.0;
+        }
+        online.iter().map(|p| p.shared_upload_fraction).sum::<f64>() / online.len() as f64
+    }
+
+    /// Average storage utilisation over online peers.
+    pub fn mean_storage_utilisation(&self) -> f64 {
+        let online: Vec<_> = self.online().collect();
+        if online.is_empty() {
+            return 0.0;
+        }
+        online.iter().map(|p| p.storage_utilisation()).sum::<f64>() / online.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_assigns_dense_ids() {
+        let mut r = PeerRegistry::new();
+        assert!(r.is_empty());
+        let a = r.join(0);
+        let b = r.join(5);
+        assert_eq!(a, PeerId(0));
+        assert_eq!(b, PeerId(1));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.peer(b).joined_at, 5);
+    }
+
+    #[test]
+    fn default_capacities_match_paper_normalisation() {
+        let p = Peer::new(PeerId(0), 0);
+        assert_eq!(p.upload_capacity, 1.0);
+        assert_eq!(p.download_capacity, 1.0);
+        assert_eq!(p.storage_capacity, 100);
+        assert!(p.online);
+        assert!(!p.is_sharing());
+    }
+
+    #[test]
+    fn offered_upload_scales_with_fraction() {
+        let mut p = Peer::new(PeerId(0), 0);
+        p.set_shared_upload_fraction(0.5);
+        assert_eq!(p.offered_upload(), 0.5);
+        p.online = false;
+        assert_eq!(p.offered_upload(), 0.0);
+    }
+
+    #[test]
+    fn shared_upload_fraction_is_clamped() {
+        let mut p = Peer::new(PeerId(0), 0);
+        p.set_shared_upload_fraction(1.7);
+        assert_eq!(p.shared_upload_fraction, 1.0);
+        p.set_shared_upload_fraction(-0.3);
+        assert_eq!(p.shared_upload_fraction, 0.0);
+    }
+
+    #[test]
+    fn shared_articles_clamped_to_capacity() {
+        let mut p = Peer::new(PeerId(0), 0);
+        p.set_shared_articles(250);
+        assert_eq!(p.shared_articles, 100);
+        assert_eq!(p.storage_utilisation(), 1.0);
+        p.set_shared_articles(50);
+        assert_eq!(p.storage_utilisation(), 0.5);
+    }
+
+    #[test]
+    fn sharing_peers_listed_correctly() {
+        let mut r = PeerRegistry::with_population(4);
+        r.peer_mut(PeerId(1)).set_shared_articles(10);
+        r.peer_mut(PeerId(2)).set_shared_upload_fraction(0.5);
+        r.peer_mut(PeerId(3)).set_shared_articles(10);
+        r.set_online(PeerId(3), false);
+        let sharing = r.sharing_peers();
+        assert_eq!(sharing, vec![PeerId(1), PeerId(2)]);
+    }
+
+    #[test]
+    fn mean_metrics_ignore_offline_peers() {
+        let mut r = PeerRegistry::with_population(3);
+        r.peer_mut(PeerId(0)).set_shared_upload_fraction(1.0);
+        r.peer_mut(PeerId(1)).set_shared_upload_fraction(0.0);
+        r.peer_mut(PeerId(2)).set_shared_upload_fraction(1.0);
+        r.set_online(PeerId(2), false);
+        assert!((r.mean_shared_upload_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_metrics_empty_registry() {
+        let r = PeerRegistry::new();
+        assert_eq!(r.mean_shared_upload_fraction(), 0.0);
+        assert_eq!(r.mean_storage_utilisation(), 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_capacities() {
+        let mut r = PeerRegistry::new();
+        let id = r.join_with_capacities(0, 2.0, 4.0, 10);
+        let p = r.peer(id);
+        assert_eq!(p.upload_capacity, 2.0);
+        assert_eq!(p.download_capacity, 4.0);
+        assert_eq!(p.storage_capacity, 10);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", PeerId(7)), "peer#7");
+    }
+}

@@ -1,0 +1,267 @@
+//! Per-peer article stores and replication bookkeeping.
+//!
+//! Sharing storage space is one of the two "classic" resources of the
+//! collaboration network (next to bandwidth): a peer decides how many of the
+//! articles it holds to offer for download, and the network as a whole needs
+//! every article to stay available even though individual peers churn.
+//! [`ArticleStore`] tracks which peer holds which article replicas and how
+//! many it currently *offers*, and computes the availability metrics the
+//! experiments report.
+
+use crate::article::ArticleId;
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Replica placement and offering state across the population.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArticleStore {
+    /// peer → articles it physically holds.
+    held: HashMap<PeerId, HashSet<ArticleId>>,
+    /// peer → articles it currently offers for download (subset of held).
+    offered: HashMap<PeerId, HashSet<ArticleId>>,
+    /// article → peers holding it (inverse index).
+    holders: HashMap<ArticleId, HashSet<PeerId>>,
+}
+
+impl ArticleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `peer` holds a replica of `article`.
+    pub fn add_replica(&mut self, peer: PeerId, article: ArticleId) {
+        self.held.entry(peer).or_default().insert(article);
+        self.holders.entry(article).or_default().insert(peer);
+    }
+
+    /// Removes `peer`'s replica of `article` (also stops offering it).
+    pub fn remove_replica(&mut self, peer: PeerId, article: ArticleId) {
+        if let Some(set) = self.held.get_mut(&peer) {
+            set.remove(&article);
+        }
+        if let Some(set) = self.offered.get_mut(&peer) {
+            set.remove(&article);
+        }
+        if let Some(set) = self.holders.get_mut(&article) {
+            set.remove(&peer);
+        }
+    }
+
+    /// Drops every replica held by `peer` (the peer left the network).
+    pub fn drop_peer(&mut self, peer: PeerId) {
+        if let Some(articles) = self.held.remove(&peer) {
+            for article in articles {
+                if let Some(set) = self.holders.get_mut(&article) {
+                    set.remove(&peer);
+                }
+            }
+        }
+        self.offered.remove(&peer);
+    }
+
+    /// Number of replicas `peer` holds.
+    pub fn held_count(&self, peer: PeerId) -> usize {
+        self.held.get(&peer).map_or(0, HashSet::len)
+    }
+
+    /// Number of replicas `peer` currently offers.
+    pub fn offered_count(&self, peer: PeerId) -> usize {
+        self.offered.get(&peer).map_or(0, HashSet::len)
+    }
+
+    /// Whether `peer` holds `article`.
+    pub fn holds(&self, peer: PeerId, article: ArticleId) -> bool {
+        self.held.get(&peer).is_some_and(|set| set.contains(&article))
+    }
+
+    /// Whether `peer` currently offers `article`.
+    pub fn offers(&self, peer: PeerId, article: ArticleId) -> bool {
+        self.offered
+            .get(&peer)
+            .is_some_and(|set| set.contains(&article))
+    }
+
+    /// Sets how many of its held articles `peer` offers: the first
+    /// `count` articles in identifier order are offered (a deterministic
+    /// stand-in for "the peer picks which files to share"). Returns the
+    /// number actually offered (bounded by what the peer holds).
+    pub fn set_offered_count(&mut self, peer: PeerId, count: usize) -> usize {
+        let mut held: Vec<ArticleId> = self
+            .held
+            .get(&peer)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        held.sort_unstable();
+        let offered: HashSet<ArticleId> = held.into_iter().take(count).collect();
+        let n = offered.len();
+        self.offered.insert(peer, offered);
+        n
+    }
+
+    /// Articles currently offered by `peer`, sorted.
+    pub fn offered_by(&self, peer: PeerId) -> Vec<ArticleId> {
+        let mut articles: Vec<ArticleId> = self
+            .offered
+            .get(&peer)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        articles.sort_unstable();
+        articles
+    }
+
+    /// Peers currently offering `article`, sorted.
+    pub fn offering_peers(&self, article: ArticleId) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> = self
+            .holders
+            .get(&article)
+            .map(|holders| {
+                holders
+                    .iter()
+                    .copied()
+                    .filter(|&p| self.offers(p, article))
+                    .collect()
+            })
+            .unwrap_or_default();
+        peers.sort_unstable();
+        peers
+    }
+
+    /// Peers holding `article` (offering or not), sorted.
+    pub fn holding_peers(&self, article: ArticleId) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> = self
+            .holders
+            .get(&article)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default();
+        peers.sort_unstable();
+        peers
+    }
+
+    /// Replication factor of an article (number of holders).
+    pub fn replication(&self, article: ArticleId) -> usize {
+        self.holders.get(&article).map_or(0, HashSet::len)
+    }
+
+    /// Fraction of the given articles that have at least one *offering*
+    /// holder — the availability metric.
+    pub fn availability(&self, articles: &[ArticleId]) -> f64 {
+        if articles.is_empty() {
+            return 1.0;
+        }
+        let available = articles
+            .iter()
+            .filter(|&&a| !self.offering_peers(a).is_empty())
+            .count();
+        available as f64 / articles.len() as f64
+    }
+
+    /// Total number of offered replicas across the network.
+    pub fn total_offered(&self) -> usize {
+        self.offered.values().map(HashSet::len).sum()
+    }
+
+    /// Total number of held replicas across the network.
+    pub fn total_held(&self) -> usize {
+        self.held.values().map(HashSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(n: u32) -> Vec<ArticleId> {
+        (0..n).map(ArticleId).collect()
+    }
+
+    #[test]
+    fn add_and_query_replicas() {
+        let mut s = ArticleStore::new();
+        s.add_replica(PeerId(0), ArticleId(1));
+        s.add_replica(PeerId(0), ArticleId(2));
+        s.add_replica(PeerId(1), ArticleId(1));
+        assert_eq!(s.held_count(PeerId(0)), 2);
+        assert!(s.holds(PeerId(1), ArticleId(1)));
+        assert!(!s.holds(PeerId(1), ArticleId(2)));
+        assert_eq!(s.replication(ArticleId(1)), 2);
+        assert_eq!(s.holding_peers(ArticleId(1)), vec![PeerId(0), PeerId(1)]);
+        assert_eq!(s.total_held(), 3);
+    }
+
+    #[test]
+    fn offering_is_a_subset_of_holding() {
+        let mut s = ArticleStore::new();
+        for a in ids(5) {
+            s.add_replica(PeerId(0), a);
+        }
+        let offered = s.set_offered_count(PeerId(0), 3);
+        assert_eq!(offered, 3);
+        assert_eq!(s.offered_count(PeerId(0)), 3);
+        assert!(s.offers(PeerId(0), ArticleId(0)));
+        assert!(!s.offers(PeerId(0), ArticleId(4)));
+        // Requesting more than held clamps.
+        assert_eq!(s.set_offered_count(PeerId(0), 99), 5);
+    }
+
+    #[test]
+    fn set_offered_zero_withdraws_everything() {
+        let mut s = ArticleStore::new();
+        s.add_replica(PeerId(0), ArticleId(0));
+        s.set_offered_count(PeerId(0), 1);
+        assert_eq!(s.total_offered(), 1);
+        s.set_offered_count(PeerId(0), 0);
+        assert_eq!(s.total_offered(), 0);
+        assert_eq!(s.offering_peers(ArticleId(0)), Vec::<PeerId>::new());
+    }
+
+    #[test]
+    fn remove_replica_updates_both_indexes() {
+        let mut s = ArticleStore::new();
+        s.add_replica(PeerId(0), ArticleId(0));
+        s.set_offered_count(PeerId(0), 1);
+        s.remove_replica(PeerId(0), ArticleId(0));
+        assert_eq!(s.held_count(PeerId(0)), 0);
+        assert_eq!(s.replication(ArticleId(0)), 0);
+        assert!(!s.offers(PeerId(0), ArticleId(0)));
+    }
+
+    #[test]
+    fn drop_peer_removes_all_its_replicas() {
+        let mut s = ArticleStore::new();
+        for a in ids(3) {
+            s.add_replica(PeerId(0), a);
+            s.add_replica(PeerId(1), a);
+        }
+        s.drop_peer(PeerId(0));
+        assert_eq!(s.held_count(PeerId(0)), 0);
+        for a in ids(3) {
+            assert_eq!(s.replication(a), 1);
+        }
+    }
+
+    #[test]
+    fn availability_counts_only_offered_articles() {
+        let mut s = ArticleStore::new();
+        let articles = ids(4);
+        s.add_replica(PeerId(0), articles[0]);
+        s.add_replica(PeerId(0), articles[1]);
+        s.add_replica(PeerId(1), articles[2]);
+        s.set_offered_count(PeerId(0), 2);
+        // articles[2] held but not offered; articles[3] nowhere at all.
+        assert!((s.availability(&articles) - 0.5).abs() < 1e-12);
+        assert_eq!(s.availability(&[]), 1.0);
+    }
+
+    #[test]
+    fn offering_peers_sorted_and_filtered() {
+        let mut s = ArticleStore::new();
+        s.add_replica(PeerId(2), ArticleId(7));
+        s.add_replica(PeerId(0), ArticleId(7));
+        s.add_replica(PeerId(1), ArticleId(7));
+        s.set_offered_count(PeerId(2), 1);
+        s.set_offered_count(PeerId(0), 1);
+        assert_eq!(s.offering_peers(ArticleId(7)), vec![PeerId(0), PeerId(2)]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Multi-step download sessions.
+//!
+//! The paper normalises file sizes to 1 and bandwidth to 1, so a peer
+//! receiving the full upload bandwidth of a source finishes a download in a
+//! single time step, while a peer receiving only a fraction needs several
+//! steps. [`TransferManager`] tracks in-flight transfers, applies the
+//! per-step bandwidth grants produced by the allocator, and reports
+//! completions — the completion latency distribution is how service
+//! differentiation becomes visible to the downloading peers.
+
+use crate::article::ArticleId;
+use crate::peer::PeerId;
+use serde::{Deserialize, Serialize};
+
+/// Status of a transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferStatus {
+    /// Still transferring.
+    InProgress,
+    /// All bytes received.
+    Completed,
+    /// Cancelled (source went offline or withdrew the article).
+    Cancelled,
+}
+
+/// A single article download by one peer from one source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Unique transfer identifier.
+    pub id: u64,
+    /// The downloading peer.
+    pub downloader: PeerId,
+    /// The source peer.
+    pub source: PeerId,
+    /// The article being transferred.
+    pub article: ArticleId,
+    /// Total size (1.0 in the paper's normalisation).
+    pub size: f64,
+    /// Amount received so far.
+    pub received: f64,
+    /// Step at which the transfer started.
+    pub started_at: u64,
+    /// Step at which it completed or was cancelled.
+    pub finished_at: Option<u64>,
+    /// Current status.
+    pub status: TransferStatus,
+}
+
+impl Transfer {
+    /// Fraction of the article received so far.
+    pub fn progress(&self) -> f64 {
+        if self.size <= 0.0 {
+            1.0
+        } else {
+            (self.received / self.size).min(1.0)
+        }
+    }
+
+    /// Number of steps the transfer took (only meaningful once finished).
+    pub fn duration(&self) -> Option<u64> {
+        self.finished_at.map(|end| end.saturating_sub(self.started_at))
+    }
+}
+
+/// Manager for all in-flight and historical transfers.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TransferManager {
+    transfers: Vec<Transfer>,
+}
+
+impl TransferManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts a new transfer of a unit-size article and returns its id.
+    pub fn start(
+        &mut self,
+        downloader: PeerId,
+        source: PeerId,
+        article: ArticleId,
+        now: u64,
+    ) -> u64 {
+        self.start_sized(downloader, source, article, 1.0, now)
+    }
+
+    /// Starts a transfer with an explicit size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not positive.
+    pub fn start_sized(
+        &mut self,
+        downloader: PeerId,
+        source: PeerId,
+        article: ArticleId,
+        size: f64,
+        now: u64,
+    ) -> u64 {
+        assert!(size > 0.0, "transfer size must be positive");
+        let id = self.transfers.len() as u64;
+        self.transfers.push(Transfer {
+            id,
+            downloader,
+            source,
+            article,
+            size,
+            received: 0.0,
+            started_at: now,
+            finished_at: None,
+            status: TransferStatus::InProgress,
+        });
+        id
+    }
+
+    /// Access to a transfer by id.
+    pub fn transfer(&self, id: u64) -> &Transfer {
+        &self.transfers[id as usize]
+    }
+
+    /// All transfers (any status).
+    pub fn all(&self) -> &[Transfer] {
+        &self.transfers
+    }
+
+    /// Identifiers of in-progress transfers, optionally filtered by source.
+    pub fn in_progress(&self, source: Option<PeerId>) -> Vec<u64> {
+        self.transfers
+            .iter()
+            .filter(|t| t.status == TransferStatus::InProgress)
+            .filter(|t| source.is_none_or(|s| t.source == s))
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Applies a bandwidth grant to a transfer for the current step; marks
+    /// it completed when the full size has been received. Returns the new
+    /// status.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grant is negative or the transfer is not in progress.
+    pub fn apply_grant(&mut self, id: u64, bandwidth: f64, now: u64) -> TransferStatus {
+        assert!(bandwidth >= 0.0, "bandwidth grant must be >= 0");
+        let t = &mut self.transfers[id as usize];
+        assert_eq!(
+            t.status,
+            TransferStatus::InProgress,
+            "grant applied to a finished transfer"
+        );
+        t.received += bandwidth;
+        if t.received + 1e-12 >= t.size {
+            t.received = t.size;
+            t.status = TransferStatus::Completed;
+            t.finished_at = Some(now);
+        }
+        t.status
+    }
+
+    /// Cancels an in-progress transfer (no effect if already finished).
+    pub fn cancel(&mut self, id: u64, now: u64) {
+        let t = &mut self.transfers[id as usize];
+        if t.status == TransferStatus::InProgress {
+            t.status = TransferStatus::Cancelled;
+            t.finished_at = Some(now);
+        }
+    }
+
+    /// Number of completed transfers.
+    pub fn completed_count(&self) -> usize {
+        self.transfers
+            .iter()
+            .filter(|t| t.status == TransferStatus::Completed)
+            .count()
+    }
+
+    /// Mean duration (in steps) of completed transfers.
+    pub fn mean_completion_steps(&self) -> f64 {
+        let durations: Vec<u64> = self
+            .transfers
+            .iter()
+            .filter(|t| t.status == TransferStatus::Completed)
+            .filter_map(Transfer::duration)
+            .collect();
+        if durations.is_empty() {
+            return 0.0;
+        }
+        durations.iter().sum::<u64>() as f64 / durations.len() as f64
+    }
+
+    /// Total bandwidth delivered to a downloader over all its transfers.
+    pub fn total_received_by(&self, downloader: PeerId) -> f64 {
+        self.transfers
+            .iter()
+            .filter(|t| t.downloader == downloader)
+            .map(|t| t.received)
+            .sum()
+    }
+
+    /// Total bandwidth served by a source over all its transfers.
+    pub fn total_served_by(&self, source: PeerId) -> f64 {
+        self.transfers
+            .iter()
+            .filter(|t| t.source == source)
+            .map(|t| t.received)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_transfer_completes_with_full_bandwidth() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 10);
+        assert_eq!(m.transfer(id).progress(), 0.0);
+        let status = m.apply_grant(id, 1.0, 10);
+        assert_eq!(status, TransferStatus::Completed);
+        assert_eq!(m.transfer(id).duration(), Some(0));
+        assert_eq!(m.completed_count(), 1);
+    }
+
+    #[test]
+    fn partial_grants_accumulate_over_steps() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        assert_eq!(m.apply_grant(id, 0.3, 0), TransferStatus::InProgress);
+        assert_eq!(m.apply_grant(id, 0.3, 1), TransferStatus::InProgress);
+        assert!((m.transfer(id).progress() - 0.6).abs() < 1e-12);
+        assert_eq!(m.apply_grant(id, 0.4, 2), TransferStatus::Completed);
+        assert_eq!(m.transfer(id).duration(), Some(2));
+        assert!((m.mean_completion_steps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_bandwidth_share_means_longer_download() {
+        // Service differentiation in action: the low-reputation downloader's
+        // 0.1 share takes 10 steps; the high-reputation one's 0.9 takes 2.
+        let mut m = TransferManager::new();
+        let slow = m.start(PeerId(0), PeerId(9), ArticleId(0), 0);
+        let fast = m.start(PeerId(1), PeerId(9), ArticleId(0), 0);
+        let mut now = 0;
+        while m.transfer(fast).status == TransferStatus::InProgress {
+            m.apply_grant(fast, 0.9, now);
+            m.apply_grant(slow, 0.1, now);
+            now += 1;
+        }
+        while m.transfer(slow).status == TransferStatus::InProgress {
+            m.apply_grant(slow, 0.1, now);
+            now += 1;
+        }
+        assert!(m.transfer(slow).duration().unwrap() > m.transfer(fast).duration().unwrap());
+    }
+
+    #[test]
+    fn cancel_stops_a_transfer() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.cancel(id, 3);
+        assert_eq!(m.transfer(id).status, TransferStatus::Cancelled);
+        assert_eq!(m.transfer(id).finished_at, Some(3));
+        // Cancel after completion is a no-op.
+        let done = m.start(PeerId(0), PeerId(1), ArticleId(1), 4);
+        m.apply_grant(done, 1.0, 4);
+        m.cancel(done, 5);
+        assert_eq!(m.transfer(done).status, TransferStatus::Completed);
+    }
+
+    #[test]
+    fn in_progress_filter_by_source() {
+        let mut m = TransferManager::new();
+        let a = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        let b = m.start(PeerId(0), PeerId(2), ArticleId(1), 0);
+        let c = m.start(PeerId(3), PeerId(1), ArticleId(2), 0);
+        m.apply_grant(a, 1.0, 0);
+        assert_eq!(m.in_progress(None), vec![b, c]);
+        assert_eq!(m.in_progress(Some(PeerId(1))), vec![c]);
+    }
+
+    #[test]
+    fn totals_by_peer() {
+        let mut m = TransferManager::new();
+        let a = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        let b = m.start(PeerId(0), PeerId(2), ArticleId(1), 0);
+        m.apply_grant(a, 0.5, 0);
+        m.apply_grant(b, 0.25, 0);
+        assert!((m.total_received_by(PeerId(0)) - 0.75).abs() < 1e-12);
+        assert!((m.total_served_by(PeerId(1)) - 0.5).abs() < 1e-12);
+        assert_eq!(m.total_served_by(PeerId(9)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finished transfer")]
+    fn grant_after_completion_panics() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.apply_grant(id, 1.0, 0);
+        m.apply_grant(id, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn zero_size_transfer_panics() {
+        let mut m = TransferManager::new();
+        m.start_sized(PeerId(0), PeerId(1), ArticleId(0), 0.0, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Attack scenario generators for the reputation system.
+//!
+//! The paper motivates its `R_min` choice with whitewashing ("a high R_min
+//! provides incentives for whitewashing the identity") and cites the known
+//! collusion weakness of EigenTrust ("peers can boost their reputation score
+//! by simply uploading some files to a highly reputable peer"). These
+//! generators build trust graphs and ledger workloads exhibiting those
+//! attacks so the propagation substrates and the incentive scheme can be
+//! stress-tested; the `abl2_propagation_attacks` bench reports how each
+//! substrate ranks attackers versus honest peers.
+
+use crate::propagation::TrustGraph;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Description of a synthetic attack scenario over a peer population.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AttackScenario {
+    /// Total number of peers.
+    pub peers: usize,
+    /// Indices of the attacking peers.
+    pub attackers: Vec<usize>,
+    /// Human-readable name of the attack.
+    pub name: String,
+}
+
+impl AttackScenario {
+    /// Indices of the honest peers.
+    pub fn honest(&self) -> Vec<usize> {
+        (0..self.peers)
+            .filter(|i| !self.attackers.contains(i))
+            .collect()
+    }
+
+    /// Whether a peer is an attacker.
+    pub fn is_attacker(&self, peer: usize) -> bool {
+        self.attackers.contains(&peer)
+    }
+}
+
+/// Builds an honest baseline trust graph: every peer has transacted with a
+/// random subset of others and assigned them trust proportional to the
+/// (synthetic) volume of successful transactions.
+pub fn honest_graph<R: Rng + ?Sized>(peers: usize, density: f64, rng: &mut R) -> TrustGraph {
+    assert!(peers > 1, "need at least two peers");
+    assert!((0.0..=1.0).contains(&density), "density must lie in [0, 1]");
+    let mut graph = TrustGraph::new(peers);
+    for i in 0..peers {
+        for j in 0..peers {
+            if i != j && rng.gen_bool(density) {
+                graph.set_trust(i, j, rng.gen_range(1.0..10.0));
+            }
+        }
+    }
+    graph
+}
+
+/// **Collusion clique**: the last `clique_size` peers assign each other
+/// `boost` trust while receiving (almost) none from honest peers. Returns
+/// the modified graph and the scenario description.
+pub fn collusion_clique<R: Rng + ?Sized>(
+    peers: usize,
+    clique_size: usize,
+    boost: f64,
+    density: f64,
+    rng: &mut R,
+) -> (TrustGraph, AttackScenario) {
+    assert!(clique_size < peers, "clique must be a strict subset");
+    assert!(clique_size >= 2, "a clique needs at least two members");
+    let honest_count = peers - clique_size;
+    let mut graph = TrustGraph::new(peers);
+    // Honest sub-network.
+    for i in 0..honest_count {
+        for j in 0..honest_count {
+            if i != j && rng.gen_bool(density) {
+                graph.set_trust(i, j, rng.gen_range(1.0..10.0));
+            }
+        }
+    }
+    // Clique members boost each other.
+    let attackers: Vec<usize> = (honest_count..peers).collect();
+    for &a in &attackers {
+        for &b in &attackers {
+            if a != b {
+                graph.set_trust(a, b, boost);
+            }
+        }
+    }
+    // Attackers also praise one honest peer to look legitimate (the
+    // EigenTrust "upload to a reputable peer" trick in reverse direction
+    // happens below via the tricked edge).
+    for &a in &attackers {
+        graph.set_trust(a, 0, boost / 10.0);
+    }
+    // One honest peer has been tricked into a small amount of trust towards
+    // the first attacker.
+    graph.set_trust(0, attackers[0], 0.5);
+    (
+        graph,
+        AttackScenario {
+            peers,
+            attackers,
+            name: "collusion-clique".to_string(),
+        },
+    )
+}
+
+/// **Whitewashing**: a free-rider repeatedly discards its identity. In ledger
+/// terms the attacker's contribution history is reset every `lifetime`
+/// steps; in trust-graph terms it never accumulates incoming trust. Returns
+/// the step indices at which the attacker re-joins with a fresh identity
+/// over a horizon of `total_steps`.
+pub fn whitewashing_schedule(total_steps: usize, lifetime: usize) -> Vec<usize> {
+    assert!(lifetime > 0, "lifetime must be positive");
+    (0..total_steps).step_by(lifetime).collect()
+}
+
+/// Expected advantage of whitewashing: with newcomer reputation `r_min` and
+/// a reputation function that would have decayed a free-rider's reputation
+/// to `r_decayed` by the end of its identity lifetime, whitewashing pays off
+/// whenever `r_min > r_decayed`. The paper keeps `R_min` low (0.05) exactly
+/// to keep this margin small.
+pub fn whitewashing_gain(r_min: f64, r_decayed: f64) -> f64 {
+    r_min - r_decayed
+}
+
+/// **Reputation milking**: an attacker behaves well until it reaches a target
+/// reputation, then free-rides until its reputation decays back to the
+/// newcomer level, and repeats. Returns the synthetic contribution sequence
+/// (one entry per step: `true` = contribute, `false` = free-ride).
+pub fn milking_schedule(total_steps: usize, build_steps: usize, milk_steps: usize) -> Vec<bool> {
+    assert!(build_steps > 0 && milk_steps > 0, "phases must be non-empty");
+    let mut out = Vec::with_capacity(total_steps);
+    let cycle = build_steps + milk_steps;
+    for t in 0..total_steps {
+        out.push(t % cycle < build_steps);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagation::eigentrust::EigenTrust;
+    use crate::propagation::maxflow::MaxFlowTrust;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn honest_graph_density_zero_and_one() {
+        let empty = honest_graph(5, 0.0, &mut rng());
+        assert_eq!(empty.edge_count(), 0);
+        let full = honest_graph(5, 1.0, &mut rng());
+        assert_eq!(full.edge_count(), 20);
+    }
+
+    #[test]
+    fn collusion_scenario_classifies_peers() {
+        let (graph, scenario) = collusion_clique(10, 3, 100.0, 0.5, &mut rng());
+        assert_eq!(scenario.attackers, vec![7, 8, 9]);
+        assert_eq!(scenario.honest().len(), 7);
+        assert!(scenario.is_attacker(8));
+        assert!(!scenario.is_attacker(0));
+        assert!(graph.trust(7, 8) > graph.trust(0, 7));
+    }
+
+    #[test]
+    fn maxflow_bounds_colluders_better_than_undamped_eigentrust() {
+        let (graph, scenario) = collusion_clique(12, 4, 500.0, 0.6, &mut rng());
+        let honest_observer = 1usize;
+
+        // EigenTrust without damping: clique retains substantial mass.
+        let et = EigenTrust::new(0.0, vec![]).compute(&graph);
+        let clique_mass_et: f64 = scenario.attackers.iter().map(|&a| et.values[a]).sum();
+
+        // MaxFlow from an honest observer: clique bounded by the 0.5 cut.
+        let mf = MaxFlowTrust::new();
+        let max_honest_flow = scenario
+            .honest()
+            .iter()
+            .filter(|&&p| p != honest_observer)
+            .map(|&p| mf.max_trust(&graph, honest_observer, p))
+            .fold(0.0f64, f64::max);
+        let max_attacker_flow = scenario
+            .attackers
+            .iter()
+            .map(|&a| mf.max_trust(&graph, honest_observer, a))
+            .fold(0.0f64, f64::max);
+
+        assert!(
+            max_attacker_flow < max_honest_flow,
+            "max-flow should rank honest peers above colluders: {max_attacker_flow} vs {max_honest_flow}"
+        );
+        assert!(
+            clique_mass_et > 0.01,
+            "undamped EigenTrust should leak non-trivial mass to the clique ({clique_mass_et})"
+        );
+    }
+
+    #[test]
+    fn whitewashing_schedule_steps() {
+        assert_eq!(whitewashing_schedule(10, 3), vec![0, 3, 6, 9]);
+        assert_eq!(whitewashing_schedule(5, 10), vec![0]);
+    }
+
+    #[test]
+    fn whitewashing_gain_is_small_with_paper_rmin() {
+        // With R_min = 0.05 and an idle reputation that decays to the same
+        // minimum, whitewashing provides no advantage.
+        assert_eq!(whitewashing_gain(0.05, 0.05), 0.0);
+        // With a generous R_min it would.
+        assert!(whitewashing_gain(0.5, 0.05) > 0.0);
+    }
+
+    #[test]
+    fn milking_schedule_alternates_phases() {
+        let s = milking_schedule(10, 3, 2);
+        assert_eq!(
+            s,
+            vec![true, true, true, false, false, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strict subset")]
+    fn clique_cannot_cover_everyone() {
+        let _ = collusion_clique(4, 4, 10.0, 0.5, &mut rng());
+    }
+}

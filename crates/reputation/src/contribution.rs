@@ -1,0 +1,362 @@
+//! Contribution-value accounting (Section III-B of the paper).
+//!
+//! Two contribution values are tracked per peer:
+//!
+//! * `C_S(a, b) = α_S · S_articles + β_S · S_bandwidth − d_S` for sharing,
+//!   where `S_articles` are the actually shared articles, `S_bandwidth` the
+//!   actually shared bandwidth, and `d_S` a decay term that lowers the
+//!   contribution of inactive peers,
+//! * `C_E(v, e) = α_E · S_votes + β_E · S_edits − d_E` for editing/voting,
+//!   where only *successful* votes (cast with the majority) and *accepted*
+//!   edits count.
+//!
+//! The decay is applied per time step of inactivity in the respective
+//! resource class; contribution values never drop below zero (the paper
+//! defines `C ≥ 0`).
+
+use serde::{Deserialize, Serialize};
+
+/// Weights and decay constants of the two contribution values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContributionParams {
+    /// `α_S`: weight of shared articles.
+    pub alpha_s: f64,
+    /// `β_S`: weight of shared bandwidth.
+    pub beta_s: f64,
+    /// `d_S`: per-step decay of the sharing contribution while inactive.
+    pub decay_s: f64,
+    /// `α_E`: weight of successful votes.
+    pub alpha_e: f64,
+    /// `β_E`: weight of accepted edits.
+    pub beta_e: f64,
+    /// `d_E`: per-step decay of the editing contribution while inactive.
+    pub decay_e: f64,
+}
+
+impl Default for ContributionParams {
+    fn default() -> Self {
+        // The paper gives the example "α_S = 1 and β_S = 2 means that
+        // sharing bandwidth is twice as valuable as offering articles"; we
+        // keep both classes symmetric by default and use a small decay so
+        // idle peers slowly lose reputation.
+        Self {
+            alpha_s: 1.0,
+            beta_s: 2.0,
+            decay_s: 0.05,
+            alpha_e: 1.0,
+            beta_e: 2.0,
+            decay_e: 0.05,
+        }
+    }
+}
+
+impl ContributionParams {
+    /// Validates that all weights are positive and decays non-negative.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters.
+    pub fn validate(&self) {
+        assert!(self.alpha_s > 0.0, "alpha_s must be positive");
+        assert!(self.beta_s > 0.0, "beta_s must be positive");
+        assert!(self.alpha_e > 0.0, "alpha_e must be positive");
+        assert!(self.beta_e > 0.0, "beta_e must be positive");
+        assert!(self.decay_s >= 0.0, "decay_s must be non-negative");
+        assert!(self.decay_e >= 0.0, "decay_e must be non-negative");
+    }
+}
+
+/// One time step's worth of sharing activity for a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SharingAction {
+    /// Number of articles the peer offers for download this step.
+    pub shared_articles: f64,
+    /// Fraction of upload bandwidth the peer shares this step (0..=1 in the
+    /// normalised model, but any non-negative amount is accepted).
+    pub shared_bandwidth: f64,
+}
+
+impl SharingAction {
+    /// Whether the peer shared anything at all this step.
+    pub fn is_active(&self) -> bool {
+        self.shared_articles > 0.0 || self.shared_bandwidth > 0.0
+    }
+}
+
+/// One time step's worth of editing/voting outcomes for a peer.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EditingAction {
+    /// Number of votes cast with the eventual majority this step.
+    pub successful_votes: u32,
+    /// Number of edits accepted by a majority vote this step.
+    pub accepted_edits: u32,
+    /// Whether the peer attempted any edit or vote this step (successful or
+    /// not) — attempts keep the decay from applying even when they fail.
+    pub attempted: bool,
+}
+
+impl EditingAction {
+    /// Whether the peer did anything in the editing/voting class this step.
+    pub fn is_active(&self) -> bool {
+        self.attempted || self.successful_votes > 0 || self.accepted_edits > 0
+    }
+}
+
+/// Running contribution values for a single peer.
+///
+/// The sharing contribution is a *level*: it equals the weighted amount the
+/// peer currently shares and decays only while the peer is inactive. The
+/// editing contribution is cumulative (successful votes and accepted edits
+/// are events, not a holding), also decaying while inactive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContributionTracker {
+    params: ContributionParams,
+    sharing: f64,
+    editing: f64,
+    /// Cumulative raw counters, useful for metrics and tests.
+    total_articles: f64,
+    total_bandwidth: f64,
+    total_votes: u64,
+    total_edits: u64,
+}
+
+impl ContributionTracker {
+    /// Creates a tracker with zero contribution.
+    pub fn new(params: ContributionParams) -> Self {
+        params.validate();
+        Self {
+            params,
+            sharing: 0.0,
+            editing: 0.0,
+            total_articles: 0.0,
+            total_bandwidth: 0.0,
+            total_votes: 0,
+            total_edits: 0,
+        }
+    }
+
+    /// Current sharing contribution `C_S`.
+    pub fn sharing(&self) -> f64 {
+        self.sharing
+    }
+
+    /// Current editing/voting contribution `C_E`.
+    pub fn editing(&self) -> f64 {
+        self.editing
+    }
+
+    /// Cumulative number of articles ever shared (step-weighted).
+    pub fn total_articles(&self) -> f64 {
+        self.total_articles
+    }
+
+    /// Cumulative bandwidth ever shared (step-weighted).
+    pub fn total_bandwidth(&self) -> f64 {
+        self.total_bandwidth
+    }
+
+    /// Cumulative successful votes.
+    pub fn total_votes(&self) -> u64 {
+        self.total_votes
+    }
+
+    /// Cumulative accepted edits.
+    pub fn total_edits(&self) -> u64 {
+        self.total_edits
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &ContributionParams {
+        &self.params
+    }
+
+    /// Records one time step of sharing activity.
+    ///
+    /// The paper defines `C_S` as a function of the *actually shared*
+    /// articles and bandwidth, so an active step sets the contribution to
+    /// the weighted level `α_S · S_articles + β_S · S_bandwidth`; an
+    /// inactive step (nothing shared) decays the previous level by `d_S`,
+    /// never below zero.
+    pub fn record_sharing(&mut self, action: &SharingAction) {
+        debug_assert!(action.shared_articles >= 0.0 && action.shared_bandwidth >= 0.0);
+        if action.is_active() {
+            self.sharing = self.params.alpha_s * action.shared_articles
+                + self.params.beta_s * action.shared_bandwidth;
+            self.total_articles += action.shared_articles;
+            self.total_bandwidth += action.shared_bandwidth;
+        } else {
+            self.sharing = (self.sharing - self.params.decay_s).max(0.0);
+        }
+    }
+
+    /// Records one time step of editing/voting outcomes. Inactive steps
+    /// decay the editing contribution by `d_E`.
+    pub fn record_editing(&mut self, action: &EditingAction) {
+        if action.is_active() {
+            self.editing += self.params.alpha_e * f64::from(action.successful_votes)
+                + self.params.beta_e * f64::from(action.accepted_edits);
+            self.total_votes += u64::from(action.successful_votes);
+            self.total_edits += u64::from(action.accepted_edits);
+        } else {
+            self.editing = (self.editing - self.params.decay_e).max(0.0);
+        }
+    }
+
+    /// Resets both contribution values to zero (used by the punishment
+    /// policy and by the phase switch of the simulation, which "resets the
+    /// reputation values but the agents keep their Q-Matrices").
+    pub fn reset(&mut self) {
+        self.sharing = 0.0;
+        self.editing = 0.0;
+    }
+
+    /// Resets only the sharing contribution (malicious-editor punishment
+    /// sets `R_S = R_S^min`, i.e. `C_S = 0`).
+    pub fn reset_sharing(&mut self) {
+        self.sharing = 0.0;
+    }
+
+    /// Resets only the editing contribution.
+    pub fn reset_editing(&mut self) {
+        self.editing = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> ContributionTracker {
+        ContributionTracker::new(ContributionParams::default())
+    }
+
+    #[test]
+    fn sharing_contribution_is_weighted_sum() {
+        let mut t = tracker();
+        t.record_sharing(&SharingAction {
+            shared_articles: 50.0,
+            shared_bandwidth: 0.5,
+        });
+        // alpha_s=1, beta_s=2.
+        assert!((t.sharing() - (50.0 + 1.0)).abs() < 1e-12);
+        assert_eq!(t.editing(), 0.0);
+    }
+
+    #[test]
+    fn editing_contribution_is_weighted_sum() {
+        let mut t = tracker();
+        t.record_editing(&EditingAction {
+            successful_votes: 3,
+            accepted_edits: 2,
+            attempted: true,
+        });
+        // alpha_e=1, beta_e=2.
+        assert!((t.editing() - (3.0 + 4.0)).abs() < 1e-12);
+        assert_eq!(t.total_votes(), 3);
+        assert_eq!(t.total_edits(), 2);
+    }
+
+    #[test]
+    fn inactivity_decays_but_never_negative() {
+        let mut t = tracker();
+        t.record_sharing(&SharingAction {
+            shared_articles: 0.0,
+            shared_bandwidth: 0.08,
+        });
+        let after_share = t.sharing();
+        assert!((after_share - 0.16).abs() < 1e-12);
+        // Several inactive steps: decay 0.05 each, floored at zero.
+        for _ in 0..10 {
+            t.record_sharing(&SharingAction::default());
+        }
+        assert_eq!(t.sharing(), 0.0);
+    }
+
+    #[test]
+    fn failed_attempts_do_not_increase_but_prevent_decay() {
+        let mut t = tracker();
+        t.record_editing(&EditingAction {
+            successful_votes: 1,
+            accepted_edits: 0,
+            attempted: true,
+        });
+        let before = t.editing();
+        // An unsuccessful attempt: active, but adds nothing.
+        t.record_editing(&EditingAction {
+            successful_votes: 0,
+            accepted_edits: 0,
+            attempted: true,
+        });
+        assert_eq!(t.editing(), before);
+        // A fully inactive step decays.
+        t.record_editing(&EditingAction::default());
+        assert!(t.editing() < before);
+    }
+
+    #[test]
+    fn cumulative_totals_track_all_activity() {
+        let mut t = tracker();
+        for _ in 0..4 {
+            t.record_sharing(&SharingAction {
+                shared_articles: 100.0,
+                shared_bandwidth: 1.0,
+            });
+        }
+        assert_eq!(t.total_articles(), 400.0);
+        assert_eq!(t.total_bandwidth(), 4.0);
+    }
+
+    #[test]
+    fn reset_clears_contributions_but_not_totals() {
+        let mut t = tracker();
+        t.record_sharing(&SharingAction {
+            shared_articles: 10.0,
+            shared_bandwidth: 1.0,
+        });
+        t.record_editing(&EditingAction {
+            successful_votes: 1,
+            accepted_edits: 1,
+            attempted: true,
+        });
+        t.reset();
+        assert_eq!(t.sharing(), 0.0);
+        assert_eq!(t.editing(), 0.0);
+        assert_eq!(t.total_articles(), 10.0);
+        assert_eq!(t.total_edits(), 1);
+    }
+
+    #[test]
+    fn partial_resets_target_one_class() {
+        let mut t = tracker();
+        t.record_sharing(&SharingAction {
+            shared_articles: 10.0,
+            shared_bandwidth: 0.0,
+        });
+        t.record_editing(&EditingAction {
+            successful_votes: 2,
+            accepted_edits: 0,
+            attempted: true,
+        });
+        t.reset_sharing();
+        assert_eq!(t.sharing(), 0.0);
+        assert!(t.editing() > 0.0);
+        t.reset_editing();
+        assert_eq!(t.editing(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_weight_doubles_article_weight_by_default() {
+        let params = ContributionParams::default();
+        assert_eq!(params.beta_s, 2.0 * params.alpha_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha_s")]
+    fn invalid_params_panic() {
+        let params = ContributionParams {
+            alpha_s: 0.0,
+            ..Default::default()
+        };
+        let _ = ContributionTracker::new(params);
+    }
+}

@@ -1,0 +1,207 @@
+//! Gossip-based reputation averaging.
+//!
+//! A lightweight, fully decentralized propagation baseline: every peer holds
+//! an estimate vector of everyone's reputation (initialised from its own
+//! local trust) and repeatedly averages it with a random neighbour's
+//! estimate. After enough rounds all estimates converge to the global mean
+//! of the initial local opinions — the classic push–pull gossip averaging
+//! result. It is cheaper than EigenTrust and trivially decentralized, but it
+//! has no damping, so it is the *least* collusion-resistant of the three
+//! propagation substrates; the `abl2` bench quantifies that.
+
+use super::{GlobalReputation, TrustGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gossip-averaging configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GossipAveraging {
+    /// Number of gossip rounds; in each round every peer contacts one random
+    /// partner and both replace their estimates by the pairwise average.
+    pub rounds: usize,
+    /// Convergence tolerance: if the maximum disagreement between any two
+    /// peers' estimates drops below this, gossip stops early.
+    pub tolerance: f64,
+}
+
+impl Default for GossipAveraging {
+    fn default() -> Self {
+        Self {
+            rounds: 200,
+            tolerance: 1e-9,
+        }
+    }
+}
+
+impl GossipAveraging {
+    /// Creates a gossip-averaging instance with the given round budget.
+    pub fn new(rounds: usize) -> Self {
+        Self {
+            rounds,
+            ..Default::default()
+        }
+    }
+
+    /// Runs gossip averaging over the local opinions encoded in the trust
+    /// graph. Peer `i`'s initial opinion about peer `j` is its normalised
+    /// local trust `c_ij`; the converged estimate approaches the column mean
+    /// of the normalised trust matrix, i.e. "what the average peer thinks of
+    /// `j`".
+    pub fn compute<R: Rng + ?Sized>(&self, graph: &TrustGraph, rng: &mut R) -> GlobalReputation {
+        let n = graph.len();
+        // estimates[i] = peer i's current estimate vector of everyone.
+        let mut estimates: Vec<Vec<f64>> = (0..n).map(|i| graph.normalized_row(i)).collect();
+        if n == 1 {
+            return GlobalReputation {
+                values: vec![1.0],
+                iterations: 0,
+                converged: true,
+            };
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut iterations = 0;
+        let mut converged = false;
+        for _ in 0..self.rounds {
+            iterations += 1;
+            order.shuffle(rng);
+            for &i in &order {
+                // Pick a random partner other than i.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                for k in 0..n {
+                    let avg = 0.5 * (estimates[i][k] + estimates[j][k]);
+                    estimates[i][k] = avg;
+                    estimates[j][k] = avg;
+                }
+            }
+            if self.max_disagreement(&estimates) < self.tolerance {
+                converged = true;
+                break;
+            }
+        }
+        // Aggregate: any peer's estimate works once converged; average them
+        // for robustness mid-convergence.
+        let mut values = vec![0.0; n];
+        for est in &estimates {
+            for (k, &v) in est.iter().enumerate() {
+                values[k] += v / n as f64;
+            }
+        }
+        let sum: f64 = values.iter().sum();
+        if sum > 0.0 {
+            values.iter_mut().for_each(|v| *v /= sum);
+        }
+        GlobalReputation {
+            values,
+            iterations,
+            converged,
+        }
+    }
+
+    fn max_disagreement(&self, estimates: &[Vec<f64>]) -> f64 {
+        let n = estimates.len();
+        let mut max = 0.0f64;
+        for k in 0..n {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for est in estimates {
+                lo = lo.min(est[k]);
+                hi = hi.max(est[k]);
+            }
+            max = max.max(hi - lo);
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn single_peer_graph_is_trivial() {
+        let g = TrustGraph::new(1);
+        let rep = GossipAveraging::default().compute(&g, &mut rng());
+        assert_eq!(rep.values, vec![1.0]);
+        assert!(rep.converged);
+    }
+
+    #[test]
+    fn values_form_a_probability_distribution() {
+        let mut g = TrustGraph::new(5);
+        for i in 0..5 {
+            for j in 0..5 {
+                if i != j {
+                    g.set_trust(i, j, (i + 2 * j + 1) as f64);
+                }
+            }
+        }
+        let rep = GossipAveraging::default().compute(&g, &mut rng());
+        assert!((rep.values.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(rep.values.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn universally_trusted_peer_ranks_first() {
+        let mut g = TrustGraph::new(6);
+        for i in 1..6 {
+            g.set_trust(i, 0, 10.0);
+            for j in 1..6 {
+                if i != j {
+                    g.set_trust(i, j, 1.0);
+                }
+            }
+        }
+        let rep = GossipAveraging::default().compute(&g, &mut rng());
+        assert_eq!(rep.top_peer(), 0);
+    }
+
+    #[test]
+    fn gossip_converges_to_column_mean() {
+        // With full convergence the estimate of peer k is the mean of column
+        // k of the normalised trust matrix.
+        let mut g = TrustGraph::new(4);
+        g.set_trust(0, 1, 1.0);
+        g.set_trust(1, 2, 1.0);
+        g.set_trust(2, 3, 1.0);
+        g.set_trust(3, 0, 1.0);
+        let rep = GossipAveraging::new(500).compute(&g, &mut rng());
+        assert!(rep.converged);
+        // Symmetric ring: everyone ends up equal.
+        for &v in &rep.values {
+            assert!((v - 0.25).abs() < 1e-6, "value {v}");
+        }
+    }
+
+    #[test]
+    fn zero_round_budget_reports_not_converged() {
+        let mut g = TrustGraph::new(3);
+        g.set_trust(0, 1, 1.0);
+        g.set_trust(1, 2, 1.0);
+        let rep = GossipAveraging::new(0).compute(&g, &mut rng());
+        assert_eq!(rep.iterations, 0);
+        assert!(!rep.converged);
+        // Still returns a usable, normalised vector.
+        assert!((rep.values.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut g = TrustGraph::new(5);
+        g.set_trust(0, 1, 3.0);
+        g.set_trust(2, 1, 3.0);
+        g.set_trust(3, 4, 1.0);
+        let a = GossipAveraging::new(50).compute(&g, &mut StdRng::seed_from_u64(7));
+        let b = GossipAveraging::new(50).compute(&g, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.values, b.values);
+    }
+}

@@ -1,0 +1,316 @@
+//! Service differentiation (Section III-C of the paper).
+//!
+//! Three services are differentiated on reputation:
+//!
+//! * **Downloading** — a peer `i` downloading from source `j` receives the
+//!   bandwidth fraction `B_i = R_S^i / Σ_{k ∈ D_j} R_S^k` of `j`'s upload
+//!   bandwidth, where `D_j` is the set of peers currently downloading from
+//!   `j`.
+//! * **Voting** — only previously successful editors of an article may vote
+//!   on its changes; each voter's voice is weighted
+//!   `v_i = R_E^i / Σ_{k ∈ V} R_E^k`, and voters who vote against the
+//!   majority too often lose their voting rights.
+//! * **Editing** — editing requires a sharing reputation above a threshold
+//!   `R_S ≥ θ > R_S^min`; the majority required to accept an edit is
+//!   inversely proportional to the editor's reputation, and editors with too
+//!   many declined edits are punished by a reputation reset.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the service-differentiation rules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceParams {
+    /// `θ`: minimum sharing reputation required to edit articles. Must
+    /// exceed the newcomer reputation `R_S^min` so editing always has an
+    /// initial cost (Section III-C3).
+    pub edit_threshold: f64,
+    /// Majority fraction required of a *minimum*-reputation editor. The
+    /// required majority interpolates between this and
+    /// `majority_at_max_reputation` inversely with the editor's reputation.
+    pub majority_at_min_reputation: f64,
+    /// Majority fraction required of a maximum-reputation (R = 1) editor.
+    pub majority_at_max_reputation: f64,
+}
+
+impl Default for ServiceParams {
+    fn default() -> Self {
+        Self {
+            edit_threshold: 0.1,
+            majority_at_min_reputation: 0.65,
+            majority_at_max_reputation: 0.5,
+        }
+    }
+}
+
+impl ServiceParams {
+    /// Validates parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is outside `(0, 1)` or the majority bounds
+    /// are not proper fractions with `min ≥ max` ordering (higher reputation
+    /// must never need a *larger* majority).
+    pub fn validate(&self) {
+        assert!(
+            self.edit_threshold > 0.0 && self.edit_threshold < 1.0,
+            "edit threshold must lie in (0, 1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.majority_at_min_reputation)
+                && (0.0..=1.0).contains(&self.majority_at_max_reputation),
+            "majority fractions must lie in [0, 1]"
+        );
+        assert!(
+            self.majority_at_min_reputation >= self.majority_at_max_reputation,
+            "required majority must not increase with reputation"
+        );
+    }
+}
+
+/// The service-differentiation rule set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDifferentiation {
+    params: ServiceParams,
+    /// Newcomer sharing reputation `R_S^min`; needed to validate `θ > R_S^min`
+    /// and to express the "no differentiation" baseline consistently.
+    min_sharing_reputation: f64,
+}
+
+impl ServiceDifferentiation {
+    /// Creates the rule set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid or the editing threshold does
+    /// not exceed the newcomer reputation (the paper requires
+    /// `θ > R_S^min`).
+    pub fn new(params: ServiceParams, min_sharing_reputation: f64) -> Self {
+        params.validate();
+        assert!(
+            params.edit_threshold > min_sharing_reputation,
+            "edit threshold must exceed the newcomer reputation"
+        );
+        Self {
+            params,
+            min_sharing_reputation,
+        }
+    }
+
+    /// The rule set with the paper's defaults and `R_S^min = 0.05`.
+    pub fn paper_defaults() -> Self {
+        Self::new(ServiceParams::default(), 0.05)
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &ServiceParams {
+        &self.params
+    }
+
+    /// **Downloading.** Splits a source's upload bandwidth among the
+    /// downloaders proportionally to their sharing reputations:
+    /// `B_i = R_S^i / Σ_k R_S^k`.
+    ///
+    /// Returns one fraction per downloader, in input order. The fractions
+    /// sum to 1 whenever at least one downloader has positive reputation;
+    /// with an empty downloader set the result is empty.
+    pub fn bandwidth_shares(&self, downloader_sharing_reputations: &[f64]) -> Vec<f64> {
+        proportional_shares(downloader_sharing_reputations)
+    }
+
+    /// **Voting.** Weighted voting power `v_i = R_E^i / Σ_k R_E^k` for the
+    /// eligible voters of an edit.
+    pub fn voting_powers(&self, voter_editing_reputations: &[f64]) -> Vec<f64> {
+        proportional_shares(voter_editing_reputations)
+    }
+
+    /// **Editing.** Whether a peer with sharing reputation `r_s` may edit.
+    pub fn may_edit(&self, sharing_reputation: f64) -> bool {
+        sharing_reputation >= self.params.edit_threshold
+    }
+
+    /// **Editing.** The weighted-majority fraction required to accept an
+    /// edit by an editor with editing reputation `r_e`. The requirement is
+    /// inversely proportional to reputation: a newcomer needs
+    /// `majority_at_min_reputation`, a maximally reputable editor only
+    /// `majority_at_max_reputation`.
+    pub fn required_majority(&self, editor_editing_reputation: f64) -> f64 {
+        let r = editor_editing_reputation.clamp(0.0, 1.0);
+        let hi = self.params.majority_at_min_reputation;
+        let lo = self.params.majority_at_max_reputation;
+        // Linear interpolation on reputation; r = 0 → hi, r = 1 → lo.
+        hi - (hi - lo) * r
+    }
+
+    /// Decides a weighted vote: given the voting powers of voters in favour
+    /// and the editor's required majority, returns whether the edit is
+    /// accepted.
+    ///
+    /// `in_favor_power` and `against_power` are sums of [`Self::voting_powers`]
+    /// entries; abstentions simply do not appear in either sum.
+    pub fn edit_accepted(
+        &self,
+        editor_editing_reputation: f64,
+        in_favor_power: f64,
+        against_power: f64,
+    ) -> bool {
+        debug_assert!(in_favor_power >= 0.0 && against_power >= 0.0);
+        let total = in_favor_power + against_power;
+        if total <= 0.0 {
+            // No eligible voter cast a vote; the conservative default is to
+            // reject so unauditable edits cannot slip through.
+            return false;
+        }
+        let fraction = in_favor_power / total;
+        fraction >= self.required_majority(editor_editing_reputation)
+    }
+
+    /// The "no incentive" baseline used for Figure 3: every downloader gets
+    /// an equal share of the source's bandwidth regardless of reputation.
+    pub fn equal_shares(count: usize) -> Vec<f64> {
+        if count == 0 {
+            Vec::new()
+        } else {
+            vec![1.0 / count as f64; count]
+        }
+    }
+
+    /// The newcomer sharing reputation this rule set was configured with.
+    pub fn min_sharing_reputation(&self) -> f64 {
+        self.min_sharing_reputation
+    }
+}
+
+/// Shares proportional to the inputs; all-zero inputs fall back to equal
+/// shares so that a set of newcomers with numerically zero reputation (only
+/// possible with non-paper reputation functions) still receives service.
+fn proportional_shares(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(values.iter().all(|&v| v >= 0.0), "reputations must be >= 0");
+    let sum: f64 = values.iter().sum();
+    if sum <= 0.0 {
+        return ServiceDifferentiation::equal_shares(values.len());
+    }
+    values.iter().map(|&v| v / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> ServiceDifferentiation {
+        ServiceDifferentiation::paper_defaults()
+    }
+
+    #[test]
+    fn bandwidth_shares_are_proportional_to_sharing_reputation() {
+        let shares = rules().bandwidth_shares(&[0.05, 0.15, 0.8]);
+        assert_eq!(shares.len(), 3);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((shares[0] - 0.05).abs() < 1e-12);
+        assert!((shares[2] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_downloader_gets_everything() {
+        let shares = rules().bandwidth_shares(&[0.3]);
+        assert_eq!(shares, vec![1.0]);
+    }
+
+    #[test]
+    fn empty_downloader_set_is_empty() {
+        assert!(rules().bandwidth_shares(&[]).is_empty());
+        assert!(ServiceDifferentiation::equal_shares(0).is_empty());
+    }
+
+    #[test]
+    fn zero_reputation_falls_back_to_equal_shares() {
+        let shares = rules().bandwidth_shares(&[0.0, 0.0]);
+        assert_eq!(shares, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn voting_powers_normalise() {
+        let powers = rules().voting_powers(&[0.05, 0.05, 0.9]);
+        assert!((powers.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(powers[2] > 0.8);
+    }
+
+    #[test]
+    fn editing_requires_threshold_above_newcomer() {
+        let r = rules();
+        assert!(!r.may_edit(0.05));
+        assert!(!r.may_edit(0.0999));
+        assert!(r.may_edit(0.1));
+        assert!(r.may_edit(0.9));
+    }
+
+    #[test]
+    fn required_majority_decreases_with_reputation() {
+        let r = rules();
+        let newcomer = r.required_majority(0.0);
+        let mid = r.required_majority(0.5);
+        let veteran = r.required_majority(1.0);
+        assert!((newcomer - 0.65).abs() < 1e-12);
+        assert!((veteran - 0.5).abs() < 1e-12);
+        assert!(newcomer > mid && mid > veteran);
+        // Values outside [0,1] are clamped.
+        assert_eq!(r.required_majority(2.0), veteran);
+        assert_eq!(r.required_majority(-1.0), newcomer);
+    }
+
+    #[test]
+    fn edit_acceptance_uses_weighted_majority() {
+        let r = rules();
+        // A low-reputation editor needs 65 % of the voting power in favour.
+        assert!(!r.edit_accepted(0.0, 0.6, 0.4));
+        assert!(r.edit_accepted(0.0, 0.7, 0.3));
+        // A high-reputation editor needs only 50 %.
+        assert!(r.edit_accepted(1.0, 0.5, 0.5));
+        assert!(!r.edit_accepted(1.0, 0.45, 0.55));
+    }
+
+    #[test]
+    fn edit_with_no_votes_is_rejected() {
+        assert!(!rules().edit_accepted(1.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn equal_shares_baseline_is_uniform() {
+        let shares = ServiceDifferentiation::equal_shares(4);
+        assert_eq!(shares, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn high_reputation_downloader_gets_more_than_equal_split() {
+        // The crux of the incentive: compared to the no-incentive baseline,
+        // a contributor is better off and a free-rider worse off.
+        let reputations = [0.05, 0.05, 0.05, 0.85];
+        let with = rules().bandwidth_shares(&reputations);
+        let without = ServiceDifferentiation::equal_shares(4);
+        assert!(with[3] > without[3]);
+        assert!(with[0] < without[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the newcomer reputation")]
+    fn threshold_must_exceed_minimum() {
+        let params = ServiceParams {
+            edit_threshold: 0.05,
+            ..Default::default()
+        };
+        let _ = ServiceDifferentiation::new(params, 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not increase")]
+    fn majority_ordering_is_enforced() {
+        let params = ServiceParams {
+            majority_at_min_reputation: 0.5,
+            majority_at_max_reputation: 0.8,
+            ..Default::default()
+        };
+        params.validate();
+    }
+}

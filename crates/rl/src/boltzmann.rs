@@ -1,0 +1,271 @@
+//! Boltzmann (softmax) exploration.
+//!
+//! The paper solves the exploration/exploitation problem by sampling actions
+//! from a Boltzmann distribution over the Q-values of the current state:
+//!
+//! ```text
+//! p_s(a) = exp(Q(s,a) / T) / Σ_b exp(Q(s,b) / T)
+//! ```
+//!
+//! `T` ("temperature") controls the amount of exploration: for very high `T`
+//! the distribution is nearly uniform (the training phase of the simulation
+//! sets `T` to the largest representable floating-point value), for low `T`
+//! the highest-valued action dominates. Figure 2 of the paper plots the
+//! distribution for Q-values 1..10 at `T = 2` and `T = 1000`; the
+//! `fig2_boltzmann` bench binary regenerates exactly that series from
+//! [`boltzmann_distribution`].
+
+use crate::policy::Policy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Computes the Boltzmann distribution over a slice of Q-values at
+/// temperature `t`.
+///
+/// The computation subtracts the maximum Q-value before exponentiating
+/// (softmax shift-invariance), so it is numerically stable for arbitrarily
+/// large Q-values and very small temperatures. For non-finite or enormous
+/// temperatures the distribution degenerates to uniform, matching the
+/// paper's training-phase convention of setting `T` to the highest possible
+/// floating-point value.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `t` is not strictly positive.
+pub fn boltzmann_distribution(values: &[f64], t: f64) -> Vec<f64> {
+    assert!(!values.is_empty(), "need at least one Q-value");
+    assert!(t > 0.0, "temperature must be strictly positive");
+    let n = values.len();
+    if !t.is_finite() || t >= 1e300 {
+        return vec![1.0 / n as f64; n];
+    }
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut probs: Vec<f64> = values.iter().map(|&q| ((q - max) / t).exp()).collect();
+    let sum: f64 = probs.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        // All exponents underflowed (extremely small temperature with large
+        // spread); fall back to greedy with deterministic tie-breaking.
+        let greedy = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        probs.iter_mut().for_each(|p| *p = 0.0);
+        probs[greedy] = 1.0;
+        return probs;
+    }
+    probs.iter_mut().for_each(|p| *p /= sum);
+    probs
+}
+
+/// Samples an index from an explicit probability distribution.
+///
+/// The distribution must be non-negative and (approximately) sum to one;
+/// any residual probability mass due to rounding goes to the final index.
+pub fn sample_distribution<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+    assert!(!probs.is_empty(), "cannot sample an empty distribution");
+    let draw: f64 = rng.gen();
+    let mut cumulative = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        cumulative += p;
+        if draw < cumulative {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Samples an action directly from the Boltzmann distribution over Q-values.
+pub fn boltzmann_sample<R: Rng + ?Sized>(values: &[f64], t: f64, rng: &mut R) -> usize {
+    let probs = boltzmann_distribution(values, t);
+    sample_distribution(&probs, rng)
+}
+
+/// A [`Policy`] that samples from the Boltzmann distribution at a fixed
+/// temperature. The temperature is mutable so schedules can anneal it
+/// between steps (the paper switches from `T = f64::MAX` to `T = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoltzmannPolicy {
+    /// Current temperature `T`.
+    pub temperature: f64,
+}
+
+impl BoltzmannPolicy {
+    /// Creates a Boltzmann policy at the given temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the temperature is not strictly positive.
+    pub fn new(temperature: f64) -> Self {
+        assert!(temperature > 0.0, "temperature must be strictly positive");
+        Self { temperature }
+    }
+
+    /// The paper's training-phase policy: temperature set to the highest
+    /// possible floating-point value, i.e. uniform exploration.
+    pub fn training_phase() -> Self {
+        Self {
+            temperature: f64::MAX,
+        }
+    }
+
+    /// The paper's evaluation-phase policy: `T = 1`.
+    pub fn evaluation_phase() -> Self {
+        Self { temperature: 1.0 }
+    }
+}
+
+impl Policy for BoltzmannPolicy {
+    fn select_action(&self, q_row: &[f64], rng: &mut dyn rand::RngCore) -> usize {
+        let probs = boltzmann_distribution(q_row, self.temperature);
+        // RngCore only gives raw integers; derive a uniform double manually
+        // so this works through the trait object.
+        let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let mut cumulative = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            cumulative += p;
+            if draw < cumulative {
+                return i;
+            }
+        }
+        probs.len() - 1
+    }
+
+    fn name(&self) -> &'static str {
+        "boltzmann"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        for &t in &[0.1, 1.0, 2.0, 1000.0] {
+            let p = boltzmann_distribution(&values, t);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "T={t}: sum={sum}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn low_temperature_prefers_high_q_values() {
+        // Figure 2, top: T = 2 over Q-values 1..10 — strongly peaked at 10.
+        let values: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let p = boltzmann_distribution(&values, 2.0);
+        assert!(p[9] > p[0] * 10.0);
+        assert!(p.windows(2).all(|w| w[1] > w[0]), "monotone in Q-value");
+    }
+
+    #[test]
+    fn high_temperature_approaches_uniform() {
+        // Figure 2, bottom: T = 1000 over Q-values 1..10 — almost uniform.
+        let values: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let p = boltzmann_distribution(&values, 1000.0);
+        for &prob in &p {
+            assert!((prob - 0.1).abs() < 0.001, "prob {prob} not ≈ 0.1");
+        }
+    }
+
+    #[test]
+    fn infinite_temperature_is_exactly_uniform() {
+        let values = [5.0, -2.0, 100.0];
+        let p = boltzmann_distribution(&values, f64::MAX);
+        for &prob in &p {
+            assert!((prob - 1.0 / 3.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn tiny_temperature_degenerates_to_greedy() {
+        let values = [0.0, 1000.0, 500.0];
+        let p = boltzmann_distribution(&values, 1e-12);
+        assert_eq!(p[1], 1.0);
+        assert_eq!(p[0] + p[2], 0.0);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_values() {
+        let values = [1e12, 1e12 + 1.0];
+        let p = boltzmann_distribution(&values, 1.0);
+        assert!(p.iter().all(|v| v.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[1] > p[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_temperature_panics() {
+        let _ = boltzmann_distribution(&[1.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Q-value")]
+    fn empty_values_panic() {
+        let _ = boltzmann_distribution(&[], 1.0);
+    }
+
+    #[test]
+    fn sampling_matches_distribution_empirically() {
+        let values = [0.0, 0.0, 2.0];
+        let t = 1.0;
+        let p = boltzmann_distribution(&values, t);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        let trials = 20_000;
+        for _ in 0..trials {
+            counts[boltzmann_sample(&values, t, &mut rng)] += 1;
+        }
+        for i in 0..3 {
+            let empirical = counts[i] as f64 / trials as f64;
+            assert!(
+                (empirical - p[i]).abs() < 0.02,
+                "action {i}: empirical {empirical} vs expected {}",
+                p[i]
+            );
+        }
+    }
+
+    #[test]
+    fn policy_training_phase_explores_uniformly() {
+        let policy = BoltzmannPolicy::training_phase();
+        let q = [0.0, 100.0, -50.0, 3.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..8_000 {
+            counts[policy.select_action(&q, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 8_000.0;
+            assert!((frac - 0.25).abs() < 0.03, "fraction {frac} not ≈ 0.25");
+        }
+    }
+
+    #[test]
+    fn policy_evaluation_phase_prefers_greedy() {
+        let policy = BoltzmannPolicy::evaluation_phase();
+        let q = [0.0, 10.0];
+        let mut rng = StdRng::seed_from_u64(6);
+        let greedy = (0..1_000)
+            .filter(|_| policy.select_action(&q, &mut rng) == 1)
+            .count();
+        assert!(greedy > 950, "greedy chosen only {greedy}/1000 times");
+    }
+
+    #[test]
+    fn sample_distribution_residual_mass_goes_to_last() {
+        // Distribution summing to slightly less than 1 due to rounding.
+        let probs = [0.3, 0.3, 0.3999999];
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let i = sample_distribution(&probs, &mut rng);
+            assert!(i < 3);
+        }
+    }
+}

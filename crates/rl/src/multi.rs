@@ -1,0 +1,208 @@
+//! Multi-agent learner container.
+//!
+//! The simulation has 100 independent learners, each with its own Q-matrix,
+//! all sharing the same state/action spaces and hyper-parameters.
+//! [`MultiAgentLearner`] owns the per-agent tables and offers the
+//! select/update operations the simulation engine needs, plus bulk
+//! operations (the phase switch that keeps Q-matrices but resets reputation
+//! values maps onto keeping this container untouched while resetting the
+//! environment).
+
+use crate::policy::Policy;
+use crate::qlearning::{QLearningAgent, QLearningParams};
+use crate::space::{ActionSpace, StateSpace};
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous population of independent Q-learning agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiAgentLearner {
+    agents: Vec<QLearningAgent>,
+    states: StateSpace,
+    actions: ActionSpace,
+}
+
+impl MultiAgentLearner {
+    /// Creates `population` independent agents with identical spaces and
+    /// hyper-parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population` is zero.
+    pub fn new(
+        population: usize,
+        states: StateSpace,
+        actions: ActionSpace,
+        params: QLearningParams,
+    ) -> Self {
+        assert!(population > 0, "population must be non-empty");
+        let agents = (0..population)
+            .map(|_| QLearningAgent::new(states, actions, params))
+            .collect();
+        Self {
+            agents,
+            states,
+            actions,
+        }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Always false; the constructor rejects empty populations.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The shared state space.
+    pub fn state_space(&self) -> StateSpace {
+        self.states
+    }
+
+    /// The shared action space.
+    pub fn action_space(&self) -> ActionSpace {
+        self.actions
+    }
+
+    /// Immutable access to an agent.
+    pub fn agent(&self, index: usize) -> &QLearningAgent {
+        &self.agents[index]
+    }
+
+    /// Mutable access to an agent.
+    pub fn agent_mut(&mut self, index: usize) -> &mut QLearningAgent {
+        &mut self.agents[index]
+    }
+
+    /// Selects an action for agent `index` in `state` using `policy`.
+    pub fn select_action(
+        &self,
+        index: usize,
+        state: usize,
+        policy: &dyn Policy,
+        rng: &mut dyn rand::RngCore,
+    ) -> usize {
+        self.agents[index].select_action(state, policy, rng)
+    }
+
+    /// Applies a Q-learning update for agent `index`.
+    pub fn update(
+        &mut self,
+        index: usize,
+        state: usize,
+        action: usize,
+        reward: f64,
+        next_state: usize,
+    ) {
+        self.agents[index].update(state, action, reward, next_state);
+    }
+
+    /// Resets every agent's Q-table (forgetting ablation).
+    pub fn reset_all(&mut self) {
+        self.agents.iter_mut().for_each(QLearningAgent::reset_table);
+    }
+
+    /// Total number of updates applied across all agents.
+    pub fn total_updates(&self) -> u64 {
+        self.agents.iter().map(QLearningAgent::updates).sum()
+    }
+
+    /// Iterator over the agents.
+    pub fn iter(&self) -> impl Iterator<Item = &QLearningAgent> {
+        self.agents.iter()
+    }
+
+    /// Fraction of agents whose greedy action in `state` equals `action` —
+    /// used by the experiment harness to measure how uniformly a population
+    /// has converged on a behaviour (e.g. constructive vs. destructive
+    /// editing in Figures 6 and 7).
+    pub fn greedy_consensus(&self, state: usize, action: usize) -> f64 {
+        let matching = self
+            .agents
+            .iter()
+            .filter(|a| a.greedy_action(state) == action)
+            .count();
+        matching as f64 / self.agents.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boltzmann::BoltzmannPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn learners(n: usize) -> MultiAgentLearner {
+        MultiAgentLearner::new(
+            n,
+            StateSpace::new(4),
+            ActionSpace::new(3),
+            QLearningParams::default(),
+        )
+    }
+
+    #[test]
+    fn population_size_is_respected() {
+        let m = learners(100);
+        assert_eq!(m.len(), 100);
+        assert!(!m.is_empty());
+        assert_eq!(m.state_space().len(), 4);
+        assert_eq!(m.action_space().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_panics() {
+        let _ = learners(0);
+    }
+
+    #[test]
+    fn updates_are_independent_per_agent() {
+        let mut m = learners(3);
+        m.update(0, 0, 0, 10.0, 1);
+        assert!(m.agent(0).table().get(0, 0) > 0.0);
+        assert_eq!(m.agent(1).table().get(0, 0), 0.0);
+        assert_eq!(m.agent(2).table().get(0, 0), 0.0);
+        assert_eq!(m.total_updates(), 1);
+    }
+
+    #[test]
+    fn reset_all_clears_every_agent() {
+        let mut m = learners(3);
+        for i in 0..3 {
+            m.update(i, 1, 1, 5.0, 1);
+        }
+        m.reset_all();
+        assert_eq!(m.total_updates(), 0);
+        assert!(m.iter().all(|a| a.table().get(1, 1) == 0.0));
+    }
+
+    #[test]
+    fn greedy_consensus_counts_matching_agents() {
+        let mut m = learners(4);
+        // Push two agents towards action 2 in state 0.
+        for i in 0..2 {
+            for _ in 0..10 {
+                m.update(i, 0, 2, 1.0, 0);
+            }
+        }
+        let consensus = m.greedy_consensus(0, 2);
+        assert!((consensus - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_action_uses_policy() {
+        let mut m = learners(1);
+        for _ in 0..50 {
+            m.update(0, 0, 1, 1.0, 0);
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = BoltzmannPolicy::evaluation_phase();
+        let picks_best = (0..200)
+            .filter(|_| m.select_action(0, 0, &policy, &mut rng) == 1)
+            .count();
+        assert!(picks_best > 150);
+    }
+}

@@ -1,0 +1,227 @@
+//! Dense tabular Q-value storage.
+//!
+//! The paper's agents keep a full "Q-Matrix" over 10 states × the composite
+//! action space; the training phase explicitly avoids "degenerated
+//! Q-Matrices" by exploring uniformly. [`QTable`] is that matrix: a dense,
+//! row-major `Vec<f64>` with accessor helpers for the greedy action and the
+//! row maxima the Q-learning update needs.
+
+use crate::space::{ActionSpace, StateSpace};
+use serde::{Deserialize, Serialize};
+
+/// A dense table of Q-values indexed by `(state, action)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QTable {
+    states: usize,
+    actions: usize,
+    values: Vec<f64>,
+}
+
+impl QTable {
+    /// Creates a table with all Q-values initialised to `initial`.
+    pub fn new(states: StateSpace, actions: ActionSpace, initial: f64) -> Self {
+        Self {
+            states: states.len(),
+            actions: actions.len(),
+            values: vec![initial; states.len() * actions.len()],
+        }
+    }
+
+    /// Creates a zero-initialised table from raw dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeroed(states: usize, actions: usize) -> Self {
+        assert!(states > 0 && actions > 0, "Q-table must be non-empty");
+        Self {
+            states,
+            actions,
+            values: vec![0.0; states * actions],
+        }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Number of actions.
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    #[inline]
+    fn index(&self, state: usize, action: usize) -> usize {
+        debug_assert!(state < self.states, "state out of range");
+        debug_assert!(action < self.actions, "action out of range");
+        state * self.actions + action
+    }
+
+    /// Q-value of a state/action pair.
+    #[inline]
+    pub fn get(&self, state: usize, action: usize) -> f64 {
+        self.values[self.index(state, action)]
+    }
+
+    /// Sets the Q-value of a state/action pair.
+    #[inline]
+    pub fn set(&mut self, state: usize, action: usize, value: f64) {
+        let i = self.index(state, action);
+        self.values[i] = value;
+    }
+
+    /// Adds `delta` to the Q-value of a state/action pair.
+    #[inline]
+    pub fn add(&mut self, state: usize, action: usize, delta: f64) {
+        let i = self.index(state, action);
+        self.values[i] += delta;
+    }
+
+    /// The full row of Q-values for a state.
+    #[inline]
+    pub fn row(&self, state: usize) -> &[f64] {
+        let start = self.index(state, 0);
+        &self.values[start..start + self.actions]
+    }
+
+    /// Maximum Q-value over all actions in a state — the `max_b Q(s', b)`
+    /// term of the Q-learning update.
+    pub fn max_value(&self, state: usize) -> f64 {
+        self.row(state)
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The greedy action for a state; ties are broken towards the smallest
+    /// action index so the result is deterministic.
+    pub fn greedy_action(&self, state: usize) -> usize {
+        let row = self.row(state);
+        let mut best = 0usize;
+        let mut best_value = row[0];
+        for (a, &v) in row.iter().enumerate().skip(1) {
+            if v > best_value {
+                best = a;
+                best_value = v;
+            }
+        }
+        best
+    }
+
+    /// Resets every entry to `value`.
+    pub fn fill(&mut self, value: f64) {
+        self.values.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Whether every Q-value is finite (no NaN / infinity crept in through a
+    /// divergent reward signal). Used by property tests and debug assertions.
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+
+    /// Mean of all Q-values — a cheap scalar summary used in convergence
+    /// diagnostics.
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Iterator over `(state, action, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let actions = self.actions;
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / actions, i % actions, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> QTable {
+        QTable::zeroed(3, 4)
+    }
+
+    #[test]
+    fn new_initialises_with_value() {
+        let t = QTable::new(StateSpace::new(2), ActionSpace::new(3), 1.5);
+        for s in 0..2 {
+            for a in 0..3 {
+                assert_eq!(t.get(s, a), 1.5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_dimension_panics() {
+        let _ = QTable::zeroed(0, 4);
+    }
+
+    #[test]
+    fn set_get_add() {
+        let mut t = table();
+        t.set(1, 2, 3.0);
+        assert_eq!(t.get(1, 2), 3.0);
+        t.add(1, 2, -1.0);
+        assert_eq!(t.get(1, 2), 2.0);
+        assert_eq!(t.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn row_is_contiguous_slice() {
+        let mut t = table();
+        t.set(1, 0, 10.0);
+        t.set(1, 3, 13.0);
+        assert_eq!(t.row(1), &[10.0, 0.0, 0.0, 13.0]);
+        assert_eq!(t.row(0), &[0.0; 4]);
+    }
+
+    #[test]
+    fn max_and_greedy() {
+        let mut t = table();
+        t.set(2, 1, 5.0);
+        t.set(2, 3, 4.0);
+        assert_eq!(t.max_value(2), 5.0);
+        assert_eq!(t.greedy_action(2), 1);
+    }
+
+    #[test]
+    fn greedy_tie_breaks_to_lowest_index() {
+        let mut t = table();
+        t.set(0, 1, 2.0);
+        t.set(0, 2, 2.0);
+        assert_eq!(t.greedy_action(0), 1);
+    }
+
+    #[test]
+    fn fill_resets_everything() {
+        let mut t = table();
+        t.set(0, 0, 9.0);
+        t.fill(0.5);
+        assert!(t.iter().all(|(_, _, v)| v == 0.5));
+    }
+
+    #[test]
+    fn finiteness_check_detects_nan() {
+        let mut t = table();
+        assert!(t.is_finite());
+        t.set(0, 0, f64::NAN);
+        assert!(!t.is_finite());
+    }
+
+    #[test]
+    fn mean_is_average() {
+        let mut t = QTable::zeroed(1, 4);
+        t.set(0, 0, 4.0);
+        assert_eq!(t.mean(), 1.0);
+    }
+
+    #[test]
+    fn iter_yields_every_cell() {
+        let t = table();
+        assert_eq!(t.iter().count(), 12);
+    }
+}

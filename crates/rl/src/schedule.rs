@@ -1,0 +1,254 @@
+//! Temperature and learning-rate schedules.
+//!
+//! The paper uses a hard two-phase temperature schedule: during the
+//! 10 000-step training phase the Boltzmann temperature is "set to the
+//! highest possible floating-point value" (uniform exploration, so no agent
+//! ends up with a degenerated Q-matrix), and afterwards it is set to `T = 1`
+//! so agents exploit what they learned. [`TwoPhaseSchedule`] reproduces
+//! that; the other schedules (constant, linear decay, exponential decay) are
+//! the standard alternatives used in the ablation benches.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar schedule over discrete time steps.
+pub trait Schedule: Send + Sync {
+    /// Value of the scheduled quantity at time step `t`.
+    fn value(&self, t: u64) -> f64;
+
+    /// Short name used in logs and ablation tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A constant schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConstantSchedule {
+    /// The constant value.
+    pub value: f64,
+}
+
+impl ConstantSchedule {
+    /// Creates a constant schedule.
+    pub fn new(value: f64) -> Self {
+        Self { value }
+    }
+}
+
+impl Schedule for ConstantSchedule {
+    fn value(&self, _t: u64) -> f64 {
+        self.value
+    }
+
+    fn name(&self) -> &'static str {
+        "constant"
+    }
+}
+
+/// Linear interpolation from `start` to `end` over `duration` steps, then
+/// constant at `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearDecay {
+    /// Value at step 0.
+    pub start: f64,
+    /// Value at and after step `duration`.
+    pub end: f64,
+    /// Number of steps over which to interpolate.
+    pub duration: u64,
+}
+
+impl LinearDecay {
+    /// Creates a linear decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero.
+    pub fn new(start: f64, end: f64, duration: u64) -> Self {
+        assert!(duration > 0, "duration must be positive");
+        Self {
+            start,
+            end,
+            duration,
+        }
+    }
+}
+
+impl Schedule for LinearDecay {
+    fn value(&self, t: u64) -> f64 {
+        if t >= self.duration {
+            return self.end;
+        }
+        let frac = t as f64 / self.duration as f64;
+        self.start + (self.end - self.start) * frac
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-decay"
+    }
+}
+
+/// Exponential decay `start · rate^t`, floored at `floor`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExponentialDecay {
+    /// Value at step 0.
+    pub start: f64,
+    /// Per-step multiplicative decay rate in `(0, 1]`.
+    pub rate: f64,
+    /// Lower bound the schedule never goes below.
+    pub floor: f64,
+}
+
+impl ExponentialDecay {
+    /// Creates an exponential decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate ∉ (0, 1]` or `floor > start`.
+    pub fn new(start: f64, rate: f64, floor: f64) -> Self {
+        assert!(rate > 0.0 && rate <= 1.0, "rate must lie in (0, 1]");
+        assert!(floor <= start, "floor must not exceed the starting value");
+        Self { start, rate, floor }
+    }
+}
+
+impl Schedule for ExponentialDecay {
+    fn value(&self, t: u64) -> f64 {
+        // Clamp the exponent so extreme step counts cannot underflow to a
+        // subnormal before the floor is applied.
+        let exponent = t.min(1 << 20) as f64;
+        (self.start * self.rate.powf(exponent)).max(self.floor)
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential-decay"
+    }
+}
+
+/// The paper's two-phase schedule: `training_value` for the first
+/// `training_steps` steps, `evaluation_value` afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoPhaseSchedule {
+    /// Value during the training phase.
+    pub training_value: f64,
+    /// Value after the training phase.
+    pub evaluation_value: f64,
+    /// Length of the training phase in steps.
+    pub training_steps: u64,
+}
+
+impl TwoPhaseSchedule {
+    /// Creates a two-phase schedule.
+    pub fn new(training_value: f64, evaluation_value: f64, training_steps: u64) -> Self {
+        Self {
+            training_value,
+            evaluation_value,
+            training_steps,
+        }
+    }
+
+    /// The paper's temperature schedule: `T = f64::MAX` for the 10 000-step
+    /// training phase, then `T = 1`.
+    pub fn paper_temperature() -> Self {
+        Self::new(f64::MAX, 1.0, 10_000)
+    }
+
+    /// Whether step `t` is still in the training phase.
+    pub fn in_training(&self, t: u64) -> bool {
+        t < self.training_steps
+    }
+}
+
+impl Schedule for TwoPhaseSchedule {
+    fn value(&self, t: u64) -> f64 {
+        if self.in_training(t) {
+            self.training_value
+        } else {
+            self.evaluation_value
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "two-phase"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = ConstantSchedule::new(0.3);
+        assert_eq!(s.value(0), 0.3);
+        assert_eq!(s.value(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn linear_decay_interpolates() {
+        let s = LinearDecay::new(1.0, 0.0, 10);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.value(10), 0.0);
+        assert_eq!(s.value(100), 0.0);
+    }
+
+    #[test]
+    fn linear_decay_can_increase() {
+        let s = LinearDecay::new(0.0, 2.0, 4);
+        assert!((s.value(2) - 1.0).abs() < 1e-12);
+        assert_eq!(s.value(4), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn linear_zero_duration_panics() {
+        let _ = LinearDecay::new(1.0, 0.0, 0);
+    }
+
+    #[test]
+    fn exponential_decay_respects_floor() {
+        let s = ExponentialDecay::new(1.0, 0.5, 0.1);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(1) - 0.5).abs() < 1e-12);
+        assert!((s.value(2) - 0.25).abs() < 1e-12);
+        assert_eq!(s.value(100), 0.1);
+        assert_eq!(s.value(u64::MAX), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn exponential_bad_rate_panics() {
+        let _ = ExponentialDecay::new(1.0, 1.5, 0.0);
+    }
+
+    #[test]
+    fn two_phase_switches_at_boundary() {
+        let s = TwoPhaseSchedule::new(100.0, 1.0, 10);
+        assert_eq!(s.value(0), 100.0);
+        assert_eq!(s.value(9), 100.0);
+        assert_eq!(s.value(10), 1.0);
+        assert_eq!(s.value(11), 1.0);
+        assert!(s.in_training(9));
+        assert!(!s.in_training(10));
+    }
+
+    #[test]
+    fn paper_temperature_matches_section_4b() {
+        let s = TwoPhaseSchedule::paper_temperature();
+        assert_eq!(s.value(0), f64::MAX);
+        assert_eq!(s.value(9_999), f64::MAX);
+        assert_eq!(s.value(10_000), 1.0);
+    }
+
+    #[test]
+    fn schedules_have_distinct_names() {
+        let names = [
+            ConstantSchedule::new(1.0).name(),
+            LinearDecay::new(1.0, 0.0, 1).name(),
+            ExponentialDecay::new(1.0, 0.9, 0.0).name(),
+            TwoPhaseSchedule::paper_temperature().name(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            4
+        );
+    }
+}

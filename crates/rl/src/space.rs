@@ -1,0 +1,234 @@
+//! Discrete state and action space descriptors.
+//!
+//! The paper's simulation uses a deliberately small tabular setting: 10
+//! states (the agent's own reputation bucket) and a composite action space
+//! over sharing levels and editing/voting behaviour. These descriptors keep
+//! the Q-table, the policies and the environment agreeing on the meaning of
+//! indices, and provide the mixed-radix encoding used to flatten composite
+//! actions into a single index.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete state space of `n` states indexed `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateSpace {
+    count: usize,
+}
+
+impl StateSpace {
+    /// Creates a state space with `count` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "state space must contain at least one state");
+        Self { count }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Always false: state spaces are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `state` is a valid index.
+    pub fn contains(&self, state: usize) -> bool {
+        state < self.count
+    }
+
+    /// Buckets a continuous value from `[lo, hi]` into a state index.
+    ///
+    /// This is how the paper maps the reputation interval `[R_min, 1]` onto
+    /// its 10 states: each state represents one tenth of the interval.
+    /// Values outside the interval are clamped.
+    pub fn bucket(&self, value: f64, lo: f64, hi: f64) -> usize {
+        assert!(hi > lo, "bucket interval must be non-degenerate");
+        let clamped = value.clamp(lo, hi);
+        let fraction = (clamped - lo) / (hi - lo);
+        ((fraction * self.count as f64) as usize).min(self.count - 1)
+    }
+
+    /// The midpoint of a state's bucket on `[lo, hi]` — the inverse of
+    /// [`StateSpace::bucket`] up to quantisation.
+    pub fn bucket_midpoint(&self, state: usize, lo: f64, hi: f64) -> f64 {
+        assert!(self.contains(state), "state out of range");
+        let width = (hi - lo) / self.count as f64;
+        lo + (state as f64 + 0.5) * width
+    }
+}
+
+/// A discrete action space of `n` actions indexed `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    count: usize,
+}
+
+impl ActionSpace {
+    /// Creates an action space with `count` actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(count: usize) -> Self {
+        assert!(count > 0, "action space must contain at least one action");
+        Self { count }
+    }
+
+    /// Creates a composite action space as the cartesian product of the
+    /// given per-dimension cardinalities (mixed-radix flattening).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any dimension is zero.
+    pub fn product(dims: &[usize]) -> Self {
+        assert!(!dims.is_empty(), "need at least one dimension");
+        let count = dims.iter().fold(1usize, |acc, &d| {
+            assert!(d > 0, "dimensions must be non-zero");
+            acc.checked_mul(d).expect("action space overflow")
+        });
+        Self { count }
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Always false: action spaces are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `action` is a valid index.
+    pub fn contains(&self, action: usize) -> bool {
+        action < self.count
+    }
+
+    /// Iterator over all action indices.
+    pub fn iter(&self) -> std::ops::Range<usize> {
+        0..self.count
+    }
+}
+
+/// Flattens a multi-dimensional action `coords` over the per-dimension
+/// cardinalities `dims` into a single index (row-major / mixed radix).
+///
+/// # Panics
+///
+/// Panics if the coordinate vector does not match `dims` or any coordinate
+/// is out of range.
+pub fn flatten_action(coords: &[usize], dims: &[usize]) -> usize {
+    assert_eq!(coords.len(), dims.len(), "coordinate/dimension mismatch");
+    let mut index = 0usize;
+    for (&c, &d) in coords.iter().zip(dims.iter()) {
+        assert!(c < d, "coordinate {c} out of range for dimension {d}");
+        index = index * d + c;
+    }
+    index
+}
+
+/// Inverse of [`flatten_action`]: expands a flat index into per-dimension
+/// coordinates.
+pub fn unflatten_action(mut index: usize, dims: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0usize; dims.len()];
+    for (slot, &d) in coords.iter_mut().zip(dims.iter()).rev() {
+        *slot = index % d;
+        index /= d;
+    }
+    assert_eq!(index, 0, "flat index out of range for dimensions");
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_space_len_and_contains() {
+        let s = StateSpace::new(10);
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(0));
+        assert!(s.contains(9));
+        assert!(!s.contains(10));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_state_space_panics() {
+        let _ = StateSpace::new(0);
+    }
+
+    #[test]
+    fn bucket_maps_reputation_interval_like_the_paper() {
+        // 10 states over [0.05, 1], the paper's Section IV-B setting.
+        let s = StateSpace::new(10);
+        assert_eq!(s.bucket(0.05, 0.05, 1.0), 0);
+        assert_eq!(s.bucket(1.0, 0.05, 1.0), 9);
+        assert_eq!(s.bucket(0.5, 0.05, 1.0), 4);
+        // Clamping below and above.
+        assert_eq!(s.bucket(0.0, 0.05, 1.0), 0);
+        assert_eq!(s.bucket(2.0, 0.05, 1.0), 9);
+    }
+
+    #[test]
+    fn bucket_midpoint_is_consistent_with_bucket() {
+        let s = StateSpace::new(10);
+        for state in 0..10 {
+            let mid = s.bucket_midpoint(state, 0.05, 1.0);
+            assert_eq!(s.bucket(mid, 0.05, 1.0), state);
+        }
+    }
+
+    #[test]
+    fn action_space_product() {
+        // The paper's action space: 3 bandwidth levels × 3 file levels ×
+        // 3 edit behaviours (constructive / destructive / abstain).
+        let a = ActionSpace::product(&[3, 3, 3]);
+        assert_eq!(a.len(), 27);
+        assert!(a.contains(26));
+        assert!(!a.contains(27));
+    }
+
+    #[test]
+    fn flatten_and_unflatten_roundtrip() {
+        let dims = [3, 3, 3];
+        for i in 0..27 {
+            let coords = unflatten_action(i, &dims);
+            assert_eq!(flatten_action(&coords, &dims), i);
+        }
+    }
+
+    #[test]
+    fn flatten_is_row_major() {
+        let dims = [2, 3];
+        assert_eq!(flatten_action(&[0, 0], &dims), 0);
+        assert_eq!(flatten_action(&[0, 2], &dims), 2);
+        assert_eq!(flatten_action(&[1, 0], &dims), 3);
+        assert_eq!(flatten_action(&[1, 2], &dims), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn flatten_rejects_out_of_range_coordinate() {
+        let _ = flatten_action(&[2, 0], &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn flatten_rejects_dimension_mismatch() {
+        let _ = flatten_action(&[0, 0, 0], &[2, 3]);
+    }
+
+    #[test]
+    fn action_space_iter_covers_all() {
+        let a = ActionSpace::new(5);
+        let all: Vec<_> = a.iter().collect();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+}

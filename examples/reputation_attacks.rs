@@ -1,0 +1,84 @@
+//! Attacking the reputation system: collusion and whitewashing.
+//!
+//! The paper assumes a safe reputation-propagation mechanism and keeps
+//! `R_min` low to blunt whitewashing. This example builds the attacks and
+//! measures how the propagation substrates and the newcomer-reputation
+//! choice hold up:
+//!
+//! * a collusion clique that assigns itself enormous local trust is ranked
+//!   by undamped EigenTrust, damped EigenTrust and MaxFlow trust;
+//! * a whitewashing free-rider is compared against an honest newcomer under
+//!   the paper's `R_min = 0.05` and under a generous `R_min = 0.4`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example reputation_attacks
+//! ```
+
+use collabsim_workspace::reputation::attack::{collusion_clique, whitewashing_gain};
+use collabsim_workspace::reputation::function::{LogisticReputation, ReputationFunction};
+use collabsim_workspace::reputation::propagation::eigentrust::EigenTrust;
+use collabsim_workspace::reputation::propagation::maxflow::MaxFlowTrust;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // --- collusion ----------------------------------------------------------
+    let (graph, scenario) = collusion_clique(20, 4, 300.0, 0.5, &mut rng);
+    println!("== collusion clique: 20 peers, 4 colluders boosting each other ==");
+
+    let undamped = EigenTrust::new(0.0, vec![]).compute(&graph);
+    let damped = EigenTrust::new(0.25, scenario.honest().into_iter().take(4).collect()).compute(&graph);
+    let observer = scenario.honest()[0];
+    let maxflow = MaxFlowTrust::new().reputation_from(&graph, observer);
+
+    let mean = |values: &[f64], set: &[usize]| -> f64 {
+        set.iter().map(|&i| values[i]).sum::<f64>() / set.len() as f64
+    };
+    let honest = scenario.honest();
+    println!("{:<34} {:>12} {:>12}", "substrate", "honest mean", "clique mean");
+    for (name, values) in [
+        ("EigenTrust, no damping", &undamped.values),
+        ("EigenTrust, damped + pre-trusted", &damped.values),
+        ("MaxFlow from an honest observer", &maxflow.values),
+    ] {
+        println!(
+            "{:<34} {:>12.4} {:>12.4}",
+            name,
+            mean(values, &honest),
+            mean(values, &scenario.attackers)
+        );
+    }
+    println!("→ max-flow trust bounds the clique by the honest→clique cut; damping helps EigenTrust.\n");
+
+    // --- whitewashing ---------------------------------------------------------
+    println!("== whitewashing: does discarding the identity pay off? ==");
+    println!(
+        "{:<34} {:>10} {:>22} {:>18}",
+        "newcomer reputation choice", "R_min", "bandwidth vs sharer", "gain over punished"
+    );
+    for (label, g) in [("paper's R_min = 0.05 (g = 19)", 19.0), ("generous R_min = 0.4 (g = 1.5)", 1.5)] {
+        let function = LogisticReputation::new(g, 0.2);
+        let r_min = function.minimum();
+        let contributor = function.reputation(24.0);
+        // Bandwidth share a freshly whitewashed identity gets when competing
+        // with one steady contributor for the same source.
+        let whitewasher_share = r_min / (r_min + contributor);
+        // A punished peer's reputation is reset to the minimum of the same
+        // function, so the gain of swapping identities is the difference
+        // between the newcomer value and that floor — zero when R_min is the
+        // floor itself, positive only if newcomers were treated better than
+        // punished peers.
+        let gain = whitewashing_gain(r_min, function.minimum());
+        println!(
+            "{label:<34} {r_min:>10.2} {:>21.1}% {gain:>+18.3}",
+            whitewasher_share * 100.0
+        );
+    }
+    println!("→ with the paper's low R_min a whitewashed identity competes for bandwidth at ~5% weight");
+    println!("  against an established sharer, so shedding a bad history buys almost nothing; a generous");
+    println!("  newcomer reputation would instead hand free-riders roughly a third of the bandwidth.");
+}

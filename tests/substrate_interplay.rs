@@ -1,0 +1,167 @@
+//! Integration tests exercising the substrates together: DHT placement with
+//! the article store, trust propagation feeding the service differentiation,
+//! and the tit-for-tat baseline against the reputation scheme on the same
+//! request stream.
+
+use collabsim_workspace::netsim::article::ArticleRegistry;
+use collabsim_workspace::netsim::bandwidth::{
+    AllocationPolicy, BandwidthAllocator, DownloadRequest,
+};
+use collabsim_workspace::netsim::dht::{Dht, DhtKey};
+use collabsim_workspace::netsim::overlay::{Overlay, Topology};
+use collabsim_workspace::netsim::peer::PeerId;
+use collabsim_workspace::netsim::storage::ArticleStore;
+use collabsim_workspace::reputation::attack::collusion_clique;
+use collabsim_workspace::reputation::ledger::ReputationLedger;
+use collabsim_workspace::reputation::propagation::eigentrust::EigenTrust;
+use collabsim_workspace::reputation::propagation::maxflow::MaxFlowTrust;
+use collabsim_workspace::reputation::service::ServiceDifferentiation;
+use collabsim_workspace::reputation::contribution::SharingAction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn dht_placement_keeps_articles_available_after_churn() {
+    let population = 32;
+    let mut dht = Dht::new(4);
+    let mut store = ArticleStore::new();
+    let mut articles = ArticleRegistry::new();
+    for p in 0..population {
+        dht.join(PeerId(p));
+    }
+    let mut ids = Vec::new();
+    for i in 0..20 {
+        let creator = PeerId(i % population);
+        let id = articles.create_article(creator, 0);
+        store.add_replica(creator, id);
+        for holder in dht.store(DhtKey::for_article(id.0)) {
+            store.add_replica(holder, id);
+            store.set_offered_count(holder, 100);
+        }
+        store.set_offered_count(creator, 100);
+        ids.push(id);
+    }
+    assert_eq!(store.availability(&ids), 1.0);
+
+    // A quarter of the peers leave; the replication factor of 4+creator keeps
+    // every article available.
+    for p in 0..population / 4 {
+        dht.leave(PeerId(p));
+        store.drop_peer(PeerId(p));
+    }
+    let available = store.availability(&ids);
+    assert!(
+        available >= 0.9,
+        "availability after churn should stay high, got {available}"
+    );
+
+    // Lookups from surviving peers still find holders for available articles.
+    let surviving = PeerId(population - 1);
+    let found = ids
+        .iter()
+        .filter(|id| !dht.lookup(surviving, DhtKey::for_article(id.0)).holders.is_empty())
+        .count();
+    assert!(found * 10 >= ids.len() * 9);
+}
+
+#[test]
+fn overlay_topologies_connect_the_population() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for topology in [
+        Topology::FullMesh,
+        Topology::Random { p: 0.2 },
+        Topology::SmallWorld { k: 3, beta: 0.1 },
+    ] {
+        let overlay = Overlay::build(64, topology, &mut rng);
+        assert!(
+            overlay.is_connected() || matches!(topology, Topology::Random { .. }),
+            "{topology:?} should normally be connected"
+        );
+        assert!(overlay.mean_degree() > 1.0);
+    }
+}
+
+#[test]
+fn propagated_trust_feeds_service_differentiation_against_colluders() {
+    // Build a collusion scenario, compute trust with MaxFlow from an honest
+    // observer, and use the result as sharing reputations for the bandwidth
+    // split: colluders should receive less bandwidth than honest peers even
+    // though their mutual local trust is enormous.
+    let mut rng = StdRng::seed_from_u64(23);
+    let (graph, scenario) = collusion_clique(16, 4, 500.0, 0.6, &mut rng);
+    let observer = scenario.honest()[0];
+    let trust = MaxFlowTrust::new().reputation_from(&graph, observer);
+
+    let service = ServiceDifferentiation::paper_defaults();
+    let peers: Vec<usize> = (0..16).filter(|&p| p != observer).collect();
+    let reputations: Vec<f64> = peers.iter().map(|&p| trust.values[p]).collect();
+    let shares = service.bandwidth_shares(&reputations);
+    let share_of = |peer: usize| shares[peers.iter().position(|&p| p == peer).unwrap()];
+
+    let mean_honest: f64 = scenario
+        .honest()
+        .iter()
+        .filter(|&&p| p != observer)
+        .map(|&p| share_of(p))
+        .sum::<f64>()
+        / (scenario.honest().len() - 1) as f64;
+    let mean_attacker: f64 = scenario
+        .attackers
+        .iter()
+        .map(|&p| share_of(p))
+        .sum::<f64>()
+        / scenario.attackers.len() as f64;
+    assert!(
+        mean_honest > mean_attacker,
+        "honest peers should receive more bandwidth than colluders: {mean_honest} vs {mean_attacker}"
+    );
+
+    // EigenTrust with damping towards honest pre-trusted peers agrees on the
+    // ranking direction.
+    let damped = EigenTrust::new(0.3, scenario.honest().into_iter().take(3).collect()).compute(&graph);
+    let honest_mass: f64 = scenario.honest().iter().map(|&p| damped.values[p]).sum();
+    let attacker_mass: f64 = scenario.attackers.iter().map(|&p| damped.values[p]).sum();
+    assert!(honest_mass > attacker_mass);
+}
+
+#[test]
+fn reputation_scheme_beats_tit_for_tat_for_non_direct_relations() {
+    // The paper's core argument: a newcomer-to-the-source contributor has no
+    // direct upload history with that source, so TFT treats it like a
+    // free-rider, while the reputation scheme recognises its contributions
+    // to *other* peers.
+    let mut ledger = ReputationLedger::with_paper_defaults(3);
+    // Peer 0 has contributed heavily to the network at large.
+    ledger.record_sharing(
+        0,
+        &SharingAction {
+            shared_articles: 20.0,
+            shared_bandwidth: 1.0,
+        },
+    );
+    // Peer 1 is a pure free-rider. Both now download from source peer 2 for
+    // the first time (no direct history with it).
+    let requests = [
+        DownloadRequest {
+            downloader: PeerId(0),
+            sharing_reputation: ledger.sharing_reputation(0),
+            download_capacity: 1.0,
+            uploaded_to_source: 0.0,
+        },
+        DownloadRequest {
+            downloader: PeerId(1),
+            sharing_reputation: ledger.sharing_reputation(1),
+            download_capacity: 1.0,
+            uploaded_to_source: 0.0,
+        },
+    ];
+    let reputation_split =
+        BandwidthAllocator::new(AllocationPolicy::WeightedByReputation).allocate(1.0, &requests);
+    let tft_split = BandwidthAllocator::new(AllocationPolicy::TitForTat).allocate(1.0, &requests);
+
+    // The reputation scheme rewards the contributor...
+    assert!(reputation_split[0].bandwidth > 0.8);
+    assert!(reputation_split[1].bandwidth < 0.2);
+    // ...while TFT cannot distinguish them (no direct relation → equal split).
+    assert!((tft_split[0].bandwidth - tft_split[1].bandwidth).abs() < 1e-9);
+}
