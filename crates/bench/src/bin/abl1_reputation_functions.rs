@@ -18,7 +18,10 @@ fn main() {
 
     let results = ablation_reputation_beta(scale.base_config(), &FIGURE1_BETAS);
 
-    println!("{}", to_table("all-rational population, incentive on", &results));
+    println!(
+        "{}",
+        to_table("all-rational population, incentive on", &results)
+    );
     println!(
         "interpretation: a steeper reputation function (larger beta) lets newcomers reach a high\n\
          bandwidth priority sooner; the paper conjectures this changes how much rational peers share."

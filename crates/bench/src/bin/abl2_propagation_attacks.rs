@@ -17,7 +17,10 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env_and_args();
-    print_header("ABL2: propagation substrates under a collusion clique", scale);
+    print_header(
+        "ABL2: propagation substrates under a collusion clique",
+        scale,
+    );
 
     let (peers, clique) = match scale {
         collabsim_bench::Scale::Paper => (60, 12),
@@ -41,8 +44,8 @@ fn main() {
         mean(&undamped.values, &scenario.attackers),
     ));
 
-    let damped = EigenTrust::new(0.2, scenario.honest().into_iter().take(3).collect())
-        .compute(&graph);
+    let damped =
+        EigenTrust::new(0.2, scenario.honest().into_iter().take(3).collect()).compute(&graph);
     rows.push((
         "eigentrust (damped, pre-trusted)".into(),
         mean(&damped.values, &scenario.honest()),
@@ -69,7 +72,11 @@ fn main() {
     );
     let mut csv = String::from("substrate,mean_honest,mean_attacker,honest_over_attacker\n");
     for (name, honest, attacker) in &rows {
-        let ratio = if *attacker > 0.0 { honest / attacker } else { f64::INFINITY };
+        let ratio = if *attacker > 0.0 {
+            honest / attacker
+        } else {
+            f64::INFINITY
+        };
         println!("{name:<34} {honest:>14.5} {attacker:>16.5} {ratio:>12.2}");
         csv.push_str(&format!("{name},{honest:.6},{attacker:.6},{ratio:.4}\n"));
     }

@@ -13,11 +13,17 @@ use collabsim_bench::{maybe_write_csv, print_header, Scale};
 
 fn main() {
     let scale = Scale::from_env_and_args();
-    print_header("ABL3: incentive schemes on a 40/30/30 mixed population", scale);
+    print_header(
+        "ABL3: incentive schemes on a 40/30/30 mixed population",
+        scale,
+    );
 
     let results = ablation_schemes(scale.base_config());
 
-    println!("{}", to_table("whole-population means per scheme", &results));
+    println!(
+        "{}",
+        to_table("whole-population means per scheme", &results)
+    );
     for r in &results {
         println!("scheme = {}", r.label);
         println!("{}", behavior_table(&r.report));

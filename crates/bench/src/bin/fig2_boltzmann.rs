@@ -7,7 +7,10 @@ use collabsim_rl::boltzmann::boltzmann_distribution;
 
 fn main() {
     let scale = Scale::from_env_and_args();
-    print_header("Figure 2: Boltzmann distribution over Q-values 1..10", scale);
+    print_header(
+        "Figure 2: Boltzmann distribution over Q-values 1..10",
+        scale,
+    );
 
     let values: Vec<f64> = (1..=10).map(f64::from).collect();
     let temperatures = [2.0, 1000.0];

@@ -10,7 +10,10 @@ use collabsim_bench::{maybe_write_csv, print_header, Scale};
 
 fn main() {
     let scale = Scale::from_env_and_args();
-    print_header("Figure 3: sharing with vs. without the incentive scheme", scale);
+    print_header(
+        "Figure 3: sharing with vs. without the incentive scheme",
+        scale,
+    );
 
     let replications = match scale {
         Scale::Paper => 3,
@@ -19,10 +22,7 @@ fn main() {
     let (with, without) = figure3_replicated(scale.base_config(), replications);
 
     println!("per-seed runs:");
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "run", "articles", "bandwidth"
-    );
+    println!("{:<28} {:>14} {:>14}", "run", "articles", "bandwidth");
     for r in with.iter().chain(without.iter()) {
         println!(
             "{:<28} {:>14.4} {:>14.4}",

@@ -17,11 +17,17 @@ fn main() {
 
     println!(
         "{}",
-        to_table("varying altruistic share (whole population means)", &altruistic)
+        to_table(
+            "varying altruistic share (whole population means)",
+            &altruistic
+        )
     );
     println!(
         "{}",
-        to_table("varying irrational share (whole population means)", &irrational)
+        to_table(
+            "varying irrational share (whole population means)",
+            &irrational
+        )
     );
     println!(
         "paper reference: sharing rises ~linearly with the altruistic share and falls with the irrational share"

@@ -10,7 +10,10 @@ use collabsim_bench::{maybe_write_csv, print_header, Scale};
 
 fn main() {
     let scale = Scale::from_env_and_args();
-    print_header("Figure 5: sharing per *rational* peer vs. behaviour mix", scale);
+    print_header(
+        "Figure 5: sharing per *rational* peer vs. behaviour mix",
+        scale,
+    );
 
     let altruistic = mix_sweep(scale.base_config(), BehaviorType::Altruistic);
     let irrational = mix_sweep(scale.base_config(), BehaviorType::Irrational);
@@ -37,7 +40,9 @@ fn main() {
         let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         println!("rational bandwidth range across the sweep: [{min:.4}, {max:.4}]\n");
     }
-    println!("paper reference: both panels are nearly flat (rational peers are insensitive to the mix)");
+    println!(
+        "paper reference: both panels are nearly flat (rational peers are insensitive to the mix)"
+    );
 
     let mut csv = String::new();
     csv.push_str("sweep=altruistic\n");

@@ -22,9 +22,7 @@ fn main() {
         "configuration", "constructive", "destructive", "constr. frac."
     );
     for r in &results {
-        let rational = r
-            .report
-            .breakdown(collabsim::BehaviorType::Rational);
+        let rational = r.report.breakdown(collabsim::BehaviorType::Rational);
         println!(
             "{:<18} {:>14} {:>14} {:>14.3}",
             r.label,

@@ -11,12 +11,18 @@ use collabsim_bench::{maybe_write_csv, print_header, Scale};
 
 fn main() {
     let scale = Scale::from_env_and_args();
-    print_header("Figure 7: rational edit behaviour follows the majority", scale);
+    print_header(
+        "Figure 7: rational edit behaviour follows the majority",
+        scale,
+    );
 
     let altruistic = figure7_majority_following(scale.base_config(), BehaviorType::Altruistic);
     let irrational = figure7_majority_following(scale.base_config(), BehaviorType::Irrational);
 
-    for (panel, sweep) in [("altruistic (top panel)", &altruistic), ("irrational (bottom panel)", &irrational)] {
+    for (panel, sweep) in [
+        ("altruistic (top panel)", &altruistic),
+        ("irrational (bottom panel)", &irrational),
+    ] {
         println!("varying {panel}:");
         println!(
             "{:<20} {:>14} {:>14} {:>14}",

@@ -89,9 +89,7 @@ pub fn maybe_write_csv(csv: &str) {
 /// Prints the standard run header shared by every figure binary.
 pub fn print_header(figure: &str, scale: Scale) {
     println!("collabsim — {figure} [scale: {}]", scale.label());
-    println!(
-        "(use --paper for the paper-scale run, --csv <path> to export the series)"
-    );
+    println!("(use --paper for the paper-scale run, --csv <path> to export the series)");
     println!();
 }
 

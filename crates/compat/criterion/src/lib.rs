@@ -1,0 +1,237 @@
+//! Offline stand-in for the `criterion` bench harness.
+//!
+//! Provides the subset of the criterion 0.5 surface the collabsim benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`] and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — backed by a plain
+//! wall-clock timer instead of criterion's statistical machinery. Each
+//! benchmark is calibrated to roughly [`Criterion::target_iters`] timed
+//! iterations and reports the mean time per iteration to stdout.
+//!
+//! Benches therefore still *run* (useful as smoke tests and for coarse
+//! before/after comparisons) without any crates.io dependency; restoring
+//! the real criterion is a one-line Cargo.toml change.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, criterion's canonical form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the calibrated iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then the timed loop.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean = start.elapsed() / self.iters.max(1) as u32;
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    target_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Kept deliberately small: these benches double as smoke tests.
+        let target_iters = std::env::var("COLLABSIM_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self { target_iters }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations each benchmark runs
+    /// (`COLLABSIM_BENCH_ITERS`, default 10).
+    pub fn target_iters(&self) -> u64 {
+        self.target_iters
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_iters: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let iters = self.target_iters;
+        run_one("", &id.into().id, iters, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_iters: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's sample-size knob; reused here as the iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_iters = Some(n as u64);
+        self
+    }
+
+    /// Ignored; accepted for criterion source compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn iters(&self) -> u64 {
+        self.sample_iters.unwrap_or(self.criterion.target_iters)
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.into().id, self.iters(), f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.id, self.iters(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op; present for source compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, iters: u64, mut f: F) {
+    let mut bencher = Bencher {
+        iters,
+        mean: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    println!(
+        "bench {label:<60} {:>12.3?}/iter ({iters} iters)",
+        bencher.mean
+    );
+}
+
+/// Collects benchmark functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Entry point running every group, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(c: &mut Criterion) {
+        let mut group = c.benchmark_group("probe");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // 1 warm-up + 3 timed iterations.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn harness_runs_closures() {
+        let mut c = Criterion::default();
+        probe(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("run", "fast").id, "run/fast");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, and nothing in the
+//! workspace actually serializes anything yet (the derives are kept on
+//! types so the real `serde` can be dropped back in with a one-line
+//! Cargo.toml change once dependencies can be vendored). This crate keeps
+//! those derive annotations compiling:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type, and
+//! * the re-exported derive macros expand to nothing.
+//!
+//! If serialization is ever *used* (not just derived) before the real crate
+//! is restored, the missing methods will fail the build loudly rather than
+//! silently producing garbage.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        x: u32,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum ProbeEnum {
+        A,
+        B(u8),
+    }
+
+    fn needs_serialize<T: Serialize>(_: &T) {}
+    fn needs_deserialize<T: for<'de> Deserialize<'de>>() {}
+
+    #[test]
+    fn derive_and_bounds_compile() {
+        let p = Probe { x: 1 };
+        needs_serialize(&p);
+        needs_deserialize::<Probe>();
+        needs_serialize(&ProbeEnum::A);
+        match ProbeEnum::B(2) {
+            ProbeEnum::B(v) => assert_eq!(v, 2),
+            ProbeEnum::A => unreachable!(),
+        }
+        assert_eq!(p, Probe { x: 1 });
+    }
+}

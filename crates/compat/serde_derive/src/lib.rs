@@ -1,0 +1,19 @@
+//! Inert derive macros backing the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing; the
+//! traits themselves are blanket-implemented in the `serde` stand-in crate,
+//! so the derives only need to be *accepted*, not to generate code.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -26,11 +26,7 @@ pub struct AgentState {
 impl AgentState {
     /// Buckets a sharing reputation into a state, following the paper's
     /// partition of `[R_min, 1]` into equal-width intervals.
-    pub fn from_reputation(
-        reputation: f64,
-        min_reputation: f64,
-        states: StateSpace,
-    ) -> Self {
+    pub fn from_reputation(reputation: f64, min_reputation: f64, states: StateSpace) -> Self {
         Self {
             bucket: states.bucket(reputation, min_reputation, 1.0),
         }
@@ -225,11 +221,7 @@ mod tests {
 
     #[test]
     fn rational_agent_explores_all_actions_at_high_temperature() {
-        let mut a = CollabAgent::new(
-            BehaviorType::Rational,
-            states(),
-            QLearningParams::default(),
-        );
+        let mut a = CollabAgent::new(BehaviorType::Rational, states(), QLearningParams::default());
         assert!(a.is_learning());
         let mut r = rng();
         let mut seen = std::collections::HashSet::new();
@@ -242,11 +234,7 @@ mod tests {
 
     #[test]
     fn rational_agent_learns_to_prefer_rewarded_action() {
-        let mut a = CollabAgent::new(
-            BehaviorType::Rational,
-            states(),
-            QLearningParams::default(),
-        );
+        let mut a = CollabAgent::new(BehaviorType::Rational, states(), QLearningParams::default());
         let mut r = rng();
         let state = AgentState { bucket: 2 };
         let target = CollabAction::altruistic();
@@ -270,11 +258,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "prior choose")]
     fn learn_before_choose_panics_for_rational_agents() {
-        let mut a = CollabAgent::new(
-            BehaviorType::Rational,
-            states(),
-            QLearningParams::default(),
-        );
+        let mut a = CollabAgent::new(BehaviorType::Rational, states(), QLearningParams::default());
         a.learn(1.0, AgentState { bucket: 0 });
     }
 }

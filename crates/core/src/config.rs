@@ -11,10 +11,36 @@ use crate::incentive::IncentiveScheme;
 use collabsim_gametheory::behavior::BehaviorMix;
 use collabsim_gametheory::utility::UtilityModel;
 use collabsim_reputation::contribution::ContributionParams;
+use collabsim_reputation::propagation::PropagationScheme;
 use collabsim_reputation::punishment::PunishmentPolicy;
 use collabsim_reputation::service::ServiceParams;
 use collabsim_rl::qlearning::QLearningParams;
 use serde::{Deserialize, Serialize};
+
+/// Configuration of the optional reputation-propagation phase.
+///
+/// The paper *assumes* "a mechanism to safely propagate reputation values"
+/// exists (Section II-C) and models reputation as globally visible; the
+/// propagation phase makes that assumption inspectable by periodically
+/// running a concrete backend over the upload-derived trust graph. Disabled
+/// by default so the standard pipeline matches the paper's model (and the
+/// golden report) exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PropagationConfig {
+    /// Which backend to run; `None` disables the phase entirely.
+    pub scheme: Option<PropagationScheme>,
+    /// Steps between propagation rounds (must be ≥ 1).
+    pub interval: u64,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        Self {
+            scheme: None,
+            interval: 100,
+        }
+    }
+}
 
 /// Lengths and temperatures of the two simulation phases.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -111,6 +137,8 @@ pub struct SimulationConfig {
     /// `V` of Section III-C2). Keeps per-step vote counts bounded for large
     /// populations.
     pub max_voters_per_edit: usize,
+    /// Optional reputation-propagation phase (off by default).
+    pub propagation: PropagationConfig,
     /// RNG seed; identical configurations with identical seeds reproduce
     /// bit-identical results.
     pub seed: u64,
@@ -150,6 +178,7 @@ impl Default for SimulationConfig {
             edit_probability: 0.2,
             restrict_voters_to_editors: false,
             max_voters_per_edit: 10,
+            propagation: PropagationConfig::default(),
             seed: 0x5EED_C011_AB01,
         }
     }
@@ -200,6 +229,16 @@ impl SimulationConfig {
         self
     }
 
+    /// Builder-style: enable the reputation-propagation phase with the
+    /// given backend, run every `interval` steps.
+    pub fn with_propagation(mut self, scheme: PropagationScheme, interval: u64) -> Self {
+        self.propagation = PropagationConfig {
+            scheme: Some(scheme),
+            interval,
+        };
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -215,7 +254,10 @@ impl SimulationConfig {
             self.min_reputation > 0.0 && self.min_reputation < 1.0,
             "min reputation must lie in (0, 1)"
         );
-        assert!(self.reputation_beta > 0.0, "reputation beta must be positive");
+        assert!(
+            self.reputation_beta > 0.0,
+            "reputation beta must be positive"
+        );
         assert!(
             (0.0..=1.0).contains(&self.edit_probability),
             "edit probability must lie in [0, 1]"
@@ -229,6 +271,10 @@ impl SimulationConfig {
         assert!(
             self.max_voters_per_edit > 0,
             "need at least one voter per edit"
+        );
+        assert!(
+            self.propagation.interval > 0,
+            "propagation interval must be at least 1 step"
         );
         self.learning.validate();
         self.contribution.validate();
@@ -286,6 +332,24 @@ mod tests {
     }
 
     #[test]
+    fn propagation_is_disabled_by_default_and_composes_via_builder() {
+        let c = SimulationConfig::default();
+        assert_eq!(c.propagation.scheme, None);
+        let c = c.with_propagation(PropagationScheme::Gossip, 50);
+        assert_eq!(c.propagation.scheme, Some(PropagationScheme::Gossip));
+        assert_eq!(c.propagation.interval, 50);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "propagation interval")]
+    fn zero_propagation_interval_rejected() {
+        let mut c = SimulationConfig::default().with_propagation(PropagationScheme::EigenTrust, 1);
+        c.propagation.interval = 0;
+        c.validate();
+    }
+
+    #[test]
     fn total_steps_adds_phases() {
         let p = PhaseConfig {
             training_steps: 100,
@@ -308,8 +372,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "edit threshold")]
     fn threshold_below_rmin_rejected() {
-        let mut c = SimulationConfig::default();
-        c.min_reputation = 0.5;
+        let c = SimulationConfig {
+            min_reputation: 0.5,
+            ..Default::default()
+        };
         c.validate();
     }
 

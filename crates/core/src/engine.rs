@@ -1,8 +1,11 @@
-//! The simulation engine: the paper's Section-IV model, step by step.
+//! The simulation engine: the paper's Section-IV model as a phase
+//! pipeline.
 //!
-//! One [`Simulation`] owns the whole network state — peers, articles,
-//! reputation ledger, learners — and advances it through the two phases of
-//! the paper's protocol:
+//! One [`Simulation`] couples the whole network state
+//! ([`SimWorld`](crate::world::SimWorld): peers, articles, reputation
+//! ledger, learners) with a [`StepPipeline`] of
+//! [`StepPhase`](crate::pipeline::StepPhase)s, and advances it through the
+//! two phases of the paper's protocol:
 //!
 //! 1. a **training phase** (10 000 steps by default) in which the Boltzmann
 //!    temperature is effectively infinite so every rational agent explores
@@ -13,197 +16,100 @@
 //! 3. a measured **evaluation phase** at temperature 1 whose per-step
 //!    observations produce the [`SimulationReport`].
 //!
-//! Every step executes the same sub-phases: action selection → sharing →
+//! Every step executes the standard pipeline: action selection → sharing →
 //! downloads (with bandwidth allocated by the configured incentive scheme) →
 //! editing and voting (gated, weighted and punished by the scheme) →
-//! utility computation → Q-learning updates.
+//! utility computation → Q-learning updates — plus the optional
+//! reputation-propagation phase when a backend is configured. Custom phases
+//! plug in through [`Simulation::with_pipeline`].
 
-use crate::action::{CollabAction, EditBehavior};
-use crate::agent::{AgentState, CollabAgent};
-use crate::config::{DownloadRate, SimulationConfig};
-use crate::report::{BehaviorBreakdown, SimulationReport};
+use crate::config::SimulationConfig;
+use crate::pipeline::StepPipeline;
+use crate::report::SimulationReport;
+use crate::world::SimWorld;
 use collabsim_gametheory::behavior::BehaviorType;
-use collabsim_gametheory::utility::{EditingObservation, SharingObservation};
-use collabsim_netsim::article::{ArticleId, ArticleRegistry, EditKind};
-use collabsim_netsim::bandwidth::{BandwidthAllocator, DownloadRequest};
-use collabsim_netsim::clock::SimClock;
-use collabsim_netsim::dht::{Dht, DhtKey};
-use collabsim_netsim::peer::{PeerId, PeerRegistry};
-use collabsim_netsim::storage::ArticleStore;
-use collabsim_netsim::transfer::{TransferManager, TransferStatus};
-use collabsim_reputation::contribution::{EditingAction, SharingAction};
-use collabsim_reputation::function::LogisticReputation;
+use collabsim_netsim::article::ArticleRegistry;
 use collabsim_reputation::ledger::ReputationLedger;
-use collabsim_reputation::service::ServiceDifferentiation;
-use collabsim_rl::space::StateSpace;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
-use std::collections::HashMap;
-use std::sync::Arc;
+use collabsim_reputation::propagation::GlobalReputation;
 
-/// Contribution units corresponding to sharing the full 100-article storage
-/// (`S_articles` in the paper's `C_S` formula). Together with the default
-/// weights `α_S = 1`, `β_S = 2` this puts a full sharer of both resources
-/// at `C_S = 24` — high on the Figure 1 logistic curve but not saturated, so
-/// each additional resource class still visibly raises the reputation.
-pub const ARTICLE_CONTRIBUTION_UNITS: f64 = 12.0;
+pub use crate::world::{ARTICLE_CONTRIBUTION_UNITS, BANDWIDTH_CONTRIBUTION_UNITS};
 
-/// Contribution units corresponding to sharing the full upload bandwidth
-/// (`S_bandwidth` in the paper's `C_S` formula).
-pub const BANDWIDTH_CONTRIBUTION_UNITS: f64 = 6.0;
+use crate::agent::CollabAgent;
 
-/// Per-peer accumulators filled during the measured evaluation phase.
-#[derive(Debug, Clone, Default)]
-struct PeerAccumulator {
-    shared_bandwidth_sum: f64,
-    shared_articles_sum: f64,
-    downloaded_sum: f64,
-    utility_sum: f64,
-    constructive_edits: u64,
-    destructive_edits: u64,
-    votes: u64,
-    steps: u64,
-}
-
-/// The full simulation state.
+/// The full simulation: world state plus the step pipeline advancing it.
 pub struct Simulation {
-    config: SimulationConfig,
-    clock: SimClock,
-    peers: PeerRegistry,
-    articles: ArticleRegistry,
-    store: ArticleStore,
-    dht: Dht,
-    ledger: ReputationLedger,
-    service: ServiceDifferentiation,
-    allocator: BandwidthAllocator,
-    transfers: TransferManager,
-    agents: Vec<CollabAgent>,
-    behaviors: Vec<BehaviorType>,
-    states: StateSpace,
-    rng: StdRng,
-    /// `uploads[u][v]`: total bandwidth peer `u` has uploaded to peer `v`
-    /// (the direct-relation history the tit-for-tat baseline needs).
-    uploads: Vec<Vec<f64>>,
-    /// In-flight download per peer (transfer id into [`TransferManager`]).
-    active_transfer: Vec<Option<u64>>,
-    /// Accepted edits since the peer's last punishment (for restoring
-    /// voting rights).
-    accepted_since_punishment: Vec<u32>,
-    accumulators: Vec<PeerAccumulator>,
-    measuring: bool,
-    evaluation_steps_run: u64,
-    downloads_completed_in_evaluation: usize,
-    edit_outcome_baseline: collabsim_netsim::article::EditOutcomeCounts,
+    world: SimWorld,
+    pipeline: StepPipeline,
 }
 
 impl Simulation {
-    /// Builds the initial network state from a configuration.
+    /// Builds the initial network state from a configuration, with the
+    /// standard Section-IV pipeline.
     pub fn new(config: SimulationConfig) -> Self {
-        config.validate();
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let population = config.population;
-
-        let peers = PeerRegistry::with_population(population);
-        let states = StateSpace::new(config.reputation_states);
-
-        // Behaviour assignment: deterministic largest-remainder rounding of
-        // the configured mix, then a seeded shuffle so types are not
-        // clustered by index.
-        let mut behaviors = config.mix.assign(population);
-        behaviors.shuffle(&mut rng);
-
-        let agents: Vec<CollabAgent> = behaviors
-            .iter()
-            .map(|&b| CollabAgent::new(b, states, config.learning))
-            .collect();
-
-        let reputation_fn = Arc::new(LogisticReputation::new(
-            (1.0 - config.min_reputation) / config.min_reputation,
-            config.reputation_beta,
-        ));
-        let ledger = ReputationLedger::new(
-            population,
-            config.contribution,
-            reputation_fn.clone(),
-            reputation_fn,
-        );
-        let service = ServiceDifferentiation::new(config.service, config.min_reputation);
-        let allocator = BandwidthAllocator::new(config.incentive.allocation_policy());
-
-        // Seed the article base: initial articles created by random peers,
-        // replicated onto the DHT-closest peers.
-        let mut articles = ArticleRegistry::new();
-        let mut store = ArticleStore::new();
-        let mut dht = Dht::new(3);
-        for p in 0..population {
-            dht.join(PeerId(p as u32));
-        }
-        for _ in 0..config.initial_articles {
-            let creator = PeerId(rng.gen_range(0..population as u32));
-            let id = articles.create_article(creator, 0);
-            store.add_replica(creator, id);
-            let key = DhtKey::for_article(id.0);
-            for holder in dht.store(key) {
-                store.add_replica(holder, id);
-            }
-        }
-
+        let pipeline = StepPipeline::standard(&config);
         Self {
-            clock: SimClock::new(),
-            peers,
-            articles,
-            store,
-            dht,
-            ledger,
-            service,
-            allocator,
-            transfers: TransferManager::new(),
-            agents,
-            behaviors,
-            states,
-            uploads: vec![vec![0.0; population]; population],
-            active_transfer: vec![None; population],
-            accepted_since_punishment: vec![0; population],
-            accumulators: vec![PeerAccumulator::default(); population],
-            measuring: false,
-            evaluation_steps_run: 0,
-            downloads_completed_in_evaluation: 0,
-            edit_outcome_baseline: Default::default(),
-            rng,
-            config,
+            world: SimWorld::new(config),
+            pipeline,
+        }
+    }
+
+    /// Builds a simulation with a custom step pipeline (e.g. extra
+    /// instrumentation phases, or a reordered protocol for ablations).
+    ///
+    /// Note that the golden determinism guarantees only cover the standard
+    /// pipeline: phases drawing from the step RNG in a different order
+    /// produce a different (still seed-deterministic) trajectory.
+    pub fn with_pipeline(config: SimulationConfig, pipeline: StepPipeline) -> Self {
+        Self {
+            world: SimWorld::new(config),
+            pipeline,
         }
     }
 
     /// The configuration the simulation was built from.
     pub fn config(&self) -> &SimulationConfig {
-        &self.config
+        &self.world.config
+    }
+
+    /// The step pipeline (phase names, length).
+    pub fn pipeline(&self) -> &StepPipeline {
+        &self.pipeline
+    }
+
+    /// Read access to the full world state (e.g. for custom analyses).
+    pub fn world(&self) -> &SimWorld {
+        &self.world
     }
 
     /// Read access to the reputation ledger (e.g. for custom analyses).
     pub fn ledger(&self) -> &ReputationLedger {
-        &self.ledger
+        &self.world.ledger
     }
 
     /// Read access to the article registry.
     pub fn articles(&self) -> &ArticleRegistry {
-        &self.articles
+        &self.world.articles
     }
 
     /// Read access to the agents.
     pub fn agents(&self) -> &[CollabAgent] {
-        &self.agents
+        &self.world.agents
     }
 
     /// Behaviour type of a peer.
     pub fn behavior(&self, peer: usize) -> BehaviorType {
-        self.behaviors[peer]
+        self.world.behaviors[peer]
     }
 
     /// Current simulation step.
     pub fn now(&self) -> u64 {
-        self.clock.now()
+        self.world.clock.now()
+    }
+
+    /// The latest globally propagated reputation vector, if the
+    /// propagation phase is enabled and has run.
+    pub fn global_reputation(&self) -> Option<&GlobalReputation> {
+        self.world.global_reputation.as_ref()
     }
 
     /// Runs the full protocol (training, reset, measured evaluation) and
@@ -216,500 +122,31 @@ impl Simulation {
 
     /// Runs only the training phase (uniform exploration, unmeasured).
     pub fn run_training(&mut self) {
-        let temperature = self.config.phases.training_temperature;
-        for _ in 0..self.config.phases.training_steps {
+        let temperature = self.world.config.phases.training_temperature;
+        for _ in 0..self.world.config.phases.training_steps {
             self.step(temperature);
         }
     }
 
     /// The phase switch: reputation values are reset, Q-matrices are kept.
     pub fn reset_for_evaluation(&mut self) {
-        self.ledger.reset_all_contributions();
-        self.accumulators = vec![PeerAccumulator::default(); self.config.population];
-        self.edit_outcome_baseline = self.articles.edit_outcome_counts();
-        let completed_before = self.transfers.completed_count();
-        self.downloads_completed_in_evaluation = completed_before;
-        self.measuring = true;
-        self.evaluation_steps_run = 0;
+        self.world.reset_for_evaluation();
     }
 
     /// Runs the measured evaluation phase and builds the report.
     pub fn run_evaluation(&mut self) -> SimulationReport {
-        let temperature = self.config.phases.evaluation_temperature;
-        for _ in 0..self.config.phases.evaluation_steps {
+        let temperature = self.world.config.phases.evaluation_temperature;
+        for _ in 0..self.world.config.phases.evaluation_steps {
             self.step(temperature);
-            self.evaluation_steps_run += 1;
+            self.world.evaluation_steps_run += 1;
         }
-        self.build_report()
+        self.world.build_report()
     }
 
     /// Advances the simulation by a single step at the given Boltzmann
-    /// temperature.
+    /// temperature, executing every pipeline phase in order.
     pub fn step(&mut self, temperature: f64) {
-        let now = self.clock.tick();
-        let population = self.config.population;
-
-        // --- 1. Action selection -----------------------------------------
-        let current_states: Vec<AgentState> = (0..population)
-            .map(|p| self.agent_state(p))
-            .collect();
-        let mut actions: Vec<CollabAction> = Vec::with_capacity(population);
-        for p in 0..population {
-            let action = self.agents[p].choose(current_states[p], temperature, &mut self.rng);
-            actions.push(action);
-        }
-
-        // --- 2. Apply sharing decisions -----------------------------------
-        for p in 0..population {
-            let action = actions[p];
-            let id = PeerId(p as u32);
-            let peer = self.peers.peer_mut(id);
-            peer.set_shared_upload_fraction(action.bandwidth.fraction());
-            peer.set_shared_articles(action.articles.article_count());
-            let held = self.store.held_count(id);
-            let offered = (action.articles.fraction() * held as f64).round() as usize;
-            self.store.set_offered_count(id, offered);
-
-            // Contribution accounting. The paper leaves the units of
-            // S_articles and S_bandwidth open; we scale both so that sharing
-            // everything sits at C_S = 24 (R ≈ 0.87 on the Figure 1 logistic
-            // curve with β = 0.2), a single fully shared resource at C_S = 12
-            // (R ≈ 0.35) and free-riding at C_S = 0 (R = 0.05) — giving the
-            // Q-learner a visible reputation gradient across participation
-            // levels and across resource classes (see DESIGN.md).
-            self.ledger.record_sharing(
-                p,
-                &SharingAction {
-                    shared_articles: action.articles.fraction() * ARTICLE_CONTRIBUTION_UNITS,
-                    shared_bandwidth: action.bandwidth.fraction() * BANDWIDTH_CONTRIBUTION_UNITS,
-                },
-            );
-        }
-
-        // --- 3. Downloads --------------------------------------------------
-        let sharing_peers = self.peers.sharing_peers();
-        let download_probability = match self.config.download_probability {
-            DownloadRate::Fixed(p) => p,
-            DownloadRate::InverseSharers => {
-                if sharing_peers.is_empty() {
-                    0.0
-                } else {
-                    1.0 / sharing_peers.len() as f64
-                }
-            }
-        };
-
-        // Download sources must actually offer upload bandwidth this step:
-        // the paper's competition is over "the source's upload bandwidth",
-        // so a peer offering only stored articles cannot serve a transfer.
-        let upload_sources: Vec<PeerId> = sharing_peers
-            .iter()
-            .copied()
-            .filter(|&s| self.peers.peer(s).offered_upload() > 0.0)
-            .collect();
-
-        // Collect download requests per source.
-        let mut requests_by_source: HashMap<PeerId, Vec<DownloadRequest>> = HashMap::new();
-        let mut request_transfer: HashMap<(PeerId, PeerId), u64> = HashMap::new();
-        for p in 0..population {
-            let downloader = PeerId(p as u32);
-            // Continue an in-flight transfer if its source still offers
-            // bandwidth; otherwise abandon it and look for a new source.
-            let mut source: Option<PeerId> = None;
-            if let Some(tid) = self.active_transfer[p] {
-                let t = self.transfers.transfer(tid);
-                if t.status == TransferStatus::InProgress
-                    && self.peers.peer(t.source).offered_upload() > 0.0
-                {
-                    source = Some(t.source);
-                    request_transfer.insert((downloader, t.source), tid);
-                } else {
-                    if t.status == TransferStatus::InProgress {
-                        self.transfers.cancel(tid, now);
-                    }
-                    self.active_transfer[p] = None;
-                }
-            }
-            // Otherwise maybe start a new download.
-            if source.is_none()
-                && !upload_sources.is_empty()
-                && download_probability > 0.0
-                && self.rng.gen_bool(download_probability.min(1.0))
-            {
-                let candidates: Vec<PeerId> = upload_sources
-                    .iter()
-                    .copied()
-                    .filter(|&s| s != downloader)
-                    .collect();
-                if let Some(&chosen) = candidates.choose(&mut self.rng) {
-                    let article = self.pick_article_to_download(downloader, chosen);
-                    let tid = self.transfers.start(downloader, chosen, article, now);
-                    self.active_transfer[p] = Some(tid);
-                    request_transfer.insert((downloader, chosen), tid);
-                    source = Some(chosen);
-                }
-            }
-            if let Some(src) = source {
-                requests_by_source.entry(src).or_default().push(DownloadRequest {
-                    downloader,
-                    sharing_reputation: self.ledger.sharing_reputation(p),
-                    download_capacity: self.peers.peer(downloader).download_capacity,
-                    uploaded_to_source: self.uploads[p][src.index()],
-                });
-            }
-        }
-
-        // Allocate each source's offered upload among its downloaders.
-        let mut downloaded_this_step = vec![0.0f64; population];
-        let mut source_upload_seen = vec![0.0f64; population];
-        let mut bandwidth_share = vec![0.0f64; population];
-        let mut sources: Vec<PeerId> = requests_by_source.keys().copied().collect();
-        sources.sort_unstable();
-        for source in sources {
-            let requests = &requests_by_source[&source];
-            let offered = self.peers.peer(source).offered_upload();
-            let allocations = self.allocator.allocate(offered, requests);
-            for allocation in allocations {
-                let d = allocation.downloader.index();
-                downloaded_this_step[d] += allocation.bandwidth;
-                source_upload_seen[d] = self
-                    .peers
-                    .peer(source)
-                    .shared_upload_fraction
-                    .max(source_upload_seen[d]);
-                bandwidth_share[d] = bandwidth_share[d].max(allocation.share);
-                self.uploads[source.index()][d] += allocation.bandwidth;
-                if let Some(&tid) = request_transfer.get(&(allocation.downloader, source)) {
-                    let status = self.transfers.apply_grant(tid, allocation.bandwidth, now);
-                    if status == TransferStatus::Completed {
-                        self.active_transfer[d] = None;
-                        let article = self.transfers.transfer(tid).article;
-                        self.store.add_replica(allocation.downloader, article);
-                        self.dht
-                            .add_holder(DhtKey::for_article(article.0), allocation.downloader);
-                    }
-                }
-            }
-        }
-
-        // --- 4. Editing and voting ------------------------------------------
-        let mut successful_votes = vec![0u32; population];
-        let mut accepted_edits = vec![0u32; population];
-        let mut attempted_editing = vec![false; population];
-        let mut voted_this_step = vec![false; population];
-        for p in 0..population {
-            let behavior = actions[p].edit;
-            if !behavior.participates() {
-                continue;
-            }
-            if !self.rng.gen_bool(self.config.edit_probability) {
-                continue;
-            }
-            let editor = PeerId(p as u32);
-            // A punished editor regains its editing right once its sharing
-            // reputation has been rebuilt above the threshold θ — the paper's
-            // punishment *is* the reputation reset, so the gate below is what
-            // actually keeps the peer out until it contributes again.
-            if !self.ledger.can_edit(p)
-                && self.ledger.sharing_reputation(p) >= self.config.service.edit_threshold
-            {
-                self.ledger.restore_editing_rights(p);
-            }
-            if !self.ledger.can_edit(p) {
-                continue;
-            }
-            if self.config.incentive.gated_editing()
-                && !self.service.may_edit(self.ledger.sharing_reputation(p))
-            {
-                continue;
-            }
-            let editable = self.articles.editable_articles();
-            let Some(&article_id) = editable.choose(&mut self.rng) else {
-                continue;
-            };
-            let kind = match behavior {
-                EditBehavior::Constructive => EditKind::Constructive,
-                EditBehavior::Destructive => EditKind::Destructive,
-                EditBehavior::Abstain => unreachable!("abstainers skipped above"),
-            };
-            let Some(edit_id) = self.articles.submit_edit(article_id, editor, kind, now) else {
-                continue;
-            };
-            attempted_editing[p] = true;
-
-            // --- The vote -------------------------------------------------
-            // Voter pool: either the Section III-C2 design rule (previously
-            // successful editors of this article) or the Section IV
-            // simulation model (any peer may vote on any change), sampled
-            // down to at most `max_voters_per_edit` voters.
-            let mut eligible: Vec<PeerId> = if self.config.restrict_voters_to_editors {
-                self.articles.article(article_id).eligible_voters(editor)
-            } else {
-                (0..population)
-                    .map(|v| PeerId(v as u32))
-                    .filter(|&v| v != editor)
-                    .collect()
-            };
-            if eligible.len() > self.config.max_voters_per_edit {
-                eligible.shuffle(&mut self.rng);
-                eligible.truncate(self.config.max_voters_per_edit);
-                eligible.sort_unstable();
-            }
-            let mut in_favor = 0.0f64;
-            let mut against = 0.0f64;
-            let mut favor_voters: Vec<usize> = Vec::new();
-            let mut against_voters: Vec<usize> = Vec::new();
-            let voter_reputations: Vec<f64> = eligible
-                .iter()
-                .map(|v| self.ledger.editing_reputation(v.index()))
-                .collect();
-            let powers = if self.config.incentive.weighted_voting() {
-                self.service.voting_powers(&voter_reputations)
-            } else {
-                ServiceDifferentiation::equal_shares(eligible.len())
-            };
-            for (voter, &power) in eligible.iter().zip(powers.iter()) {
-                let vi = voter.index();
-                if self.config.incentive.punishes() && !self.ledger.can_vote(vi) {
-                    continue;
-                }
-                // A voter's stance this step follows its own chosen edit
-                // behaviour: constructive voters support quality, destructive
-                // voters oppose it, abstainers stay silent.
-                let stance = actions[vi].edit;
-                if !stance.participates() {
-                    continue;
-                }
-                voted_this_step[vi] = true;
-                let supports_edit = match (stance, kind) {
-                    (EditBehavior::Constructive, EditKind::Constructive) => true,
-                    (EditBehavior::Constructive, EditKind::Destructive) => false,
-                    (EditBehavior::Destructive, EditKind::Constructive) => false,
-                    (EditBehavior::Destructive, EditKind::Destructive) => true,
-                    (EditBehavior::Abstain, _) => unreachable!("abstainers skipped above"),
-                };
-                if supports_edit {
-                    in_favor += power;
-                    favor_voters.push(vi);
-                } else {
-                    against += power;
-                    against_voters.push(vi);
-                }
-            }
-            let accepted = if self.config.incentive.adaptive_majority() {
-                self.service.edit_accepted(
-                    self.ledger.editing_reputation(p),
-                    in_favor,
-                    against,
-                )
-            } else {
-                in_favor + against > 0.0 && in_favor >= against
-            };
-            self.articles.resolve_edit(edit_id, accepted, now);
-
-            // Editor outcome.
-            if accepted {
-                accepted_edits[p] += 1;
-                self.accepted_since_punishment[p] += 1;
-                if self.config.incentive.punishes() {
-                    let since = self.accepted_since_punishment[p];
-                    self.config.punishment.on_accepted_edit(
-                        &mut self.ledger,
-                        p,
-                        since,
-                        self.config.service.edit_threshold,
-                    );
-                }
-            } else if self.config.incentive.punishes() {
-                let outcome = self.config.punishment.on_declined_edit(&mut self.ledger, p);
-                if outcome
-                    == collabsim_reputation::punishment::PunishmentOutcome::EditingRightsRevoked
-                {
-                    self.accepted_since_punishment[p] = 0;
-                }
-            }
-
-            // Voter outcomes: voters on the winning side cast a successful
-            // vote, losers an unsuccessful one (punished under the scheme).
-            let (winners, losers) = if accepted {
-                (&favor_voters, &against_voters)
-            } else {
-                (&against_voters, &favor_voters)
-            };
-            for &w in winners {
-                successful_votes[w] += 1;
-            }
-            if self.config.incentive.punishes() {
-                for &l in losers.iter() {
-                    self.config.punishment.on_unsuccessful_vote(&mut self.ledger, l);
-                }
-            }
-        }
-
-        // Editing/voting contribution accounting.
-        for p in 0..population {
-            self.ledger.record_editing(
-                p,
-                &EditingAction {
-                    successful_votes: successful_votes[p],
-                    accepted_edits: accepted_edits[p],
-                    attempted: attempted_editing[p] || voted_this_step[p],
-                },
-            );
-        }
-
-        // --- 5. Rewards, learning, measurement ------------------------------
-        for p in 0..population {
-            let action = actions[p];
-            let sharing_obs = SharingObservation {
-                source_upload: source_upload_seen[p],
-                bandwidth_share: bandwidth_share[p].min(1.0),
-                disk_share: action.articles.fraction(),
-                own_upload: action.bandwidth.fraction(),
-            };
-            let editing_obs = EditingObservation {
-                successful_edits: accepted_edits[p],
-                successful_votes: successful_votes[p],
-            };
-            let reward = self.config.utility.total_utility(&sharing_obs, &editing_obs);
-            let next_state = self.agent_state(p);
-            self.agents[p].learn(reward, next_state);
-
-            if self.measuring {
-                let acc = &mut self.accumulators[p];
-                acc.shared_bandwidth_sum += action.bandwidth.fraction();
-                acc.shared_articles_sum += action.articles.fraction();
-                acc.downloaded_sum += downloaded_this_step[p];
-                acc.utility_sum += reward;
-                if attempted_editing[p] {
-                    match action.edit {
-                        EditBehavior::Constructive => acc.constructive_edits += 1,
-                        EditBehavior::Destructive => acc.destructive_edits += 1,
-                        EditBehavior::Abstain => {}
-                    }
-                }
-                if voted_this_step[p] {
-                    acc.votes += 1;
-                }
-                acc.steps += 1;
-            }
-        }
-    }
-
-    /// The agent's current state: its sharing-reputation bucket.
-    fn agent_state(&self, peer: usize) -> AgentState {
-        AgentState::from_reputation(
-            self.ledger.sharing_reputation(peer),
-            self.config.min_reputation,
-            self.states,
-        )
-    }
-
-    /// Picks the article a downloader will fetch from a source: preferably
-    /// one offered by the source that the downloader does not yet hold,
-    /// otherwise any article offered by the source, otherwise any article.
-    fn pick_article_to_download(&mut self, downloader: PeerId, source: PeerId) -> ArticleId {
-        let offered = self.store.offered_by(source);
-        let missing: Vec<ArticleId> = offered
-            .iter()
-            .copied()
-            .filter(|&a| !self.store.holds(downloader, a))
-            .collect();
-        if let Some(&a) = missing.choose(&mut self.rng) {
-            return a;
-        }
-        if let Some(&a) = offered.choose(&mut self.rng) {
-            return a;
-        }
-        // The source offers bandwidth but no specific article replica; fall
-        // back to a random article of the registry (size-1 download of a
-        // cached copy).
-        let count = self.articles.article_count() as u32;
-        if count == 0 {
-            ArticleId(0)
-        } else {
-            ArticleId(self.rng.gen_range(0..count))
-        }
-    }
-
-    /// Builds the report from the evaluation-phase accumulators.
-    fn build_report(&self) -> SimulationReport {
-        let population = self.config.population;
-        let mut overall_bandwidth = 0.0;
-        let mut overall_articles = 0.0;
-        let mut total_steps = 0u64;
-
-        let mut by_behavior: BTreeMap<String, BehaviorBreakdown> = BTreeMap::new();
-        for behavior in BehaviorType::ALL {
-            let peers_of_type: Vec<usize> = (0..population)
-                .filter(|&p| self.behaviors[p] == behavior)
-                .collect();
-            if peers_of_type.is_empty() {
-                continue;
-            }
-            let mut breakdown = BehaviorBreakdown {
-                peers: peers_of_type.len(),
-                ..Default::default()
-            };
-            let mut steps = 0u64;
-            for &p in &peers_of_type {
-                let acc = &self.accumulators[p];
-                breakdown.shared_bandwidth += acc.shared_bandwidth_sum;
-                breakdown.shared_articles += acc.shared_articles_sum;
-                breakdown.downloaded += acc.downloaded_sum;
-                breakdown.mean_utility += acc.utility_sum;
-                breakdown.constructive_edits += acc.constructive_edits;
-                breakdown.destructive_edits += acc.destructive_edits;
-                breakdown.votes += acc.votes;
-                breakdown.final_sharing_reputation += self.ledger.sharing_reputation(p);
-                breakdown.final_editing_reputation += self.ledger.editing_reputation(p);
-                steps += acc.steps;
-                overall_bandwidth += acc.shared_bandwidth_sum;
-                overall_articles += acc.shared_articles_sum;
-                total_steps += acc.steps;
-            }
-            if steps > 0 {
-                breakdown.shared_bandwidth /= steps as f64;
-                breakdown.shared_articles /= steps as f64;
-                breakdown.downloaded /= steps as f64;
-                breakdown.mean_utility /= steps as f64;
-            }
-            breakdown.final_sharing_reputation /= peers_of_type.len() as f64;
-            breakdown.final_editing_reputation /= peers_of_type.len() as f64;
-            by_behavior.insert(behavior.label().to_string(), breakdown);
-        }
-
-        let (shared_bandwidth, shared_articles) = if total_steps > 0 {
-            (
-                overall_bandwidth / total_steps as f64,
-                overall_articles / total_steps as f64,
-            )
-        } else {
-            (0.0, 0.0)
-        };
-
-        // Edit outcomes accumulated during the evaluation phase only.
-        let now_counts = self.articles.edit_outcome_counts();
-        let base = self.edit_outcome_baseline;
-        let edit_outcomes = collabsim_netsim::article::EditOutcomeCounts {
-            accepted_constructive: now_counts.accepted_constructive - base.accepted_constructive,
-            accepted_destructive: now_counts.accepted_destructive - base.accepted_destructive,
-            declined_constructive: now_counts.declined_constructive - base.declined_constructive,
-            declined_destructive: now_counts.declined_destructive - base.declined_destructive,
-            pending: now_counts.pending,
-        };
-
-        SimulationReport {
-            shared_bandwidth,
-            shared_articles,
-            by_behavior,
-            edit_outcomes,
-            mean_article_quality: self.articles.mean_quality(),
-            completed_downloads: self.transfers.completed_count()
-                - self.downloads_completed_in_evaluation,
-            evaluation_steps: self.evaluation_steps_run,
-            seed: self.config.seed,
-        }
+        self.pipeline.run_step(&mut self.world, temperature);
     }
 }
 
@@ -719,6 +156,7 @@ mod tests {
     use crate::config::PhaseConfig;
     use crate::incentive::IncentiveScheme;
     use collabsim_gametheory::behavior::BehaviorMix;
+    use collabsim_reputation::propagation::PropagationScheme;
 
     fn quick_config() -> SimulationConfig {
         SimulationConfig {
@@ -737,7 +175,9 @@ mod tests {
     fn construction_assigns_behaviors_according_to_mix() {
         let config = quick_config().with_mix(BehaviorMix::new(0.5, 0.25, 0.25));
         let sim = Simulation::new(config);
-        let rational = (0..20).filter(|&p| sim.behavior(p) == BehaviorType::Rational).count();
+        let rational = (0..20)
+            .filter(|&p| sim.behavior(p) == BehaviorType::Rational)
+            .count();
         let altruistic = (0..20)
             .filter(|&p| sim.behavior(p) == BehaviorType::Altruistic)
             .count();
@@ -745,6 +185,26 @@ mod tests {
         assert_eq!(altruistic, 5);
         assert_eq!(sim.now(), 0);
         assert_eq!(sim.articles().article_count(), 10);
+    }
+
+    #[test]
+    fn standard_pipeline_delegates_to_the_protocol_phases() {
+        let sim = Simulation::new(quick_config());
+        assert_eq!(
+            sim.pipeline().phase_names(),
+            vec![
+                "selection",
+                "sharing",
+                "download",
+                "edit-vote",
+                "utility",
+                "learning"
+            ]
+        );
+        assert!(
+            sim.pipeline().len() >= 5,
+            "step must delegate to ≥ 5 phases"
+        );
     }
 
     #[test]
@@ -903,5 +363,48 @@ mod tests {
         sim.step(1.0);
         sim.step(1.0);
         assert_eq!(sim.now(), 2);
+    }
+
+    #[test]
+    fn propagation_phase_produces_a_global_reputation_vector() {
+        let config = quick_config()
+            .with_mix(BehaviorMix::new(0.0, 0.5, 0.5))
+            .with_propagation(PropagationScheme::EigenTrust, 25);
+        let mut sim = Simulation::new(config);
+        assert_eq!(sim.pipeline().len(), 7);
+        assert_eq!(sim.pipeline().phase_names().last(), Some(&"propagation"));
+        assert!(sim.global_reputation().is_none());
+        let report = sim.run();
+        let global = sim
+            .global_reputation()
+            .expect("propagation ran during the simulation");
+        assert_eq!(global.values.len(), 20);
+        assert!(global.values.iter().all(|v| v.is_finite() && *v >= 0.0));
+        // 200 steps at interval 25 → 8 runs.
+        assert_eq!(sim.world().propagation_runs, 8);
+        // Altruists (upload everything) must out-rank free-riders globally.
+        let mean = |ty: BehaviorType| {
+            let peers: Vec<usize> = (0..20).filter(|&p| sim.behavior(p) == ty).collect();
+            let sum: f64 = peers.iter().map(|&p| global.values[p]).sum();
+            sum / peers.len() as f64
+        };
+        assert!(
+            mean(BehaviorType::Altruistic) > mean(BehaviorType::Irrational),
+            "propagated reputation must reflect upload behaviour"
+        );
+        assert!(report.evaluation_steps == 80);
+    }
+
+    #[test]
+    fn propagation_does_not_perturb_the_core_dynamics() {
+        // Same seed, propagation on vs off: the report must be identical
+        // because the propagation phase only reads the upload history and
+        // draws from its own RNG stream.
+        let base = quick_config()
+            .with_mix(BehaviorMix::new(0.4, 0.3, 0.3))
+            .with_seed(99);
+        let without = Simulation::new(base.clone()).run();
+        let with = Simulation::new(base.with_propagation(PropagationScheme::Gossip, 50)).run();
+        assert_eq!(without, with);
     }
 }

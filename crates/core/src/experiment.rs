@@ -1,11 +1,22 @@
-//! Experiment definitions: the parameter sweeps behind every figure.
+//! Experiment definitions: scenario grids, the parallel runner, and the
+//! parameter sweeps behind every figure.
 //!
-//! Each function builds the set of [`SimulationConfig`]s a figure needs,
-//! runs them (fanned out over worker threads with `crossbeam::scope`), and
-//! returns the per-configuration reports in a fixed, deterministic order.
-//! The `collabsim-bench` binaries print these results as the numeric series
-//! corresponding to the paper's Figures 3–7; the ablations (ABL1–ABL3 of
-//! DESIGN.md) reuse the same machinery.
+//! The machinery has three layers:
+//!
+//! 1. [`ScenarioGrid`] — declares an experiment as the cartesian product of
+//!    behaviour mixes × incentive schemes × seeds over a base
+//!    [`SimulationConfig`]. Expansion order is fixed (mix-major, then
+//!    scheme, then seed) so cell labels and result order are deterministic.
+//! 2. [`ScenarioRunner`] — executes independent [`Simulation`] cells on a
+//!    work-stealing pool of scoped OS threads (each cell owns its own RNG
+//!    stream, so parallel and sequential execution produce bit-identical
+//!    per-cell [`SimulationReport`]s). `Parallelism::Sequential` forces
+//!    in-order single-threaded execution for debugging and for the
+//!    parallel-equals-sequential regression tests.
+//! 3. The figure helpers (`mix_sweep`, `figure3_*`, `ablation_*`) — each of
+//!    the paper's Figures 3–7 and the DESIGN.md ablations reduced to a grid
+//!    declaration plus a [`run_batch`] call, printed by the
+//!    `collabsim-bench` binaries.
 
 use crate::config::SimulationConfig;
 use crate::engine::Simulation;
@@ -13,6 +24,8 @@ use crate::incentive::IncentiveScheme;
 use crate::report::SimulationReport;
 use collabsim_gametheory::behavior::{BehaviorMix, BehaviorType};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The percentages swept in the paper's mix experiments (Section IV-B:
 /// "the occurrence of each user type is varied from 10 − 100 %"; the figures
@@ -30,58 +43,253 @@ pub struct LabelledReport {
     pub report: SimulationReport,
 }
 
+/// One cell of an expanded [`ScenarioGrid`]: a labelled, fully resolved
+/// configuration ready to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCell {
+    /// Human-readable cell label, `mix/scheme/seed=N`.
+    pub label: String,
+    /// The swept numeric parameter attached to the cell's mix point.
+    pub parameter: f64,
+    /// The resolved configuration.
+    pub config: SimulationConfig,
+}
+
+/// A declarative parameter grid: behaviour mixes × incentive schemes ×
+/// seeds over a base configuration.
+///
+/// ```
+/// use collabsim::config::{PhaseConfig, SimulationConfig};
+/// use collabsim::experiment::{ScenarioGrid, ScenarioRunner};
+/// use collabsim::incentive::IncentiveScheme;
+/// use collabsim::BehaviorMix;
+///
+/// let base = SimulationConfig {
+///     population: 12,
+///     initial_articles: 6,
+///     phases: PhaseConfig { training_steps: 40, evaluation_steps: 20, ..Default::default() },
+///     ..Default::default()
+/// };
+/// let grid = ScenarioGrid::new(base)
+///     .with_mixes([("half-rational", 50.0, BehaviorMix::new(0.5, 0.25, 0.25))])
+///     .with_schemes([IncentiveScheme::ReputationBased, IncentiveScheme::None])
+///     .with_seeds([1, 2]);
+/// assert_eq!(grid.len(), 4);
+/// let reports = ScenarioRunner::default().run_grid(&grid);
+/// assert_eq!(reports.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    base: SimulationConfig,
+    mixes: Vec<(String, f64, BehaviorMix)>,
+    schemes: Vec<IncentiveScheme>,
+    seeds: Vec<u64>,
+}
+
+impl ScenarioGrid {
+    /// A grid containing exactly the base configuration as its single cell.
+    pub fn new(base: SimulationConfig) -> Self {
+        Self {
+            mixes: vec![("base".to_string(), 0.0, base.mix)],
+            schemes: vec![base.incentive],
+            seeds: vec![base.seed],
+            base,
+        }
+    }
+
+    /// Replaces the mix axis with labelled `(label, parameter, mix)` points.
+    pub fn with_mixes<L, I>(mut self, mixes: I) -> Self
+    where
+        L: Into<String>,
+        I: IntoIterator<Item = (L, f64, BehaviorMix)>,
+    {
+        self.mixes = mixes
+            .into_iter()
+            .map(|(l, p, m)| (l.into(), p, m))
+            .collect();
+        assert!(!self.mixes.is_empty(), "grid needs at least one mix");
+        self
+    }
+
+    /// Replaces the mix axis with the paper's 10–90 % sweep of `primary`
+    /// (remainder split evenly between the other two types).
+    pub fn with_mix_sweep(self, primary: BehaviorType) -> Self {
+        let points = MIX_SWEEP_PERCENTAGES.map(|pct| {
+            (
+                format!("{}={}%", primary.label(), pct),
+                f64::from(pct),
+                BehaviorMix::sweep(primary, f64::from(pct) / 100.0),
+            )
+        });
+        self.with_mixes(points)
+    }
+
+    /// Replaces the incentive-scheme axis.
+    pub fn with_schemes<I: IntoIterator<Item = IncentiveScheme>>(mut self, schemes: I) -> Self {
+        self.schemes = schemes.into_iter().collect();
+        assert!(!self.schemes.is_empty(), "grid needs at least one scheme");
+        self
+    }
+
+    /// Replaces the seed axis.
+    pub fn with_seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        assert!(!self.seeds.is_empty(), "grid needs at least one seed");
+        self
+    }
+
+    /// Number of cells the grid expands to.
+    pub fn len(&self) -> usize {
+        self.mixes.len() * self.schemes.len() * self.seeds.len()
+    }
+
+    /// Whether the grid is empty (never: every axis is non-empty).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Expands the grid into cells in fixed mix-major order.
+    pub fn cells(&self) -> Vec<ScenarioCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for (mix_label, parameter, mix) in &self.mixes {
+            for &scheme in &self.schemes {
+                for &seed in &self.seeds {
+                    cells.push(ScenarioCell {
+                        label: format!("{mix_label}/{}/seed={seed}", scheme.label()),
+                        parameter: *parameter,
+                        config: self
+                            .base
+                            .clone()
+                            .with_mix(*mix)
+                            .with_incentive(scheme)
+                            .with_seed(seed),
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// How a [`ScenarioRunner`] schedules its cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker per available core, capped at the cell count.
+    #[default]
+    Auto,
+    /// Strictly single-threaded, in input order.
+    Sequential,
+    /// A fixed number of workers (values < 2 mean sequential).
+    Fixed(usize),
+}
+
+/// Executes independent simulation cells on a pool of scoped worker
+/// threads.
+///
+/// Every cell owns its configuration — and therefore its seeded RNG
+/// stream — so execution order cannot leak between cells: a parallel run
+/// returns bit-identical per-cell reports to a sequential run, in input
+/// order. The pool is a simple work-stealing queue (an atomic cursor over
+/// the job list), which keeps long cells from serialising behind short
+/// ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScenarioRunner {
+    parallelism: Parallelism,
+}
+
+impl ScenarioRunner {
+    /// A runner with an explicit parallelism policy.
+    pub fn new(parallelism: Parallelism) -> Self {
+        Self { parallelism }
+    }
+
+    /// A strictly sequential runner (for debugging and equivalence tests).
+    pub fn sequential() -> Self {
+        Self::new(Parallelism::Sequential)
+    }
+
+    fn workers_for(&self, jobs: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        match self.parallelism {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => n.max(1).min(jobs.max(1)),
+            Parallelism::Auto => hw().min(jobs.max(1)),
+        }
+    }
+
+    /// Expands and runs a [`ScenarioGrid`], returning reports in cell
+    /// order.
+    pub fn run_grid(&self, grid: &ScenarioGrid) -> Vec<LabelledReport> {
+        self.run_cells(
+            grid.cells()
+                .into_iter()
+                .map(|c| (c.label, c.parameter, c.config))
+                .collect(),
+        )
+    }
+
+    /// Runs pre-built `(label, parameter, config)` cells, returning reports
+    /// in input order regardless of completion order.
+    pub fn run_cells(&self, configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
+        let workers = self.workers_for(configs.len());
+        if workers <= 1 || configs.len() <= 1 {
+            return configs
+                .into_iter()
+                .map(|(label, parameter, config)| LabelledReport {
+                    label,
+                    parameter,
+                    report: Simulation::new(config).run(),
+                })
+                .collect();
+        }
+
+        let jobs = configs;
+        let total = jobs.len();
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<LabelledReport>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let (label, parameter, config) = &jobs[index];
+                    let report = Simulation::new(config.clone()).run();
+                    *slots[index].lock().expect("result slot poisoned") = Some(LabelledReport {
+                        label: label.clone(),
+                        parameter: *parameter,
+                        report,
+                    });
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("missing experiment result")
+            })
+            .collect()
+    }
+}
+
 /// Runs a batch of labelled configurations, in parallel when more than one
 /// worker is available. Results are returned in input order regardless of
 /// completion order, so sweeps stay deterministic.
+///
+/// Thin wrapper around [`ScenarioRunner::run_cells`] with automatic
+/// parallelism, kept as the entry point of the figure helpers below.
 pub fn run_batch(configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(configs.len().max(1));
-    if workers <= 1 || configs.len() <= 1 {
-        return configs
-            .into_iter()
-            .map(|(label, parameter, config)| LabelledReport {
-                label,
-                parameter,
-                report: Simulation::new(config).run(),
-            })
-            .collect();
-    }
-
-    let jobs: Vec<(usize, String, f64, SimulationConfig)> = configs
-        .into_iter()
-        .enumerate()
-        .map(|(i, (label, parameter, config))| (i, label, parameter, config))
-        .collect();
-    let total = jobs.len();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<LabelledReport>>> =
-        (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
-
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if index >= total {
-                    break;
-                }
-                let (slot, label, parameter, config) = &jobs[index];
-                let report = Simulation::new(config.clone()).run();
-                *results[*slot].lock() = Some(LabelledReport {
-                    label: label.clone(),
-                    parameter: *parameter,
-                    report,
-                });
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("missing experiment result"))
-        .collect()
+    ScenarioRunner::default().run_cells(configs)
 }
 
 /// **Figure 3** — shared articles and bandwidth of an all-rational
@@ -148,8 +356,16 @@ pub fn mean_sharing(reports: &[LabelledReport]) -> (f64, f64) {
     }
     let n = reports.len() as f64;
     (
-        reports.iter().map(|r| r.report.shared_articles).sum::<f64>() / n,
-        reports.iter().map(|r| r.report.shared_bandwidth).sum::<f64>() / n,
+        reports
+            .iter()
+            .map(|r| r.report.shared_articles)
+            .sum::<f64>()
+            / n,
+        reports
+            .iter()
+            .map(|r| r.report.shared_bandwidth)
+            .sum::<f64>()
+            / n,
     )
 }
 
@@ -298,7 +514,9 @@ mod tests {
         assert_eq!(with.len(), 2);
         assert_eq!(without.len(), 2);
         assert!(with.iter().all(|r| r.label.starts_with("with-incentive")));
-        assert!(without.iter().all(|r| r.label.starts_with("without-incentive")));
+        assert!(without
+            .iter()
+            .all(|r| r.label.starts_with("without-incentive")));
         let (articles, bandwidth) = mean_sharing(&with);
         assert!((0.0..=1.0).contains(&articles));
         assert!((0.0..=1.0).contains(&bandwidth));
@@ -341,5 +559,68 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].label, "beta=0.1");
         assert_eq!(results[1].parameter, 0.3);
+    }
+
+    #[test]
+    fn grid_expands_in_mix_major_order_with_stable_labels() {
+        let grid = ScenarioGrid::new(tiny_base())
+            .with_mixes([
+                ("a", 1.0, BehaviorMix::all_rational()),
+                ("b", 2.0, BehaviorMix::new(0.5, 0.25, 0.25)),
+            ])
+            .with_schemes([IncentiveScheme::ReputationBased, IncentiveScheme::None])
+            .with_seeds([5, 6]);
+        assert_eq!(grid.len(), 8);
+        assert!(!grid.is_empty());
+        let cells = grid.cells();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "a/reputation/seed=5",
+                "a/reputation/seed=6",
+                "a/none/seed=5",
+                "a/none/seed=6",
+                "b/reputation/seed=5",
+                "b/reputation/seed=6",
+                "b/none/seed=5",
+                "b/none/seed=6",
+            ]
+        );
+        assert_eq!(cells[0].config.seed, 5);
+        assert_eq!(cells[3].config.incentive, IncentiveScheme::None);
+        assert_eq!(cells[4].parameter, 2.0);
+        assert!((cells[4].config.mix.altruistic() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_grid_is_the_base_configuration() {
+        let base = tiny_base().with_seed(77);
+        let grid = ScenarioGrid::new(base.clone());
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].config, base);
+        assert_eq!(cells[0].label, "base/reputation/seed=77");
+    }
+
+    #[test]
+    fn grid_mix_sweep_covers_the_paper_percentages() {
+        let grid = ScenarioGrid::new(tiny_base()).with_mix_sweep(BehaviorType::Irrational);
+        assert_eq!(grid.len(), 9);
+        let cells = grid.cells();
+        assert!(cells[0].label.starts_with("irrational=10%"));
+        assert_eq!(cells[8].parameter, 90.0);
+    }
+
+    #[test]
+    fn fixed_parallelism_matches_auto_and_sequential() {
+        let grid = ScenarioGrid::new(tiny_base())
+            .with_schemes([IncentiveScheme::ReputationBased, IncentiveScheme::None])
+            .with_seeds([1, 2]);
+        let auto = ScenarioRunner::default().run_grid(&grid);
+        let fixed = ScenarioRunner::new(Parallelism::Fixed(3)).run_grid(&grid);
+        let sequential = ScenarioRunner::sequential().run_grid(&grid);
+        assert_eq!(auto, sequential);
+        assert_eq!(fixed, sequential);
     }
 }

@@ -179,7 +179,10 @@ mod tests {
     #[test]
     fn reputation_scheme_enables_every_mechanism() {
         let s = IncentiveScheme::ReputationBased;
-        assert_eq!(s.allocation_policy(), AllocationPolicy::WeightedByReputation);
+        assert_eq!(
+            s.allocation_policy(),
+            AllocationPolicy::WeightedByReputation
+        );
         assert!(s.weighted_voting());
         assert!(s.gated_editing());
         assert!(s.adaptive_majority());

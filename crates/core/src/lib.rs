@@ -20,14 +20,24 @@
 //! * the utility functions `U_S`/`U_E` of
 //!   [`collabsim_gametheory::utility`] providing the per-step rewards.
 //!
+//! The step loop itself is a composable pipeline: every sub-phase of a
+//! simulation step (selection, sharing, downloads, editing/voting, utility,
+//! learning, optional reputation propagation) is a
+//! [`pipeline::StepPhase`] trait object operating on the shared
+//! [`world::SimWorld`], so incentive schemes and future substrates plug in
+//! without touching the loop.
+//!
 //! The top-level entry points are:
 //!
 //! * [`SimulationConfig`] / [`Simulation`] — configure and run one
 //!   simulation (training phase + measured evaluation phase) and obtain a
 //!   [`SimulationReport`],
-//! * [`experiment`] — the parameter sweeps that regenerate every figure of
-//!   the paper (Figures 3–7) plus the ablations, fanned out over worker
-//!   threads with `crossbeam`,
+//! * [`pipeline`] — the step-phase pipeline behind [`Simulation::step`],
+//! * [`experiment`] — [`experiment::ScenarioGrid`] /
+//!   [`experiment::ScenarioRunner`]: declarative parameter grids
+//!   (mix × scheme × seed) executed on parallel worker threads, plus the
+//!   sweeps that regenerate every figure of the paper (Figures 3–7) and
+//!   the ablations,
 //! * [`results`] — plain-text/CSV table rendering used by the
 //!   figure-regeneration binaries in `collabsim-bench`.
 
@@ -40,15 +50,20 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod incentive;
+pub mod pipeline;
 pub mod report;
 pub mod results;
+pub mod world;
 
 pub use action::{CollabAction, EditBehavior, ShareLevel, ACTION_DIMS};
 pub use agent::{AgentState, CollabAgent};
-pub use config::{PhaseConfig, SimulationConfig};
+pub use config::{PhaseConfig, PropagationConfig, SimulationConfig};
 pub use engine::Simulation;
+pub use experiment::{ScenarioGrid, ScenarioRunner};
 pub use incentive::IncentiveScheme;
+pub use pipeline::{StepContext, StepPhase, StepPipeline};
 pub use report::{BehaviorBreakdown, SimulationReport};
+pub use world::SimWorld;
 
 // Re-export the pieces downstream users constantly need alongside the core
 // API so examples only import one crate.

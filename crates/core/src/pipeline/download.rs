@@ -1,0 +1,136 @@
+//! Phase 3 — downloads and bandwidth allocation.
+
+use super::{StepContext, StepPhase};
+use crate::config::DownloadRate;
+use crate::world::SimWorld;
+use collabsim_netsim::bandwidth::DownloadRequest;
+use collabsim_netsim::dht::DhtKey;
+use collabsim_netsim::peer::PeerId;
+use collabsim_netsim::transfer::TransferStatus;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Collects download requests (continuing in-flight transfers, starting new
+/// ones probabilistically) and allocates every source's offered upload
+/// bandwidth among its competitors under the configured incentive scheme.
+///
+/// Fills [`StepContext::downloaded`], [`StepContext::source_upload_seen`]
+/// and [`StepContext::bandwidth_share`].
+pub struct DownloadPhase;
+
+impl StepPhase for DownloadPhase {
+    fn name(&self) -> &'static str {
+        "download"
+    }
+
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
+        let population = world.population();
+        let now = ctx.now;
+        let sharing_peers = world.peers.sharing_peers();
+        let download_probability = match world.config.download_probability {
+            DownloadRate::Fixed(p) => p,
+            DownloadRate::InverseSharers => {
+                if sharing_peers.is_empty() {
+                    0.0
+                } else {
+                    1.0 / sharing_peers.len() as f64
+                }
+            }
+        };
+
+        // Download sources must actually offer upload bandwidth this step:
+        // the paper's competition is over "the source's upload bandwidth",
+        // so a peer offering only stored articles cannot serve a transfer.
+        let upload_sources: Vec<PeerId> = sharing_peers
+            .iter()
+            .copied()
+            .filter(|&s| world.peers.peer(s).offered_upload() > 0.0)
+            .collect();
+
+        // Collect download requests per source.
+        let mut requests_by_source: HashMap<PeerId, Vec<DownloadRequest>> = HashMap::new();
+        let mut request_transfer: HashMap<(PeerId, PeerId), u64> = HashMap::new();
+        for p in 0..population {
+            let downloader = PeerId(p as u32);
+            // Continue an in-flight transfer if its source still offers
+            // bandwidth; otherwise abandon it and look for a new source.
+            let mut source: Option<PeerId> = None;
+            if let Some(tid) = world.active_transfer[p] {
+                let t = world.transfers.transfer(tid);
+                if t.status == TransferStatus::InProgress
+                    && world.peers.peer(t.source).offered_upload() > 0.0
+                {
+                    source = Some(t.source);
+                    request_transfer.insert((downloader, t.source), tid);
+                } else {
+                    if t.status == TransferStatus::InProgress {
+                        world.transfers.cancel(tid, now);
+                    }
+                    world.active_transfer[p] = None;
+                }
+            }
+            // Otherwise maybe start a new download.
+            if source.is_none()
+                && !upload_sources.is_empty()
+                && download_probability > 0.0
+                && world.rng.gen_bool(download_probability.min(1.0))
+            {
+                let candidates: Vec<PeerId> = upload_sources
+                    .iter()
+                    .copied()
+                    .filter(|&s| s != downloader)
+                    .collect();
+                if let Some(&chosen) = candidates.choose(&mut world.rng) {
+                    let article = world.pick_article_to_download(downloader, chosen);
+                    let tid = world.transfers.start(downloader, chosen, article, now);
+                    world.active_transfer[p] = Some(tid);
+                    request_transfer.insert((downloader, chosen), tid);
+                    source = Some(chosen);
+                }
+            }
+            if let Some(src) = source {
+                requests_by_source
+                    .entry(src)
+                    .or_default()
+                    .push(DownloadRequest {
+                        downloader,
+                        sharing_reputation: world.ledger.sharing_reputation(p),
+                        download_capacity: world.peers.peer(downloader).download_capacity,
+                        uploaded_to_source: world.uploads[p][src.index()],
+                    });
+            }
+        }
+
+        // Allocate each source's offered upload among its downloaders.
+        let mut sources: Vec<PeerId> = requests_by_source.keys().copied().collect();
+        sources.sort_unstable();
+        for source in sources {
+            let requests = &requests_by_source[&source];
+            let offered = world.peers.peer(source).offered_upload();
+            let allocations = world.allocator.allocate(offered, requests);
+            for allocation in allocations {
+                let d = allocation.downloader.index();
+                ctx.downloaded[d] += allocation.bandwidth;
+                ctx.source_upload_seen[d] = world
+                    .peers
+                    .peer(source)
+                    .shared_upload_fraction
+                    .max(ctx.source_upload_seen[d]);
+                ctx.bandwidth_share[d] = ctx.bandwidth_share[d].max(allocation.share);
+                world.uploads[source.index()][d] += allocation.bandwidth;
+                if let Some(&tid) = request_transfer.get(&(allocation.downloader, source)) {
+                    let status = world.transfers.apply_grant(tid, allocation.bandwidth, now);
+                    if status == TransferStatus::Completed {
+                        world.active_transfer[d] = None;
+                        let article = world.transfers.transfer(tid).article;
+                        world.store.add_replica(allocation.downloader, article);
+                        world
+                            .dht
+                            .add_holder(DhtKey::for_article(article.0), allocation.downloader);
+                    }
+                }
+            }
+        }
+    }
+}

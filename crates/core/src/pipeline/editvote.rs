@@ -1,0 +1,194 @@
+//! Phase 4 — editing and voting.
+
+use super::{StepContext, StepPhase};
+use crate::action::EditBehavior;
+use crate::world::SimWorld;
+use collabsim_netsim::article::EditKind;
+use collabsim_netsim::peer::PeerId;
+use collabsim_reputation::contribution::EditingAction;
+use collabsim_reputation::punishment::PunishmentOutcome;
+use collabsim_reputation::service::ServiceDifferentiation;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Participating peers attempt edits on random articles; each edit is put
+/// to a vote whose eligibility, weighting, acceptance majority and
+/// punishments follow the configured incentive scheme. Editing/voting
+/// contributions (`C_E`) are recorded afterwards.
+///
+/// Fills [`StepContext::successful_votes`], [`StepContext::accepted_edits`],
+/// [`StepContext::attempted_editing`] and [`StepContext::voted_this_step`].
+pub struct EditVotePhase;
+
+impl StepPhase for EditVotePhase {
+    fn name(&self) -> &'static str {
+        "edit-vote"
+    }
+
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
+        let population = world.population();
+        let now = ctx.now;
+        for p in 0..population {
+            let behavior = ctx.actions[p].edit;
+            if !behavior.participates() {
+                continue;
+            }
+            if !world.rng.gen_bool(world.config.edit_probability) {
+                continue;
+            }
+            let editor = PeerId(p as u32);
+            // A punished editor regains its editing right once its sharing
+            // reputation has been rebuilt above the threshold θ — the paper's
+            // punishment *is* the reputation reset, so the gate below is what
+            // actually keeps the peer out until it contributes again.
+            if !world.ledger.can_edit(p)
+                && world.ledger.sharing_reputation(p) >= world.config.service.edit_threshold
+            {
+                world.ledger.restore_editing_rights(p);
+            }
+            if !world.ledger.can_edit(p) {
+                continue;
+            }
+            if world.config.incentive.gated_editing()
+                && !world.service.may_edit(world.ledger.sharing_reputation(p))
+            {
+                continue;
+            }
+            let editable = world.articles.editable_articles();
+            let Some(&article_id) = editable.choose(&mut world.rng) else {
+                continue;
+            };
+            let kind = match behavior {
+                EditBehavior::Constructive => EditKind::Constructive,
+                EditBehavior::Destructive => EditKind::Destructive,
+                EditBehavior::Abstain => unreachable!("abstainers skipped above"),
+            };
+            let Some(edit_id) = world.articles.submit_edit(article_id, editor, kind, now) else {
+                continue;
+            };
+            ctx.attempted_editing[p] = true;
+
+            // --- The vote -------------------------------------------------
+            // Voter pool: either the Section III-C2 design rule (previously
+            // successful editors of this article) or the Section IV
+            // simulation model (any peer may vote on any change), sampled
+            // down to at most `max_voters_per_edit` voters.
+            let mut eligible: Vec<PeerId> = if world.config.restrict_voters_to_editors {
+                world.articles.article(article_id).eligible_voters(editor)
+            } else {
+                (0..population)
+                    .map(|v| PeerId(v as u32))
+                    .filter(|&v| v != editor)
+                    .collect()
+            };
+            if eligible.len() > world.config.max_voters_per_edit {
+                eligible.shuffle(&mut world.rng);
+                eligible.truncate(world.config.max_voters_per_edit);
+                eligible.sort_unstable();
+            }
+            let mut in_favor = 0.0f64;
+            let mut against = 0.0f64;
+            let mut favor_voters: Vec<usize> = Vec::new();
+            let mut against_voters: Vec<usize> = Vec::new();
+            let voter_reputations: Vec<f64> = eligible
+                .iter()
+                .map(|v| world.ledger.editing_reputation(v.index()))
+                .collect();
+            let powers = if world.config.incentive.weighted_voting() {
+                world.service.voting_powers(&voter_reputations)
+            } else {
+                ServiceDifferentiation::equal_shares(eligible.len())
+            };
+            for (voter, &power) in eligible.iter().zip(powers.iter()) {
+                let vi = voter.index();
+                if world.config.incentive.punishes() && !world.ledger.can_vote(vi) {
+                    continue;
+                }
+                // A voter's stance this step follows its own chosen edit
+                // behaviour: constructive voters support quality, destructive
+                // voters oppose it, abstainers stay silent.
+                let stance = ctx.actions[vi].edit;
+                if !stance.participates() {
+                    continue;
+                }
+                ctx.voted_this_step[vi] = true;
+                let supports_edit = match (stance, kind) {
+                    (EditBehavior::Constructive, EditKind::Constructive) => true,
+                    (EditBehavior::Constructive, EditKind::Destructive) => false,
+                    (EditBehavior::Destructive, EditKind::Constructive) => false,
+                    (EditBehavior::Destructive, EditKind::Destructive) => true,
+                    (EditBehavior::Abstain, _) => unreachable!("abstainers skipped above"),
+                };
+                if supports_edit {
+                    in_favor += power;
+                    favor_voters.push(vi);
+                } else {
+                    against += power;
+                    against_voters.push(vi);
+                }
+            }
+            let accepted = if world.config.incentive.adaptive_majority() {
+                world
+                    .service
+                    .edit_accepted(world.ledger.editing_reputation(p), in_favor, against)
+            } else {
+                in_favor + against > 0.0 && in_favor >= against
+            };
+            world.articles.resolve_edit(edit_id, accepted, now);
+
+            // Editor outcome.
+            if accepted {
+                ctx.accepted_edits[p] += 1;
+                world.accepted_since_punishment[p] += 1;
+                if world.config.incentive.punishes() {
+                    let since = world.accepted_since_punishment[p];
+                    world.config.punishment.on_accepted_edit(
+                        &mut world.ledger,
+                        p,
+                        since,
+                        world.config.service.edit_threshold,
+                    );
+                }
+            } else if world.config.incentive.punishes() {
+                let outcome = world
+                    .config
+                    .punishment
+                    .on_declined_edit(&mut world.ledger, p);
+                if outcome == PunishmentOutcome::EditingRightsRevoked {
+                    world.accepted_since_punishment[p] = 0;
+                }
+            }
+
+            // Voter outcomes: voters on the winning side cast a successful
+            // vote, losers an unsuccessful one (punished under the scheme).
+            let (winners, losers) = if accepted {
+                (&favor_voters, &against_voters)
+            } else {
+                (&against_voters, &favor_voters)
+            };
+            for &w in winners {
+                ctx.successful_votes[w] += 1;
+            }
+            if world.config.incentive.punishes() {
+                for &l in losers.iter() {
+                    world
+                        .config
+                        .punishment
+                        .on_unsuccessful_vote(&mut world.ledger, l);
+                }
+            }
+        }
+
+        // Editing/voting contribution accounting.
+        for p in 0..population {
+            world.ledger.record_editing(
+                p,
+                &EditingAction {
+                    successful_votes: ctx.successful_votes[p],
+                    accepted_edits: ctx.accepted_edits[p],
+                    attempted: ctx.attempted_editing[p] || ctx.voted_this_step[p],
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Phase 6 — Q-learning updates.
+
+use super::{StepContext, StepPhase};
+use crate::world::SimWorld;
+
+/// Every rational agent applies its Q-update for the step's reward,
+/// transitioning to the post-step state (its reputation bucket after the
+/// sharing/editing contributions of this step). Fixed-behaviour agents
+/// ignore the call.
+pub struct LearningPhase;
+
+impl StepPhase for LearningPhase {
+    fn name(&self) -> &'static str {
+        "learning"
+    }
+
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
+        for p in 0..world.population() {
+            let next_state = world.agent_state(p);
+            world.agents[p].learn(ctx.rewards[p], next_state);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! The step-phase pipeline: one simulation step as a sequence of pluggable
+//! phases.
+//!
+//! The paper's Section-IV protocol executes the same sub-phases every step:
+//! action selection → sharing → downloads → editing and voting → utility →
+//! Q-learning updates. The monolithic engine used to hard-wire that
+//! sequence; here each sub-phase is a [`StepPhase`] trait object operating
+//! on the shared [`SimWorld`](crate::world::SimWorld) plus a per-step
+//! scratch [`StepContext`], composed by a [`StepPipeline`]:
+//!
+//! * [`SelectionPhase`] — every agent picks its composite action at the
+//!   step's Boltzmann temperature,
+//! * [`SharingPhase`] — sharing decisions are applied to the peer registry
+//!   and contribution values are recorded,
+//! * [`DownloadPhase`] — download requests are collected and each source's
+//!   offered upload is allocated under the incentive scheme,
+//! * [`EditVotePhase`] — edits are submitted, voted on (gated, weighted and
+//!   punished by the scheme) and resolved,
+//! * [`UtilityPhase`] — per-peer rewards are computed and evaluation-phase
+//!   measurements accumulated,
+//! * [`LearningPhase`] — rational agents apply their Q-updates,
+//! * [`PropagationPhase`] — (optional, config-gated) periodically
+//!   propagates the upload-derived trust graph into a global reputation
+//!   vector through the configured
+//!   [`PropagationBackend`](collabsim_reputation::propagation::PropagationBackend).
+//!
+//! **Determinism contract:** phases draw from `world.rng` strictly in
+//! pipeline order. Inserting a phase that consumes the step RNG changes
+//! every downstream draw; phases with private randomness (like
+//! [`PropagationPhase`]) must use their own stream
+//! (`world.propagation_rng`). The golden-report test pins the standard
+//! pipeline's exact behaviour.
+//!
+//! Custom phases plug in via [`StepPipeline::push`] /
+//! [`StepPipeline::insert`] and
+//! [`Simulation::with_pipeline`](crate::engine::Simulation::with_pipeline)
+//! without touching the step loop.
+
+mod download;
+mod editvote;
+mod learning;
+mod propagation;
+mod selection;
+mod sharing;
+mod utility;
+
+pub use download::DownloadPhase;
+pub use editvote::EditVotePhase;
+pub use learning::LearningPhase;
+pub use propagation::PropagationPhase;
+pub use selection::SelectionPhase;
+pub use sharing::SharingPhase;
+pub use utility::UtilityPhase;
+
+use crate::action::CollabAction;
+use crate::agent::AgentState;
+use crate::config::SimulationConfig;
+use crate::world::SimWorld;
+
+/// Per-step scratch state handed through the pipeline.
+///
+/// Earlier phases fill the vectors later phases consume; everything is
+/// index-aligned with the peer population and rebuilt each step.
+#[derive(Debug, Clone)]
+pub struct StepContext {
+    /// The step's Boltzmann temperature.
+    pub temperature: f64,
+    /// The step's simulation time (after the clock tick).
+    pub now: u64,
+    /// Every agent's observed state at the start of the step
+    /// (filled by [`SelectionPhase`]).
+    pub current_states: Vec<AgentState>,
+    /// Every agent's chosen action (filled by [`SelectionPhase`]).
+    pub actions: Vec<CollabAction>,
+    /// Bandwidth downloaded by each peer this step
+    /// (filled by [`DownloadPhase`]).
+    pub downloaded: Vec<f64>,
+    /// Highest shared-upload fraction among the sources serving each peer
+    /// (filled by [`DownloadPhase`]; a `U_S` observable).
+    pub source_upload_seen: Vec<f64>,
+    /// Largest bandwidth share each peer obtained at any source
+    /// (filled by [`DownloadPhase`]; a `U_S` observable).
+    pub bandwidth_share: Vec<f64>,
+    /// Successful (winning-side) votes per peer
+    /// (filled by [`EditVotePhase`]).
+    pub successful_votes: Vec<u32>,
+    /// Accepted edits per peer (filled by [`EditVotePhase`]).
+    pub accepted_edits: Vec<u32>,
+    /// Whether each peer attempted an edit (filled by [`EditVotePhase`]).
+    pub attempted_editing: Vec<bool>,
+    /// Whether each peer cast a vote (filled by [`EditVotePhase`]).
+    pub voted_this_step: Vec<bool>,
+    /// Per-peer reward for the step (filled by [`UtilityPhase`], consumed
+    /// by [`LearningPhase`]).
+    pub rewards: Vec<f64>,
+}
+
+impl StepContext {
+    /// Fresh scratch state for one step over `population` peers.
+    pub fn new(population: usize, temperature: f64, now: u64) -> Self {
+        Self {
+            temperature,
+            now,
+            current_states: Vec::with_capacity(population),
+            actions: Vec::with_capacity(population),
+            downloaded: vec![0.0; population],
+            source_upload_seen: vec![0.0; population],
+            bandwidth_share: vec![0.0; population],
+            successful_votes: vec![0; population],
+            accepted_edits: vec![0; population],
+            attempted_editing: vec![false; population],
+            voted_this_step: vec![false; population],
+            rewards: vec![0.0; population],
+        }
+    }
+}
+
+/// One sub-phase of a simulation step.
+///
+/// Phases are stateless (`&self`): all mutable state lives in the
+/// [`SimWorld`] and the per-step [`StepContext`], which keeps a pipeline
+/// freely shareable across simulations and threads.
+pub trait StepPhase: Send + Sync {
+    /// Stable phase name, used in diagnostics and pipeline introspection.
+    fn name(&self) -> &'static str;
+
+    /// Executes the phase for the current step.
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext);
+}
+
+/// An ordered sequence of [`StepPhase`]s constituting one simulation step.
+pub struct StepPipeline {
+    phases: Vec<Box<dyn StepPhase>>,
+}
+
+impl StepPipeline {
+    /// An empty pipeline (compose with [`StepPipeline::push`]).
+    pub fn new() -> Self {
+        Self { phases: Vec::new() }
+    }
+
+    /// The standard Section-IV pipeline for a configuration: the six
+    /// protocol phases, plus the propagation phase when the configuration
+    /// enables a propagation backend.
+    pub fn standard(config: &SimulationConfig) -> Self {
+        let mut pipeline = Self::new();
+        pipeline
+            .push(SelectionPhase)
+            .push(SharingPhase)
+            .push(DownloadPhase)
+            .push(EditVotePhase)
+            .push(UtilityPhase)
+            .push(LearningPhase);
+        if config.propagation.scheme.is_some() {
+            pipeline.push(PropagationPhase);
+        }
+        pipeline
+    }
+
+    /// Appends a phase.
+    pub fn push<P: StepPhase + 'static>(&mut self, phase: P) -> &mut Self {
+        self.phases.push(Box::new(phase));
+        self
+    }
+
+    /// Inserts a phase at `index` (0 = first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()`.
+    pub fn insert<P: StepPhase + 'static>(&mut self, index: usize, phase: P) -> &mut Self {
+        self.phases.insert(index, Box::new(phase));
+        self
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Whether the pipeline has no phases.
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The phase names in execution order.
+    pub fn phase_names(&self) -> Vec<&'static str> {
+        self.phases.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs one full step: ticks the clock, builds a fresh [`StepContext`]
+    /// and executes every phase in order.
+    pub fn run_step(&self, world: &mut SimWorld, temperature: f64) {
+        let now = world.clock.tick();
+        let mut ctx = StepContext::new(world.population(), temperature, now);
+        for phase in &self.phases {
+            phase.execute(world, &mut ctx);
+        }
+    }
+}
+
+impl Default for StepPipeline {
+    fn default() -> Self {
+        Self::standard(&SimulationConfig::default())
+    }
+}
+
+impl std::fmt::Debug for StepPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepPipeline")
+            .field("phases", &self.phase_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PhaseConfig;
+    use collabsim_reputation::propagation::PropagationScheme;
+
+    fn quick_config() -> SimulationConfig {
+        SimulationConfig {
+            population: 10,
+            initial_articles: 5,
+            phases: PhaseConfig {
+                training_steps: 30,
+                evaluation_steps: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn standard_pipeline_has_the_six_protocol_phases() {
+        let pipeline = StepPipeline::standard(&quick_config());
+        assert_eq!(
+            pipeline.phase_names(),
+            vec![
+                "selection",
+                "sharing",
+                "download",
+                "edit-vote",
+                "utility",
+                "learning"
+            ]
+        );
+    }
+
+    #[test]
+    fn propagation_phase_is_added_when_configured() {
+        let mut config = quick_config();
+        config.propagation.scheme = Some(PropagationScheme::EigenTrust);
+        let pipeline = StepPipeline::standard(&config);
+        assert_eq!(pipeline.len(), 7);
+        assert_eq!(pipeline.phase_names().last(), Some(&"propagation"));
+    }
+
+    #[test]
+    fn custom_phases_can_be_inserted_without_touching_the_loop() {
+        struct CountingPhase;
+        impl StepPhase for CountingPhase {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn execute(&self, world: &mut SimWorld, _ctx: &mut StepContext) {
+                // Abuses propagation_runs as a visible counter.
+                world.propagation_runs += 1;
+            }
+        }
+        let mut pipeline = StepPipeline::standard(&quick_config());
+        pipeline.insert(0, CountingPhase);
+        assert_eq!(pipeline.phase_names()[0], "counting");
+        let mut world = SimWorld::new(quick_config());
+        pipeline.run_step(&mut world, 1.0);
+        pipeline.run_step(&mut world, 1.0);
+        assert_eq!(world.propagation_runs, 2);
+        assert_eq!(world.clock.now(), 2);
+    }
+
+    #[test]
+    fn context_vectors_are_population_sized() {
+        let ctx = StepContext::new(7, 1.0, 3);
+        assert_eq!(ctx.downloaded.len(), 7);
+        assert_eq!(ctx.rewards.len(), 7);
+        assert_eq!(ctx.now, 3);
+        assert_eq!(ctx.temperature, 1.0);
+        assert!(ctx.actions.is_empty(), "selection fills actions");
+    }
+
+    #[test]
+    fn empty_pipeline_still_ticks_the_clock() {
+        let pipeline = StepPipeline::new();
+        assert!(pipeline.is_empty());
+        let mut world = SimWorld::new(quick_config());
+        pipeline.run_step(&mut world, 1.0);
+        assert_eq!(world.clock.now(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Optional phase — reputation propagation over the trust graph.
+
+use super::{StepContext, StepPhase};
+use crate::world::SimWorld;
+use collabsim_reputation::propagation::TrustGraph;
+
+/// Periodically propagates the upload-derived local-trust graph into a
+/// global reputation vector through the backend selected by
+/// [`PropagationConfig`](crate::config::PropagationConfig).
+///
+/// Local trust `i → j` is how much bandwidth `j` has uploaded to `i` — the
+/// direct-relation history the paper's Section II-C candidates (EigenTrust,
+/// MaxFlow) assume. The phase runs its backend every
+/// `config.propagation.interval` steps and stores the result in
+/// [`SimWorld::global_reputation`]; it deliberately does **not** feed the
+/// result back into service differentiation (the paper assumes propagation
+/// exists but models reputation as globally visible), so enabling it
+/// observes propagation quality without perturbing the core dynamics. It
+/// draws randomness exclusively from `world.propagation_rng`, keeping the
+/// main step RNG stream untouched.
+pub struct PropagationPhase;
+
+impl StepPhase for PropagationPhase {
+    fn name(&self) -> &'static str {
+        "propagation"
+    }
+
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
+        let Some(scheme) = world.config.propagation.scheme else {
+            return;
+        };
+        // `validate()` guarantees interval ≥ 1, and `ctx.now` is 1-based.
+        if ctx.now % world.config.propagation.interval != 0 {
+            return;
+        }
+        let population = world.population();
+        let mut graph = TrustGraph::new(population);
+        for truster in 0..population {
+            for trustee in 0..population {
+                if truster != trustee {
+                    graph.set_trust(truster, trustee, world.uploads[trustee][truster]);
+                }
+            }
+        }
+        let backend = scheme.backend();
+        let reputation = backend.propagate(&graph, &mut world.propagation_rng);
+        world.global_reputation = Some(reputation);
+        world.propagation_runs += 1;
+    }
+}

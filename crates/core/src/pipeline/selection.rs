@@ -1,0 +1,30 @@
+//! Phase 1 — action selection.
+
+use super::{StepContext, StepPhase};
+use crate::agent::AgentState;
+use crate::world::SimWorld;
+
+/// Every agent observes its state (reputation bucket) and picks its
+/// composite action: rational agents sample the Boltzmann distribution over
+/// their Q-values at the step temperature, altruistic and irrational agents
+/// return their fixed actions.
+///
+/// Fills [`StepContext::current_states`] and [`StepContext::actions`].
+pub struct SelectionPhase;
+
+impl StepPhase for SelectionPhase {
+    fn name(&self) -> &'static str {
+        "selection"
+    }
+
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
+        let population = world.population();
+        let current_states: Vec<AgentState> =
+            (0..population).map(|p| world.agent_state(p)).collect();
+        for (agent, &state) in world.agents.iter_mut().zip(current_states.iter()) {
+            let action = agent.choose(state, ctx.temperature, &mut world.rng);
+            ctx.actions.push(action);
+        }
+        ctx.current_states = current_states;
+    }
+}

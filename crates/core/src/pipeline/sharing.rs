@@ -1,0 +1,45 @@
+//! Phase 2 — applying sharing decisions.
+
+use super::{StepContext, StepPhase};
+use crate::world::{SimWorld, ARTICLE_CONTRIBUTION_UNITS, BANDWIDTH_CONTRIBUTION_UNITS};
+use collabsim_netsim::peer::PeerId;
+use collabsim_reputation::contribution::SharingAction;
+
+/// Applies every peer's sharing decision to the peer registry and the
+/// article store, and records the step's sharing contribution (`C_S`) in
+/// the reputation ledger.
+pub struct SharingPhase;
+
+impl StepPhase for SharingPhase {
+    fn name(&self) -> &'static str {
+        "sharing"
+    }
+
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
+        for p in 0..world.population() {
+            let action = ctx.actions[p];
+            let id = PeerId(p as u32);
+            let peer = world.peers.peer_mut(id);
+            peer.set_shared_upload_fraction(action.bandwidth.fraction());
+            peer.set_shared_articles(action.articles.article_count());
+            let held = world.store.held_count(id);
+            let offered = (action.articles.fraction() * held as f64).round() as usize;
+            world.store.set_offered_count(id, offered);
+
+            // Contribution accounting. The paper leaves the units of
+            // S_articles and S_bandwidth open; we scale both so that sharing
+            // everything sits at C_S = 24 (R ≈ 0.87 on the Figure 1 logistic
+            // curve with β = 0.2), a single fully shared resource at C_S = 12
+            // (R ≈ 0.35) and free-riding at C_S = 0 (R = 0.05) — giving the
+            // Q-learner a visible reputation gradient across participation
+            // levels and across resource classes (see DESIGN.md).
+            world.ledger.record_sharing(
+                p,
+                &SharingAction {
+                    shared_articles: action.articles.fraction() * ARTICLE_CONTRIBUTION_UNITS,
+                    shared_bandwidth: action.bandwidth.fraction() * BANDWIDTH_CONTRIBUTION_UNITS,
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Phase 5 — utility computation and measurement.
+
+use super::{StepContext, StepPhase};
+use crate::action::EditBehavior;
+use crate::world::SimWorld;
+use collabsim_gametheory::utility::{EditingObservation, SharingObservation};
+
+/// Computes every peer's per-step reward `U = U_S + U_E` from the step's
+/// observations, and accumulates the evaluation-phase measurements while
+/// the world is in its measuring phase.
+///
+/// Fills [`StepContext::rewards`] (consumed by the learning phase).
+pub struct UtilityPhase;
+
+impl StepPhase for UtilityPhase {
+    fn name(&self) -> &'static str {
+        "utility"
+    }
+
+    fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
+        for p in 0..world.population() {
+            let action = ctx.actions[p];
+            let sharing_obs = SharingObservation {
+                source_upload: ctx.source_upload_seen[p],
+                bandwidth_share: ctx.bandwidth_share[p].min(1.0),
+                disk_share: action.articles.fraction(),
+                own_upload: action.bandwidth.fraction(),
+            };
+            let editing_obs = EditingObservation {
+                successful_edits: ctx.accepted_edits[p],
+                successful_votes: ctx.successful_votes[p],
+            };
+            let reward = world
+                .config
+                .utility
+                .total_utility(&sharing_obs, &editing_obs);
+            ctx.rewards[p] = reward;
+
+            if world.measuring {
+                let acc = &mut world.accumulators[p];
+                acc.shared_bandwidth_sum += action.bandwidth.fraction();
+                acc.shared_articles_sum += action.articles.fraction();
+                acc.downloaded_sum += ctx.downloaded[p];
+                acc.utility_sum += reward;
+                if ctx.attempted_editing[p] {
+                    match action.edit {
+                        EditBehavior::Constructive => acc.constructive_edits += 1,
+                        EditBehavior::Destructive => acc.destructive_edits += 1,
+                        EditBehavior::Abstain => {}
+                    }
+                }
+                if ctx.voted_this_step[p] {
+                    acc.votes += 1;
+                }
+                acc.steps += 1;
+            }
+        }
+    }
+}

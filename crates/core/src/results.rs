@@ -73,7 +73,10 @@ pub fn figure3_summary(with: &SimulationReport, without: &SimulationReport) -> S
     let article_gain = relative_gain(with.shared_articles, without.shared_articles);
     let bandwidth_gain = relative_gain(with.shared_bandwidth, without.shared_bandwidth);
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 3 — sharing with vs. without the incentive scheme");
+    let _ = writeln!(
+        out,
+        "# Figure 3 — sharing with vs. without the incentive scheme"
+    );
     let _ = writeln!(
         out,
         "{:<22} {:>16} {:>16} {:>12}",
@@ -82,12 +85,18 @@ pub fn figure3_summary(with: &SimulationReport, without: &SimulationReport) -> S
     let _ = writeln!(
         out,
         "{:<22} {:>16.4} {:>16.4} {:>11.1}%",
-        "shared articles", with.shared_articles, without.shared_articles, article_gain * 100.0
+        "shared articles",
+        with.shared_articles,
+        without.shared_articles,
+        article_gain * 100.0
     );
     let _ = writeln!(
         out,
         "{:<22} {:>16.4} {:>16.4} {:>11.1}%",
-        "shared bandwidth", with.shared_bandwidth, without.shared_bandwidth, bandwidth_gain * 100.0
+        "shared bandwidth",
+        with.shared_bandwidth,
+        without.shared_bandwidth,
+        bandwidth_gain * 100.0
     );
     let _ = writeln!(
         out,
@@ -192,7 +201,10 @@ mod tests {
 
     #[test]
     fn table_contains_every_label() {
-        let table = to_table("demo", &[labelled("config-x", 1.0), labelled("config-y", 2.0)]);
+        let table = to_table(
+            "demo",
+            &[labelled("config-x", 1.0), labelled("config-y", 2.0)],
+        );
         assert!(table.contains("# demo"));
         assert!(table.contains("config-x"));
         assert!(table.contains("config-y"));

@@ -1,0 +1,348 @@
+//! The mutable simulation state shared by every pipeline phase.
+//!
+//! [`SimWorld`] owns the whole network — peers, articles, reputation
+//! ledger, learners, RNG — while the *logic* of a time step lives in the
+//! [`crate::pipeline`] phases that operate on it. Splitting state from
+//! logic is what lets incentive schemes, substrates and experimental
+//! phases plug into the step loop without touching the engine: a phase
+//! receives `&mut SimWorld` plus the per-step scratch
+//! [`crate::pipeline::StepContext`] and is otherwise free.
+
+use crate::agent::{AgentState, CollabAgent};
+use crate::config::SimulationConfig;
+use crate::report::{BehaviorBreakdown, SimulationReport};
+use collabsim_gametheory::behavior::BehaviorType;
+use collabsim_netsim::article::{ArticleId, ArticleRegistry, EditOutcomeCounts};
+use collabsim_netsim::bandwidth::BandwidthAllocator;
+use collabsim_netsim::clock::SimClock;
+use collabsim_netsim::dht::{Dht, DhtKey};
+use collabsim_netsim::peer::{PeerId, PeerRegistry};
+use collabsim_netsim::storage::ArticleStore;
+use collabsim_netsim::transfer::TransferManager;
+use collabsim_reputation::function::LogisticReputation;
+use collabsim_reputation::ledger::ReputationLedger;
+use collabsim_reputation::propagation::GlobalReputation;
+use collabsim_reputation::service::ServiceDifferentiation;
+use collabsim_rl::space::StateSpace;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Contribution units corresponding to sharing the full 100-article storage
+/// (`S_articles` in the paper's `C_S` formula). Together with the default
+/// weights `α_S = 1`, `β_S = 2` this puts a full sharer of both resources
+/// at `C_S = 24` — high on the Figure 1 logistic curve but not saturated, so
+/// each additional resource class still visibly raises the reputation.
+pub const ARTICLE_CONTRIBUTION_UNITS: f64 = 12.0;
+
+/// Contribution units corresponding to sharing the full upload bandwidth
+/// (`S_bandwidth` in the paper's `C_S` formula).
+pub const BANDWIDTH_CONTRIBUTION_UNITS: f64 = 6.0;
+
+/// Per-peer accumulators filled during the measured evaluation phase.
+#[derive(Debug, Clone, Default)]
+pub struct PeerAccumulator {
+    /// Sum of shared-bandwidth fractions over measured steps.
+    pub shared_bandwidth_sum: f64,
+    /// Sum of shared-article fractions over measured steps.
+    pub shared_articles_sum: f64,
+    /// Total bandwidth downloaded over measured steps.
+    pub downloaded_sum: f64,
+    /// Total utility (reward) over measured steps.
+    pub utility_sum: f64,
+    /// Constructive edit attempts during measurement.
+    pub constructive_edits: u64,
+    /// Destructive edit attempts during measurement.
+    pub destructive_edits: u64,
+    /// Votes cast during measurement.
+    pub votes: u64,
+    /// Number of measured steps.
+    pub steps: u64,
+}
+
+/// The full mutable state of one simulation: every substrate the phases of
+/// the step pipeline read and write.
+///
+/// Fields are public so custom [`crate::pipeline::StepPhase`]
+/// implementations outside this crate can participate in the step loop;
+/// the engine's own invariants (index-alignment of the per-peer vectors,
+/// RNG discipline) are documented per field.
+pub struct SimWorld {
+    /// The configuration the world was built from.
+    pub config: SimulationConfig,
+    /// Step counter; ticked once at the top of every step.
+    pub clock: SimClock,
+    /// Peer registry (shared upload fractions, capacities).
+    pub peers: PeerRegistry,
+    /// Article registry (edit history, quality).
+    pub articles: ArticleRegistry,
+    /// Which peer holds/offers which article replica.
+    pub store: ArticleStore,
+    /// DHT overlay locating article replicas.
+    pub dht: Dht,
+    /// Dual-reputation ledger (`R_S`, `R_E`) of every peer.
+    pub ledger: ReputationLedger,
+    /// Service-differentiation rules of the configured incentive scheme.
+    pub service: ServiceDifferentiation,
+    /// Bandwidth allocator implementing the scheme's allocation policy.
+    pub allocator: BandwidthAllocator,
+    /// In-flight and completed transfers.
+    pub transfers: TransferManager,
+    /// One agent per peer, index-aligned with `behaviors`.
+    pub agents: Vec<CollabAgent>,
+    /// Behaviour type per peer.
+    pub behaviors: Vec<BehaviorType>,
+    /// The learner's state space (reputation buckets).
+    pub states: StateSpace,
+    /// The step RNG. Phases must draw from it in pipeline order only —
+    /// reordering draws changes every downstream result.
+    pub rng: StdRng,
+    /// `uploads[u][v]`: total bandwidth peer `u` has uploaded to peer `v`
+    /// (the direct-relation history tit-for-tat and the trust graph need).
+    pub uploads: Vec<Vec<f64>>,
+    /// In-flight download per peer (transfer id into `transfers`).
+    pub active_transfer: Vec<Option<u64>>,
+    /// Accepted edits since the peer's last punishment (for restoring
+    /// voting rights).
+    pub accepted_since_punishment: Vec<u32>,
+    /// Evaluation-phase measurement accumulators, one per peer.
+    pub accumulators: Vec<PeerAccumulator>,
+    /// Whether the measured evaluation phase is active.
+    pub measuring: bool,
+    /// Steps run since measurement started.
+    pub evaluation_steps_run: u64,
+    /// Completed-download count at measurement start (baseline).
+    pub downloads_completed_in_evaluation: usize,
+    /// Edit-outcome counts at measurement start (baseline).
+    pub edit_outcome_baseline: EditOutcomeCounts,
+    /// Dedicated RNG for the optional reputation-propagation phase, seeded
+    /// independently of `rng` so enabling propagation does not perturb the
+    /// core dynamics' random stream.
+    pub propagation_rng: StdRng,
+    /// Latest globally propagated reputation vector, if the propagation
+    /// phase has run.
+    pub global_reputation: Option<GlobalReputation>,
+    /// How many times the propagation phase has executed its backend.
+    pub propagation_runs: u64,
+}
+
+impl SimWorld {
+    /// Builds the initial network state from a configuration.
+    ///
+    /// RNG draw order (behaviour shuffle, then article seeding) is part of
+    /// the determinism contract pinned by the golden-report test.
+    pub fn new(config: SimulationConfig) -> Self {
+        config.validate();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let population = config.population;
+
+        let peers = PeerRegistry::with_population(population);
+        let states = StateSpace::new(config.reputation_states);
+
+        // Behaviour assignment: deterministic largest-remainder rounding of
+        // the configured mix, then a seeded shuffle so types are not
+        // clustered by index.
+        let mut behaviors = config.mix.assign(population);
+        behaviors.shuffle(&mut rng);
+
+        let agents: Vec<CollabAgent> = behaviors
+            .iter()
+            .map(|&b| CollabAgent::new(b, states, config.learning))
+            .collect();
+
+        let reputation_fn = Arc::new(LogisticReputation::new(
+            (1.0 - config.min_reputation) / config.min_reputation,
+            config.reputation_beta,
+        ));
+        let ledger = ReputationLedger::new(
+            population,
+            config.contribution,
+            reputation_fn.clone(),
+            reputation_fn,
+        );
+        let service = ServiceDifferentiation::new(config.service, config.min_reputation);
+        let allocator = BandwidthAllocator::new(config.incentive.allocation_policy());
+
+        // Seed the article base: initial articles created by random peers,
+        // replicated onto the DHT-closest peers.
+        let mut articles = ArticleRegistry::new();
+        let mut store = ArticleStore::new();
+        let mut dht = Dht::new(3);
+        for p in 0..population {
+            dht.join(PeerId(p as u32));
+        }
+        for _ in 0..config.initial_articles {
+            let creator = PeerId(rng.gen_range(0..population as u32));
+            let id = articles.create_article(creator, 0);
+            store.add_replica(creator, id);
+            let key = DhtKey::for_article(id.0);
+            for holder in dht.store(key) {
+                store.add_replica(holder, id);
+            }
+        }
+
+        let propagation_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        Self {
+            clock: SimClock::new(),
+            peers,
+            articles,
+            store,
+            dht,
+            ledger,
+            service,
+            allocator,
+            transfers: TransferManager::new(),
+            agents,
+            behaviors,
+            states,
+            uploads: vec![vec![0.0; population]; population],
+            active_transfer: vec![None; population],
+            accepted_since_punishment: vec![0; population],
+            accumulators: vec![PeerAccumulator::default(); population],
+            measuring: false,
+            evaluation_steps_run: 0,
+            downloads_completed_in_evaluation: 0,
+            edit_outcome_baseline: Default::default(),
+            propagation_rng,
+            global_reputation: None,
+            propagation_runs: 0,
+            rng,
+            config,
+        }
+    }
+
+    /// Number of peers.
+    pub fn population(&self) -> usize {
+        self.config.population
+    }
+
+    /// The agent's current state: its sharing-reputation bucket.
+    pub fn agent_state(&self, peer: usize) -> AgentState {
+        AgentState::from_reputation(
+            self.ledger.sharing_reputation(peer),
+            self.config.min_reputation,
+            self.states,
+        )
+    }
+
+    /// Picks the article a downloader will fetch from a source: preferably
+    /// one offered by the source that the downloader does not yet hold,
+    /// otherwise any article offered by the source, otherwise any article.
+    pub fn pick_article_to_download(&mut self, downloader: PeerId, source: PeerId) -> ArticleId {
+        let offered = self.store.offered_by(source);
+        let missing: Vec<ArticleId> = offered
+            .iter()
+            .copied()
+            .filter(|&a| !self.store.holds(downloader, a))
+            .collect();
+        if let Some(&a) = missing.choose(&mut self.rng) {
+            return a;
+        }
+        if let Some(&a) = offered.choose(&mut self.rng) {
+            return a;
+        }
+        // The source offers bandwidth but no specific article replica; fall
+        // back to a random article of the registry (size-1 download of a
+        // cached copy).
+        let count = self.articles.article_count() as u32;
+        if count == 0 {
+            ArticleId(0)
+        } else {
+            ArticleId(self.rng.gen_range(0..count))
+        }
+    }
+
+    /// The phase switch: reputation values are reset, Q-matrices are kept.
+    pub fn reset_for_evaluation(&mut self) {
+        self.ledger.reset_all_contributions();
+        self.accumulators = vec![PeerAccumulator::default(); self.config.population];
+        self.edit_outcome_baseline = self.articles.edit_outcome_counts();
+        let completed_before = self.transfers.completed_count();
+        self.downloads_completed_in_evaluation = completed_before;
+        self.measuring = true;
+        self.evaluation_steps_run = 0;
+    }
+
+    /// Builds the report from the evaluation-phase accumulators.
+    pub fn build_report(&self) -> SimulationReport {
+        let population = self.config.population;
+        let mut overall_bandwidth = 0.0;
+        let mut overall_articles = 0.0;
+        let mut total_steps = 0u64;
+
+        let mut by_behavior: BTreeMap<String, BehaviorBreakdown> = BTreeMap::new();
+        for behavior in BehaviorType::ALL {
+            let peers_of_type: Vec<usize> = (0..population)
+                .filter(|&p| self.behaviors[p] == behavior)
+                .collect();
+            if peers_of_type.is_empty() {
+                continue;
+            }
+            let mut breakdown = BehaviorBreakdown {
+                peers: peers_of_type.len(),
+                ..Default::default()
+            };
+            let mut steps = 0u64;
+            for &p in &peers_of_type {
+                let acc = &self.accumulators[p];
+                breakdown.shared_bandwidth += acc.shared_bandwidth_sum;
+                breakdown.shared_articles += acc.shared_articles_sum;
+                breakdown.downloaded += acc.downloaded_sum;
+                breakdown.mean_utility += acc.utility_sum;
+                breakdown.constructive_edits += acc.constructive_edits;
+                breakdown.destructive_edits += acc.destructive_edits;
+                breakdown.votes += acc.votes;
+                breakdown.final_sharing_reputation += self.ledger.sharing_reputation(p);
+                breakdown.final_editing_reputation += self.ledger.editing_reputation(p);
+                steps += acc.steps;
+                overall_bandwidth += acc.shared_bandwidth_sum;
+                overall_articles += acc.shared_articles_sum;
+                total_steps += acc.steps;
+            }
+            if steps > 0 {
+                breakdown.shared_bandwidth /= steps as f64;
+                breakdown.shared_articles /= steps as f64;
+                breakdown.downloaded /= steps as f64;
+                breakdown.mean_utility /= steps as f64;
+            }
+            breakdown.final_sharing_reputation /= peers_of_type.len() as f64;
+            breakdown.final_editing_reputation /= peers_of_type.len() as f64;
+            by_behavior.insert(behavior.label().to_string(), breakdown);
+        }
+
+        let (shared_bandwidth, shared_articles) = if total_steps > 0 {
+            (
+                overall_bandwidth / total_steps as f64,
+                overall_articles / total_steps as f64,
+            )
+        } else {
+            (0.0, 0.0)
+        };
+
+        // Edit outcomes accumulated during the evaluation phase only.
+        let now_counts = self.articles.edit_outcome_counts();
+        let base = self.edit_outcome_baseline;
+        let edit_outcomes = EditOutcomeCounts {
+            accepted_constructive: now_counts.accepted_constructive - base.accepted_constructive,
+            accepted_destructive: now_counts.accepted_destructive - base.accepted_destructive,
+            declined_constructive: now_counts.declined_constructive - base.declined_constructive,
+            declined_destructive: now_counts.declined_destructive - base.declined_destructive,
+            pending: now_counts.pending,
+        };
+
+        SimulationReport {
+            shared_bandwidth,
+            shared_articles,
+            by_behavior,
+            edit_outcomes,
+            mean_article_quality: self.articles.mean_quality(),
+            completed_downloads: self.transfers.completed_count()
+                - self.downloads_completed_in_evaluation,
+            evaluation_steps: self.evaluation_steps_run,
+            seed: self.config.seed,
+        }
+    }
+}

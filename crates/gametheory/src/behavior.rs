@@ -165,7 +165,7 @@ impl BehaviorMix {
         let mut out = Vec::with_capacity(population);
         for (i, &count) in counts.iter().enumerate() {
             let behavior = BehaviorType::ALL[i];
-            out.extend(std::iter::repeat(behavior).take(count));
+            out.extend(std::iter::repeat_n(behavior, count));
         }
         debug_assert_eq!(out.len(), population);
         out

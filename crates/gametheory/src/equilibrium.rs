@@ -20,7 +20,10 @@ pub const PAYOFF_EPSILON: f64 = 1e-12;
 /// Returns the set of best responses of the *row* player against a fixed
 /// column action.
 pub fn best_response_row(game: &BimatrixGame, col_action: usize) -> Vec<usize> {
-    assert!(col_action < game.col_actions(), "column action out of range");
+    assert!(
+        col_action < game.col_actions(),
+        "column action out of range"
+    );
     let mut best = f64::NEG_INFINITY;
     for r in 0..game.row_actions() {
         best = best.max(game.row_payoffs().get(r, col_action));
@@ -195,14 +198,17 @@ mod tests {
             2,
             2,
             &[
-                benefit - cost, // both share: full benefit
+                benefit - cost,  // both share: full benefit
                 -cost + benefit, // we share, they free-ride: we still receive priority service
-                0.2,            // we free-ride: almost no bandwidth allocated to us
+                0.2,             // we free-ride: almost no bandwidth allocated to us
                 0.0,
             ],
         );
         let game = BimatrixGame::symmetric(row);
         let eq = pure_nash_equilibria(&game);
-        assert!(eq.contains(&(0, 0)), "mutual sharing should be an equilibrium: {eq:?}");
+        assert!(
+            eq.contains(&(0, 0)),
+            "mutual sharing should be an equilibrium: {eq:?}"
+        );
     }
 }

@@ -108,7 +108,10 @@ impl PayoffMatrix {
 
     /// Maximum payoff appearing anywhere in the matrix.
     pub fn max_payoff(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum payoff appearing anywhere in the matrix.

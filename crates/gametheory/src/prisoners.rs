@@ -279,9 +279,18 @@ mod tests {
     #[test]
     fn axelrod_payoffs_are_canonical() {
         let pd = PrisonersDilemma::axelrod();
-        assert_eq!(pd.payoffs(PdAction::Cooperate, PdAction::Cooperate), (3.0, 3.0));
-        assert_eq!(pd.payoffs(PdAction::Defect, PdAction::Cooperate), (5.0, 0.0));
-        assert_eq!(pd.payoffs(PdAction::Cooperate, PdAction::Defect), (0.0, 5.0));
+        assert_eq!(
+            pd.payoffs(PdAction::Cooperate, PdAction::Cooperate),
+            (3.0, 3.0)
+        );
+        assert_eq!(
+            pd.payoffs(PdAction::Defect, PdAction::Cooperate),
+            (5.0, 0.0)
+        );
+        assert_eq!(
+            pd.payoffs(PdAction::Cooperate, PdAction::Defect),
+            (0.0, 5.0)
+        );
         assert_eq!(pd.payoffs(PdAction::Defect, PdAction::Defect), (1.0, 1.0));
         assert!(pd.favors_cooperation());
     }

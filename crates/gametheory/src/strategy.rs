@@ -109,7 +109,9 @@ impl Strategy for TitForTwoTats {
 
     fn observe(&mut self, _own: PdAction, opponent: PdAction) {
         match opponent {
-            PdAction::Defect => self.previous_defections = self.previous_defections.saturating_add(1),
+            PdAction::Defect => {
+                self.previous_defections = self.previous_defections.saturating_add(1)
+            }
             PdAction::Cooperate => self.previous_defections = 0,
         }
     }
@@ -268,7 +270,10 @@ mod tests {
         let mut tft = TitForTat;
         let mut r = rng();
         assert_eq!(tft.next_action(None, &mut r), PdAction::Cooperate);
-        assert_eq!(tft.next_action(Some(PdAction::Defect), &mut r), PdAction::Defect);
+        assert_eq!(
+            tft.next_action(Some(PdAction::Defect), &mut r),
+            PdAction::Defect
+        );
         assert_eq!(
             tft.next_action(Some(PdAction::Cooperate), &mut r),
             PdAction::Cooperate
@@ -292,9 +297,15 @@ mod tests {
         let mut r = rng();
         assert_eq!(g.next_action(None, &mut r), PdAction::Cooperate);
         g.observe(PdAction::Cooperate, PdAction::Defect);
-        assert_eq!(g.next_action(Some(PdAction::Cooperate), &mut r), PdAction::Defect);
+        assert_eq!(
+            g.next_action(Some(PdAction::Cooperate), &mut r),
+            PdAction::Defect
+        );
         g.observe(PdAction::Defect, PdAction::Cooperate);
-        assert_eq!(g.next_action(Some(PdAction::Cooperate), &mut r), PdAction::Defect);
+        assert_eq!(
+            g.next_action(Some(PdAction::Cooperate), &mut r),
+            PdAction::Defect
+        );
         g.reset();
         assert_eq!(g.next_action(None, &mut r), PdAction::Cooperate);
     }
@@ -304,12 +315,21 @@ mod tests {
         let mut t = TitForTwoTats::default();
         let mut r = rng();
         t.observe(PdAction::Cooperate, PdAction::Defect);
-        assert_eq!(t.next_action(Some(PdAction::Defect), &mut r), PdAction::Cooperate);
+        assert_eq!(
+            t.next_action(Some(PdAction::Defect), &mut r),
+            PdAction::Cooperate
+        );
         t.observe(PdAction::Cooperate, PdAction::Defect);
-        assert_eq!(t.next_action(Some(PdAction::Defect), &mut r), PdAction::Defect);
+        assert_eq!(
+            t.next_action(Some(PdAction::Defect), &mut r),
+            PdAction::Defect
+        );
         // A cooperation resets the counter.
         t.observe(PdAction::Defect, PdAction::Cooperate);
-        assert_eq!(t.next_action(Some(PdAction::Cooperate), &mut r), PdAction::Cooperate);
+        assert_eq!(
+            t.next_action(Some(PdAction::Cooperate), &mut r),
+            PdAction::Cooperate
+        );
     }
 
     #[test]

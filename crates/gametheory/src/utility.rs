@@ -204,9 +204,7 @@ mod tests {
             successful_votes: 1,
         };
         let total = model.total_utility(&s, &e);
-        assert!(
-            (total - (model.sharing_utility(&s) + model.editing_utility(&e))).abs() < 1e-12
-        );
+        assert!((total - (model.sharing_utility(&s) + model.editing_utility(&e))).abs() < 1e-12);
     }
 
     #[test]

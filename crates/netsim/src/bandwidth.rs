@@ -109,11 +109,7 @@ impl BandwidthAllocator {
     /// Full allocation: splits `offered_upload` according to the policy,
     /// caps each downloader at its capacity, and redistributes freed
     /// bandwidth among the remaining downloaders (water-filling).
-    pub fn allocate(
-        &self,
-        offered_upload: f64,
-        requests: &[DownloadRequest],
-    ) -> Vec<Allocation> {
+    pub fn allocate(&self, offered_upload: f64, requests: &[DownloadRequest]) -> Vec<Allocation> {
         assert!(offered_upload >= 0.0, "offered upload must be >= 0");
         let shares = self.shares(requests);
         let mut allocations: Vec<Allocation> = requests
@@ -131,8 +127,10 @@ impl BandwidthAllocator {
 
         // Water-filling: repeatedly hand out bandwidth proportionally to the
         // policy shares among downloaders that still have spare capacity.
-        let mut remaining_capacity: Vec<f64> =
-            requests.iter().map(|r| r.download_capacity.max(0.0)).collect();
+        let mut remaining_capacity: Vec<f64> = requests
+            .iter()
+            .map(|r| r.download_capacity.max(0.0))
+            .collect();
         let weights: Vec<f64> = shares.clone();
         let mut budget = offered_upload;
         for _ in 0..requests.len() {
@@ -329,7 +327,8 @@ mod tests {
         // The incentive at work: with differentiation the contributor gets
         // more than under the equal split, the free-rider less.
         let reqs = [request(0, 0.05), request(1, 0.05), request(2, 0.9)];
-        let with = BandwidthAllocator::new(AllocationPolicy::WeightedByReputation).allocate(1.0, &reqs);
+        let with =
+            BandwidthAllocator::new(AllocationPolicy::WeightedByReputation).allocate(1.0, &reqs);
         let without = BandwidthAllocator::new(AllocationPolicy::EqualSplit).allocate(1.0, &reqs);
         assert!(with[2].bandwidth > without[2].bandwidth);
         assert!(with[0].bandwidth < without[0].bandwidth);

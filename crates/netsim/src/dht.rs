@@ -132,8 +132,7 @@ impl Dht {
                 .map(|&(p, k)| (key.distance(k), p))
                 .collect();
             others.sort_unstable();
-            let mut table: Vec<PeerId> =
-                others.iter().take(table_size).map(|&(_, p)| p).collect();
+            let mut table: Vec<PeerId> = others.iter().take(table_size).map(|&(_, p)| p).collect();
             // Exponentially spaced far contacts for O(log n) routing.
             let mut stride = table_size.max(1);
             while stride < others.len() {
@@ -210,14 +209,8 @@ impl Dht {
         let mut current = origin;
         let mut current_distance = key_of(current).distance(key);
         let mut hops = 0usize;
-        loop {
-            let Some(contacts) = self.routing.get(&current) else {
-                break;
-            };
-            let best = contacts
-                .iter()
-                .map(|&p| (key_of(p).distance(key), p))
-                .min();
+        while let Some(contacts) = self.routing.get(&current) {
+            let best = contacts.iter().map(|&p| (key_of(p).distance(key), p)).min();
             match best {
                 Some((d, p)) if d < current_distance => {
                     current = p;

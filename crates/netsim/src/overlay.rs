@@ -56,10 +56,10 @@ impl Overlay {
         let mut neighbors = vec![Vec::new(); peers];
         match topology {
             Topology::FullMesh => {
-                for i in 0..peers {
+                for (i, adjacent) in neighbors.iter_mut().enumerate() {
                     for j in 0..peers {
                         if i != j {
-                            neighbors[i].push(PeerId(j as u32));
+                            adjacent.push(PeerId(j as u32));
                         }
                     }
                 }
@@ -259,11 +259,7 @@ mod tests {
 
     #[test]
     fn small_world_without_rewiring_is_a_ring_lattice() {
-        let o = Overlay::build(
-            20,
-            Topology::SmallWorld { k: 2, beta: 0.0 },
-            &mut rng(),
-        );
+        let o = Overlay::build(20, Topology::SmallWorld { k: 2, beta: 0.0 }, &mut rng());
         assert!(o.is_connected());
         for i in 0..20 {
             assert_eq!(o.degree(PeerId(i)), 4, "peer {i}");
@@ -274,16 +270,8 @@ mod tests {
 
     #[test]
     fn small_world_rewiring_shortens_paths_on_average() {
-        let ring = Overlay::build(
-            60,
-            Topology::SmallWorld { k: 2, beta: 0.0 },
-            &mut rng(),
-        );
-        let rewired = Overlay::build(
-            60,
-            Topology::SmallWorld { k: 2, beta: 0.3 },
-            &mut rng(),
-        );
+        let ring = Overlay::build(60, Topology::SmallWorld { k: 2, beta: 0.0 }, &mut rng());
+        let rewired = Overlay::build(60, Topology::SmallWorld { k: 2, beta: 0.3 }, &mut rng());
         let sample: Vec<(u32, u32)> = vec![(0, 30), (5, 35), (10, 40), (15, 45), (20, 50)];
         let mean = |o: &Overlay| {
             sample

@@ -73,7 +73,9 @@ impl ArticleStore {
 
     /// Whether `peer` holds `article`.
     pub fn holds(&self, peer: PeerId, article: ArticleId) -> bool {
-        self.held.get(&peer).is_some_and(|set| set.contains(&article))
+        self.held
+            .get(&peer)
+            .is_some_and(|set| set.contains(&article))
     }
 
     /// Whether `peer` currently offers `article`.

@@ -58,7 +58,8 @@ impl Transfer {
 
     /// Number of steps the transfer took (only meaningful once finished).
     pub fn duration(&self) -> Option<u64> {
-        self.finished_at.map(|end| end.saturating_sub(self.started_at))
+        self.finished_at
+            .map(|end| end.saturating_sub(self.started_at))
     }
 }
 

@@ -129,7 +129,10 @@ pub fn whitewashing_gain(r_min: f64, r_decayed: f64) -> f64 {
 /// newcomer level, and repeats. Returns the synthetic contribution sequence
 /// (one entry per step: `true` = contribute, `false` = free-ride).
 pub fn milking_schedule(total_steps: usize, build_steps: usize, milk_steps: usize) -> Vec<bool> {
-    assert!(build_steps > 0 && milk_steps > 0, "phases must be non-empty");
+    assert!(
+        build_steps > 0 && milk_steps > 0,
+        "phases must be non-empty"
+    );
     let mut out = Vec::with_capacity(total_steps);
     let cycle = build_steps + milk_steps;
     for t in 0..total_steps {

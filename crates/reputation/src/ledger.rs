@@ -236,12 +236,16 @@ impl ReputationLedger {
 
     /// Vector of all sharing reputations, index-aligned with peers.
     pub fn all_sharing_reputations(&self) -> Vec<f64> {
-        (0..self.len()).map(|p| self.sharing_reputation(p)).collect()
+        (0..self.len())
+            .map(|p| self.sharing_reputation(p))
+            .collect()
     }
 
     /// Vector of all editing reputations, index-aligned with peers.
     pub fn all_editing_reputations(&self) -> Vec<f64> {
-        (0..self.len()).map(|p| self.editing_reputation(p)).collect()
+        (0..self.len())
+            .map(|p| self.editing_reputation(p))
+            .collect()
     }
 }
 

@@ -47,12 +47,12 @@ pub mod service;
 
 pub use contribution::{ContributionParams, ContributionTracker, EditingAction, SharingAction};
 pub use function::{
-    ExponentialSaturation, LinearReputation, LogisticReputation, ReputationFunction,
-    StepReputation,
+    ExponentialSaturation, LinearReputation, LogisticReputation, ReputationFunction, StepReputation,
 };
 pub use ledger::{PeerReputation, ReputationLedger};
 pub use propagation::{
-    eigentrust::EigenTrust, gossip::GossipAveraging, maxflow::MaxFlowTrust, TrustGraph,
+    eigentrust::EigenTrust, gossip::GossipAveraging, maxflow::MaxFlowTrust, GlobalReputation,
+    PropagationBackend, PropagationScheme, TrustGraph,
 };
-pub use punishment::{PunishmentPolicy, PunishmentOutcome};
+pub use punishment::{PunishmentOutcome, PunishmentPolicy};
 pub use service::{ServiceDifferentiation, ServiceParams};

@@ -71,10 +71,12 @@ impl GossipAveraging {
                 if j >= i {
                     j += 1;
                 }
-                for k in 0..n {
-                    let avg = 0.5 * (estimates[i][k] + estimates[j][k]);
-                    estimates[i][k] = avg;
-                    estimates[j][k] = avg;
+                let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                let (head, tail) = estimates.split_at_mut(hi);
+                for (a, b) in head[lo].iter_mut().zip(tail[0].iter_mut()) {
+                    let avg = 0.5 * (*a + *b);
+                    *a = avg;
+                    *b = avg;
                 }
             }
             if self.max_disagreement(&estimates) < self.tolerance {

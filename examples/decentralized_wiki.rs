@@ -65,7 +65,10 @@ fn main() {
         );
     }
     for p in [0usize, 1, 7] {
-        println!("peer {p}: sharing reputation R_S = {:.3}", ledger.sharing_reputation(p));
+        println!(
+            "peer {p}: sharing reputation R_S = {:.3}",
+            ledger.sharing_reputation(p)
+        );
     }
 
     // --- competing downloads: reputation-proportional bandwidth -------------
@@ -97,13 +100,17 @@ fn main() {
     let edit = articles
         .submit_edit(article, editor, EditKind::Constructive, 1)
         .expect("no pending edit");
-    let voters = vec![PeerId(0), PeerId(2), PeerId(7)];
-    let reputations: Vec<f64> = voters.iter().map(|v| ledger.editing_reputation(v.index())).collect();
+    let voters = [PeerId(0), PeerId(2), PeerId(7)];
+    let reputations: Vec<f64> = voters
+        .iter()
+        .map(|v| ledger.editing_reputation(v.index()))
+        .collect();
     let powers = service.voting_powers(&reputations);
     // Peers 0 and 2 support the edit, the vandal (7) votes against.
     let in_favor = powers[0] + powers[1];
     let against = powers[2];
-    let accepted = service.edit_accepted(ledger.editing_reputation(editor.index()), in_favor, against);
+    let accepted =
+        service.edit_accepted(ledger.editing_reputation(editor.index()), in_favor, against);
     articles.resolve_edit(edit, accepted, 2);
     println!(
         "constructive edit by {editor}: in-favour power {:.2}, against {:.2} → {}",
@@ -115,7 +122,9 @@ fn main() {
 
     // --- a vandal is punished ------------------------------------------------
     for round in 0..4 {
-        if let Some(bad_edit) = articles.submit_edit(article, PeerId(7), EditKind::Destructive, 3 + round) {
+        if let Some(bad_edit) =
+            articles.submit_edit(article, PeerId(7), EditKind::Destructive, 3 + round)
+        {
             articles.resolve_edit(bad_edit, false, 3 + round);
             let outcome = punishment.on_declined_edit(&mut ledger, 7);
             println!("vandal edit #{round} declined → punishment outcome: {outcome:?}");

@@ -35,7 +35,10 @@ fn main() {
     println!("== sharing game without service differentiation ==");
     println!("actions: 0 = share, 1 = free-ride");
     println!("pure Nash equilibria: {:?}", report.equilibria);
-    println!("strictly dominant actions (row player): {:?}", report.dominant_row_actions);
+    println!(
+        "strictly dominant actions (row player): {:?}",
+        report.dominant_row_actions
+    );
     println!("→ free-riding dominates; nobody shares.\n");
 
     // --- 2. the repeated game: why tit-for-tat works for direct relations ---

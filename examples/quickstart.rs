@@ -33,10 +33,9 @@ fn main() {
     .with_incentive(IncentiveScheme::ReputationBased)
     .with_seed(42);
 
-    println!("running {} peers for {} training + {} evaluation steps...",
-        config.population,
-        config.phases.training_steps,
-        config.phases.evaluation_steps
+    println!(
+        "running {} peers for {} training + {} evaluation steps...",
+        config.population, config.phases.training_steps, config.phases.evaluation_steps
     );
 
     let mut simulation = Simulation::new(config);
@@ -44,8 +43,14 @@ fn main() {
 
     println!();
     println!("== headline metrics (evaluation phase) ==");
-    println!("shared articles  (population mean): {:.3}", report.shared_articles);
-    println!("shared bandwidth (population mean): {:.3}", report.shared_bandwidth);
+    println!(
+        "shared articles  (population mean): {:.3}",
+        report.shared_articles
+    );
+    println!(
+        "shared bandwidth (population mean): {:.3}",
+        report.shared_bandwidth
+    );
     println!(
         "constructive fraction of rational edits: {:.3}",
         report.rational_constructive_fraction()

@@ -31,7 +31,8 @@ fn main() {
     println!("== collusion clique: 20 peers, 4 colluders boosting each other ==");
 
     let undamped = EigenTrust::new(0.0, vec![]).compute(&graph);
-    let damped = EigenTrust::new(0.25, scenario.honest().into_iter().take(4).collect()).compute(&graph);
+    let damped =
+        EigenTrust::new(0.25, scenario.honest().into_iter().take(4).collect()).compute(&graph);
     let observer = scenario.honest()[0];
     let maxflow = MaxFlowTrust::new().reputation_from(&graph, observer);
 
@@ -39,7 +40,10 @@ fn main() {
         set.iter().map(|&i| values[i]).sum::<f64>() / set.len() as f64
     };
     let honest = scenario.honest();
-    println!("{:<34} {:>12} {:>12}", "substrate", "honest mean", "clique mean");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "substrate", "honest mean", "clique mean"
+    );
     for (name, values) in [
         ("EigenTrust, no damping", &undamped.values),
         ("EigenTrust, damped + pre-trusted", &damped.values),
@@ -52,7 +56,9 @@ fn main() {
             mean(values, &scenario.attackers)
         );
     }
-    println!("→ max-flow trust bounds the clique by the honest→clique cut; damping helps EigenTrust.\n");
+    println!(
+        "→ max-flow trust bounds the clique by the honest→clique cut; damping helps EigenTrust.\n"
+    );
 
     // --- whitewashing ---------------------------------------------------------
     println!("== whitewashing: does discarding the identity pay off? ==");
@@ -60,7 +66,10 @@ fn main() {
         "{:<34} {:>10} {:>22} {:>18}",
         "newcomer reputation choice", "R_min", "bandwidth vs sharer", "gain over punished"
     );
-    for (label, g) in [("paper's R_min = 0.05 (g = 19)", 19.0), ("generous R_min = 0.4 (g = 1.5)", 1.5)] {
+    for (label, g) in [
+        ("paper's R_min = 0.05 (g = 19)", 19.0),
+        ("generous R_min = 0.4 (g = 1.5)", 1.5),
+    ] {
         let function = LogisticReputation::new(g, 0.2);
         let r_min = function.minimum();
         let contributor = function.reputation(24.0);
@@ -78,7 +87,11 @@ fn main() {
             whitewasher_share * 100.0
         );
     }
-    println!("→ with the paper's low R_min a whitewashed identity competes for bandwidth at ~5% weight");
+    println!(
+        "→ with the paper's low R_min a whitewashed identity competes for bandwidth at ~5% weight"
+    );
     println!("  against an established sharer, so shedding a bad history buys almost nothing; a generous");
-    println!("  newcomer reputation would instead hand free-riders roughly a third of the bandwidth.");
+    println!(
+        "  newcomer reputation would instead hand free-riders roughly a third of the bandwidth."
+    );
 }

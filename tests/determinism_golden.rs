@@ -1,0 +1,82 @@
+//! Determinism and golden-report regression tests.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **Seed determinism** — two simulations built from the same
+//!    [`SimulationConfig`] produce bit-identical [`SimulationReport`]s, and
+//!    parallel grid execution reproduces sequential execution exactly.
+//! 2. **Golden report** — one fixed configuration's report is pinned to the
+//!    exact values produced by the pre-pipeline monolithic engine (recorded
+//!    at the commit that first made the workspace build), so engine
+//!    refactors that accidentally reorder RNG draws or phase effects fail
+//!    loudly instead of silently shifting every figure.
+
+use collabsim_workspace::collabsim::experiment::{ScenarioGrid, ScenarioRunner};
+use collabsim_workspace::collabsim::{
+    BehaviorMix, BehaviorType, IncentiveScheme, PhaseConfig, Simulation, SimulationConfig,
+};
+
+/// The pinned configuration behind the golden values below. Do not change
+/// it — add a new pin instead if another scenario needs coverage.
+fn golden_config() -> SimulationConfig {
+    SimulationConfig {
+        population: 20,
+        initial_articles: 10,
+        phases: PhaseConfig {
+            training_steps: 120,
+            evaluation_steps: 80,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_mix(BehaviorMix::new(0.5, 0.25, 0.25))
+    .with_incentive(IncentiveScheme::ReputationBased)
+    .with_seed(0xC0FFEE)
+}
+
+#[test]
+fn same_seed_produces_identical_reports() {
+    let a = Simulation::new(golden_config()).run();
+    let b = Simulation::new(golden_config()).run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn golden_report_matches_pre_refactor_engine() {
+    let report = Simulation::new(golden_config()).run();
+    let debug = format!("{report:?}");
+    assert_eq!(debug, GOLDEN_REPORT_DEBUG, "golden report drifted");
+}
+
+#[test]
+fn parallel_grid_matches_sequential_execution() {
+    let base = golden_config();
+    let grid = ScenarioGrid::new(base)
+        .with_mixes([
+            ("half-rational", 50.0, BehaviorMix::new(0.5, 0.25, 0.25)),
+            ("all-rational", 100.0, BehaviorMix::all_rational()),
+        ])
+        .with_schemes([IncentiveScheme::ReputationBased, IncentiveScheme::None])
+        .with_seeds([7, 8]);
+    assert_eq!(grid.len(), 8);
+    let parallel = ScenarioRunner::default().run_grid(&grid);
+    let sequential = ScenarioRunner::sequential().run_grid(&grid);
+    assert_eq!(parallel.len(), 8);
+    assert_eq!(parallel, sequential);
+    // Spot-check the cell labelling convention while we are here.
+    assert_eq!(parallel[0].label, "half-rational/reputation/seed=7");
+    assert_eq!(parallel[7].label, "all-rational/none/seed=8");
+}
+
+#[test]
+fn behavior_breakdown_is_deterministic_too() {
+    let a = Simulation::new(golden_config()).run();
+    let b = Simulation::new(golden_config()).run();
+    for behavior in BehaviorType::ALL {
+        assert_eq!(a.breakdown(behavior), b.breakdown(behavior));
+    }
+}
+
+/// `format!("{report:?}")` of the golden run, recorded from the monolithic
+/// pre-pipeline engine. Bitwise-exact: every f64 must match.
+const GOLDEN_REPORT_DEBUG: &str = "SimulationReport { shared_bandwidth: 0.4515625, shared_articles: 0.460625, by_behavior: {\"altruistic\": BehaviorBreakdown { peers: 5, shared_bandwidth: 1.0, shared_articles: 1.0, downloaded: 0.43559719294820637, final_sharing_reputation: 0.8647787093973539, final_editing_reputation: 0.05000000000000001, constructive_edits: 84, destructive_edits: 0, votes: 4, mean_utility: 3.361596929482065 }, \"irrational\": BehaviorBreakdown { peers: 5, shared_bandwidth: 0.0, shared_articles: 0.0, downloaded: 0.12242082835628557, final_sharing_reputation: 0.05000000000000001, final_editing_reputation: 0.8099999829293056, constructive_edits: 0, destructive_edits: 0, votes: 256, mean_utility: 1.4904582835628555 }, \"rational\": BehaviorBreakdown { peers: 10, shared_bandwidth: 0.403125, shared_articles: 0.42125, downloaded: 0.32474098934775397, final_sharing_reputation: 0.5909831259707194, final_editing_reputation: 0.7950949747456495, constructive_edits: 36, destructive_edits: 89, votes: 317, mean_utility: 3.177097393477539 }}, edit_outcomes: EditOutcomeCounts { accepted_constructive: 2, accepted_destructive: 84, declined_constructive: 118, declined_destructive: 5, pending: 0 }, mean_article_quality: 0.5215784136654522, completed_downloads: 359, evaluation_steps: 80, seed: 12648430 }";

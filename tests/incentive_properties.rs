@@ -145,7 +145,7 @@ proptest! {
     ) {
         let altruistic = (1.0 - rational) * altruistic_weight;
         let irrational = 1.0 - rational - altruistic;
-        let mix = BehaviorMix::new(rational, altruistic, irrational.max(0.0).min(1.0));
+        let mix = BehaviorMix::new(rational, altruistic, irrational.clamp(0.0, 1.0));
         let assigned = mix.assign(population);
         prop_assert_eq!(assigned.len(), population);
         for behavior in BehaviorType::ALL {

@@ -12,11 +12,11 @@ use collabsim_workspace::netsim::overlay::{Overlay, Topology};
 use collabsim_workspace::netsim::peer::PeerId;
 use collabsim_workspace::netsim::storage::ArticleStore;
 use collabsim_workspace::reputation::attack::collusion_clique;
+use collabsim_workspace::reputation::contribution::SharingAction;
 use collabsim_workspace::reputation::ledger::ReputationLedger;
 use collabsim_workspace::reputation::propagation::eigentrust::EigenTrust;
 use collabsim_workspace::reputation::propagation::maxflow::MaxFlowTrust;
 use collabsim_workspace::reputation::service::ServiceDifferentiation;
-use collabsim_workspace::reputation::contribution::SharingAction;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,7 +59,11 @@ fn dht_placement_keeps_articles_available_after_churn() {
     let surviving = PeerId(population - 1);
     let found = ids
         .iter()
-        .filter(|id| !dht.lookup(surviving, DhtKey::for_article(id.0)).holders.is_empty())
+        .filter(|id| {
+            !dht.lookup(surviving, DhtKey::for_article(id.0))
+                .holders
+                .is_empty()
+        })
         .count();
     assert!(found * 10 >= ids.len() * 9);
 }
@@ -105,11 +109,7 @@ fn propagated_trust_feeds_service_differentiation_against_colluders() {
         .map(|&p| share_of(p))
         .sum::<f64>()
         / (scenario.honest().len() - 1) as f64;
-    let mean_attacker: f64 = scenario
-        .attackers
-        .iter()
-        .map(|&p| share_of(p))
-        .sum::<f64>()
+    let mean_attacker: f64 = scenario.attackers.iter().map(|&p| share_of(p)).sum::<f64>()
         / scenario.attackers.len() as f64;
     assert!(
         mean_honest > mean_attacker,
@@ -118,7 +118,8 @@ fn propagated_trust_feeds_service_differentiation_against_colluders() {
 
     // EigenTrust with damping towards honest pre-trusted peers agrees on the
     // ranking direction.
-    let damped = EigenTrust::new(0.3, scenario.honest().into_iter().take(3).collect()).compute(&graph);
+    let damped =
+        EigenTrust::new(0.3, scenario.honest().into_iter().take(3).collect()).compute(&graph);
     let honest_mass: f64 = scenario.honest().iter().map(|&p| damped.values[p]).sum();
     let attacker_mass: f64 = scenario.attackers.iter().map(|&p| damped.values[p]).sum();
     assert!(honest_mass > attacker_mass);
