@@ -1,0 +1,65 @@
+//! `determinism_probe` — prints bit-exact simulation reports for the CI
+//! determinism job.
+//!
+//! The binary runs (1) a mix × scheme × seed scenario grid through the
+//! [`ScenarioRunner`] with automatic parallelism and (2) the paper
+//! configuration (100 peers, shortened phases) with automatic ledger
+//! sharding and intra-step threading, then prints every report's `Debug`
+//! form to stdout.
+//!
+//! Both sources of parallelism honour the `SCENARIO_THREADS` environment
+//! variable, so CI runs the binary twice — `SCENARIO_THREADS=1` and the
+//! default (parallel) — and `diff`s the outputs: any divergence between
+//! sequential and sharded-parallel execution fails the build.
+
+use collabsim::config::PhaseConfig;
+use collabsim::experiment::{ScenarioGrid, ScenarioRunner};
+use collabsim::{BehaviorMix, IncentiveScheme, Simulation, SimulationConfig};
+
+fn main() {
+    // The thread setting goes to stderr: stdout must be identical across
+    // runs with different SCENARIO_THREADS values (CI diffs it).
+    eprintln!(
+        "determinism probe (SCENARIO_THREADS={})",
+        std::env::var("SCENARIO_THREADS").unwrap_or_else(|_| "unset".to_string())
+    );
+
+    // A grid of independent cells: the runner's parallel scheduling must
+    // reproduce sequential per-cell reports exactly.
+    let base = SimulationConfig {
+        population: 20,
+        initial_articles: 10,
+        phases: PhaseConfig {
+            training_steps: 120,
+            evaluation_steps: 80,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let grid = ScenarioGrid::new(base)
+        .with_mixes([
+            ("half-rational", 50.0, BehaviorMix::new(0.5, 0.25, 0.25)),
+            ("all-rational", 100.0, BehaviorMix::all_rational()),
+        ])
+        .with_schemes([IncentiveScheme::ReputationBased, IncentiveScheme::None])
+        .with_seeds([7, 8]);
+    for report in ScenarioRunner::default().run_grid(&grid) {
+        println!("{}: {:?}", report.label, report.report);
+    }
+
+    // The paper configuration with the sharded ledger: intra-step worker
+    // counts must not leak into the trajectory.
+    let paper = SimulationConfig {
+        phases: PhaseConfig {
+            training_steps: 1_000,
+            evaluation_steps: 500,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_mix(BehaviorMix::new(0.6, 0.2, 0.2))
+    .with_ledger_shards(8)
+    .with_seed(0xD1CE);
+    let report = Simulation::new(paper).run();
+    println!("paper/sharded: {report:?}");
+}

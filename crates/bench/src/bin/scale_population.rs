@@ -1,0 +1,253 @@
+//! `scale_population` — the large-population scaling bench.
+//!
+//! Runs the `large_population` scenario family
+//! ([`SimulationConfig::large_population`]) at each requested population
+//! tier (default: the 10⁴ / 5·10⁴ / 10⁵ family of
+//! `ScenarioGrid::large_population`), measuring world-construction time,
+//! end-to-end steps/sec and the per-phase wall-clock breakdown, and writes
+//! the result as `BENCH_scale.json`.
+//!
+//! Flags:
+//!
+//! * `--tiers 10000,50000` — override the population tiers,
+//! * `--quick` — a single reduced tier (2 000 peers) for smoke runs,
+//! * `--out <path>` — output path (default `BENCH_scale.json`),
+//! * `--baseline <path>` — compare steps/sec per tier against a previously
+//!   written report and exit non-zero on a regression,
+//! * `--max-regress <pct>` — tolerated steps/sec drop (default 20 %).
+//!
+//! The CI `perf` job runs the 10⁴ tier against the checked-in baseline in
+//! `crates/bench/baselines/scale_baseline.json` and uploads the fresh
+//! `BENCH_scale.json` as a build artifact.
+
+use collabsim::experiment::LARGE_POPULATION_TIERS;
+use collabsim::{Simulation, SimulationConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct TierResult {
+    peers: usize,
+    shards: usize,
+    threads: usize,
+    build_seconds: f64,
+    total_steps: u64,
+    steps_per_sec: f64,
+    mean_sharing_reputation: f64,
+    phases: Vec<(String, f64)>,
+}
+
+/// Mean final sharing reputation, aggregated by parallel readers over the
+/// ledger's [`LedgerView`](collabsim_reputation::sharded::LedgerView) —
+/// one scoped worker per shard range, sharing the `Sync` read facade.
+fn mean_sharing_reputation(sim: &Simulation) -> f64 {
+    let view = sim.ledger().view();
+    let shard_count = view.shard_count();
+    let peers = view.len();
+    let per_worker = peers.div_ceil(shard_count);
+    let total: f64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shard_count)
+            .map(|w| {
+                scope.spawn(move || {
+                    let start = w * per_worker;
+                    let end = ((w + 1) * per_worker).min(peers);
+                    (start..end)
+                        .map(|p| view.sharing_reputation(p))
+                        .sum::<f64>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    total / peers as f64
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn tiers_from_args() -> Vec<usize> {
+    if let Some(list) = arg_value("--tiers") {
+        let tiers: Vec<usize> = list
+            .split(',')
+            .filter_map(|t| t.trim().parse().ok())
+            .collect();
+        if !tiers.is_empty() {
+            return tiers;
+        }
+        eprintln!("--tiers {list:?} did not parse; using the default family");
+    }
+    if has_flag("--quick") {
+        return vec![2_000];
+    }
+    LARGE_POPULATION_TIERS.to_vec()
+}
+
+fn run_tier(peers: usize) -> TierResult {
+    let config = SimulationConfig::large_population(peers);
+    let total_steps = config.phases.total_steps();
+    let building = Instant::now();
+    let mut sim = Simulation::new(config);
+    let build_seconds = building.elapsed().as_secs_f64();
+    sim.enable_phase_timings();
+    let threads = sim.world().intra_step_threads();
+    let shards = sim.ledger().shard_count();
+    let running = Instant::now();
+    let report = sim.run();
+    let run_seconds = running.elapsed().as_secs_f64();
+    assert_eq!(report.evaluation_steps, 20, "preset evaluation length");
+    let phases = sim
+        .phase_timings()
+        .totals()
+        .iter()
+        .map(|(name, duration, _)| ((*name).to_string(), duration.as_secs_f64()))
+        .collect();
+    TierResult {
+        peers,
+        shards,
+        threads,
+        build_seconds,
+        total_steps,
+        steps_per_sec: total_steps as f64 / run_seconds,
+        mean_sharing_reputation: mean_sharing_reputation(&sim),
+        phases,
+    }
+}
+
+fn render_json(results: &[TierResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"scale_population\",\n  \"tiers\": [\n");
+    for (i, tier) in results.iter().enumerate() {
+        let mut phases = String::new();
+        for (j, (name, seconds)) in tier.phases.iter().enumerate() {
+            let sep = if j + 1 < tier.phases.len() { ", " } else { "" };
+            let _ = write!(phases, "\"{name}\": {seconds:.4}{sep}");
+        }
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"peers\": {}, \"shards\": {}, \"threads\": {}, \"build_seconds\": {:.3}, \
+             \"total_steps\": {}, \"steps_per_sec\": {:.3}, \
+             \"mean_sharing_reputation\": {:.6}, \"phases\": {{{phases}}}}}{sep}",
+            tier.peers,
+            tier.shards,
+            tier.threads,
+            tier.build_seconds,
+            tier.total_steps,
+            tier.steps_per_sec,
+            tier.mean_sharing_reputation,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `"key": <number>` from a JSON line written by this binary (or
+/// an earlier run of it). Good enough for the self-describing baseline
+/// format; the offline harness has no JSON parser crate.
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `peers → steps_per_sec` pairs of a baseline report.
+fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
+    text.lines()
+        .filter_map(|line| {
+            let peers = extract_number(line, "peers")? as usize;
+            let steps_per_sec = extract_number(line, "steps_per_sec")?;
+            Some((peers, steps_per_sec))
+        })
+        .collect()
+}
+
+fn check_baseline(results: &[TierResult], baseline_path: &str, max_regress_pct: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let baseline = parse_baseline(&text);
+    if baseline.is_empty() {
+        eprintln!("baseline {baseline_path} contains no tiers");
+        return false;
+    }
+    let mut ok = true;
+    for tier in results {
+        let Some(&(_, reference)) = baseline.iter().find(|&&(p, _)| p == tier.peers) else {
+            println!(
+                "tier {}: no baseline entry (skipping the regression check)",
+                tier.peers
+            );
+            continue;
+        };
+        let floor = reference * (1.0 - max_regress_pct / 100.0);
+        let verdict = if tier.steps_per_sec >= floor {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSION"
+        };
+        println!(
+            "tier {}: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {verdict}",
+            tier.peers, tier.steps_per_sec, reference, floor
+        );
+    }
+    ok
+}
+
+fn main() {
+    let tiers = tiers_from_args();
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
+    let max_regress: f64 = arg_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+
+    println!("collabsim — scale_population [tiers: {tiers:?}]");
+    println!("(--tiers a,b,c to override, --baseline <path> to gate on a previous run)");
+    println!();
+
+    let mut results = Vec::new();
+    for &peers in &tiers {
+        let tier = run_tier(peers);
+        println!(
+            "peers={:>7}  shards={:>2}  threads={}  build={:>7.2}s  steps={}  steps/sec={:>8.2}",
+            tier.peers,
+            tier.shards,
+            tier.threads,
+            tier.build_seconds,
+            tier.total_steps,
+            tier.steps_per_sec
+        );
+        for (name, seconds) in &tier.phases {
+            println!("    {name:<12} {seconds:>8.3}s");
+        }
+        results.push(tier);
+    }
+
+    let json = render_json(&results);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\n(report written to {out_path})"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+
+    if let Some(baseline) = arg_value("--baseline") {
+        println!();
+        if !check_baseline(&results, &baseline, max_regress) {
+            eprintln!("steps/sec regressed more than {max_regress}% against {baseline}");
+            std::process::exit(1);
+        }
+    }
+}

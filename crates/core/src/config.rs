@@ -139,6 +139,17 @@ pub struct SimulationConfig {
     pub max_voters_per_edit: usize,
     /// Optional reputation-propagation phase (off by default).
     pub propagation: PropagationConfig,
+    /// Number of peer-id-range shards of the reputation ledger
+    /// (`0` = automatic, based on the population). Sharding never changes
+    /// results — parallel shard updates are bit-identical to sequential
+    /// ones — it only changes how much intra-step parallelism is available.
+    pub ledger_shards: usize,
+    /// Worker threads used by the intra-step collect/apply stages of the
+    /// sharing and edit-vote phases (`0` = automatic: the
+    /// `SCENARIO_THREADS` environment variable if set, otherwise the
+    /// hardware parallelism for large populations and `1` for small ones).
+    /// Like `ledger_shards`, this cannot change simulation results.
+    pub intra_step_threads: usize,
     /// RNG seed; identical configurations with identical seeds reproduce
     /// bit-identical results.
     pub seed: u64,
@@ -179,6 +190,8 @@ impl Default for SimulationConfig {
             restrict_voters_to_editors: false,
             max_voters_per_edit: 10,
             propagation: PropagationConfig::default(),
+            ledger_shards: 0,
+            intra_step_threads: 0,
             seed: 0x5EED_C011_AB01,
         }
     }
@@ -197,6 +210,53 @@ impl SimulationConfig {
             incentive: IncentiveScheme::None,
             ..Self::default()
         }
+    }
+
+    /// A population-scale preset for the `large_population` scenario
+    /// family (10⁴–10⁵ peers): short phases, voting restricted to each
+    /// article's previous successful editors (the Section III-C2 design
+    /// rule, which keeps the voter pool per edit `O(editors)` instead of
+    /// `O(population)`), a reduced edit/download rate, and automatic
+    /// ledger sharding + intra-step threading.
+    ///
+    /// The paper's own configuration is 100 peers; this preset is how the
+    /// reproduction exercises the same protocol at populations three
+    /// orders of magnitude larger.
+    pub fn large_population(population: usize) -> Self {
+        Self {
+            population,
+            initial_articles: 200,
+            phases: PhaseConfig {
+                training_steps: 30,
+                evaluation_steps: 20,
+                ..Default::default()
+            },
+            edit_probability: 0.05,
+            restrict_voters_to_editors: true,
+            download_probability: DownloadRate::Fixed(0.2),
+            ledger_shards: 0,
+            intra_step_threads: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style: set the population size.
+    pub fn with_population(mut self, population: usize) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Builder-style: set the ledger shard count (`0` = automatic).
+    pub fn with_ledger_shards(mut self, shards: usize) -> Self {
+        self.ledger_shards = shards;
+        self
+    }
+
+    /// Builder-style: set the intra-step worker-thread count
+    /// (`0` = automatic).
+    pub fn with_intra_step_threads(mut self, threads: usize) -> Self {
+        self.intra_step_threads = threads;
+        self
     }
 
     /// Builder-style: set the behaviour mix.
@@ -346,6 +406,29 @@ mod tests {
     fn zero_propagation_interval_rejected() {
         let mut c = SimulationConfig::default().with_propagation(PropagationScheme::EigenTrust, 1);
         c.propagation.interval = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn large_population_preset_is_valid_and_bounded() {
+        let c = SimulationConfig::large_population(10_000);
+        assert_eq!(c.population, 10_000);
+        assert!(c.restrict_voters_to_editors);
+        assert_eq!(c.ledger_shards, 0, "auto sharding");
+        assert_eq!(c.intra_step_threads, 0, "auto threading");
+        assert!(c.phases.total_steps() <= 100, "preset must stay runnable");
+        c.validate();
+    }
+
+    #[test]
+    fn sharding_and_threading_builders_compose() {
+        let c = SimulationConfig::default()
+            .with_population(64)
+            .with_ledger_shards(8)
+            .with_intra_step_threads(4);
+        assert_eq!(c.population, 64);
+        assert_eq!(c.ledger_shards, 8);
+        assert_eq!(c.intra_step_threads, 4);
         c.validate();
     }
 

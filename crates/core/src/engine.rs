@@ -24,22 +24,27 @@
 //! plug in through [`Simulation::with_pipeline`].
 
 use crate::config::SimulationConfig;
-use crate::pipeline::StepPipeline;
+use crate::pipeline::{PhaseTimings, StepContext, StepPipeline};
 use crate::report::SimulationReport;
 use crate::world::SimWorld;
 use collabsim_gametheory::behavior::BehaviorType;
 use collabsim_netsim::article::ArticleRegistry;
-use collabsim_reputation::ledger::ReputationLedger;
 use collabsim_reputation::propagation::GlobalReputation;
+use collabsim_reputation::sharded::ShardedLedger;
 
 pub use crate::world::{ARTICLE_CONTRIBUTION_UNITS, BANDWIDTH_CONTRIBUTION_UNITS};
 
 use crate::agent::CollabAgent;
 
 /// The full simulation: world state plus the step pipeline advancing it.
+///
+/// The simulation owns one [`StepContext`] that every step reuses (cleared
+/// in place), so steady-state stepping performs no per-step scratch
+/// allocation.
 pub struct Simulation {
     world: SimWorld,
     pipeline: StepPipeline,
+    ctx: StepContext,
 }
 
 impl Simulation {
@@ -47,9 +52,12 @@ impl Simulation {
     /// standard Section-IV pipeline.
     pub fn new(config: SimulationConfig) -> Self {
         let pipeline = StepPipeline::standard(&config);
+        let world = SimWorld::new(config);
+        let ctx = StepContext::new(world.population(), 0.0, 0);
         Self {
-            world: SimWorld::new(config),
+            world,
             pipeline,
+            ctx,
         }
     }
 
@@ -60,9 +68,12 @@ impl Simulation {
     /// pipeline: phases drawing from the step RNG in a different order
     /// produce a different (still seed-deterministic) trajectory.
     pub fn with_pipeline(config: SimulationConfig, pipeline: StepPipeline) -> Self {
+        let world = SimWorld::new(config);
+        let ctx = StepContext::new(world.population(), 0.0, 0);
         Self {
-            world: SimWorld::new(config),
+            world,
             pipeline,
+            ctx,
         }
     }
 
@@ -81,9 +92,22 @@ impl Simulation {
         &self.world
     }
 
-    /// Read access to the reputation ledger (e.g. for custom analyses).
-    pub fn ledger(&self) -> &ReputationLedger {
+    /// Read access to the (sharded) reputation ledger.
+    pub fn ledger(&self) -> &ShardedLedger {
         &self.world.ledger
+    }
+
+    /// Turns on per-phase wall-clock instrumentation; totals accumulate
+    /// over every subsequent step and are read via
+    /// [`Simulation::phase_timings`]. Pure observation — results are
+    /// unaffected.
+    pub fn enable_phase_timings(&mut self) {
+        self.ctx.timings.enable();
+    }
+
+    /// The per-phase wall-clock totals recorded so far.
+    pub fn phase_timings(&self) -> &PhaseTimings {
+        &self.ctx.timings
     }
 
     /// Read access to the article registry.
@@ -144,9 +168,11 @@ impl Simulation {
     }
 
     /// Advances the simulation by a single step at the given Boltzmann
-    /// temperature, executing every pipeline phase in order.
+    /// temperature, executing every pipeline phase in order on the reused
+    /// step context.
     pub fn step(&mut self, temperature: f64) {
-        self.pipeline.run_step(&mut self.world, temperature);
+        self.pipeline
+            .run_step_into(&mut self.world, temperature, &mut self.ctx);
     }
 }
 
@@ -363,6 +389,32 @@ mod tests {
         sim.step(1.0);
         sim.step(1.0);
         assert_eq!(sim.now(), 2);
+    }
+
+    #[test]
+    fn phase_timings_accumulate_across_steps_when_enabled() {
+        let mut sim = Simulation::new(quick_config());
+        sim.step(1.0);
+        assert!(
+            sim.phase_timings().totals().is_empty(),
+            "off by default — timing is opt-in"
+        );
+        sim.enable_phase_timings();
+        sim.step(1.0);
+        sim.step(1.0);
+        let totals = sim.phase_timings().totals();
+        assert_eq!(totals.len(), sim.pipeline().len());
+        assert!(totals.iter().all(|&(_, _, count)| count == 2));
+    }
+
+    #[test]
+    fn forced_sharding_and_threading_do_not_change_results() {
+        let base = quick_config()
+            .with_mix(BehaviorMix::new(0.4, 0.3, 0.3))
+            .with_seed(7);
+        let plain = Simulation::new(base.clone()).run();
+        let sharded = Simulation::new(base.with_ledger_shards(5).with_intra_step_threads(3)).run();
+        assert_eq!(plain, sharded);
     }
 
     #[test]

@@ -32,6 +32,10 @@ use std::sync::Mutex;
 /// plot 10–90 %).
 pub const MIX_SWEEP_PERCENTAGES: [u32; 9] = [10, 20, 30, 40, 50, 60, 70, 80, 90];
 
+/// The population tiers of the `large_population` scenario family: three
+/// orders of magnitude above the paper's 100 peers.
+pub const LARGE_POPULATION_TIERS: [usize; 3] = [10_000, 50_000, 100_000];
+
 /// One labelled simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LabelledReport {
@@ -84,6 +88,14 @@ pub struct ScenarioGrid {
     mixes: Vec<(String, f64, BehaviorMix)>,
     schemes: Vec<IncentiveScheme>,
     seeds: Vec<u64>,
+    /// Explicit population axis; `None` keeps the base population and
+    /// omits the `pop=` label segment (backwards-compatible labelling).
+    populations: Option<Vec<usize>>,
+    /// Whether the mix axis was replaced with explicit sweep points —
+    /// only then do the mixes' parameters win over a population tier as
+    /// the cell's swept parameter (a sweep parameter of 0.0 is
+    /// legitimate, so this cannot be inferred from the values).
+    mix_axis_swept: bool,
 }
 
 impl ScenarioGrid {
@@ -93,8 +105,22 @@ impl ScenarioGrid {
             mixes: vec![("base".to_string(), 0.0, base.mix)],
             schemes: vec![base.incentive],
             seeds: vec![base.seed],
+            populations: None,
+            mix_axis_swept: false,
             base,
         }
+    }
+
+    /// The `large_population` scenario family: the
+    /// [`SimulationConfig::large_population`] preset expanded over the
+    /// [`LARGE_POPULATION_TIERS`] (10⁴, 5·10⁴ and 10⁵ peers). Narrow the
+    /// tiers with [`ScenarioGrid::with_populations`], widen it with the
+    /// other axes.
+    pub fn large_population() -> Self {
+        Self::new(SimulationConfig::large_population(
+            LARGE_POPULATION_TIERS[0],
+        ))
+        .with_populations(LARGE_POPULATION_TIERS)
     }
 
     /// Replaces the mix axis with labelled `(label, parameter, mix)` points.
@@ -108,6 +134,7 @@ impl ScenarioGrid {
             .map(|(l, p, m)| (l.into(), p, m))
             .collect();
         assert!(!self.mixes.is_empty(), "grid needs at least one mix");
+        self.mix_axis_swept = true;
         self
     }
 
@@ -138,9 +165,23 @@ impl ScenarioGrid {
         self
     }
 
+    /// Replaces the population axis. Cells gain a leading `pop=N` label
+    /// segment and their `parameter` becomes the population (unless the
+    /// mix axis carries a sweep parameter of its own).
+    pub fn with_populations<I: IntoIterator<Item = usize>>(mut self, populations: I) -> Self {
+        let populations: Vec<usize> = populations.into_iter().collect();
+        assert!(
+            !populations.is_empty(),
+            "grid needs at least one population"
+        );
+        self.populations = Some(populations);
+        self
+    }
+
     /// Number of cells the grid expands to.
     pub fn len(&self) -> usize {
-        self.mixes.len() * self.schemes.len() * self.seeds.len()
+        let populations = self.populations.as_ref().map_or(1, Vec::len);
+        populations * self.mixes.len() * self.schemes.len() * self.seeds.len()
     }
 
     /// Whether the grid is empty (never: every axis is non-empty).
@@ -148,22 +189,51 @@ impl ScenarioGrid {
         false
     }
 
-    /// Expands the grid into cells in fixed mix-major order.
+    /// Expands the grid into cells in fixed population-major, then
+    /// mix-major order.
     pub fn cells(&self) -> Vec<ScenarioCell> {
         let mut cells = Vec::with_capacity(self.len());
-        for (mix_label, parameter, mix) in &self.mixes {
-            for &scheme in &self.schemes {
-                for &seed in &self.seeds {
-                    cells.push(ScenarioCell {
-                        label: format!("{mix_label}/{}/seed={seed}", scheme.label()),
-                        parameter: *parameter,
-                        config: self
+        let populations: Vec<Option<usize>> = match &self.populations {
+            Some(populations) => populations.iter().copied().map(Some).collect(),
+            None => vec![None],
+        };
+        for population in populations {
+            for (mix_label, parameter, mix) in &self.mixes {
+                for &scheme in &self.schemes {
+                    for &seed in &self.seeds {
+                        let mut config = self
                             .base
                             .clone()
                             .with_mix(*mix)
                             .with_incentive(scheme)
-                            .with_seed(seed),
-                    });
+                            .with_seed(seed);
+                        let (label, parameter) = match population {
+                            Some(peers) => {
+                                config = config.with_population(peers);
+                                let label = format!(
+                                    "pop={peers}/{mix_label}/{}/seed={seed}",
+                                    scheme.label()
+                                );
+                                // A mix sweep's parameter wins; otherwise
+                                // the tier is the swept parameter.
+                                let parameter = if self.mix_axis_swept {
+                                    *parameter
+                                } else {
+                                    peers as f64
+                                };
+                                (label, parameter)
+                            }
+                            None => (
+                                format!("{mix_label}/{}/seed={seed}", scheme.label()),
+                                *parameter,
+                            ),
+                        };
+                        cells.push(ScenarioCell {
+                            label,
+                            parameter,
+                            config,
+                        });
+                    }
                 }
             }
         }
@@ -174,7 +244,8 @@ impl ScenarioGrid {
 /// How a [`ScenarioRunner`] schedules its cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Parallelism {
-    /// One worker per available core, capped at the cell count.
+    /// One worker per available core (or per the `SCENARIO_THREADS`
+    /// environment variable when set), capped at the cell count.
     #[default]
     Auto,
     /// Strictly single-threaded, in input order.
@@ -209,15 +280,12 @@ impl ScenarioRunner {
     }
 
     fn workers_for(&self, jobs: usize) -> usize {
-        let hw = || {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        };
         match self.parallelism {
             Parallelism::Sequential => 1,
             Parallelism::Fixed(n) => n.max(1).min(jobs.max(1)),
-            Parallelism::Auto => hw().min(jobs.max(1)),
+            Parallelism::Auto => crate::threads::scenario_threads()
+                .unwrap_or_else(crate::threads::hardware_threads)
+                .min(jobs.max(1)),
         }
     }
 
@@ -610,6 +678,70 @@ mod tests {
         let cells = grid.cells();
         assert!(cells[0].label.starts_with("irrational=10%"));
         assert_eq!(cells[8].parameter, 90.0);
+    }
+
+    #[test]
+    fn population_axis_expands_population_major_with_pop_labels() {
+        let grid = ScenarioGrid::new(tiny_base())
+            .with_populations([12, 24])
+            .with_seeds([1, 2]);
+        assert_eq!(grid.len(), 4);
+        let cells = grid.cells();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "pop=12/base/reputation/seed=1",
+                "pop=12/base/reputation/seed=2",
+                "pop=24/base/reputation/seed=1",
+                "pop=24/base/reputation/seed=2",
+            ]
+        );
+        assert_eq!(cells[0].config.population, 12);
+        assert_eq!(cells[2].config.population, 24);
+        assert_eq!(cells[2].parameter, 24.0, "tier is the swept parameter");
+    }
+
+    #[test]
+    fn explicit_mix_sweep_parameters_survive_a_population_axis() {
+        // A swept parameter of 0.0 is legitimate and must not be clobbered
+        // by the population tier.
+        let grid = ScenarioGrid::new(tiny_base())
+            .with_mixes([
+                ("0pct", 0.0, BehaviorMix::all_rational()),
+                ("50pct", 50.0, BehaviorMix::new(0.5, 0.25, 0.25)),
+            ])
+            .with_populations([10]);
+        let cells = grid.cells();
+        assert_eq!(cells[0].parameter, 0.0, "explicit 0.0 sweep point kept");
+        assert_eq!(cells[1].parameter, 50.0);
+    }
+
+    #[test]
+    fn large_population_family_covers_the_three_tiers() {
+        let grid = ScenarioGrid::large_population();
+        assert_eq!(grid.len(), 3);
+        let cells = grid.cells();
+        for (cell, &tier) in cells.iter().zip(LARGE_POPULATION_TIERS.iter()) {
+            assert_eq!(cell.config.population, tier);
+            assert!(cell.label.starts_with(&format!("pop={tier}/")));
+            assert!(cell.config.restrict_voters_to_editors);
+            cell.config.validate();
+        }
+    }
+
+    #[test]
+    fn population_axis_runs_end_to_end() {
+        let grid = ScenarioGrid::new(tiny_base()).with_populations([10, 14]);
+        let reports = ScenarioRunner::sequential().run_grid(&grid);
+        assert_eq!(reports.len(), 2);
+        let total_peers: usize = reports[1]
+            .report
+            .by_behavior
+            .values()
+            .map(|b| b.peers)
+            .sum();
+        assert_eq!(total_peers, 14);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod incentive;
 pub mod pipeline;
 pub mod report;
 pub mod results;
+pub mod threads;
 pub mod world;
 
 pub use action::{CollabAction, EditBehavior, ShareLevel, ACTION_DIMS};
@@ -61,9 +62,9 @@ pub use config::{PhaseConfig, PropagationConfig, SimulationConfig};
 pub use engine::Simulation;
 pub use experiment::{ScenarioGrid, ScenarioRunner};
 pub use incentive::IncentiveScheme;
-pub use pipeline::{StepContext, StepPhase, StepPipeline};
+pub use pipeline::{PhaseTimings, StepContext, StepPhase, StepPipeline};
 pub use report::{BehaviorBreakdown, SimulationReport};
-pub use world::SimWorld;
+pub use world::{SimWorld, UploadMatrix};
 
 // Re-export the pieces downstream users constantly need alongside the core
 // API so examples only import one crate.

@@ -7,7 +7,6 @@ use collabsim_netsim::bandwidth::DownloadRequest;
 use collabsim_netsim::dht::DhtKey;
 use collabsim_netsim::peer::PeerId;
 use collabsim_netsim::transfer::TransferStatus;
-use rand::seq::SliceRandom;
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -47,6 +46,15 @@ impl StepPhase for DownloadPhase {
             .copied()
             .filter(|&s| world.peers.peer(s).offered_upload() > 0.0)
             .collect();
+        // The source draw below excludes the downloader via binary search,
+        // which needs this list sorted by peer id. `sharing_peers()`
+        // iterates the registry in id order today; if churn or registry
+        // reordering ever changes that, this must fail loudly instead of
+        // silently letting peers pick themselves as sources.
+        debug_assert!(
+            upload_sources.windows(2).all(|w| w[0] < w[1]),
+            "upload sources must be sorted by peer id"
+        );
 
         // Collect download requests per source.
         let mut requests_by_source: HashMap<PeerId, Vec<DownloadRequest>> = HashMap::new();
@@ -70,18 +78,30 @@ impl StepPhase for DownloadPhase {
                     world.active_transfer[p] = None;
                 }
             }
-            // Otherwise maybe start a new download.
+            // Otherwise maybe start a new download. The source is a
+            // uniform choice among the upload sources other than the
+            // downloader itself; instead of materialising that filtered
+            // candidate list (O(sources) allocation per peer — the
+            // pre-shard scaling bottleneck of this phase), the index is
+            // drawn directly and mapped over the downloader's position in
+            // the sorted source list. Same single `gen_range` draw over
+            // the same count, same chosen peer, so the RNG stream and the
+            // trajectory are bit-identical to the list-based code.
             if source.is_none()
                 && !upload_sources.is_empty()
                 && download_probability > 0.0
                 && world.rng.gen_bool(download_probability.min(1.0))
             {
-                let candidates: Vec<PeerId> = upload_sources
-                    .iter()
-                    .copied()
-                    .filter(|&s| s != downloader)
-                    .collect();
-                if let Some(&chosen) = candidates.choose(&mut world.rng) {
+                let own_position = upload_sources.binary_search(&downloader);
+                let candidates = upload_sources.len() - usize::from(own_position.is_ok());
+                if candidates > 0 {
+                    let mut index = world.rng.gen_range(0..candidates);
+                    if let Ok(position) = own_position {
+                        if index >= position {
+                            index += 1;
+                        }
+                    }
+                    let chosen = upload_sources[index];
                     let article = world.pick_article_to_download(downloader, chosen);
                     let tid = world.transfers.start(downloader, chosen, article, now);
                     world.active_transfer[p] = Some(tid);
@@ -97,7 +117,7 @@ impl StepPhase for DownloadPhase {
                         downloader,
                         sharing_reputation: world.ledger.sharing_reputation(p),
                         download_capacity: world.peers.peer(downloader).download_capacity,
-                        uploaded_to_source: world.uploads[p][src.index()],
+                        uploaded_to_source: world.uploads.get(p, src.index()),
                     });
             }
         }
@@ -118,7 +138,7 @@ impl StepPhase for DownloadPhase {
                     .shared_upload_fraction
                     .max(ctx.source_upload_seen[d]);
                 ctx.bandwidth_share[d] = ctx.bandwidth_share[d].max(allocation.share);
-                world.uploads[source.index()][d] += allocation.bandwidth;
+                world.uploads.add(source.index(), d, allocation.bandwidth);
                 if let Some(&tid) = request_transfer.get(&(allocation.downloader, source)) {
                     let status = world.transfers.apply_grant(tid, allocation.bandwidth, now);
                     if status == TransferStatus::Completed {

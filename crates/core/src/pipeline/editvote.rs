@@ -5,7 +5,7 @@ use crate::action::EditBehavior;
 use crate::world::SimWorld;
 use collabsim_netsim::article::EditKind;
 use collabsim_netsim::peer::PeerId;
-use collabsim_reputation::contribution::EditingAction;
+use collabsim_reputation::contribution::{ContributionDelta, EditingAction};
 use collabsim_reputation::punishment::PunishmentOutcome;
 use collabsim_reputation::service::ServiceDifferentiation;
 use rand::seq::SliceRandom;
@@ -179,16 +179,24 @@ impl StepPhase for EditVotePhase {
             }
         }
 
-        // Editing/voting contribution accounting.
+        // Editing/voting contribution accounting, collect-then-apply: the
+        // per-peer outcomes gathered above are bucketed per ledger shard
+        // and applied by parallel workers — bit-identical to recording
+        // them inline, because contribution updates are per-peer
+        // independent and each shard applies its bucket in peer order.
+        ctx.editing_deltas.ensure(&world.ledger);
         for p in 0..population {
-            world.ledger.record_editing(
+            ctx.editing_deltas.push(ContributionDelta::editing(
                 p,
-                &EditingAction {
+                EditingAction {
                     successful_votes: ctx.successful_votes[p],
                     accepted_edits: ctx.accepted_edits[p],
                     attempted: ctx.attempted_editing[p] || ctx.voted_this_step[p],
                 },
-            );
+            ));
         }
+        world
+            .ledger
+            .apply_parallel(&ctx.editing_deltas, world.intra_step_threads());
     }
 }

@@ -11,7 +11,9 @@
 //! * [`SelectionPhase`] — every agent picks its composite action at the
 //!   step's Boltzmann temperature,
 //! * [`SharingPhase`] — sharing decisions are applied to the peer registry
-//!   and contribution values are recorded,
+//!   and contribution values are recorded (collect-then-apply: parallel
+//!   workers bucket `ContributionDelta`s per ledger shard, the sharded
+//!   ledger applies them — bit-identical at any worker count),
 //! * [`DownloadPhase`] — download requests are collected and each source's
 //!   offered upload is allocated under the incentive scheme,
 //! * [`EditVotePhase`] — edits are submitted, voted on (gated, weighted and
@@ -56,6 +58,67 @@ use crate::action::CollabAction;
 use crate::agent::AgentState;
 use crate::config::SimulationConfig;
 use crate::world::SimWorld;
+use collabsim_netsim::article::ArticleId;
+use collabsim_netsim::peer::PeerId;
+use collabsim_reputation::sharded::DeltaBatch;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// The precomputed effect of one peer's sharing decision: which articles
+/// it will offer. Collected per shard (possibly in parallel) by
+/// [`SharingPhase`], drained sequentially in its apply stage.
+pub type OfferPlan = (PeerId, HashSet<ArticleId>);
+
+/// Cumulative per-phase wall-clock totals, recorded by
+/// [`StepPipeline::run_step_into`] when enabled.
+///
+/// Timing is pure observation: enabling it cannot change simulation
+/// results. Totals accumulate across steps (they survive
+/// [`StepContext::reset`]) so a whole run can be profiled with one enable
+/// call — `collabsim-bench`'s `scale_population` binary reports them per
+/// population tier.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    enabled: bool,
+    entries: Vec<(&'static str, Duration, u64)>,
+}
+
+impl PhaseTimings {
+    /// Turns recording on.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `elapsed` to the phase's total.
+    pub fn record(&mut self, phase: &'static str, elapsed: Duration) {
+        if let Some(entry) = self.entries.iter_mut().find(|(name, _, _)| *name == phase) {
+            entry.1 += elapsed;
+            entry.2 += 1;
+        } else {
+            self.entries.push((phase, elapsed, 1));
+        }
+    }
+
+    /// `(phase name, total wall-clock, executions)` in first-seen order.
+    pub fn totals(&self) -> &[(&'static str, Duration, u64)] {
+        &self.entries
+    }
+
+    /// Total wall-clock across all phases.
+    pub fn total(&self) -> Duration {
+        self.entries.iter().map(|(_, d, _)| *d).sum()
+    }
+
+    /// Drops all recorded totals (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
 
 /// Per-step scratch state handed through the pipeline.
 ///
@@ -93,6 +156,19 @@ pub struct StepContext {
     /// Per-peer reward for the step (filled by [`UtilityPhase`], consumed
     /// by [`LearningPhase`]).
     pub rewards: Vec<f64>,
+    /// Shard-bucketed sharing-contribution deltas (collect stage of
+    /// [`SharingPhase`]; applied to the ledger at the end of the phase).
+    pub sharing_deltas: DeltaBatch,
+    /// Shard-bucketed editing-contribution deltas (collect stage of
+    /// [`EditVotePhase`]).
+    pub editing_deltas: DeltaBatch,
+    /// Per-shard offered-article plans (collect stage of [`SharingPhase`];
+    /// drained by its apply stage, so steady-state steps reuse the
+    /// capacity instead of reallocating).
+    pub offer_plans: Vec<Vec<OfferPlan>>,
+    /// Optional per-phase wall-clock instrumentation; accumulates across
+    /// steps and survives [`StepContext::reset`].
+    pub timings: PhaseTimings,
 }
 
 impl StepContext {
@@ -111,8 +187,44 @@ impl StepContext {
             attempted_editing: vec![false; population],
             voted_this_step: vec![false; population],
             rewards: vec![0.0; population],
+            sharing_deltas: DeltaBatch::default(),
+            editing_deltas: DeltaBatch::default(),
+            offer_plans: Vec::new(),
+            timings: PhaseTimings::default(),
         }
     }
+
+    /// Re-initialises the context for the next step without giving up any
+    /// allocation: every per-peer vector is cleared and refilled in place,
+    /// and the delta batches keep their bucket capacity. After a reset the
+    /// observable state is exactly that of a fresh
+    /// [`StepContext::new`] (timings excepted — they accumulate), which is
+    /// what lets the engine reuse one context across all steps of a run.
+    pub fn reset(&mut self, population: usize, temperature: f64, now: u64) {
+        self.temperature = temperature;
+        self.now = now;
+        self.current_states.clear();
+        self.actions.clear();
+        reset_values(&mut self.downloaded, population, 0.0);
+        reset_values(&mut self.source_upload_seen, population, 0.0);
+        reset_values(&mut self.bandwidth_share, population, 0.0);
+        reset_values(&mut self.successful_votes, population, 0);
+        reset_values(&mut self.accepted_edits, population, 0);
+        reset_values(&mut self.attempted_editing, population, false);
+        reset_values(&mut self.voted_this_step, population, false);
+        reset_values(&mut self.rewards, population, 0.0);
+        self.sharing_deltas.clear();
+        self.editing_deltas.clear();
+        for plan in &mut self.offer_plans {
+            plan.clear();
+        }
+    }
+}
+
+/// Clears and refills a per-peer vector in place.
+fn reset_values<T: Copy>(values: &mut Vec<T>, population: usize, value: T) {
+    values.clear();
+    values.resize(population, value);
 }
 
 /// One sub-phase of a simulation step.
@@ -190,11 +302,30 @@ impl StepPipeline {
 
     /// Runs one full step: ticks the clock, builds a fresh [`StepContext`]
     /// and executes every phase in order.
+    ///
+    /// Allocates a context per call; step loops should prefer
+    /// [`StepPipeline::run_step_into`] with a reused context.
     pub fn run_step(&self, world: &mut SimWorld, temperature: f64) {
+        let mut ctx = StepContext::new(world.population(), temperature, 0);
+        self.run_step_into(world, temperature, &mut ctx);
+    }
+
+    /// Runs one full step into a caller-owned (reusable) context: ticks
+    /// the clock, resets `ctx` in place and executes every phase in order,
+    /// recording per-phase wall-clock when `ctx.timings` is enabled.
+    pub fn run_step_into(&self, world: &mut SimWorld, temperature: f64, ctx: &mut StepContext) {
         let now = world.clock.tick();
-        let mut ctx = StepContext::new(world.population(), temperature, now);
-        for phase in &self.phases {
-            phase.execute(world, &mut ctx);
+        ctx.reset(world.population(), temperature, now);
+        if ctx.timings.enabled() {
+            for phase in &self.phases {
+                let started = Instant::now();
+                phase.execute(world, ctx);
+                ctx.timings.record(phase.name(), started.elapsed());
+            }
+        } else {
+            for phase in &self.phases {
+                phase.execute(world, ctx);
+            }
         }
     }
 }
@@ -287,6 +418,77 @@ mod tests {
         assert_eq!(ctx.now, 3);
         assert_eq!(ctx.temperature, 1.0);
         assert!(ctx.actions.is_empty(), "selection fills actions");
+    }
+
+    #[test]
+    fn context_reset_restores_fresh_per_step_state() {
+        let mut ctx = StepContext::new(5, 1.0, 1);
+        ctx.downloaded[3] = 2.5;
+        ctx.successful_votes[0] = 7;
+        ctx.attempted_editing[4] = true;
+        ctx.rewards[2] = -1.0;
+        let capacity_before = ctx.downloaded.capacity();
+        ctx.reset(5, 2.0, 9);
+        let fresh = StepContext::new(5, 2.0, 9);
+        assert_eq!(ctx.downloaded, fresh.downloaded);
+        assert_eq!(ctx.successful_votes, fresh.successful_votes);
+        assert_eq!(ctx.attempted_editing, fresh.attempted_editing);
+        assert_eq!(ctx.rewards, fresh.rewards);
+        assert_eq!(ctx.temperature, 2.0);
+        assert_eq!(ctx.now, 9);
+        assert!(ctx.actions.is_empty() && ctx.current_states.is_empty());
+        assert_eq!(
+            ctx.downloaded.capacity(),
+            capacity_before,
+            "reuse, not realloc"
+        );
+        // A reset can also resize for a different population.
+        ctx.reset(8, 1.0, 10);
+        assert_eq!(ctx.rewards.len(), 8);
+    }
+
+    #[test]
+    fn reused_context_reproduces_fresh_context_stepping() {
+        let config = quick_config();
+        let pipeline = StepPipeline::standard(&config);
+        let mut world_fresh = SimWorld::new(config.clone());
+        let mut world_reused = SimWorld::new(config);
+        let mut ctx = StepContext::new(world_reused.population(), 0.0, 0);
+        for _ in 0..20 {
+            pipeline.run_step(&mut world_fresh, 1.0);
+            pipeline.run_step_into(&mut world_reused, 1.0, &mut ctx);
+        }
+        assert_eq!(world_fresh.clock.now(), world_reused.clock.now());
+        for p in 0..world_fresh.population() {
+            assert_eq!(
+                world_fresh.ledger.sharing_reputation(p),
+                world_reused.ledger.sharing_reputation(p)
+            );
+            assert_eq!(
+                world_fresh.ledger.editing_reputation(p),
+                world_reused.ledger.editing_reputation(p)
+            );
+        }
+    }
+
+    #[test]
+    fn phase_timings_record_every_phase_once_per_step() {
+        let config = quick_config();
+        let pipeline = StepPipeline::standard(&config);
+        let mut world = SimWorld::new(config);
+        let mut ctx = StepContext::new(world.population(), 0.0, 0);
+        assert!(!ctx.timings.enabled());
+        ctx.timings.enable();
+        pipeline.run_step_into(&mut world, 1.0, &mut ctx);
+        pipeline.run_step_into(&mut world, 1.0, &mut ctx);
+        let totals = ctx.timings.totals();
+        let names: Vec<&str> = totals.iter().map(|&(name, _, _)| name).collect();
+        assert_eq!(names, pipeline.phase_names(), "one entry per phase");
+        assert!(totals.iter().all(|&(_, _, count)| count == 2));
+        assert!(ctx.timings.total() >= totals[0].1);
+        ctx.timings.clear();
+        assert!(ctx.timings.totals().is_empty());
+        assert!(ctx.timings.enabled(), "clear keeps the flag");
     }
 
     #[test]

@@ -38,7 +38,7 @@ impl StepPhase for PropagationPhase {
         for truster in 0..population {
             for trustee in 0..population {
                 if truster != trustee {
-                    graph.set_trust(truster, trustee, world.uploads[trustee][truster]);
+                    graph.set_trust(truster, trustee, world.uploads.get(trustee, truster));
                 }
             }
         }

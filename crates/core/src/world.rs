@@ -20,14 +20,14 @@ use collabsim_netsim::peer::{PeerId, PeerRegistry};
 use collabsim_netsim::storage::ArticleStore;
 use collabsim_netsim::transfer::TransferManager;
 use collabsim_reputation::function::LogisticReputation;
-use collabsim_reputation::ledger::ReputationLedger;
 use collabsim_reputation::propagation::GlobalReputation;
 use collabsim_reputation::service::ServiceDifferentiation;
+use collabsim_reputation::sharded::ShardedLedger;
 use collabsim_rl::space::StateSpace;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Contribution units corresponding to sharing the full 100-article storage
@@ -62,6 +62,54 @@ pub struct PeerAccumulator {
     pub steps: u64,
 }
 
+/// Sparse pairwise upload totals: `get(u, v)` is the total bandwidth peer
+/// `u` has uploaded to peer `v`.
+///
+/// The dense `Vec<Vec<f64>>` predecessor needed `8 · N²` bytes — 80 GB at
+/// the 10⁵-peer tier — while actual upload relations are bounded by the
+/// number of transfers, so rows are kept as hash maps keyed by the
+/// counterparty. Reads of absent pairs return 0.0, exactly like the dense
+/// matrix's untouched cells, and no code path iterates a row, so the map's
+/// ordering never influences results.
+#[derive(Debug, Clone, Default)]
+pub struct UploadMatrix {
+    rows: Vec<HashMap<u32, f64>>,
+}
+
+impl UploadMatrix {
+    /// An all-zero matrix over `peers` peers.
+    pub fn new(peers: usize) -> Self {
+        Self {
+            rows: vec![HashMap::new(); peers],
+        }
+    }
+
+    /// Number of peers (rows).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the matrix tracks no peers.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total bandwidth `from` has uploaded to `to`.
+    pub fn get(&self, from: usize, to: usize) -> f64 {
+        self.rows[from].get(&(to as u32)).copied().unwrap_or(0.0)
+    }
+
+    /// Adds uploaded bandwidth to the `from → to` total.
+    pub fn add(&mut self, from: usize, to: usize, amount: f64) {
+        *self.rows[from].entry(to as u32).or_insert(0.0) += amount;
+    }
+
+    /// Number of non-zero upload relations stored.
+    pub fn relation_count(&self) -> usize {
+        self.rows.iter().map(HashMap::len).sum()
+    }
+}
+
 /// The full mutable state of one simulation: every substrate the phases of
 /// the step pipeline read and write.
 ///
@@ -82,8 +130,10 @@ pub struct SimWorld {
     pub store: ArticleStore,
     /// DHT overlay locating article replicas.
     pub dht: Dht,
-    /// Dual-reputation ledger (`R_S`, `R_E`) of every peer.
-    pub ledger: ReputationLedger,
+    /// Dual-reputation ledger (`R_S`, `R_E`) of every peer, sharded by
+    /// peer-id range so the sharing/edit-vote phases can apply contribution
+    /// deltas from parallel workers.
+    pub ledger: ShardedLedger,
     /// Service-differentiation rules of the configured incentive scheme.
     pub service: ServiceDifferentiation,
     /// Bandwidth allocator implementing the scheme's allocation policy.
@@ -99,9 +149,9 @@ pub struct SimWorld {
     /// The step RNG. Phases must draw from it in pipeline order only —
     /// reordering draws changes every downstream result.
     pub rng: StdRng,
-    /// `uploads[u][v]`: total bandwidth peer `u` has uploaded to peer `v`
-    /// (the direct-relation history tit-for-tat and the trust graph need).
-    pub uploads: Vec<Vec<f64>>,
+    /// Total bandwidth each peer has uploaded to each other peer (the
+    /// direct-relation history tit-for-tat and the trust graph need).
+    pub uploads: UploadMatrix,
     /// In-flight download per peer (transfer id into `transfers`).
     pub active_transfer: Vec<Option<u64>>,
     /// Accepted edits since the peer's last punishment (for restoring
@@ -126,6 +176,11 @@ pub struct SimWorld {
     pub global_reputation: Option<GlobalReputation>,
     /// How many times the propagation phase has executed its backend.
     pub propagation_runs: u64,
+    /// Worker-thread count for the intra-step collect/apply stages,
+    /// resolved once at construction (config value, or the automatic
+    /// `SCENARIO_THREADS`/hardware resolution when the config says 0) so
+    /// the hot phases never touch the process environment.
+    intra_step_threads: usize,
 }
 
 impl SimWorld {
@@ -156,11 +211,12 @@ impl SimWorld {
             (1.0 - config.min_reputation) / config.min_reputation,
             config.reputation_beta,
         ));
-        let ledger = ReputationLedger::new(
+        let ledger = ShardedLedger::new(
             population,
             config.contribution,
             reputation_fn.clone(),
             reputation_fn,
+            config.ledger_shards,
         );
         let service = ServiceDifferentiation::new(config.service, config.min_reputation);
         let allocator = BandwidthAllocator::new(config.incentive.allocation_policy());
@@ -170,9 +226,7 @@ impl SimWorld {
         let mut articles = ArticleRegistry::new();
         let mut store = ArticleStore::new();
         let mut dht = Dht::new(3);
-        for p in 0..population {
-            dht.join(PeerId(p as u32));
-        }
+        dht.join_many((0..population).map(|p| PeerId(p as u32)));
         for _ in 0..config.initial_articles {
             let creator = PeerId(rng.gen_range(0..population as u32));
             let id = articles.create_article(creator, 0);
@@ -184,6 +238,11 @@ impl SimWorld {
         }
 
         let propagation_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        let intra_step_threads = match config.intra_step_threads {
+            0 => crate::threads::auto_intra_step_threads(population),
+            n => n,
+        };
 
         Self {
             clock: SimClock::new(),
@@ -198,7 +257,7 @@ impl SimWorld {
             agents,
             behaviors,
             states,
-            uploads: vec![vec![0.0; population]; population],
+            uploads: UploadMatrix::new(population),
             active_transfer: vec![None; population],
             accepted_since_punishment: vec![0; population],
             accumulators: vec![PeerAccumulator::default(); population],
@@ -209,6 +268,7 @@ impl SimWorld {
             propagation_rng,
             global_reputation: None,
             propagation_runs: 0,
+            intra_step_threads,
             rng,
             config,
         }
@@ -217,6 +277,14 @@ impl SimWorld {
     /// Number of peers.
     pub fn population(&self) -> usize {
         self.config.population
+    }
+
+    /// The worker-thread count the intra-step collect/apply stages use:
+    /// the configured value, or the automatic resolution of
+    /// [`crate::threads::auto_intra_step_threads`] (resolved once at
+    /// construction). Never affects results, only wall-clock time.
+    pub fn intra_step_threads(&self) -> usize {
+        self.intra_step_threads
     }
 
     /// The agent's current state: its sharing-reputation bucket.

@@ -193,6 +193,113 @@ mod tests {
     }
 
     #[test]
+    fn fixed_seed_reproduces_the_exact_event_stream() {
+        let model = ChurnModel {
+            join_probability: 0.3,
+            leave_probability: 0.05,
+            whitewash_probability: 0.02,
+        };
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut stream = Vec::new();
+            for _ in 0..300 {
+                stream.extend(model.sample_step(&peers(40), &mut rng));
+            }
+            stream
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42), run(43), "different seeds must diverge");
+    }
+
+    #[test]
+    fn events_reference_only_online_peers_in_input_order() {
+        let model = ChurnModel {
+            join_probability: 0.0,
+            leave_probability: 0.5,
+            whitewash_probability: 0.3,
+        };
+        let online: Vec<PeerId> = [3u32, 7, 11, 19].map(PeerId).to_vec();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let events = model.sample_step(&online, &mut rng);
+            let mut last_index = 0usize;
+            for event in events {
+                let peer = match event {
+                    ChurnEvent::Leave(p) | ChurnEvent::Whitewash(p) => p,
+                    ChurnEvent::Join => panic!("join probability is zero"),
+                };
+                let index = online.iter().position(|&p| p == peer).expect("known peer");
+                assert!(index >= last_index, "events must follow input order");
+                last_index = index;
+            }
+        }
+    }
+
+    #[test]
+    fn join_rate_matches_probability() {
+        let model = ChurnModel {
+            join_probability: 0.25,
+            leave_probability: 0.0,
+            whitewash_probability: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let steps = 4000;
+        let joins: usize = (0..steps)
+            .map(|_| model.sample_step(&peers(10), &mut rng).len())
+            .sum();
+        let rate = joins as f64 / steps as f64;
+        assert!(
+            (rate - 0.25).abs() < 0.03,
+            "join rate {rate} should approximate 0.25"
+        );
+    }
+
+    #[test]
+    fn leave_and_whitewash_rates_match_probabilities() {
+        let model = ChurnModel {
+            join_probability: 0.0,
+            leave_probability: 0.04,
+            whitewash_probability: 0.01,
+        };
+        let mut rng = StdRng::seed_from_u64(12);
+        let population = 200u32;
+        let steps = 500;
+        let mut leaves = 0usize;
+        let mut whitewashes = 0usize;
+        for _ in 0..steps {
+            for event in model.sample_step(&peers(population), &mut rng) {
+                match event {
+                    ChurnEvent::Leave(_) => leaves += 1,
+                    ChurnEvent::Whitewash(_) => whitewashes += 1,
+                    ChurnEvent::Join => panic!("join probability is zero"),
+                }
+            }
+        }
+        let trials = (steps * population as usize) as f64;
+        let whitewash_rate = whitewashes as f64 / trials;
+        // A leave is only sampled when the whitewash coin came up tails.
+        let leave_rate = leaves as f64 / (trials * (1.0 - 0.01));
+        assert!(
+            (whitewash_rate - 0.01).abs() < 0.005,
+            "whitewash rate {whitewash_rate} should approximate 0.01"
+        );
+        assert!(
+            (leave_rate - 0.04).abs() < 0.01,
+            "leave rate {leave_rate} should approximate 0.04"
+        );
+    }
+
+    #[test]
+    fn whitewashing_constructor_is_pure_whitewash() {
+        let model = ChurnModel::whitewashing(0.7);
+        assert_eq!(model.whitewash_probability, 0.7);
+        assert_eq!(model.join_probability, 0.0);
+        assert_eq!(model.leave_probability, 0.0);
+        assert!(!model.is_stable());
+        model.validate();
+    }
+
+    #[test]
     #[should_panic(expected = "probability")]
     fn invalid_probability_panics() {
         let model = ChurnModel {

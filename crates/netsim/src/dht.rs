@@ -107,6 +107,24 @@ impl Dht {
         self.rebuild_routing();
     }
 
+    /// Adds many peers at once, rebuilding the routing tables a single time
+    /// at the end — for a population of `n` joining peers this is the
+    /// difference between one `O(n log n)`-per-peer rebuild and `n` of
+    /// them, which is what makes 10⁵-peer networks constructible. The final
+    /// state is identical to calling [`Dht::join`] once per peer.
+    pub fn join_many<I: IntoIterator<Item = PeerId>>(&mut self, peers: I) {
+        let mut known: HashSet<PeerId> = self.members.iter().map(|&(p, _)| p).collect();
+        let before = self.members.len();
+        for peer in peers {
+            if known.insert(peer) {
+                self.members.push((peer, DhtKey::for_peer(peer)));
+            }
+        }
+        if self.members.len() != before {
+            self.rebuild_routing();
+        }
+    }
+
     /// Removes a peer from the DHT (its replicas are dropped too).
     pub fn leave(&mut self, peer: PeerId) {
         self.members.retain(|&(p, _)| p != peer);
@@ -117,6 +135,12 @@ impl Dht {
         self.rebuild_routing();
     }
 
+    /// Population size up to which routing tables are built from the exact
+    /// all-pairs XOR ranking. Above it, [`Dht::rebuild_routing_large`] uses
+    /// the key-sorted-window approximation so a rebuild stays
+    /// `O(n log n)` instead of `O(n² log n)`.
+    const EXACT_ROUTING_MAX: usize = 2048;
+
     fn rebuild_routing(&mut self) {
         self.routing.clear();
         let n = self.members.len();
@@ -124,6 +148,9 @@ impl Dht {
             return;
         }
         let table_size = (usize::BITS - n.leading_zeros()) as usize + self.replication;
+        if n > Self::EXACT_ROUTING_MAX {
+            return self.rebuild_routing_large(table_size);
+        }
         for &(peer, key) in &self.members {
             let mut others: Vec<(u64, PeerId)> = self
                 .members
@@ -141,6 +168,40 @@ impl Dht {
             }
             table.sort_unstable();
             table.dedup();
+            self.routing.insert(peer, table);
+        }
+    }
+
+    /// Large-population routing build: members are sorted by key once, each
+    /// peer ranks a `2 × table_size` window of key-sorted neighbours by
+    /// exact XOR distance (keys with small XOR distance share long common
+    /// prefixes, so they are adjacent in sorted key order), and far
+    /// contacts are taken at exponentially growing strides around the
+    /// sorted ring. Deterministic in the membership, like the exact build.
+    fn rebuild_routing_large(&mut self, table_size: usize) {
+        let mut by_key: Vec<(DhtKey, PeerId)> = self.members.iter().map(|&(p, k)| (k, p)).collect();
+        by_key.sort_unstable();
+        let n = by_key.len();
+        let window = table_size * 2;
+        for (i, &(key, peer)) in by_key.iter().enumerate() {
+            let lo = i.saturating_sub(window);
+            let hi = (i + window + 1).min(n);
+            let mut near: Vec<(u64, PeerId)> = by_key[lo..hi]
+                .iter()
+                .filter(|&&(_, p)| p != peer)
+                .map(|&(k, p)| (key.distance(k), p))
+                .collect();
+            near.sort_unstable();
+            near.truncate(table_size);
+            let mut table: Vec<PeerId> = near.into_iter().map(|(_, p)| p).collect();
+            let mut stride = table_size.max(1);
+            while stride < n {
+                table.push(by_key[(i + stride) % n].1);
+                stride *= 2;
+            }
+            table.sort_unstable();
+            table.dedup();
+            table.retain(|&p| p != peer);
             self.routing.insert(peer, table);
         }
     }
@@ -350,5 +411,37 @@ mod tests {
     #[should_panic(expected = "replication")]
     fn zero_replication_panics() {
         let _ = Dht::new(0);
+    }
+
+    #[test]
+    fn join_many_matches_incremental_joins() {
+        let mut incremental = Dht::new(3);
+        for i in 0..50 {
+            incremental.join(PeerId(i));
+        }
+        let mut batched = Dht::new(3);
+        batched.join_many((0..50).map(PeerId));
+        assert_eq!(incremental, batched);
+        // Duplicates and re-joins are ignored, with or without a rebuild.
+        batched.join_many([PeerId(0), PeerId(10), PeerId(10)]);
+        assert_eq!(incremental, batched);
+        batched.join_many(std::iter::empty());
+        assert_eq!(incremental, batched);
+    }
+
+    #[test]
+    fn large_population_routing_still_converges() {
+        // Above EXACT_ROUTING_MAX the windowed routing build kicks in;
+        // lookups must still terminate in few hops and find the holders.
+        let mut d = Dht::new(3);
+        d.join_many((0..4096).map(PeerId));
+        let key = DhtKey::for_article(123);
+        d.store(key);
+        assert_eq!(d.holders(key).len(), 3);
+        for origin in (0..4096).step_by(511) {
+            let result = d.lookup(PeerId(origin), key);
+            assert_eq!(result.holders.len(), 3);
+            assert!(result.hops <= 24, "took {} hops", result.hops);
+        }
     }
 }

@@ -90,13 +90,29 @@ impl ArticleStore {
     /// stand-in for "the peer picks which files to share"). Returns the
     /// number actually offered (bounded by what the peer holds).
     pub fn set_offered_count(&mut self, peer: PeerId, count: usize) -> usize {
+        let offered = self.compute_offered(peer, count);
+        self.set_offered(peer, offered)
+    }
+
+    /// Computes — without mutating the store — the offered set that
+    /// [`ArticleStore::set_offered_count`] would install: the first `count`
+    /// held articles in identifier order. Read-only, so parallel collect
+    /// workers can precompute offered sets for many peers at once and a
+    /// sequential apply stage can install them via
+    /// [`ArticleStore::set_offered`].
+    pub fn compute_offered(&self, peer: PeerId, count: usize) -> HashSet<ArticleId> {
         let mut held: Vec<ArticleId> = self
             .held
             .get(&peer)
             .map(|set| set.iter().copied().collect())
             .unwrap_or_default();
         held.sort_unstable();
-        let offered: HashSet<ArticleId> = held.into_iter().take(count).collect();
+        held.into_iter().take(count).collect()
+    }
+
+    /// Installs a precomputed offered set for `peer` (see
+    /// [`ArticleStore::compute_offered`]) and returns its size.
+    pub fn set_offered(&mut self, peer: PeerId, offered: HashSet<ArticleId>) -> usize {
         let n = offered.len();
         self.offered.insert(peer, offered);
         n

@@ -102,6 +102,45 @@ impl EditingAction {
     }
 }
 
+/// One peer's contribution updates for a single time step, produced by a
+/// *collect* stage and applied to a ledger later.
+///
+/// The two-stage collect-then-apply model lets simulation phases accumulate
+/// deltas from parallel workers (bucketed per ledger shard) and apply them
+/// afterwards in a deterministic order: because contribution accounting is
+/// per-peer independent, applying a batch of deltas shard-by-shard is
+/// bit-identical to recording them inline, regardless of how many workers
+/// collected or applied them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ContributionDelta {
+    /// Dense index of the peer the delta belongs to.
+    pub peer: usize,
+    /// Sharing activity to record, if the step touched the sharing class.
+    pub sharing: Option<SharingAction>,
+    /// Editing/voting outcomes to record, if the step touched that class.
+    pub editing: Option<EditingAction>,
+}
+
+impl ContributionDelta {
+    /// A delta recording one step of sharing activity.
+    pub fn sharing(peer: usize, action: SharingAction) -> Self {
+        Self {
+            peer,
+            sharing: Some(action),
+            editing: None,
+        }
+    }
+
+    /// A delta recording one step of editing/voting outcomes.
+    pub fn editing(peer: usize, action: EditingAction) -> Self {
+        Self {
+            peer,
+            sharing: None,
+            editing: Some(action),
+        }
+    }
+}
+
 /// Running contribution values for a single peer.
 ///
 /// The sharing contribution is a *level*: it equals the weighted amount the

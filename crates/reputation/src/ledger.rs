@@ -29,14 +29,98 @@ pub struct PeerReputation {
     pub can_vote: bool,
 }
 
-/// Internal per-peer record.
+/// Internal per-peer record, shared with the sharded ledger.
 #[derive(Debug, Clone)]
-struct PeerRecord {
-    contributions: ContributionTracker,
-    can_edit: bool,
-    can_vote: bool,
-    unsuccessful_votes: u32,
-    declined_edits: u32,
+pub(crate) struct PeerRecord {
+    pub(crate) contributions: ContributionTracker,
+    pub(crate) can_edit: bool,
+    pub(crate) can_vote: bool,
+    pub(crate) unsuccessful_votes: u32,
+    pub(crate) declined_edits: u32,
+}
+
+impl PeerRecord {
+    /// A newcomer record: zero contributions, full rights.
+    pub(crate) fn new(params: ContributionParams) -> Self {
+        Self {
+            contributions: ContributionTracker::new(params),
+            can_edit: true,
+            can_vote: true,
+            unsuccessful_votes: 0,
+            declined_edits: 0,
+        }
+    }
+}
+
+/// The per-peer reputation interface shared by the dense
+/// [`ReputationLedger`] and the [`ShardedLedger`](crate::sharded::ShardedLedger).
+///
+/// The simulation layer and the [`crate::punishment`] policies are written
+/// against this trait so the storage layout (one dense vector vs.
+/// independently lockable peer-range shards) is swappable without touching
+/// the incentive logic. All methods address peers by their dense index.
+pub trait ReputationStore {
+    /// Number of peers tracked.
+    fn len(&self) -> usize;
+
+    /// Whether the store tracks no peers.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The minimum sharing reputation `R_S^min` (newcomer value).
+    fn min_sharing_reputation(&self) -> f64;
+
+    /// The minimum editing reputation `R_E^min` (newcomer value).
+    fn min_editing_reputation(&self) -> f64;
+
+    /// Sharing reputation `R_S` of a peer.
+    fn sharing_reputation(&self, peer: usize) -> f64;
+
+    /// Editing/voting reputation `R_E` of a peer.
+    fn editing_reputation(&self, peer: usize) -> f64;
+
+    /// Full snapshot of a peer's reputation state.
+    fn peer(&self, peer: usize) -> PeerReputation;
+
+    /// Records one time step of sharing activity for a peer.
+    fn record_sharing(&mut self, peer: usize, action: &SharingAction);
+
+    /// Records one time step of editing/voting outcomes for a peer.
+    fn record_editing(&mut self, peer: usize, action: &EditingAction);
+
+    /// Records an unsuccessful (against-majority) vote; returns the total.
+    fn record_unsuccessful_vote(&mut self, peer: usize) -> u32;
+
+    /// Records a declined edit and returns the new total.
+    fn record_declined_edit(&mut self, peer: usize) -> u32;
+
+    /// Number of unsuccessful votes a peer has accumulated.
+    fn unsuccessful_votes(&self, peer: usize) -> u32;
+
+    /// Number of declined edits a peer has accumulated.
+    fn declined_edits(&self, peer: usize) -> u32;
+
+    /// Whether the peer currently holds voting rights.
+    fn can_vote(&self, peer: usize) -> bool;
+
+    /// Whether the peer currently holds editing rights.
+    fn can_edit(&self, peer: usize) -> bool;
+
+    /// Revokes a peer's voting rights (malicious-voter punishment).
+    fn revoke_voting_rights(&mut self, peer: usize);
+
+    /// Restores voting rights and clears the unsuccessful-vote counter.
+    fn restore_voting_rights(&mut self, peer: usize);
+
+    /// Revokes editing rights and resets both reputations to the minimum.
+    fn punish_malicious_editor(&mut self, peer: usize);
+
+    /// Restores a peer's editing rights.
+    fn restore_editing_rights(&mut self, peer: usize);
+
+    /// Resets every peer's contribution values while keeping rights.
+    fn reset_all_contributions(&mut self);
 }
 
 /// The reputation ledger for a whole population of peers.
@@ -86,15 +170,7 @@ impl ReputationLedger {
         editing_fn: Arc<dyn ReputationFunction>,
     ) -> Self {
         assert!(peers > 0, "ledger needs at least one peer");
-        let records = (0..peers)
-            .map(|_| PeerRecord {
-                contributions: ContributionTracker::new(params),
-                can_edit: true,
-                can_vote: true,
-                unsuccessful_votes: 0,
-                declined_edits: 0,
-            })
-            .collect();
+        let records = (0..peers).map(|_| PeerRecord::new(params)).collect();
         Self {
             sharing_fn,
             editing_fn,
@@ -246,6 +322,69 @@ impl ReputationLedger {
         (0..self.len())
             .map(|p| self.editing_reputation(p))
             .collect()
+    }
+}
+
+impl ReputationStore for ReputationLedger {
+    fn len(&self) -> usize {
+        ReputationLedger::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        ReputationLedger::is_empty(self)
+    }
+    fn min_sharing_reputation(&self) -> f64 {
+        ReputationLedger::min_sharing_reputation(self)
+    }
+    fn min_editing_reputation(&self) -> f64 {
+        ReputationLedger::min_editing_reputation(self)
+    }
+    fn sharing_reputation(&self, peer: usize) -> f64 {
+        ReputationLedger::sharing_reputation(self, peer)
+    }
+    fn editing_reputation(&self, peer: usize) -> f64 {
+        ReputationLedger::editing_reputation(self, peer)
+    }
+    fn peer(&self, peer: usize) -> PeerReputation {
+        ReputationLedger::peer(self, peer)
+    }
+    fn record_sharing(&mut self, peer: usize, action: &SharingAction) {
+        ReputationLedger::record_sharing(self, peer, action);
+    }
+    fn record_editing(&mut self, peer: usize, action: &EditingAction) {
+        ReputationLedger::record_editing(self, peer, action);
+    }
+    fn record_unsuccessful_vote(&mut self, peer: usize) -> u32 {
+        ReputationLedger::record_unsuccessful_vote(self, peer)
+    }
+    fn record_declined_edit(&mut self, peer: usize) -> u32 {
+        ReputationLedger::record_declined_edit(self, peer)
+    }
+    fn unsuccessful_votes(&self, peer: usize) -> u32 {
+        ReputationLedger::unsuccessful_votes(self, peer)
+    }
+    fn declined_edits(&self, peer: usize) -> u32 {
+        ReputationLedger::declined_edits(self, peer)
+    }
+    fn can_vote(&self, peer: usize) -> bool {
+        ReputationLedger::can_vote(self, peer)
+    }
+    fn can_edit(&self, peer: usize) -> bool {
+        ReputationLedger::can_edit(self, peer)
+    }
+    fn revoke_voting_rights(&mut self, peer: usize) {
+        ReputationLedger::revoke_voting_rights(self, peer);
+    }
+    fn restore_voting_rights(&mut self, peer: usize) {
+        ReputationLedger::restore_voting_rights(self, peer);
+    }
+    fn punish_malicious_editor(&mut self, peer: usize) {
+        ReputationLedger::punish_malicious_editor(self, peer);
+    }
+    fn restore_editing_rights(&mut self, peer: usize) {
+        ReputationLedger::restore_editing_rights(self, peer);
+    }
+    fn reset_all_contributions(&mut self) {
+        ReputationLedger::reset_all_contributions(self);
     }
 }
 

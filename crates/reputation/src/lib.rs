@@ -26,7 +26,11 @@
 //! * [`function`] — reputation functions (logistic + alternatives for the
 //!   paper's future-work ablation),
 //! * [`contribution`] — contribution-value accounting with decay,
-//! * [`ledger`] — per-peer dual-reputation ledger,
+//! * [`ledger`] — per-peer dual-reputation ledger (dense reference
+//!   implementation and the [`ledger::ReputationStore`] interface),
+//! * [`sharded`] — the peer-id-range [`sharded::ShardedLedger`] with its
+//!   collect-then-apply [`sharded::DeltaBatch`] protocol and the
+//!   [`sharded::LedgerView`] read facade for parallel workers,
 //! * [`service`] — the service-differentiation rules,
 //! * [`punishment`] — malicious voter/editor punishment policies,
 //! * [`propagation`] — EigenTrust, MaxFlow and gossip propagation of local
@@ -44,15 +48,19 @@ pub mod ledger;
 pub mod propagation;
 pub mod punishment;
 pub mod service;
+pub mod sharded;
 
-pub use contribution::{ContributionParams, ContributionTracker, EditingAction, SharingAction};
+pub use contribution::{
+    ContributionDelta, ContributionParams, ContributionTracker, EditingAction, SharingAction,
+};
 pub use function::{
     ExponentialSaturation, LinearReputation, LogisticReputation, ReputationFunction, StepReputation,
 };
-pub use ledger::{PeerReputation, ReputationLedger};
+pub use ledger::{PeerReputation, ReputationLedger, ReputationStore};
 pub use propagation::{
     eigentrust::EigenTrust, gossip::GossipAveraging, maxflow::MaxFlowTrust, GlobalReputation,
     PropagationBackend, PropagationScheme, TrustGraph,
 };
 pub use punishment::{PunishmentOutcome, PunishmentPolicy};
 pub use service::{ServiceDifferentiation, ServiceParams};
+pub use sharded::{DeltaBatch, LedgerShard, LedgerView, ShardedLedger};

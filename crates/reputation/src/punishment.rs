@@ -12,9 +12,11 @@
 //!   the minimum value as well."
 //!
 //! [`PunishmentPolicy`] holds the thresholds and applies the punishments to
-//! a [`ReputationLedger`].
+//! any [`ReputationStore`] — the dense
+//! [`ReputationLedger`](crate::ledger::ReputationLedger) or the
+//! [`ShardedLedger`](crate::sharded::ShardedLedger).
 
-use crate::ledger::ReputationLedger;
+use crate::ledger::ReputationStore;
 use serde::{Deserialize, Serialize};
 
 /// What (if anything) a punishment check did.
@@ -76,9 +78,9 @@ impl PunishmentPolicy {
 
     /// Records an unsuccessful vote for `peer` in the ledger and revokes its
     /// voting rights if the threshold is now exceeded.
-    pub fn on_unsuccessful_vote(
+    pub fn on_unsuccessful_vote<L: ReputationStore + ?Sized>(
         &self,
-        ledger: &mut ReputationLedger,
+        ledger: &mut L,
         peer: usize,
     ) -> PunishmentOutcome {
         let count = ledger.record_unsuccessful_vote(peer);
@@ -93,9 +95,9 @@ impl PunishmentPolicy {
     /// Records a declined edit for `peer` and applies the malicious-editor
     /// punishment (rights revoked, reputations reset) if the threshold is
     /// now exceeded.
-    pub fn on_declined_edit(
+    pub fn on_declined_edit<L: ReputationStore + ?Sized>(
         &self,
-        ledger: &mut ReputationLedger,
+        ledger: &mut L,
         peer: usize,
     ) -> PunishmentOutcome {
         let count = ledger.record_declined_edit(peer);
@@ -112,9 +114,9 @@ impl PunishmentPolicy {
     /// edits since, its voting rights are restored; if it had lost editing
     /// rights and its sharing reputation has recovered above
     /// `edit_threshold`, the editing rights come back too.
-    pub fn on_accepted_edit(
+    pub fn on_accepted_edit<L: ReputationStore + ?Sized>(
         &self,
-        ledger: &mut ReputationLedger,
+        ledger: &mut L,
         peer: usize,
         accepted_edits_since_punishment: u32,
         edit_threshold: f64,
@@ -133,6 +135,7 @@ impl PunishmentPolicy {
 mod tests {
     use super::*;
     use crate::contribution::SharingAction;
+    use crate::ledger::ReputationLedger;
 
     fn ledger() -> ReputationLedger {
         ReputationLedger::with_paper_defaults(3)

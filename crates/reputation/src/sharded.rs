@@ -1,0 +1,897 @@
+//! The sharded reputation ledger: peer-id-range shards updated by parallel
+//! workers.
+//!
+//! The dense [`ReputationLedger`](crate::ledger::ReputationLedger) keeps the
+//! whole population behind a single `&mut`, which serializes the hot
+//! per-step contribution updates of the sharing and edit-vote phases. The
+//! [`ShardedLedger`] splits the population into contiguous peer-id ranges
+//! ([`LedgerShard`]s) that are independently lockable units of parallelism:
+//! during a parallel apply each shard is exclusively owned by one scoped
+//! worker thread, so no two workers ever touch the same peer record.
+//!
+//! The update protocol is *collect-then-apply*:
+//!
+//! 1. **Collect** — workers accumulate
+//!    [`ContributionDelta`]s into a [`DeltaBatch`], which buckets them per
+//!    shard. Buckets preserve push order, and parallel collectors fill
+//!    shard-aligned buckets, so the merged batch is deterministic (shard
+//!    order × in-shard push order) no matter how many workers collected.
+//! 2. **Apply** — [`ShardedLedger::apply`] walks the shards in order;
+//!    [`ShardedLedger::apply_parallel`] hands disjoint groups of shards to
+//!    scoped threads. Because contribution accounting is per-peer
+//!    independent, both paths produce bit-identical floating-point state.
+//!
+//! Read-side parallelism goes through the [`LedgerView`] facade: a `Sync`
+//! handle exposing the read-only half of the API to concurrent readers —
+//! parallel aggregations (e.g. the reputation summaries of the
+//! `scale_population` bench), instrumentation, and any future collect
+//! stage that needs reputation reads — without handing them the ability
+//! to mutate records. The current sharing/edit-vote collect stages read
+//! only actions and the article store, so they do not take a view.
+
+use crate::contribution::{
+    ContributionDelta, ContributionParams, ContributionTracker, EditingAction, SharingAction,
+};
+use crate::function::{LogisticReputation, ReputationFunction};
+use crate::ledger::{PeerRecord, PeerReputation, ReputationStore};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Default target number of peers per shard used by the automatic shard
+/// count ([`ShardedLedger::recommended_shards`]).
+pub const TARGET_PEERS_PER_SHARD: usize = 4096;
+
+/// Upper bound on the automatically chosen shard count.
+pub const MAX_AUTO_SHARDS: usize = 64;
+
+/// One contiguous peer-id range of a [`ShardedLedger`].
+///
+/// A shard is the unit of exclusive ownership during a parallel apply: a
+/// worker holding `&mut LedgerShard` can update its peers without any
+/// coordination with the workers owning the other shards.
+#[derive(Debug, Clone)]
+pub struct LedgerShard {
+    start: usize,
+    records: Vec<PeerRecord>,
+}
+
+impl LedgerShard {
+    fn new(start: usize, len: usize, params: ContributionParams) -> Self {
+        Self {
+            start,
+            records: (0..len).map(|_| PeerRecord::new(params)).collect(),
+        }
+    }
+
+    /// The dense peer-id range this shard covers.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.records.len()
+    }
+
+    /// Number of peers in the shard.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the shard covers no peers (only possible for trailing shards
+    /// of ledgers whose population is not a multiple of the shard size).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    fn record(&self, peer: usize) -> &PeerRecord {
+        &self.records[peer - self.start]
+    }
+
+    fn record_mut(&mut self, peer: usize) -> &mut PeerRecord {
+        &mut self.records[peer - self.start]
+    }
+
+    /// Applies a bucket of deltas to this shard, in bucket order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delta's peer lies outside the shard's range.
+    pub fn apply(&mut self, deltas: &[ContributionDelta]) {
+        for delta in deltas {
+            let record = self.record_mut(delta.peer);
+            if let Some(sharing) = &delta.sharing {
+                record.contributions.record_sharing(sharing);
+            }
+            if let Some(editing) = &delta.editing {
+                record.contributions.record_editing(editing);
+            }
+        }
+    }
+}
+
+/// A batch of [`ContributionDelta`]s bucketed by ledger shard.
+///
+/// Create one sized to a ledger with [`DeltaBatch::for_ledger`], reuse it
+/// across steps with [`DeltaBatch::clear`] (bucket capacity is retained, so
+/// steady-state steps allocate nothing), and hand shard-aligned bucket
+/// slices to parallel collectors via [`DeltaBatch::buckets_mut`].
+#[derive(Debug, Clone, Default)]
+pub struct DeltaBatch {
+    peers: usize,
+    shard_size: usize,
+    buckets: Vec<Vec<ContributionDelta>>,
+}
+
+impl DeltaBatch {
+    /// An empty batch with the geometry of `ledger`.
+    pub fn for_ledger(ledger: &ShardedLedger) -> Self {
+        Self {
+            peers: ledger.len(),
+            shard_size: ledger.shard_size(),
+            buckets: vec![Vec::new(); ledger.shard_count()],
+        }
+    }
+
+    /// Whether the batch's geometry matches `ledger` — including the
+    /// population, so two ledgers with equal shard geometry but different
+    /// peer counts are still told apart (the apply asserts rely on this
+    /// to fail with a clear message instead of a slice index panic).
+    pub fn matches(&self, ledger: &ShardedLedger) -> bool {
+        self.peers == ledger.len()
+            && self.shard_size == ledger.shard_size()
+            && self.buckets.len() == ledger.shard_count()
+    }
+
+    /// Re-sizes the batch to `ledger`'s geometry if it differs, clearing
+    /// any buffered deltas in that case.
+    pub fn ensure(&mut self, ledger: &ShardedLedger) {
+        if !self.matches(ledger) {
+            self.peers = ledger.len();
+            self.shard_size = ledger.shard_size();
+            self.buckets = vec![Vec::new(); ledger.shard_count()];
+        }
+    }
+
+    /// Empties every bucket while keeping its capacity.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+    }
+
+    /// Buckets a delta by the shard its peer belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the peer lies outside the ledger the batch was sized for.
+    pub fn push(&mut self, delta: ContributionDelta) {
+        let shard = delta.peer / self.shard_size;
+        self.buckets[shard].push(delta);
+    }
+
+    /// Total number of buffered deltas.
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether no deltas are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(Vec::is_empty)
+    }
+
+    /// Number of shard buckets.
+    pub fn shard_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Peers per shard (the bucketing key).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// The per-shard buckets, in shard order.
+    pub fn buckets(&self) -> &[Vec<ContributionDelta>] {
+        &self.buckets
+    }
+
+    /// Mutable access to the per-shard buckets, for shard-aligned parallel
+    /// collectors (split with `chunks_mut` and hand each worker the buckets
+    /// of the shards it owns).
+    pub fn buckets_mut(&mut self) -> &mut [Vec<ContributionDelta>] {
+        &mut self.buckets
+    }
+}
+
+/// The reputation ledger for a whole population, sharded by peer-id range.
+///
+/// Drop-in replacement for the dense
+/// [`ReputationLedger`](crate::ledger::ReputationLedger) (both implement
+/// [`ReputationStore`]) whose records live in independently lockable
+/// [`LedgerShard`]s, unlocking intra-step parallel contribution updates via
+/// [`ShardedLedger::apply_parallel`]. All single-peer accessors behave
+/// exactly like the dense ledger's.
+#[derive(Clone)]
+pub struct ShardedLedger {
+    sharing_fn: Arc<dyn ReputationFunction>,
+    editing_fn: Arc<dyn ReputationFunction>,
+    shards: Vec<LedgerShard>,
+    shard_size: usize,
+    peers: usize,
+}
+
+impl std::fmt::Debug for ShardedLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLedger")
+            .field("peers", &self.peers)
+            .field("shards", &self.shards.len())
+            .field("shard_size", &self.shard_size)
+            .field("sharing_fn", &self.sharing_fn.name())
+            .field("editing_fn", &self.editing_fn.name())
+            .finish()
+    }
+}
+
+impl ShardedLedger {
+    /// Creates a sharded ledger for `peers` peers using the paper's
+    /// logistic reputation function and an automatic shard count.
+    pub fn with_paper_defaults(peers: usize) -> Self {
+        Self::new(
+            peers,
+            ContributionParams::default(),
+            Arc::new(LogisticReputation::paper(0.2)),
+            Arc::new(LogisticReputation::paper(0.2)),
+            0,
+        )
+    }
+
+    /// Creates a sharded ledger.
+    ///
+    /// `shards` is the shard count; `0` selects
+    /// [`ShardedLedger::recommended_shards`] for the population. A shard
+    /// count larger than the population is clamped to one peer per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` is zero.
+    pub fn new(
+        peers: usize,
+        params: ContributionParams,
+        sharing_fn: Arc<dyn ReputationFunction>,
+        editing_fn: Arc<dyn ReputationFunction>,
+        shards: usize,
+    ) -> Self {
+        assert!(peers > 0, "ledger needs at least one peer");
+        let shard_count = match shards {
+            0 => Self::recommended_shards(peers),
+            n => n.min(peers),
+        };
+        let shard_size = peers.div_ceil(shard_count);
+        let shards = (0..shard_count)
+            .map(|s| {
+                let start = s * shard_size;
+                let len = shard_size.min(peers.saturating_sub(start));
+                LedgerShard::new(start, len, params)
+            })
+            .collect();
+        Self {
+            sharing_fn,
+            editing_fn,
+            shards,
+            shard_size,
+            peers,
+        }
+    }
+
+    /// The automatic shard count for a population: one shard for small
+    /// populations, then one per [`TARGET_PEERS_PER_SHARD`] peers rounded
+    /// up to a power of two, capped at [`MAX_AUTO_SHARDS`].
+    pub fn recommended_shards(peers: usize) -> usize {
+        if peers <= TARGET_PEERS_PER_SHARD {
+            1
+        } else {
+            peers
+                .div_ceil(TARGET_PEERS_PER_SHARD)
+                .next_power_of_two()
+                .min(MAX_AUTO_SHARDS)
+        }
+    }
+
+    /// Number of peers tracked.
+    pub fn len(&self) -> usize {
+        self.peers
+    }
+
+    /// Always false; the constructor rejects empty ledgers.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Peers per shard (the last shard may be smaller).
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// The shard index a peer belongs to.
+    pub fn shard_of(&self, peer: usize) -> usize {
+        peer / self.shard_size
+    }
+
+    /// Read access to a shard.
+    pub fn shard(&self, index: usize) -> &LedgerShard {
+        &self.shards[index]
+    }
+
+    /// A `Sync` read facade over the whole ledger for parallel collectors.
+    pub fn view(&self) -> LedgerView<'_> {
+        LedgerView { ledger: self }
+    }
+
+    fn record(&self, peer: usize) -> &PeerRecord {
+        self.shards[peer / self.shard_size].record(peer)
+    }
+
+    fn record_mut(&mut self, peer: usize) -> &mut PeerRecord {
+        self.shards[peer / self.shard_size].record_mut(peer)
+    }
+
+    /// The minimum sharing reputation `R_S^min` (newcomer value).
+    pub fn min_sharing_reputation(&self) -> f64 {
+        self.sharing_fn.minimum()
+    }
+
+    /// The minimum editing reputation `R_E^min` (newcomer value).
+    pub fn min_editing_reputation(&self) -> f64 {
+        self.editing_fn.minimum()
+    }
+
+    /// Sharing reputation `R_S` of a peer.
+    pub fn sharing_reputation(&self, peer: usize) -> f64 {
+        self.sharing_fn
+            .reputation_clamped(self.record(peer).contributions.sharing())
+    }
+
+    /// Editing/voting reputation `R_E` of a peer.
+    pub fn editing_reputation(&self, peer: usize) -> f64 {
+        self.editing_fn
+            .reputation_clamped(self.record(peer).contributions.editing())
+    }
+
+    /// Full snapshot of a peer's reputation state.
+    pub fn peer(&self, peer: usize) -> PeerReputation {
+        let record = self.record(peer);
+        PeerReputation {
+            sharing: self.sharing_reputation(peer),
+            editing: self.editing_reputation(peer),
+            can_edit: record.can_edit,
+            can_vote: record.can_vote,
+        }
+    }
+
+    /// Read access to a peer's contribution tracker.
+    pub fn contributions(&self, peer: usize) -> &ContributionTracker {
+        &self.record(peer).contributions
+    }
+
+    /// Records one time step of sharing activity for a peer.
+    pub fn record_sharing(&mut self, peer: usize, action: &SharingAction) {
+        self.record_mut(peer).contributions.record_sharing(action);
+    }
+
+    /// Records one time step of editing/voting outcomes for a peer.
+    pub fn record_editing(&mut self, peer: usize, action: &EditingAction) {
+        self.record_mut(peer).contributions.record_editing(action);
+    }
+
+    /// Applies a batch of deltas shard-by-shard, in shard order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch geometry does not match this ledger.
+    pub fn apply(&mut self, batch: &DeltaBatch) {
+        assert!(batch.matches(self), "delta batch sized for another ledger");
+        for (shard, bucket) in self.shards.iter_mut().zip(batch.buckets()) {
+            shard.apply(bucket);
+        }
+    }
+
+    /// Applies a batch of deltas with up to `threads` scoped worker
+    /// threads, each exclusively owning a contiguous group of shards.
+    ///
+    /// Bit-identical to [`ShardedLedger::apply`] for any thread count:
+    /// buckets are disjoint per shard and applied in bucket order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch geometry does not match this ledger.
+    pub fn apply_parallel(&mut self, batch: &DeltaBatch, threads: usize) {
+        assert!(batch.matches(self), "delta batch sized for another ledger");
+        let threads = threads.clamp(1, self.shards.len());
+        if threads <= 1 {
+            return self.apply(batch);
+        }
+        let per_worker = self.shards.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let shard_groups = self.shards.chunks_mut(per_worker);
+            let bucket_groups = batch.buckets().chunks(per_worker);
+            for (shards, buckets) in shard_groups.zip(bucket_groups) {
+                scope.spawn(move || {
+                    for (shard, bucket) in shards.iter_mut().zip(buckets) {
+                        shard.apply(bucket);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Records an unsuccessful (against-majority) vote; returns the total.
+    pub fn record_unsuccessful_vote(&mut self, peer: usize) -> u32 {
+        let record = self.record_mut(peer);
+        record.unsuccessful_votes += 1;
+        record.unsuccessful_votes
+    }
+
+    /// Records a declined edit and returns the new total.
+    pub fn record_declined_edit(&mut self, peer: usize) -> u32 {
+        let record = self.record_mut(peer);
+        record.declined_edits += 1;
+        record.declined_edits
+    }
+
+    /// Number of unsuccessful votes a peer has accumulated.
+    pub fn unsuccessful_votes(&self, peer: usize) -> u32 {
+        self.record(peer).unsuccessful_votes
+    }
+
+    /// Number of declined edits a peer has accumulated.
+    pub fn declined_edits(&self, peer: usize) -> u32 {
+        self.record(peer).declined_edits
+    }
+
+    /// Whether the peer currently holds voting rights.
+    pub fn can_vote(&self, peer: usize) -> bool {
+        self.record(peer).can_vote
+    }
+
+    /// Whether the peer currently holds editing rights.
+    pub fn can_edit(&self, peer: usize) -> bool {
+        self.record(peer).can_edit
+    }
+
+    /// Revokes a peer's voting rights (malicious-voter punishment).
+    pub fn revoke_voting_rights(&mut self, peer: usize) {
+        self.record_mut(peer).can_vote = false;
+    }
+
+    /// Restores voting rights and clears the unsuccessful-vote counter.
+    pub fn restore_voting_rights(&mut self, peer: usize) {
+        let record = self.record_mut(peer);
+        record.can_vote = true;
+        record.unsuccessful_votes = 0;
+    }
+
+    /// Revokes editing rights and resets both reputations to the minimum
+    /// (the malicious-editor punishment of Section III-C3).
+    pub fn punish_malicious_editor(&mut self, peer: usize) {
+        let record = self.record_mut(peer);
+        record.can_edit = false;
+        record.contributions.reset();
+        record.declined_edits = 0;
+    }
+
+    /// Restores a peer's editing rights.
+    pub fn restore_editing_rights(&mut self, peer: usize) {
+        self.record_mut(peer).can_edit = true;
+    }
+
+    /// Resets every peer's contribution values while keeping rights (the
+    /// phase switch of the simulation model).
+    pub fn reset_all_contributions(&mut self) {
+        for shard in &mut self.shards {
+            for record in &mut shard.records {
+                record.contributions.reset();
+                record.unsuccessful_votes = 0;
+                record.declined_edits = 0;
+            }
+        }
+    }
+
+    /// Vector of all sharing reputations, index-aligned with peers.
+    pub fn all_sharing_reputations(&self) -> Vec<f64> {
+        (0..self.peers)
+            .map(|p| self.sharing_reputation(p))
+            .collect()
+    }
+
+    /// Vector of all editing reputations, index-aligned with peers.
+    pub fn all_editing_reputations(&self) -> Vec<f64> {
+        (0..self.peers)
+            .map(|p| self.editing_reputation(p))
+            .collect()
+    }
+}
+
+impl ReputationStore for ShardedLedger {
+    fn len(&self) -> usize {
+        ShardedLedger::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        ShardedLedger::is_empty(self)
+    }
+    fn min_sharing_reputation(&self) -> f64 {
+        ShardedLedger::min_sharing_reputation(self)
+    }
+    fn min_editing_reputation(&self) -> f64 {
+        ShardedLedger::min_editing_reputation(self)
+    }
+    fn sharing_reputation(&self, peer: usize) -> f64 {
+        ShardedLedger::sharing_reputation(self, peer)
+    }
+    fn editing_reputation(&self, peer: usize) -> f64 {
+        ShardedLedger::editing_reputation(self, peer)
+    }
+    fn peer(&self, peer: usize) -> PeerReputation {
+        ShardedLedger::peer(self, peer)
+    }
+    fn record_sharing(&mut self, peer: usize, action: &SharingAction) {
+        ShardedLedger::record_sharing(self, peer, action);
+    }
+    fn record_editing(&mut self, peer: usize, action: &EditingAction) {
+        ShardedLedger::record_editing(self, peer, action);
+    }
+    fn record_unsuccessful_vote(&mut self, peer: usize) -> u32 {
+        ShardedLedger::record_unsuccessful_vote(self, peer)
+    }
+    fn record_declined_edit(&mut self, peer: usize) -> u32 {
+        ShardedLedger::record_declined_edit(self, peer)
+    }
+    fn unsuccessful_votes(&self, peer: usize) -> u32 {
+        ShardedLedger::unsuccessful_votes(self, peer)
+    }
+    fn declined_edits(&self, peer: usize) -> u32 {
+        ShardedLedger::declined_edits(self, peer)
+    }
+    fn can_vote(&self, peer: usize) -> bool {
+        ShardedLedger::can_vote(self, peer)
+    }
+    fn can_edit(&self, peer: usize) -> bool {
+        ShardedLedger::can_edit(self, peer)
+    }
+    fn revoke_voting_rights(&mut self, peer: usize) {
+        ShardedLedger::revoke_voting_rights(self, peer);
+    }
+    fn restore_voting_rights(&mut self, peer: usize) {
+        ShardedLedger::restore_voting_rights(self, peer);
+    }
+    fn punish_malicious_editor(&mut self, peer: usize) {
+        ShardedLedger::punish_malicious_editor(self, peer);
+    }
+    fn restore_editing_rights(&mut self, peer: usize) {
+        ShardedLedger::restore_editing_rights(self, peer);
+    }
+    fn reset_all_contributions(&mut self) {
+        ShardedLedger::reset_all_contributions(self);
+    }
+}
+
+/// A `Sync` read-only facade over a [`ShardedLedger`].
+///
+/// Concurrent readers (parallel aggregations, instrumentation, collect
+/// stages that need reputation values) share copies of this view: every
+/// reputation read is available, no mutation is. The view borrows the
+/// ledger, so the borrow checker guarantees no apply can run concurrently.
+#[derive(Debug, Clone, Copy)]
+pub struct LedgerView<'a> {
+    ledger: &'a ShardedLedger,
+}
+
+impl LedgerView<'_> {
+    /// Number of peers tracked.
+    pub fn len(&self) -> usize {
+        self.ledger.len()
+    }
+
+    /// Always false; ledgers are never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Sharing reputation `R_S` of a peer.
+    pub fn sharing_reputation(&self, peer: usize) -> f64 {
+        self.ledger.sharing_reputation(peer)
+    }
+
+    /// Editing/voting reputation `R_E` of a peer.
+    pub fn editing_reputation(&self, peer: usize) -> f64 {
+        self.ledger.editing_reputation(peer)
+    }
+
+    /// Full snapshot of a peer's reputation state.
+    pub fn peer(&self, peer: usize) -> PeerReputation {
+        self.ledger.peer(peer)
+    }
+
+    /// Whether the peer currently holds voting rights.
+    pub fn can_vote(&self, peer: usize) -> bool {
+        self.ledger.can_vote(peer)
+    }
+
+    /// Whether the peer currently holds editing rights.
+    pub fn can_edit(&self, peer: usize) -> bool {
+        self.ledger.can_edit(peer)
+    }
+
+    /// The minimum sharing reputation `R_S^min`.
+    pub fn min_sharing_reputation(&self) -> f64 {
+        self.ledger.min_sharing_reputation()
+    }
+
+    /// The minimum editing reputation `R_E^min`.
+    pub fn min_editing_reputation(&self) -> f64 {
+        self.ledger.min_editing_reputation()
+    }
+
+    /// Number of shards backing the view.
+    pub fn shard_count(&self) -> usize {
+        self.ledger.shard_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::ReputationLedger;
+
+    fn sharded(peers: usize, shards: usize) -> ShardedLedger {
+        ShardedLedger::new(
+            peers,
+            ContributionParams::default(),
+            Arc::new(LogisticReputation::paper(0.2)),
+            Arc::new(LogisticReputation::paper(0.2)),
+            shards,
+        )
+    }
+
+    #[test]
+    fn shard_geometry_covers_the_population_exactly() {
+        let l = sharded(10, 3);
+        assert_eq!(l.shard_count(), 3);
+        assert_eq!(l.shard_size(), 4);
+        assert_eq!(l.shard(0).range(), 0..4);
+        assert_eq!(l.shard(1).range(), 4..8);
+        assert_eq!(l.shard(2).range(), 8..10);
+        let covered: usize = (0..l.shard_count()).map(|s| l.shard(s).len()).sum();
+        assert_eq!(covered, 10);
+        for p in 0..10 {
+            assert!(l.shard(l.shard_of(p)).range().contains(&p));
+        }
+    }
+
+    #[test]
+    fn recommended_shards_scale_with_population() {
+        assert_eq!(ShardedLedger::recommended_shards(100), 1);
+        assert_eq!(ShardedLedger::recommended_shards(4096), 1);
+        assert_eq!(ShardedLedger::recommended_shards(10_000), 4);
+        assert_eq!(ShardedLedger::recommended_shards(50_000), 16);
+        assert_eq!(ShardedLedger::recommended_shards(100_000), 32);
+        assert_eq!(
+            ShardedLedger::recommended_shards(10_000_000),
+            MAX_AUTO_SHARDS
+        );
+    }
+
+    #[test]
+    fn oversized_shard_count_is_clamped_to_population() {
+        let l = sharded(3, 16);
+        assert_eq!(l.shard_count(), 3);
+        assert_eq!(l.shard_size(), 1);
+    }
+
+    #[test]
+    fn single_peer_accessors_match_the_dense_ledger() {
+        let mut dense = ReputationLedger::with_paper_defaults(9);
+        let mut shard = sharded(9, 4);
+        for p in 0..9 {
+            let s = SharingAction {
+                shared_articles: p as f64 * 3.0,
+                shared_bandwidth: 0.5,
+            };
+            let e = EditingAction {
+                successful_votes: p as u32,
+                accepted_edits: 1,
+                attempted: true,
+            };
+            dense.record_sharing(p, &s);
+            shard.record_sharing(p, &s);
+            dense.record_editing(p, &e);
+            shard.record_editing(p, &e);
+        }
+        for p in 0..9 {
+            assert_eq!(dense.sharing_reputation(p), shard.sharing_reputation(p));
+            assert_eq!(dense.editing_reputation(p), shard.editing_reputation(p));
+            assert_eq!(dense.peer(p), shard.peer(p));
+        }
+    }
+
+    #[test]
+    fn batched_apply_matches_inline_recording() {
+        let mut inline = sharded(12, 4);
+        let mut batched = sharded(12, 4);
+        let mut batch = DeltaBatch::for_ledger(&batched);
+        for p in 0..12 {
+            let action = SharingAction {
+                shared_articles: (p % 4) as f64,
+                shared_bandwidth: 1.0 / (p + 1) as f64,
+            };
+            inline.record_sharing(p, &action);
+            batch.push(ContributionDelta::sharing(p, action));
+        }
+        batched.apply(&batch);
+        for p in 0..12 {
+            assert_eq!(inline.sharing_reputation(p), batched.sharing_reputation(p));
+        }
+    }
+
+    #[test]
+    fn parallel_apply_is_bit_identical_to_sequential_apply() {
+        for threads in [1, 2, 3, 8] {
+            let mut sequential = sharded(50, 8);
+            let mut parallel = sharded(50, 8);
+            let mut batch = DeltaBatch::for_ledger(&sequential);
+            for step in 0..5u32 {
+                batch.clear();
+                for p in 0..50 {
+                    if (p + step as usize) % 3 == 0 {
+                        batch.push(ContributionDelta::sharing(
+                            p,
+                            SharingAction {
+                                shared_articles: f64::from(step) + p as f64 / 7.0,
+                                shared_bandwidth: 0.3,
+                            },
+                        ));
+                    }
+                    batch.push(ContributionDelta::editing(
+                        p,
+                        EditingAction {
+                            successful_votes: step % 2,
+                            accepted_edits: 0,
+                            attempted: p % 2 == 0,
+                        },
+                    ));
+                }
+                sequential.apply(&batch);
+                parallel.apply_parallel(&batch, threads);
+            }
+            assert_eq!(
+                sequential.all_sharing_reputations(),
+                parallel.all_sharing_reputations()
+            );
+            assert_eq!(
+                sequential.all_editing_reputations(),
+                parallel.all_editing_reputations()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_batch_reuse_keeps_geometry_and_clears_contents() {
+        let l = sharded(20, 4);
+        let mut batch = DeltaBatch::for_ledger(&l);
+        batch.push(ContributionDelta::sharing(7, SharingAction::default()));
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+        batch.clear();
+        assert!(batch.is_empty());
+        assert!(batch.matches(&l));
+        let smaller = sharded(6, 2);
+        batch.ensure(&smaller);
+        assert!(batch.matches(&smaller));
+        assert_eq!(batch.shard_count(), 2);
+    }
+
+    #[test]
+    fn rights_lifecycle_matches_dense_semantics() {
+        let mut l = sharded(10, 3);
+        assert!(l.can_vote(9));
+        assert_eq!(l.record_unsuccessful_vote(9), 1);
+        l.revoke_voting_rights(9);
+        assert!(!l.can_vote(9));
+        l.restore_voting_rights(9);
+        assert!(l.can_vote(9));
+        assert_eq!(l.unsuccessful_votes(9), 0);
+        l.record_sharing(
+            9,
+            &SharingAction {
+                shared_articles: 100.0,
+                shared_bandwidth: 1.0,
+            },
+        );
+        assert!(l.sharing_reputation(9) > 0.9);
+        assert_eq!(l.record_declined_edit(9), 1);
+        l.punish_malicious_editor(9);
+        assert!(!l.can_edit(9));
+        assert_eq!(l.declined_edits(9), 0);
+        assert_eq!(l.sharing_reputation(9), l.min_sharing_reputation());
+        l.restore_editing_rights(9);
+        assert!(l.can_edit(9));
+    }
+
+    #[test]
+    fn reset_all_contributions_spans_every_shard() {
+        let mut l = sharded(10, 4);
+        for p in 0..10 {
+            l.record_sharing(
+                p,
+                &SharingAction {
+                    shared_articles: 30.0,
+                    shared_bandwidth: 1.0,
+                },
+            );
+        }
+        l.reset_all_contributions();
+        for p in 0..10 {
+            assert_eq!(l.sharing_reputation(p), l.min_sharing_reputation());
+        }
+    }
+
+    #[test]
+    fn view_exposes_reads_and_is_shareable() {
+        let mut l = sharded(8, 2);
+        l.record_sharing(
+            3,
+            &SharingAction {
+                shared_articles: 50.0,
+                shared_bandwidth: 1.0,
+            },
+        );
+        let view = l.view();
+        let from_threads: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(move || view.sharing_reputation(3)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(from_threads.iter().all(|&r| r == l.sharing_reputation(3)));
+        assert_eq!(view.len(), 8);
+        assert_eq!(view.shard_count(), 2);
+        assert!(view.can_edit(0) && view.can_vote(0));
+        assert_eq!(view.min_sharing_reputation(), l.min_sharing_reputation());
+    }
+
+    #[test]
+    fn debug_format_mentions_shards() {
+        let l = sharded(10, 2);
+        let s = format!("{l:?}");
+        assert!(s.contains("shards"));
+        assert!(s.contains("logistic"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one peer")]
+    fn empty_ledger_panics() {
+        let _ = ShardedLedger::with_paper_defaults(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "another ledger")]
+    fn mismatched_batch_is_rejected() {
+        let mut l = sharded(10, 2);
+        let other = sharded(30, 4);
+        let batch = DeltaBatch::for_ledger(&other);
+        l.apply(&batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "another ledger")]
+    fn same_shard_geometry_different_population_is_rejected() {
+        // 9 peers / 3 shards and 7 peers / 3 shards both have shard_size
+        // 3; only the population comparison tells them apart, turning a
+        // would-be out-of-bounds panic into the intended message.
+        let nine = sharded(9, 3);
+        let mut seven = sharded(7, 3);
+        assert_eq!(nine.shard_size(), seven.shard_size());
+        let mut batch = DeltaBatch::for_ledger(&nine);
+        batch.push(ContributionDelta::sharing(8, SharingAction::default()));
+        seven.apply(&batch);
+    }
+}

@@ -69,6 +69,53 @@ fn parallel_grid_matches_sequential_execution() {
 }
 
 #[test]
+fn golden_report_is_shard_and_thread_invariant() {
+    // The pinned golden values must be reproduced regardless of how the
+    // ledger is sharded and how many intra-step workers apply the
+    // contribution deltas: sharding is a performance knob, never a
+    // semantic one.
+    for (shards, threads) in [(1, 1), (4, 2), (8, 8)] {
+        let config = golden_config()
+            .with_ledger_shards(shards)
+            .with_intra_step_threads(threads);
+        let report = Simulation::new(config).run();
+        let debug = format!("{report:?}");
+        assert_eq!(
+            debug, GOLDEN_REPORT_DEBUG,
+            "report drifted with {shards} shards / {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn sharded_parallel_paper_configuration_matches_sequential() {
+    // The paper configuration (100 peers, reduced phase lengths so the
+    // test stays fast) run with a multi-shard ledger and multi-threaded
+    // collect/apply stages must be bit-identical to the single-shard,
+    // single-threaded run.
+    let paper = SimulationConfig {
+        phases: PhaseConfig {
+            training_steps: 400,
+            evaluation_steps: 200,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_mix(BehaviorMix::new(0.6, 0.2, 0.2))
+    .with_seed(0xFACE);
+    assert_eq!(paper.population, 100, "the paper's population");
+    let sequential = Simulation::new(
+        paper
+            .clone()
+            .with_ledger_shards(1)
+            .with_intra_step_threads(1),
+    )
+    .run();
+    let parallel = Simulation::new(paper.with_ledger_shards(16).with_intra_step_threads(4)).run();
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
 fn behavior_breakdown_is_deterministic_too() {
     let a = Simulation::new(golden_config()).run();
     let b = Simulation::new(golden_config()).run();

@@ -1,0 +1,149 @@
+//! Property tests: the sharded ledger is observationally identical to the
+//! dense ledger for arbitrary interleavings of sharing and editing
+//! contributions — recorded inline, batched, or batch-applied in parallel.
+
+use collabsim_workspace::reputation::contribution::{
+    ContributionDelta, ContributionParams, EditingAction, SharingAction,
+};
+use collabsim_workspace::reputation::function::LogisticReputation;
+use collabsim_workspace::reputation::ledger::{ReputationLedger, ReputationStore};
+use collabsim_workspace::reputation::sharded::{DeltaBatch, ShardedLedger};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn dense(peers: usize) -> ReputationLedger {
+    ReputationLedger::new(
+        peers,
+        ContributionParams::default(),
+        Arc::new(LogisticReputation::paper(0.2)),
+        Arc::new(LogisticReputation::paper(0.2)),
+    )
+}
+
+fn sharded(peers: usize, shards: usize) -> ShardedLedger {
+    ShardedLedger::new(
+        peers,
+        ContributionParams::default(),
+        Arc::new(LogisticReputation::paper(0.2)),
+        Arc::new(LogisticReputation::paper(0.2)),
+        shards,
+    )
+}
+
+/// Decodes one sampled op: which peer it hits, whether it is a sharing or
+/// an editing contribution, and its magnitudes.
+fn decode_op(
+    op: (usize, u32, f64, f64),
+    peers: usize,
+) -> (usize, Option<SharingAction>, Option<EditingAction>) {
+    let (peer_raw, kind, a, b) = op;
+    let peer = peer_raw % peers;
+    match kind % 4 {
+        // Active sharing step.
+        0 => (
+            peer,
+            Some(SharingAction {
+                shared_articles: a * 100.0,
+                shared_bandwidth: b,
+            }),
+            None,
+        ),
+        // Inactive sharing step (decay path).
+        1 => (peer, Some(SharingAction::default()), None),
+        // Active editing step.
+        2 => (
+            peer,
+            None,
+            Some(EditingAction {
+                successful_votes: (a * 4.0) as u32,
+                accepted_edits: (b * 3.0) as u32,
+                attempted: true,
+            }),
+        ),
+        // Inactive editing step (decay path).
+        _ => (peer, None, Some(EditingAction::default())),
+    }
+}
+
+/// Bitwise comparison of every observable reputation value.
+fn assert_ledgers_identical(dense: &ReputationLedger, sharded: &ShardedLedger) {
+    assert_eq!(ReputationStore::len(dense), sharded.len());
+    for p in 0..sharded.len() {
+        assert_eq!(
+            dense.sharing_reputation(p).to_bits(),
+            sharded.sharing_reputation(p).to_bits(),
+            "sharing reputation of peer {p} diverged"
+        );
+        assert_eq!(
+            dense.editing_reputation(p).to_bits(),
+            sharded.editing_reputation(p).to_bits(),
+            "editing reputation of peer {p} diverged"
+        );
+    }
+}
+
+proptest! {
+    /// Inline recording through the common `ReputationStore` interface:
+    /// the sharded ledger tracks the dense one exactly, op for op.
+    #[test]
+    fn inline_recording_matches_dense(
+        peers in 1usize..40,
+        shards in 1usize..9,
+        ops in proptest::collection::vec((0usize..40, 0u32..4, 0.0f64..1.0, 0.0f64..1.0), 0..120),
+    ) {
+        let mut reference = dense(peers);
+        let mut tested = sharded(peers, shards);
+        for &op in &ops {
+            let (peer, sharing, editing) = decode_op(op, peers);
+            if let Some(action) = sharing {
+                reference.record_sharing(peer, &action);
+                tested.record_sharing(peer, &action);
+            }
+            if let Some(action) = editing {
+                reference.record_editing(peer, &action);
+                tested.record_editing(peer, &action);
+            }
+        }
+        assert_ledgers_identical(&reference, &tested);
+    }
+
+    /// The collect-then-apply protocol: ops are grouped into arbitrary
+    /// step batches, bucketed per shard, and applied both sequentially and
+    /// with parallel workers — all three executions must agree bitwise
+    /// with the dense ledger recording the same interleaving inline.
+    #[test]
+    fn batched_and_parallel_apply_match_dense(
+        peers in 1usize..40,
+        shards in 1usize..9,
+        threads in 1usize..5,
+        step_len in 1usize..16,
+        ops in proptest::collection::vec((0usize..40, 0u32..4, 0.0f64..1.0, 0.0f64..1.0), 0..120),
+    ) {
+        let mut reference = dense(peers);
+        let mut sequential = sharded(peers, shards);
+        let mut parallel = sharded(peers, shards);
+        let mut batch_sequential = DeltaBatch::for_ledger(&sequential);
+        let mut batch_parallel = DeltaBatch::for_ledger(&parallel);
+        for step in ops.chunks(step_len) {
+            batch_sequential.clear();
+            batch_parallel.clear();
+            for &op in step {
+                let (peer, sharing, editing) = decode_op(op, peers);
+                if let Some(action) = sharing {
+                    reference.record_sharing(peer, &action);
+                    batch_sequential.push(ContributionDelta::sharing(peer, action));
+                    batch_parallel.push(ContributionDelta::sharing(peer, action));
+                }
+                if let Some(action) = editing {
+                    reference.record_editing(peer, &action);
+                    batch_sequential.push(ContributionDelta::editing(peer, action));
+                    batch_parallel.push(ContributionDelta::editing(peer, action));
+                }
+            }
+            sequential.apply(&batch_sequential);
+            parallel.apply_parallel(&batch_parallel, threads);
+        }
+        assert_ledgers_identical(&reference, &sequential);
+        assert_ledgers_identical(&reference, &parallel);
+    }
+}
