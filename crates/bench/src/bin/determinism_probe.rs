@@ -2,10 +2,12 @@
 //! determinism job.
 //!
 //! The binary runs (1) a mix × scheme × seed scenario grid through the
-//! [`ScenarioRunner`] with automatic parallelism and (2) the paper
+//! [`ScenarioRunner`] with automatic parallelism, (2) the paper
 //! configuration (100 peers, shortened phases) with automatic ledger
-//! sharding and intra-step threading, then prints every report's `Debug`
-//! form to stdout.
+//! sharding and intra-step threading, and (3) a download-heavy cell with
+//! few upload sources, so the batched transfer engine's parallel grant
+//! stage allocates large multi-request buckets across its workers; every
+//! report's `Debug` form is printed to stdout.
 //!
 //! Both sources of parallelism honour the `SCENARIO_THREADS` environment
 //! variable, so CI runs the binary twice — `SCENARIO_THREADS=1` and the
@@ -62,4 +64,25 @@ fn main() {
     .with_seed(0xD1CE);
     let report = Simulation::new(paper).run();
     println!("paper/sharded: {report:?}");
+
+    // The batched transfer engine's parallel grant stage: a download-heavy
+    // cell in which only a minority of peers offers upload bandwidth, so
+    // every source's request bucket holds many competing downloaders and
+    // the per-source allocations really fan out across workers. The grant
+    // split must not leak into the trajectory.
+    let download_heavy = SimulationConfig {
+        population: 150,
+        initial_articles: 30,
+        phases: PhaseConfig {
+            training_steps: 400,
+            evaluation_steps: 200,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_mix(BehaviorMix::new(0.2, 0.2, 0.6))
+    .with_ledger_shards(6)
+    .with_seed(0x0BA7_C4ED);
+    let report = Simulation::new(download_heavy).run();
+    println!("download-heavy/batched-grants: {report:?}");
 }

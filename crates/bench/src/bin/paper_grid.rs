@@ -1,0 +1,287 @@
+//! `paper_grid` — the paper-configuration benchmark.
+//!
+//! Measures the engine on the paper's own headline workload, in two parts:
+//!
+//! 1. **The paper cell** — 100 peers × 12 000 steps (10 000 training +
+//!    2 000 evaluation) at the default download rate of one attempted
+//!    download per peer per step, i.e. the download/bandwidth-competition-
+//!    dominated configuration. Runs single-cell with per-phase
+//!    [`PhaseTimings`](collabsim::pipeline::PhaseTimings) enabled; its
+//!    steps/sec is the CI-gated number.
+//! 2. **The 18-cell grid** — the Section IV-B mix sweeps behind Figures 4
+//!    and 5 (9 altruistic-share points + 9 irrational-share points),
+//!    executed through the parallel [`ScenarioRunner`]; reported as grid
+//!    cells/sec and aggregate steps/sec.
+//!
+//! Flags:
+//!
+//! * `--quick` — shorten both parts for smoke runs,
+//! * `--paper-grid-steps` — run the grid cells at the full 12 000-step
+//!   paper length too (default: shortened grid so the binary stays
+//!   CI-sized; the gated paper cell is always full length),
+//! * `--out <path>` — output path (default `BENCH_paper.json`),
+//! * `--baseline <path>` — compare the paper cell's steps/sec against a
+//!   previously written report and exit non-zero on a regression,
+//! * `--max-regress <pct>` — tolerated steps/sec drop (default 20 %).
+//!
+//! The CI `perf` job gates against the checked-in baseline in
+//! `crates/bench/baselines/paper_baseline.json` and uploads the fresh
+//! `BENCH_paper.json` as a build artifact.
+
+use collabsim::config::PhaseConfig;
+use collabsim::experiment::{ScenarioRunner, MIX_SWEEP_PERCENTAGES};
+use collabsim::{BehaviorMix, BehaviorType, Simulation, SimulationConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct PaperCellResult {
+    population: usize,
+    total_steps: u64,
+    build_seconds: f64,
+    steps_per_sec: f64,
+    completed_downloads: usize,
+    transfer_slots: usize,
+    phases: Vec<(String, f64)>,
+}
+
+struct GridResult {
+    cells: usize,
+    steps_per_cell: u64,
+    seconds: f64,
+    cells_per_sec: f64,
+    aggregate_steps_per_sec: f64,
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The gated workload: the paper's default configuration, full length.
+fn paper_cell_config(quick: bool) -> SimulationConfig {
+    let mut config = SimulationConfig::default();
+    if quick {
+        config.phases = PhaseConfig {
+            training_steps: 1_000,
+            evaluation_steps: 500,
+            ..Default::default()
+        };
+    }
+    config
+}
+
+fn run_paper_cell(config: SimulationConfig) -> PaperCellResult {
+    let population = config.population;
+    let total_steps = config.phases.total_steps();
+    let building = Instant::now();
+    let mut sim = Simulation::new(config);
+    let build_seconds = building.elapsed().as_secs_f64();
+    sim.enable_phase_timings();
+    let running = Instant::now();
+    let report = sim.run();
+    let run_seconds = running.elapsed().as_secs_f64();
+    let phases = sim
+        .phase_timings()
+        .totals()
+        .iter()
+        .map(|(name, duration, _)| ((*name).to_string(), duration.as_secs_f64()))
+        .collect();
+    PaperCellResult {
+        population,
+        total_steps,
+        build_seconds,
+        steps_per_sec: total_steps as f64 / run_seconds,
+        completed_downloads: report.completed_downloads,
+        transfer_slots: sim.world().transfers.slot_count(),
+        phases,
+    }
+}
+
+/// The Section IV-B mix grid: 9 altruistic-share + 9 irrational-share
+/// cells over the paper configuration.
+fn mix_grid_cells(base: &SimulationConfig) -> Vec<(String, f64, SimulationConfig)> {
+    let mut cells = Vec::new();
+    for primary in [BehaviorType::Altruistic, BehaviorType::Irrational] {
+        for &pct in &MIX_SWEEP_PERCENTAGES {
+            let fraction = f64::from(pct) / 100.0;
+            let config = base
+                .clone()
+                .with_mix(BehaviorMix::sweep(primary, fraction))
+                .with_seed(base.seed.wrapping_add(u64::from(pct)));
+            cells.push((
+                format!("{}={}%", primary.label(), pct),
+                f64::from(pct),
+                config,
+            ));
+        }
+    }
+    cells
+}
+
+fn run_grid(quick: bool, full_grid_steps: bool) -> GridResult {
+    let phases = if full_grid_steps {
+        PhaseConfig::default()
+    } else if quick {
+        PhaseConfig {
+            training_steps: 150,
+            evaluation_steps: 100,
+            ..Default::default()
+        }
+    } else {
+        PhaseConfig {
+            training_steps: 600,
+            evaluation_steps: 300,
+            ..Default::default()
+        }
+    };
+    let base = SimulationConfig {
+        phases,
+        ..Default::default()
+    };
+    let steps_per_cell = base.phases.total_steps();
+    let cells = mix_grid_cells(&base);
+    let cell_count = cells.len();
+    let running = Instant::now();
+    let reports = ScenarioRunner::default().run_cells(cells);
+    let seconds = running.elapsed().as_secs_f64();
+    assert_eq!(reports.len(), cell_count, "one report per grid cell");
+    GridResult {
+        cells: cell_count,
+        steps_per_cell,
+        seconds,
+        cells_per_sec: cell_count as f64 / seconds,
+        aggregate_steps_per_sec: (cell_count as u64 * steps_per_cell) as f64 / seconds,
+    }
+}
+
+fn render_json(cell: &PaperCellResult, grid: &GridResult) -> String {
+    let mut phases = String::new();
+    for (j, (name, seconds)) in cell.phases.iter().enumerate() {
+        let sep = if j + 1 < cell.phases.len() { ", " } else { "" };
+        let _ = write!(phases, "\"{name}\": {seconds:.4}{sep}");
+    }
+    let mut out = String::from("{\n  \"bench\": \"paper_grid\",\n");
+    let _ = writeln!(
+        out,
+        "  \"paper_cell\": {{\"peers\": {}, \"total_steps\": {}, \"build_seconds\": {:.4}, \
+         \"steps_per_sec\": {:.3}, \"completed_downloads\": {}, \"transfer_slots\": {}, \
+         \"phases\": {{{phases}}}}},",
+        cell.population,
+        cell.total_steps,
+        cell.build_seconds,
+        cell.steps_per_sec,
+        cell.completed_downloads,
+        cell.transfer_slots,
+    );
+    let _ = writeln!(
+        out,
+        "  \"grid\": {{\"cells\": {}, \"steps_per_cell\": {}, \"seconds\": {:.3}, \
+         \"cells_per_sec\": {:.3}, \"aggregate_steps_per_sec\": {:.3}}}",
+        grid.cells,
+        grid.steps_per_cell,
+        grid.seconds,
+        grid.cells_per_sec,
+        grid.aggregate_steps_per_sec,
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts `"key": <number>` from a JSON line written by this binary.
+fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The baseline's paper-cell steps/sec: read from the `paper_cell` line of
+/// a previously written report.
+fn parse_baseline(text: &str) -> Option<f64> {
+    text.lines()
+        .find(|line| line.contains("\"paper_cell\""))
+        .and_then(|line| extract_number(line, "steps_per_sec"))
+}
+
+fn check_baseline(cell: &PaperCellResult, baseline_path: &str, max_regress_pct: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let Some(reference) = parse_baseline(&text) else {
+        eprintln!("baseline {baseline_path} has no paper_cell steps_per_sec");
+        return false;
+    };
+    let floor = reference * (1.0 - max_regress_pct / 100.0);
+    let ok = cell.steps_per_sec >= floor;
+    println!(
+        "paper cell: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {}",
+        cell.steps_per_sec,
+        reference,
+        floor,
+        if ok { "ok" } else { "REGRESSION" }
+    );
+    ok
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let full_grid_steps = has_flag("--paper-grid-steps");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_paper.json".to_string());
+    let max_regress: f64 = arg_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+
+    println!(
+        "collabsim — paper_grid [{}]",
+        if quick { "quick" } else { "paper scale" }
+    );
+    println!("(--quick for a smoke run, --baseline <path> to gate on a previous run)");
+    println!();
+
+    let cell = run_paper_cell(paper_cell_config(quick));
+    println!(
+        "paper cell: peers={}  steps={}  build={:.3}s  steps/sec={:.2}  downloads={}  transfer_slots={}",
+        cell.population,
+        cell.total_steps,
+        cell.build_seconds,
+        cell.steps_per_sec,
+        cell.completed_downloads,
+        cell.transfer_slots,
+    );
+    for (name, seconds) in &cell.phases {
+        println!("    {name:<12} {seconds:>8.3}s");
+    }
+
+    let grid = run_grid(quick, full_grid_steps);
+    println!(
+        "mix grid:   cells={}  steps/cell={}  wall={:.2}s  cells/sec={:.2}  aggregate steps/sec={:.2}",
+        grid.cells, grid.steps_per_cell, grid.seconds, grid.cells_per_sec, grid.aggregate_steps_per_sec,
+    );
+
+    let json = render_json(&cell, &grid);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\n(report written to {out_path})"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+
+    if let Some(baseline) = arg_value("--baseline") {
+        println!();
+        if !check_baseline(&cell, &baseline, max_regress) {
+            eprintln!("paper-cell steps/sec regressed more than {max_regress}% against {baseline}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -384,6 +384,22 @@ mod tests {
     }
 
     #[test]
+    fn transfer_arena_stays_bounded_over_a_run() {
+        // The free list recycles finished transfers, so the arena is
+        // bounded by concurrent downloads (≤ 1 per peer) instead of
+        // growing by one slot per download over the whole run.
+        let mut sim = Simulation::new(quick_config());
+        sim.run();
+        let transfers = &sim.world().transfers;
+        assert!(transfers.completed_count() > 0, "downloads must complete");
+        assert!(
+            transfers.slot_count() <= sim.world().population(),
+            "arena grew past the population: {} slots",
+            transfers.slot_count()
+        );
+    }
+
+    #[test]
     fn step_can_be_driven_manually() {
         let mut sim = Simulation::new(quick_config());
         sim.step(1.0);

@@ -1,22 +1,250 @@
 //! Phase 3 — downloads and bandwidth allocation.
+//!
+//! The phase runs the same three-stage **collect → allocate ∥ → apply**
+//! protocol the sharded ledger uses:
+//!
+//! 1. **Collect** (sequential — it owns the step RNG stream): every peer
+//!    either continues its in-flight transfer or probabilistically starts
+//!    a new one, and its [`DownloadRequest`] is recorded in the flat
+//!    [`RequestTable`] bucketed by source.
+//! 2. **Allocate** (parallel): each source's
+//!    [`BandwidthAllocator::allocate_into`] call depends only on that
+//!    source's offer and request bucket, so contiguous ranges of sources
+//!    fan out over scoped workers, each appending to its own
+//!    [`GrantBatch`]. Worker count comes from
+//!    [`SimWorld::intra_step_threads`] and can never change results.
+//! 3. **Apply** (sequential, in source-id order): grants update the step
+//!    observables and the upload history, then
+//!    [`TransferManager::apply_grants`](collabsim_netsim::transfer::TransferManager::apply_grants)
+//!    applies the whole batch and the drained completions update the
+//!    article store and DHT and release their transfer slots — the exact
+//!    end-of-step state of a sequential source-by-source allocation.
+//!
+//! All tables live in [`StepContext::transfers`] and are rewritten in
+//! place, so steady-state steps perform no allocation here.
+//!
+//! Fills [`StepContext::downloaded`], [`StepContext::source_upload_seen`]
+//! and [`StepContext::bandwidth_share`].
 
 use super::{StepContext, StepPhase};
 use crate::config::DownloadRate;
 use crate::world::SimWorld;
-use collabsim_netsim::bandwidth::DownloadRequest;
+use collabsim_netsim::bandwidth::{AllocScratch, Allocation, BandwidthAllocator, DownloadRequest};
 use collabsim_netsim::dht::DhtKey;
 use collabsim_netsim::peer::PeerId;
 use collabsim_netsim::transfer::TransferStatus;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Collects download requests (continuing in-flight transfers, starting new
 /// ones probabilistically) and allocates every source's offered upload
 /// bandwidth among its competitors under the configured incentive scheme.
-///
-/// Fills [`StepContext::downloaded`], [`StepContext::source_upload_seen`]
-/// and [`StepContext::bandwidth_share`].
 pub struct DownloadPhase;
+
+/// A placeholder request used to size the scatter target; every slot is
+/// overwritten before it is read.
+const EMPTY_REQUEST: DownloadRequest = DownloadRequest {
+    downloader: PeerId(0),
+    sharing_reputation: 0.0,
+    download_capacity: 0.0,
+    uploaded_to_source: 0.0,
+};
+
+/// CSR-style table of one step's download requests: a flat entry list
+/// appended in downloader order by the collect stage, then scattered into
+/// dense per-source buckets (a stable counting sort over parallel index
+/// vectors) so the grant stage can hand each worker contiguous
+/// `&[DownloadRequest]` slices. All buffers are reused across steps.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTable {
+    /// Source peer id per collected entry, in collection order.
+    entry_sources: Vec<u32>,
+    /// The request per collected entry.
+    entry_requests: Vec<DownloadRequest>,
+    /// The transfer the request continues or starts, per collected entry.
+    entry_transfers: Vec<u64>,
+    /// Requests per source peer id (length = population).
+    counts: Vec<u32>,
+    /// Bucket boundaries per source peer id (length = population + 1):
+    /// source `s` owns slots `starts[s]..starts[s + 1]`.
+    starts: Vec<u32>,
+    /// Scatter cursor, one per source (scratch for `build`).
+    cursor: Vec<u32>,
+    /// Sources with at least one request, ascending.
+    active_sources: Vec<u32>,
+    /// Requests grouped by source (each bucket keeps collection order).
+    slot_requests: Vec<DownloadRequest>,
+    /// Transfer ids grouped by source, aligned with `slot_requests`.
+    slot_transfers: Vec<u64>,
+}
+
+impl RequestTable {
+    /// Clears the table for a new step over `population` peers.
+    pub fn begin_step(&mut self, population: usize) {
+        self.entry_sources.clear();
+        self.entry_requests.clear();
+        self.entry_transfers.clear();
+        self.active_sources.clear();
+        self.counts.clear();
+        self.counts.resize(population, 0);
+    }
+
+    /// Records one download request directed at `source`.
+    pub fn push(&mut self, source: PeerId, request: DownloadRequest, transfer: u64) {
+        self.counts[source.index()] += 1;
+        self.entry_sources.push(source.0);
+        self.entry_requests.push(request);
+        self.entry_transfers.push(transfer);
+    }
+
+    /// Builds the per-source buckets from the collected entries. The
+    /// scatter is a stable counting sort, so within a bucket requests keep
+    /// their collection (downloader) order — which is what makes the
+    /// bucket slices bit-identical to the hash-map-of-vectors they
+    /// replaced.
+    pub fn build(&mut self) {
+        let population = self.counts.len();
+        self.starts.clear();
+        self.starts.resize(population + 1, 0);
+        let mut total = 0u32;
+        for s in 0..population {
+            self.starts[s] = total;
+            if self.counts[s] > 0 {
+                self.active_sources.push(s as u32);
+            }
+            total += self.counts[s];
+        }
+        self.starts[population] = total;
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..population]);
+        self.slot_requests.clear();
+        self.slot_requests.resize(total as usize, EMPTY_REQUEST);
+        self.slot_transfers.clear();
+        self.slot_transfers.resize(total as usize, 0);
+        for (i, &s) in self.entry_sources.iter().enumerate() {
+            let slot = self.cursor[s as usize] as usize;
+            self.slot_requests[slot] = self.entry_requests[i];
+            self.slot_transfers[slot] = self.entry_transfers[i];
+            self.cursor[s as usize] += 1;
+        }
+    }
+
+    /// Number of collected requests.
+    pub fn len(&self) -> usize {
+        self.entry_requests.len()
+    }
+
+    /// Whether no requests were collected.
+    pub fn is_empty(&self) -> bool {
+        self.entry_requests.is_empty()
+    }
+
+    /// Sources with at least one request, ascending (valid after
+    /// [`RequestTable::build`]).
+    pub fn active_sources(&self) -> &[u32] {
+        &self.active_sources
+    }
+
+    /// The `k`-th active source's bucket: `(source, requests, transfer
+    /// ids)`, requests in collection order.
+    pub fn bucket(&self, k: usize) -> (PeerId, &[DownloadRequest], &[u64]) {
+        let s = self.active_sources[k] as usize;
+        let range = self.starts[s] as usize..self.starts[s + 1] as usize;
+        (
+            PeerId(s as u32),
+            &self.slot_requests[range.clone()],
+            &self.slot_transfers[range],
+        )
+    }
+}
+
+/// One worker's output of the parallel grant stage: the [`Allocation`]s of
+/// its contiguous range of active sources, appended bucket by bucket, plus
+/// the worker-private allocator scratch. Reused across steps.
+#[derive(Debug, Clone, Default)]
+pub struct GrantBatch {
+    allocations: Vec<Allocation>,
+    scratch: AllocScratch,
+}
+
+impl GrantBatch {
+    /// The allocations this worker produced, in bucket order.
+    pub fn allocations(&self) -> &[Allocation] {
+        &self.allocations
+    }
+}
+
+/// The parallel grant stage: allocates every active source's offered
+/// upload (`offered[k]` pairs with `table.active_sources()[k]`) among its
+/// request bucket, fanning contiguous source ranges out over `threads`
+/// scoped workers, each appending into its own [`GrantBatch`].
+///
+/// Concatenating the batches in worker order yields the allocations of
+/// all buckets in ascending source order — bit-identical at any worker
+/// count, because each bucket's allocation depends only on that bucket.
+pub fn allocate_grants(
+    allocator: &BandwidthAllocator,
+    table: &RequestTable,
+    offered: &[f64],
+    batches: &mut Vec<GrantBatch>,
+    threads: usize,
+) {
+    let active = table.active_sources().len();
+    assert_eq!(offered.len(), active, "one offer per active source");
+    let threads = threads.clamp(1, active.max(1));
+    if batches.len() != threads {
+        batches.resize_with(threads, GrantBatch::default);
+    }
+    for batch in batches.iter_mut() {
+        batch.allocations.clear();
+    }
+    if threads > 1 {
+        let per_worker = active.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (worker, batch) in batches.iter_mut().enumerate() {
+                let start = (worker * per_worker).min(active);
+                let end = ((worker + 1) * per_worker).min(active);
+                let offers = &offered[start..end];
+                scope.spawn(move || {
+                    for (k, &offer) in (start..end).zip(offers) {
+                        let (_, requests, _) = table.bucket(k);
+                        allocator.allocate_into(
+                            offer,
+                            requests,
+                            &mut batch.scratch,
+                            &mut batch.allocations,
+                        );
+                    }
+                });
+            }
+        });
+    } else {
+        let batch = &mut batches[0];
+        for (k, &offer) in offered.iter().enumerate() {
+            let (_, requests, _) = table.bucket(k);
+            allocator.allocate_into(offer, requests, &mut batch.scratch, &mut batch.allocations);
+        }
+    }
+}
+
+/// Every reusable buffer of the transfer engine's three stages, carried in
+/// [`StepContext`] so steady-state steps allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct TransferTables {
+    /// Sharing peers that actually offer upload bandwidth this step,
+    /// ascending by peer id.
+    upload_sources: Vec<PeerId>,
+    /// The step's request table.
+    requests: RequestTable,
+    /// Offered upload per active source, aligned with
+    /// [`RequestTable::active_sources`].
+    source_offered: Vec<f64>,
+    /// Per-worker grant outputs.
+    grant_batches: Vec<GrantBatch>,
+    /// `(transfer id, bandwidth)` grants in apply order.
+    grant_queue: Vec<(u64, f64)>,
+    /// Transfers completed by this step's grants.
+    completions: Vec<u64>,
+}
 
 impl StepPhase for DownloadPhase {
     fn name(&self) -> &'static str {
@@ -26,55 +254,63 @@ impl StepPhase for DownloadPhase {
     fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
         let population = world.population();
         let now = ctx.now;
-        let sharing_peers = world.peers.sharing_peers();
-        let download_probability = match world.config.download_probability {
-            DownloadRate::Fixed(p) => p,
-            DownloadRate::InverseSharers => {
-                if sharing_peers.is_empty() {
-                    0.0
-                } else {
-                    1.0 / sharing_peers.len() as f64
-                }
-            }
-        };
+        let tables = &mut ctx.transfers;
+        tables.requests.begin_step(population);
 
         // Download sources must actually offer upload bandwidth this step:
         // the paper's competition is over "the source's upload bandwidth",
         // so a peer offering only stored articles cannot serve a transfer.
-        let upload_sources: Vec<PeerId> = sharing_peers
-            .iter()
-            .copied()
-            .filter(|&s| world.peers.peer(s).offered_upload() > 0.0)
-            .collect();
+        let mut sharing_count = 0usize;
+        tables.upload_sources.clear();
+        for peer in world.peers.iter() {
+            if peer.is_sharing() {
+                sharing_count += 1;
+                if peer.offered_upload() > 0.0 {
+                    tables.upload_sources.push(peer.id);
+                }
+            }
+        }
+        let upload_sources = &tables.upload_sources;
         // The source draw below excludes the downloader via binary search,
-        // which needs this list sorted by peer id. `sharing_peers()`
-        // iterates the registry in id order today; if churn or registry
-        // reordering ever changes that, this must fail loudly instead of
-        // silently letting peers pick themselves as sources.
-        debug_assert!(
+        // which needs this list sorted by peer id. The registry iterates
+        // in id order today; if churn or registry reordering ever changes
+        // that, every peer could silently pick itself as a source — so the
+        // invariant is checked in release builds too (one O(sources) pass
+        // per step, noise next to the collect loop).
+        assert!(
             upload_sources.windows(2).all(|w| w[0] < w[1]),
             "upload sources must be sorted by peer id"
         );
+        let download_probability = match world.config.download_probability {
+            DownloadRate::Fixed(p) => p,
+            DownloadRate::InverseSharers => {
+                if sharing_count == 0 {
+                    0.0
+                } else {
+                    1.0 / sharing_count as f64
+                }
+            }
+        };
 
-        // Collect download requests per source.
-        let mut requests_by_source: HashMap<PeerId, Vec<DownloadRequest>> = HashMap::new();
-        let mut request_transfer: HashMap<(PeerId, PeerId), u64> = HashMap::new();
+        // Stage 1 — collect (sequential: this stage owns the RNG stream,
+        // so the trajectory is untouched by how later stages are split).
         for p in 0..population {
             let downloader = PeerId(p as u32);
             // Continue an in-flight transfer if its source still offers
             // bandwidth; otherwise abandon it and look for a new source.
-            let mut source: Option<PeerId> = None;
+            let mut continued: Option<(PeerId, u64)> = None;
             if let Some(tid) = world.active_transfer[p] {
                 let t = world.transfers.transfer(tid);
-                if t.status == TransferStatus::InProgress
-                    && world.peers.peer(t.source).offered_upload() > 0.0
+                let (status, t_source) = (t.status, t.source);
+                if status == TransferStatus::InProgress
+                    && world.peers.peer(t_source).offered_upload() > 0.0
                 {
-                    source = Some(t.source);
-                    request_transfer.insert((downloader, t.source), tid);
+                    continued = Some((t_source, tid));
                 } else {
-                    if t.status == TransferStatus::InProgress {
+                    if status == TransferStatus::InProgress {
                         world.transfers.cancel(tid, now);
                     }
+                    world.transfers.release(tid);
                     world.active_transfer[p] = None;
                 }
             }
@@ -87,7 +323,7 @@ impl StepPhase for DownloadPhase {
             // the sorted source list. Same single `gen_range` draw over
             // the same count, same chosen peer, so the RNG stream and the
             // trajectory are bit-identical to the list-based code.
-            if source.is_none()
+            if continued.is_none()
                 && !upload_sources.is_empty()
                 && download_probability > 0.0
                 && world.rng.gen_bool(download_probability.min(1.0))
@@ -105,51 +341,174 @@ impl StepPhase for DownloadPhase {
                     let article = world.pick_article_to_download(downloader, chosen);
                     let tid = world.transfers.start(downloader, chosen, article, now);
                     world.active_transfer[p] = Some(tid);
-                    request_transfer.insert((downloader, chosen), tid);
-                    source = Some(chosen);
+                    continued = Some((chosen, tid));
                 }
             }
-            if let Some(src) = source {
-                requests_by_source
-                    .entry(src)
-                    .or_default()
-                    .push(DownloadRequest {
+            if let Some((src, tid)) = continued {
+                tables.requests.push(
+                    src,
+                    DownloadRequest {
                         downloader,
                         sharing_reputation: world.ledger.sharing_reputation(p),
                         download_capacity: world.peers.peer(downloader).download_capacity,
                         uploaded_to_source: world.uploads.get(p, src.index()),
-                    });
+                    },
+                    tid,
+                );
             }
         }
+        tables.requests.build();
 
-        // Allocate each source's offered upload among its downloaders.
-        let mut sources: Vec<PeerId> = requests_by_source.keys().copied().collect();
-        sources.sort_unstable();
-        for source in sources {
-            let requests = &requests_by_source[&source];
-            let offered = world.peers.peer(source).offered_upload();
-            let allocations = world.allocator.allocate(offered, requests);
-            for allocation in allocations {
-                let d = allocation.downloader.index();
-                ctx.downloaded[d] += allocation.bandwidth;
-                ctx.source_upload_seen[d] = world
-                    .peers
-                    .peer(source)
-                    .shared_upload_fraction
-                    .max(ctx.source_upload_seen[d]);
-                ctx.bandwidth_share[d] = ctx.bandwidth_share[d].max(allocation.share);
-                world.uploads.add(source.index(), d, allocation.bandwidth);
-                if let Some(&tid) = request_transfer.get(&(allocation.downloader, source)) {
-                    let status = world.transfers.apply_grant(tid, allocation.bandwidth, now);
-                    if status == TransferStatus::Completed {
-                        world.active_transfer[d] = None;
-                        let article = world.transfers.transfer(tid).article;
-                        world.store.add_replica(allocation.downloader, article);
-                        world
-                            .dht
-                            .add_holder(DhtKey::for_article(article.0), allocation.downloader);
-                    }
+        // Stage 2 — allocate, fanned out over the intra-step workers.
+        tables.source_offered.clear();
+        tables.source_offered.extend(
+            tables
+                .requests
+                .active_sources()
+                .iter()
+                .map(|&s| world.peers.peer(PeerId(s)).offered_upload()),
+        );
+        allocate_grants(
+            &world.allocator,
+            &tables.requests,
+            &tables.source_offered,
+            &mut tables.grant_batches,
+            world.intra_step_threads(),
+        );
+
+        // Stage 3 — apply, sequentially in ascending source order (the
+        // batches concatenate to exactly that order). Grants update the
+        // step observables and the upload history, then the transfer
+        // manager applies the whole grant queue and the drained
+        // completions update the store/DHT and free their slots.
+        tables.grant_queue.clear();
+        {
+            let mut allocations = tables
+                .grant_batches
+                .iter()
+                .flat_map(GrantBatch::allocations);
+            for k in 0..tables.requests.active_sources().len() {
+                let (source, requests, transfers) = tables.requests.bucket(k);
+                let source_fraction = world.peers.peer(source).shared_upload_fraction;
+                for (slot, &tid) in requests.iter().zip(transfers.iter()) {
+                    let allocation = allocations
+                        .next()
+                        .expect("one allocation per collected request");
+                    debug_assert_eq!(allocation.downloader, slot.downloader);
+                    let d = allocation.downloader.index();
+                    ctx.downloaded[d] += allocation.bandwidth;
+                    ctx.source_upload_seen[d] = source_fraction.max(ctx.source_upload_seen[d]);
+                    ctx.bandwidth_share[d] = ctx.bandwidth_share[d].max(allocation.share);
+                    world.uploads.add(source.index(), d, allocation.bandwidth);
+                    tables.grant_queue.push((tid, allocation.bandwidth));
                 }
+            }
+            debug_assert!(allocations.next().is_none(), "no grants left unapplied");
+        }
+        world
+            .transfers
+            .apply_grants(&tables.grant_queue, now, &mut tables.completions);
+        for &tid in &tables.completions {
+            let transfer = world.transfers.transfer(tid);
+            let (downloader, article) = (transfer.downloader, transfer.article);
+            world.active_transfer[downloader.index()] = None;
+            world.store.add_replica(downloader, article);
+            world
+                .dht
+                .add_holder(DhtKey::for_article(article.0), downloader);
+            world.transfers.release(tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collabsim_netsim::bandwidth::AllocationPolicy;
+
+    fn request(downloader: u32, reputation: f64) -> DownloadRequest {
+        DownloadRequest {
+            downloader: PeerId(downloader),
+            sharing_reputation: reputation,
+            download_capacity: 1.0,
+            uploaded_to_source: 0.0,
+        }
+    }
+
+    #[test]
+    fn request_table_buckets_keep_collection_order() {
+        let mut table = RequestTable::default();
+        table.begin_step(6);
+        table.push(PeerId(4), request(0, 0.1), 10);
+        table.push(PeerId(2), request(1, 0.2), 11);
+        table.push(PeerId(4), request(3, 0.3), 12);
+        table.push(PeerId(2), request(5, 0.4), 13);
+        table.build();
+        assert_eq!(table.len(), 4);
+        assert_eq!(table.active_sources(), &[2, 4]);
+        let (source, requests, transfers) = table.bucket(0);
+        assert_eq!(source, PeerId(2));
+        assert_eq!(transfers, &[11, 13]);
+        assert_eq!(requests[0].downloader, PeerId(1));
+        assert_eq!(requests[1].downloader, PeerId(5));
+        let (source, requests, transfers) = table.bucket(1);
+        assert_eq!(source, PeerId(4));
+        assert_eq!(transfers, &[10, 12]);
+        assert_eq!(requests[0].downloader, PeerId(0));
+        assert_eq!(requests[1].downloader, PeerId(3));
+    }
+
+    #[test]
+    fn request_table_reuse_resets_cleanly() {
+        let mut table = RequestTable::default();
+        table.begin_step(3);
+        table.push(PeerId(1), request(0, 0.5), 7);
+        table.build();
+        assert_eq!(table.active_sources(), &[1]);
+        table.begin_step(3);
+        assert!(table.is_empty());
+        table.build();
+        assert!(table.active_sources().is_empty());
+    }
+
+    #[test]
+    fn parallel_grants_match_sequential_at_any_worker_count() {
+        let allocator = BandwidthAllocator::new(AllocationPolicy::WeightedByReputation);
+        let mut table = RequestTable::default();
+        table.begin_step(8);
+        for (downloader, source) in [(0, 3), (1, 3), (2, 5), (4, 6), (7, 5), (6, 3)] {
+            table.push(
+                PeerId(source),
+                request(downloader, f64::from(downloader) * 0.13 + 0.05),
+                u64::from(downloader),
+            );
+        }
+        table.build();
+        let offered: Vec<f64> = table
+            .active_sources()
+            .iter()
+            .map(|&s| f64::from(s) * 0.2)
+            .collect();
+        let mut sequential = Vec::new();
+        allocate_grants(&allocator, &table, &offered, &mut sequential, 1);
+        let reference: Vec<Allocation> = sequential
+            .iter()
+            .flat_map(GrantBatch::allocations)
+            .copied()
+            .collect();
+        for threads in 2..=5 {
+            let mut batches = Vec::new();
+            allocate_grants(&allocator, &table, &offered, &mut batches, threads);
+            let flattened: Vec<Allocation> = batches
+                .iter()
+                .flat_map(GrantBatch::allocations)
+                .copied()
+                .collect();
+            assert_eq!(flattened.len(), reference.len());
+            for (got, want) in flattened.iter().zip(reference.iter()) {
+                assert_eq!(got.downloader, want.downloader);
+                assert_eq!(got.share.to_bits(), want.share.to_bits());
+                assert_eq!(got.bandwidth.to_bits(), want.bandwidth.to_bits());
             }
         }
     }

@@ -46,7 +46,7 @@ mod selection;
 mod sharing;
 mod utility;
 
-pub use download::DownloadPhase;
+pub use download::{allocate_grants, DownloadPhase, GrantBatch, RequestTable, TransferTables};
 pub use editvote::EditVotePhase;
 pub use learning::LearningPhase;
 pub use propagation::PropagationPhase;
@@ -58,16 +58,15 @@ use crate::action::CollabAction;
 use crate::agent::AgentState;
 use crate::config::SimulationConfig;
 use crate::world::SimWorld;
-use collabsim_netsim::article::ArticleId;
 use collabsim_netsim::peer::PeerId;
 use collabsim_reputation::sharded::DeltaBatch;
-use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-/// The precomputed effect of one peer's sharing decision: which articles
-/// it will offer. Collected per shard (possibly in parallel) by
-/// [`SharingPhase`], drained sequentially in its apply stage.
-pub type OfferPlan = (PeerId, HashSet<ArticleId>);
+/// The precomputed effect of one peer's sharing decision: how many of its
+/// held articles it will offer (the store installs that prefix of the
+/// peer's sorted held list). Collected per shard (possibly in parallel)
+/// by [`SharingPhase`], drained sequentially in its apply stage.
+pub type OfferPlan = (PeerId, usize);
 
 /// Cumulative per-phase wall-clock totals, recorded by
 /// [`StepPipeline::run_step_into`] when enabled.
@@ -166,6 +165,10 @@ pub struct StepContext {
     /// drained by its apply stage, so steady-state steps reuse the
     /// capacity instead of reallocating).
     pub offer_plans: Vec<Vec<OfferPlan>>,
+    /// The transfer engine's reusable request/grant tables
+    /// (collect → allocate ∥ → apply scratch of [`DownloadPhase`]; fully
+    /// rewritten by the phase each step).
+    pub transfers: TransferTables,
     /// Optional per-phase wall-clock instrumentation; accumulates across
     /// steps and survives [`StepContext::reset`].
     pub timings: PhaseTimings,
@@ -190,6 +193,7 @@ impl StepContext {
             sharing_deltas: DeltaBatch::default(),
             editing_deltas: DeltaBatch::default(),
             offer_plans: Vec::new(),
+            transfers: TransferTables::default(),
             timings: PhaseTimings::default(),
         }
     }

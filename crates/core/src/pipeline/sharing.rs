@@ -15,7 +15,7 @@ use collabsim_reputation::contribution::{ContributionDelta, SharingAction};
 ///
 /// 1. **Collect** — workers walk shard-aligned peer ranges and, from
 ///    read-only state (the chosen actions and the article store), compute
-///    each peer's offered-article set and its [`ContributionDelta`],
+///    each peer's offered-article count and its [`ContributionDelta`],
 ///    bucketed per ledger shard in [`StepContext::sharing_deltas`]. The
 ///    stage draws no randomness and no peer's result depends on another's,
 ///    so any worker count produces the same buckets in the same order.
@@ -37,7 +37,7 @@ fn collect_peer(
     let id = PeerId(peer as u32);
     let held = store.held_count(id);
     let offered = (action.articles.fraction() * held as f64).round() as usize;
-    plan.push((id, store.compute_offered(id, offered)));
+    plan.push((id, offered));
 
     // Contribution accounting. The paper leaves the units of
     // S_articles and S_bandwidth open; we scale both so that sharing
@@ -121,7 +121,7 @@ impl StepPhase for SharingPhase {
                 let peer = world.peers.peer_mut(id);
                 peer.set_shared_upload_fraction(action.bandwidth.fraction());
                 peer.set_shared_articles(action.articles.article_count());
-                world.store.set_offered(id, offered);
+                world.store.set_offered_count(id, offered);
             }
         }
         world.ledger.apply_parallel(&ctx.sharing_deltas, threads);

@@ -3,12 +3,14 @@
 //!
 //! One environment variable, `SCENARIO_THREADS`, caps every source of
 //! parallelism in the crate: the [`crate::experiment::ScenarioRunner`]
-//! worker pool and the intra-step collect/apply workers of the sharing and
-//! edit-vote phases. Setting `SCENARIO_THREADS=1` therefore forces a fully
-//! sequential execution — which the determinism CI job diffs against the
-//! default parallel execution, pinning the parallel == sequential
-//! guarantee. Thread counts never affect simulation results; they only
-//! affect wall-clock time.
+//! worker pool, the intra-step collect/apply workers of the sharing and
+//! edit-vote phases, and the per-source grant workers of the download
+//! phase's batched transfer engine
+//! ([`allocate_grants`](crate::pipeline::allocate_grants)). Setting
+//! `SCENARIO_THREADS=1` therefore forces a fully sequential execution —
+//! which the determinism CI job diffs against the default parallel
+//! execution, pinning the parallel == sequential guarantee. Thread counts
+//! never affect simulation results; they only affect wall-clock time.
 
 use std::num::NonZeroUsize;
 

@@ -181,6 +181,11 @@ pub struct SimWorld {
     /// `SCENARIO_THREADS`/hardware resolution when the config says 0) so
     /// the hot phases never touch the process environment.
     intra_step_threads: usize,
+    /// Reused candidate buffer of
+    /// [`SimWorld::pick_article_to_download`]: the filtered article list
+    /// is rebuilt in place (same contents, same order, same RNG draws as
+    /// a freshly collected vector).
+    article_scratch: Vec<ArticleId>,
 }
 
 impl SimWorld {
@@ -269,6 +274,7 @@ impl SimWorld {
             global_reputation: None,
             propagation_runs: 0,
             intra_step_threads,
+            article_scratch: Vec::new(),
             rng,
             config,
         }
@@ -301,12 +307,13 @@ impl SimWorld {
     /// otherwise any article offered by the source, otherwise any article.
     pub fn pick_article_to_download(&mut self, downloader: PeerId, source: PeerId) -> ArticleId {
         let offered = self.store.offered_by(source);
-        let missing: Vec<ArticleId> = offered
-            .iter()
-            .copied()
-            .filter(|&a| !self.store.holds(downloader, a))
-            .collect();
-        if let Some(&a) = missing.choose(&mut self.rng) {
+        self.article_scratch.clear();
+        for &a in offered {
+            if !self.store.holds(downloader, a) {
+                self.article_scratch.push(a);
+            }
+        }
+        if let Some(&a) = self.article_scratch.choose(&mut self.rng) {
             return a;
         }
         if let Some(&a) = offered.choose(&mut self.rng) {

@@ -169,6 +169,12 @@ pub struct ArticleRegistry {
     /// Pending edits per author, to let the policy layer limit concurrent
     /// edits per peer cheaply.
     pending_by_author: HashMap<PeerId, Vec<EditId>>,
+    /// Articles without a pending edit, sorted by identifier. Maintained
+    /// incrementally on every status change (article creation, edit
+    /// submission, edit resolution), so the edit-vote phase's per-peer
+    /// candidate lookup is a slice borrow instead of a fresh `Vec` scan of
+    /// the whole registry per peer per step.
+    editable: Vec<ArticleId>,
 }
 
 impl ArticleRegistry {
@@ -191,6 +197,9 @@ impl ArticleRegistry {
     pub fn create_article(&mut self, creator: PeerId, now: u64) -> ArticleId {
         let id = ArticleId(u32::try_from(self.articles.len()).expect("too many articles"));
         self.articles.push(Article::new(id, creator, now));
+        // A new identifier is always the largest, so a push keeps the
+        // editable cache sorted.
+        self.editable.push(id);
         id
     }
 
@@ -243,6 +252,9 @@ impl ArticleRegistry {
         });
         self.articles[article.index()].pending_edit = Some(id);
         self.pending_by_author.entry(author).or_default().push(id);
+        if let Ok(pos) = self.editable.binary_search(&article) {
+            self.editable.remove(pos);
+        }
         Some(id)
     }
 
@@ -278,6 +290,9 @@ impl ArticleRegistry {
         if let Some(pending) = self.pending_by_author.get_mut(&author) {
             pending.retain(|&e| e != id);
         }
+        if let Err(pos) = self.editable.binary_search(&article_id) {
+            self.editable.insert(pos, article_id);
+        }
     }
 
     /// Number of edits a peer currently has pending across all articles.
@@ -287,13 +302,12 @@ impl ArticleRegistry {
             .map_or(0, |pending| pending.len())
     }
 
-    /// Articles without a pending edit (candidates for a new edit).
-    pub fn editable_articles(&self) -> Vec<ArticleId> {
-        self.articles
-            .iter()
-            .filter(|a| a.pending_edit.is_none())
-            .map(|a| a.id)
-            .collect()
+    /// Articles without a pending edit (candidates for a new edit), sorted
+    /// by identifier. A borrow of the incrementally maintained cache —
+    /// invalidated on every edit-status change — so calling it per peer
+    /// per step allocates nothing.
+    pub fn editable_articles(&self) -> &[ArticleId] {
+        &self.editable
     }
 
     /// Counts of (accepted constructive, accepted destructive, declined
@@ -462,8 +476,20 @@ mod tests {
         let mut reg = ArticleRegistry::new();
         let a = reg.create_article(PeerId(0), 0);
         let b = reg.create_article(PeerId(0), 0);
-        reg.submit_edit(a, PeerId(1), EditKind::Constructive, 1);
-        assert_eq!(reg.editable_articles(), vec![b]);
+        let e = reg
+            .submit_edit(a, PeerId(1), EditKind::Constructive, 1)
+            .unwrap();
+        assert_eq!(reg.editable_articles(), &[b][..]);
+        // Resolution re-inserts the article at its sorted position.
+        reg.resolve_edit(e, false, 2);
+        assert_eq!(reg.editable_articles(), &[a, b][..]);
+        // The cache always matches a fresh scan of the registry.
+        let scanned: Vec<ArticleId> = reg
+            .articles()
+            .filter(|article| article.pending_edit.is_none())
+            .map(|article| article.id)
+            .collect();
+        assert_eq!(reg.editable_articles(), &scanned[..]);
     }
 
     #[test]

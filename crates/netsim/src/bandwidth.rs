@@ -63,6 +63,20 @@ pub struct Allocation {
     pub bandwidth: f64,
 }
 
+/// Reusable scratch buffers for [`BandwidthAllocator::allocate_into`].
+///
+/// One scratch per worker lets the parallel grant stage of the download
+/// phase run every per-source allocation without a single heap allocation
+/// in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct AllocScratch {
+    /// Policy shares of the current request set (also the water-filling
+    /// weights — the shares never change during the fill).
+    shares: Vec<f64>,
+    /// Remaining download capacity per requester.
+    capacity: Vec<f64>,
+}
+
 /// The bandwidth allocator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BandwidthAllocator {
@@ -80,58 +94,82 @@ impl BandwidthAllocator {
         self.policy
     }
 
-    /// Raw (pre-capacity) shares for a request set according to the policy.
-    /// Shares sum to 1 unless the request set is empty.
-    pub fn shares(&self, requests: &[DownloadRequest]) -> Vec<f64> {
+    /// Raw (pre-capacity) shares for a request set according to the
+    /// policy, written into `out` (cleared first). Shares sum to 1 unless
+    /// the request set is empty.
+    pub fn shares_into(&self, requests: &[DownloadRequest], out: &mut Vec<f64>) {
+        out.clear();
         if requests.is_empty() {
-            return Vec::new();
+            return;
         }
-        let weights: Vec<f64> = match self.policy {
-            AllocationPolicy::EqualSplit => vec![1.0; requests.len()],
-            AllocationPolicy::WeightedByReputation => requests
-                .iter()
-                .map(|r| r.sharing_reputation.max(0.0))
-                .collect(),
-            AllocationPolicy::TitForTat => requests
-                .iter()
-                .map(|r| r.uploaded_to_source.max(0.0))
-                .collect(),
-        };
-        let sum: f64 = weights.iter().sum();
+        match self.policy {
+            AllocationPolicy::EqualSplit => out.extend(requests.iter().map(|_| 1.0)),
+            AllocationPolicy::WeightedByReputation => {
+                out.extend(requests.iter().map(|r| r.sharing_reputation.max(0.0)));
+            }
+            AllocationPolicy::TitForTat => {
+                out.extend(requests.iter().map(|r| r.uploaded_to_source.max(0.0)));
+            }
+        }
+        let sum: f64 = out.iter().sum();
         if sum <= 0.0 {
             // Degenerate case (all-zero weights): fall back to equal split so
             // the source's bandwidth is not wasted.
-            return vec![1.0 / requests.len() as f64; requests.len()];
+            out.fill(1.0 / requests.len() as f64);
+            return;
         }
-        weights.iter().map(|w| w / sum).collect()
+        for w in out.iter_mut() {
+            *w /= sum;
+        }
     }
 
-    /// Full allocation: splits `offered_upload` according to the policy,
-    /// caps each downloader at its capacity, and redistributes freed
-    /// bandwidth among the remaining downloaders (water-filling).
-    pub fn allocate(&self, offered_upload: f64, requests: &[DownloadRequest]) -> Vec<Allocation> {
+    /// Raw (pre-capacity) shares for a request set according to the policy.
+    /// Shares sum to 1 unless the request set is empty.
+    pub fn shares(&self, requests: &[DownloadRequest]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.shares_into(requests, &mut out);
+        out
+    }
+
+    /// Allocation into reusable buffers: identical arithmetic to
+    /// [`BandwidthAllocator::allocate`], but the per-call share/capacity
+    /// vectors live in `scratch` and the `requests.len()` resulting
+    /// [`Allocation`]s are **appended** to `out`, so a caller looping over
+    /// many sources (the download phase's grant stage) performs no
+    /// steady-state allocation.
+    pub fn allocate_into(
+        &self,
+        offered_upload: f64,
+        requests: &[DownloadRequest],
+        scratch: &mut AllocScratch,
+        out: &mut Vec<Allocation>,
+    ) {
         assert!(offered_upload >= 0.0, "offered upload must be >= 0");
-        let shares = self.shares(requests);
-        let mut allocations: Vec<Allocation> = requests
-            .iter()
-            .zip(shares.iter())
-            .map(|(r, &share)| Allocation {
-                downloader: r.downloader,
-                share,
-                bandwidth: 0.0,
-            })
-            .collect();
+        self.shares_into(requests, &mut scratch.shares);
+        let base = out.len();
+        out.extend(
+            requests
+                .iter()
+                .zip(scratch.shares.iter())
+                .map(|(r, &share)| Allocation {
+                    downloader: r.downloader,
+                    share,
+                    bandwidth: 0.0,
+                }),
+        );
         if requests.is_empty() || offered_upload <= 0.0 {
-            return allocations;
+            return;
         }
+        let allocations = &mut out[base..];
 
         // Water-filling: repeatedly hand out bandwidth proportionally to the
         // policy shares among downloaders that still have spare capacity.
-        let mut remaining_capacity: Vec<f64> = requests
-            .iter()
-            .map(|r| r.download_capacity.max(0.0))
-            .collect();
-        let weights: Vec<f64> = shares.clone();
+        scratch.capacity.clear();
+        scratch
+            .capacity
+            .extend(requests.iter().map(|r| r.download_capacity.max(0.0)));
+        let weights = &scratch.shares;
+        let remaining_capacity = &mut scratch.capacity;
         let mut budget = offered_upload;
         for _ in 0..requests.len() {
             let active_weight: f64 = weights
@@ -159,7 +197,20 @@ impl BandwidthAllocator {
                 break;
             }
         }
-        allocations
+    }
+
+    /// Full allocation: splits `offered_upload` according to the policy,
+    /// caps each downloader at its capacity, and redistributes freed
+    /// bandwidth among the remaining downloaders (water-filling).
+    pub fn allocate(&self, offered_upload: f64, requests: &[DownloadRequest]) -> Vec<Allocation> {
+        let mut out = Vec::new();
+        self.allocate_into(
+            offered_upload,
+            requests,
+            &mut AllocScratch::default(),
+            &mut out,
+        );
+        out
     }
 
     /// Convenience: allocation results keyed by downloader.
@@ -309,6 +360,48 @@ mod tests {
         assert!(total <= 0.4 + 1e-12);
         for a in &result {
             assert!(a.bandwidth <= 0.2 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn allocate_into_appends_and_matches_allocate_bitwise() {
+        let reqs_a = [request(0, 0.1), request(1, 0.3), request(2, 0.6)];
+        let reqs_b = [
+            DownloadRequest {
+                downloader: PeerId(3),
+                sharing_reputation: 0.9,
+                download_capacity: 0.2,
+                uploaded_to_source: 0.0,
+            },
+            DownloadRequest {
+                downloader: PeerId(4),
+                sharing_reputation: 0.1,
+                download_capacity: 0.2,
+                uploaded_to_source: 0.0,
+            },
+        ];
+        for policy in [
+            AllocationPolicy::EqualSplit,
+            AllocationPolicy::WeightedByReputation,
+            AllocationPolicy::TitForTat,
+        ] {
+            let alloc = BandwidthAllocator::new(policy);
+            // One scratch reused across sources, results appended.
+            let mut scratch = AllocScratch::default();
+            let mut out = Vec::new();
+            alloc.allocate_into(0.8, &reqs_a, &mut scratch, &mut out);
+            alloc.allocate_into(1.0, &reqs_b, &mut scratch, &mut out);
+            let reference: Vec<Allocation> = alloc
+                .allocate(0.8, &reqs_a)
+                .into_iter()
+                .chain(alloc.allocate(1.0, &reqs_b))
+                .collect();
+            assert_eq!(out.len(), reference.len());
+            for (got, want) in out.iter().zip(reference.iter()) {
+                assert_eq!(got.downloader, want.downloader);
+                assert_eq!(got.share.to_bits(), want.share.to_bits());
+                assert_eq!(got.bandwidth.to_bits(), want.bandwidth.to_bits());
+            }
         }
     }
 

@@ -45,7 +45,9 @@ pub mod storage;
 pub mod transfer;
 
 pub use article::{Article, ArticleId, ArticleRegistry, Edit, EditId, EditKind, EditStatus};
-pub use bandwidth::{AllocationPolicy, BandwidthAllocator, DownloadRequest};
+pub use bandwidth::{
+    AllocScratch, Allocation, AllocationPolicy, BandwidthAllocator, DownloadRequest,
+};
 pub use churn::{ChurnEvent, ChurnModel};
 pub use clock::SimClock;
 pub use dht::{Dht, DhtKey};

@@ -7,6 +7,13 @@
 //! [`ArticleStore`] tracks which peer holds which article replicas and how
 //! many it currently *offers*, and computes the availability metrics the
 //! experiments report.
+//!
+//! Held and offered sets are stored as **sorted vectors**: every consumer
+//! (the sharing phase's offered-prefix rule, the download phase's article
+//! pick, the availability metrics) wants identifier order anyway, and the
+//! sorted representation makes the per-step re-offer a prefix `memcpy`
+//! into a reused buffer instead of a fresh hash set per peer per step —
+//! the former allocation hot spot of the sharing phase.
 
 use crate::article::ArticleId;
 use crate::peer::PeerId;
@@ -16,10 +23,13 @@ use std::collections::{HashMap, HashSet};
 /// Replica placement and offering state across the population.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ArticleStore {
-    /// peer → articles it physically holds.
-    held: HashMap<PeerId, HashSet<ArticleId>>,
-    /// peer → articles it currently offers for download (subset of held).
-    offered: HashMap<PeerId, HashSet<ArticleId>>,
+    /// peer → articles it physically holds, sorted by identifier.
+    held: HashMap<PeerId, Vec<ArticleId>>,
+    /// peer → articles it currently offers for download (a subset of held,
+    /// sorted). The vectors are reused in place by
+    /// [`ArticleStore::set_offered_count`], so steady-state re-offering
+    /// performs no allocation.
+    offered: HashMap<PeerId, Vec<ArticleId>>,
     /// article → peers holding it (inverse index).
     holders: HashMap<ArticleId, HashSet<PeerId>>,
 }
@@ -32,17 +42,24 @@ impl ArticleStore {
 
     /// Records that `peer` holds a replica of `article`.
     pub fn add_replica(&mut self, peer: PeerId, article: ArticleId) {
-        self.held.entry(peer).or_default().insert(article);
+        let held = self.held.entry(peer).or_default();
+        if let Err(pos) = held.binary_search(&article) {
+            held.insert(pos, article);
+        }
         self.holders.entry(article).or_default().insert(peer);
     }
 
     /// Removes `peer`'s replica of `article` (also stops offering it).
     pub fn remove_replica(&mut self, peer: PeerId, article: ArticleId) {
-        if let Some(set) = self.held.get_mut(&peer) {
-            set.remove(&article);
+        if let Some(held) = self.held.get_mut(&peer) {
+            if let Ok(pos) = held.binary_search(&article) {
+                held.remove(pos);
+            }
         }
-        if let Some(set) = self.offered.get_mut(&peer) {
-            set.remove(&article);
+        if let Some(offered) = self.offered.get_mut(&peer) {
+            if let Ok(pos) = offered.binary_search(&article) {
+                offered.remove(pos);
+            }
         }
         if let Some(set) = self.holders.get_mut(&article) {
             set.remove(&peer);
@@ -63,70 +80,49 @@ impl ArticleStore {
 
     /// Number of replicas `peer` holds.
     pub fn held_count(&self, peer: PeerId) -> usize {
-        self.held.get(&peer).map_or(0, HashSet::len)
+        self.held.get(&peer).map_or(0, Vec::len)
     }
 
     /// Number of replicas `peer` currently offers.
     pub fn offered_count(&self, peer: PeerId) -> usize {
-        self.offered.get(&peer).map_or(0, HashSet::len)
+        self.offered.get(&peer).map_or(0, Vec::len)
     }
 
     /// Whether `peer` holds `article`.
     pub fn holds(&self, peer: PeerId, article: ArticleId) -> bool {
         self.held
             .get(&peer)
-            .is_some_and(|set| set.contains(&article))
+            .is_some_and(|held| held.binary_search(&article).is_ok())
     }
 
     /// Whether `peer` currently offers `article`.
     pub fn offers(&self, peer: PeerId, article: ArticleId) -> bool {
         self.offered
             .get(&peer)
-            .is_some_and(|set| set.contains(&article))
+            .is_some_and(|offered| offered.binary_search(&article).is_ok())
     }
 
     /// Sets how many of its held articles `peer` offers: the first
     /// `count` articles in identifier order are offered (a deterministic
     /// stand-in for "the peer picks which files to share"). Returns the
     /// number actually offered (bounded by what the peer holds).
+    ///
+    /// The offered vector is rewritten in place, so calling this every
+    /// step (as the sharing phase does) allocates nothing once the buffer
+    /// has grown to its steady-state size.
     pub fn set_offered_count(&mut self, peer: PeerId, count: usize) -> usize {
-        let offered = self.compute_offered(peer, count);
-        self.set_offered(peer, offered)
-    }
-
-    /// Computes — without mutating the store — the offered set that
-    /// [`ArticleStore::set_offered_count`] would install: the first `count`
-    /// held articles in identifier order. Read-only, so parallel collect
-    /// workers can precompute offered sets for many peers at once and a
-    /// sequential apply stage can install them via
-    /// [`ArticleStore::set_offered`].
-    pub fn compute_offered(&self, peer: PeerId, count: usize) -> HashSet<ArticleId> {
-        let mut held: Vec<ArticleId> = self
-            .held
-            .get(&peer)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default();
-        held.sort_unstable();
-        held.into_iter().take(count).collect()
-    }
-
-    /// Installs a precomputed offered set for `peer` (see
-    /// [`ArticleStore::compute_offered`]) and returns its size.
-    pub fn set_offered(&mut self, peer: PeerId, offered: HashSet<ArticleId>) -> usize {
-        let n = offered.len();
-        self.offered.insert(peer, offered);
+        let held = self.held.get(&peer).map(Vec::as_slice).unwrap_or(&[]);
+        let n = count.min(held.len());
+        let prefix = &held[..n];
+        let offered = self.offered.entry(peer).or_default();
+        offered.clear();
+        offered.extend_from_slice(prefix);
         n
     }
 
-    /// Articles currently offered by `peer`, sorted.
-    pub fn offered_by(&self, peer: PeerId) -> Vec<ArticleId> {
-        let mut articles: Vec<ArticleId> = self
-            .offered
-            .get(&peer)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default();
-        articles.sort_unstable();
-        articles
+    /// Articles currently offered by `peer`, sorted by identifier.
+    pub fn offered_by(&self, peer: PeerId) -> &[ArticleId] {
+        self.offered.get(&peer).map_or(&[], Vec::as_slice)
     }
 
     /// Peers currently offering `article`, sorted.
@@ -177,12 +173,12 @@ impl ArticleStore {
 
     /// Total number of offered replicas across the network.
     pub fn total_offered(&self) -> usize {
-        self.offered.values().map(HashSet::len).sum()
+        self.offered.values().map(Vec::len).sum()
     }
 
     /// Total number of held replicas across the network.
     pub fn total_held(&self) -> usize {
-        self.held.values().map(HashSet::len).sum()
+        self.held.values().map(Vec::len).sum()
     }
 }
 
@@ -209,6 +205,15 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_add_replica_is_idempotent() {
+        let mut s = ArticleStore::new();
+        s.add_replica(PeerId(0), ArticleId(3));
+        s.add_replica(PeerId(0), ArticleId(3));
+        assert_eq!(s.held_count(PeerId(0)), 1);
+        assert_eq!(s.total_held(), 1);
+    }
+
+    #[test]
     fn offering_is_a_subset_of_holding() {
         let mut s = ArticleStore::new();
         for a in ids(5) {
@@ -221,6 +226,17 @@ mod tests {
         assert!(!s.offers(PeerId(0), ArticleId(4)));
         // Requesting more than held clamps.
         assert_eq!(s.set_offered_count(PeerId(0), 99), 5);
+    }
+
+    #[test]
+    fn offered_by_is_the_sorted_prefix_of_held() {
+        let mut s = ArticleStore::new();
+        for a in [ArticleId(9), ArticleId(2), ArticleId(5)] {
+            s.add_replica(PeerId(0), a);
+        }
+        s.set_offered_count(PeerId(0), 2);
+        assert_eq!(s.offered_by(PeerId(0)), &[ArticleId(2), ArticleId(5)]);
+        assert_eq!(s.offered_by(PeerId(7)), &[] as &[ArticleId]);
     }
 
     #[test]

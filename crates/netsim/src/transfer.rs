@@ -7,10 +7,21 @@
 //! per-step bandwidth grants produced by the allocator, and reports
 //! completions — the completion latency distribution is how service
 //! differentiation becomes visible to the downloading peers.
+//!
+//! The manager is a **slot arena with a free list**: finished transfers
+//! are folded into aggregate statistics (completion counts, durations,
+//! per-peer byte totals) and their slots are [`released`](
+//! TransferManager::release) for reuse, so the arena's footprint is
+//! bounded by the number of *concurrently live* transfers — at most one
+//! per downloading peer — instead of growing by one slot per download over
+//! a 12 000-step run. [`TransferManager::apply_grants`] is the batched
+//! entry point of the download phase: it applies a whole step's grants and
+//! drains the resulting completions into a reusable buffer.
 
 use crate::article::ArticleId;
 use crate::peer::PeerId;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Status of a transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,7 +37,8 @@ pub enum TransferStatus {
 /// A single article download by one peer from one source.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Transfer {
-    /// Unique transfer identifier.
+    /// Slot identifier. Unique among *live* transfers; slots of released
+    /// (finished and drained) transfers are reused.
     pub id: u64,
     /// The downloading peer.
     pub downloader: PeerId,
@@ -63,10 +75,24 @@ impl Transfer {
     }
 }
 
-/// Manager for all in-flight and historical transfers.
+/// Manager for all in-flight transfers plus the aggregate statistics of
+/// every transfer that ever ran.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct TransferManager {
     transfers: Vec<Transfer>,
+    /// Whether each slot currently holds a live (not yet released)
+    /// transfer; parallel to `transfers`.
+    in_use: Vec<bool>,
+    /// Released slot ids available for reuse (LIFO, deterministic).
+    free: Vec<u32>,
+    /// Completed transfers ever (released ones included).
+    completed: u64,
+    /// Summed duration (steps) of completed transfers ever.
+    completed_duration_sum: u64,
+    /// Bytes received per downloader over *released* transfers.
+    retired_received: HashMap<u32, f64>,
+    /// Bytes served per source over *released* transfers.
+    retired_served: HashMap<u32, f64>,
 }
 
 impl TransferManager {
@@ -86,7 +112,8 @@ impl TransferManager {
         self.start_sized(downloader, source, article, 1.0, now)
     }
 
-    /// Starts a transfer with an explicit size.
+    /// Starts a transfer with an explicit size, reusing a released slot if
+    /// one is available.
     ///
     /// # Panics
     ///
@@ -100,8 +127,25 @@ impl TransferManager {
         now: u64,
     ) -> u64 {
         assert!(size > 0.0, "transfer size must be positive");
-        let id = self.transfers.len() as u64;
-        self.transfers.push(Transfer {
+        let id = match self.free.pop() {
+            Some(slot) => u64::from(slot),
+            None => {
+                self.transfers.push(Transfer {
+                    id: 0,
+                    downloader,
+                    source,
+                    article,
+                    size,
+                    received: 0.0,
+                    started_at: now,
+                    finished_at: None,
+                    status: TransferStatus::InProgress,
+                });
+                self.in_use.push(false);
+                self.transfers.len() as u64 - 1
+            }
+        };
+        self.transfers[id as usize] = Transfer {
             id,
             downloader,
             source,
@@ -111,24 +155,55 @@ impl TransferManager {
             started_at: now,
             finished_at: None,
             status: TransferStatus::InProgress,
-        });
+        };
+        self.in_use[id as usize] = true;
         id
     }
 
-    /// Access to a transfer by id.
+    /// Whether the given slot currently holds a live transfer.
+    pub fn is_live(&self, id: u64) -> bool {
+        self.in_use.get(id as usize).copied().unwrap_or(false)
+    }
+
+    /// Access to a live transfer by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot has been released.
     pub fn transfer(&self, id: u64) -> &Transfer {
+        assert!(self.in_use[id as usize], "transfer slot has been released");
         &self.transfers[id as usize]
     }
 
-    /// All transfers (any status).
-    pub fn all(&self) -> &[Transfer] {
-        &self.transfers
+    /// Iterator over all live (not yet released) transfers, in slot order.
+    pub fn live(&self) -> impl Iterator<Item = &Transfer> {
+        self.transfers
+            .iter()
+            .zip(self.in_use.iter())
+            .filter(|&(_, &in_use)| in_use)
+            .map(|(t, _)| t)
+    }
+
+    /// Number of live transfers.
+    pub fn live_count(&self) -> usize {
+        self.in_use.iter().filter(|&&u| u).count()
+    }
+
+    /// Number of transfer slots the arena holds (live plus recyclable).
+    /// Bounded by the peak number of concurrent transfers, not by the
+    /// total number ever started.
+    pub fn slot_count(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Number of released slots awaiting reuse.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
     }
 
     /// Identifiers of in-progress transfers, optionally filtered by source.
     pub fn in_progress(&self, source: Option<PeerId>) -> Vec<u64> {
-        self.transfers
-            .iter()
+        self.live()
             .filter(|t| t.status == TransferStatus::InProgress)
             .filter(|t| source.is_none_or(|s| t.source == s))
             .map(|t| t.id)
@@ -144,6 +219,7 @@ impl TransferManager {
     /// Panics if the grant is negative or the transfer is not in progress.
     pub fn apply_grant(&mut self, id: u64, bandwidth: f64, now: u64) -> TransferStatus {
         assert!(bandwidth >= 0.0, "bandwidth grant must be >= 0");
+        assert!(self.in_use[id as usize], "transfer slot has been released");
         let t = &mut self.transfers[id as usize];
         assert_eq!(
             t.status,
@@ -155,12 +231,30 @@ impl TransferManager {
             t.received = t.size;
             t.status = TransferStatus::Completed;
             t.finished_at = Some(now);
+            self.completed += 1;
+            self.completed_duration_sum += now.saturating_sub(t.started_at);
         }
         t.status
     }
 
+    /// Batched grant application — the download phase's entry point.
+    /// Applies every `(transfer id, bandwidth)` grant in order and pushes
+    /// the ids of transfers that completed under this batch onto
+    /// `completions` (cleared first), in grant order, so the caller can
+    /// drain completion effects and [`release`](TransferManager::release)
+    /// the slots.
+    pub fn apply_grants(&mut self, grants: &[(u64, f64)], now: u64, completions: &mut Vec<u64>) {
+        completions.clear();
+        for &(id, bandwidth) in grants {
+            if self.apply_grant(id, bandwidth, now) == TransferStatus::Completed {
+                completions.push(id);
+            }
+        }
+    }
+
     /// Cancels an in-progress transfer (no effect if already finished).
     pub fn cancel(&mut self, id: u64, now: u64) {
+        assert!(self.in_use[id as usize], "transfer slot has been released");
         let t = &mut self.transfers[id as usize];
         if t.status == TransferStatus::InProgress {
             t.status = TransferStatus::Cancelled;
@@ -168,44 +262,68 @@ impl TransferManager {
         }
     }
 
-    /// Number of completed transfers.
-    pub fn completed_count(&self) -> usize {
-        self.transfers
-            .iter()
-            .filter(|t| t.status == TransferStatus::Completed)
-            .count()
+    /// Releases a finished transfer's slot for reuse. Its contribution to
+    /// the aggregate statistics (completion counts and durations, per-peer
+    /// byte totals) is retained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer is still in progress or already released.
+    pub fn release(&mut self, id: u64) {
+        assert!(self.in_use[id as usize], "transfer slot already released");
+        let t = self.transfers[id as usize];
+        assert_ne!(
+            t.status,
+            TransferStatus::InProgress,
+            "cannot release an in-progress transfer"
+        );
+        if t.received != 0.0 {
+            *self.retired_received.entry(t.downloader.0).or_insert(0.0) += t.received;
+            *self.retired_served.entry(t.source.0).or_insert(0.0) += t.received;
+        }
+        self.in_use[id as usize] = false;
+        self.free.push(id as u32);
     }
 
-    /// Mean duration (in steps) of completed transfers.
+    /// Number of completed transfers ever (released ones included).
+    pub fn completed_count(&self) -> usize {
+        self.completed as usize
+    }
+
+    /// Mean duration (in steps) of completed transfers ever.
     pub fn mean_completion_steps(&self) -> f64 {
-        let durations: Vec<u64> = self
-            .transfers
-            .iter()
-            .filter(|t| t.status == TransferStatus::Completed)
-            .filter_map(Transfer::duration)
-            .collect();
-        if durations.is_empty() {
+        if self.completed == 0 {
             return 0.0;
         }
-        durations.iter().sum::<u64>() as f64 / durations.len() as f64
+        self.completed_duration_sum as f64 / self.completed as f64
     }
 
-    /// Total bandwidth delivered to a downloader over all its transfers.
+    /// Total bandwidth delivered to a downloader over all its transfers,
+    /// released ones included.
     pub fn total_received_by(&self, downloader: PeerId) -> f64 {
-        self.transfers
-            .iter()
-            .filter(|t| t.downloader == downloader)
-            .map(|t| t.received)
-            .sum()
+        let retired = self
+            .retired_received
+            .get(&downloader.0)
+            .copied()
+            .unwrap_or(0.0);
+        retired
+            + self
+                .live()
+                .filter(|t| t.downloader == downloader)
+                .map(|t| t.received)
+                .sum::<f64>()
     }
 
-    /// Total bandwidth served by a source over all its transfers.
+    /// Total bandwidth served by a source over all its transfers, released
+    /// ones included.
     pub fn total_served_by(&self, source: PeerId) -> f64 {
-        self.transfers
-            .iter()
-            .filter(|t| t.source == source)
-            .map(|t| t.received)
-            .sum()
+        let retired = self.retired_served.get(&source.0).copied().unwrap_or(0.0);
+        retired
+            + self
+                .live()
+                .filter(|t| t.source == source)
+                .map(|t| t.received)
+                .sum::<f64>()
     }
 }
 
@@ -291,6 +409,101 @@ mod tests {
         assert!((m.total_received_by(PeerId(0)) - 0.75).abs() < 1e-12);
         assert!((m.total_served_by(PeerId(1)) - 0.5).abs() < 1e-12);
         assert_eq!(m.total_served_by(PeerId(9)), 0.0);
+    }
+
+    #[test]
+    fn batched_grants_drain_completions_in_grant_order() {
+        let mut m = TransferManager::new();
+        let a = m.start(PeerId(0), PeerId(9), ArticleId(0), 0);
+        let b = m.start(PeerId(1), PeerId(9), ArticleId(1), 0);
+        let c = m.start(PeerId(2), PeerId(9), ArticleId(2), 0);
+        let mut completions = vec![42]; // stale content must be cleared
+        m.apply_grants(&[(a, 1.0), (b, 0.5), (c, 1.0)], 3, &mut completions);
+        assert_eq!(completions, vec![a, c]);
+        assert_eq!(m.transfer(b).status, TransferStatus::InProgress);
+        assert_eq!(m.completed_count(), 2);
+    }
+
+    #[test]
+    fn released_slots_are_reused_lifo_with_fresh_state() {
+        let mut m = TransferManager::new();
+        let a = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.apply_grant(a, 1.0, 2);
+        m.release(a);
+        assert_eq!(m.slot_count(), 1);
+        assert_eq!(m.free_count(), 1);
+        assert_eq!(m.live_count(), 0);
+        // The slot comes back with a brand-new transfer: nothing of the
+        // completed predecessor (status, bytes, timestamps) survives.
+        let b = m.start(PeerId(5), PeerId(6), ArticleId(9), 7);
+        assert_eq!(b, a, "released slot must be reused");
+        assert_eq!(m.slot_count(), 1, "arena must not grow");
+        let t = m.transfer(b);
+        assert_eq!(t.status, TransferStatus::InProgress);
+        assert_eq!(t.received, 0.0);
+        assert_eq!(t.started_at, 7);
+        assert_eq!(t.finished_at, None);
+        assert_eq!(t.downloader, PeerId(5));
+        // Aggregates still remember the released transfer.
+        assert_eq!(m.completed_count(), 1);
+        assert!((m.mean_completion_steps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn release_retains_per_peer_byte_totals() {
+        let mut m = TransferManager::new();
+        let a = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.apply_grant(a, 0.4, 0);
+        m.cancel(a, 1);
+        m.release(a);
+        // Partial bytes of the cancelled, released transfer still count.
+        assert!((m.total_received_by(PeerId(0)) - 0.4).abs() < 1e-12);
+        assert!((m.total_served_by(PeerId(1)) - 0.4).abs() < 1e-12);
+        // A reused slot adds on top instead of resurrecting old state.
+        let b = m.start(PeerId(0), PeerId(1), ArticleId(1), 2);
+        m.apply_grant(b, 0.5, 2);
+        assert!((m.total_received_by(PeerId(0)) - 0.9).abs() < 1e-12);
+        assert!((m.total_served_by(PeerId(1)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn live_iteration_skips_released_slots() {
+        let mut m = TransferManager::new();
+        let a = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        let b = m.start(PeerId(2), PeerId(3), ArticleId(1), 0);
+        m.apply_grant(a, 1.0, 0);
+        m.release(a);
+        let live: Vec<u64> = m.live().map(|t| t.id).collect();
+        assert_eq!(live, vec![b]);
+        assert_eq!(m.in_progress(None), vec![b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-progress")]
+    fn releasing_an_in_progress_transfer_panics() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.release(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "released")]
+    fn double_release_panics() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.cancel(id, 0);
+        m.release(id);
+        m.release(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "released")]
+    fn grant_to_a_released_slot_panics() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.apply_grant(id, 1.0, 0);
+        m.release(id);
+        m.apply_grant(id, 0.1, 1);
     }
 
     #[test]

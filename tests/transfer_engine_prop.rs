@@ -1,0 +1,167 @@
+//! Property tests of the batched transfer engine: the parallel
+//! [`GrantBatch`] path is bit-identical to a retained sequential reference
+//! allocator for arbitrary populations, offers and request sets, and the
+//! [`TransferManager`] free list recycles slots without losing any
+//! aggregate statistics.
+
+use collabsim_workspace::collabsim::pipeline::{allocate_grants, GrantBatch, RequestTable};
+use collabsim_workspace::netsim::article::ArticleId;
+use collabsim_workspace::netsim::bandwidth::{
+    Allocation, AllocationPolicy, BandwidthAllocator, DownloadRequest,
+};
+use collabsim_workspace::netsim::peer::PeerId;
+use collabsim_workspace::netsim::transfer::{TransferManager, TransferStatus};
+use proptest::prelude::*;
+
+fn policy_from(kind: u32) -> AllocationPolicy {
+    match kind % 3 {
+        0 => AllocationPolicy::EqualSplit,
+        1 => AllocationPolicy::WeightedByReputation,
+        _ => AllocationPolicy::TitForTat,
+    }
+}
+
+/// The retained sequential reference path: one
+/// [`BandwidthAllocator::allocate`] call per active source, in ascending
+/// source order — the allocation protocol of the pre-batched engine.
+fn reference_grants(
+    allocator: &BandwidthAllocator,
+    table: &RequestTable,
+    offered: &[f64],
+) -> Vec<Allocation> {
+    let mut all = Vec::new();
+    for (k, &offer) in offered.iter().enumerate() {
+        let (_, requests, _) = table.bucket(k);
+        all.extend(allocator.allocate(offer, requests));
+    }
+    all
+}
+
+proptest! {
+    /// Random populations, offers and request sets: fanning the grant
+    /// stage out over any worker count produces bitwise the same
+    /// allocations, in the same (source-ascending) order, as the
+    /// sequential reference allocator.
+    #[test]
+    fn parallel_grant_batches_match_sequential_reference(
+        population in 2usize..60,
+        threads in 1usize..7,
+        policy_kind in 0u32..3,
+        ops in proptest::collection::vec(
+            (0usize..60, 0usize..60, 0.0f64..1.0, 0.0f64..2.0, 0.0f64..3.0),
+            0..80,
+        ),
+        offers in proptest::collection::vec(0.0f64..2.0, 60..61),
+    ) {
+        let allocator = BandwidthAllocator::new(policy_from(policy_kind));
+        let mut table = RequestTable::default();
+        table.begin_step(population);
+        for (i, &(downloader_raw, source_raw, reputation, capacity, uploaded)) in
+            ops.iter().enumerate()
+        {
+            let source = PeerId((source_raw % population) as u32);
+            table.push(
+                source,
+                DownloadRequest {
+                    downloader: PeerId((downloader_raw % population) as u32),
+                    sharing_reputation: reputation,
+                    download_capacity: capacity,
+                    uploaded_to_source: uploaded,
+                },
+                i as u64,
+            );
+        }
+        table.build();
+        let offered: Vec<f64> = table
+            .active_sources()
+            .iter()
+            .map(|&s| offers[s as usize])
+            .collect();
+
+        let reference = reference_grants(&allocator, &table, &offered);
+        let mut batches = Vec::new();
+        allocate_grants(&allocator, &table, &offered, &mut batches, threads);
+        let flattened: Vec<Allocation> = batches
+            .iter()
+            .flat_map(GrantBatch::allocations)
+            .copied()
+            .collect();
+        prop_assert_eq!(flattened.len(), reference.len());
+        prop_assert_eq!(flattened.len(), table.len());
+        for (got, want) in flattened.iter().zip(reference.iter()) {
+            prop_assert_eq!(got.downloader, want.downloader);
+            prop_assert_eq!(got.share.to_bits(), want.share.to_bits());
+            prop_assert_eq!(got.bandwidth.to_bits(), want.bandwidth.to_bits());
+        }
+    }
+
+    /// Arbitrary start/grant/finish/release interleavings: the arena never
+    /// outgrows the peak number of live transfers, released slots come
+    /// back fresh, and the aggregate statistics (completion counts and
+    /// durations, per-peer byte totals) are exactly those of an engine
+    /// that never recycled.
+    #[test]
+    fn free_list_recycling_preserves_aggregates(
+        ops in proptest::collection::vec((0u32..8, 0u32..8, 0.0f64..1.5, 0u32..3), 1..60),
+    ) {
+        let mut recycled = TransferManager::new();
+        let mut retained = TransferManager::new();
+        // Shadow bookkeeping: (recycled id, retained id) of live transfers.
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        let mut peak_live = 0usize;
+        let mut now = 0u64;
+        for &(downloader, source, grant, action) in &ops {
+            now += 1;
+            match action {
+                // Start a new transfer on both managers.
+                0 => {
+                    let article = ArticleId(downloader + source);
+                    let a = recycled.start(PeerId(downloader), PeerId(source), article, now);
+                    let b = retained.start(PeerId(downloader), PeerId(source), article, now);
+                    live.push((a, b));
+                    peak_live = peak_live.max(live.len());
+                }
+                // Grant to the oldest live transfer; release on completion.
+                1 => {
+                    if let Some(&(a, b)) = live.first() {
+                        let sa = recycled.apply_grant(a, grant, now);
+                        let sb = retained.apply_grant(b, grant, now);
+                        prop_assert_eq!(sa, sb);
+                        if sa == TransferStatus::Completed {
+                            recycled.release(a);
+                            live.remove(0);
+                        }
+                    }
+                }
+                // Cancel and release the newest live transfer.
+                _ => {
+                    if let Some((a, b)) = live.pop() {
+                        recycled.cancel(a, now);
+                        retained.cancel(b, now);
+                        recycled.release(a);
+                    }
+                }
+            }
+        }
+        // The recycling arena is bounded by peak concurrency; the retained
+        // arena grew with every start.
+        prop_assert!(recycled.slot_count() <= peak_live.max(1));
+        prop_assert_eq!(recycled.live_count(), live.len());
+        // Aggregates agree exactly with the never-recycling manager.
+        prop_assert_eq!(recycled.completed_count(), retained.completed_count());
+        prop_assert_eq!(
+            recycled.mean_completion_steps().to_bits(),
+            retained.mean_completion_steps().to_bits()
+        );
+        for p in 0..8u32 {
+            let peer = PeerId(p);
+            prop_assert!(
+                (recycled.total_received_by(peer) - retained.total_received_by(peer)).abs()
+                    < 1e-9
+            );
+            prop_assert!(
+                (recycled.total_served_by(peer) - retained.total_served_by(peer)).abs() < 1e-9
+            );
+        }
+    }
+}
