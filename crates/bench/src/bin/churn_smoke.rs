@@ -1,0 +1,241 @@
+//! `churn_smoke` — the churn scenario bench: steps/sec plus re-entry
+//! reputation-persistence statistics, written as `BENCH_churn.json`.
+//!
+//! Two stages:
+//!
+//! 1. **End-to-end grid** — three churn regimes (background churn,
+//!    whitewash-heavy, combined) expressed as [`ScenarioSpec`]s and run
+//!    through the [`ScenarioRunner`] — the registry-driven path a custom
+//!    scenario takes (no engine edits anywhere).
+//! 2. **Instrumented runs** — every regime re-run on a single
+//!    [`Simulation`] with a [`ChurnTimelineObserver`], producing the
+//!    per-regime steps/sec figures (each baseline-gated in CI) and the
+//!    persistence stats: mean sharing reputation observed at re-entry
+//!    (above `R_min` ⇒ reputation survives absences) and mean reputation
+//!    shed per whitewash (what the adversary pays).
+//!
+//! Flags: `--quick` (reduced steps), `--out <path>` (default
+//! `BENCH_churn.json`), `--baseline <path>` + `--max-regress <pct>`
+//! (steps/sec gate, default 20 %).
+
+use collabsim::config::PhaseConfig;
+use collabsim::experiment::ScenarioRunner;
+use collabsim::observer::ChurnTimelineObserver;
+use collabsim::{BehaviorMix, ScenarioSpec, Simulation};
+use collabsim_bench::{arg_value, extract_number, has_flag};
+use collabsim_netsim::churn::ChurnModel;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct ChurnResult {
+    label: String,
+    total_steps: u64,
+    steps_per_sec: f64,
+    joins: u64,
+    leaves: u64,
+    whitewashes: u64,
+    mean_reentry_reputation: f64,
+    mean_whitewash_shed: f64,
+    online_final: usize,
+}
+
+/// A churn spec over the paper population with bench-sized phases.
+fn churn_spec(label: &str, churn: ChurnModel, quick: bool) -> ScenarioSpec {
+    let (training, evaluation) = if quick { (400, 200) } else { (2_000, 1_000) };
+    ScenarioSpec::builder()
+        .label(label)
+        .mix(BehaviorMix::new(0.5, 0.25, 0.25))
+        .phase_config(PhaseConfig {
+            training_steps: training,
+            evaluation_steps: evaluation,
+            ..Default::default()
+        })
+        .churn(churn)
+        .seed(0xC0AC_0001)
+        .build()
+        .expect("churn bench specs are valid")
+}
+
+fn regimes(quick: bool) -> Vec<ScenarioSpec> {
+    vec![
+        churn_spec(
+            "churn/background",
+            // Expected equilibrium: joins (0.2/step) balance departures
+            // (online × 0.002/step) near the full 100-peer population.
+            ChurnModel {
+                join_probability: 0.2,
+                leave_probability: 0.002,
+                whitewash_probability: 0.0,
+            },
+            quick,
+        ),
+        churn_spec("churn/whitewash", ChurnModel::whitewashing(0.003), quick),
+        churn_spec(
+            "churn/combined",
+            ChurnModel {
+                join_probability: 0.2,
+                leave_probability: 0.002,
+                whitewash_probability: 0.002,
+            },
+            quick,
+        ),
+    ]
+}
+
+fn run_instrumented(spec: &ScenarioSpec) -> ChurnResult {
+    let total_steps = spec.config().phases.total_steps();
+    let mut sim = Simulation::from_spec(spec).expect("churn phase is registered");
+    sim.add_observer(ChurnTimelineObserver::new());
+    let running = Instant::now();
+    sim.run();
+    let seconds = running.elapsed().as_secs_f64();
+    let stats = sim.world().churn_stats;
+    let timeline: &ChurnTimelineObserver = sim.observer(0).expect("attached above");
+    assert_eq!(timeline.timeline().len() as u64, total_steps);
+    ChurnResult {
+        label: spec.label().to_string(),
+        total_steps,
+        steps_per_sec: total_steps as f64 / seconds,
+        joins: stats.joins,
+        leaves: stats.leaves,
+        whitewashes: stats.whitewashes,
+        mean_reentry_reputation: stats.mean_reentry_reputation(),
+        mean_whitewash_shed: stats.mean_whitewash_shed(),
+        online_final: sim.world().peers.online().count(),
+    }
+}
+
+fn render_json(results: &[ChurnResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"churn_smoke\",\n  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"total_steps\": {}, \"steps_per_sec\": {:.3}, \
+             \"joins\": {}, \"leaves\": {}, \"whitewashes\": {}, \
+             \"mean_reentry_reputation\": {:.6}, \"mean_whitewash_shed\": {:.6}, \
+             \"online_final\": {}}}{sep}",
+            r.label,
+            r.total_steps,
+            r.steps_per_sec,
+            r.joins,
+            r.leaves,
+            r.whitewashes,
+            r.mean_reentry_reputation,
+            r.mean_whitewash_shed,
+            r.online_final,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn check_baseline(results: &[ChurnResult], baseline_path: &str, max_regress_pct: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    let mut checked = 0usize;
+    for result in results {
+        let Some(reference) = text
+            .lines()
+            .find(|line| line.contains(&format!("\"label\": \"{}\"", result.label)))
+            .and_then(|line| extract_number(line, "steps_per_sec"))
+        else {
+            println!(
+                "{}: no baseline entry (skipping the regression check)",
+                result.label
+            );
+            continue;
+        };
+        checked += 1;
+        let floor = reference * (1.0 - max_regress_pct / 100.0);
+        let verdict = if result.steps_per_sec >= floor {
+            "ok"
+        } else {
+            ok = false;
+            "REGRESSION"
+        };
+        println!(
+            "{}: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {verdict}",
+            result.label, result.steps_per_sec, reference, floor
+        );
+    }
+    if checked == 0 {
+        eprintln!("baseline {baseline_path} matched no cells");
+        return false;
+    }
+    ok
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_churn.json".to_string());
+    let max_regress: f64 = arg_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+
+    println!(
+        "collabsim — churn_smoke [scale: {}]",
+        if quick { "quick" } else { "full" }
+    );
+    println!("(churn scenarios as ScenarioSpecs: registry-driven pipeline, zero engine edits)");
+    println!();
+
+    // Stage 1 — the whole regime family end to end through the runner.
+    let specs = regimes(quick);
+    let reports = ScenarioRunner::default()
+        .run_specs(specs.clone())
+        .expect("churn phase is registered in the standard registry");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12}",
+        "regime", "articles", "bandwidth", "downloads"
+    );
+    for report in &reports {
+        println!(
+            "{:<22} {:>10.4} {:>10.4} {:>12}",
+            report.label,
+            report.report.shared_articles,
+            report.report.shared_bandwidth,
+            report.report.completed_downloads
+        );
+    }
+    println!();
+
+    // Stage 2 — instrumented runs: steps/sec + persistence stats.
+    let mut results = Vec::new();
+    for spec in &specs {
+        let result = run_instrumented(spec);
+        println!(
+            "{:<22} steps/sec={:>9.2}  joins={:<4} leaves={:<4} whitewashes={:<4} \
+             reentry-R={:.4} shed-R={:.4} online={}",
+            result.label,
+            result.steps_per_sec,
+            result.joins,
+            result.leaves,
+            result.whitewashes,
+            result.mean_reentry_reputation,
+            result.mean_whitewash_shed,
+            result.online_final,
+        );
+        results.push(result);
+    }
+
+    let json = render_json(&results);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\n(report written to {out_path})"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+
+    if let Some(baseline) = arg_value("--baseline") {
+        println!();
+        if !check_baseline(&results, &baseline, max_regress) {
+            eprintln!("steps/sec regressed more than {max_regress}% against {baseline}");
+            std::process::exit(1);
+        }
+    }
+}

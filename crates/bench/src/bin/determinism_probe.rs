@@ -4,19 +4,23 @@
 //! The binary runs (1) a mix × scheme × seed scenario grid through the
 //! [`ScenarioRunner`] with automatic parallelism, (2) the paper
 //! configuration (100 peers, shortened phases) with automatic ledger
-//! sharding and intra-step threading, and (3) a download-heavy cell with
+//! sharding and intra-step threading, (3) a download-heavy cell with
 //! few upload sources, so the batched transfer engine's parallel grant
-//! stage allocates large multi-request buckets across its workers; every
-//! report's `Debug` form is printed to stdout.
+//! stage allocates large multi-request buckets across its workers, and
+//! (4) a churn-enabled spec (departures, re-entries and whitewashes over a
+//! sharded ledger) so the offline-gated phase paths stay byte-identical
+//! under intra-step parallelism; every report's `Debug` form is printed to
+//! stdout.
 //!
-//! Both sources of parallelism honour the `SCENARIO_THREADS` environment
+//! All sources of parallelism honour the `SCENARIO_THREADS` environment
 //! variable, so CI runs the binary twice — `SCENARIO_THREADS=1` and the
 //! default (parallel) — and `diff`s the outputs: any divergence between
 //! sequential and sharded-parallel execution fails the build.
 
 use collabsim::config::PhaseConfig;
 use collabsim::experiment::{ScenarioGrid, ScenarioRunner};
-use collabsim::{BehaviorMix, IncentiveScheme, Simulation, SimulationConfig};
+use collabsim::{BehaviorMix, IncentiveScheme, ScenarioSpec, Simulation, SimulationConfig};
+use collabsim_netsim::churn::ChurnModel;
 
 fn main() {
     // The thread setting goes to stderr: stdout must be identical across
@@ -50,7 +54,8 @@ fn main() {
     }
 
     // The paper configuration with the sharded ledger: intra-step worker
-    // counts must not leak into the trajectory.
+    // counts must not leak into the trajectory. Built through the spec API
+    // so the probe also pins `Simulation::from_spec` == `Simulation::new`.
     let paper = SimulationConfig {
         phases: PhaseConfig {
             training_steps: 1_000,
@@ -62,7 +67,10 @@ fn main() {
     .with_mix(BehaviorMix::new(0.6, 0.2, 0.2))
     .with_ledger_shards(8)
     .with_seed(0xD1CE);
-    let report = Simulation::new(paper).run();
+    let spec = ScenarioSpec::from_config(paper).expect("probe spec is valid");
+    let report = Simulation::from_spec(&spec)
+        .expect("standard phases resolve")
+        .run();
     println!("paper/sharded: {report:?}");
 
     // The batched transfer engine's parallel grant stage: a download-heavy
@@ -85,4 +93,41 @@ fn main() {
     .with_seed(0x0BA7_C4ED);
     let report = Simulation::new(download_heavy).run();
     println!("download-heavy/batched-grants: {report:?}");
+
+    // A churn-enabled spec: departures empty ledger shards mid-run,
+    // re-entries bring their reputation back, whitewashes reset identities
+    // in place — all while the sharing/edit-vote collect stages and the
+    // grant workers run in parallel. Churn samples from its own RNG
+    // stream, so the trajectory (and these stats) must be byte-identical
+    // at any SCENARIO_THREADS value.
+    let churn_spec = ScenarioSpec::builder()
+        .configure(|c| {
+            c.phases = PhaseConfig {
+                training_steps: 600,
+                evaluation_steps: 300,
+                ..Default::default()
+            };
+        })
+        .mix(BehaviorMix::new(0.5, 0.25, 0.25))
+        .churn(ChurnModel {
+            join_probability: 0.1,
+            leave_probability: 0.004,
+            whitewash_probability: 0.002,
+        })
+        .ledger_shards(8)
+        .seed(0xC0AC_CEED)
+        .build()
+        .expect("churn spec is valid");
+    let mut sim = Simulation::from_spec(&churn_spec).expect("churn phase resolves");
+    let report = sim.run();
+    let stats = sim.world().churn_stats;
+    println!("churn/sharded: {report:?}");
+    println!(
+        "churn/stats: joins={} leaves={} whitewashes={} mean_reentry_reputation={:.9} mean_whitewash_shed={:.9}",
+        stats.joins,
+        stats.leaves,
+        stats.whitewashes,
+        stats.mean_reentry_reputation(),
+        stats.mean_whitewash_shed()
+    );
 }

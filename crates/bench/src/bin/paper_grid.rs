@@ -30,7 +30,8 @@
 
 use collabsim::config::PhaseConfig;
 use collabsim::experiment::{ScenarioRunner, MIX_SWEEP_PERCENTAGES};
-use collabsim::{BehaviorMix, BehaviorType, Simulation, SimulationConfig};
+use collabsim::{BehaviorMix, BehaviorType, ScenarioSpec, Simulation, SimulationConfig};
+use collabsim_bench::{arg_value, extract_number, has_flag};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -52,17 +53,6 @@ struct GridResult {
     aggregate_steps_per_sec: f64,
 }
 
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn has_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
 /// The gated workload: the paper's default configuration, full length.
 fn paper_cell_config(quick: bool) -> SimulationConfig {
     let mut config = SimulationConfig::default();
@@ -79,8 +69,11 @@ fn paper_cell_config(quick: bool) -> SimulationConfig {
 fn run_paper_cell(config: SimulationConfig) -> PaperCellResult {
     let population = config.population;
     let total_steps = config.phases.total_steps();
+    let spec = ScenarioSpec::from_config(config)
+        .expect("paper cell config is valid")
+        .with_label("paper-cell");
     let building = Instant::now();
-    let mut sim = Simulation::new(config);
+    let mut sim = Simulation::from_spec(&spec).expect("standard phases resolve");
     let build_seconds = building.elapsed().as_secs_f64();
     sim.enable_phase_timings();
     let running = Instant::now();
@@ -104,8 +97,8 @@ fn run_paper_cell(config: SimulationConfig) -> PaperCellResult {
 }
 
 /// The Section IV-B mix grid: 9 altruistic-share + 9 irrational-share
-/// cells over the paper configuration.
-fn mix_grid_cells(base: &SimulationConfig) -> Vec<(String, f64, SimulationConfig)> {
+/// cells over the paper configuration, as labelled specs.
+fn mix_grid_cells(base: &SimulationConfig) -> Vec<ScenarioSpec> {
     let mut cells = Vec::new();
     for primary in [BehaviorType::Altruistic, BehaviorType::Irrational] {
         for &pct in &MIX_SWEEP_PERCENTAGES {
@@ -114,11 +107,11 @@ fn mix_grid_cells(base: &SimulationConfig) -> Vec<(String, f64, SimulationConfig
                 .clone()
                 .with_mix(BehaviorMix::sweep(primary, fraction))
                 .with_seed(base.seed.wrapping_add(u64::from(pct)));
-            cells.push((
-                format!("{}={}%", primary.label(), pct),
-                f64::from(pct),
-                config,
-            ));
+            let spec = ScenarioSpec::from_config(config)
+                .expect("mix grid configs are valid")
+                .with_label(format!("{}={}%", primary.label(), pct))
+                .with_parameter(f64::from(pct));
+            cells.push(spec);
         }
     }
     cells
@@ -148,7 +141,9 @@ fn run_grid(quick: bool, full_grid_steps: bool) -> GridResult {
     let cells = mix_grid_cells(&base);
     let cell_count = cells.len();
     let running = Instant::now();
-    let reports = ScenarioRunner::default().run_cells(cells);
+    let reports = ScenarioRunner::default()
+        .run_specs(cells)
+        .expect("grid specs use registered phases");
     let seconds = running.elapsed().as_secs_f64();
     assert_eq!(reports.len(), cell_count, "one report per grid cell");
     GridResult {
@@ -191,17 +186,6 @@ fn render_json(cell: &PaperCellResult, grid: &GridResult) -> String {
     );
     out.push_str("}\n");
     out
-}
-
-/// Extracts `"key": <number>` from a JSON line written by this binary.
-fn extract_number(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = line.find(&needle)? + needle.len();
-    let rest = line[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 /// The baseline's paper-cell steps/sec: read from the `paper_cell` line of

@@ -1,7 +1,7 @@
 //! `scale_population` — the large-population scaling bench.
 //!
 //! Runs the `large_population` scenario family
-//! ([`SimulationConfig::large_population`]) at each requested population
+//! ([`ScenarioSpec::large_population`]) at each requested population
 //! tier (default: the 10⁴ / 5·10⁴ / 10⁵ family of
 //! `ScenarioGrid::large_population`), measuring world-construction time,
 //! end-to-end steps/sec and the per-phase wall-clock breakdown, and writes
@@ -21,7 +21,8 @@
 //! `BENCH_scale.json` as a build artifact.
 
 use collabsim::experiment::LARGE_POPULATION_TIERS;
-use collabsim::{Simulation, SimulationConfig};
+use collabsim::{ScenarioSpec, Simulation};
+use collabsim_bench::{arg_value, extract_number, has_flag};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -61,17 +62,6 @@ fn mean_sharing_reputation(sim: &Simulation) -> f64 {
     total / peers as f64
 }
 
-fn arg_value(name: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
-}
-
-fn has_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
-
 fn tiers_from_args() -> Vec<usize> {
     if let Some(list) = arg_value("--tiers") {
         let tiers: Vec<usize> = list
@@ -90,10 +80,10 @@ fn tiers_from_args() -> Vec<usize> {
 }
 
 fn run_tier(peers: usize) -> TierResult {
-    let config = SimulationConfig::large_population(peers);
-    let total_steps = config.phases.total_steps();
+    let spec = ScenarioSpec::large_population(peers);
+    let total_steps = spec.config().phases.total_steps();
     let building = Instant::now();
-    let mut sim = Simulation::new(config);
+    let mut sim = Simulation::from_spec(&spec).expect("standard phases resolve");
     let build_seconds = building.elapsed().as_secs_f64();
     sim.enable_phase_timings();
     let threads = sim.world().intra_step_threads();
@@ -145,19 +135,6 @@ fn render_json(results: &[TierResult]) -> String {
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-/// Extracts `"key": <number>` from a JSON line written by this binary (or
-/// an earlier run of it). Good enough for the self-describing baseline
-/// format; the offline harness has no JSON parser crate.
-fn extract_number(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = line.find(&needle)? + needle.len();
-    let rest = line[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
 }
 
 /// `peers → steps_per_sec` pairs of a baseline report.

@@ -13,7 +13,7 @@
 //! Binaries also accept `--csv <path>` to write the series as CSV next to
 //! printing the human-readable table.
 
-use collabsim::{PhaseConfig, SimulationConfig};
+use collabsim::{PhaseConfig, ScenarioSpec, SimulationConfig};
 
 /// The scale a figure run is executed at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,21 +41,31 @@ impl Scale {
         }
     }
 
-    /// The base simulation configuration for this scale.
-    pub fn base_config(self) -> SimulationConfig {
-        match self {
-            Scale::Paper => SimulationConfig::default(),
-            Scale::Quick => SimulationConfig {
-                population: 40,
-                initial_articles: 20,
-                phases: PhaseConfig {
+    /// The base scenario spec for this scale (validated; default phase
+    /// order). Binaries derive their sweeps from this spec or its
+    /// configuration, so every figure flows through the declarative
+    /// scenario API.
+    pub fn base_spec(self) -> ScenarioSpec {
+        let spec = match self {
+            Scale::Paper => ScenarioSpec::from_config(SimulationConfig::default()),
+            Scale::Quick => ScenarioSpec::builder()
+                .population(40)
+                .initial_articles(20)
+                .phase_config(PhaseConfig {
                     training_steps: 1_500,
                     evaluation_steps: 600,
                     ..Default::default()
-                },
-                ..Default::default()
-            },
-        }
+                })
+                .build(),
+        };
+        spec.expect("bench base configurations are valid")
+            .with_label(format!("base/{}", self.label()))
+    }
+
+    /// The base simulation configuration for this scale (the
+    /// [`Scale::base_spec`]'s configuration).
+    pub fn base_config(self) -> SimulationConfig {
+        self.base_spec().config().clone()
     }
 
     /// Human-readable label.
@@ -67,12 +77,36 @@ impl Scale {
     }
 }
 
-/// Parses an optional `--csv <path>` argument.
-pub fn csv_path_from_args() -> Option<String> {
+/// Returns the value following `name` on the command line, if any
+/// (`--out path` style flags of the perf benches).
+pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
-        .position(|a| a == "--csv")
+        .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether `name` appears on the command line.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Extracts `"key": <number>` from a JSON line written by the perf
+/// benches (the self-describing baseline format; the offline harness has
+/// no JSON parser crate).
+pub fn extract_number(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses an optional `--csv <path>` argument.
+pub fn csv_path_from_args() -> Option<String> {
+    arg_value("--csv")
 }
 
 /// Writes CSV output to the path given by `--csv`, if any, and reports the
@@ -105,6 +139,14 @@ mod tests {
         assert!(quick.phases.training_steps < paper.phases.training_steps);
         assert_eq!(paper.population, 100);
         assert_eq!(paper.phases.training_steps, 10_000);
+    }
+
+    #[test]
+    fn base_specs_are_labelled_and_default_phased() {
+        let spec = Scale::Quick.base_spec();
+        assert_eq!(spec.label(), "base/quick");
+        assert_eq!(spec.phases().len(), 6);
+        assert_eq!(Scale::Paper.base_spec().label(), "base/paper");
     }
 
     #[test]

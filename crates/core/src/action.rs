@@ -151,6 +151,18 @@ impl CollabAction {
         }
     }
 
+    /// The idle action recorded for peers that are offline this step
+    /// (departed under churn): share nothing, abstain from editing and
+    /// voting. Keeps the per-peer action vector index-aligned without
+    /// consuming any randomness for absent peers.
+    pub fn idle() -> Self {
+        Self {
+            bandwidth: ShareLevel::None,
+            articles: ShareLevel::None,
+            edit: EditBehavior::Abstain,
+        }
+    }
+
     /// Flattens the action into an index `0..27`.
     pub fn to_index(self) -> usize {
         flatten_action(

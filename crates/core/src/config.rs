@@ -8,8 +8,10 @@
 //! behaviour-mix sweep convention of Section IV-B.
 
 use crate::incentive::IncentiveScheme;
+use crate::spec::SpecError;
 use collabsim_gametheory::behavior::BehaviorMix;
 use collabsim_gametheory::utility::UtilityModel;
+use collabsim_netsim::churn::ChurnModel;
 use collabsim_reputation::contribution::ContributionParams;
 use collabsim_reputation::propagation::PropagationScheme;
 use collabsim_reputation::punishment::PunishmentPolicy;
@@ -139,6 +141,13 @@ pub struct SimulationConfig {
     pub max_voters_per_edit: usize,
     /// Optional reputation-propagation phase (off by default).
     pub propagation: PropagationConfig,
+    /// Per-step churn probabilities (joins, departures, whitewashing).
+    /// The paper's own simulation is churn-free, so the default is
+    /// [`ChurnModel::stable`] and the churn phase only enters the pipeline
+    /// when the model generates events. Churn draws from its own RNG
+    /// stream, so a stable model leaves the trajectory bit-identical to a
+    /// churn-free configuration.
+    pub churn: ChurnModel,
     /// Number of peer-id-range shards of the reputation ledger
     /// (`0` = automatic, based on the population). Sharding never changes
     /// results — parallel shard updates are bit-identical to sequential
@@ -190,6 +199,7 @@ impl Default for SimulationConfig {
             restrict_voters_to_editors: false,
             max_voters_per_edit: 10,
             propagation: PropagationConfig::default(),
+            churn: ChurnModel::stable(),
             ledger_shards: 0,
             intra_step_threads: 0,
             seed: 0x5EED_C011_AB01,
@@ -299,51 +309,103 @@ impl SimulationConfig {
         self
     }
 
-    /// Validates the configuration.
+    /// Builder-style: set the churn model (joins, departures, whitewashing
+    /// between steps). A non-stable model adds the `churn` phase to the
+    /// front of the default phase order when the configuration is built
+    /// through [`ScenarioSpec`](crate::spec::ScenarioSpec).
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Validates the configuration, returning a typed [`SpecError`] naming
+    /// the offending field instead of panicking.
+    pub fn check(&self) -> Result<(), SpecError> {
+        fn ensure(field: &'static str, ok: bool, message: &str) -> Result<(), SpecError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(SpecError::invalid(field, message))
+            }
+        }
+        ensure(
+            "population",
+            self.population > 1,
+            "population must exceed 1",
+        )?;
+        ensure(
+            "reputation_states",
+            self.reputation_states > 0,
+            "need at least one reputation state",
+        )?;
+        ensure(
+            "min_reputation",
+            self.min_reputation > 0.0 && self.min_reputation < 1.0,
+            "min reputation must lie in (0, 1)",
+        )?;
+        ensure(
+            "reputation_beta",
+            self.reputation_beta > 0.0,
+            "reputation beta must be positive",
+        )?;
+        ensure(
+            "edit_probability",
+            (0.0..=1.0).contains(&self.edit_probability),
+            "edit probability must lie in [0, 1]",
+        )?;
+        if let DownloadRate::Fixed(p) = self.download_probability {
+            ensure(
+                "download_probability",
+                (0.0..=1.0).contains(&p),
+                "download probability must lie in [0, 1]",
+            )?;
+        }
+        ensure(
+            "max_voters_per_edit",
+            self.max_voters_per_edit > 0,
+            "need at least one voter per edit",
+        )?;
+        ensure(
+            "propagation",
+            self.propagation.interval > 0,
+            "propagation interval must be at least 1 step",
+        )?;
+        self.learning
+            .check()
+            .map_err(|m| SpecError::invalid("learning", &m))?;
+        self.contribution
+            .check()
+            .map_err(|m| SpecError::invalid("contribution", &m))?;
+        self.service
+            .check()
+            .map_err(|m| SpecError::invalid("service", &m))?;
+        self.punishment
+            .check()
+            .map_err(|m| SpecError::invalid("punishment", &m))?;
+        self.churn
+            .check()
+            .map_err(|m| SpecError::invalid("churn", &m))?;
+        ensure(
+            "service",
+            self.service.edit_threshold > self.min_reputation,
+            "edit threshold must exceed R_min",
+        )?;
+        Ok(())
+    }
+
+    /// Panicking shim around [`SimulationConfig::check`], kept for callers
+    /// that treat an invalid configuration as a programming error. New code
+    /// should call [`SimulationConfig::check`] (or build configurations
+    /// through the validating [`ScenarioSpec`](crate::spec::ScenarioSpec)
+    /// builder) and handle the typed error.
     ///
     /// # Panics
     ///
     /// Panics on out-of-range values; the message names the offending field.
     pub fn validate(&self) {
-        assert!(self.population > 1, "population must exceed 1");
-        assert!(
-            self.reputation_states > 0,
-            "need at least one reputation state"
-        );
-        assert!(
-            self.min_reputation > 0.0 && self.min_reputation < 1.0,
-            "min reputation must lie in (0, 1)"
-        );
-        assert!(
-            self.reputation_beta > 0.0,
-            "reputation beta must be positive"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.edit_probability),
-            "edit probability must lie in [0, 1]"
-        );
-        if let DownloadRate::Fixed(p) = self.download_probability {
-            assert!(
-                (0.0..=1.0).contains(&p),
-                "download probability must lie in [0, 1]"
-            );
+        if let Err(error) = self.check() {
+            panic!("{error}");
         }
-        assert!(
-            self.max_voters_per_edit > 0,
-            "need at least one voter per edit"
-        );
-        assert!(
-            self.propagation.interval > 0,
-            "propagation interval must be at least 1 step"
-        );
-        self.learning.validate();
-        self.contribution.validate();
-        self.service.validate();
-        self.punishment.validate();
-        assert!(
-            self.service.edit_threshold > self.min_reputation,
-            "edit threshold must exceed R_min"
-        );
     }
 }
 

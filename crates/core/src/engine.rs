@@ -2,7 +2,7 @@
 //! pipeline.
 //!
 //! One [`Simulation`] couples the whole network state
-//! ([`SimWorld`](crate::world::SimWorld): peers, articles, reputation
+//! ([`SimWorld`]: peers, articles, reputation
 //! ledger, learners) with a [`StepPipeline`] of
 //! [`StepPhase`](crate::pipeline::StepPhase)s, and advances it through the
 //! two phases of the paper's protocol:
@@ -24,8 +24,10 @@
 //! plug in through [`Simulation::with_pipeline`].
 
 use crate::config::SimulationConfig;
-use crate::pipeline::{PhaseTimings, StepContext, StepPipeline};
+use crate::observer::{StepObserver, WorldView};
+use crate::pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPipeline};
 use crate::report::SimulationReport;
+use crate::spec::{ScenarioSpec, SpecError};
 use crate::world::SimWorld;
 use collabsim_gametheory::behavior::BehaviorType;
 use collabsim_netsim::article::ArticleRegistry;
@@ -45,6 +47,7 @@ pub struct Simulation {
     world: SimWorld,
     pipeline: StepPipeline,
     ctx: StepContext,
+    observers: Vec<Box<dyn StepObserver>>,
 }
 
 impl Simulation {
@@ -52,13 +55,25 @@ impl Simulation {
     /// standard Section-IV pipeline.
     pub fn new(config: SimulationConfig) -> Self {
         let pipeline = StepPipeline::standard(&config);
-        let world = SimWorld::new(config);
-        let ctx = StepContext::new(world.population(), 0.0, 0);
-        Self {
-            world,
-            pipeline,
-            ctx,
-        }
+        Self::with_pipeline(config, pipeline)
+    }
+
+    /// Builds a simulation from a [`ScenarioSpec`]: the spec's phase list
+    /// is resolved against the standard [`PhaseRegistry`]. A spec whose
+    /// phase list is the default order for its configuration behaves
+    /// exactly like [`Simulation::new`] on the same configuration.
+    pub fn from_spec(spec: &ScenarioSpec) -> Result<Self, SpecError> {
+        Self::from_spec_with_registry(spec, &PhaseRegistry::standard())
+    }
+
+    /// Builds a simulation from a spec, resolving phase names against a
+    /// caller-supplied registry (which may contain custom phases).
+    pub fn from_spec_with_registry(
+        spec: &ScenarioSpec,
+        registry: &PhaseRegistry,
+    ) -> Result<Self, SpecError> {
+        let pipeline = spec.build_pipeline_with(registry)?;
+        Ok(Self::with_pipeline(spec.config().clone(), pipeline))
     }
 
     /// Builds a simulation with a custom step pipeline (e.g. extra
@@ -74,7 +89,27 @@ impl Simulation {
             world,
             pipeline,
             ctx,
+            observers: Vec::new(),
         }
+    }
+
+    /// Attaches a [`StepObserver`]; observers fire in attachment order at
+    /// phase, step and run boundaries. Observation is read-only and can
+    /// never change simulation results.
+    pub fn add_observer(&mut self, observer: impl StepObserver + 'static) -> &mut Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// The `index`-th attached observer, downcast to its concrete type
+    /// (`None` if the index is out of range or the type does not match).
+    pub fn observer<O: StepObserver>(&self, index: usize) -> Option<&O> {
+        self.observers.get(index)?.as_any().downcast_ref::<O>()
+    }
+
+    /// Number of attached observers.
+    pub fn observer_count(&self) -> usize {
+        self.observers.len()
     }
 
     /// The configuration the simulation was built from.
@@ -139,9 +174,16 @@ impl Simulation {
     /// Runs the full protocol (training, reset, measured evaluation) and
     /// returns the report.
     pub fn run(&mut self) -> SimulationReport {
+        for observer in &mut self.observers {
+            observer.on_run_start(WorldView::new(&self.world));
+        }
         self.run_training();
         self.reset_for_evaluation();
-        self.run_evaluation()
+        let report = self.run_evaluation();
+        for observer in &mut self.observers {
+            observer.on_run_end(WorldView::new(&self.world), &report);
+        }
+        report
     }
 
     /// Runs only the training phase (uniform exploration, unmeasured).
@@ -169,10 +211,14 @@ impl Simulation {
 
     /// Advances the simulation by a single step at the given Boltzmann
     /// temperature, executing every pipeline phase in order on the reused
-    /// step context.
+    /// step context (with observer callbacks at phase and step boundaries).
     pub fn step(&mut self, temperature: f64) {
-        self.pipeline
-            .run_step_into(&mut self.world, temperature, &mut self.ctx);
+        self.pipeline.run_step_observed(
+            &mut self.world,
+            temperature,
+            &mut self.ctx,
+            &mut self.observers,
+        );
     }
 }
 

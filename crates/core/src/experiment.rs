@@ -5,14 +5,17 @@
 //!
 //! 1. [`ScenarioGrid`] — declares an experiment as the cartesian product of
 //!    behaviour mixes × incentive schemes × seeds over a base
-//!    [`SimulationConfig`]. Expansion order is fixed (mix-major, then
-//!    scheme, then seed) so cell labels and result order are deterministic.
-//! 2. [`ScenarioRunner`] — executes independent [`Simulation`] cells on a
-//!    work-stealing pool of scoped OS threads (each cell owns its own RNG
-//!    stream, so parallel and sequential execution produce bit-identical
-//!    per-cell [`SimulationReport`]s). `Parallelism::Sequential` forces
-//!    in-order single-threaded execution for debugging and for the
-//!    parallel-equals-sequential regression tests.
+//!    [`SimulationConfig`], expanding into labelled
+//!    [`ScenarioSpec`]s. Expansion order is
+//!    fixed (mix-major, then scheme, then seed) so cell labels and result
+//!    order are deterministic.
+//! 2. [`ScenarioRunner`] — executes independent specs on a work-stealing
+//!    pool of scoped OS threads (each spec owns its own RNG stream, so
+//!    parallel and sequential execution produce bit-identical per-spec
+//!    [`SimulationReport`]s). `Parallelism::Sequential` forces in-order
+//!    single-threaded execution for debugging and for the
+//!    parallel-equals-sequential regression tests;
+//!    [`ScenarioRunner::run_specs_with_registry`] resolves custom phases.
 //! 3. The figure helpers (`mix_sweep`, `figure3_*`, `ablation_*`) — each of
 //!    the paper's Figures 3–7 and the DESIGN.md ablations reduced to a grid
 //!    declaration plus a [`run_batch`] call, printed by the
@@ -21,7 +24,9 @@
 use crate::config::SimulationConfig;
 use crate::engine::Simulation;
 use crate::incentive::IncentiveScheme;
+use crate::pipeline::PhaseRegistry;
 use crate::report::SimulationReport;
+use crate::spec::{ScenarioSpec, SpecError};
 use collabsim_gametheory::behavior::{BehaviorMix, BehaviorType};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,20 +52,9 @@ pub struct LabelledReport {
     pub report: SimulationReport,
 }
 
-/// One cell of an expanded [`ScenarioGrid`]: a labelled, fully resolved
-/// configuration ready to run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ScenarioCell {
-    /// Human-readable cell label, `mix/scheme/seed=N`.
-    pub label: String,
-    /// The swept numeric parameter attached to the cell's mix point.
-    pub parameter: f64,
-    /// The resolved configuration.
-    pub config: SimulationConfig,
-}
-
 /// A declarative parameter grid: behaviour mixes × incentive schemes ×
-/// seeds over a base configuration.
+/// seeds over a base configuration, expanding into labelled
+/// [`ScenarioSpec`]s.
 ///
 /// ```
 /// use collabsim::config::{PhaseConfig, SimulationConfig};
@@ -189,9 +183,12 @@ impl ScenarioGrid {
         false
     }
 
-    /// Expands the grid into cells in fixed population-major, then
-    /// mix-major order.
-    pub fn cells(&self) -> Vec<ScenarioCell> {
+    /// Expands the grid into labelled [`ScenarioSpec`]s in fixed
+    /// population-major, then mix-major order. Every spec carries the
+    /// default phase order for its configuration (validated at expansion
+    /// time, so an invalid base configuration fails here with a field-level
+    /// message rather than mid-run).
+    pub fn cells(&self) -> Vec<ScenarioSpec> {
         let mut cells = Vec::with_capacity(self.len());
         let populations: Vec<Option<usize>> = match &self.populations {
             Some(populations) => populations.iter().copied().map(Some).collect(),
@@ -228,11 +225,11 @@ impl ScenarioGrid {
                                 *parameter,
                             ),
                         };
-                        cells.push(ScenarioCell {
-                            label,
-                            parameter,
-                            config,
-                        });
+                        let spec = match ScenarioSpec::from_config(config) {
+                            Ok(spec) => spec.with_label(label).with_parameter(parameter),
+                            Err(error) => panic!("invalid grid cell `{label}`: {error}"),
+                        };
+                        cells.push(spec);
                     }
                 }
             }
@@ -290,33 +287,58 @@ impl ScenarioRunner {
     }
 
     /// Expands and runs a [`ScenarioGrid`], returning reports in cell
-    /// order.
+    /// order. Grid cells always resolve against the standard registry, so
+    /// this cannot fail.
     pub fn run_grid(&self, grid: &ScenarioGrid) -> Vec<LabelledReport> {
-        self.run_cells(
-            grid.cells()
-                .into_iter()
-                .map(|c| (c.label, c.parameter, c.config))
-                .collect(),
-        )
+        self.run_specs(grid.cells())
+            .expect("grid cells use registered phases")
     }
 
-    /// Runs pre-built `(label, parameter, config)` cells, returning reports
-    /// in input order regardless of completion order.
-    pub fn run_cells(&self, configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
-        let workers = self.workers_for(configs.len());
-        if workers <= 1 || configs.len() <= 1 {
-            return configs
-                .into_iter()
-                .map(|(label, parameter, config)| LabelledReport {
-                    label,
-                    parameter,
-                    report: Simulation::new(config).run(),
-                })
-                .collect();
+    /// Runs labelled [`ScenarioSpec`]s against the standard
+    /// [`PhaseRegistry`], returning reports in input order regardless of
+    /// completion order.
+    pub fn run_specs(&self, specs: Vec<ScenarioSpec>) -> Result<Vec<LabelledReport>, SpecError> {
+        self.run_specs_with_registry(specs, &PhaseRegistry::standard())
+    }
+
+    /// Runs labelled [`ScenarioSpec`]s, resolving phase names against a
+    /// caller-supplied registry (which may contain custom phases). Every
+    /// spec is resolved up front, so an unknown phase name fails before
+    /// any simulation starts.
+    pub fn run_specs_with_registry(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        registry: &PhaseRegistry,
+    ) -> Result<Vec<LabelledReport>, SpecError> {
+        // Fail fast on unresolvable specs, by name only — the pipelines
+        // themselves are built inside the workers.
+        for spec in &specs {
+            if spec.phases().is_empty() {
+                return Err(SpecError::EmptyPhaseList);
+            }
+            if let Some(unknown) = spec.phases().iter().find(|name| !registry.contains(name)) {
+                return Err(SpecError::UnknownPhase {
+                    name: unknown.clone(),
+                });
+            }
+        }
+        let run_one = |spec: &ScenarioSpec| -> LabelledReport {
+            let report = Simulation::from_spec_with_registry(spec, registry)
+                .expect("specs were resolved above")
+                .run();
+            LabelledReport {
+                label: spec.label().to_string(),
+                parameter: spec.parameter(),
+                report,
+            }
+        };
+
+        let workers = self.workers_for(specs.len());
+        if workers <= 1 || specs.len() <= 1 {
+            return Ok(specs.iter().map(run_one).collect());
         }
 
-        let jobs = configs;
-        let total = jobs.len();
+        let total = specs.len();
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<LabelledReport>>> =
             (0..total).map(|_| Mutex::new(None)).collect();
@@ -328,25 +350,42 @@ impl ScenarioRunner {
                     if index >= total {
                         break;
                     }
-                    let (label, parameter, config) = &jobs[index];
-                    let report = Simulation::new(config.clone()).run();
-                    *slots[index].lock().expect("result slot poisoned") = Some(LabelledReport {
-                        label: label.clone(),
-                        parameter: *parameter,
-                        report,
-                    });
+                    *slots[index].lock().expect("result slot poisoned") =
+                        Some(run_one(&specs[index]));
                 });
             }
         });
 
-        slots
+        Ok(slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
                     .expect("result slot poisoned")
                     .expect("missing experiment result")
             })
-            .collect()
+            .collect())
+    }
+
+    /// Compatibility shim for pre-spec callers: runs `(label, parameter,
+    /// config)` tuples by wrapping each configuration in a default-phase
+    /// [`ScenarioSpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configuration is invalid (the same contract the
+    /// pre-spec engine enforced at construction time).
+    pub fn run_cells(&self, configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
+        let specs = configs
+            .into_iter()
+            .map(
+                |(label, parameter, config)| match ScenarioSpec::from_config(config) {
+                    Ok(spec) => spec.with_label(label).with_parameter(parameter),
+                    Err(error) => panic!("{error}"),
+                },
+            )
+            .collect();
+        self.run_specs(specs)
+            .expect("default-phase specs always resolve")
     }
 }
 
@@ -641,7 +680,7 @@ mod tests {
         assert_eq!(grid.len(), 8);
         assert!(!grid.is_empty());
         let cells = grid.cells();
-        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
             vec![
@@ -655,10 +694,10 @@ mod tests {
                 "b/none/seed=6",
             ]
         );
-        assert_eq!(cells[0].config.seed, 5);
-        assert_eq!(cells[3].config.incentive, IncentiveScheme::None);
-        assert_eq!(cells[4].parameter, 2.0);
-        assert!((cells[4].config.mix.altruistic() - 0.25).abs() < 1e-12);
+        assert_eq!(cells[0].config().seed, 5);
+        assert_eq!(cells[3].config().incentive, IncentiveScheme::None);
+        assert_eq!(cells[4].parameter(), 2.0);
+        assert!((cells[4].config().mix.altruistic() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -667,8 +706,9 @@ mod tests {
         let grid = ScenarioGrid::new(base.clone());
         let cells = grid.cells();
         assert_eq!(cells.len(), 1);
-        assert_eq!(cells[0].config, base);
-        assert_eq!(cells[0].label, "base/reputation/seed=77");
+        assert_eq!(cells[0].config(), &base);
+        assert_eq!(cells[0].label(), "base/reputation/seed=77");
+        assert_eq!(cells[0].phases().len(), 6, "default phase order");
     }
 
     #[test]
@@ -676,8 +716,8 @@ mod tests {
         let grid = ScenarioGrid::new(tiny_base()).with_mix_sweep(BehaviorType::Irrational);
         assert_eq!(grid.len(), 9);
         let cells = grid.cells();
-        assert!(cells[0].label.starts_with("irrational=10%"));
-        assert_eq!(cells[8].parameter, 90.0);
+        assert!(cells[0].label().starts_with("irrational=10%"));
+        assert_eq!(cells[8].parameter(), 90.0);
     }
 
     #[test]
@@ -687,7 +727,7 @@ mod tests {
             .with_seeds([1, 2]);
         assert_eq!(grid.len(), 4);
         let cells = grid.cells();
-        let labels: Vec<&str> = cells.iter().map(|c| c.label.as_str()).collect();
+        let labels: Vec<&str> = cells.iter().map(|c| c.label()).collect();
         assert_eq!(
             labels,
             vec![
@@ -697,9 +737,9 @@ mod tests {
                 "pop=24/base/reputation/seed=2",
             ]
         );
-        assert_eq!(cells[0].config.population, 12);
-        assert_eq!(cells[2].config.population, 24);
-        assert_eq!(cells[2].parameter, 24.0, "tier is the swept parameter");
+        assert_eq!(cells[0].config().population, 12);
+        assert_eq!(cells[2].config().population, 24);
+        assert_eq!(cells[2].parameter(), 24.0, "tier is the swept parameter");
     }
 
     #[test]
@@ -713,8 +753,8 @@ mod tests {
             ])
             .with_populations([10]);
         let cells = grid.cells();
-        assert_eq!(cells[0].parameter, 0.0, "explicit 0.0 sweep point kept");
-        assert_eq!(cells[1].parameter, 50.0);
+        assert_eq!(cells[0].parameter(), 0.0, "explicit 0.0 sweep point kept");
+        assert_eq!(cells[1].parameter(), 50.0);
     }
 
     #[test]
@@ -723,10 +763,10 @@ mod tests {
         assert_eq!(grid.len(), 3);
         let cells = grid.cells();
         for (cell, &tier) in cells.iter().zip(LARGE_POPULATION_TIERS.iter()) {
-            assert_eq!(cell.config.population, tier);
-            assert!(cell.label.starts_with(&format!("pop={tier}/")));
-            assert!(cell.config.restrict_voters_to_editors);
-            cell.config.validate();
+            assert_eq!(cell.config().population, tier);
+            assert!(cell.label().starts_with(&format!("pop={tier}/")));
+            assert!(cell.config().restrict_voters_to_editors);
+            cell.config().check().expect("preset tiers are valid");
         }
     }
 

@@ -46,6 +46,12 @@ impl IncentiveScheme {
         }
     }
 
+    /// Parses a scheme from its [`IncentiveScheme::label`] (the inverse
+    /// mapping, used by the `ScenarioSpec` text format).
+    pub fn from_label(label: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|s| s.label() == label)
+    }
+
     /// The bandwidth-allocation policy this scheme induces.
     pub fn allocation_policy(self) -> AllocationPolicy {
         match self {

@@ -50,9 +50,11 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod incentive;
+pub mod observer;
 pub mod pipeline;
 pub mod report;
 pub mod results;
+pub mod spec;
 pub mod threads;
 pub mod world;
 
@@ -62,9 +64,11 @@ pub use config::{PhaseConfig, PropagationConfig, SimulationConfig};
 pub use engine::Simulation;
 pub use experiment::{ScenarioGrid, ScenarioRunner};
 pub use incentive::IncentiveScheme;
-pub use pipeline::{PhaseTimings, StepContext, StepPhase, StepPipeline};
+pub use observer::{StepObserver, TimingObserver, WorldView};
+pub use pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPhase, StepPipeline};
 pub use report::{BehaviorBreakdown, SimulationReport};
-pub use world::{SimWorld, UploadMatrix};
+pub use spec::{ScenarioSpec, ScenarioSpecBuilder, SpecError};
+pub use world::{ChurnStats, SimWorld, UploadMatrix};
 
 // Re-export the pieces downstream users constantly need alongside the core
 // API so examples only import one crate.

@@ -296,6 +296,13 @@ impl StepPhase for DownloadPhase {
         // so the trajectory is untouched by how later stages are split).
         for p in 0..population {
             let downloader = PeerId(p as u32);
+            // Departed peers neither continue nor start downloads (their
+            // in-flight transfer was cancelled on departure), and they draw
+            // no randomness — with every peer online this branch never
+            // fires, so churn-free streams are untouched.
+            if !world.peers.peer(downloader).online {
+                continue;
+            }
             // Continue an in-flight transfer if its source still offers
             // bandwidth; otherwise abandon it and look for a new source.
             let mut continued: Option<(PeerId, u64)> = None;

@@ -20,6 +20,25 @@ use rand::Rng;
 /// [`StepContext::attempted_editing`] and [`StepContext::voted_this_step`].
 pub struct EditVotePhase;
 
+/// The per-edit voter-pool buffers of [`EditVotePhase`], carried in
+/// [`StepContext`] and rewritten for every edit so steady-state steps
+/// allocate nothing in the vote loop (the last candidate of the
+/// paper-scale performance pass: the non-restricted voter pool is
+/// population-sized *per edit*).
+#[derive(Debug, Clone, Default)]
+pub struct VoteScratch {
+    /// The eligible voter set of the current edit.
+    eligible: Vec<PeerId>,
+    /// The eligible voters' editing reputations, index-aligned.
+    reputations: Vec<f64>,
+    /// The voting powers, index-aligned with `eligible`.
+    powers: Vec<f64>,
+    /// Dense indices of voters siding with the edit.
+    favor: Vec<usize>,
+    /// Dense indices of voters siding against the edit.
+    against: Vec<usize>,
+}
+
 impl StepPhase for EditVotePhase {
     fn name(&self) -> &'static str {
         "edit-vote"
@@ -72,15 +91,25 @@ impl StepPhase for EditVotePhase {
             // Voter pool: either the Section III-C2 design rule (previously
             // successful editors of this article) or the Section IV
             // simulation model (any peer may vote on any change), sampled
-            // down to at most `max_voters_per_edit` voters.
-            let mut eligible: Vec<PeerId> = if world.config.restrict_voters_to_editors {
-                world.articles.article(article_id).eligible_voters(editor)
+            // down to at most `max_voters_per_edit` voters. All per-edit
+            // buffers live in the reused [`VoteScratch`]; contents, order
+            // and RNG draws are identical to the freshly-allocated
+            // vectors they replaced.
+            let scratch = &mut ctx.vote_scratch;
+            if world.config.restrict_voters_to_editors {
+                world
+                    .articles
+                    .article(article_id)
+                    .eligible_voters_into(editor, &mut scratch.eligible);
             } else {
-                (0..population)
-                    .map(|v| PeerId(v as u32))
-                    .filter(|&v| v != editor)
-                    .collect()
-            };
+                scratch.eligible.clear();
+                scratch.eligible.extend(
+                    (0..population)
+                        .map(|v| PeerId(v as u32))
+                        .filter(|&v| v != editor),
+                );
+            }
+            let eligible = &mut scratch.eligible;
             if eligible.len() > world.config.max_voters_per_edit {
                 eligible.shuffle(&mut world.rng);
                 eligible.truncate(world.config.max_voters_per_edit);
@@ -88,17 +117,24 @@ impl StepPhase for EditVotePhase {
             }
             let mut in_favor = 0.0f64;
             let mut against = 0.0f64;
-            let mut favor_voters: Vec<usize> = Vec::new();
-            let mut against_voters: Vec<usize> = Vec::new();
-            let voter_reputations: Vec<f64> = eligible
-                .iter()
-                .map(|v| world.ledger.editing_reputation(v.index()))
-                .collect();
-            let powers = if world.config.incentive.weighted_voting() {
-                world.service.voting_powers(&voter_reputations)
+            scratch.favor.clear();
+            scratch.against.clear();
+            let favor_voters = &mut scratch.favor;
+            let against_voters = &mut scratch.against;
+            scratch.reputations.clear();
+            scratch.reputations.extend(
+                eligible
+                    .iter()
+                    .map(|v| world.ledger.editing_reputation(v.index())),
+            );
+            if world.config.incentive.weighted_voting() {
+                world
+                    .service
+                    .voting_powers_into(&scratch.reputations, &mut scratch.powers);
             } else {
-                ServiceDifferentiation::equal_shares(eligible.len())
-            };
+                ServiceDifferentiation::equal_shares_into(eligible.len(), &mut scratch.powers);
+            }
+            let powers = &scratch.powers;
             for (voter, &power) in eligible.iter().zip(powers.iter()) {
                 let vi = voter.index();
                 if world.config.incentive.punishes() && !world.ledger.can_vote(vi) {
@@ -161,16 +197,16 @@ impl StepPhase for EditVotePhase {
 
             // Voter outcomes: voters on the winning side cast a successful
             // vote, losers an unsuccessful one (punished under the scheme).
-            let (winners, losers) = if accepted {
-                (&favor_voters, &against_voters)
+            let (winners, losers): (&[usize], &[usize]) = if accepted {
+                (favor_voters, against_voters)
             } else {
-                (&against_voters, &favor_voters)
+                (against_voters, favor_voters)
             };
             for &w in winners {
                 ctx.successful_votes[w] += 1;
             }
             if world.config.incentive.punishes() {
-                for &l in losers.iter() {
+                for &l in losers {
                     world
                         .config
                         .punishment
@@ -186,6 +222,12 @@ impl StepPhase for EditVotePhase {
         // independent and each shard applies its bucket in peer order.
         ctx.editing_deltas.ensure(&world.ledger);
         for p in 0..population {
+            // Departed peers are frozen: no delta means no decay while
+            // away, so reputation persists until re-entry. With every
+            // peer online this branch never fires.
+            if !world.peers.peer(PeerId(p as u32)).online {
+                continue;
+            }
             ctx.editing_deltas.push(ContributionDelta::editing(
                 p,
                 EditingAction {

@@ -16,6 +16,15 @@ impl StepPhase for LearningPhase {
 
     fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
         for p in 0..world.population() {
+            // Departed peers took no action this step, so there is no
+            // transition to learn from.
+            if !world
+                .peers
+                .peer(collabsim_netsim::peer::PeerId(p as u32))
+                .online
+            {
+                continue;
+            }
             let next_state = world.agent_state(p);
             world.agents[p].learn(ctx.rewards[p], next_state);
         }

@@ -5,7 +5,7 @@
 //! action selection → sharing → downloads → editing and voting → utility →
 //! Q-learning updates. The monolithic engine used to hard-wire that
 //! sequence; here each sub-phase is a [`StepPhase`] trait object operating
-//! on the shared [`SimWorld`](crate::world::SimWorld) plus a per-step
+//! on the shared [`SimWorld`] plus a per-step
 //! scratch [`StepContext`], composed by a [`StepPipeline`]:
 //!
 //! * [`SelectionPhase`] — every agent picks its composite action at the
@@ -24,32 +24,43 @@
 //! * [`PropagationPhase`] — (optional, config-gated) periodically
 //!   propagates the upload-derived trust graph into a global reputation
 //!   vector through the configured
-//!   [`PropagationBackend`](collabsim_reputation::propagation::PropagationBackend).
+//!   [`PropagationBackend`](collabsim_reputation::propagation::PropagationBackend),
+//! * [`ChurnPhase`] — (optional, spec-gated) applies the configured churn
+//!   model between steps: departures, re-entries and whitewashes over the
+//!   peer arena, drawing from its own stream (`world.churn_rng`).
 //!
 //! **Determinism contract:** phases draw from `world.rng` strictly in
 //! pipeline order. Inserting a phase that consumes the step RNG changes
 //! every downstream draw; phases with private randomness (like
-//! [`PropagationPhase`]) must use their own stream
-//! (`world.propagation_rng`). The golden-report test pins the standard
-//! pipeline's exact behaviour.
+//! [`PropagationPhase`] and [`ChurnPhase`]) must use their own stream
+//! (`world.propagation_rng` / `world.churn_rng`). The golden-report test
+//! pins the standard pipeline's exact behaviour.
 //!
-//! Custom phases plug in via [`StepPipeline::push`] /
-//! [`StepPipeline::insert`] and
-//! [`Simulation::with_pipeline`](crate::engine::Simulation::with_pipeline)
-//! without touching the step loop.
+//! Pipelines are assembled by resolving an ordered list of phase *names*
+//! against a [`PhaseRegistry`] — [`StepPipeline::standard`] is the default
+//! name list of a configuration resolved against
+//! [`PhaseRegistry::standard`], and a
+//! [`ScenarioSpec`](crate::spec::ScenarioSpec) carries its own list, so
+//! custom phases plug in by [`PhaseRegistry::register`] + a spec naming
+//! them (or imperatively via [`StepPipeline::push`] /
+//! [`StepPipeline::insert`]) without touching the step loop.
 
+mod churn;
 mod download;
 mod editvote;
 mod learning;
 mod propagation;
+mod registry;
 mod selection;
 mod sharing;
 mod utility;
 
+pub use churn::ChurnPhase;
 pub use download::{allocate_grants, DownloadPhase, GrantBatch, RequestTable, TransferTables};
-pub use editvote::EditVotePhase;
+pub use editvote::{EditVotePhase, VoteScratch};
 pub use learning::LearningPhase;
 pub use propagation::PropagationPhase;
+pub use registry::{PhaseFactory, PhaseRegistry};
 pub use selection::SelectionPhase;
 pub use sharing::SharingPhase;
 pub use utility::UtilityPhase;
@@ -57,6 +68,7 @@ pub use utility::UtilityPhase;
 use crate::action::CollabAction;
 use crate::agent::AgentState;
 use crate::config::SimulationConfig;
+use crate::observer::{StepObserver, WorldView};
 use crate::world::SimWorld;
 use collabsim_netsim::peer::PeerId;
 use collabsim_reputation::sharded::DeltaBatch;
@@ -169,6 +181,9 @@ pub struct StepContext {
     /// (collect → allocate ∥ → apply scratch of [`DownloadPhase`]; fully
     /// rewritten by the phase each step).
     pub transfers: TransferTables,
+    /// The reusable per-edit voter-pool buffers of [`EditVotePhase`]
+    /// (fully rewritten for every edit).
+    pub vote_scratch: VoteScratch,
     /// Optional per-phase wall-clock instrumentation; accumulates across
     /// steps and survives [`StepContext::reset`].
     pub timings: PhaseTimings,
@@ -194,6 +209,7 @@ impl StepContext {
             editing_deltas: DeltaBatch::default(),
             offer_plans: Vec::new(),
             transfers: TransferTables::default(),
+            vote_scratch: VoteScratch::default(),
             timings: PhaseTimings::default(),
         }
     }
@@ -255,27 +271,27 @@ impl StepPipeline {
         Self { phases: Vec::new() }
     }
 
-    /// The standard Section-IV pipeline for a configuration: the six
-    /// protocol phases, plus the propagation phase when the configuration
-    /// enables a propagation backend.
+    /// The standard pipeline for a configuration: the default phase-name
+    /// order of [`crate::spec::default_phase_names`] (the six Section-IV
+    /// protocol phases, preceded by churn and followed by propagation when
+    /// the configuration enables them) resolved against
+    /// [`PhaseRegistry::standard`].
     pub fn standard(config: &SimulationConfig) -> Self {
-        let mut pipeline = Self::new();
-        pipeline
-            .push(SelectionPhase)
-            .push(SharingPhase)
-            .push(DownloadPhase)
-            .push(EditVotePhase)
-            .push(UtilityPhase)
-            .push(LearningPhase);
-        if config.propagation.scheme.is_some() {
-            pipeline.push(PropagationPhase);
-        }
-        pipeline
+        PhaseRegistry::standard()
+            .build_pipeline(&crate::spec::default_phase_names(config), config)
+            .expect("standard phases are always registered")
     }
 
     /// Appends a phase.
     pub fn push<P: StepPhase + 'static>(&mut self, phase: P) -> &mut Self {
         self.phases.push(Box::new(phase));
+        self
+    }
+
+    /// Appends an already-boxed phase (what [`PhaseRegistry`] factories
+    /// produce).
+    pub fn push_boxed(&mut self, phase: Box<dyn StepPhase>) -> &mut Self {
+        self.phases.push(phase);
         self
     }
 
@@ -318,18 +334,42 @@ impl StepPipeline {
     /// the clock, resets `ctx` in place and executes every phase in order,
     /// recording per-phase wall-clock when `ctx.timings` is enabled.
     pub fn run_step_into(&self, world: &mut SimWorld, temperature: f64, ctx: &mut StepContext) {
+        self.run_step_observed(world, temperature, ctx, &mut []);
+    }
+
+    /// [`StepPipeline::run_step_into`] with observer callbacks: after every
+    /// phase each [`StepObserver`] receives the phase name, its wall-clock
+    /// time and a read-only [`WorldView`]; after the last phase the
+    /// step-end callback fires. Observers only read, so observation can
+    /// never change simulation results.
+    pub fn run_step_observed(
+        &self,
+        world: &mut SimWorld,
+        temperature: f64,
+        ctx: &mut StepContext,
+        observers: &mut [Box<dyn StepObserver>],
+    ) {
         let now = world.clock.tick();
         ctx.reset(world.population(), temperature, now);
-        if ctx.timings.enabled() {
+        if ctx.timings.enabled() || !observers.is_empty() {
             for phase in &self.phases {
                 let started = Instant::now();
                 phase.execute(world, ctx);
-                ctx.timings.record(phase.name(), started.elapsed());
+                let elapsed = started.elapsed();
+                if ctx.timings.enabled() {
+                    ctx.timings.record(phase.name(), elapsed);
+                }
+                for observer in observers.iter_mut() {
+                    observer.on_phase(phase.name(), elapsed, WorldView::new(world), ctx);
+                }
             }
         } else {
             for phase in &self.phases {
                 phase.execute(world, ctx);
             }
+        }
+        for observer in observers.iter_mut() {
+            observer.on_step_end(WorldView::new(world), ctx);
         }
     }
 }

@@ -1,13 +1,16 @@
 //! Phase 1 — action selection.
 
 use super::{StepContext, StepPhase};
+use crate::action::CollabAction;
 use crate::agent::AgentState;
 use crate::world::SimWorld;
 
-/// Every agent observes its state (reputation bucket) and picks its
-/// composite action: rational agents sample the Boltzmann distribution over
-/// their Q-values at the step temperature, altruistic and irrational agents
-/// return their fixed actions.
+/// Every *online* agent observes its state (reputation bucket) and picks
+/// its composite action: rational agents sample the Boltzmann distribution
+/// over their Q-values at the step temperature, altruistic and irrational
+/// agents return their fixed actions. Offline peers (departed under churn)
+/// record [`CollabAction::idle`] without consuming any randomness, so a
+/// churn-free run draws exactly as before.
 ///
 /// Fills [`StepContext::current_states`] and [`StepContext::actions`].
 pub struct SelectionPhase;
@@ -21,8 +24,21 @@ impl StepPhase for SelectionPhase {
         let population = world.population();
         let current_states: Vec<AgentState> =
             (0..population).map(|p| world.agent_state(p)).collect();
-        for (agent, &state) in world.agents.iter_mut().zip(current_states.iter()) {
-            let action = agent.choose(state, ctx.temperature, &mut world.rng);
+        for (p, (agent, &state)) in world
+            .agents
+            .iter_mut()
+            .zip(current_states.iter())
+            .enumerate()
+        {
+            let action = if world
+                .peers
+                .peer(collabsim_netsim::peer::PeerId(p as u32))
+                .online
+            {
+                agent.choose(state, ctx.temperature, &mut world.rng)
+            } else {
+                CollabAction::idle()
+            };
             ctx.actions.push(action);
         }
         ctx.current_states = current_states;

@@ -3,7 +3,7 @@
 use super::{OfferPlan, StepContext, StepPhase};
 use crate::action::CollabAction;
 use crate::world::{SimWorld, ARTICLE_CONTRIBUTION_UNITS, BANDWIDTH_CONTRIBUTION_UNITS};
-use collabsim_netsim::peer::PeerId;
+use collabsim_netsim::peer::{PeerId, PeerRegistry};
 use collabsim_netsim::storage::ArticleStore;
 use collabsim_reputation::contribution::{ContributionDelta, SharingAction};
 
@@ -30,6 +30,7 @@ fn collect_peer(
     peer: usize,
     actions: &[CollabAction],
     store: &ArticleStore,
+    peers: &PeerRegistry,
     bucket: &mut Vec<ContributionDelta>,
     plan: &mut Vec<OfferPlan>,
 ) {
@@ -38,6 +39,13 @@ fn collect_peer(
     let held = store.held_count(id);
     let offered = (action.articles.fraction() * held as f64).round() as usize;
     plan.push((id, offered));
+    if !peers.peer(id).online {
+        // A departed peer shares nothing (its idle action already offers
+        // zero) and its ledger record is frozen while it is away:
+        // reputation persists across the absence, which is exactly what
+        // the churn re-entry experiments measure.
+        return;
+    }
 
     // Contribution accounting. The paper leaves the units of
     // S_articles and S_bandwidth open; we scale both so that sharing
@@ -77,6 +85,7 @@ impl StepPhase for SharingPhase {
         {
             let actions = &ctx.actions;
             let store = &world.store;
+            let peers = &world.peers;
             let plans = &mut ctx.offer_plans;
             let buckets = ctx.sharing_deltas.buckets_mut();
             let peers_of_shard = |shard: usize| {
@@ -96,7 +105,7 @@ impl StepPhase for SharingPhase {
                                 bucket_group.iter_mut().zip(plan_group).enumerate()
                             {
                                 for p in peers_of_shard(worker * per_worker + offset) {
-                                    collect_peer(p, actions, store, bucket, plan);
+                                    collect_peer(p, actions, store, peers, bucket, plan);
                                 }
                             }
                         });
@@ -106,7 +115,7 @@ impl StepPhase for SharingPhase {
                 for (shard, (bucket, plan)) in buckets.iter_mut().zip(plans.iter_mut()).enumerate()
                 {
                     for p in peers_of_shard(shard) {
-                        collect_peer(p, actions, store, bucket, plan);
+                        collect_peer(p, actions, store, peers, bucket, plan);
                     }
                 }
             }

@@ -19,6 +19,17 @@ impl StepPhase for UtilityPhase {
 
     fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
         for p in 0..world.population() {
+            // Departed peers are absent: zero reward, and their measured
+            // accumulators do not advance (`steps` counts presence, so the
+            // per-peer means stay means over online steps).
+            if !world
+                .peers
+                .peer(collabsim_netsim::peer::PeerId(p as u32))
+                .online
+            {
+                ctx.rewards[p] = 0.0;
+                continue;
+            }
             let action = ctx.actions[p];
             let sharing_obs = SharingObservation {
                 source_upload: ctx.source_upload_seen[p],

@@ -7,6 +7,14 @@
 //! [`SimulationReport`] carries exactly those aggregates, broken down by
 //! behaviour type, plus a few diagnostics (mean reputation, download volume,
 //! article quality) used by the ablations.
+//!
+//! The report is deliberately **closed**: its `Debug` form is pinned
+//! bit-for-bit by the golden determinism test, so it never grows a field
+//! per new statistic. Anything beyond these paper aggregates — per-step
+//! time series, churn dynamics, phase timings — streams through a
+//! [`StepObserver`](crate::observer::StepObserver) (or is read off
+//! [`SimWorld`](crate::world::SimWorld) after the run, e.g.
+//! [`ChurnStats`](crate::world::ChurnStats)) instead.
 
 use collabsim_gametheory::behavior::BehaviorType;
 use collabsim_netsim::article::EditOutcomeCounts;

@@ -7,6 +7,7 @@
 
 use crate::experiment::LabelledReport;
 use crate::report::SimulationReport;
+use crate::world::ChurnStats;
 use collabsim_gametheory::behavior::BehaviorType;
 use std::fmt::Write as _;
 
@@ -116,6 +117,29 @@ pub fn relative_gain(a: f64, b: f64) -> f64 {
     } else {
         (a - b) / b
     }
+}
+
+/// Renders the churn counters of a run — the Section-VI reputation-
+/// persistence numbers: how much reputation re-entrant identities kept
+/// (versus the newcomer minimum `r_min`) and how much whitewashers shed.
+pub fn churn_summary(stats: &ChurnStats, r_min: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "churn events: {} re-entries, {} departures, {} whitewashes",
+        stats.joins, stats.leaves, stats.whitewashes
+    );
+    let _ = writeln!(
+        out,
+        "mean sharing reputation at re-entry: {:.4} (newcomer minimum: {r_min:.4})",
+        stats.mean_reentry_reputation()
+    );
+    let _ = writeln!(
+        out,
+        "mean reputation shed per whitewash:  {:.4}",
+        stats.mean_whitewash_shed()
+    );
+    out
 }
 
 /// Renders the per-behaviour breakdown of a single report.
@@ -236,5 +260,21 @@ mod tests {
         assert!(table.contains("rational"));
         assert!(!table.contains("irrational"));
         assert!(!table.contains("altruistic"));
+    }
+
+    #[test]
+    fn churn_summary_renders_counters_and_means() {
+        let stats = ChurnStats {
+            joins: 4,
+            leaves: 6,
+            whitewashes: 2,
+            reentry_reputation_sum: 1.2,
+            whitewash_reputation_shed_sum: 0.5,
+        };
+        let summary = churn_summary(&stats, 0.05);
+        assert!(summary.contains("4 re-entries, 6 departures, 2 whitewashes"));
+        assert!(summary.contains("0.3000"), "mean re-entry reputation");
+        assert!(summary.contains("0.2500"), "mean whitewash shed");
+        assert!(summary.contains("0.0500"), "newcomer minimum");
     }
 }

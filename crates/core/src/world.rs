@@ -74,6 +74,12 @@ pub struct PeerAccumulator {
 #[derive(Debug, Clone, Default)]
 pub struct UploadMatrix {
     rows: Vec<HashMap<u32, f64>>,
+    /// Reverse index: for each peer, the uploaders with a (once-)recorded
+    /// relation *to* it — what lets [`UploadMatrix::clear_peer`] drop a
+    /// whitewashed identity's column in O(degree) instead of scanning
+    /// every row. May hold stale or duplicate entries after a clear
+    /// (removals are idempotent), never misses a live one.
+    incoming: Vec<Vec<u32>>,
 }
 
 impl UploadMatrix {
@@ -81,6 +87,7 @@ impl UploadMatrix {
     pub fn new(peers: usize) -> Self {
         Self {
             rows: vec![HashMap::new(); peers],
+            incoming: vec![Vec::new(); peers],
         }
     }
 
@@ -101,12 +108,82 @@ impl UploadMatrix {
 
     /// Adds uploaded bandwidth to the `from → to` total.
     pub fn add(&mut self, from: usize, to: usize, amount: f64) {
-        *self.rows[from].entry(to as u32).or_insert(0.0) += amount;
+        match self.rows[from].entry(to as u32) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                *entry.get_mut() += amount;
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(amount);
+                self.incoming[to].push(from as u32);
+            }
+        }
     }
 
     /// Number of non-zero upload relations stored.
     pub fn relation_count(&self) -> usize {
         self.rows.iter().map(HashMap::len).sum()
+    }
+
+    /// Forgets every relation involving `peer` — uploads by it (its row)
+    /// and to it (its column, via the reverse index, so the cost is the
+    /// peer's degree rather than the population). A whitewashed identity
+    /// has no direct-relation history, so tit-for-tat and the trust graph
+    /// must see a stranger.
+    pub fn clear_peer(&mut self, peer: usize) {
+        self.rows[peer].clear();
+        let key = peer as u32;
+        let uploaders = std::mem::take(&mut self.incoming[peer]);
+        for from in uploaders {
+            self.rows[from as usize].remove(&key);
+        }
+    }
+}
+
+/// Running totals of the churn phase's population dynamics, kept on the
+/// world so observers and benches can quantify reputation persistence
+/// under re-entry without growing [`SimulationReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChurnStats {
+    /// Re-entries: departed identities that came back online (the fixed
+    /// peer arena models a join as the return of a departed identity, so
+    /// its reputation record is still in the ledger).
+    pub joins: u64,
+    /// Departures (peers going offline).
+    pub leaves: u64,
+    /// Whitewashes: identities reset in place (the old identity never
+    /// returns; a newcomer with `R_min` occupies its slot).
+    pub whitewashes: u64,
+    /// Sum of sharing reputations observed at the moment of re-entry
+    /// (measures how much reputation persisted across the absence).
+    pub reentry_reputation_sum: f64,
+    /// Sum of sharing reputation *above* `R_min` discarded by whitewashes
+    /// (what the adversary paid to shed its record).
+    pub whitewash_reputation_shed_sum: f64,
+}
+
+impl ChurnStats {
+    /// Total churn events recorded.
+    pub fn total_events(&self) -> u64 {
+        self.joins + self.leaves + self.whitewashes
+    }
+
+    /// Mean sharing reputation at re-entry (0 with no re-entries). Values
+    /// above `R_min` demonstrate reputation persistence across absences.
+    pub fn mean_reentry_reputation(&self) -> f64 {
+        if self.joins == 0 {
+            0.0
+        } else {
+            self.reentry_reputation_sum / self.joins as f64
+        }
+    }
+
+    /// Mean reputation shed per whitewash (0 with no whitewashes).
+    pub fn mean_whitewash_shed(&self) -> f64 {
+        if self.whitewashes == 0 {
+            0.0
+        } else {
+            self.whitewash_reputation_shed_sum / self.whitewashes as f64
+        }
     }
 }
 
@@ -171,6 +248,13 @@ pub struct SimWorld {
     /// independently of `rng` so enabling propagation does not perturb the
     /// core dynamics' random stream.
     pub propagation_rng: StdRng,
+    /// Dedicated RNG for the churn phase's event sampling, independent of
+    /// `rng` for the same reason: a stable churn model draws nothing, and
+    /// the phase's presence alone can never perturb the core stream.
+    pub churn_rng: StdRng,
+    /// Running churn counters (re-entries, departures, whitewashes and the
+    /// reputation observed at those boundaries).
+    pub churn_stats: ChurnStats,
     /// Latest globally propagated reputation vector, if the propagation
     /// phase has run.
     pub global_reputation: Option<GlobalReputation>,
@@ -194,7 +278,9 @@ impl SimWorld {
     /// RNG draw order (behaviour shuffle, then article seeding) is part of
     /// the determinism contract pinned by the golden-report test.
     pub fn new(config: SimulationConfig) -> Self {
-        config.validate();
+        if let Err(error) = config.check() {
+            panic!("{error}");
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let population = config.population;
 
@@ -243,6 +329,7 @@ impl SimWorld {
         }
 
         let propagation_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let churn_rng = StdRng::seed_from_u64(config.seed ^ 0x5851_F42D_4C95_7F2D);
 
         let intra_step_threads = match config.intra_step_threads {
             0 => crate::threads::auto_intra_step_threads(population),
@@ -271,6 +358,8 @@ impl SimWorld {
             downloads_completed_in_evaluation: 0,
             edit_outcome_baseline: Default::default(),
             propagation_rng,
+            churn_rng,
+            churn_stats: ChurnStats::default(),
             global_reputation: None,
             propagation_runs: 0,
             intra_step_threads,
@@ -328,6 +417,74 @@ impl SimWorld {
         } else {
             ArticleId(self.rng.gen_range(0..count))
         }
+    }
+
+    /// Takes a peer offline (a churn departure): its in-flight download is
+    /// cancelled and its slot released, its article offers are withdrawn,
+    /// and it is marked offline. Transfers it was *serving* are abandoned
+    /// by their downloaders on the next step's collect stage, exactly like
+    /// a source that stopped sharing. The ledger record is left untouched —
+    /// reputation persists across the absence, which is what the re-entry
+    /// experiments measure.
+    pub fn depart_peer(&mut self, peer: PeerId, now: u64) {
+        let p = peer.index();
+        if let Some(tid) = self.active_transfer[p].take() {
+            if self.transfers.transfer(tid).status
+                == collabsim_netsim::transfer::TransferStatus::InProgress
+            {
+                self.transfers.cancel(tid, now);
+            }
+            self.transfers.release(tid);
+        }
+        self.store.set_offered_count(peer, 0);
+        self.peers.set_online(peer, false);
+        self.churn_stats.leaves += 1;
+    }
+
+    /// Brings a departed identity back online (a churn re-entry). The
+    /// fixed peer arena models a *join* as the return of a departed
+    /// identity, so the ledger record — and with it the peer's reputation —
+    /// survives the absence; the observed sharing reputation at this moment
+    /// is accumulated in [`ChurnStats::reentry_reputation_sum`].
+    pub fn rejoin_peer(&mut self, peer: PeerId, now: u64) {
+        let p = peer.index();
+        self.churn_stats.joins += 1;
+        self.churn_stats.reentry_reputation_sum += self.ledger.sharing_reputation(p);
+        let record = self.peers.peer_mut(peer);
+        record.online = true;
+        record.joined_at = now;
+    }
+
+    /// Whitewashes a peer: it leaves and instantly rejoins under a fresh
+    /// identity occupying the same arena slot. Observationally the old
+    /// identity never returns and a newcomer appears: the ledger record is
+    /// reset to the newcomer state (reputation back to `R_min`, punishment
+    /// counters cleared, rights restored) and the upload-relation history
+    /// is forgotten in both directions. The agent keeps its Q-matrix — the
+    /// human behind the identity is the same learner.
+    pub fn whitewash_peer(&mut self, peer: PeerId, now: u64) {
+        let p = peer.index();
+        let shed = self.ledger.sharing_reputation(p) - self.ledger.min_sharing_reputation();
+        self.churn_stats.whitewashes += 1;
+        self.churn_stats.whitewash_reputation_shed_sum += shed.max(0.0);
+        // The old identity's in-flight download dies with it (exactly as
+        // on departure) — a fresh identity must not inherit partial
+        // transfer progress, or whitewashing would be strictly cheaper
+        // than leave + rejoin.
+        if let Some(tid) = self.active_transfer[p].take() {
+            if self.transfers.transfer(tid).status
+                == collabsim_netsim::transfer::TransferStatus::InProgress
+            {
+                self.transfers.cancel(tid, now);
+            }
+            self.transfers.release(tid);
+        }
+        self.ledger.reset_peer_identity(p);
+        self.uploads.clear_peer(p);
+        self.accepted_since_punishment[p] = 0;
+        let record = self.peers.peer_mut(peer);
+        record.online = true;
+        record.joined_at = now;
     }
 
     /// The phase switch: reputation values are reset, Q-matrices are kept.

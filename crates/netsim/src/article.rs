@@ -142,15 +142,24 @@ impl Article {
     /// The set of peers eligible to vote on changes of this article,
     /// de-duplicated, excluding the author of the edit under vote.
     pub fn eligible_voters(&self, edit_author: PeerId) -> Vec<PeerId> {
-        let mut voters: Vec<PeerId> = self
-            .revision_authors
-            .iter()
-            .copied()
-            .filter(|&p| p != edit_author)
-            .collect();
-        voters.sort_unstable();
-        voters.dedup();
+        let mut voters = Vec::new();
+        self.eligible_voters_into(edit_author, &mut voters);
         voters
+    }
+
+    /// [`Article::eligible_voters`] into a caller-owned buffer (cleared
+    /// first), so per-edit hot loops reuse one allocation. Identical
+    /// contents and order.
+    pub fn eligible_voters_into(&self, edit_author: PeerId, out: &mut Vec<PeerId>) {
+        out.clear();
+        out.extend(
+            self.revision_authors
+                .iter()
+                .copied()
+                .filter(|&p| p != edit_author),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// A simple quality score in `[0, 1]`: the fraction of accepted

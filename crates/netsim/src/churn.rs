@@ -71,21 +71,30 @@ impl ChurnModel {
         }
     }
 
-    /// Validates the probability ranges.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any probability lies outside `[0, 1]`.
-    pub fn validate(&self) {
+    /// Validates the probability ranges, naming the offending field in the
+    /// error message.
+    pub fn check(&self) -> Result<(), String> {
         for (name, p) in [
             ("join", self.join_probability),
             ("leave", self.leave_probability),
             ("whitewash", self.whitewash_probability),
         ] {
-            assert!(
-                (0.0..=1.0).contains(&p),
-                "{name} probability must lie in [0, 1], got {p}"
-            );
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} probability must lie in [0, 1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking shim around [`ChurnModel::check`] for callers that treat a
+    /// bad model as a programming error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability lies outside `[0, 1]`.
+    pub fn validate(&self) {
+        if let Err(message) = self.check() {
+            panic!("{message}");
         }
     }
 

@@ -51,18 +51,36 @@ impl Default for ContributionParams {
 }
 
 impl ContributionParams {
-    /// Validates that all weights are positive and decays non-negative.
+    /// Validates that all weights are positive and decays non-negative,
+    /// naming the offending field in the error message.
+    pub fn check(&self) -> Result<(), String> {
+        for (name, value) in [
+            ("alpha_s", self.alpha_s),
+            ("beta_s", self.beta_s),
+            ("alpha_e", self.alpha_e),
+            ("beta_e", self.beta_e),
+        ] {
+            if value <= 0.0 {
+                return Err(format!("{name} must be positive"));
+            }
+        }
+        for (name, value) in [("decay_s", self.decay_s), ("decay_e", self.decay_e)] {
+            if value < 0.0 {
+                return Err(format!("{name} must be non-negative"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Panicking shim around [`ContributionParams::check`].
     ///
     /// # Panics
     ///
     /// Panics on invalid parameters.
     pub fn validate(&self) {
-        assert!(self.alpha_s > 0.0, "alpha_s must be positive");
-        assert!(self.beta_s > 0.0, "beta_s must be positive");
-        assert!(self.alpha_e > 0.0, "alpha_e must be positive");
-        assert!(self.beta_e > 0.0, "beta_e must be positive");
-        assert!(self.decay_s >= 0.0, "decay_s must be non-negative");
-        assert!(self.decay_e >= 0.0, "decay_e must be non-negative");
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
     }
 }
 

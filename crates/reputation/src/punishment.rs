@@ -62,18 +62,24 @@ impl PunishmentPolicy {
     /// Panics if any threshold is zero (a zero threshold would punish peers
     /// before they acted at all).
     pub fn validate(&self) {
-        assert!(
-            self.max_unsuccessful_votes > 0,
-            "vote threshold must be positive"
-        );
-        assert!(
-            self.max_declined_edits > 0,
-            "edit threshold must be positive"
-        );
-        assert!(
-            self.edits_to_restore_voting > 0,
-            "restoration requirement must be positive"
-        );
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+    }
+
+    /// Validates the thresholds, naming the offending field in the error
+    /// message.
+    pub fn check(&self) -> Result<(), String> {
+        if self.max_unsuccessful_votes == 0 {
+            return Err("vote threshold must be positive".to_string());
+        }
+        if self.max_declined_edits == 0 {
+            return Err("edit threshold must be positive".to_string());
+        }
+        if self.edits_to_restore_voting == 0 {
+            return Err("restoration requirement must be positive".to_string());
+        }
+        Ok(())
     }
 
     /// Records an unsuccessful vote for `peer` in the ledger and revokes its

@@ -51,19 +51,26 @@ impl ServiceParams {
     /// are not proper fractions with `min ≥ max` ordering (higher reputation
     /// must never need a *larger* majority).
     pub fn validate(&self) {
-        assert!(
-            self.edit_threshold > 0.0 && self.edit_threshold < 1.0,
-            "edit threshold must lie in (0, 1)"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.majority_at_min_reputation)
-                && (0.0..=1.0).contains(&self.majority_at_max_reputation),
-            "majority fractions must lie in [0, 1]"
-        );
-        assert!(
-            self.majority_at_min_reputation >= self.majority_at_max_reputation,
-            "required majority must not increase with reputation"
-        );
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
+    }
+
+    /// Validates parameter ranges, naming the offending field in the error
+    /// message.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.edit_threshold > 0.0 && self.edit_threshold < 1.0) {
+            return Err("edit threshold must lie in (0, 1)".to_string());
+        }
+        if !((0.0..=1.0).contains(&self.majority_at_min_reputation)
+            && (0.0..=1.0).contains(&self.majority_at_max_reputation))
+        {
+            return Err("majority fractions must lie in [0, 1]".to_string());
+        }
+        if self.majority_at_min_reputation < self.majority_at_max_reputation {
+            return Err("required majority must not increase with reputation".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -121,6 +128,22 @@ impl ServiceDifferentiation {
     /// eligible voters of an edit.
     pub fn voting_powers(&self, voter_editing_reputations: &[f64]) -> Vec<f64> {
         proportional_shares(voter_editing_reputations)
+    }
+
+    /// [`ServiceDifferentiation::voting_powers`] into a caller-owned buffer
+    /// (cleared first), so per-edit hot loops reuse one allocation.
+    /// Bit-identical to the allocating variant.
+    pub fn voting_powers_into(&self, voter_editing_reputations: &[f64], out: &mut Vec<f64>) {
+        proportional_shares_into(voter_editing_reputations, out);
+    }
+
+    /// [`ServiceDifferentiation::equal_shares`] into a caller-owned buffer
+    /// (cleared first).
+    pub fn equal_shares_into(count: usize, out: &mut Vec<f64>) {
+        out.clear();
+        if count > 0 {
+            out.resize(count, 1.0 / count as f64);
+        }
     }
 
     /// **Editing.** Whether a peer with sharing reputation `r_s` may edit.
@@ -184,15 +207,26 @@ impl ServiceDifferentiation {
 /// shares so that a set of newcomers with numerically zero reputation (only
 /// possible with non-paper reputation functions) still receives service.
 fn proportional_shares(values: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    proportional_shares_into(values, &mut out);
+    out
+}
+
+/// [`proportional_shares`] into a caller-owned buffer (cleared first). The
+/// arithmetic is identical — same summation order, same division — so the
+/// shares are bitwise equal to the allocating variant's.
+fn proportional_shares_into(values: &[f64], out: &mut Vec<f64>) {
+    out.clear();
     if values.is_empty() {
-        return Vec::new();
+        return;
     }
     debug_assert!(values.iter().all(|&v| v >= 0.0), "reputations must be >= 0");
     let sum: f64 = values.iter().sum();
     if sum <= 0.0 {
-        return ServiceDifferentiation::equal_shares(values.len());
+        ServiceDifferentiation::equal_shares_into(values.len(), out);
+        return;
     }
-    values.iter().map(|&v| v / sum).collect()
+    out.extend(values.iter().map(|&v| v / sum));
 }
 
 #[cfg(test)]

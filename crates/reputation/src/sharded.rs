@@ -484,6 +484,20 @@ impl ShardedLedger {
         self.record_mut(peer).can_edit = true;
     }
 
+    /// Resets one peer to the newcomer state: contributions zeroed,
+    /// punishment counters cleared, voting and editing rights restored.
+    /// This is what *whitewashing* looks like from the ledger's point of
+    /// view — the old identity's record is replaced by a fresh one, so the
+    /// peer re-enters at `R_min` with a clean slate.
+    pub fn reset_peer_identity(&mut self, peer: usize) {
+        let record = self.record_mut(peer);
+        record.contributions.reset();
+        record.unsuccessful_votes = 0;
+        record.declined_edits = 0;
+        record.can_vote = true;
+        record.can_edit = true;
+    }
+
     /// Resets every peer's contribution values while keeping rights (the
     /// phase switch of the simulation model).
     pub fn reset_all_contributions(&mut self) {

@@ -39,21 +39,30 @@ impl Default for QLearningParams {
 }
 
 impl QLearningParams {
-    /// Validates the parameter ranges.
+    /// Validates the parameter ranges, naming the offending field in the
+    /// error message.
+    pub fn check(&self) -> Result<(), String> {
+        if !(self.learning_rate > 0.0 && self.learning_rate <= 1.0) {
+            return Err("learning rate must lie in (0, 1]".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.discount) {
+            return Err("discount must lie in [0, 1]".to_string());
+        }
+        if !self.initial_q.is_finite() {
+            return Err("initial Q must be finite".to_string());
+        }
+        Ok(())
+    }
+
+    /// Panicking shim around [`QLearningParams::check`].
     ///
     /// # Panics
     ///
     /// Panics if `learning_rate ∉ (0, 1]` or `discount ∉ [0, 1]`.
     pub fn validate(&self) {
-        assert!(
-            self.learning_rate > 0.0 && self.learning_rate <= 1.0,
-            "learning rate must lie in (0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.discount),
-            "discount must lie in [0, 1]"
-        );
-        assert!(self.initial_q.is_finite(), "initial Q must be finite");
+        if let Err(message) = self.check() {
+            panic!("{message}");
+        }
     }
 }
 

@@ -12,6 +12,7 @@
 //!    loudly instead of silently shifting every figure.
 
 use collabsim_workspace::collabsim::experiment::{ScenarioGrid, ScenarioRunner};
+use collabsim_workspace::collabsim::spec::ScenarioSpec;
 use collabsim_workspace::collabsim::{
     BehaviorMix, BehaviorType, IncentiveScheme, PhaseConfig, Simulation, SimulationConfig,
 };
@@ -66,6 +67,33 @@ fn parallel_grid_matches_sequential_execution() {
     // Spot-check the cell labelling convention while we are here.
     assert_eq!(parallel[0].label, "half-rational/reputation/seed=7");
     assert_eq!(parallel[7].label, "all-rational/none/seed=8");
+}
+
+#[test]
+fn golden_report_survives_the_scenario_spec_api() {
+    // The pinned configuration expressed as a ScenarioSpec — including a
+    // full text-serialization round trip — must reproduce the golden
+    // report bit for bit: the declarative API is a new front door, not a
+    // new engine.
+    let spec = ScenarioSpec::from_config(golden_config()).expect("golden config is valid");
+    let report = Simulation::from_spec(&spec)
+        .expect("standard phases resolve")
+        .run();
+    assert_eq!(
+        format!("{report:?}"),
+        GOLDEN_REPORT_DEBUG,
+        "spec path drifted"
+    );
+
+    let reparsed = ScenarioSpec::parse(&spec.to_text()).expect("rendered spec parses");
+    let report = Simulation::from_spec(&reparsed)
+        .expect("standard phases resolve")
+        .run();
+    assert_eq!(
+        format!("{report:?}"),
+        GOLDEN_REPORT_DEBUG,
+        "text round trip drifted"
+    );
 }
 
 #[test]
