@@ -1,0 +1,346 @@
+//! `attack_grid` — the adversary robustness grid, written as
+//! `BENCH_attacks.json`.
+//!
+//! Sweeps the five built-in attack strategies across (a) the reputation
+//! *source* feeding service differentiation — the globally visible ledger
+//! vs each of the three propagation backends (EigenTrust, gossip, MaxFlow)
+//! under `reputation_source = propagated` — all under the paper's
+//! reputation scheme, and (b) the incentive-scheme axis (none,
+//! tit-for-tat) under the ledger source. Every cell is one
+//! [`Simulation`] with an [`AttackMetricsObserver`] attached, reporting:
+//!
+//! * **damage** — bandwidth the attackers extracted during measurement and
+//!   destructive edits they got accepted,
+//! * **retention** — mean sharing reputation the attackers held,
+//! * **resets** — whitewashes performed and reputation shed per reset,
+//! * **detection** — first step the punishment machinery revoked a right,
+//!   plus vote/edit revocation counts.
+//!
+//! The headline comparison (the adversary-subsystem acceptance criterion)
+//! pits `adaptive-whitewash` against `naive-whitewash` under the ledger
+//! source: the adaptive variant must retain more reputation and dodge the
+//! malicious-editor punishment at a comparable reset volume.
+//!
+//! Flags: `--quick` (reduced scale), `--out <path>` (default
+//! `BENCH_attacks.json`), `--baseline <path>` + `--max-regress <pct>`
+//! (aggregate steps/sec gate, default 20 %).
+
+use collabsim::adversary::{AdversarySpec, AttackMetricsObserver, UnitAttackMetrics};
+use collabsim::config::PhaseConfig;
+use collabsim::{AttackStats, BehaviorMix, IncentiveScheme, ScenarioSpec, Simulation};
+use collabsim_bench::{arg_value, extract_number, has_flag};
+use collabsim_reputation::propagation::PropagationScheme;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The strategy axis of the grid: `(name, parameter)`.
+const STRATEGIES: [(&str, f64); 5] = [
+    ("adaptive-whitewash", 0.0),
+    ("naive-whitewash", 0.02),
+    ("collusion-ring", 0.0),
+    ("oscillating-freerider", 0.0),
+    ("sybil-slander", 0.0),
+];
+
+/// One reputation-source arm: the ledger, or a propagated backend.
+#[derive(Clone, Copy, PartialEq)]
+enum Source {
+    Ledger,
+    Propagated(PropagationScheme),
+}
+
+impl Source {
+    const ALL: [Source; 4] = [
+        Source::Ledger,
+        Source::Propagated(PropagationScheme::EigenTrust),
+        Source::Propagated(PropagationScheme::Gossip),
+        Source::Propagated(PropagationScheme::MaxFlow),
+    ];
+
+    fn label(self) -> &'static str {
+        match self {
+            Source::Ledger => "ledger",
+            Source::Propagated(scheme) => scheme.label(),
+        }
+    }
+}
+
+struct CellResult {
+    label: String,
+    strategy: &'static str,
+    backend: &'static str,
+    scheme: &'static str,
+    total_steps: u64,
+    steps_per_sec: f64,
+    stats: AttackStats,
+    metrics: UnitAttackMetrics,
+}
+
+struct GridScale {
+    population: usize,
+    adversaries: usize,
+    phases: PhaseConfig,
+    interval: u64,
+}
+
+fn grid_scale(quick: bool) -> GridScale {
+    if quick {
+        GridScale {
+            population: 36,
+            adversaries: 4,
+            phases: PhaseConfig {
+                training_steps: 400,
+                evaluation_steps: 200,
+                ..Default::default()
+            },
+            interval: 25,
+        }
+    } else {
+        GridScale {
+            population: 50,
+            adversaries: 5,
+            phases: PhaseConfig {
+                training_steps: 900,
+                evaluation_steps: 600,
+                ..Default::default()
+            },
+            interval: 50,
+        }
+    }
+}
+
+fn cell_spec(
+    scale: &GridScale,
+    strategy: (&'static str, f64),
+    source: Source,
+    scheme: IncentiveScheme,
+) -> ScenarioSpec {
+    let label = format!("{}/{}/{}", strategy.0, source.label(), scheme.label());
+    let mut builder = ScenarioSpec::builder()
+        .label(label)
+        .population(scale.population)
+        .initial_articles(scale.population / 2)
+        .mix(BehaviorMix::new(0.5, 0.3, 0.2))
+        .incentive(scheme)
+        .phase_config(scale.phases)
+        .seed(0xA77AC)
+        .adversary(AdversarySpec::new(strategy.0, scale.adversaries).with_parameter(strategy.1));
+    if let Source::Propagated(propagation) = source {
+        builder = builder
+            .propagation(propagation, scale.interval)
+            .propagated_reputation();
+    }
+    builder.build().expect("attack grid specs are valid")
+}
+
+fn run_cell(spec: &ScenarioSpec, strategy: &'static str, source: Source) -> CellResult {
+    let total_steps = spec.config().phases.total_steps();
+    let mut sim = Simulation::from_spec(spec).expect("attack strategies are registered");
+    sim.add_observer(AttackMetricsObserver::new());
+    let running = Instant::now();
+    sim.run();
+    let seconds = running.elapsed().as_secs_f64();
+    let stats = *sim.world().adversaries.units()[0].stats();
+    let observer: &AttackMetricsObserver = sim.observer(0).expect("attached above");
+    let metrics = observer.metrics()[0].clone();
+    CellResult {
+        label: spec.label().to_string(),
+        strategy,
+        backend: source.label(),
+        scheme: spec.config().incentive.label(),
+        total_steps,
+        steps_per_sec: total_steps as f64 / seconds,
+        stats,
+        metrics,
+    }
+}
+
+fn render_json(results: &[CellResult], total_steps_per_sec: f64) -> String {
+    let mut out = String::from("{\n  \"bench\": \"attack_grid\",\n  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"strategy\": \"{}\", \"backend\": \"{}\", \
+             \"scheme\": \"{}\", \"total_steps\": {}, \"steps_per_sec\": {:.3}, \
+             \"damage_bandwidth\": {:.3}, \"destructive_accepted\": {}, \
+             \"mean_reputation_retained\": {:.6}, \"resets\": {}, \
+             \"shed_per_reset\": {:.6}, \"vote_revocations\": {}, \
+             \"edit_revocations\": {}, \"first_detection_step\": {}}}{sep}",
+            r.label,
+            r.strategy,
+            r.backend,
+            r.scheme,
+            r.total_steps,
+            r.steps_per_sec,
+            r.metrics.damage_bandwidth,
+            r.metrics.destructive_accepted,
+            r.metrics.mean_reputation_retained(),
+            r.stats.resets,
+            r.stats.shed_per_reset(),
+            r.metrics.vote_revocations,
+            r.metrics.edit_revocations,
+            r.metrics
+                .first_detection
+                .map_or("null".to_string(), |s| s.to_string()),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  ],\n  \"total_steps_per_sec\": {total_steps_per_sec:.3}\n}}"
+    );
+    out
+}
+
+fn check_baseline(total_steps_per_sec: f64, baseline_path: &str, max_regress_pct: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let Some(reference) = text
+        .lines()
+        .find_map(|line| extract_number(line, "total_steps_per_sec"))
+    else {
+        eprintln!("baseline {baseline_path} has no total_steps_per_sec entry");
+        return false;
+    };
+    let floor = reference * (1.0 - max_regress_pct / 100.0);
+    let ok = total_steps_per_sec >= floor;
+    println!(
+        "aggregate: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {}",
+        total_steps_per_sec,
+        reference,
+        floor,
+        if ok { "ok" } else { "REGRESSION" }
+    );
+    ok
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_attacks.json".to_string());
+    let max_regress: f64 = arg_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let scale = grid_scale(quick);
+
+    println!(
+        "collabsim — attack_grid [scale: {}]",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "(strategy × reputation-source × incentive robustness grid, {} peers, {} attackers/cell)",
+        scale.population, scale.adversaries
+    );
+    println!();
+
+    let mut results = Vec::new();
+    let mut total_steps = 0u64;
+    let grid_started = Instant::now();
+
+    // Arm (a): every strategy × every reputation source, paper scheme.
+    for &strategy in &STRATEGIES {
+        for &source in &Source::ALL {
+            let spec = cell_spec(&scale, strategy, source, IncentiveScheme::ReputationBased);
+            let result = run_cell(&spec, strategy.0, source);
+            total_steps += result.total_steps;
+            results.push(result);
+        }
+    }
+    // Arm (b): every strategy × the non-reputation schemes, ledger source.
+    for &strategy in &STRATEGIES {
+        for scheme in [IncentiveScheme::None, IncentiveScheme::TitForTat] {
+            let spec = cell_spec(&scale, strategy, Source::Ledger, scheme);
+            let result = run_cell(&spec, strategy.0, Source::Ledger);
+            total_steps += result.total_steps;
+            results.push(result);
+        }
+    }
+    let total_steps_per_sec = total_steps as f64 / grid_started.elapsed().as_secs_f64();
+
+    println!(
+        "{:<46} {:>9} {:>8} {:>9} {:>6} {:>9} {:>8}",
+        "cell", "damage", "dstr-acc", "retained", "resets", "shed/rst", "detect"
+    );
+    for r in &results {
+        println!(
+            "{:<46} {:>9.1} {:>8} {:>9.4} {:>6} {:>9.4} {:>8}",
+            r.label,
+            r.metrics.damage_bandwidth,
+            r.metrics.destructive_accepted,
+            r.metrics.mean_reputation_retained(),
+            r.stats.resets,
+            r.stats.shed_per_reset(),
+            r.metrics
+                .first_detection
+                .map_or("never".to_string(), |s| format!("@{s}")),
+        );
+    }
+    println!();
+
+    // Headline: adaptive vs naive whitewashing under the ledger source.
+    let find = |strategy: &str, backend: &str, scheme: &str| {
+        results
+            .iter()
+            .find(|r| r.strategy == strategy && r.backend == backend && r.scheme == scheme)
+            .expect("grid covers the headline cells")
+    };
+    let adaptive = find("adaptive-whitewash", "ledger", "reputation");
+    let naive = find("naive-whitewash", "ledger", "reputation");
+    println!(
+        "headline: adaptive-whitewash retains {:.4} over {} resets ({} edit revocations) vs \
+         naive {:.4} over {} resets ({} edit revocations)",
+        adaptive.metrics.mean_reputation_retained(),
+        adaptive.stats.resets,
+        adaptive.metrics.edit_revocations,
+        naive.metrics.mean_reputation_retained(),
+        naive.stats.resets,
+        naive.metrics.edit_revocations,
+    );
+    let beats = adaptive.metrics.mean_reputation_retained()
+        > naive.metrics.mean_reputation_retained()
+        && adaptive.metrics.edit_revocations < naive.metrics.edit_revocations;
+    println!(
+        "          adaptive timing {} naive stochastic whitewashing",
+        if beats { "beats" } else { "DOES NOT BEAT" }
+    );
+
+    // Robustness ranking: which reputation source limited attacker damage
+    // most, per strategy (lower damage + lower retention = more robust).
+    println!();
+    println!("robustness (reputation scheme): per-strategy damage by source");
+    for &(strategy, _) in &STRATEGIES {
+        let mut row = format!("  {strategy:<24}");
+        for &source in &Source::ALL {
+            let cell = find(strategy, source.label(), "reputation");
+            let _ = write!(
+                row,
+                " {}={:.0}",
+                source.label(),
+                cell.metrics.damage_bandwidth
+            );
+        }
+        println!("{row}");
+    }
+
+    let json = render_json(&results, total_steps_per_sec);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\n(report written to {out_path})"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+
+    if !beats {
+        eprintln!("acceptance violated: adaptive-whitewash must beat naive-whitewash");
+        std::process::exit(1);
+    }
+    if let Some(baseline) = arg_value("--baseline") {
+        println!();
+        if !check_baseline(total_steps_per_sec, &baseline, max_regress) {
+            eprintln!("steps/sec regressed more than {max_regress}% against {baseline}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,18 +9,23 @@
 //! stage allocates large multi-request buckets across its workers, and
 //! (4) a churn-enabled spec (departures, re-entries and whitewashes over a
 //! sharded ledger) so the offline-gated phase paths stay byte-identical
-//! under intra-step parallelism; every report's `Debug` form is printed to
-//! stdout.
+//! under intra-step parallelism, and (5) an adversary cell
+//! (adaptive-whitewash + collusion-ring under the paper mix, with
+//! propagation-fed service differentiation) so the strategic-attack and
+//! propagated-reputation paths stay byte-identical too; every report's
+//! `Debug` form is printed to stdout.
 //!
 //! All sources of parallelism honour the `SCENARIO_THREADS` environment
 //! variable, so CI runs the binary twice — `SCENARIO_THREADS=1` and the
 //! default (parallel) — and `diff`s the outputs: any divergence between
 //! sequential and sharded-parallel execution fails the build.
 
+use collabsim::adversary::AdversarySpec;
 use collabsim::config::PhaseConfig;
 use collabsim::experiment::{ScenarioGrid, ScenarioRunner};
 use collabsim::{BehaviorMix, IncentiveScheme, ScenarioSpec, Simulation, SimulationConfig};
 use collabsim_netsim::churn::ChurnModel;
+use collabsim_reputation::propagation::PropagationScheme;
 
 fn main() {
     // The thread setting goes to stderr: stdout must be identical across
@@ -130,4 +135,47 @@ fn main() {
         stats.mean_reentry_reputation(),
         stats.mean_whitewash_shed()
     );
+
+    // An adversary cell under the paper mix: strategic timed whitewashes
+    // (with scheduled re-entries) and a collusion ring cross-voting its
+    // edits, with service differentiation fed by propagated (EigenTrust)
+    // reputation instead of the ledger. Adversaries draw from their own
+    // RNG stream and the parallel stages (sharded ledger, grant workers,
+    // the runner) must reproduce the attack trajectory byte-for-byte at
+    // any SCENARIO_THREADS value.
+    let attack_spec = ScenarioSpec::builder()
+        .label("adversary/paper-mix")
+        .population(80)
+        .initial_articles(40)
+        .mix(BehaviorMix::new(0.6, 0.2, 0.2))
+        .phase_config(PhaseConfig {
+            training_steps: 400,
+            evaluation_steps: 200,
+            ..Default::default()
+        })
+        .adversary(AdversarySpec::new("adaptive-whitewash", 6).with_parameter(3.0))
+        .adversary(AdversarySpec::new("collusion-ring", 5))
+        .propagation(PropagationScheme::EigenTrust, 40)
+        .propagated_reputation()
+        .ledger_shards(8)
+        .seed(0xBADC_0DE5)
+        .build()
+        .expect("adversary spec is valid");
+    let mut sim = Simulation::from_spec(&attack_spec).expect("adversary phase resolves");
+    let report = sim.run();
+    println!("adversary/paper-mix: {report:?}");
+    for unit in sim.world().adversaries.units() {
+        let stats = unit.stats();
+        println!(
+            "adversary/stats: unit={} peers={} resets={} shed_per_reset={:.9} forced_steps={} departures={} rejoins={} override_votes={}",
+            unit.name(),
+            unit.peers().len(),
+            stats.resets,
+            stats.shed_per_reset(),
+            stats.forced_steps,
+            stats.departures,
+            stats.rejoins,
+            stats.override_votes,
+        );
+    }
 }

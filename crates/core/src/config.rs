@@ -7,6 +7,7 @@
 //! `T = 1`, the logistic reputation function with `g = 19`, and the
 //! behaviour-mix sweep convention of Section IV-B.
 
+use crate::adversary::AdversarySpec;
 use crate::incentive::IncentiveScheme;
 use crate::spec::SpecError;
 use collabsim_gametheory::behavior::BehaviorMix;
@@ -40,6 +41,48 @@ impl Default for PropagationConfig {
         Self {
             scheme: None,
             interval: 100,
+        }
+    }
+}
+
+/// Which reputation values feed service differentiation, edit gating and
+/// punishment-recovery decisions.
+///
+/// The paper models reputation as globally visible (the ledger); real
+/// deployments only see what a propagation mechanism delivers. Switching to
+/// [`ReputationSource::Propagated`] makes selection, bandwidth allocation,
+/// edit admission and the edit-rights-recovery gate read the configured
+/// propagation backend's latest output (mapped onto the `[R_min, 1]`
+/// service scale) instead of the ledger — quantifying what realistic
+/// propagation costs, especially under attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReputationSource {
+    /// Globally visible ledger reputation (the paper's assumption; the
+    /// default, bit-identical to the pre-switch engine).
+    #[default]
+    Ledger,
+    /// The latest propagated reputation vector of the configured backend
+    /// (requires [`PropagationConfig::scheme`] to be set). Until the first
+    /// propagation round of a phase, the ledger value is used as the
+    /// bootstrap estimate.
+    Propagated,
+}
+
+impl ReputationSource {
+    /// Stable label (`ledger` / `propagated`) used by the spec text format.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReputationSource::Ledger => "ledger",
+            ReputationSource::Propagated => "propagated",
+        }
+    }
+
+    /// Parses a source from its [`ReputationSource::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "ledger" => Some(ReputationSource::Ledger),
+            "propagated" => Some(ReputationSource::Propagated),
+            _ => None,
         }
     }
 }
@@ -141,6 +184,16 @@ pub struct SimulationConfig {
     pub max_voters_per_edit: usize,
     /// Optional reputation-propagation phase (off by default).
     pub propagation: PropagationConfig,
+    /// Which reputation values feed service decisions: the globally visible
+    /// ledger (the paper's assumption, default) or the propagation
+    /// backend's latest output. `Propagated` requires a configured
+    /// propagation scheme.
+    pub reputation_source: ReputationSource,
+    /// Strategic adversary units (strategy name, controlled-peer count,
+    /// parameter). Empty by default; a non-empty list prepends the
+    /// `adversary` phase to the default phase order. Peers are assigned
+    /// from the top of the id range in list order.
+    pub adversaries: Vec<AdversarySpec>,
     /// Per-step churn probabilities (joins, departures, whitewashing).
     /// The paper's own simulation is churn-free, so the default is
     /// [`ChurnModel::stable`] and the churn phase only enters the pipeline
@@ -199,6 +252,8 @@ impl Default for SimulationConfig {
             restrict_voters_to_editors: false,
             max_voters_per_edit: 10,
             propagation: PropagationConfig::default(),
+            reputation_source: ReputationSource::Ledger,
+            adversaries: Vec::new(),
             churn: ChurnModel::stable(),
             ledger_shards: 0,
             intra_step_threads: 0,
@@ -309,6 +364,23 @@ impl SimulationConfig {
         self
     }
 
+    /// Builder-style: feed service differentiation from the configured
+    /// propagation backend's output instead of the globally visible ledger
+    /// (requires [`SimulationConfig::with_propagation`]).
+    pub fn with_propagated_reputation(mut self) -> Self {
+        self.reputation_source = ReputationSource::Propagated;
+        self
+    }
+
+    /// Builder-style: add one strategic adversary unit (see
+    /// [`AdversarySpec`]). A non-empty adversary list prepends the
+    /// `adversary` phase to the default phase order when the configuration
+    /// is built through [`ScenarioSpec`](crate::spec::ScenarioSpec).
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversaries.push(adversary);
+        self
+    }
+
     /// Builder-style: set the churn model (joins, departures, whitewashing
     /// between steps). A non-stable model adds the `churn` phase to the
     /// front of the default phase order when the configuration is built
@@ -369,6 +441,22 @@ impl SimulationConfig {
             "propagation",
             self.propagation.interval > 0,
             "propagation interval must be at least 1 step",
+        )?;
+        ensure(
+            "reputation_source",
+            self.reputation_source == ReputationSource::Ledger || self.propagation.scheme.is_some(),
+            "propagated reputation requires a configured propagation scheme",
+        )?;
+        for adversary in &self.adversaries {
+            adversary
+                .check()
+                .map_err(|m| SpecError::invalid("adversaries", &m))?;
+        }
+        let claimed: usize = self.adversaries.iter().map(AdversarySpec::count).sum();
+        ensure(
+            "adversaries",
+            claimed + 2 <= self.population,
+            "adversaries must leave at least two honest peers",
         )?;
         self.learning
             .check()

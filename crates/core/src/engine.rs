@@ -23,6 +23,7 @@
 //! reputation-propagation phase when a backend is configured. Custom phases
 //! plug in through [`Simulation::with_pipeline`].
 
+use crate::adversary::AdversaryRegistry;
 use crate::config::SimulationConfig;
 use crate::observer::{StepObserver, WorldView};
 use crate::pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPipeline};
@@ -68,12 +69,35 @@ impl Simulation {
 
     /// Builds a simulation from a spec, resolving phase names against a
     /// caller-supplied registry (which may contain custom phases).
+    /// Adversary specs resolve against the standard
+    /// [`AdversaryRegistry`]; use
+    /// [`Simulation::from_spec_with_registries`] for custom strategies.
     pub fn from_spec_with_registry(
         spec: &ScenarioSpec,
         registry: &PhaseRegistry,
     ) -> Result<Self, SpecError> {
+        Self::from_spec_with_registries(spec, registry, &AdversaryRegistry::standard())
+    }
+
+    /// Builds a simulation from a spec, resolving phase names *and*
+    /// adversary strategy names against caller-supplied registries — the
+    /// fully pluggable entry point: a custom attack is a registered
+    /// [`AdversaryStrategy`](crate::adversary::AdversaryStrategy) plus a
+    /// spec naming it, never an engine edit.
+    pub fn from_spec_with_registries(
+        spec: &ScenarioSpec,
+        registry: &PhaseRegistry,
+        adversary_registry: &AdversaryRegistry,
+    ) -> Result<Self, SpecError> {
         let pipeline = spec.build_pipeline_with(registry)?;
-        Ok(Self::with_pipeline(spec.config().clone(), pipeline))
+        let world = SimWorld::with_adversary_registry(spec.config().clone(), adversary_registry)?;
+        let ctx = StepContext::new(world.population(), 0.0, 0);
+        Ok(Self {
+            world,
+            pipeline,
+            ctx,
+            observers: Vec::new(),
+        })
     }
 
     /// Builds a simulation with a custom step pipeline (e.g. extra
@@ -507,6 +531,33 @@ mod tests {
             "propagated reputation must reflect upload behaviour"
         );
         assert!(report.evaluation_steps == 80);
+    }
+
+    #[test]
+    fn propagated_reputation_source_changes_service_decisions() {
+        // Feeding service differentiation from the propagation backend's
+        // output (instead of the globally visible ledger) must change the
+        // trajectory once the first propagation round has run — and stay
+        // seed-deterministic.
+        let base = quick_config()
+            .with_mix(BehaviorMix::new(0.4, 0.3, 0.3))
+            .with_seed(11)
+            .with_propagation(PropagationScheme::EigenTrust, 25);
+        let ledger_fed = Simulation::new(base.clone()).run();
+        let mut sim = Simulation::new(base.clone().with_propagated_reputation());
+        let propagated_fed = sim.run();
+        assert_ne!(
+            ledger_fed, propagated_fed,
+            "propagated reputation must actually feed service decisions"
+        );
+        assert!(sim.world().propagated_service_reputation.is_some());
+        let values = sim.world().propagated_service_reputation.as_ref().unwrap();
+        let r_min = sim.config().min_reputation;
+        assert!(values
+            .iter()
+            .all(|&v| (r_min - 1e-12..=1.0 + 1e-12).contains(&v)));
+        let again = Simulation::new(base.with_propagated_reputation()).run();
+        assert_eq!(propagated_fed, again, "seed-deterministic");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!    declaration plus a [`run_batch`] call, printed by the
 //!    `collabsim-bench` binaries.
 
+use crate::adversary::AdversaryRegistry;
 use crate::config::SimulationConfig;
 use crate::engine::Simulation;
 use crate::incentive::IncentiveScheme;
@@ -302,13 +303,26 @@ impl ScenarioRunner {
     }
 
     /// Runs labelled [`ScenarioSpec`]s, resolving phase names against a
-    /// caller-supplied registry (which may contain custom phases). Every
-    /// spec is resolved up front, so an unknown phase name fails before
-    /// any simulation starts.
+    /// caller-supplied registry (which may contain custom phases) and
+    /// adversary strategies against the standard
+    /// [`AdversaryRegistry`]. Every spec is resolved up front, so an
+    /// unknown phase name fails before any simulation starts.
     pub fn run_specs_with_registry(
         &self,
         specs: Vec<ScenarioSpec>,
         registry: &PhaseRegistry,
+    ) -> Result<Vec<LabelledReport>, SpecError> {
+        self.run_specs_with_registries(specs, registry, &AdversaryRegistry::standard())
+    }
+
+    /// Runs labelled [`ScenarioSpec`]s, resolving phase names *and*
+    /// adversary strategy names against caller-supplied registries — the
+    /// fully pluggable runner entry point.
+    pub fn run_specs_with_registries(
+        &self,
+        specs: Vec<ScenarioSpec>,
+        registry: &PhaseRegistry,
+        adversary_registry: &AdversaryRegistry,
     ) -> Result<Vec<LabelledReport>, SpecError> {
         // Fail fast on unresolvable specs, by name only — the pipelines
         // themselves are built inside the workers.
@@ -321,9 +335,10 @@ impl ScenarioRunner {
                     name: unknown.clone(),
                 });
             }
+            adversary_registry.check_config(spec.config())?;
         }
         let run_one = |spec: &ScenarioSpec| -> LabelledReport {
-            let report = Simulation::from_spec_with_registry(spec, registry)
+            let report = Simulation::from_spec_with_registries(spec, registry, adversary_registry)
                 .expect("specs were resolved above")
                 .run();
             LabelledReport {
@@ -374,6 +389,12 @@ impl ScenarioRunner {
     ///
     /// Panics if a configuration is invalid (the same contract the
     /// pre-spec engine enforced at construction time).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build `ScenarioSpec`s (e.g. via `ScenarioSpec::from_config`) and call \
+                `run_specs` instead; the tuple form cannot express phase orders, adversaries \
+                or custom registries"
+    )]
     pub fn run_cells(&self, configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
         let specs = configs
             .into_iter()
@@ -393,10 +414,21 @@ impl ScenarioRunner {
 /// worker is available. Results are returned in input order regardless of
 /// completion order, so sweeps stay deterministic.
 ///
-/// Thin wrapper around [`ScenarioRunner::run_cells`] with automatic
+/// Thin wrapper around [`ScenarioRunner::run_specs`] with automatic
 /// parallelism, kept as the entry point of the figure helpers below.
 pub fn run_batch(configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
-    ScenarioRunner::default().run_cells(configs)
+    let specs = configs
+        .into_iter()
+        .map(
+            |(label, parameter, config)| match ScenarioSpec::from_config(config) {
+                Ok(spec) => spec.with_label(label).with_parameter(parameter),
+                Err(error) => panic!("{error}"),
+            },
+        )
+        .collect();
+    ScenarioRunner::default()
+        .run_specs(specs)
+        .expect("default-phase specs always resolve")
 }
 
 /// **Figure 3** — shared articles and bandwidth of an all-rational
@@ -593,6 +625,20 @@ mod tests {
         assert_eq!(results[1].label, "b");
         assert_eq!(results[2].label, "c");
         assert_eq!(results[2].parameter, 3.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_cells_shim_still_matches_run_specs() {
+        let config = tiny_base().with_seed(21);
+        let via_shim =
+            ScenarioRunner::sequential().run_cells(vec![("cell".to_string(), 1.5, config.clone())]);
+        let spec = ScenarioSpec::from_config(config)
+            .unwrap()
+            .with_label("cell")
+            .with_parameter(1.5);
+        let via_specs = ScenarioRunner::sequential().run_specs(vec![spec]).unwrap();
+        assert_eq!(via_shim, via_specs);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod adversary;
 pub mod agent;
 pub mod config;
 pub mod engine;
@@ -59,8 +60,11 @@ pub mod threads;
 pub mod world;
 
 pub use action::{CollabAction, EditBehavior, ShareLevel, ACTION_DIMS};
+pub use adversary::{
+    AdversaryRegistry, AdversarySpec, AdversaryStrategy, AttackMetricsObserver, AttackStats,
+};
 pub use agent::{AgentState, CollabAgent};
-pub use config::{PhaseConfig, PropagationConfig, SimulationConfig};
+pub use config::{PhaseConfig, PropagationConfig, ReputationSource, SimulationConfig};
 pub use engine::Simulation;
 pub use experiment::{ScenarioGrid, ScenarioRunner};
 pub use incentive::IncentiveScheme;

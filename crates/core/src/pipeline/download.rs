@@ -356,7 +356,10 @@ impl StepPhase for DownloadPhase {
                     src,
                     DownloadRequest {
                         downloader,
-                        sharing_reputation: world.ledger.sharing_reputation(p),
+                        // The service-visible reputation: the ledger value,
+                        // or the propagation backend's estimate under
+                        // `reputation_source = propagated`.
+                        sharing_reputation: world.service_sharing_reputation(p),
                         download_capacity: world.peers.peer(downloader).download_capacity,
                         uploaded_to_source: world.uploads.get(p, src.index()),
                     },

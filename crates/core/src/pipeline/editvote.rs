@@ -2,6 +2,7 @@
 
 use super::{StepContext, StepPhase};
 use crate::action::EditBehavior;
+use crate::adversary::VoteDirective;
 use crate::world::SimWorld;
 use collabsim_netsim::article::EditKind;
 use collabsim_netsim::peer::PeerId;
@@ -59,9 +60,12 @@ impl StepPhase for EditVotePhase {
             // A punished editor regains its editing right once its sharing
             // reputation has been rebuilt above the threshold θ — the paper's
             // punishment *is* the reputation reset, so the gate below is what
-            // actually keeps the peer out until it contributes again.
+            // actually keeps the peer out until it contributes again. Both
+            // gates read the *service-visible* reputation (the ledger, or
+            // the propagation backend's estimate under
+            // `reputation_source = propagated`).
             if !world.ledger.can_edit(p)
-                && world.ledger.sharing_reputation(p) >= world.config.service.edit_threshold
+                && world.service_sharing_reputation(p) >= world.config.service.edit_threshold
             {
                 world.ledger.restore_editing_rights(p);
             }
@@ -69,7 +73,7 @@ impl StepPhase for EditVotePhase {
                 continue;
             }
             if world.config.incentive.gated_editing()
-                && !world.service.may_edit(world.ledger.sharing_reputation(p))
+                && !world.service.may_edit(world.service_sharing_reputation(p))
             {
                 continue;
             }
@@ -140,21 +144,43 @@ impl StepPhase for EditVotePhase {
                 if world.config.incentive.punishes() && !world.ledger.can_vote(vi) {
                     continue;
                 }
-                // A voter's stance this step follows its own chosen edit
-                // behaviour: constructive voters support quality, destructive
-                // voters oppose it, abstainers stay silent.
-                let stance = ctx.actions[vi].edit;
-                if !stance.participates() {
-                    continue;
-                }
-                ctx.voted_this_step[vi] = true;
-                let supports_edit = match (stance, kind) {
-                    (EditBehavior::Constructive, EditKind::Constructive) => true,
-                    (EditBehavior::Constructive, EditKind::Destructive) => false,
-                    (EditBehavior::Destructive, EditKind::Constructive) => false,
-                    (EditBehavior::Destructive, EditKind::Destructive) => true,
-                    (EditBehavior::Abstain, _) => unreachable!("abstainers skipped above"),
+                // A voter's stance this step normally follows its own
+                // chosen edit behaviour: constructive voters support
+                // quality, destructive voters oppose it, abstainers stay
+                // silent. Adversary units may override the stance
+                // (collusive cross-voting, sybil slander); the override
+                // resolves to `None` for every peer when no adversaries
+                // are configured, leaving the honest path untouched.
+                // Offline peers never vote: honest ones carry the idle
+                // (Abstain) action while away, and the override is gated
+                // here so a departed attacker cannot keep manipulating
+                // votes either.
+                let supports_edit = match world.adversaries.vote_stance(vi, p) {
+                    Some(_) if !world.peers.peer(*voter).online => continue,
+                    Some(VoteDirective::Support) => {
+                        world.adversaries.note_override_vote(vi);
+                        true
+                    }
+                    Some(VoteDirective::Oppose) => {
+                        world.adversaries.note_override_vote(vi);
+                        false
+                    }
+                    Some(VoteDirective::Abstain) => continue,
+                    None => {
+                        let stance = ctx.actions[vi].edit;
+                        if !stance.participates() {
+                            continue;
+                        }
+                        match (stance, kind) {
+                            (EditBehavior::Constructive, EditKind::Constructive) => true,
+                            (EditBehavior::Constructive, EditKind::Destructive) => false,
+                            (EditBehavior::Destructive, EditKind::Constructive) => false,
+                            (EditBehavior::Destructive, EditKind::Destructive) => true,
+                            (EditBehavior::Abstain, _) => unreachable!("abstainers skipped above"),
+                        }
+                    }
                 };
+                ctx.voted_this_step[vi] = true;
                 if supports_edit {
                     in_favor += power;
                     favor_voters.push(vi);

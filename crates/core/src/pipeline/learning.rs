@@ -17,11 +17,15 @@ impl StepPhase for LearningPhase {
     fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
         for p in 0..world.population() {
             // Departed peers took no action this step, so there is no
-            // transition to learn from.
+            // transition to learn from. Adversary-forced peers did not
+            // *choose* their action either — their learner is suspended
+            // while the strategy drives, so a forced step can never be
+            // credited to the agent's own last choice.
             if !world
                 .peers
                 .peer(collabsim_netsim::peer::PeerId(p as u32))
                 .online
+                || world.adversaries.forced_action(p).is_some()
             {
                 continue;
             }

@@ -27,14 +27,20 @@
 //!   [`PropagationBackend`](collabsim_reputation::propagation::PropagationBackend),
 //! * [`ChurnPhase`] — (optional, spec-gated) applies the configured churn
 //!   model between steps: departures, re-entries and whitewashes over the
-//!   peer arena, drawing from its own stream (`world.churn_rng`).
+//!   peer arena, drawing from its own stream (`world.churn_rng`),
+//! * [`AdversaryPhase`](crate::adversary::AdversaryPhase) — (optional,
+//!   spec-gated) runs the configured strategic adversary units against a
+//!   read-only view of the post-churn world and applies their actions
+//!   (forced free-riding, timed whitewashes, departures with scheduled
+//!   re-entries), on its own stream (`world.adversary_rng`).
 //!
 //! **Determinism contract:** phases draw from `world.rng` strictly in
 //! pipeline order. Inserting a phase that consumes the step RNG changes
 //! every downstream draw; phases with private randomness (like
-//! [`PropagationPhase`] and [`ChurnPhase`]) must use their own stream
-//! (`world.propagation_rng` / `world.churn_rng`). The golden-report test
-//! pins the standard pipeline's exact behaviour.
+//! [`PropagationPhase`], [`ChurnPhase`] and the adversary phase) must use
+//! their own stream (`world.propagation_rng` / `world.churn_rng` /
+//! `world.adversary_rng`). The golden-report test pins the standard
+//! pipeline's exact behaviour.
 //!
 //! Pipelines are assembled by resolving an ordered list of phase *names*
 //! against a [`PhaseRegistry`] — [`StepPipeline::standard`] is the default

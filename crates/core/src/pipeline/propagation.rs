@@ -12,10 +12,14 @@ use collabsim_reputation::propagation::TrustGraph;
 /// direct-relation history the paper's Section II-C candidates (EigenTrust,
 /// MaxFlow) assume. The phase runs its backend every
 /// `config.propagation.interval` steps and stores the result in
-/// [`SimWorld::global_reputation`]; it deliberately does **not** feed the
+/// [`SimWorld::global_reputation`]. Under the default
+/// `reputation_source = ledger` it deliberately does **not** feed the
 /// result back into service differentiation (the paper assumes propagation
 /// exists but models reputation as globally visible), so enabling it
-/// observes propagation quality without perturbing the core dynamics. It
+/// observes propagation quality without perturbing the core dynamics;
+/// under `reputation_source = propagated` the phase additionally refreshes
+/// [`SimWorld::propagated_service_reputation`], which selection, bandwidth
+/// allocation and edit gating then consume instead of the ledger. It
 /// draws randomness exclusively from `world.propagation_rng`, keeping the
 /// main step RNG stream untouched.
 pub struct PropagationPhase;
@@ -46,5 +50,9 @@ impl StepPhase for PropagationPhase {
         let reputation = backend.propagate(&graph, &mut world.propagation_rng);
         world.global_reputation = Some(reputation);
         world.propagation_runs += 1;
+        // Under `reputation_source = propagated` the service rules read
+        // this backend's output instead of the ledger; refresh the mapped
+        // cache (a no-op under the default ledger source).
+        world.refresh_service_reputation();
     }
 }

@@ -12,6 +12,7 @@ use super::{
     ChurnPhase, DownloadPhase, EditVotePhase, LearningPhase, PropagationPhase, SelectionPhase,
     SharingPhase, StepPhase, StepPipeline, UtilityPhase,
 };
+use crate::adversary::AdversaryPhase;
 use crate::config::SimulationConfig;
 use crate::spec::SpecError;
 
@@ -33,9 +34,9 @@ impl PhaseRegistry {
     }
 
     /// The standard registry: the six Section-IV protocol phases plus the
-    /// optional `propagation` and `churn` phases, under their stable names
-    /// (`selection`, `sharing`, `download`, `edit-vote`, `utility`,
-    /// `learning`, `propagation`, `churn`).
+    /// optional `propagation`, `churn` and `adversary` phases, under their
+    /// stable names (`selection`, `sharing`, `download`, `edit-vote`,
+    /// `utility`, `learning`, `propagation`, `churn`, `adversary`).
     pub fn standard() -> Self {
         let mut registry = Self::empty();
         registry
@@ -46,7 +47,8 @@ impl PhaseRegistry {
             .register("utility", |_| Box::new(UtilityPhase))
             .register("learning", |_| Box::new(LearningPhase))
             .register("propagation", |_| Box::new(PropagationPhase))
-            .register("churn", |_| Box::new(ChurnPhase));
+            .register("churn", |_| Box::new(ChurnPhase))
+            .register("adversary", |_| Box::new(AdversaryPhase));
         registry
     }
 
@@ -138,7 +140,7 @@ mod tests {
     #[test]
     fn standard_registry_knows_all_builtin_phases() {
         let registry = PhaseRegistry::standard();
-        assert_eq!(registry.len(), 8);
+        assert_eq!(registry.len(), 9);
         for name in [
             "selection",
             "sharing",
@@ -148,6 +150,7 @@ mod tests {
             "learning",
             "propagation",
             "churn",
+            "adversary",
         ] {
             assert!(registry.contains(name), "missing {name}");
         }
@@ -199,10 +202,10 @@ mod tests {
         }
         let mut registry = PhaseRegistry::standard();
         registry.register("marker", |_| Box::new(MarkerPhase));
-        assert_eq!(registry.len(), 9);
+        assert_eq!(registry.len(), 10);
         // Latest registration wins.
         registry.register("marker", |_| Box::new(MarkerPhase));
-        assert_eq!(registry.len(), 9);
+        assert_eq!(registry.len(), 10);
 
         let config = SimulationConfig {
             population: 8,

@@ -10,7 +10,10 @@ use crate::world::SimWorld;
 /// over their Q-values at the step temperature, altruistic and irrational
 /// agents return their fixed actions. Offline peers (departed under churn)
 /// record [`CollabAction::idle`] without consuming any randomness, so a
-/// churn-free run draws exactly as before.
+/// churn-free run draws exactly as before. Peers under a forced adversary
+/// action (set by the `adversary` phase this step) record that action
+/// instead of consulting their agent — likewise without consuming any
+/// randomness, so a run without adversaries draws exactly as before.
 ///
 /// Fills [`StepContext::current_states`] and [`StepContext::actions`].
 pub struct SelectionPhase;
@@ -30,14 +33,17 @@ impl StepPhase for SelectionPhase {
             .zip(current_states.iter())
             .enumerate()
         {
-            let action = if world
+            let online = world
                 .peers
                 .peer(collabsim_netsim::peer::PeerId(p as u32))
-                .online
-            {
-                agent.choose(state, ctx.temperature, &mut world.rng)
-            } else {
+                .online;
+            let action = if !online {
                 CollabAction::idle()
+            } else if let Some(forced) = world.adversaries.forced_action(p) {
+                world.adversaries.note_forced(p);
+                forced
+            } else {
+                agent.choose(state, ctx.temperature, &mut world.rng)
             };
             ctx.actions.push(action);
         }

@@ -40,7 +40,10 @@
 //! ...
 //! ```
 
-use crate::config::{DownloadRate, PhaseConfig, PropagationConfig, SimulationConfig};
+use crate::adversary::AdversarySpec;
+use crate::config::{
+    DownloadRate, PhaseConfig, PropagationConfig, ReputationSource, SimulationConfig,
+};
 use crate::incentive::IncentiveScheme;
 use crate::pipeline::{PhaseRegistry, StepPipeline};
 use collabsim_gametheory::behavior::BehaviorMix;
@@ -61,6 +64,12 @@ pub enum SpecError {
     /// A phase name in the spec's phase list is not registered.
     UnknownPhase {
         /// The unresolvable phase name.
+        name: String,
+    },
+    /// An adversary strategy name is not registered in the
+    /// [`AdversaryRegistry`](crate::adversary::AdversaryRegistry) in use.
+    UnknownStrategy {
+        /// The unresolvable strategy name.
         name: String,
     },
     /// The spec's phase list is empty.
@@ -92,6 +101,12 @@ impl fmt::Display for SpecError {
             }
             SpecError::UnknownPhase { name } => {
                 write!(f, "unknown phase `{name}` (not in the registry)")
+            }
+            SpecError::UnknownStrategy { name } => {
+                write!(
+                    f,
+                    "unknown adversary strategy `{name}` (not in the registry)"
+                )
             }
             SpecError::EmptyPhaseList => write!(f, "the phase list must not be empty"),
             SpecError::Parse { line, message } => {
@@ -346,6 +361,18 @@ impl ScenarioSpec {
                 None => "none".to_string(),
             },
         );
+        kv("reputation_source", c.reputation_source.label().to_string());
+        for adversary in &c.adversaries {
+            kv(
+                "adversary",
+                format!(
+                    "{},{},{}",
+                    adversary.strategy(),
+                    adversary.count(),
+                    fmt_f64(adversary.parameter())
+                ),
+            );
+        }
         kv(
             "churn",
             format!(
@@ -501,6 +528,23 @@ impl ScenarioSpec {
                         }
                     };
                 }
+                "reputation_source" => {
+                    config.reputation_source = ReputationSource::from_label(value)
+                        .ok_or_else(|| parse_err(format!("unknown reputation source `{value}`")))?;
+                }
+                "adversary" => {
+                    let parts: Vec<&str> = value.split(',').map(str::trim).collect();
+                    if parts.len() != 3 {
+                        return Err(parse_err(format!(
+                            "`adversary` expects `strategy,count,parameter`, got `{value}`"
+                        )));
+                    }
+                    let count: usize = parse_int(key, parts[1], line_no)?;
+                    let parameter = parse_f64(key, parts[2], line_no)?;
+                    config
+                        .adversaries
+                        .push(AdversarySpec::new(parts[0], count).with_parameter(parameter));
+                }
                 "churn" => {
                     let parts = parse_f64_list(key, value, 3, line_no)?;
                     config.churn = ChurnModel {
@@ -649,12 +693,17 @@ fn parse_int_list(key: &str, value: &str, n: usize, line: usize) -> Result<Vec<u
 }
 
 /// The default phase order for a configuration: the six Section-IV protocol
-/// phases, preceded by `churn` when the churn model generates events and
-/// followed by `propagation` when a propagation backend is configured.
+/// phases, preceded by `churn` when the churn model generates events and by
+/// `adversary` when adversary units are configured (churn first, so
+/// strategies observe the post-churn population), and followed by
+/// `propagation` when a propagation backend is configured.
 pub fn default_phase_names(config: &SimulationConfig) -> Vec<&'static str> {
-    let mut names = Vec::with_capacity(8);
+    let mut names = Vec::with_capacity(9);
     if !config.churn.is_stable() {
         names.push("churn");
+    }
+    if !config.adversaries.is_empty() {
+        names.push("adversary");
     }
     names.extend([
         "selection",
@@ -775,6 +824,28 @@ impl ScenarioSpecBuilder {
         self
     }
 
+    /// Adds one strategic adversary unit (a non-empty adversary list
+    /// prepends the `adversary` phase to the default phase order). Call
+    /// repeatedly for multiple units.
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.config.adversaries.push(adversary);
+        self
+    }
+
+    /// Replaces the adversary unit list wholesale.
+    pub fn adversaries<I: IntoIterator<Item = AdversarySpec>>(mut self, adversaries: I) -> Self {
+        self.config.adversaries = adversaries.into_iter().collect();
+        self
+    }
+
+    /// Feeds service differentiation from the configured propagation
+    /// backend's output instead of the globally visible ledger (requires
+    /// [`ScenarioSpecBuilder::propagation`]; validated at build time).
+    pub fn propagated_reputation(mut self) -> Self {
+        self.config.reputation_source = ReputationSource::Propagated;
+        self
+    }
+
     /// Sets the ledger shard count (`0` = automatic).
     pub fn ledger_shards(mut self, shards: usize) -> Self {
         self.config.ledger_shards = shards;
@@ -834,6 +905,17 @@ impl ScenarioSpecBuilder {
                 .collect(),
         };
         phases.extend(self.extra_phases);
+        // Adversary units without the `adversary` phase would be silently
+        // half-active: the edit-vote phase consults the roster's vote
+        // policies unconditionally, while forced actions and whitewashes
+        // only happen inside the phase. Reject the combination instead of
+        // shipping a partial attack the spec never declared.
+        if !self.config.adversaries.is_empty() && !phases.iter().any(|p| p == "adversary") {
+            return Err(SpecError::invalid(
+                "phases",
+                "adversary units are configured but the phase order omits the `adversary` phase",
+            ));
+        }
         Ok(ScenarioSpec {
             label: self.label,
             parameter: self.parameter,
@@ -1021,5 +1103,116 @@ mod tests {
         assert_eq!(spec.phases().first().map(String::as_str), Some("churn"));
         assert_eq!(spec.phases().last().map(String::as_str), Some("my-metrics"));
         assert_eq!(spec.phases().len(), 8);
+    }
+
+    #[test]
+    fn adversaries_enter_the_default_order_and_round_trip() {
+        let spec = ScenarioSpec::builder()
+            .adversary(AdversarySpec::new("adaptive-whitewash", 5))
+            .adversary(AdversarySpec::new("naive-whitewash", 3).with_parameter(0.05))
+            .build()
+            .unwrap();
+        assert_eq!(spec.phases().first().map(String::as_str), Some("adversary"));
+        assert_eq!(spec.phases().len(), 7);
+        let text = spec.to_text();
+        assert!(text.contains("adversary = adaptive-whitewash,5,0"));
+        assert!(text.contains("adversary = naive-whitewash,3,0.05"));
+        let parsed = ScenarioSpec::parse(&text).unwrap();
+        assert_eq!(parsed, spec, "adversary lines must round-trip exactly");
+        assert_eq!(parsed.config().adversaries.len(), 2);
+    }
+
+    #[test]
+    fn churn_precedes_adversary_in_the_default_order() {
+        let spec = ScenarioSpec::builder()
+            .churn(ChurnModel::mild())
+            .adversary(AdversarySpec::new("collusion-ring", 4))
+            .build()
+            .unwrap();
+        assert_eq!(
+            &spec.phases()[..2],
+            &["churn".to_string(), "adversary".to_string()],
+            "strategies observe the post-churn population"
+        );
+    }
+
+    #[test]
+    fn reputation_source_round_trips_and_requires_propagation() {
+        let spec = ScenarioSpec::builder()
+            .propagation(PropagationScheme::EigenTrust, 50)
+            .propagated_reputation()
+            .build()
+            .unwrap();
+        assert_eq!(
+            spec.config().reputation_source,
+            crate::config::ReputationSource::Propagated
+        );
+        let parsed = ScenarioSpec::parse(&spec.to_text()).unwrap();
+        assert_eq!(parsed, spec);
+
+        let err = ScenarioSpec::builder()
+            .propagated_reputation()
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::InvalidField {
+                field: "reputation_source",
+                ..
+            }
+        ));
+        let err = ScenarioSpec::parse("reputation_source = telepathy\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }));
+    }
+
+    #[test]
+    fn invalid_adversary_specs_are_typed_errors() {
+        let err = ScenarioSpec::builder()
+            .adversary(AdversarySpec::new("bad name", 2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::InvalidField {
+                field: "adversaries",
+                ..
+            }
+        ));
+        // Claiming all but one peer leaves fewer than two honest peers.
+        let err = ScenarioSpec::builder()
+            .population(10)
+            .adversary(AdversarySpec::new("collusion-ring", 9))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::InvalidField {
+                field: "adversaries",
+                ..
+            }
+        ));
+        let err = ScenarioSpec::parse("adversary = collusion-ring,2\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { .. }));
+        // An explicit phase order that omits the adversary phase while
+        // units are configured would be silently half-active — rejected.
+        let err = ScenarioSpec::builder()
+            .adversary(AdversarySpec::new("collusion-ring", 4))
+            .phase_order([
+                "selection",
+                "sharing",
+                "download",
+                "edit-vote",
+                "utility",
+                "learning",
+            ])
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::InvalidField {
+                field: "phases",
+                ..
+            }
+        ));
     }
 }

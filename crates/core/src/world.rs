@@ -8,8 +8,9 @@
 //! receives `&mut SimWorld` plus the per-step scratch
 //! [`crate::pipeline::StepContext`] and is otherwise free.
 
+use crate::adversary::{AdversaryRegistry, AdversaryRoster};
 use crate::agent::{AgentState, CollabAgent};
-use crate::config::SimulationConfig;
+use crate::config::{ReputationSource, SimulationConfig};
 use crate::report::{BehaviorBreakdown, SimulationReport};
 use collabsim_gametheory::behavior::BehaviorType;
 use collabsim_netsim::article::{ArticleId, ArticleRegistry, EditOutcomeCounts};
@@ -260,6 +261,19 @@ pub struct SimWorld {
     pub global_reputation: Option<GlobalReputation>,
     /// How many times the propagation phase has executed its backend.
     pub propagation_runs: u64,
+    /// The latest propagated reputation mapped onto the `[R_min, 1]`
+    /// service scale, refreshed by the propagation phase when
+    /// [`ReputationSource::Propagated`] is configured (`None` otherwise, or
+    /// before the first propagation round of a phase). This is the vector
+    /// [`SimWorld::service_sharing_reputation`] serves.
+    pub propagated_service_reputation: Option<Vec<f64>>,
+    /// The strategic adversary units configured for this run (empty and
+    /// inert unless the configuration lists [`crate::adversary::AdversarySpec`]s).
+    pub adversaries: AdversaryRoster,
+    /// Dedicated RNG for adversary strategies, independent of `rng` for the
+    /// same reason as `churn_rng`: a run without adversaries draws nothing
+    /// here and stays bit-identical.
+    pub adversary_rng: StdRng,
     /// Worker-thread count for the intra-step collect/apply stages,
     /// resolved once at construction (config value, or the automatic
     /// `SCENARIO_THREADS`/hardware resolution when the config says 0) so
@@ -273,14 +287,34 @@ pub struct SimWorld {
 }
 
 impl SimWorld {
-    /// Builds the initial network state from a configuration.
+    /// Builds the initial network state from a configuration, resolving
+    /// adversary specs against the standard
+    /// [`AdversaryRegistry`].
     ///
     /// RNG draw order (behaviour shuffle, then article seeding) is part of
     /// the determinism contract pinned by the golden-report test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration or an adversary strategy the
+    /// standard registry does not know (use
+    /// [`SimWorld::with_adversary_registry`] for custom strategies and a
+    /// typed error).
     pub fn new(config: SimulationConfig) -> Self {
-        if let Err(error) = config.check() {
-            panic!("{error}");
+        match Self::with_adversary_registry(config, &AdversaryRegistry::standard()) {
+            Ok(world) => world,
+            Err(error) => panic!("{error}"),
         }
+    }
+
+    /// [`SimWorld::new`] with adversary specs resolved against a
+    /// caller-supplied registry (which may contain custom strategies),
+    /// returning a typed error instead of panicking.
+    pub fn with_adversary_registry(
+        config: SimulationConfig,
+        adversary_registry: &AdversaryRegistry,
+    ) -> Result<Self, crate::spec::SpecError> {
+        config.check()?;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let population = config.population;
 
@@ -330,13 +364,15 @@ impl SimWorld {
 
         let propagation_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
         let churn_rng = StdRng::seed_from_u64(config.seed ^ 0x5851_F42D_4C95_7F2D);
+        let adversary_rng = StdRng::seed_from_u64(config.seed ^ 0x3C6E_F372_FE94_F82A);
+        let adversaries = adversary_registry.build_roster(&config)?;
 
         let intra_step_threads = match config.intra_step_threads {
             0 => crate::threads::auto_intra_step_threads(population),
             n => n,
         };
 
-        Self {
+        Ok(Self {
             clock: SimClock::new(),
             peers,
             articles,
@@ -362,11 +398,14 @@ impl SimWorld {
             churn_stats: ChurnStats::default(),
             global_reputation: None,
             propagation_runs: 0,
+            propagated_service_reputation: None,
+            adversaries,
+            adversary_rng,
             intra_step_threads,
             article_scratch: Vec::new(),
             rng,
             config,
-        }
+        })
     }
 
     /// Number of peers.
@@ -382,10 +421,58 @@ impl SimWorld {
         self.intra_step_threads
     }
 
-    /// The agent's current state: its sharing-reputation bucket.
+    /// The sharing reputation that feeds service decisions (selection
+    /// state, bandwidth allocation, edit gating, punishment recovery) for
+    /// `peer`: the ledger's globally visible value under
+    /// [`ReputationSource::Ledger`], the propagation backend's latest
+    /// mapped output under [`ReputationSource::Propagated`] (falling back
+    /// to the ledger until the first propagation round of a phase).
+    #[inline]
+    pub fn service_sharing_reputation(&self, peer: usize) -> f64 {
+        match &self.propagated_service_reputation {
+            Some(values) => values[peer],
+            None => self.ledger.sharing_reputation(peer),
+        }
+    }
+
+    /// Refreshes the propagated service-reputation cache from the latest
+    /// backend output: values are mapped onto the `[R_min, 1]` reputation
+    /// scale by dividing through the vector maximum (backends produce
+    /// probability-like or flow-bound vectors whose absolute scale is
+    /// meaningless to the threshold-based service rules). Called by the
+    /// propagation phase after each round; a no-op under
+    /// [`ReputationSource::Ledger`].
+    pub fn refresh_service_reputation(&mut self) {
+        if self.config.reputation_source != ReputationSource::Propagated {
+            return;
+        }
+        let Some(global) = &self.global_reputation else {
+            return;
+        };
+        let r_min = self.config.min_reputation;
+        let max = global.values.iter().cloned().fold(0.0f64, f64::max);
+        let target = self
+            .propagated_service_reputation
+            .get_or_insert_with(Vec::new);
+        target.clear();
+        if max > 0.0 {
+            target.extend(
+                global
+                    .values
+                    .iter()
+                    .map(|&v| r_min + (1.0 - r_min) * (v / max)),
+            );
+        } else {
+            target.resize(global.values.len(), r_min);
+        }
+    }
+
+    /// The agent's current state: its service-visible sharing-reputation
+    /// bucket (the ledger value, or the propagated estimate under
+    /// [`ReputationSource::Propagated`]).
     pub fn agent_state(&self, peer: usize) -> AgentState {
         AgentState::from_reputation(
-            self.ledger.sharing_reputation(peer),
+            self.service_sharing_reputation(peer),
             self.config.min_reputation,
             self.states,
         )
@@ -462,11 +549,16 @@ impl SimWorld {
     /// counters cleared, rights restored) and the upload-relation history
     /// is forgotten in both directions. The agent keeps its Q-matrix — the
     /// human behind the identity is the same learner.
-    pub fn whitewash_peer(&mut self, peer: PeerId, now: u64) {
+    ///
+    /// Returns the sharing reputation above `R_min` the identity shed (what
+    /// the whitewash cost), so callers tracking per-strategy attack costs
+    /// share this accounting instead of recomputing it.
+    pub fn whitewash_peer(&mut self, peer: PeerId, now: u64) -> f64 {
         let p = peer.index();
-        let shed = self.ledger.sharing_reputation(p) - self.ledger.min_sharing_reputation();
+        let shed =
+            (self.ledger.sharing_reputation(p) - self.ledger.min_sharing_reputation()).max(0.0);
         self.churn_stats.whitewashes += 1;
-        self.churn_stats.whitewash_reputation_shed_sum += shed.max(0.0);
+        self.churn_stats.whitewash_reputation_shed_sum += shed;
         // The old identity's in-flight download dies with it (exactly as
         // on departure) — a fresh identity must not inherit partial
         // transfer progress, or whitewashing would be strictly cheaper
@@ -485,10 +577,15 @@ impl SimWorld {
         let record = self.peers.peer_mut(peer);
         record.online = true;
         record.joined_at = now;
+        shed
     }
 
     /// The phase switch: reputation values are reset, Q-matrices are kept.
+    /// The propagated service-reputation cache is dropped with them —
+    /// evaluation starts from the newcomer state until the first
+    /// propagation round of the measured phase.
     pub fn reset_for_evaluation(&mut self) {
+        self.propagated_service_reputation = None;
         self.ledger.reset_all_contributions();
         self.accumulators = vec![PeerAccumulator::default(); self.config.population];
         self.edit_outcome_baseline = self.articles.edit_outcome_counts();

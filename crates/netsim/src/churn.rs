@@ -132,6 +132,68 @@ impl ChurnModel {
     }
 }
 
+/// A deterministic queue of *timed* re-entries: "peer `p` comes back online
+/// at step `t`".
+///
+/// The probabilistic [`ChurnModel`] covers background churn; adversarial
+/// strategies (timed whitewashing, lie-low-then-return cycles) need churn
+/// events at *chosen* times instead. The schedule is a plain insertion-order
+/// queue — no randomness, no hashing — so draining it is a pure function of
+/// the schedule calls, which keeps strategy-driven churn bit-reproducible.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReentrySchedule {
+    entries: Vec<(u64, PeerId)>,
+}
+
+impl ReentrySchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `peer` to re-enter at step `at` (multiple entries per peer
+    /// are allowed; each fires once).
+    pub fn schedule(&mut self, at: u64, peer: PeerId) {
+        self.entries.push((at, peer));
+    }
+
+    /// Moves every entry due at or before `now` into `out`, in scheduling
+    /// order. Entries that are not yet due stay queued.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<PeerId>) {
+        let mut kept = 0usize;
+        for i in 0..self.entries.len() {
+            let (at, peer) = self.entries[i];
+            if at <= now {
+                out.push(peer);
+            } else {
+                self.entries[kept] = (at, peer);
+                kept += 1;
+            }
+        }
+        self.entries.truncate(kept);
+    }
+
+    /// The earliest step any queued entry is due at.
+    pub fn next_due(&self) -> Option<u64> {
+        self.entries.iter().map(|&(at, _)| at).min()
+    }
+
+    /// Whether `peer` has at least one queued entry.
+    pub fn is_scheduled(&self, peer: PeerId) -> bool {
+        self.entries.iter().any(|&(_, p)| p == peer)
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -318,5 +380,47 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(6);
         model.sample_step(&peers(1), &mut rng);
+    }
+
+    #[test]
+    fn reentry_schedule_drains_due_entries_in_scheduling_order() {
+        let mut schedule = ReentrySchedule::new();
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.next_due(), None);
+        schedule.schedule(10, PeerId(3));
+        schedule.schedule(5, PeerId(1));
+        schedule.schedule(10, PeerId(2));
+        assert_eq!(schedule.len(), 3);
+        assert_eq!(schedule.next_due(), Some(5));
+        assert!(schedule.is_scheduled(PeerId(1)));
+        assert!(!schedule.is_scheduled(PeerId(9)));
+
+        let mut due = Vec::new();
+        schedule.drain_due(4, &mut due);
+        assert!(due.is_empty(), "nothing due before step 5");
+        schedule.drain_due(5, &mut due);
+        assert_eq!(due, vec![PeerId(1)]);
+        due.clear();
+        // Both step-10 entries fire together, in the order they were queued.
+        schedule.drain_due(11, &mut due);
+        assert_eq!(due, vec![PeerId(3), PeerId(2)]);
+        assert!(schedule.is_empty());
+    }
+
+    #[test]
+    fn reentry_schedule_allows_repeated_entries_per_peer() {
+        let mut schedule = ReentrySchedule::new();
+        schedule.schedule(2, PeerId(7));
+        schedule.schedule(4, PeerId(7));
+        let mut due = Vec::new();
+        schedule.drain_due(2, &mut due);
+        assert_eq!(due, vec![PeerId(7)]);
+        assert!(
+            schedule.is_scheduled(PeerId(7)),
+            "second entry still queued"
+        );
+        due.clear();
+        schedule.drain_due(4, &mut due);
+        assert_eq!(due, vec![PeerId(7)]);
     }
 }
