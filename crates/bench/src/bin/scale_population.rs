@@ -4,25 +4,30 @@
 //! ([`ScenarioSpec::large_population`]) at each requested population
 //! tier (default: the 10⁴ / 5·10⁴ / 10⁵ family of
 //! `ScenarioGrid::large_population`), measuring world-construction time,
-//! end-to-end steps/sec and the per-phase wall-clock breakdown, and writes
-//! the result as `BENCH_scale.json`.
+//! end-to-end steps/sec, the per-phase wall-clock breakdown and the
+//! process's peak resident set size, and writes the result as
+//! `BENCH_scale.json`.
 //!
 //! Flags:
 //!
-//! * `--tiers 10000,50000` — override the population tiers,
+//! * `--tiers 10000,1000000` — override the population tiers (the 10⁶
+//!   million-peer tier is exercised this way),
+//! * `--train N` / `--eval N` — override the preset's training/evaluation
+//!   step counts (the CI smoke leg runs the 10⁶ tier with reduced steps),
 //! * `--quick` — a single reduced tier (2 000 peers) for smoke runs,
 //! * `--out <path>` — output path (default `BENCH_scale.json`),
-//! * `--baseline <path>` — compare steps/sec per tier against a previously
-//!   written report and exit non-zero on a regression,
-//! * `--max-regress <pct>` — tolerated steps/sec drop (default 20 %).
+//! * `--baseline <path>` — compare steps/sec and peak RSS per tier against
+//!   a previously written report and exit non-zero on a regression,
+//! * `--max-regress <pct>` — tolerated steps/sec drop and tolerated peak
+//!   RSS growth (default 20 %).
 //!
-//! The CI `perf` job runs the 10⁴ tier against the checked-in baseline in
-//! `crates/bench/baselines/scale_baseline.json` and uploads the fresh
-//! `BENCH_scale.json` as a build artifact.
+//! The CI `perf` job runs the 10⁴ and 10⁶ tiers against the checked-in
+//! baseline in `crates/bench/baselines/scale_baseline.json` and uploads
+//! the fresh `BENCH_scale.json` as a build artifact.
 
 use collabsim::experiment::LARGE_POPULATION_TIERS;
-use collabsim::{ScenarioSpec, Simulation};
-use collabsim_bench::{arg_value, extract_number, has_flag};
+use collabsim::{ScenarioSpec, Simulation, SimulationConfig};
+use collabsim_bench::{arg_value, extract_number, has_flag, peak_rss_mb};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -34,6 +39,11 @@ struct TierResult {
     total_steps: u64,
     steps_per_sec: f64,
     mean_sharing_reputation: f64,
+    /// Peak RSS after the tier finished. The kernel high-water mark is
+    /// process-wide and monotone, so with ascending tiers each snapshot is
+    /// dominated by the largest population run so far — the figure that
+    /// matters for the memory gate.
+    peak_rss_mb: Option<f64>,
     phases: Vec<(String, f64)>,
 }
 
@@ -79,9 +89,30 @@ fn tiers_from_args() -> Vec<usize> {
     LARGE_POPULATION_TIERS.to_vec()
 }
 
-fn run_tier(peers: usize) -> TierResult {
-    let spec = ScenarioSpec::large_population(peers);
+/// Optional training/evaluation step-count overrides from the command line.
+fn step_overrides() -> (Option<u64>, Option<u64>) {
+    let parse = |flag: &str| arg_value(flag).and_then(|v| v.parse().ok());
+    (parse("--train"), parse("--eval"))
+}
+
+fn run_tier(peers: usize, train: Option<u64>, eval: Option<u64>) -> TierResult {
+    let spec = match (train, eval) {
+        (None, None) => ScenarioSpec::large_population(peers),
+        _ => {
+            let mut config = SimulationConfig::large_population(peers);
+            if let Some(steps) = train {
+                config.phases.training_steps = steps;
+            }
+            if let Some(steps) = eval {
+                config.phases.evaluation_steps = steps;
+            }
+            ScenarioSpec::from_config(config)
+                .expect("large-population preset with step overrides is valid")
+                .with_label(format!("large-population/pop={peers}"))
+        }
+    };
     let total_steps = spec.config().phases.total_steps();
+    let expected_eval = spec.config().phases.evaluation_steps;
     let building = Instant::now();
     let mut sim = Simulation::from_spec(&spec).expect("standard phases resolve");
     let build_seconds = building.elapsed().as_secs_f64();
@@ -91,7 +122,7 @@ fn run_tier(peers: usize) -> TierResult {
     let running = Instant::now();
     let report = sim.run();
     let run_seconds = running.elapsed().as_secs_f64();
-    assert_eq!(report.evaluation_steps, 20, "preset evaluation length");
+    assert_eq!(report.evaluation_steps, expected_eval, "evaluation length");
     let phases = sim
         .phase_timings()
         .totals()
@@ -106,6 +137,7 @@ fn run_tier(peers: usize) -> TierResult {
         total_steps,
         steps_per_sec: total_steps as f64 / run_seconds,
         mean_sharing_reputation: mean_sharing_reputation(&sim),
+        peak_rss_mb: peak_rss_mb(),
         phases,
     }
 }
@@ -118,11 +150,15 @@ fn render_json(results: &[TierResult]) -> String {
             let sep = if j + 1 < tier.phases.len() { ", " } else { "" };
             let _ = write!(phases, "\"{name}\": {seconds:.4}{sep}");
         }
+        let mut rss = String::new();
+        if let Some(mb) = tier.peak_rss_mb {
+            let _ = write!(rss, "\"peak_rss_mb\": {mb:.1}, ");
+        }
         let sep = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(
             out,
             "    {{\"peers\": {}, \"shards\": {}, \"threads\": {}, \"build_seconds\": {:.3}, \
-             \"total_steps\": {}, \"steps_per_sec\": {:.3}, \
+             \"total_steps\": {}, \"steps_per_sec\": {:.3}, {rss}\
              \"mean_sharing_reputation\": {:.6}, \"phases\": {{{phases}}}}}{sep}",
             tier.peers,
             tier.shards,
@@ -137,13 +173,25 @@ fn render_json(results: &[TierResult]) -> String {
     out
 }
 
-/// `peers → steps_per_sec` pairs of a baseline report.
-fn parse_baseline(text: &str) -> Vec<(usize, f64)> {
+/// One tier of a baseline report: peers, steps/sec, and (for baselines
+/// recorded since the RSS gate landed) the peak RSS in MB.
+struct BaselineTier {
+    peers: usize,
+    steps_per_sec: f64,
+    peak_rss_mb: Option<f64>,
+}
+
+/// Parses the per-tier lines of a baseline report.
+fn parse_baseline(text: &str) -> Vec<BaselineTier> {
     text.lines()
         .filter_map(|line| {
             let peers = extract_number(line, "peers")? as usize;
             let steps_per_sec = extract_number(line, "steps_per_sec")?;
-            Some((peers, steps_per_sec))
+            Some(BaselineTier {
+                peers,
+                steps_per_sec,
+                peak_rss_mb: extract_number(line, "peak_rss_mb"),
+            })
         })
         .collect()
 }
@@ -163,14 +211,14 @@ fn check_baseline(results: &[TierResult], baseline_path: &str, max_regress_pct: 
     }
     let mut ok = true;
     for tier in results {
-        let Some(&(_, reference)) = baseline.iter().find(|&&(p, _)| p == tier.peers) else {
+        let Some(reference) = baseline.iter().find(|b| b.peers == tier.peers) else {
             println!(
                 "tier {}: no baseline entry (skipping the regression check)",
                 tier.peers
             );
             continue;
         };
-        let floor = reference * (1.0 - max_regress_pct / 100.0);
+        let floor = reference.steps_per_sec * (1.0 - max_regress_pct / 100.0);
         let verdict = if tier.steps_per_sec >= floor {
             "ok"
         } else {
@@ -179,14 +227,32 @@ fn check_baseline(results: &[TierResult], baseline_path: &str, max_regress_pct: 
         };
         println!(
             "tier {}: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {verdict}",
-            tier.peers, tier.steps_per_sec, reference, floor
+            tier.peers, tier.steps_per_sec, reference.steps_per_sec, floor
         );
+        // The memory gate: peak RSS may grow at most as much as steps/sec
+        // may shrink. Skipped when either side lacks a measurement (non-
+        // procfs platform or a pre-RSS baseline).
+        if let (Some(current), Some(recorded)) = (tier.peak_rss_mb, reference.peak_rss_mb) {
+            let ceiling = recorded * (1.0 + max_regress_pct / 100.0);
+            let verdict = if current <= ceiling {
+                "ok"
+            } else {
+                ok = false;
+                "REGRESSION"
+            };
+            println!(
+                "tier {}: peak RSS {current:.0} MB vs baseline {recorded:.0} MB \
+                 (ceiling {ceiling:.0}) — {verdict}",
+                tier.peers
+            );
+        }
     }
     ok
 }
 
 fn main() {
     let tiers = tiers_from_args();
+    let (train, eval) = step_overrides();
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_scale.json".to_string());
     let max_regress: f64 = arg_value("--max-regress")
         .and_then(|v| v.parse().ok())
@@ -198,15 +264,17 @@ fn main() {
 
     let mut results = Vec::new();
     for &peers in &tiers {
-        let tier = run_tier(peers);
+        let tier = run_tier(peers, train, eval);
         println!(
-            "peers={:>7}  shards={:>2}  threads={}  build={:>7.2}s  steps={}  steps/sec={:>8.2}",
+            "peers={:>7}  shards={:>2}  threads={}  build={:>7.2}s  steps={}  steps/sec={:>8.2}{}",
             tier.peers,
             tier.shards,
             tier.threads,
             tier.build_seconds,
             tier.total_steps,
-            tier.steps_per_sec
+            tier.steps_per_sec,
+            tier.peak_rss_mb
+                .map_or_else(String::new, |mb| format!("  peak_rss={mb:.0}MB")),
         );
         for (name, seconds) in &tier.phases {
             println!("    {name:<12} {seconds:>8.3}s");
@@ -223,7 +291,9 @@ fn main() {
     if let Some(baseline) = arg_value("--baseline") {
         println!();
         if !check_baseline(&results, &baseline, max_regress) {
-            eprintln!("steps/sec regressed more than {max_regress}% against {baseline}");
+            eprintln!(
+                "steps/sec or peak RSS regressed more than {max_regress}% against {baseline}"
+            );
             std::process::exit(1);
         }
     }

@@ -109,6 +109,22 @@ pub fn csv_path_from_args() -> Option<String> {
     arg_value("--csv")
 }
 
+/// The process's peak resident set size in MB (`VmHWM` from
+/// `/proc/self/status`), or `None` on platforms without procfs. The scale
+/// bench records this per tier so CI can gate the memory footprint of the
+/// struct-of-arrays hot state alongside steps/sec — a tier that still hits
+/// its throughput floor by ballooning to a dense quadratic structure fails
+/// the RSS ceiling instead.
+pub fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb / 1024.0)
+}
+
 /// Writes CSV output to the path given by `--csv`, if any, and reports the
 /// destination on stdout.
 pub fn maybe_write_csv(csv: &str) {

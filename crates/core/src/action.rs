@@ -12,7 +12,7 @@
 //! Actions are flattened into indices `0..27` for the tabular Q-learner via
 //! the mixed-radix encoding of [`collabsim_rl::space`].
 
-use collabsim_rl::space::{flatten_action, unflatten_action, ActionSpace};
+use collabsim_rl::space::{flatten_action, unflatten_action_into, ActionSpace};
 use serde::{Deserialize, Serialize};
 
 /// Per-dimension cardinalities of the composite action space:
@@ -181,7 +181,8 @@ impl CollabAction {
     ///
     /// Panics if the index is out of range.
     pub fn from_index(index: usize) -> Self {
-        let coords = unflatten_action(index, &ACTION_DIMS);
+        let mut coords = [0usize; 3];
+        unflatten_action_into(index, &ACTION_DIMS, &mut coords);
         Self {
             bandwidth: ShareLevel::from_index(coords[0]),
             articles: ShareLevel::from_index(coords[1]),

@@ -433,6 +433,19 @@ impl AdversaryRoster {
         self.forced.get(peer).copied().flatten()
     }
 
+    /// The whole forced-action table as a slice (empty for a default
+    /// roster). The parallel learning phase captures this instead of
+    /// calling [`AdversaryRoster::forced_action`] per peer so its scoped
+    /// workers share one `Sync` borrow; `slice.get(p)` reproduces the
+    /// per-peer accessor's semantics exactly.
+    #[inline]
+    pub fn forced_actions(&self) -> &[Option<CollabAction>] {
+        if self.units.is_empty() {
+            return &[];
+        }
+        &self.forced
+    }
+
     /// The voting override of `voter` on an edit submitted by `editor`
     /// (`None` = no override; the voter's own stance logic applies).
     #[inline]

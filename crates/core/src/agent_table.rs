@@ -1,0 +1,525 @@
+//! Struct-of-arrays agent storage.
+//!
+//! [`CollabAgent`](crate::agent::CollabAgent) is the readable reference
+//! model of one agent: behaviour type, optional Q-learner, last choice.
+//! Storing one such struct per peer is fine at paper scale but dominates
+//! the step time at 10⁵+ peers — every selection/learning touch chases an
+//! `Option<QLearningAgent>` box per peer. [`AgentTable`] holds the same
+//! state as parallel dense arrays:
+//!
+//! * `behaviors[p]` — the peer's (immutable) behaviour type,
+//! * one flat rank-major Q-matrix block per *rational* peer (`learner_rank`
+//!   maps peer → block; ranks are assigned in ascending peer order, so a
+//!   contiguous peer range owns a contiguous Q range and the learning phase
+//!   can hand disjoint `&mut` shards to scoped workers),
+//! * `last_state`/`last_action` sentinel-encoded per peer (the delayed
+//!   Q-update's transition source).
+//!
+//! Every operation is bit-for-bit identical to the corresponding
+//! [`CollabAgent`](crate::agent::CollabAgent) call — the
+//! `soa_storage_prop` property test pins the two against each other over
+//! random churn/adversary traces.
+
+use crate::action::CollabAction;
+use collabsim_gametheory::behavior::BehaviorType;
+use collabsim_rl::qlearning::QLearningParams;
+use collabsim_rl::space::StateSpace;
+
+const NO_STATE: u32 = u32::MAX;
+const NO_ACTION: u8 = u8::MAX;
+
+/// Struct-of-arrays storage for the whole agent population.
+#[derive(Debug, Clone)]
+pub struct AgentTable {
+    behaviors: Vec<BehaviorType>,
+    /// Prefix counts of rational peers: `learner_rank[p]` is the number of
+    /// rational peers with id `< p` (length `population + 1`). For a
+    /// rational peer this is its Q-block rank.
+    learner_rank: Vec<u32>,
+    params: QLearningParams,
+    states: usize,
+    actions: usize,
+    /// Rank-major flat Q-values: `learner_count × states × actions`.
+    q: Vec<f64>,
+    /// Q-update count per learner rank.
+    updates: Vec<u64>,
+    /// Last `choose` state bucket per peer ([`NO_STATE`] before the first).
+    last_state: Vec<u32>,
+    /// Last `choose` action index per peer ([`NO_ACTION`] before the first).
+    last_action: Vec<u8>,
+}
+
+impl AgentTable {
+    /// Builds the table for a behaviour assignment; rational peers get a
+    /// Q-block over `states × 27` actions initialised to
+    /// `params.initial_q`, like
+    /// [`CollabAgent::new`](crate::agent::CollabAgent::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid `params` when the population contains at least one
+    /// rational peer (matching the per-agent construction it replaces).
+    pub fn new(behaviors: &[BehaviorType], states: StateSpace, params: QLearningParams) -> Self {
+        let mut learner_rank = Vec::with_capacity(behaviors.len() + 1);
+        let mut rank = 0u32;
+        for behavior in behaviors {
+            learner_rank.push(rank);
+            if *behavior == BehaviorType::Rational {
+                rank += 1;
+            }
+        }
+        learner_rank.push(rank);
+        if rank > 0 {
+            params.validate();
+        }
+        let states = states.len();
+        let actions = CollabAction::action_space().len();
+        Self {
+            behaviors: behaviors.to_vec(),
+            learner_rank,
+            params,
+            states,
+            actions,
+            q: vec![params.initial_q; rank as usize * states * actions],
+            updates: vec![0; rank as usize],
+            last_state: vec![NO_STATE; behaviors.len()],
+            last_action: vec![NO_ACTION; behaviors.len()],
+        }
+    }
+
+    /// Number of peers.
+    pub fn population(&self) -> usize {
+        self.behaviors.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.behaviors.is_empty()
+    }
+
+    /// Number of rational (learning) peers.
+    pub fn learner_count(&self) -> usize {
+        *self.learner_rank.last().expect("prefix is never empty") as usize
+    }
+
+    /// The peer's behaviour type.
+    #[inline]
+    pub fn behavior(&self, peer: usize) -> BehaviorType {
+        self.behaviors[peer]
+    }
+
+    /// Whether the peer learns (i.e. is rational).
+    #[inline]
+    pub fn is_learning(&self, peer: usize) -> bool {
+        self.behaviors[peer] == BehaviorType::Rational
+    }
+
+    /// The shared Q-learning hyper-parameters.
+    pub fn params(&self) -> &QLearningParams {
+        &self.params
+    }
+
+    /// Number of reputation-bucket states per Q-block.
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// Number of actions per Q-row.
+    pub fn action_count(&self) -> usize {
+        self.actions
+    }
+
+    #[inline]
+    fn block_start(&self, peer: usize) -> usize {
+        debug_assert!(self.is_learning(peer), "peer {peer} has no Q-block");
+        self.learner_rank[peer] as usize * self.states * self.actions
+    }
+
+    /// The rational peer's Q-row for a state bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the peer is not rational.
+    #[inline]
+    pub fn q_row(&self, peer: usize, bucket: usize) -> &[f64] {
+        let start = self.block_start(peer) + bucket * self.actions;
+        &self.q[start..start + self.actions]
+    }
+
+    /// The rational peer's full Q-block (`states × actions`, row-major), or
+    /// `None` for fixed-behaviour peers.
+    pub fn q_block(&self, peer: usize) -> Option<&[f64]> {
+        self.is_learning(peer).then(|| {
+            let start = self.block_start(peer);
+            &self.q[start..start + self.states * self.actions]
+        })
+    }
+
+    /// Records the `(state, action)` a peer chose this step — what
+    /// [`CollabAgent::choose`](crate::agent::CollabAgent::choose) stores as
+    /// `last_state`/`last_action` for the delayed Q-update. Called for
+    /// every online, non-forced peer regardless of behaviour type.
+    #[inline]
+    pub fn record_choice(&mut self, peer: usize, bucket: usize, action_index: usize) {
+        self.last_state[peer] = bucket as u32;
+        self.last_action[peer] = action_index as u8;
+    }
+
+    /// The state bucket of the peer's most recent choice, if any.
+    pub fn last_state_bucket(&self, peer: usize) -> Option<usize> {
+        (self.last_state[peer] != NO_STATE).then_some(self.last_state[peer] as usize)
+    }
+
+    /// The action index of the peer's most recent choice, if any.
+    pub fn last_action_index(&self, peer: usize) -> Option<usize> {
+        (self.last_action[peer] != NO_ACTION).then_some(self.last_action[peer] as usize)
+    }
+
+    /// Applies the Q-learning update for the reward observed after the last
+    /// recorded choice, transitioning to `next_bucket`. Fixed-behaviour
+    /// peers ignore the call — same contract as
+    /// [`CollabAgent::learn`](crate::agent::CollabAgent::learn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a rational peer before any choice was recorded.
+    #[inline]
+    pub fn learn(&mut self, peer: usize, reward: f64, next_bucket: usize) {
+        if !self.is_learning(peer) {
+            return;
+        }
+        let rank = self.learner_rank[peer] as usize;
+        let block_len = self.states * self.actions;
+        let block = &mut self.q[rank * block_len..(rank + 1) * block_len];
+        q_update(
+            &self.params,
+            self.actions,
+            block,
+            &mut self.updates[rank],
+            self.last_state[peer],
+            self.last_action[peer],
+            reward,
+            next_bucket,
+        );
+    }
+
+    /// Q-update count of a peer (0 for fixed-behaviour peers).
+    pub fn updates_of(&self, peer: usize) -> u64 {
+        if self.is_learning(peer) {
+            self.updates[self.learner_rank[peer] as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Total Q-updates across the population.
+    pub fn total_updates(&self) -> u64 {
+        self.updates.iter().sum()
+    }
+
+    /// The rational peer's greedy action index for a state (ties to the
+    /// lowest index, like `QTable::greedy_action`); `None` for
+    /// fixed-behaviour peers.
+    pub fn greedy_action(&self, peer: usize, bucket: usize) -> Option<usize> {
+        if !self.is_learning(peer) {
+            return None;
+        }
+        let row = self.q_row(peer, bucket);
+        let mut best = 0usize;
+        let mut best_value = row[0];
+        for (a, &v) in row.iter().enumerate().skip(1) {
+            if v > best_value {
+                best = a;
+                best_value = v;
+            }
+        }
+        Some(best)
+    }
+
+    /// Splits the table into disjoint mutable shards along `bounds` (peer
+    /// indices, ascending, starting at 0 and ending at the population), so
+    /// the learning phase's scoped workers can update contiguous peer
+    /// ranges in parallel. Ranks are monotone in peer id, so each peer
+    /// range owns a contiguous Q range.
+    pub fn split_mut(&mut self, bounds: &[usize]) -> Vec<AgentShardMut<'_>> {
+        assert!(bounds.len() >= 2, "need at least one range");
+        assert_eq!(*bounds.first().unwrap(), 0, "ranges must start at 0");
+        assert_eq!(
+            *bounds.last().unwrap(),
+            self.behaviors.len(),
+            "ranges must cover the population"
+        );
+        let block_len = self.states * self.actions;
+        let mut shards = Vec::with_capacity(bounds.len() - 1);
+        let mut q_rest = self.q.as_mut_slice();
+        let mut updates_rest = self.updates.as_mut_slice();
+        let mut state_rest = self.last_state.as_mut_slice();
+        let mut action_rest = self.last_action.as_mut_slice();
+        let mut rank_base = 0usize;
+        for window in bounds.windows(2) {
+            let (start, end) = (window[0], window[1]);
+            assert!(start <= end, "bounds must be ascending");
+            let rank_end = self.learner_rank[end] as usize;
+            let ranks = rank_end - rank_base;
+            let (q, q_tail) = q_rest.split_at_mut(ranks * block_len);
+            let (updates, updates_tail) = updates_rest.split_at_mut(ranks);
+            let (last_state, state_tail) = state_rest.split_at_mut(end - start);
+            let (last_action, action_tail) = action_rest.split_at_mut(end - start);
+            shards.push(AgentShardMut {
+                start,
+                end,
+                rank_base,
+                behaviors: &self.behaviors,
+                learner_rank: &self.learner_rank,
+                params: self.params,
+                states: self.states,
+                actions: self.actions,
+                q,
+                updates,
+                last_state,
+                last_action,
+            });
+            q_rest = q_tail;
+            updates_rest = updates_tail;
+            state_rest = state_tail;
+            action_rest = action_tail;
+            rank_base = rank_end;
+        }
+        shards
+    }
+}
+
+/// A disjoint mutable shard of an [`AgentTable`] covering a contiguous peer
+/// range; peers are addressed by their absolute index.
+#[derive(Debug)]
+pub struct AgentShardMut<'a> {
+    start: usize,
+    end: usize,
+    rank_base: usize,
+    behaviors: &'a [BehaviorType],
+    learner_rank: &'a [u32],
+    params: QLearningParams,
+    states: usize,
+    actions: usize,
+    q: &'a mut [f64],
+    updates: &'a mut [u64],
+    last_state: &'a mut [u32],
+    last_action: &'a mut [u8],
+}
+
+impl AgentShardMut<'_> {
+    /// The absolute peer range this shard owns.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Whether the (absolute-indexed) peer learns.
+    #[inline]
+    pub fn is_learning(&self, peer: usize) -> bool {
+        self.behaviors[peer] == BehaviorType::Rational
+    }
+
+    /// Shard-local [`AgentTable::learn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peer` lies outside the shard's range, or on a rational
+    /// peer without a recorded choice.
+    #[inline]
+    pub fn learn(&mut self, peer: usize, reward: f64, next_bucket: usize) {
+        assert!(
+            peer >= self.start && peer < self.end,
+            "peer {peer} outside shard range"
+        );
+        if !self.is_learning(peer) {
+            return;
+        }
+        let rank = self.learner_rank[peer] as usize - self.rank_base;
+        let block_len = self.states * self.actions;
+        let block = &mut self.q[rank * block_len..(rank + 1) * block_len];
+        q_update(
+            &self.params,
+            self.actions,
+            block,
+            &mut self.updates[rank],
+            self.last_state[peer - self.start],
+            self.last_action[peer - self.start],
+            reward,
+            next_bucket,
+        );
+    }
+}
+
+/// The shared Q-update kernel: exactly
+/// [`QLearningAgent::update`](collabsim_rl::qlearning::QLearningAgent::update)
+/// on a flat block, including the "prior choose" contract of
+/// [`CollabAgent::learn`](crate::agent::CollabAgent::learn).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn q_update(
+    params: &QLearningParams,
+    actions: usize,
+    block: &mut [f64],
+    updates: &mut u64,
+    last_state: u32,
+    last_action: u8,
+    reward: f64,
+    next_bucket: usize,
+) {
+    assert!(
+        last_state != NO_STATE && last_action != NO_ACTION,
+        "learn() requires a prior choose() call"
+    );
+    debug_assert!(reward.is_finite(), "reward must be finite");
+    let alpha = params.learning_rate;
+    let gamma = params.discount;
+    let index = last_state as usize * actions + last_action as usize;
+    let old = block[index];
+    let next_row = &block[next_bucket * actions..(next_bucket + 1) * actions];
+    let future = next_row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    block[index] = (1.0 - alpha) * old + alpha * (reward + gamma * future);
+    *updates += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{AgentState, CollabAgent};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn behaviors() -> Vec<BehaviorType> {
+        vec![
+            BehaviorType::Altruistic,
+            BehaviorType::Rational,
+            BehaviorType::Irrational,
+            BehaviorType::Rational,
+            BehaviorType::Rational,
+        ]
+    }
+
+    fn table() -> AgentTable {
+        AgentTable::new(
+            &behaviors(),
+            StateSpace::new(10),
+            QLearningParams::default(),
+        )
+    }
+
+    #[test]
+    fn ranks_are_dense_over_rational_peers() {
+        let t = table();
+        assert_eq!(t.population(), 5);
+        assert_eq!(t.learner_count(), 3);
+        assert!(!t.is_learning(0));
+        assert!(t.is_learning(1));
+        assert_eq!(t.q.len(), 3 * 10 * 27);
+        assert_eq!(t.action_count(), 27);
+    }
+
+    #[test]
+    fn learn_matches_collab_agent_bitwise() {
+        let mut t = table();
+        let mut reference = CollabAgent::new(
+            BehaviorType::Rational,
+            StateSpace::new(10),
+            QLearningParams::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        for step in 0..200 {
+            let state = AgentState { bucket: step % 10 };
+            let action = reference.choose(state, 1.0, &mut rng);
+            t.record_choice(1, state.bucket, action.to_index());
+            let reward = (step as f64 * 0.37).sin();
+            let next = (step + 3) % 10;
+            reference.learn(reward, AgentState { bucket: next });
+            t.learn(1, reward, next);
+        }
+        let learner = reference.learner().unwrap();
+        assert_eq!(t.updates_of(1), learner.updates());
+        for s in 0..10 {
+            for (a, &v) in learner.table().row(s).iter().enumerate() {
+                assert_eq!(t.q_row(1, s)[a].to_bits(), v.to_bits(), "s={s} a={a}");
+            }
+        }
+    }
+
+    #[test]
+    fn learn_is_a_noop_for_fixed_peers() {
+        let mut t = table();
+        t.learn(0, 1.0, 0);
+        t.learn(2, 1.0, 0);
+        assert_eq!(t.total_updates(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior choose")]
+    fn learn_before_choice_panics_for_rational_peers() {
+        let mut t = table();
+        t.learn(1, 1.0, 0);
+    }
+
+    #[test]
+    fn greedy_action_ties_to_lowest_index() {
+        let mut t = table();
+        assert_eq!(t.greedy_action(0, 0), None);
+        assert_eq!(t.greedy_action(1, 0), Some(0));
+        t.record_choice(1, 0, 5);
+        t.learn(1, 10.0, 0);
+        assert_eq!(t.greedy_action(1, 0), Some(5));
+    }
+
+    #[test]
+    fn split_mut_shards_are_equivalent_to_whole_table() {
+        let mut sharded = table();
+        let mut whole = table();
+        for p in 0..5 {
+            sharded.record_choice(p, p % 10, p % 27);
+            whole.record_choice(p, p % 10, p % 27);
+        }
+        let bounds = [0usize, 2, 5];
+        let mut shards = sharded.split_mut(&bounds);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].range(), 0..2);
+        assert_eq!(shards[1].range(), 2..5);
+        for p in 0..5 {
+            let reward = p as f64 * 0.5 - 1.0;
+            let shard = if p < 2 {
+                &mut shards[0]
+            } else {
+                &mut shards[1]
+            };
+            shard.learn(p, reward, (p + 1) % 10);
+            whole.learn(p, reward, (p + 1) % 10);
+        }
+        drop(shards);
+        assert_eq!(sharded.total_updates(), whole.total_updates());
+        for p in [1usize, 3, 4] {
+            for s in 0..10 {
+                let a_row = sharded.q_row(p, s);
+                let b_row = whole.q_row(p, s);
+                for (a, b) in a_row.iter().zip(b_row) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shard range")]
+    fn shard_rejects_foreign_peer() {
+        let mut t = table();
+        let mut shards = t.split_mut(&[0, 2, 5]);
+        shards[0].learn(4, 0.0, 0);
+    }
+
+    #[test]
+    fn last_choice_accessors_roundtrip() {
+        let mut t = table();
+        assert_eq!(t.last_state_bucket(1), None);
+        assert_eq!(t.last_action_index(1), None);
+        t.record_choice(1, 7, 13);
+        assert_eq!(t.last_state_bucket(1), Some(7));
+        assert_eq!(t.last_action_index(1), Some(13));
+    }
+}

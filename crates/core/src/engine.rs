@@ -37,7 +37,7 @@ use collabsim_reputation::sharded::ShardedLedger;
 
 pub use crate::world::{ARTICLE_CONTRIBUTION_UNITS, BANDWIDTH_CONTRIBUTION_UNITS};
 
-use crate::agent::CollabAgent;
+use crate::agent_table::AgentTable;
 
 /// The full simulation: world state plus the step pipeline advancing it.
 ///
@@ -174,8 +174,8 @@ impl Simulation {
         &self.world.articles
     }
 
-    /// Read access to the agents.
-    pub fn agents(&self) -> &[CollabAgent] {
+    /// Read access to the struct-of-arrays agent table.
+    pub fn agents(&self) -> &AgentTable {
         &self.world.agents
     }
 
@@ -368,12 +368,7 @@ mod tests {
     fn reputation_reset_keeps_q_matrices() {
         let mut sim = Simulation::new(quick_config());
         sim.run_training();
-        let updates_before: u64 = sim
-            .agents()
-            .iter()
-            .filter_map(|a| a.learner())
-            .map(|l| l.updates())
-            .sum();
+        let updates_before = sim.agents().total_updates();
         assert!(updates_before > 0);
         // Sharing reputation has moved away from the minimum during training.
         let any_above_min = (0..20).any(|p| sim.ledger().sharing_reputation(p) > 0.06);
@@ -382,12 +377,7 @@ mod tests {
         for p in 0..20 {
             assert!((sim.ledger().sharing_reputation(p) - 0.05).abs() < 1e-9);
         }
-        let updates_after: u64 = sim
-            .agents()
-            .iter()
-            .filter_map(|a| a.learner())
-            .map(|l| l.updates())
-            .sum();
+        let updates_after = sim.agents().total_updates();
         assert_eq!(updates_before, updates_after, "Q-matrices must be kept");
     }
 

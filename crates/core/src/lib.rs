@@ -45,8 +45,10 @@
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod active;
 pub mod adversary;
 pub mod agent;
+pub mod agent_table;
 pub mod config;
 pub mod engine;
 pub mod experiment;
@@ -60,10 +62,12 @@ pub mod threads;
 pub mod world;
 
 pub use action::{CollabAction, EditBehavior, ShareLevel, ACTION_DIMS};
+pub use active::{ActiveSets, PeerBitset};
 pub use adversary::{
     AdversaryRegistry, AdversarySpec, AdversaryStrategy, AttackMetricsObserver, AttackStats,
 };
 pub use agent::{AgentState, CollabAgent};
+pub use agent_table::{AgentShardMut, AgentTable};
 pub use config::{PhaseConfig, PropagationConfig, ReputationSource, SimulationConfig};
 pub use engine::Simulation;
 pub use experiment::{ScenarioGrid, ScenarioRunner};
@@ -72,7 +76,7 @@ pub use observer::{StepObserver, TimingObserver, WorldView};
 pub use pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPhase, StepPipeline};
 pub use report::{BehaviorBreakdown, SimulationReport};
 pub use spec::{ScenarioSpec, ScenarioSpecBuilder, SpecError};
-pub use world::{ChurnStats, SimWorld, UploadMatrix};
+pub use world::{AccumulatorTable, ChurnStats, PeerAccumulator, SimWorld, UploadMatrix};
 
 // Re-export the pieces downstream users constantly need alongside the core
 // API so examples only import one crate.

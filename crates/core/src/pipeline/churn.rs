@@ -33,14 +33,14 @@ impl StepPhase for ChurnPhase {
             return;
         }
         let now = ctx.now;
-        // Online peers ascending by id: `sample_step` emits events in input
-        // order, so the whole event stream is a pure function of the churn
-        // RNG stream and the online set.
+        // Online peers ascending by id (the bitset iterates ascending):
+        // `sample_step` emits events in input order, so the whole event
+        // stream is a pure function of the churn RNG stream and the online
+        // set.
         let online: Vec<PeerId> = world
-            .peers
-            .iter()
-            .filter(|p| p.online)
-            .map(|p| p.id)
+            .active
+            .iter_online()
+            .map(|p| PeerId(p as u32))
             .collect();
         let mut online_count = online.len();
         let events = model.sample_step(&online, &mut world.churn_rng);
@@ -50,11 +50,9 @@ impl StepPhase for ChurnPhase {
                     // The arena is fixed-size, so a join is the re-entry of
                     // a departed identity, drawn uniformly from the offline
                     // set (ascending id order keeps the draw deterministic).
-                    let offline: Vec<PeerId> = world
-                        .peers
-                        .iter()
-                        .filter(|p| !p.online)
-                        .map(|p| p.id)
+                    let offline: Vec<PeerId> = (0..world.population())
+                        .filter(|&p| !world.active.is_online(p))
+                        .map(|p| PeerId(p as u32))
                         .collect();
                     if offline.is_empty() {
                         continue;

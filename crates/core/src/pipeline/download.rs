@@ -260,9 +260,12 @@ impl StepPhase for DownloadPhase {
         // Download sources must actually offer upload bandwidth this step:
         // the paper's competition is over "the source's upload bandwidth",
         // so a peer offering only stored articles cannot serve a transfer.
+        // Only online peers can be sharing (`is_sharing` gates on
+        // liveness), so the scan walks the online bitset.
         let mut sharing_count = 0usize;
         tables.upload_sources.clear();
-        for peer in world.peers.iter() {
+        for p in world.active.iter_online() {
+            let peer = world.peers.peer(PeerId(p as u32));
             if peer.is_sharing() {
                 sharing_count += 1;
                 if peer.offered_upload() > 0.0 {
@@ -294,77 +297,83 @@ impl StepPhase for DownloadPhase {
 
         // Stage 1 — collect (sequential: this stage owns the RNG stream,
         // so the trajectory is untouched by how later stages are split).
-        for p in 0..population {
-            let downloader = PeerId(p as u32);
-            // Departed peers neither continue nor start downloads (their
-            // in-flight transfer was cancelled on departure), and they draw
-            // no randomness — with every peer online this branch never
-            // fires, so churn-free streams are untouched.
-            if !world.peers.peer(downloader).online {
-                continue;
-            }
-            // Continue an in-flight transfer if its source still offers
-            // bandwidth; otherwise abandon it and look for a new source.
-            let mut continued: Option<(PeerId, u64)> = None;
-            if let Some(tid) = world.active_transfer[p] {
-                let t = world.transfers.transfer(tid);
-                let (status, t_source) = (t.status, t.source);
-                if status == TransferStatus::InProgress
-                    && world.peers.peer(t_source).offered_upload() > 0.0
-                {
-                    continued = Some((t_source, tid));
-                } else {
-                    if status == TransferStatus::InProgress {
-                        world.transfers.cancel(tid, now);
-                    }
-                    world.transfers.release(tid);
-                    world.active_transfer[p] = None;
-                }
-            }
-            // Otherwise maybe start a new download. The source is a
-            // uniform choice among the upload sources other than the
-            // downloader itself; instead of materialising that filtered
-            // candidate list (O(sources) allocation per peer — the
-            // pre-shard scaling bottleneck of this phase), the index is
-            // drawn directly and mapped over the downloader's position in
-            // the sorted source list. Same single `gen_range` draw over
-            // the same count, same chosen peer, so the RNG stream and the
-            // trajectory are bit-identical to the list-based code.
-            if continued.is_none()
-                && !upload_sources.is_empty()
-                && download_probability > 0.0
-                && world.rng.gen_bool(download_probability.min(1.0))
-            {
-                let own_position = upload_sources.binary_search(&downloader);
-                let candidates = upload_sources.len() - usize::from(own_position.is_ok());
-                if candidates > 0 {
-                    let mut index = world.rng.gen_range(0..candidates);
-                    if let Ok(position) = own_position {
-                        if index >= position {
-                            index += 1;
+        // Departed peers neither continue nor start downloads (their
+        // in-flight transfer was cancelled on departure) and draw no
+        // randomness, so the loop walks the online bitset in ascending
+        // peer order — identical draws to the dense scan it replaces. The
+        // iteration is word-by-word (re-reading each word through
+        // `PeerBitset::word`) because the loop body mutates the world;
+        // nothing in the body changes the online set itself.
+        let online_words = world.active.online().word_count();
+        for w in 0..online_words {
+            let mut bits = world.active.online().word(w);
+            while bits != 0 {
+                let p = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let downloader = PeerId(p as u32);
+                // Continue an in-flight transfer if its source still offers
+                // bandwidth; otherwise abandon it and look for a new source.
+                let mut continued: Option<(PeerId, u64)> = None;
+                if let Some(tid) = world.active_transfer[p] {
+                    let t = world.transfers.transfer(tid);
+                    let (status, t_source) = (t.status, t.source);
+                    if status == TransferStatus::InProgress
+                        && world.peers.peer(t_source).offered_upload() > 0.0
+                    {
+                        continued = Some((t_source, tid));
+                    } else {
+                        if status == TransferStatus::InProgress {
+                            world.transfers.cancel(tid, now);
                         }
+                        world.transfers.release(tid);
+                        world.active_transfer[p] = None;
                     }
-                    let chosen = upload_sources[index];
-                    let article = world.pick_article_to_download(downloader, chosen);
-                    let tid = world.transfers.start(downloader, chosen, article, now);
-                    world.active_transfer[p] = Some(tid);
-                    continued = Some((chosen, tid));
                 }
-            }
-            if let Some((src, tid)) = continued {
-                tables.requests.push(
-                    src,
-                    DownloadRequest {
-                        downloader,
-                        // The service-visible reputation: the ledger value,
-                        // or the propagation backend's estimate under
-                        // `reputation_source = propagated`.
-                        sharing_reputation: world.service_sharing_reputation(p),
-                        download_capacity: world.peers.peer(downloader).download_capacity,
-                        uploaded_to_source: world.uploads.get(p, src.index()),
-                    },
-                    tid,
-                );
+                // Otherwise maybe start a new download. The source is a
+                // uniform choice among the upload sources other than the
+                // downloader itself; instead of materialising that filtered
+                // candidate list (O(sources) allocation per peer — the
+                // pre-shard scaling bottleneck of this phase), the index is
+                // drawn directly and mapped over the downloader's position in
+                // the sorted source list. Same single `gen_range` draw over
+                // the same count, same chosen peer, so the RNG stream and the
+                // trajectory are bit-identical to the list-based code.
+                if continued.is_none()
+                    && !upload_sources.is_empty()
+                    && download_probability > 0.0
+                    && world.rng.gen_bool(download_probability.min(1.0))
+                {
+                    let own_position = upload_sources.binary_search(&downloader);
+                    let candidates = upload_sources.len() - usize::from(own_position.is_ok());
+                    if candidates > 0 {
+                        let mut index = world.rng.gen_range(0..candidates);
+                        if let Ok(position) = own_position {
+                            if index >= position {
+                                index += 1;
+                            }
+                        }
+                        let chosen = upload_sources[index];
+                        let article = world.pick_article_to_download(downloader, chosen);
+                        let tid = world.transfers.start(downloader, chosen, article, now);
+                        world.active_transfer[p] = Some(tid);
+                        continued = Some((chosen, tid));
+                    }
+                }
+                if let Some((src, tid)) = continued {
+                    tables.requests.push(
+                        src,
+                        DownloadRequest {
+                            downloader,
+                            // The service-visible reputation: the ledger value,
+                            // or the propagation backend's estimate under
+                            // `reputation_source = propagated`.
+                            sharing_reputation: world.service_sharing_reputation(p),
+                            download_capacity: world.peers.peer(downloader).download_capacity,
+                            uploaded_to_source: world.uploads.get(p, src.index()),
+                        },
+                        tid,
+                    );
+                }
             }
         }
         tables.requests.build();

@@ -156,7 +156,7 @@ impl StepPhase for EditVotePhase {
                 // here so a departed attacker cannot keep manipulating
                 // votes either.
                 let supports_edit = match world.adversaries.vote_stance(vi, p) {
-                    Some(_) if !world.peers.peer(*voter).online => continue,
+                    Some(_) if !world.active.is_online(vi) => continue,
                     Some(VoteDirective::Support) => {
                         world.adversaries.note_override_vote(vi);
                         true
@@ -247,13 +247,10 @@ impl StepPhase for EditVotePhase {
         // them inline, because contribution updates are per-peer
         // independent and each shard applies its bucket in peer order.
         ctx.editing_deltas.ensure(&world.ledger);
-        for p in 0..population {
-            // Departed peers are frozen: no delta means no decay while
-            // away, so reputation persists until re-entry. With every
-            // peer online this branch never fires.
-            if !world.peers.peer(PeerId(p as u32)).online {
-                continue;
-            }
+        // Departed peers are frozen: no delta means no decay while away,
+        // so reputation persists until re-entry. The online bitset yields
+        // the same ascending peer order as the dense scan it replaces.
+        for p in world.active.iter_online() {
             ctx.editing_deltas.push(ContributionDelta::editing(
                 p,
                 EditingAction {

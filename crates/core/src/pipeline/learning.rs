@@ -1,12 +1,25 @@
 //! Phase 6 — Q-learning updates.
 
-use super::{StepContext, StepPhase};
+use super::{worker_bounds, StepContext, StepPhase};
+use crate::agent::AgentState;
 use crate::world::SimWorld;
 
-/// Every rational agent applies its Q-update for the step's reward,
-/// transitioning to the post-step state (its reputation bucket after the
-/// sharing/editing contributions of this step). Fixed-behaviour agents
-/// ignore the call.
+/// Every *online rational* agent applies its Q-update for the step's
+/// reward, transitioning to the post-step state (its reputation bucket
+/// after the sharing/editing contributions of this step).
+///
+/// The phase iterates the `online ∧ learners` bitset intersection:
+/// fixed-behaviour agents ignore the update by construction, departed
+/// peers took no action this step (there is no transition to learn from),
+/// and adversary-forced peers did not *choose* their action either — their
+/// learner is suspended while the strategy drives, so a forced step can
+/// never be credited to the agent's own last choice.
+///
+/// Each update touches only that peer's Q-block and reads only frozen step
+/// state (the rewards vector and the post-step ledger), so the phase fans
+/// contiguous peer ranges out over the intra-step workers via
+/// [`AgentTable::split_mut`](crate::agent_table::AgentTable::split_mut) —
+/// bit-identical at any worker count.
 pub struct LearningPhase;
 
 impl StepPhase for LearningPhase {
@@ -15,22 +28,58 @@ impl StepPhase for LearningPhase {
     }
 
     fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
-        for p in 0..world.population() {
-            // Departed peers took no action this step, so there is no
-            // transition to learn from. Adversary-forced peers did not
-            // *choose* their action either — their learner is suspended
-            // while the strategy drives, so a forced step can never be
-            // credited to the agent's own last choice.
-            if !world
-                .peers
-                .peer(collabsim_netsim::peer::PeerId(p as u32))
-                .online
-                || world.adversaries.forced_action(p).is_some()
-            {
-                continue;
+        let population = world.population();
+        let threads = world.intra_step_threads().clamp(1, population.max(1));
+        let SimWorld {
+            agents,
+            active,
+            adversaries,
+            ledger,
+            propagated_service_reputation,
+            config,
+            states,
+            ..
+        } = world;
+        let active = &*active;
+        let ledger = &*ledger;
+        let forced = adversaries.forced_actions();
+        let propagated = propagated_service_reputation.as_deref();
+        let min_reputation = config.min_reputation;
+        let states = *states;
+        let rewards: &[f64] = &ctx.rewards;
+        // The post-step state: the peer's service-visible reputation bucket
+        // (same resolution as `SimWorld::agent_state`, reproduced here so
+        // workers only capture Sync references).
+        let next_bucket = move |p: usize| -> usize {
+            let reputation = match propagated {
+                Some(values) => values[p],
+                None => ledger.sharing_reputation(p),
+            };
+            AgentState::from_reputation(reputation, min_reputation, states).bucket
+        };
+
+        if threads > 1 {
+            let bounds = worker_bounds(population, threads);
+            let shards = agents.split_mut(&bounds);
+            std::thread::scope(|scope| {
+                for mut shard in shards {
+                    scope.spawn(move || {
+                        for p in active.online().iter_range(shard.range()) {
+                            if !shard.is_learning(p) || matches!(forced.get(p), Some(Some(_))) {
+                                continue;
+                            }
+                            shard.learn(p, rewards[p], next_bucket(p));
+                        }
+                    });
+                }
+            });
+        } else {
+            for p in active.iter_online_learners() {
+                if matches!(forced.get(p), Some(Some(_))) {
+                    continue;
+                }
+                agents.learn(p, rewards[p], next_bucket(p));
             }
-            let next_state = world.agent_state(p);
-            world.agents[p].learn(ctx.rewards[p], next_state);
         }
     }
 }

@@ -67,7 +67,7 @@ pub use editvote::{EditVotePhase, VoteScratch};
 pub use learning::LearningPhase;
 pub use propagation::PropagationPhase;
 pub use registry::{PhaseFactory, PhaseRegistry};
-pub use selection::SelectionPhase;
+pub use selection::{BoltzmannCache, SelectionPhase};
 pub use sharing::SharingPhase;
 pub use utility::UtilityPhase;
 
@@ -190,6 +190,12 @@ pub struct StepContext {
     /// The reusable per-edit voter-pool buffers of [`EditVotePhase`]
     /// (fully rewritten for every edit).
     pub vote_scratch: VoteScratch,
+    /// The selection phase's per-state Boltzmann distribution cache.
+    /// Purely a memoisation of `boltzmann_distribution` results — it
+    /// survives [`StepContext::reset`] (entries are invalidated by
+    /// temperature or Q-row changes, not by step boundaries) and can never
+    /// change simulation results.
+    pub boltzmann: BoltzmannCache,
     /// Optional per-phase wall-clock instrumentation; accumulates across
     /// steps and survives [`StepContext::reset`].
     pub timings: PhaseTimings,
@@ -216,6 +222,7 @@ impl StepContext {
             offer_plans: Vec::new(),
             transfers: TransferTables::default(),
             vote_scratch: VoteScratch::default(),
+            boltzmann: BoltzmannCache::default(),
             timings: PhaseTimings::default(),
         }
     }
@@ -251,6 +258,24 @@ impl StepContext {
 fn reset_values<T: Copy>(values: &mut Vec<T>, population: usize, value: T) {
     values.clear();
     values.resize(population, value);
+}
+
+/// Splits `population` peers into `workers` contiguous, near-even ranges,
+/// returned as ascending bounds `[0, …, population]` — the shard layout the
+/// utility and learning phases hand to
+/// [`AccumulatorTable::split_mut`](crate::world::AccumulatorTable::split_mut)
+/// and [`AgentTable::split_mut`](crate::agent_table::AgentTable::split_mut).
+/// The bounds depend only on `(population, workers)`, and because each
+/// peer's work is independent the split can never change results.
+pub(crate) fn worker_bounds(population: usize, workers: usize) -> Vec<usize> {
+    let workers = workers.clamp(1, population.max(1));
+    let per_worker = population.div_ceil(workers);
+    let mut bounds = Vec::with_capacity(workers + 1);
+    bounds.push(0);
+    for w in 1..=workers {
+        bounds.push((w * per_worker).min(population));
+    }
+    bounds
 }
 
 /// One sub-phase of a simulation step.

@@ -3,34 +3,42 @@
 use super::{OfferPlan, StepContext, StepPhase};
 use crate::action::CollabAction;
 use crate::world::{SimWorld, ARTICLE_CONTRIBUTION_UNITS, BANDWIDTH_CONTRIBUTION_UNITS};
-use collabsim_netsim::peer::{PeerId, PeerRegistry};
+use collabsim_netsim::peer::PeerId;
 use collabsim_netsim::storage::ArticleStore;
 use collabsim_reputation::contribution::{ContributionDelta, SharingAction};
 
-/// Applies every peer's sharing decision to the peer registry and the
-/// article store, and records the step's sharing contribution (`C_S`) in
-/// the reputation ledger.
+/// Applies every *online* peer's sharing decision to the peer registry and
+/// the article store, and records the step's sharing contribution (`C_S`)
+/// in the reputation ledger.
+///
+/// Departed peers are skipped entirely (the online bitset drives the
+/// collect stage): their registry offers and offered-article count were
+/// zeroed at the departure boundary by
+/// [`SimWorld::depart_peer`], and no delta means their ledger record is
+/// frozen while away — reputation persists across the absence, which is
+/// exactly what the churn re-entry experiments measure.
 ///
 /// The phase runs the two-stage collect-then-apply protocol:
 ///
 /// 1. **Collect** — workers walk shard-aligned peer ranges and, from
 ///    read-only state (the chosen actions and the article store), compute
-///    each peer's offered-article count and its [`ContributionDelta`],
-///    bucketed per ledger shard in [`StepContext::sharing_deltas`]. The
-///    stage draws no randomness and no peer's result depends on another's,
-///    so any worker count produces the same buckets in the same order.
+///    each online peer's offered-article count and its
+///    [`ContributionDelta`], bucketed per ledger shard in
+///    [`StepContext::sharing_deltas`]. The stage draws no randomness and
+///    no peer's result depends on another's, so any worker count produces
+///    the same buckets in the same order.
 /// 2. **Apply** — registry and store writes happen sequentially in peer
 ///    order; the contribution deltas are applied through
 ///    [`ShardedLedger::apply_parallel`](collabsim_reputation::sharded::ShardedLedger::apply_parallel),
 ///    bit-identical to a sequential apply.
 pub struct SharingPhase;
 
-/// Collects one peer's sharing effects into its shard bucket and plan.
+/// Collects one online peer's sharing effects into its shard bucket and
+/// plan.
 fn collect_peer(
     peer: usize,
     actions: &[CollabAction],
     store: &ArticleStore,
-    peers: &PeerRegistry,
     bucket: &mut Vec<ContributionDelta>,
     plan: &mut Vec<OfferPlan>,
 ) {
@@ -39,13 +47,6 @@ fn collect_peer(
     let held = store.held_count(id);
     let offered = (action.articles.fraction() * held as f64).round() as usize;
     plan.push((id, offered));
-    if !peers.peer(id).online {
-        // A departed peer shares nothing (its idle action already offers
-        // zero) and its ledger record is frozen while it is away:
-        // reputation persists across the absence, which is exactly what
-        // the churn re-entry experiments measure.
-        return;
-    }
 
     // Contribution accounting. The paper leaves the units of
     // S_articles and S_bandwidth open; we scale both so that sharing
@@ -85,7 +86,7 @@ impl StepPhase for SharingPhase {
         {
             let actions = &ctx.actions;
             let store = &world.store;
-            let peers = &world.peers;
+            let online = world.active.online();
             let plans = &mut ctx.offer_plans;
             let buckets = ctx.sharing_deltas.buckets_mut();
             let peers_of_shard = |shard: usize| {
@@ -104,8 +105,10 @@ impl StepPhase for SharingPhase {
                             for (offset, (bucket, plan)) in
                                 bucket_group.iter_mut().zip(plan_group).enumerate()
                             {
-                                for p in peers_of_shard(worker * per_worker + offset) {
-                                    collect_peer(p, actions, store, peers, bucket, plan);
+                                for p in
+                                    online.iter_range(peers_of_shard(worker * per_worker + offset))
+                                {
+                                    collect_peer(p, actions, store, bucket, plan);
                                 }
                             }
                         });
@@ -114,8 +117,8 @@ impl StepPhase for SharingPhase {
             } else {
                 for (shard, (bucket, plan)) in buckets.iter_mut().zip(plans.iter_mut()).enumerate()
                 {
-                    for p in peers_of_shard(shard) {
-                        collect_peer(p, actions, store, peers, bucket, plan);
+                    for p in online.iter_range(peers_of_shard(shard)) {
+                        collect_peer(p, actions, store, bucket, plan);
                     }
                 }
             }

@@ -8,8 +8,10 @@
 //! receives `&mut SimWorld` plus the per-step scratch
 //! [`crate::pipeline::StepContext`] and is otherwise free.
 
+use crate::active::ActiveSets;
 use crate::adversary::{AdversaryRegistry, AdversaryRoster};
-use crate::agent::{AgentState, CollabAgent};
+use crate::agent::AgentState;
+use crate::agent_table::AgentTable;
 use crate::config::{ReputationSource, SimulationConfig};
 use crate::report::{BehaviorBreakdown, SimulationReport};
 use collabsim_gametheory::behavior::BehaviorType;
@@ -63,6 +65,161 @@ pub struct PeerAccumulator {
     pub steps: u64,
 }
 
+/// Struct-of-arrays storage for the per-peer evaluation accumulators.
+///
+/// The utility phase is the only writer and touches every online peer every
+/// measured step; one dense array per field lets it stream eight flat
+/// vectors instead of strided [`PeerAccumulator`] structs, and lets its
+/// scoped workers take disjoint shards via
+/// [`AccumulatorTable::split_mut`]. [`AccumulatorTable::peer`] materialises
+/// the per-peer struct view for reporting and tests.
+#[derive(Debug, Clone, Default)]
+pub struct AccumulatorTable {
+    /// Per-peer sums of shared-bandwidth fractions over measured steps.
+    pub shared_bandwidth_sum: Vec<f64>,
+    /// Per-peer sums of shared-article fractions over measured steps.
+    pub shared_articles_sum: Vec<f64>,
+    /// Per-peer total bandwidth downloaded over measured steps.
+    pub downloaded_sum: Vec<f64>,
+    /// Per-peer total utility (reward) over measured steps.
+    pub utility_sum: Vec<f64>,
+    /// Per-peer constructive edit attempts during measurement.
+    pub constructive_edits: Vec<u64>,
+    /// Per-peer destructive edit attempts during measurement.
+    pub destructive_edits: Vec<u64>,
+    /// Per-peer votes cast during measurement.
+    pub votes: Vec<u64>,
+    /// Per-peer count of measured steps.
+    pub steps: Vec<u64>,
+}
+
+impl AccumulatorTable {
+    /// An all-zero table over `population` peers.
+    pub fn new(population: usize) -> Self {
+        Self {
+            shared_bandwidth_sum: vec![0.0; population],
+            shared_articles_sum: vec![0.0; population],
+            downloaded_sum: vec![0.0; population],
+            utility_sum: vec![0.0; population],
+            constructive_edits: vec![0; population],
+            destructive_edits: vec![0; population],
+            votes: vec![0; population],
+            steps: vec![0; population],
+        }
+    }
+
+    /// Number of peers tracked.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the table tracks no peers.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Zeroes every accumulator in place (no reallocation).
+    pub fn reset(&mut self) {
+        self.shared_bandwidth_sum.iter_mut().for_each(|v| *v = 0.0);
+        self.shared_articles_sum.iter_mut().for_each(|v| *v = 0.0);
+        self.downloaded_sum.iter_mut().for_each(|v| *v = 0.0);
+        self.utility_sum.iter_mut().for_each(|v| *v = 0.0);
+        self.constructive_edits.iter_mut().for_each(|v| *v = 0);
+        self.destructive_edits.iter_mut().for_each(|v| *v = 0);
+        self.votes.iter_mut().for_each(|v| *v = 0);
+        self.steps.iter_mut().for_each(|v| *v = 0);
+    }
+
+    /// Materialises the per-peer struct view of one peer's accumulators.
+    pub fn peer(&self, p: usize) -> PeerAccumulator {
+        PeerAccumulator {
+            shared_bandwidth_sum: self.shared_bandwidth_sum[p],
+            shared_articles_sum: self.shared_articles_sum[p],
+            downloaded_sum: self.downloaded_sum[p],
+            utility_sum: self.utility_sum[p],
+            constructive_edits: self.constructive_edits[p],
+            destructive_edits: self.destructive_edits[p],
+            votes: self.votes[p],
+            steps: self.steps[p],
+        }
+    }
+
+    /// Splits the table into disjoint mutable shards along `bounds` (peer
+    /// indices, ascending, `[0, …, population]`) for the utility phase's
+    /// scoped workers.
+    pub fn split_mut(&mut self, bounds: &[usize]) -> Vec<AccumulatorShardMut<'_>> {
+        assert!(bounds.len() >= 2, "need at least one range");
+        assert_eq!(*bounds.first().unwrap(), 0, "ranges must start at 0");
+        assert_eq!(
+            *bounds.last().unwrap(),
+            self.len(),
+            "ranges must cover the population"
+        );
+        let mut shards = Vec::with_capacity(bounds.len() - 1);
+        let mut rest = (
+            self.shared_bandwidth_sum.as_mut_slice(),
+            self.shared_articles_sum.as_mut_slice(),
+            self.downloaded_sum.as_mut_slice(),
+            self.utility_sum.as_mut_slice(),
+            self.constructive_edits.as_mut_slice(),
+            self.destructive_edits.as_mut_slice(),
+            self.votes.as_mut_slice(),
+            self.steps.as_mut_slice(),
+        );
+        for window in bounds.windows(2) {
+            let (start, end) = (window[0], window[1]);
+            let n = end - start;
+            let (bw, bw_tail) = rest.0.split_at_mut(n);
+            let (ar, ar_tail) = rest.1.split_at_mut(n);
+            let (dl, dl_tail) = rest.2.split_at_mut(n);
+            let (ut, ut_tail) = rest.3.split_at_mut(n);
+            let (ce, ce_tail) = rest.4.split_at_mut(n);
+            let (de, de_tail) = rest.5.split_at_mut(n);
+            let (vo, vo_tail) = rest.6.split_at_mut(n);
+            let (st, st_tail) = rest.7.split_at_mut(n);
+            shards.push(AccumulatorShardMut {
+                start,
+                shared_bandwidth_sum: bw,
+                shared_articles_sum: ar,
+                downloaded_sum: dl,
+                utility_sum: ut,
+                constructive_edits: ce,
+                destructive_edits: de,
+                votes: vo,
+                steps: st,
+            });
+            rest = (
+                bw_tail, ar_tail, dl_tail, ut_tail, ce_tail, de_tail, vo_tail, st_tail,
+            );
+        }
+        shards
+    }
+}
+
+/// A disjoint mutable shard of an [`AccumulatorTable`]; peers are addressed
+/// by their absolute index (offset by `start`).
+#[derive(Debug)]
+pub struct AccumulatorShardMut<'a> {
+    /// First absolute peer index the shard covers.
+    pub start: usize,
+    /// Shard slice of [`AccumulatorTable::shared_bandwidth_sum`].
+    pub shared_bandwidth_sum: &'a mut [f64],
+    /// Shard slice of [`AccumulatorTable::shared_articles_sum`].
+    pub shared_articles_sum: &'a mut [f64],
+    /// Shard slice of [`AccumulatorTable::downloaded_sum`].
+    pub downloaded_sum: &'a mut [f64],
+    /// Shard slice of [`AccumulatorTable::utility_sum`].
+    pub utility_sum: &'a mut [f64],
+    /// Shard slice of [`AccumulatorTable::constructive_edits`].
+    pub constructive_edits: &'a mut [u64],
+    /// Shard slice of [`AccumulatorTable::destructive_edits`].
+    pub destructive_edits: &'a mut [u64],
+    /// Shard slice of [`AccumulatorTable::votes`].
+    pub votes: &'a mut [u64],
+    /// Shard slice of [`AccumulatorTable::steps`].
+    pub steps: &'a mut [u64],
+}
+
 /// Sparse pairwise upload totals: `get(u, v)` is the total bandwidth peer
 /// `u` has uploaded to peer `v`.
 ///
@@ -71,10 +228,13 @@ pub struct PeerAccumulator {
 /// number of transfers, so rows are kept as hash maps keyed by the
 /// counterparty. Reads of absent pairs return 0.0, exactly like the dense
 /// matrix's untouched cells, and no code path iterates a row, so the map's
-/// ordering never influences results.
+/// ordering never influences results — which is also why the rows can use
+/// [`PeerKeyHasher`] (a multiplicative hash over the dense `u32` peer id)
+/// instead of the DoS-resistant default: the download phase performs one
+/// lookup per request and one insert per granted transfer per step.
 #[derive(Debug, Clone, Default)]
 pub struct UploadMatrix {
-    rows: Vec<HashMap<u32, f64>>,
+    rows: Vec<HashMap<u32, f64, PeerKeyHashBuilder>>,
     /// Reverse index: for each peer, the uploaders with a (once-)recorded
     /// relation *to* it — what lets [`UploadMatrix::clear_peer`] drop a
     /// whitewashed identity's column in O(degree) instead of scanning
@@ -83,11 +243,49 @@ pub struct UploadMatrix {
     incoming: Vec<Vec<u32>>,
 }
 
+/// `BuildHasher` for peer-id-keyed hash maps on hot paths: Fibonacci
+/// multiplicative hashing of the `u32` key. Peer ids are dense,
+/// attacker-free simulation indices, so SipHash's collision resistance
+/// buys nothing here while costing most of the lookup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeerKeyHashBuilder;
+
+/// Hasher produced by [`PeerKeyHashBuilder`]; see there.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PeerKeyHasher(u64);
+
+impl std::hash::Hasher for PeerKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (unused by the u32 keys the matrix stores).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        let x = self.0 ^ u64::from(value);
+        let x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = x ^ (x >> 29);
+    }
+}
+
+impl std::hash::BuildHasher for PeerKeyHashBuilder {
+    type Hasher = PeerKeyHasher;
+
+    fn build_hasher(&self) -> PeerKeyHasher {
+        PeerKeyHasher(0)
+    }
+}
+
 impl UploadMatrix {
     /// An all-zero matrix over `peers` peers.
     pub fn new(peers: usize) -> Self {
         Self {
-            rows: vec![HashMap::new(); peers],
+            rows: vec![HashMap::default(); peers],
             incoming: vec![Vec::new(); peers],
         }
     }
@@ -218,10 +416,19 @@ pub struct SimWorld {
     pub allocator: BandwidthAllocator,
     /// In-flight and completed transfers.
     pub transfers: TransferManager,
-    /// One agent per peer, index-aligned with `behaviors`.
-    pub agents: Vec<CollabAgent>,
+    /// Struct-of-arrays agent state (behaviour kinds, flat Q-blocks, last
+    /// choices), index-aligned with `behaviors`.
+    pub agents: AgentTable,
     /// Behaviour type per peer.
     pub behaviors: Vec<BehaviorType>,
+    /// Incremental active sets: the packed online bitset every hot phase
+    /// iterates, plus the static rational-learner set. Maintained by
+    /// [`SimWorld::depart_peer`], [`SimWorld::rejoin_peer`] and
+    /// [`SimWorld::whitewash_peer`] — custom phases must toggle peer
+    /// liveness through those methods, never via
+    /// [`PeerRegistry::set_online`] directly, or the sets (and every phase
+    /// iterating them) go stale.
+    pub active: ActiveSets,
     /// The learner's state space (reputation buckets).
     pub states: StateSpace,
     /// The step RNG. Phases must draw from it in pipeline order only —
@@ -235,8 +442,8 @@ pub struct SimWorld {
     /// Accepted edits since the peer's last punishment (for restoring
     /// voting rights).
     pub accepted_since_punishment: Vec<u32>,
-    /// Evaluation-phase measurement accumulators, one per peer.
-    pub accumulators: Vec<PeerAccumulator>,
+    /// Evaluation-phase measurement accumulators (struct-of-arrays).
+    pub accumulators: AccumulatorTable,
     /// Whether the measured evaluation phase is active.
     pub measuring: bool,
     /// Steps run since measurement started.
@@ -327,10 +534,8 @@ impl SimWorld {
         let mut behaviors = config.mix.assign(population);
         behaviors.shuffle(&mut rng);
 
-        let agents: Vec<CollabAgent> = behaviors
-            .iter()
-            .map(|&b| CollabAgent::new(b, states, config.learning))
-            .collect();
+        let agents = AgentTable::new(&behaviors, states, config.learning);
+        let active = ActiveSets::new(&behaviors);
 
         let reputation_fn = Arc::new(LogisticReputation::new(
             (1.0 - config.min_reputation) / config.min_reputation,
@@ -384,11 +589,12 @@ impl SimWorld {
             transfers: TransferManager::new(),
             agents,
             behaviors,
+            active,
             states,
             uploads: UploadMatrix::new(population),
             active_transfer: vec![None; population],
             accepted_since_punishment: vec![0; population],
-            accumulators: vec![PeerAccumulator::default(); population],
+            accumulators: AccumulatorTable::new(population),
             measuring: false,
             evaluation_steps_run: 0,
             downloads_completed_in_evaluation: 0,
@@ -524,7 +730,16 @@ impl SimWorld {
             self.transfers.release(tid);
         }
         self.store.set_offered_count(peer, 0);
-        self.peers.set_online(peer, false);
+        // Withdraw the registry offers immediately: the sharing phase skips
+        // offline peers entirely (it used to zero these through the idle
+        // action one phase later; every reader of the share fields gates on
+        // `online`, so zeroing at the departure boundary is equivalent and
+        // lets the phase iterate the online bitset only).
+        let record = self.peers.peer_mut(peer);
+        record.set_shared_upload_fraction(0.0);
+        record.set_shared_articles(0);
+        record.online = false;
+        self.active.set_offline(p);
         self.churn_stats.leaves += 1;
     }
 
@@ -540,6 +755,7 @@ impl SimWorld {
         let record = self.peers.peer_mut(peer);
         record.online = true;
         record.joined_at = now;
+        self.active.set_online(p);
     }
 
     /// Whitewashes a peer: it leaves and instantly rejoins under a fresh
@@ -577,6 +793,7 @@ impl SimWorld {
         let record = self.peers.peer_mut(peer);
         record.online = true;
         record.joined_at = now;
+        self.active.set_online(p);
         shed
     }
 
@@ -587,7 +804,7 @@ impl SimWorld {
     pub fn reset_for_evaluation(&mut self) {
         self.propagated_service_reputation = None;
         self.ledger.reset_all_contributions();
-        self.accumulators = vec![PeerAccumulator::default(); self.config.population];
+        self.accumulators.reset();
         self.edit_outcome_baseline = self.articles.edit_outcome_counts();
         let completed_before = self.transfers.completed_count();
         self.downloads_completed_in_evaluation = completed_before;
@@ -616,7 +833,7 @@ impl SimWorld {
             };
             let mut steps = 0u64;
             for &p in &peers_of_type {
-                let acc = &self.accumulators[p];
+                let acc = self.accumulators.peer(p);
                 breakdown.shared_bandwidth += acc.shared_bandwidth_sum;
                 breakdown.shared_articles += acc.shared_articles_sum;
                 breakdown.downloaded += acc.downloaded_sum;

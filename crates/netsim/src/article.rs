@@ -106,6 +106,11 @@ pub struct Article {
     /// revision 0). Successful editors gain the right to vote on future
     /// changes of this article (Section III-C2).
     pub revision_authors: Vec<PeerId>,
+    /// The distinct revision authors, sorted — `revision_authors` as a set,
+    /// maintained incrementally so the per-edit voter-pool build
+    /// ([`Article::eligible_voters_into`]) is a filtered copy instead of a
+    /// sort + dedup of the full revision history on every vote.
+    voter_set: Vec<PeerId>,
     /// Number of accepted destructive edits (quality damage that slipped
     /// through the vote).
     pub accepted_destructive: u32,
@@ -123,8 +128,17 @@ impl Article {
             creator,
             created_at,
             revision_authors: vec![creator],
+            voter_set: vec![creator],
             accepted_destructive: 0,
             pending_edit: None,
+        }
+    }
+
+    /// Records an accepted revision by `author` (history plus voter set).
+    fn record_revision(&mut self, author: PeerId) {
+        self.revision_authors.push(author);
+        if let Err(pos) = self.voter_set.binary_search(&author) {
+            self.voter_set.insert(pos, author);
         }
     }
 
@@ -136,7 +150,7 @@ impl Article {
     /// Whether `peer` has successfully edited (or created) this article and
     /// therefore holds voting rights on its changes.
     pub fn is_successful_editor(&self, peer: PeerId) -> bool {
-        self.revision_authors.contains(&peer)
+        self.voter_set.binary_search(&peer).is_ok()
     }
 
     /// The set of peers eligible to vote on changes of this article,
@@ -152,14 +166,7 @@ impl Article {
     /// contents and order.
     pub fn eligible_voters_into(&self, edit_author: PeerId, out: &mut Vec<PeerId>) {
         out.clear();
-        out.extend(
-            self.revision_authors
-                .iter()
-                .copied()
-                .filter(|&p| p != edit_author),
-        );
-        out.sort_unstable();
-        out.dedup();
+        out.extend(self.voter_set.iter().copied().filter(|&p| p != edit_author));
     }
 
     /// A simple quality score in `[0, 1]`: the fraction of accepted
@@ -291,7 +298,7 @@ impl ArticleRegistry {
         debug_assert_eq!(article.pending_edit, Some(id));
         article.pending_edit = None;
         if accepted {
-            article.revision_authors.push(author);
+            article.record_revision(author);
             if kind == EditKind::Destructive {
                 article.accepted_destructive += 1;
             }

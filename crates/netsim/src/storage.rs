@@ -14,24 +14,48 @@
 //! sorted representation makes the per-step re-offer a prefix `memcpy`
 //! into a reused buffer instead of a fresh hash set per peer per step —
 //! the former allocation hot spot of the sharing phase.
+//!
+//! All three indexes are **dense vectors** addressed by the identifier:
+//! peer and article ids are small dense integers, so hashing them (the
+//! store's former `HashMap` representation) only paid SipHash on every
+//! `holds`/`offered_by`/`set_offered_count` call of the download and
+//! sharing hot loops. Rows grow on demand; a missing row reads as empty,
+//! exactly like an absent map entry did. The holder sets are kept sorted,
+//! so [`ArticleStore::holding_peers`] and
+//! [`ArticleStore::offering_peers`] return identifier order without a
+//! sort, matching the ordering the hash-set representation produced by
+//! sorting after collection.
 
 use crate::article::ArticleId;
 use crate::peer::PeerId;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
 
 /// Replica placement and offering state across the population.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ArticleStore {
-    /// peer → articles it physically holds, sorted by identifier.
-    held: HashMap<PeerId, Vec<ArticleId>>,
-    /// peer → articles it currently offers for download (a subset of held,
-    /// sorted). The vectors are reused in place by
+    /// peer index → articles it physically holds, sorted by identifier.
+    held: Vec<Vec<ArticleId>>,
+    /// peer index → articles it currently offers for download (a subset of
+    /// held, sorted). The vectors are reused in place by
     /// [`ArticleStore::set_offered_count`], so steady-state re-offering
     /// performs no allocation.
-    offered: HashMap<PeerId, Vec<ArticleId>>,
-    /// article → peers holding it (inverse index).
-    holders: HashMap<ArticleId, HashSet<PeerId>>,
+    offered: Vec<Vec<ArticleId>>,
+    /// article index → peers holding it (inverse index, sorted).
+    holders: Vec<Vec<PeerId>>,
+}
+
+/// The row at `index`, or the empty slice when the table has no such row.
+fn row<T>(rows: &[Vec<T>], index: usize) -> &[T] {
+    rows.get(index).map_or(&[], Vec::as_slice)
+}
+
+/// The growable row at `index`, extending the table with empty rows as
+/// needed.
+fn row_mut<T>(rows: &mut Vec<Vec<T>>, index: usize) -> &mut Vec<T> {
+    if rows.len() <= index {
+        rows.resize_with(index + 1, Vec::new);
+    }
+    &mut rows[index]
 }
 
 impl ArticleStore {
@@ -42,64 +66,73 @@ impl ArticleStore {
 
     /// Records that `peer` holds a replica of `article`.
     pub fn add_replica(&mut self, peer: PeerId, article: ArticleId) {
-        let held = self.held.entry(peer).or_default();
+        let held = row_mut(&mut self.held, peer.index());
         if let Err(pos) = held.binary_search(&article) {
             held.insert(pos, article);
         }
-        self.holders.entry(article).or_default().insert(peer);
+        let holders = row_mut(&mut self.holders, article.index());
+        if let Err(pos) = holders.binary_search(&peer) {
+            holders.insert(pos, peer);
+        }
     }
 
     /// Removes `peer`'s replica of `article` (also stops offering it).
     pub fn remove_replica(&mut self, peer: PeerId, article: ArticleId) {
-        if let Some(held) = self.held.get_mut(&peer) {
+        if let Some(held) = self.held.get_mut(peer.index()) {
             if let Ok(pos) = held.binary_search(&article) {
                 held.remove(pos);
             }
         }
-        if let Some(offered) = self.offered.get_mut(&peer) {
+        if let Some(offered) = self.offered.get_mut(peer.index()) {
             if let Ok(pos) = offered.binary_search(&article) {
                 offered.remove(pos);
             }
         }
-        if let Some(set) = self.holders.get_mut(&article) {
-            set.remove(&peer);
+        if let Some(holders) = self.holders.get_mut(article.index()) {
+            if let Ok(pos) = holders.binary_search(&peer) {
+                holders.remove(pos);
+            }
         }
     }
 
     /// Drops every replica held by `peer` (the peer left the network).
     pub fn drop_peer(&mut self, peer: PeerId) {
-        if let Some(articles) = self.held.remove(&peer) {
-            for article in articles {
-                if let Some(set) = self.holders.get_mut(&article) {
-                    set.remove(&peer);
+        if let Some(articles) = self.held.get_mut(peer.index()) {
+            for article in std::mem::take(articles) {
+                if let Some(holders) = self.holders.get_mut(article.index()) {
+                    if let Ok(pos) = holders.binary_search(&peer) {
+                        holders.remove(pos);
+                    }
                 }
             }
         }
-        self.offered.remove(&peer);
+        if let Some(offered) = self.offered.get_mut(peer.index()) {
+            offered.clear();
+        }
     }
 
     /// Number of replicas `peer` holds.
     pub fn held_count(&self, peer: PeerId) -> usize {
-        self.held.get(&peer).map_or(0, Vec::len)
+        row(&self.held, peer.index()).len()
     }
 
     /// Number of replicas `peer` currently offers.
     pub fn offered_count(&self, peer: PeerId) -> usize {
-        self.offered.get(&peer).map_or(0, Vec::len)
+        row(&self.offered, peer.index()).len()
     }
 
     /// Whether `peer` holds `article`.
     pub fn holds(&self, peer: PeerId, article: ArticleId) -> bool {
-        self.held
-            .get(&peer)
-            .is_some_and(|held| held.binary_search(&article).is_ok())
+        row(&self.held, peer.index())
+            .binary_search(&article)
+            .is_ok()
     }
 
     /// Whether `peer` currently offers `article`.
     pub fn offers(&self, peer: PeerId, article: ArticleId) -> bool {
-        self.offered
-            .get(&peer)
-            .is_some_and(|offered| offered.binary_search(&article).is_ok())
+        row(&self.offered, peer.index())
+            .binary_search(&article)
+            .is_ok()
     }
 
     /// Sets how many of its held articles `peer` offers: the first
@@ -111,51 +144,37 @@ impl ArticleStore {
     /// step (as the sharing phase does) allocates nothing once the buffer
     /// has grown to its steady-state size.
     pub fn set_offered_count(&mut self, peer: PeerId, count: usize) -> usize {
-        let held = self.held.get(&peer).map(Vec::as_slice).unwrap_or(&[]);
+        let Self { held, offered, .. } = self;
+        let held = row(held, peer.index());
         let n = count.min(held.len());
-        let prefix = &held[..n];
-        let offered = self.offered.entry(peer).or_default();
+        let offered = row_mut(offered, peer.index());
         offered.clear();
-        offered.extend_from_slice(prefix);
+        offered.extend_from_slice(&held[..n]);
         n
     }
 
     /// Articles currently offered by `peer`, sorted by identifier.
     pub fn offered_by(&self, peer: PeerId) -> &[ArticleId] {
-        self.offered.get(&peer).map_or(&[], Vec::as_slice)
+        row(&self.offered, peer.index())
     }
 
     /// Peers currently offering `article`, sorted.
     pub fn offering_peers(&self, article: ArticleId) -> Vec<PeerId> {
-        let mut peers: Vec<PeerId> = self
-            .holders
-            .get(&article)
-            .map(|holders| {
-                holders
-                    .iter()
-                    .copied()
-                    .filter(|&p| self.offers(p, article))
-                    .collect()
-            })
-            .unwrap_or_default();
-        peers.sort_unstable();
-        peers
+        row(&self.holders, article.index())
+            .iter()
+            .copied()
+            .filter(|&p| self.offers(p, article))
+            .collect()
     }
 
     /// Peers holding `article` (offering or not), sorted.
     pub fn holding_peers(&self, article: ArticleId) -> Vec<PeerId> {
-        let mut peers: Vec<PeerId> = self
-            .holders
-            .get(&article)
-            .map(|set| set.iter().copied().collect())
-            .unwrap_or_default();
-        peers.sort_unstable();
-        peers
+        row(&self.holders, article.index()).to_vec()
     }
 
     /// Replication factor of an article (number of holders).
     pub fn replication(&self, article: ArticleId) -> usize {
-        self.holders.get(&article).map_or(0, HashSet::len)
+        row(&self.holders, article.index()).len()
     }
 
     /// Fraction of the given articles that have at least one *offering*
@@ -173,12 +192,12 @@ impl ArticleStore {
 
     /// Total number of offered replicas across the network.
     pub fn total_offered(&self) -> usize {
-        self.offered.values().map(Vec::len).sum()
+        self.offered.iter().map(Vec::len).sum()
     }
 
     /// Total number of held replicas across the network.
     pub fn total_held(&self) -> usize {
-        self.held.values().map(Vec::len).sum()
+        self.held.iter().map(Vec::len).sum()
     }
 }
 

@@ -21,7 +21,13 @@
 use crate::article::ArticleId;
 use crate::peer::PeerId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+/// The growable accumulator slot at `index`, zero-extending as needed.
+fn grow_slot(totals: &mut Vec<f64>, index: usize) -> &mut f64 {
+    if totals.len() <= index {
+        totals.resize(index + 1, 0.0);
+    }
+    &mut totals[index]
+}
 
 /// Status of a transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -89,10 +95,13 @@ pub struct TransferManager {
     completed: u64,
     /// Summed duration (steps) of completed transfers ever.
     completed_duration_sum: u64,
-    /// Bytes received per downloader over *released* transfers.
-    retired_received: HashMap<u32, f64>,
-    /// Bytes served per source over *released* transfers.
-    retired_served: HashMap<u32, f64>,
+    /// Bytes received per downloader over *released* transfers, indexed by
+    /// peer id (dense ids make a vector strictly cheaper than the hash map
+    /// this used to be — `release` runs once per completed transfer).
+    retired_received: Vec<f64>,
+    /// Bytes served per source over *released* transfers, indexed like
+    /// `retired_received`.
+    retired_served: Vec<f64>,
 }
 
 impl TransferManager {
@@ -278,8 +287,8 @@ impl TransferManager {
             "cannot release an in-progress transfer"
         );
         if t.received != 0.0 {
-            *self.retired_received.entry(t.downloader.0).or_insert(0.0) += t.received;
-            *self.retired_served.entry(t.source.0).or_insert(0.0) += t.received;
+            *grow_slot(&mut self.retired_received, t.downloader.index()) += t.received;
+            *grow_slot(&mut self.retired_served, t.source.index()) += t.received;
         }
         self.in_use[id as usize] = false;
         self.free.push(id as u32);
@@ -303,7 +312,7 @@ impl TransferManager {
     pub fn total_received_by(&self, downloader: PeerId) -> f64 {
         let retired = self
             .retired_received
-            .get(&downloader.0)
+            .get(downloader.index())
             .copied()
             .unwrap_or(0.0);
         retired
@@ -317,7 +326,11 @@ impl TransferManager {
     /// Total bandwidth served by a source over all its transfers, released
     /// ones included.
     pub fn total_served_by(&self, source: PeerId) -> f64 {
-        let retired = self.retired_served.get(&source.0).copied().unwrap_or(0.0);
+        let retired = self
+            .retired_served
+            .get(source.index())
+            .copied()
+            .unwrap_or(0.0);
         retired
             + self
                 .live()

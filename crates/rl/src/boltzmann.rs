@@ -33,15 +33,33 @@ use serde::{Deserialize, Serialize};
 ///
 /// Panics if `values` is empty or `t` is not strictly positive.
 pub fn boltzmann_distribution(values: &[f64], t: f64) -> Vec<f64> {
+    let mut probs = Vec::new();
+    boltzmann_distribution_into(values, t, &mut probs);
+    probs
+}
+
+/// Allocation-free variant of [`boltzmann_distribution`]: writes the
+/// distribution into `out` (cleared first), reusing its capacity. The hot
+/// selection loop of the simulation calls this through a per-state cache so
+/// steady-state steps perform no allocation.
+///
+/// Produces bit-identical results to [`boltzmann_distribution`].
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `t` is not strictly positive.
+pub fn boltzmann_distribution_into(values: &[f64], t: f64, out: &mut Vec<f64>) {
     assert!(!values.is_empty(), "need at least one Q-value");
     assert!(t > 0.0, "temperature must be strictly positive");
     let n = values.len();
+    out.clear();
     if !t.is_finite() || t >= 1e300 {
-        return vec![1.0 / n as f64; n];
+        out.resize(n, 1.0 / n as f64);
+        return;
     }
     let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mut probs: Vec<f64> = values.iter().map(|&q| ((q - max) / t).exp()).collect();
-    let sum: f64 = probs.iter().sum();
+    out.extend(values.iter().map(|&q| ((q - max) / t).exp()));
+    let sum: f64 = out.iter().sum();
     if sum <= 0.0 || !sum.is_finite() {
         // All exponents underflowed (extremely small temperature with large
         // spread); fall back to greedy with deterministic tie-breaking.
@@ -51,12 +69,31 @@ pub fn boltzmann_distribution(values: &[f64], t: f64) -> Vec<f64> {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
             .map(|(i, _)| i)
             .unwrap_or(0);
-        probs.iter_mut().for_each(|p| *p = 0.0);
-        probs[greedy] = 1.0;
-        return probs;
+        out.iter_mut().for_each(|p| *p = 0.0);
+        out[greedy] = 1.0;
+        return;
     }
-    probs.iter_mut().for_each(|p| *p /= sum);
-    probs
+    out.iter_mut().for_each(|p| *p /= sum);
+}
+
+/// Samples an index from an explicit probability distribution through a
+/// [`rand::RngCore`] trait object, consuming exactly one `next_u64` call.
+///
+/// This is the draw [`BoltzmannPolicy::select_action`] performs: the raw
+/// 64-bit output is turned into a uniform double in `[0, 1)` by the standard
+/// 53-bit mantissa construction, then walked down the CDF. Exposed so
+/// callers that cache distributions (the simulation's selection phase) can
+/// reproduce the policy's RNG stream bit-for-bit.
+pub fn sample_probs(probs: &[f64], rng: &mut dyn rand::RngCore) -> usize {
+    let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+    let mut cumulative = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        cumulative += p;
+        if draw < cumulative {
+            return i;
+        }
+    }
+    probs.len() - 1
 }
 
 /// Samples an index from an explicit probability distribution.
@@ -119,17 +156,9 @@ impl BoltzmannPolicy {
 impl Policy for BoltzmannPolicy {
     fn select_action(&self, q_row: &[f64], rng: &mut dyn rand::RngCore) -> usize {
         let probs = boltzmann_distribution(q_row, self.temperature);
-        // RngCore only gives raw integers; derive a uniform double manually
-        // so this works through the trait object.
-        let draw = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        let mut cumulative = 0.0;
-        for (i, &p) in probs.iter().enumerate() {
-            cumulative += p;
-            if draw < cumulative {
-                return i;
-            }
-        }
-        probs.len() - 1
+        // RngCore only gives raw integers; `sample_probs` derives a uniform
+        // double manually so this works through the trait object.
+        sample_probs(&probs, rng)
     }
 
     fn name(&self) -> &'static str {
@@ -256,6 +285,47 @@ mod tests {
             .filter(|_| policy.select_action(&q, &mut rng) == 1)
             .count();
         assert!(greedy > 950, "greedy chosen only {greedy}/1000 times");
+    }
+
+    #[test]
+    fn into_variant_is_bit_identical_and_reuses_capacity() {
+        let cases: &[(&[f64], f64)] = &[
+            (&[1.0, 2.0, 3.0], 1.0),
+            (&[5.0, -2.0, 100.0], f64::MAX),
+            (&[0.0, 1000.0, 500.0], 1e-12),
+            (&[1e12, 1e12 + 1.0], 1.0),
+            (&[0.25], 2.0),
+        ];
+        let mut out = Vec::new();
+        for &(values, t) in cases {
+            boltzmann_distribution_into(values, t, &mut out);
+            let reference = boltzmann_distribution(values, t);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "values={values:?} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sample_probs_matches_policy_draw_stream() {
+        // `sample_probs` must consume exactly one `next_u64` and pick the
+        // same index as `BoltzmannPolicy::select_action` on the same stream.
+        let q = [0.3, -1.0, 2.5, 0.0];
+        for t in [1.0, f64::MAX] {
+            let policy = BoltzmannPolicy::new(t);
+            let probs = boltzmann_distribution(&q, t);
+            let mut a = StdRng::seed_from_u64(42);
+            let mut b = StdRng::seed_from_u64(42);
+            for _ in 0..200 {
+                assert_eq!(
+                    policy.select_action(&q, &mut a),
+                    sample_probs(&probs, &mut b)
+                );
+            }
+            use rand::RngCore;
+            assert_eq!(a.next_u64(), b.next_u64(), "stream positions diverged");
+        }
     }
 
     #[test]

@@ -134,14 +134,28 @@ pub fn flatten_action(coords: &[usize], dims: &[usize]) -> usize {
 
 /// Inverse of [`flatten_action`]: expands a flat index into per-dimension
 /// coordinates.
-pub fn unflatten_action(mut index: usize, dims: &[usize]) -> Vec<usize> {
+pub fn unflatten_action(index: usize, dims: &[usize]) -> Vec<usize> {
     let mut coords = vec![0usize; dims.len()];
+    unflatten_action_into(index, dims, &mut coords);
+    coords
+}
+
+/// Allocation-free [`unflatten_action`]: writes the coordinates into a
+/// caller-provided slot array. Hot decode paths (one action decode per
+/// rational peer per step) call this through a stack-allocated fixed-size
+/// array instead of paying a heap round-trip per decode.
+///
+/// # Panics
+///
+/// Panics if `coords` does not match `dims` in length or the flat index is
+/// out of range.
+pub fn unflatten_action_into(mut index: usize, dims: &[usize], coords: &mut [usize]) {
+    assert_eq!(coords.len(), dims.len(), "coordinate/dimension mismatch");
     for (slot, &d) in coords.iter_mut().zip(dims.iter()).rev() {
         *slot = index % d;
         index /= d;
     }
     assert_eq!(index, 0, "flat index out of range for dimensions");
-    coords
 }
 
 #[cfg(test)]

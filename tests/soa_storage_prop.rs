@@ -1,0 +1,318 @@
+//! Property tests pinning the struct-of-arrays hot state bitwise against
+//! the per-peer reference structs, plus the active-set invariant:
+//!
+//! * **Agent storage** — [`AgentTable`] (rank-major flat Q storage) must
+//!   reproduce a `Vec<CollabAgent>` exactly, bit for bit, over random
+//!   traces of choices, Q-updates, offline gaps and adversary-forced
+//!   skips. Both sides share one RNG stream (only the reference agents
+//!   draw), so any divergence is a storage bug, not sampling noise.
+//! * **Shard splitting** — learning through [`AgentTable::split_mut`]
+//!   shards and utility accumulation through
+//!   [`AccumulatorTable::split_mut`] shards must equal the sequential
+//!   whole-table updates bitwise, for arbitrary shard bounds.
+//! * **Active sets** — after every step of a churned, attacked simulation
+//!   (departures, re-entries, whitewashes, scheduled adversary rejoins),
+//!   the incrementally maintained [`ActiveSets`] must equal a
+//!   from-scratch recomputation against the peer registry.
+
+use collabsim_workspace::collabsim::adversary::AdversarySpec;
+use collabsim_workspace::collabsim::config::PhaseConfig;
+use collabsim_workspace::collabsim::{
+    AccumulatorTable, ActiveSets, AgentState, AgentTable, BehaviorMix, BehaviorType, CollabAgent,
+    Simulation, SimulationConfig,
+};
+use collabsim_workspace::netsim::churn::ChurnModel;
+use collabsim_workspace::rl::qlearning::QLearningParams;
+use collabsim_workspace::rl::space::StateSpace;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const STATES: usize = 10;
+const ACTIONS: usize = 27;
+
+/// Draws a behaviour assignment with all three types represented when the
+/// population allows it.
+fn draw_behaviors(population: usize, rng: &mut StdRng) -> Vec<BehaviorType> {
+    (0..population)
+        .map(|p| match (p + rng.gen_range(0..3usize)) % 3 {
+            0 => BehaviorType::Rational,
+            1 => BehaviorType::Altruistic,
+            _ => BehaviorType::Irrational,
+        })
+        .collect()
+}
+
+/// Asserts the table reproduces the reference agents bitwise: learner
+/// flags, update counts, every Q-cell, and the greedy action per state.
+fn assert_table_matches(table: &AgentTable, reference: &[CollabAgent]) {
+    for (p, agent) in reference.iter().enumerate() {
+        assert_eq!(table.is_learning(p), agent.is_learning(), "peer {p} flag");
+        let updates = agent.learner().map_or(0, |l| l.updates());
+        assert_eq!(table.updates_of(p), updates, "peer {p} update count");
+        if let Some(learner) = agent.learner() {
+            for s in 0..STATES {
+                let row = table.q_row(p, s);
+                assert_eq!(row.len(), ACTIONS);
+                for (a, value) in row.iter().enumerate() {
+                    assert_eq!(
+                        value.to_bits(),
+                        learner.table().get(s, a).to_bits(),
+                        "peer {p} q[{s}][{a}] diverged"
+                    );
+                }
+                assert_eq!(
+                    table.greedy_action(p, s),
+                    agent
+                        .greedy_action(AgentState { bucket: s })
+                        .map(|a| a.to_index()),
+                    "peer {p} greedy action in state {s}"
+                );
+            }
+        } else {
+            assert!(table.q_block(p).is_none(), "fixed peer {p} owns no Q block");
+            assert_eq!(table.greedy_action(p, 0), None);
+        }
+    }
+}
+
+/// Random ascending shard bounds `[0, …, population]`.
+fn draw_bounds(population: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut bounds = vec![0, population];
+    for _ in 0..rng.gen_range(0..4usize) {
+        bounds.push(rng.gen_range(0..population + 1));
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+    if bounds.len() < 2 {
+        bounds.push(population);
+    }
+    bounds
+}
+
+proptest! {
+    /// The SoA agent table replayed against per-peer [`CollabAgent`]s over
+    /// a random trace of choices, rewards, offline gaps and forced skips
+    /// stays bitwise identical after every step.
+    #[test]
+    fn agent_table_matches_per_peer_agents_bitwise(
+        population in 3usize..14,
+        steps in 1usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let behaviors = draw_behaviors(population, &mut rng);
+        let states = StateSpace::new(STATES);
+        let params = QLearningParams::default();
+        let mut table = AgentTable::new(&behaviors, states, params);
+        let mut reference: Vec<CollabAgent> = behaviors
+            .iter()
+            .map(|&b| CollabAgent::new(b, states, params))
+            .collect();
+        let mut online = vec![true; population];
+
+        for step in 0..steps {
+            // High-temperature exploration first, then greedy-ish play —
+            // both Boltzmann regimes the engine uses.
+            let temperature = if step % 2 == 0 { f64::MAX } else { 1.0 };
+            for p in 0..population {
+                // Churn: peers drop out and re-enter mid-trace.
+                if rng.gen_bool(0.1) {
+                    online[p] = !online[p];
+                }
+                if !online[p] {
+                    continue;
+                }
+                // Adversary-forced peers skip choose/record/learn entirely.
+                if rng.gen_bool(0.1) {
+                    continue;
+                }
+                let bucket = rng.gen_range(0..STATES);
+                let action = reference[p].choose(AgentState { bucket }, temperature, &mut rng);
+                table.record_choice(p, bucket, action.to_index());
+                prop_assert_eq!(table.last_state_bucket(p), Some(bucket));
+                prop_assert_eq!(table.last_action_index(p), Some(action.to_index()));
+                // Most choices see their delayed Q-update; some steps end
+                // without one (e.g. the peer departs before utility).
+                if rng.gen_bool(0.85) {
+                    let reward = rng.gen_range(-1.0..1.5);
+                    let next = rng.gen_range(0..STATES);
+                    reference[p].learn(reward, AgentState { bucket: next });
+                    table.learn(p, reward, next);
+                }
+            }
+            assert_table_matches(&table, &reference);
+        }
+    }
+
+    /// Learning through disjoint [`AgentTable::split_mut`] shards equals
+    /// sequential whole-table learning bitwise, for arbitrary bounds.
+    #[test]
+    fn sharded_learning_matches_sequential_learning(
+        population in 2usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let behaviors = draw_behaviors(population, &mut rng);
+        let states = StateSpace::new(STATES);
+        let params = QLearningParams::default();
+        let mut sequential = AgentTable::new(&behaviors, states, params);
+        for p in 0..population {
+            sequential.record_choice(p, rng.gen_range(0..STATES), rng.gen_range(0..ACTIONS));
+        }
+        let mut sharded = sequential.clone();
+        let rewards: Vec<(f64, usize)> = (0..population)
+            .map(|_| (rng.gen_range(-1.0..1.5), rng.gen_range(0..STATES)))
+            .collect();
+
+        for (p, &(reward, next)) in rewards.iter().enumerate() {
+            sequential.learn(p, reward, next);
+        }
+        let bounds = draw_bounds(population, &mut rng);
+        for mut shard in sharded.split_mut(&bounds) {
+            for p in shard.range() {
+                let (reward, next) = rewards[p];
+                shard.learn(p, reward, next);
+            }
+        }
+
+        prop_assert_eq!(sequential.total_updates(), sharded.total_updates());
+        for p in 0..population {
+            prop_assert_eq!(sequential.updates_of(p), sharded.updates_of(p), "peer {}", p);
+            match (sequential.q_block(p), sharded.q_block(p)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                        prop_assert_eq!(x.to_bits(), y.to_bits(), "peer {} cell {}", p, i);
+                    }
+                }
+                _ => prop_assert!(false, "learner flag diverged for peer {}", p),
+            }
+        }
+    }
+
+    /// Accumulating through disjoint [`AccumulatorTable::split_mut`] shards
+    /// equals sequential whole-table accumulation bitwise.
+    #[test]
+    fn sharded_accumulation_matches_sequential_accumulation(
+        population in 1usize..32,
+        events in 0usize..200,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trace: Vec<(usize, usize, f64)> = (0..events)
+            .map(|_| (rng.gen_range(0..population), rng.gen_range(0..8usize), rng.gen_range(0.0..2.0)))
+            .collect();
+
+        let mut sequential = AccumulatorTable::new(population);
+        for &(p, field, amount) in &trace {
+            match field {
+                0 => sequential.shared_bandwidth_sum[p] += amount,
+                1 => sequential.shared_articles_sum[p] += amount,
+                2 => sequential.downloaded_sum[p] += amount,
+                3 => sequential.utility_sum[p] += amount,
+                4 => sequential.constructive_edits[p] += 1,
+                5 => sequential.destructive_edits[p] += 1,
+                6 => sequential.votes[p] += 1,
+                _ => sequential.steps[p] += 1,
+            }
+        }
+
+        let mut sharded = AccumulatorTable::new(population);
+        let bounds = draw_bounds(population, &mut rng);
+        {
+            let mut shards = sharded.split_mut(&bounds);
+            for &(p, field, amount) in &trace {
+                let shard = shards
+                    .iter_mut()
+                    .find(|s| p >= s.start && p < s.start + s.steps.len())
+                    .expect("bounds cover the population");
+                let i = p - shard.start;
+                match field {
+                    0 => shard.shared_bandwidth_sum[i] += amount,
+                    1 => shard.shared_articles_sum[i] += amount,
+                    2 => shard.downloaded_sum[i] += amount,
+                    3 => shard.utility_sum[i] += amount,
+                    4 => shard.constructive_edits[i] += 1,
+                    5 => shard.destructive_edits[i] += 1,
+                    6 => shard.votes[i] += 1,
+                    _ => shard.steps[i] += 1,
+                }
+            }
+        }
+
+        for p in 0..population {
+            let a = sequential.peer(p);
+            let b = sharded.peer(p);
+            prop_assert_eq!(a.shared_bandwidth_sum.to_bits(), b.shared_bandwidth_sum.to_bits());
+            prop_assert_eq!(a.shared_articles_sum.to_bits(), b.shared_articles_sum.to_bits());
+            prop_assert_eq!(a.downloaded_sum.to_bits(), b.downloaded_sum.to_bits());
+            prop_assert_eq!(a.utility_sum.to_bits(), b.utility_sum.to_bits());
+            prop_assert_eq!(a.constructive_edits, b.constructive_edits);
+            prop_assert_eq!(a.destructive_edits, b.destructive_edits);
+            prop_assert_eq!(a.votes, b.votes);
+            prop_assert_eq!(a.steps, b.steps);
+        }
+    }
+
+    /// The incrementally maintained active sets equal a from-scratch
+    /// recomputation after **every** step of a run whose churn phase
+    /// departs, re-enters and whitewashes peers and whose timed
+    /// whitewashing adversary departs and rejoins on its own schedule.
+    #[test]
+    fn active_sets_match_recomputation_under_churn_and_attack(
+        seed in 0u64..1_000_000,
+    ) {
+        let config = SimulationConfig {
+            population: 32,
+            initial_articles: 16,
+            phases: PhaseConfig {
+                training_steps: 40,
+                evaluation_steps: 20,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_mix(BehaviorMix::new(0.4, 0.3, 0.3))
+        .with_churn(ChurnModel {
+            join_probability: 0.15,
+            leave_probability: 0.08,
+            whitewash_probability: 0.04,
+        })
+        .with_adversary(AdversarySpec::new("adaptive-whitewash", 3).with_parameter(3.0))
+        .with_seed(seed);
+
+        let mut sim = Simulation::new(config);
+        let world = sim.world();
+        prop_assert!(world.active.matches(&world.peers, &world.behaviors));
+        for step in 0..60u64 {
+            let temperature = if step < 40 { f64::MAX } else { 1.0 };
+            sim.step(temperature);
+            let world = sim.world();
+            prop_assert!(
+                world.active.matches(&world.peers, &world.behaviors),
+                "active sets drifted from the registry at step {}",
+                step
+            );
+            prop_assert_eq!(
+                world.active.iter_online().count(),
+                world.peers.online().count(),
+                "online cardinality drifted at step {}",
+                step
+            );
+        }
+    }
+}
+
+/// The recompute oracle itself: built from behaviours alone it marks every
+/// peer online and exactly the rational peers as learners.
+#[test]
+fn recompute_oracle_matches_fresh_construction() {
+    let mut rng = StdRng::seed_from_u64(0xB0C);
+    let behaviors = draw_behaviors(17, &mut rng);
+    let peers = collabsim_workspace::netsim::peer::PeerRegistry::with_population(behaviors.len());
+    assert_eq!(
+        ActiveSets::recompute(&peers, &behaviors),
+        ActiveSets::new(&behaviors)
+    );
+}
