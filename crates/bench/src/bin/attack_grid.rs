@@ -6,8 +6,11 @@
 //! vs each of the three propagation backends (EigenTrust, gossip, MaxFlow)
 //! under `reputation_source = propagated` — all under the paper's
 //! reputation scheme, and (b) the incentive-scheme axis (none,
-//! tit-for-tat) under the ledger source. Every cell is one
-//! [`Simulation`] with an [`AttackMetricsObserver`] attached, reporting:
+//! tit-for-tat) under the ledger source. The cell specs come from
+//! [`collabsim_cli::scenarios::attack_cells`] — the constructors behind
+//! the checked-in `scenarios/attacks/` files — and every cell runs
+//! through the shared [`collabsim_cli::runner`] core with an
+//! [`AttackMetricsObserver`] attached, reporting:
 //!
 //! * **damage** — bandwidth the attackers extracted during measurement and
 //!   destructive edits they got accepted,
@@ -25,45 +28,14 @@
 //! `BENCH_attacks.json`), `--baseline <path>` + `--max-regress <pct>`
 //! (aggregate steps/sec gate, default 20 %).
 
-use collabsim::adversary::{AdversarySpec, AttackMetricsObserver, UnitAttackMetrics};
-use collabsim::config::PhaseConfig;
-use collabsim::{AttackStats, BehaviorMix, IncentiveScheme, ScenarioSpec, Simulation};
+use collabsim::adversary::{AttackMetricsObserver, UnitAttackMetrics};
+use collabsim::pipeline::PhaseRegistry;
+use collabsim::AttackStats;
 use collabsim_bench::{arg_value, extract_number, has_flag};
-use collabsim_reputation::propagation::PropagationScheme;
+use collabsim_cli::runner::{gate_floor, run_spec_instrumented};
+use collabsim_cli::scenarios::{attack_cells, attack_scale, AttackCell, ATTACK_STRATEGIES};
 use std::fmt::Write as _;
 use std::time::Instant;
-
-/// The strategy axis of the grid: `(name, parameter)`.
-const STRATEGIES: [(&str, f64); 5] = [
-    ("adaptive-whitewash", 0.0),
-    ("naive-whitewash", 0.02),
-    ("collusion-ring", 0.0),
-    ("oscillating-freerider", 0.0),
-    ("sybil-slander", 0.0),
-];
-
-/// One reputation-source arm: the ledger, or a propagated backend.
-#[derive(Clone, Copy, PartialEq)]
-enum Source {
-    Ledger,
-    Propagated(PropagationScheme),
-}
-
-impl Source {
-    const ALL: [Source; 4] = [
-        Source::Ledger,
-        Source::Propagated(PropagationScheme::EigenTrust),
-        Source::Propagated(PropagationScheme::Gossip),
-        Source::Propagated(PropagationScheme::MaxFlow),
-    ];
-
-    fn label(self) -> &'static str {
-        match self {
-            Source::Ledger => "ledger",
-            Source::Propagated(scheme) => scheme.label(),
-        }
-    }
-}
 
 struct CellResult {
     label: String,
@@ -76,80 +48,21 @@ struct CellResult {
     metrics: UnitAttackMetrics,
 }
 
-struct GridScale {
-    population: usize,
-    adversaries: usize,
-    phases: PhaseConfig,
-    interval: u64,
-}
-
-fn grid_scale(quick: bool) -> GridScale {
-    if quick {
-        GridScale {
-            population: 36,
-            adversaries: 4,
-            phases: PhaseConfig {
-                training_steps: 400,
-                evaluation_steps: 200,
-                ..Default::default()
-            },
-            interval: 25,
-        }
-    } else {
-        GridScale {
-            population: 50,
-            adversaries: 5,
-            phases: PhaseConfig {
-                training_steps: 900,
-                evaluation_steps: 600,
-                ..Default::default()
-            },
-            interval: 50,
-        }
-    }
-}
-
-fn cell_spec(
-    scale: &GridScale,
-    strategy: (&'static str, f64),
-    source: Source,
-    scheme: IncentiveScheme,
-) -> ScenarioSpec {
-    let label = format!("{}/{}/{}", strategy.0, source.label(), scheme.label());
-    let mut builder = ScenarioSpec::builder()
-        .label(label)
-        .population(scale.population)
-        .initial_articles(scale.population / 2)
-        .mix(BehaviorMix::new(0.5, 0.3, 0.2))
-        .incentive(scheme)
-        .phase_config(scale.phases)
-        .seed(0xA77AC)
-        .adversary(AdversarySpec::new(strategy.0, scale.adversaries).with_parameter(strategy.1));
-    if let Source::Propagated(propagation) = source {
-        builder = builder
-            .propagation(propagation, scale.interval)
-            .propagated_reputation();
-    }
-    builder.build().expect("attack grid specs are valid")
-}
-
-fn run_cell(spec: &ScenarioSpec, strategy: &'static str, source: Source) -> CellResult {
-    let total_steps = spec.config().phases.total_steps();
-    let mut sim = Simulation::from_spec(spec).expect("attack strategies are registered");
-    sim.add_observer(AttackMetricsObserver::new());
-    let running = Instant::now();
-    sim.run();
-    let seconds = running.elapsed().as_secs_f64();
+fn run_cell(cell: &AttackCell) -> CellResult {
+    let (outcome, sim) = run_spec_instrumented(&cell.spec, &PhaseRegistry::standard(), |sim| {
+        sim.add_observer(AttackMetricsObserver::new());
+    })
+    .expect("attack strategies are registered");
     let stats = *sim.world().adversaries.units()[0].stats();
     let observer: &AttackMetricsObserver = sim.observer(0).expect("attached above");
     let metrics = observer.metrics()[0].clone();
     CellResult {
-        label: spec.label().to_string(),
-        strategy,
-        backend: source.label(),
-        scheme: spec.config().incentive.label(),
-        total_steps,
-        steps_per_sec: total_steps as f64 / seconds,
+        label: outcome.label,
+        strategy: cell.strategy,
+        backend: cell.source.label(),
+        scheme: cell.scheme.label(),
+        total_steps: outcome.total_steps,
+        steps_per_sec: outcome.steps_per_sec,
         stats,
         metrics,
     }
@@ -207,16 +120,7 @@ fn check_baseline(total_steps_per_sec: f64, baseline_path: &str, max_regress_pct
         eprintln!("baseline {baseline_path} has no total_steps_per_sec entry");
         return false;
     };
-    let floor = reference * (1.0 - max_regress_pct / 100.0);
-    let ok = total_steps_per_sec >= floor;
-    println!(
-        "aggregate: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {}",
-        total_steps_per_sec,
-        reference,
-        floor,
-        if ok { "ok" } else { "REGRESSION" }
-    );
-    ok
+    gate_floor("aggregate", total_steps_per_sec, reference, max_regress_pct)
 }
 
 fn main() {
@@ -225,7 +129,7 @@ fn main() {
     let max_regress: f64 = arg_value("--max-regress")
         .and_then(|v| v.parse().ok())
         .unwrap_or(20.0);
-    let scale = grid_scale(quick);
+    let scale = attack_scale(quick);
 
     println!(
         "collabsim — attack_grid [scale: {}]",
@@ -237,27 +141,14 @@ fn main() {
     );
     println!();
 
+    let cells = attack_cells(&scale);
     let mut results = Vec::new();
     let mut total_steps = 0u64;
     let grid_started = Instant::now();
-
-    // Arm (a): every strategy × every reputation source, paper scheme.
-    for &strategy in &STRATEGIES {
-        for &source in &Source::ALL {
-            let spec = cell_spec(&scale, strategy, source, IncentiveScheme::ReputationBased);
-            let result = run_cell(&spec, strategy.0, source);
-            total_steps += result.total_steps;
-            results.push(result);
-        }
-    }
-    // Arm (b): every strategy × the non-reputation schemes, ledger source.
-    for &strategy in &STRATEGIES {
-        for scheme in [IncentiveScheme::None, IncentiveScheme::TitForTat] {
-            let spec = cell_spec(&scale, strategy, Source::Ledger, scheme);
-            let result = run_cell(&spec, strategy.0, Source::Ledger);
-            total_steps += result.total_steps;
-            results.push(result);
-        }
+    for cell in &cells {
+        let result = run_cell(cell);
+        total_steps += result.total_steps;
+        results.push(result);
     }
     let total_steps_per_sec = total_steps as f64 / grid_started.elapsed().as_secs_f64();
 
@@ -312,15 +203,16 @@ fn main() {
     // most, per strategy (lower damage + lower retention = more robust).
     println!();
     println!("robustness (reputation scheme): per-strategy damage by source");
-    for &(strategy, _) in &STRATEGIES {
+    for &(strategy, _) in &ATTACK_STRATEGIES {
         let mut row = format!("  {strategy:<24}");
-        for &source in &Source::ALL {
-            let cell = find(strategy, source.label(), "reputation");
+        for cell in results
+            .iter()
+            .filter(|r| r.strategy == strategy && r.scheme == "reputation")
+        {
             let _ = write!(
                 row,
                 " {}={:.0}",
-                source.label(),
-                cell.metrics.damage_bandwidth
+                cell.backend, cell.metrics.damage_bandwidth
             );
         }
         println!("{row}");

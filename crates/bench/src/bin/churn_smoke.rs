@@ -7,25 +7,31 @@
 //!    whitewash-heavy, combined) expressed as [`ScenarioSpec`]s and run
 //!    through the [`ScenarioRunner`] — the registry-driven path a custom
 //!    scenario takes (no engine edits anywhere).
-//! 2. **Instrumented runs** — every regime re-run on a single
-//!    [`Simulation`] with a [`ChurnTimelineObserver`], producing the
-//!    per-regime steps/sec figures (each baseline-gated in CI) and the
-//!    persistence stats: mean sharing reputation observed at re-entry
-//!    (above `R_min` ⇒ reputation survives absences) and mean reputation
-//!    shed per whitewash (what the adversary pays).
+//! 2. **Instrumented runs** — every regime re-run through the shared
+//!    [`collabsim_cli::runner`] core with a [`ChurnTimelineObserver`],
+//!    producing the per-regime steps/sec figures (each baseline-gated in
+//!    CI) and the persistence stats: mean sharing reputation observed at
+//!    re-entry (above `R_min` ⇒ reputation survives absences) and mean
+//!    reputation shed per whitewash (what the adversary pays).
+//!
+//! The regimes come from [`collabsim_cli::scenarios::churn_regimes`] — the
+//! constructors behind the checked-in `scenarios/churn/` files, so
+//! `collabsim grid scenarios/churn` runs the same cells out of process.
 //!
 //! Flags: `--quick` (reduced steps), `--out <path>` (default
 //! `BENCH_churn.json`), `--baseline <path>` + `--max-regress <pct>`
 //! (steps/sec gate, default 20 %).
+//!
+//! [`ScenarioSpec`]: collabsim::ScenarioSpec
 
-use collabsim::config::PhaseConfig;
 use collabsim::experiment::ScenarioRunner;
 use collabsim::observer::ChurnTimelineObserver;
-use collabsim::{BehaviorMix, ScenarioSpec, Simulation};
+use collabsim::pipeline::PhaseRegistry;
+use collabsim::ScenarioSpec;
 use collabsim_bench::{arg_value, extract_number, has_flag};
-use collabsim_netsim::churn::ChurnModel;
+use collabsim_cli::runner::{gate_floor, run_spec_instrumented};
+use collabsim_cli::scenarios::{churn_phases, churn_regimes};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 struct ChurnResult {
     label: String,
@@ -39,63 +45,18 @@ struct ChurnResult {
     online_final: usize,
 }
 
-/// A churn spec over the paper population with bench-sized phases.
-fn churn_spec(label: &str, churn: ChurnModel, quick: bool) -> ScenarioSpec {
-    let (training, evaluation) = if quick { (400, 200) } else { (2_000, 1_000) };
-    ScenarioSpec::builder()
-        .label(label)
-        .mix(BehaviorMix::new(0.5, 0.25, 0.25))
-        .phase_config(PhaseConfig {
-            training_steps: training,
-            evaluation_steps: evaluation,
-            ..Default::default()
-        })
-        .churn(churn)
-        .seed(0xC0AC_0001)
-        .build()
-        .expect("churn bench specs are valid")
-}
-
-fn regimes(quick: bool) -> Vec<ScenarioSpec> {
-    vec![
-        churn_spec(
-            "churn/background",
-            // Expected equilibrium: joins (0.2/step) balance departures
-            // (online × 0.002/step) near the full 100-peer population.
-            ChurnModel {
-                join_probability: 0.2,
-                leave_probability: 0.002,
-                whitewash_probability: 0.0,
-            },
-            quick,
-        ),
-        churn_spec("churn/whitewash", ChurnModel::whitewashing(0.003), quick),
-        churn_spec(
-            "churn/combined",
-            ChurnModel {
-                join_probability: 0.2,
-                leave_probability: 0.002,
-                whitewash_probability: 0.002,
-            },
-            quick,
-        ),
-    ]
-}
-
 fn run_instrumented(spec: &ScenarioSpec) -> ChurnResult {
-    let total_steps = spec.config().phases.total_steps();
-    let mut sim = Simulation::from_spec(spec).expect("churn phase is registered");
-    sim.add_observer(ChurnTimelineObserver::new());
-    let running = Instant::now();
-    sim.run();
-    let seconds = running.elapsed().as_secs_f64();
+    let (outcome, sim) = run_spec_instrumented(spec, &PhaseRegistry::standard(), |sim| {
+        sim.add_observer(ChurnTimelineObserver::new());
+    })
+    .expect("churn phase is registered");
     let stats = sim.world().churn_stats;
     let timeline: &ChurnTimelineObserver = sim.observer(0).expect("attached above");
-    assert_eq!(timeline.timeline().len() as u64, total_steps);
+    assert_eq!(timeline.timeline().len() as u64, outcome.total_steps);
     ChurnResult {
-        label: spec.label().to_string(),
-        total_steps,
-        steps_per_sec: total_steps as f64 / seconds,
+        label: outcome.label,
+        total_steps: outcome.total_steps,
+        steps_per_sec: outcome.steps_per_sec,
         joins: stats.joins,
         leaves: stats.leaves,
         whitewashes: stats.whitewashes,
@@ -153,16 +114,11 @@ fn check_baseline(results: &[ChurnResult], baseline_path: &str, max_regress_pct:
             continue;
         };
         checked += 1;
-        let floor = reference * (1.0 - max_regress_pct / 100.0);
-        let verdict = if result.steps_per_sec >= floor {
-            "ok"
-        } else {
-            ok = false;
-            "REGRESSION"
-        };
-        println!(
-            "{}: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {verdict}",
-            result.label, result.steps_per_sec, reference, floor
+        ok &= gate_floor(
+            &result.label,
+            result.steps_per_sec,
+            reference,
+            max_regress_pct,
         );
     }
     if checked == 0 {
@@ -187,7 +143,7 @@ fn main() {
     println!();
 
     // Stage 1 — the whole regime family end to end through the runner.
-    let specs = regimes(quick);
+    let specs = churn_regimes(churn_phases(quick));
     let reports = ScenarioRunner::default()
         .run_specs(specs.clone())
         .expect("churn phase is registered in the standard registry");

@@ -5,13 +5,19 @@
 //! 1. **The paper cell** — 100 peers × 12 000 steps (10 000 training +
 //!    2 000 evaluation) at the default download rate of one attempted
 //!    download per peer per step, i.e. the download/bandwidth-competition-
-//!    dominated configuration. Runs single-cell with per-phase
+//!    dominated configuration. Runs single-cell through the shared
+//!    [`collabsim_cli::runner`] core with per-phase
 //!    [`PhaseTimings`](collabsim::pipeline::PhaseTimings) enabled; its
 //!    steps/sec is the CI-gated number.
 //! 2. **The 18-cell grid** — the Section IV-B mix sweeps behind Figures 4
 //!    and 5 (9 altruistic-share points + 9 irrational-share points),
 //!    executed through the parallel [`ScenarioRunner`]; reported as grid
 //!    cells/sec and aggregate steps/sec.
+//!
+//! The cell specs come from [`collabsim_cli::scenarios`] — the same
+//! constructors behind the checked-in `scenarios/paper/` files, so
+//! `collabsim grid scenarios/paper/mix` runs exactly this grid out of
+//! process.
 //!
 //! Flags:
 //!
@@ -28,10 +34,13 @@
 //! `crates/bench/baselines/paper_baseline.json` and uploads the fresh
 //! `BENCH_paper.json` as a build artifact.
 
-use collabsim::config::PhaseConfig;
-use collabsim::experiment::{ScenarioRunner, MIX_SWEEP_PERCENTAGES};
-use collabsim::{BehaviorMix, BehaviorType, ScenarioSpec, Simulation, SimulationConfig};
+use collabsim::experiment::ScenarioRunner;
+use collabsim::pipeline::PhaseRegistry;
 use collabsim_bench::{arg_value, extract_number, has_flag};
+use collabsim_cli::runner::{gate_floor, run_spec_instrumented};
+use collabsim_cli::scenarios::{
+    paper_cell_phases, paper_cell_spec, paper_mix_cells, paper_mix_phases,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -53,32 +62,10 @@ struct GridResult {
     aggregate_steps_per_sec: f64,
 }
 
-/// The gated workload: the paper's default configuration, full length.
-fn paper_cell_config(quick: bool) -> SimulationConfig {
-    let mut config = SimulationConfig::default();
-    if quick {
-        config.phases = PhaseConfig {
-            training_steps: 1_000,
-            evaluation_steps: 500,
-            ..Default::default()
-        };
-    }
-    config
-}
-
-fn run_paper_cell(config: SimulationConfig) -> PaperCellResult {
-    let population = config.population;
-    let total_steps = config.phases.total_steps();
-    let spec = ScenarioSpec::from_config(config)
-        .expect("paper cell config is valid")
-        .with_label("paper-cell");
-    let building = Instant::now();
-    let mut sim = Simulation::from_spec(&spec).expect("standard phases resolve");
-    let build_seconds = building.elapsed().as_secs_f64();
-    sim.enable_phase_timings();
-    let running = Instant::now();
-    let report = sim.run();
-    let run_seconds = running.elapsed().as_secs_f64();
+fn run_paper_cell(quick: bool) -> PaperCellResult {
+    let spec = paper_cell_spec(paper_cell_phases(quick));
+    let (outcome, sim) = run_spec_instrumented(&spec, &PhaseRegistry::standard(), |_| {})
+        .expect("paper cell resolves against the standard registry");
     let phases = sim
         .phase_timings()
         .totals()
@@ -86,59 +73,20 @@ fn run_paper_cell(config: SimulationConfig) -> PaperCellResult {
         .map(|(name, duration, _)| ((*name).to_string(), duration.as_secs_f64()))
         .collect();
     PaperCellResult {
-        population,
-        total_steps,
-        build_seconds,
-        steps_per_sec: total_steps as f64 / run_seconds,
-        completed_downloads: report.completed_downloads,
+        population: spec.config().population,
+        total_steps: outcome.total_steps,
+        build_seconds: outcome.build_seconds,
+        steps_per_sec: outcome.steps_per_sec,
+        completed_downloads: outcome.report.completed_downloads,
         transfer_slots: sim.world().transfers.slot_count(),
         phases,
     }
 }
 
-/// The Section IV-B mix grid: 9 altruistic-share + 9 irrational-share
-/// cells over the paper configuration, as labelled specs.
-fn mix_grid_cells(base: &SimulationConfig) -> Vec<ScenarioSpec> {
-    let mut cells = Vec::new();
-    for primary in [BehaviorType::Altruistic, BehaviorType::Irrational] {
-        for &pct in &MIX_SWEEP_PERCENTAGES {
-            let fraction = f64::from(pct) / 100.0;
-            let config = base
-                .clone()
-                .with_mix(BehaviorMix::sweep(primary, fraction))
-                .with_seed(base.seed.wrapping_add(u64::from(pct)));
-            let spec = ScenarioSpec::from_config(config)
-                .expect("mix grid configs are valid")
-                .with_label(format!("{}={}%", primary.label(), pct))
-                .with_parameter(f64::from(pct));
-            cells.push(spec);
-        }
-    }
-    cells
-}
-
 fn run_grid(quick: bool, full_grid_steps: bool) -> GridResult {
-    let phases = if full_grid_steps {
-        PhaseConfig::default()
-    } else if quick {
-        PhaseConfig {
-            training_steps: 150,
-            evaluation_steps: 100,
-            ..Default::default()
-        }
-    } else {
-        PhaseConfig {
-            training_steps: 600,
-            evaluation_steps: 300,
-            ..Default::default()
-        }
-    };
-    let base = SimulationConfig {
-        phases,
-        ..Default::default()
-    };
-    let steps_per_cell = base.phases.total_steps();
-    let cells = mix_grid_cells(&base);
+    let phases = paper_mix_phases(quick, full_grid_steps);
+    let steps_per_cell = phases.total_steps();
+    let cells = paper_mix_cells(phases);
     let cell_count = cells.len();
     let running = Instant::now();
     let reports = ScenarioRunner::default()
@@ -208,16 +156,7 @@ fn check_baseline(cell: &PaperCellResult, baseline_path: &str, max_regress_pct: 
         eprintln!("baseline {baseline_path} has no paper_cell steps_per_sec");
         return false;
     };
-    let floor = reference * (1.0 - max_regress_pct / 100.0);
-    let ok = cell.steps_per_sec >= floor;
-    println!(
-        "paper cell: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {}",
-        cell.steps_per_sec,
-        reference,
-        floor,
-        if ok { "ok" } else { "REGRESSION" }
-    );
-    ok
+    gate_floor("paper cell", cell.steps_per_sec, reference, max_regress_pct)
 }
 
 fn main() {
@@ -235,7 +174,7 @@ fn main() {
     println!("(--quick for a smoke run, --baseline <path> to gate on a previous run)");
     println!();
 
-    let cell = run_paper_cell(paper_cell_config(quick));
+    let cell = run_paper_cell(quick);
     println!(
         "paper cell: peers={}  steps={}  build={:.3}s  steps/sec={:.2}  downloads={}  transfer_slots={}",
         cell.population,

@@ -6,7 +6,10 @@
 //! `ScenarioGrid::large_population`), measuring world-construction time,
 //! end-to-end steps/sec, the per-phase wall-clock breakdown and the
 //! process's peak resident set size, and writes the result as
-//! `BENCH_scale.json`.
+//! `BENCH_scale.json`. Each tier runs through the shared
+//! [`collabsim_cli::runner`] core, and the tier specs come from
+//! [`collabsim_cli::scenarios::scale_tier_spec`] — the constructor behind
+//! the checked-in `scenarios/scale/` files.
 //!
 //! Flags:
 //!
@@ -24,12 +27,16 @@
 //! The CI `perf` job runs the 10⁴ and 10⁶ tiers against the checked-in
 //! baseline in `crates/bench/baselines/scale_baseline.json` and uploads
 //! the fresh `BENCH_scale.json` as a build artifact.
+//!
+//! [`ScenarioSpec::large_population`]: collabsim::ScenarioSpec::large_population
 
 use collabsim::experiment::LARGE_POPULATION_TIERS;
-use collabsim::{ScenarioSpec, Simulation, SimulationConfig};
+use collabsim::pipeline::PhaseRegistry;
+use collabsim::Simulation;
 use collabsim_bench::{arg_value, extract_number, has_flag, peak_rss_mb};
+use collabsim_cli::runner::{gate_floor, gate_rss_ceiling, run_spec_instrumented};
+use collabsim_cli::scenarios::scale_tier_spec;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 struct TierResult {
     peers: usize,
@@ -96,33 +103,14 @@ fn step_overrides() -> (Option<u64>, Option<u64>) {
 }
 
 fn run_tier(peers: usize, train: Option<u64>, eval: Option<u64>) -> TierResult {
-    let spec = match (train, eval) {
-        (None, None) => ScenarioSpec::large_population(peers),
-        _ => {
-            let mut config = SimulationConfig::large_population(peers);
-            if let Some(steps) = train {
-                config.phases.training_steps = steps;
-            }
-            if let Some(steps) = eval {
-                config.phases.evaluation_steps = steps;
-            }
-            ScenarioSpec::from_config(config)
-                .expect("large-population preset with step overrides is valid")
-                .with_label(format!("large-population/pop={peers}"))
-        }
-    };
-    let total_steps = spec.config().phases.total_steps();
+    let spec = scale_tier_spec(peers, train, eval);
     let expected_eval = spec.config().phases.evaluation_steps;
-    let building = Instant::now();
-    let mut sim = Simulation::from_spec(&spec).expect("standard phases resolve");
-    let build_seconds = building.elapsed().as_secs_f64();
-    sim.enable_phase_timings();
-    let threads = sim.world().intra_step_threads();
-    let shards = sim.ledger().shard_count();
-    let running = Instant::now();
-    let report = sim.run();
-    let run_seconds = running.elapsed().as_secs_f64();
-    assert_eq!(report.evaluation_steps, expected_eval, "evaluation length");
+    let (outcome, sim) = run_spec_instrumented(&spec, &PhaseRegistry::standard(), |_| {})
+        .expect("standard phases resolve");
+    assert_eq!(
+        outcome.report.evaluation_steps, expected_eval,
+        "evaluation length"
+    );
     let phases = sim
         .phase_timings()
         .totals()
@@ -131,11 +119,11 @@ fn run_tier(peers: usize, train: Option<u64>, eval: Option<u64>) -> TierResult {
         .collect();
     TierResult {
         peers,
-        shards,
-        threads,
-        build_seconds,
-        total_steps,
-        steps_per_sec: total_steps as f64 / run_seconds,
+        shards: sim.ledger().shard_count(),
+        threads: sim.world().intra_step_threads(),
+        build_seconds: outcome.build_seconds,
+        total_steps: outcome.total_steps,
+        steps_per_sec: outcome.steps_per_sec,
         mean_sharing_reputation: mean_sharing_reputation(&sim),
         peak_rss_mb: peak_rss_mb(),
         phases,
@@ -218,33 +206,18 @@ fn check_baseline(results: &[TierResult], baseline_path: &str, max_regress_pct: 
             );
             continue;
         };
-        let floor = reference.steps_per_sec * (1.0 - max_regress_pct / 100.0);
-        let verdict = if tier.steps_per_sec >= floor {
-            "ok"
-        } else {
-            ok = false;
-            "REGRESSION"
-        };
-        println!(
-            "tier {}: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {verdict}",
-            tier.peers, tier.steps_per_sec, reference.steps_per_sec, floor
+        let name = format!("tier {}", tier.peers);
+        ok &= gate_floor(
+            &name,
+            tier.steps_per_sec,
+            reference.steps_per_sec,
+            max_regress_pct,
         );
         // The memory gate: peak RSS may grow at most as much as steps/sec
         // may shrink. Skipped when either side lacks a measurement (non-
         // procfs platform or a pre-RSS baseline).
         if let (Some(current), Some(recorded)) = (tier.peak_rss_mb, reference.peak_rss_mb) {
-            let ceiling = recorded * (1.0 + max_regress_pct / 100.0);
-            let verdict = if current <= ceiling {
-                "ok"
-            } else {
-                ok = false;
-                "REGRESSION"
-            };
-            println!(
-                "tier {}: peak RSS {current:.0} MB vs baseline {recorded:.0} MB \
-                 (ceiling {ceiling:.0}) — {verdict}",
-                tier.peers
-            );
+            ok &= gate_rss_ceiling(&name, current, recorded, max_regress_pct);
         }
     }
     ok

@@ -93,16 +93,9 @@ pub fn has_flag(name: &str) -> bool {
 
 /// Extracts `"key": <number>` from a JSON line written by the perf
 /// benches (the self-describing baseline format; the offline harness has
-/// no JSON parser crate).
-pub fn extract_number(line: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let start = line.find(&needle)? + needle.len();
-    let rest = line[start..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
+/// no JSON parser crate). Lives in the shared runner core now — re-
+/// exported so bench code keeps its historical import path.
+pub use collabsim_cli::runner::extract_number;
 
 /// Parses an optional `--csv <path>` argument.
 pub fn csv_path_from_args() -> Option<String> {

@@ -1,0 +1,386 @@
+//! Hand-rolled argument parsing for the `collabsim` binary (the offline
+//! build has no clap), producing typed [`CliError`]s for every mistake.
+
+use crate::error::CliError;
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// The CLI usage text.
+pub const USAGE: &str = "\
+collabsim — scenario runner for the Bocek et al. (IPDPS 2008) wiki simulation
+
+USAGE:
+  collabsim run <spec-file> [options]      run one scenario spec
+  collabsim grid <spec|dir>... [options]   run many specs as a multi-process sweep
+  collabsim worker --spec <f> --out <f>    run one cell, emit a result record (internal)
+  collabsim scaffold [--dir <dir>]         (re)generate the scenarios/ tree
+  collabsim help                           show this help
+
+RUN OPTIONS:
+  --jsonl <path|->      stream StepObserver metrics as JSON lines (- = stdout;
+                        the human summary moves to stderr)
+  --every <n>           emit a step event every n steps (default 1)
+  --print-report        print the report's Debug line to stdout (byte-stable)
+  --set <key=value>     override a spec key (repeatable; later keys win)
+  --baseline <path>     gate steps/sec against a bench JSON baseline
+  --max-regress <pct>   tolerated steps/sec drop for --baseline (default 20)
+  --threads <n>         set SCENARIO_THREADS for this run
+
+GRID OPTIONS:
+  --workers <n>         worker subprocesses in flight (default: CPU count)
+  --retries <n>         crash re-queues per cell before it is marked failed
+                        (default 1)
+  --out-dir <dir>       sweep output directory (default grid-out)
+  --strict              exit non-zero if any cell ends up failed
+  --threads <n>         SCENARIO_THREADS for every worker
+
+Cell crashes never abort a sweep: crashed cells are retried, then recorded
+in <out-dir>/manifest.json as failed alongside the completed results.
+";
+
+/// Parsed `collabsim run` arguments.
+#[derive(Debug)]
+pub struct RunArgs {
+    /// The spec file.
+    pub spec: PathBuf,
+    /// `--jsonl` target (`-` = stdout), if requested.
+    pub jsonl: Option<String>,
+    /// Step-event stride.
+    pub every: u64,
+    /// Print the report Debug line to stdout.
+    pub print_report: bool,
+    /// `--set key=value` overrides, in order.
+    pub sets: Vec<(String, String)>,
+    /// `--baseline` file, if gating.
+    pub baseline: Option<PathBuf>,
+    /// Tolerated steps/sec drop (percent).
+    pub max_regress: f64,
+    /// `--threads` override for `SCENARIO_THREADS`.
+    pub threads: Option<usize>,
+}
+
+/// Parsed `collabsim grid` arguments.
+#[derive(Debug)]
+pub struct GridArgs {
+    /// Spec files and/or directories to expand.
+    pub specs: Vec<PathBuf>,
+    /// `--workers`, if given.
+    pub workers: Option<usize>,
+    /// Crash re-queues per cell.
+    pub retries: usize,
+    /// Sweep output directory.
+    pub out_dir: PathBuf,
+    /// Fail the process if any cell failed.
+    pub strict: bool,
+    /// `--threads` override for `SCENARIO_THREADS`.
+    pub threads: Option<usize>,
+}
+
+/// Parsed `collabsim worker` arguments.
+#[derive(Debug)]
+pub struct WorkerArgs {
+    /// The cell's spec file.
+    pub spec: PathBuf,
+    /// Where to write the result record.
+    pub out: PathBuf,
+}
+
+/// Parsed `collabsim scaffold` arguments.
+#[derive(Debug)]
+pub struct ScaffoldArgs {
+    /// Target directory.
+    pub dir: PathBuf,
+}
+
+/// A parsed command line.
+#[derive(Debug)]
+pub enum Command {
+    /// `collabsim run`.
+    Run(RunArgs),
+    /// `collabsim grid`.
+    Grid(GridArgs),
+    /// `collabsim worker`.
+    Worker(WorkerArgs),
+    /// `collabsim scaffold`.
+    Scaffold(ScaffoldArgs),
+    /// `collabsim help` / `--help` / no arguments.
+    Help,
+}
+
+fn parse_value<T: FromStr>(flag: &str, value: &str, expected: &str) -> Result<T, CliError> {
+    value.parse().map_err(|_| CliError::InvalidFlag {
+        flag: flag.to_string(),
+        value: value.to_string(),
+        expected: expected.to_string(),
+    })
+}
+
+fn positive(flag: &str, value: &str, expected: &str) -> Result<usize, CliError> {
+    let n: usize = parse_value(flag, value, expected)?;
+    if n == 0 {
+        return Err(CliError::InvalidFlag {
+            flag: flag.to_string(),
+            value: value.to_string(),
+            expected: expected.to_string(),
+        });
+    }
+    Ok(n)
+}
+
+/// An iterator over flag/value argument pairs.
+struct Args<'a> {
+    rest: &'a [String],
+    index: usize,
+}
+
+impl<'a> Args<'a> {
+    fn new(rest: &'a [String]) -> Self {
+        Self { rest, index: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let arg = self.rest.get(self.index)?;
+        self.index += 1;
+        Some(arg)
+    }
+
+    fn value(&mut self, flag: &str) -> Result<&'a str, CliError> {
+        self.next()
+            .ok_or_else(|| CliError::Usage(format!("`{flag}` requires a value")))
+    }
+}
+
+fn parse_run(rest: &[String]) -> Result<Command, CliError> {
+    let mut args = Args::new(rest);
+    let mut spec = None;
+    let mut run = RunArgs {
+        spec: PathBuf::new(),
+        jsonl: None,
+        every: 1,
+        print_report: false,
+        sets: Vec::new(),
+        baseline: None,
+        max_regress: 20.0,
+        threads: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg {
+            "--jsonl" => run.jsonl = Some(args.value("--jsonl")?.to_string()),
+            "--every" => {
+                run.every = parse_value("--every", args.value("--every")?, "a step stride ≥ 1")?;
+                if run.every == 0 {
+                    return Err(CliError::InvalidFlag {
+                        flag: "--every".into(),
+                        value: "0".into(),
+                        expected: "a step stride ≥ 1".into(),
+                    });
+                }
+            }
+            "--print-report" => run.print_report = true,
+            "--set" => {
+                let pair = args.value("--set")?;
+                let Some((key, value)) = pair.split_once('=') else {
+                    return Err(CliError::InvalidFlag {
+                        flag: "--set".into(),
+                        value: pair.to_string(),
+                        expected: "key=value".into(),
+                    });
+                };
+                run.sets
+                    .push((key.trim().to_string(), value.trim().to_string()));
+            }
+            "--baseline" => run.baseline = Some(PathBuf::from(args.value("--baseline")?)),
+            "--max-regress" => {
+                run.max_regress = parse_value(
+                    "--max-regress",
+                    args.value("--max-regress")?,
+                    "a percentage",
+                )?;
+            }
+            "--threads" => {
+                run.threads = Some(positive(
+                    "--threads",
+                    args.value("--threads")?,
+                    "a thread count ≥ 1",
+                )?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}` for `run`")));
+            }
+            positional => {
+                if spec.replace(PathBuf::from(positional)).is_some() {
+                    return Err(CliError::Usage(
+                        "`run` takes exactly one spec file".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    run.spec = spec.ok_or_else(|| CliError::Usage("`run` requires a spec file".to_string()))?;
+    Ok(Command::Run(run))
+}
+
+fn parse_grid(rest: &[String]) -> Result<Command, CliError> {
+    let mut args = Args::new(rest);
+    let mut grid = GridArgs {
+        specs: Vec::new(),
+        workers: None,
+        retries: 1,
+        out_dir: PathBuf::from("grid-out"),
+        strict: false,
+        threads: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg {
+            "--workers" => {
+                grid.workers = Some(positive(
+                    "--workers",
+                    args.value("--workers")?,
+                    "a worker count ≥ 1",
+                )?);
+            }
+            "--retries" => {
+                grid.retries = parse_value(
+                    "--retries",
+                    args.value("--retries")?,
+                    "a retry count (0 disables retrying)",
+                )?;
+            }
+            "--out-dir" => grid.out_dir = PathBuf::from(args.value("--out-dir")?),
+            "--strict" => grid.strict = true,
+            "--threads" => {
+                grid.threads = Some(positive(
+                    "--threads",
+                    args.value("--threads")?,
+                    "a thread count ≥ 1",
+                )?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}` for `grid`")));
+            }
+            positional => grid.specs.push(PathBuf::from(positional)),
+        }
+    }
+    if grid.specs.is_empty() {
+        return Err(CliError::Usage(
+            "`grid` requires at least one spec file or directory".to_string(),
+        ));
+    }
+    Ok(Command::Grid(grid))
+}
+
+fn parse_worker(rest: &[String]) -> Result<Command, CliError> {
+    let mut args = Args::new(rest);
+    let mut spec = None;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg {
+            "--spec" => spec = Some(PathBuf::from(args.value("--spec")?)),
+            "--out" => out = Some(PathBuf::from(args.value("--out")?)),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument `{other}` for `worker`"
+                )));
+            }
+        }
+    }
+    Ok(Command::Worker(WorkerArgs {
+        spec: spec.ok_or_else(|| CliError::Usage("`worker` requires `--spec`".to_string()))?,
+        out: out.ok_or_else(|| CliError::Usage("`worker` requires `--out`".to_string()))?,
+    }))
+}
+
+fn parse_scaffold(rest: &[String]) -> Result<Command, CliError> {
+    let mut args = Args::new(rest);
+    let mut dir = PathBuf::from("scenarios");
+    while let Some(arg) = args.next() {
+        match arg {
+            "--dir" => dir = PathBuf::from(args.value("--dir")?),
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument `{other}` for `scaffold`"
+                )));
+            }
+        }
+    }
+    Ok(Command::Scaffold(ScaffoldArgs { dir }))
+}
+
+/// Parses the command line (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(subcommand) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match subcommand.as_str() {
+        "run" => parse_run(rest),
+        "grid" => parse_grid(rest),
+        "worker" => parse_worker(rest),
+        "scaffold" => parse_scaffold(rest),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand `{other}` (try `collabsim help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn run_parses_spec_and_flags() {
+        let Command::Run(run) = parse(&strings(&[
+            "run",
+            "a.spec",
+            "--jsonl",
+            "-",
+            "--every",
+            "10",
+            "--set",
+            "population = 50",
+            "--print-report",
+        ]))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run.spec, PathBuf::from("a.spec"));
+        assert_eq!(run.jsonl.as_deref(), Some("-"));
+        assert_eq!(run.every, 10);
+        assert!(run.print_report);
+        assert_eq!(run.sets, vec![("population".to_string(), "50".to_string())]);
+    }
+
+    #[test]
+    fn invalid_workers_is_a_typed_error() {
+        for value in ["0", "banana", "-3"] {
+            let error = parse(&strings(&["grid", "a.spec", "--workers", value])).unwrap_err();
+            assert_eq!(error.kind(), "invalid-flag", "--workers {value}");
+            assert_eq!(error.exit_code(), 2);
+        }
+    }
+
+    #[test]
+    fn missing_positionals_are_usage_errors() {
+        assert_eq!(parse(&strings(&["run"])).unwrap_err().kind(), "usage");
+        assert_eq!(parse(&strings(&["grid"])).unwrap_err().kind(), "usage");
+        assert_eq!(parse(&strings(&["worker"])).unwrap_err().kind(), "usage");
+        assert_eq!(
+            parse(&strings(&["frobnicate"])).unwrap_err().kind(),
+            "usage"
+        );
+    }
+
+    #[test]
+    fn no_arguments_means_help() {
+        assert!(matches!(parse(&[]).unwrap(), Command::Help));
+        assert!(matches!(
+            parse(&strings(&["--help"])).unwrap(),
+            Command::Help
+        ));
+    }
+}

@@ -1,0 +1,216 @@
+//! Subcommand implementations shared by the `collabsim` binary.
+
+use crate::args::{Command, GridArgs, RunArgs, ScaffoldArgs, USAGE};
+use crate::coordinator::{CellStatus, GridOptions};
+use crate::error::CliError;
+use crate::jsonl::{JsonlObserver, JsonlSink};
+use crate::{args, chaos, coordinator, profile, runner, scenarios};
+use std::path::{Path, PathBuf};
+
+/// Parses and executes one command line, returning the process exit code.
+pub fn dispatch(argv: &[String]) -> Result<i32, CliError> {
+    match args::parse(argv)? {
+        Command::Help => {
+            print!("{USAGE}");
+            Ok(0)
+        }
+        Command::Run(run) => cmd_run(run),
+        Command::Grid(grid) => cmd_grid(grid),
+        Command::Worker(worker) => {
+            coordinator::run_worker(&worker.spec, &worker.out)?;
+            Ok(0)
+        }
+        Command::Scaffold(scaffold) => cmd_scaffold(scaffold),
+    }
+}
+
+fn set_scenario_threads(threads: Option<usize>) {
+    if let Some(threads) = threads {
+        std::env::set_var("SCENARIO_THREADS", threads.to_string());
+    }
+}
+
+fn cmd_run(run: RunArgs) -> Result<i32, CliError> {
+    set_scenario_threads(run.threads);
+    let spec = runner::load_spec_with_overrides(&run.spec, &run.sets)?;
+    let registry = chaos::cli_registry();
+
+    // When JSONL owns stdout, the human-readable summary moves to stderr
+    // so the stream stays machine-parseable line by line.
+    let jsonl_to_stdout = run.jsonl.as_deref() == Some("-");
+    let say = |line: &str| {
+        if jsonl_to_stdout {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+
+    let total_steps = spec.config().phases.total_steps();
+    let observer = match &run.jsonl {
+        Some(target) => Some(JsonlObserver::new(
+            JsonlSink::open(target)?,
+            spec.label(),
+            total_steps,
+            run.every,
+        )),
+        None => None,
+    };
+
+    say(&format!(
+        "running `{}` ({} peers, {} steps)",
+        spec.label(),
+        spec.config().population,
+        total_steps
+    ));
+    let (outcome, sim) = runner::run_spec_instrumented(&spec, &registry, |sim| {
+        if let Some(observer) = observer {
+            sim.add_observer(observer);
+        }
+    })?;
+    say(&format!("build: {:.3}s", outcome.build_seconds));
+    for line in profile::render_profile(
+        outcome.total_steps,
+        outcome.run_seconds,
+        sim.phase_timings(),
+    )
+    .lines()
+    {
+        say(line);
+    }
+
+    if run.print_report {
+        println!("{:?}", outcome.report);
+    }
+
+    if let Some(baseline) = &run.baseline {
+        let reference = runner::baseline_number(baseline, "steps_per_sec")?;
+        let floor = reference * (1.0 - run.max_regress / 100.0);
+        let ok = outcome.steps_per_sec >= floor;
+        say(&format!(
+            "{}: {:.2} steps/sec vs baseline {:.2} (floor {:.2}) — {}",
+            outcome.label,
+            outcome.steps_per_sec,
+            reference,
+            floor,
+            if ok { "ok" } else { "REGRESSION" }
+        ));
+        if !ok {
+            return Ok(1);
+        }
+    }
+    Ok(0)
+}
+
+/// Expands the `grid` positionals: a file is taken as-is, a directory is
+/// walked recursively for `*.spec` files (sorted, for a stable cell
+/// order).
+fn collect_spec_paths(inputs: &[PathBuf]) -> Result<Vec<PathBuf>, CliError> {
+    fn walk(dir: &Path, into: &mut Vec<PathBuf>) -> Result<(), CliError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| CliError::Io {
+            path: dir.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .collect();
+        paths.sort();
+        for path in paths {
+            if path.is_dir() {
+                walk(&path, into)?;
+            } else if path.extension().is_some_and(|ext| ext == "spec") {
+                into.push(path);
+            }
+        }
+        Ok(())
+    }
+
+    let mut specs = Vec::new();
+    for input in inputs {
+        if input.is_dir() {
+            walk(input, &mut specs)?;
+        } else if input.is_file() {
+            specs.push(input.clone());
+        } else {
+            return Err(CliError::Io {
+                path: input.clone(),
+                message: "no such file or directory".to_string(),
+            });
+        }
+    }
+    if specs.is_empty() {
+        return Err(CliError::Grid {
+            message: "no .spec files found under the given paths".to_string(),
+        });
+    }
+    Ok(specs)
+}
+
+fn cmd_grid(grid: GridArgs) -> Result<i32, CliError> {
+    set_scenario_threads(grid.threads);
+    let paths = collect_spec_paths(&grid.specs)?;
+    let specs = paths
+        .iter()
+        .map(|path| runner::load_spec(path))
+        .collect::<Result<Vec<_>, _>>()?;
+    let worker_bin = std::env::current_exe().map_err(|e| CliError::Grid {
+        message: format!("cannot locate the collabsim binary: {e}"),
+    })?;
+    let workers = grid.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(specs.len().max(1))
+    });
+    println!(
+        "grid: {} cells, {} workers, {} retries → {}",
+        specs.len(),
+        workers,
+        grid.retries,
+        grid.out_dir.display()
+    );
+    let summary = coordinator::run_grid(
+        &specs,
+        &GridOptions {
+            workers,
+            retries: grid.retries,
+            out_dir: grid.out_dir.clone(),
+            worker_bin,
+            quiet: false,
+        },
+    )?;
+    println!(
+        "sweep done in {:.2}s: {} ok, {} failed, {} attempts (manifest: {})",
+        summary.wall_seconds,
+        summary.ok_count(),
+        summary.failed_count(),
+        summary.total_attempts(),
+        summary.manifest_path.display()
+    );
+    for cell in &summary.cells {
+        if cell.status == CellStatus::Failed {
+            println!(
+                "  failed: {} ({})",
+                cell.label,
+                cell.failure.as_deref().unwrap_or("unknown")
+            );
+        }
+    }
+    if grid.strict && summary.failed_count() > 0 {
+        return Ok(1);
+    }
+    Ok(0)
+}
+
+fn cmd_scaffold(scaffold: ScaffoldArgs) -> Result<i32, CliError> {
+    let written = scenarios::scaffold(&scaffold.dir).map_err(|e| CliError::Io {
+        path: scaffold.dir.clone(),
+        message: e.to_string(),
+    })?;
+    println!(
+        "wrote {} spec files under {}",
+        written.len(),
+        scaffold.dir.display()
+    );
+    Ok(0)
+}

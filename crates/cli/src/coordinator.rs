@@ -1,0 +1,530 @@
+//! The process-level grid coordinator and the worker cell executor.
+//!
+//! `collabsim grid` writes every cell's spec to disk, dispatches cells to
+//! `collabsim worker` subprocesses (at most `--workers` in flight), and
+//! collects one result record per cell. A worker that crashes — a
+//! panicking phase, an OOM kill, a stray SIGKILL — is *absorbed*: the
+//! cell is re-queued up to `--retries` times and, if it keeps dying,
+//! recorded as `failed` in the partial-results manifest. The sweep always
+//! completes; no cell can take it down.
+//!
+//! Reports cross the process boundary as the `Debug` rendering of
+//! [`SimulationReport`](collabsim::SimulationReport) inside a
+//! `# collabsim cell result v1` record —
+//! the same rendering the determinism suite pins byte-for-byte, which
+//! makes "worker result == in-process result" a string equality.
+
+use crate::error::CliError;
+use crate::jsonl::{json_escape, json_f64};
+use collabsim::observer::WorldView;
+use collabsim::pipeline::StepContext;
+use collabsim::{ScenarioSpec, StepObserver};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The result record a worker writes for its cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerResult {
+    /// Cell label.
+    pub label: String,
+    /// Swept parameter.
+    pub parameter: f64,
+    /// Steps executed.
+    pub total_steps: u64,
+    /// World-construction wall-clock.
+    pub build_seconds: f64,
+    /// Stepping wall-clock.
+    pub run_seconds: f64,
+    /// Throughput.
+    pub steps_per_sec: f64,
+    /// `format!("{:?}", report)` — the canonical cross-process report
+    /// serialization, bit-identical to an in-process run.
+    pub report_debug: String,
+}
+
+/// Header line of the cell-result record format.
+pub const CELL_RESULT_HEADER: &str = "# collabsim cell result v1";
+
+/// Renders a worker's result record (`key = value` lines under a version
+/// header; floats use the shortest round-trippable form).
+pub fn render_cell_result(result: &WorkerResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{CELL_RESULT_HEADER}");
+    let _ = writeln!(out, "label = {}", result.label);
+    let _ = writeln!(out, "parameter = {}", result.parameter);
+    let _ = writeln!(out, "total_steps = {}", result.total_steps);
+    let _ = writeln!(out, "build_seconds = {}", result.build_seconds);
+    let _ = writeln!(out, "run_seconds = {}", result.run_seconds);
+    let _ = writeln!(out, "steps_per_sec = {}", result.steps_per_sec);
+    let _ = writeln!(out, "report = {}", result.report_debug);
+    out
+}
+
+/// Parses a cell-result record; `None` for anything malformed or
+/// truncated (a worker killed mid-write never produces a parseable
+/// record, so the coordinator treats it as a crash).
+pub fn parse_cell_result(text: &str) -> Option<WorkerResult> {
+    let mut lines = text.lines();
+    if lines.next()?.trim() != CELL_RESULT_HEADER {
+        return None;
+    }
+    let mut label = None;
+    let mut parameter = None;
+    let mut total_steps = None;
+    let mut build_seconds = None;
+    let mut run_seconds = None;
+    let mut steps_per_sec = None;
+    let mut report_debug = None;
+    for line in lines {
+        let Some((key, value)) = line.split_once(" = ") else {
+            continue;
+        };
+        match key.trim() {
+            "label" => label = Some(value.to_string()),
+            "parameter" => parameter = value.parse().ok(),
+            "total_steps" => total_steps = value.parse().ok(),
+            "build_seconds" => build_seconds = value.parse().ok(),
+            "run_seconds" => run_seconds = value.parse().ok(),
+            "steps_per_sec" => steps_per_sec = value.parse().ok(),
+            "report" => report_debug = Some(value.to_string()),
+            _ => {}
+        }
+    }
+    Some(WorkerResult {
+        label: label?,
+        parameter: parameter?,
+        total_steps: total_steps?,
+        build_seconds: build_seconds?,
+        run_seconds: run_seconds?,
+        steps_per_sec: steps_per_sec?,
+        report_debug: report_debug?,
+    })
+}
+
+/// Environment variable naming a marker file for the deterministic
+/// crash-injection test: the first worker to claim the marker (atomic
+/// `create_new`) SIGKILLs itself mid-run; every later worker — including
+/// the retry of the killed cell — sees the marker and runs normally.
+pub const KILL_ONCE_ENV: &str = "COLLABSIM_TEST_KILL_ONCE";
+
+/// Observer that kills the worker process mid-run (test crash injection).
+struct KillOnceObserver {
+    at_step: u64,
+}
+
+impl StepObserver for KillOnceObserver {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_step_end(&mut self, world: WorldView<'_>, _ctx: &StepContext) {
+        if world.now() == self.at_step {
+            sigkill_self();
+        }
+    }
+}
+
+fn sigkill_self() {
+    let pid = std::process::id().to_string();
+    let _ = Command::new("kill").args(["-9", &pid]).status();
+    // `kill` missing from PATH still has to produce a crash exit.
+    std::process::abort();
+}
+
+fn kill_switch(total_steps: u64) -> Option<KillOnceObserver> {
+    let marker = std::env::var(KILL_ONCE_ENV).ok()?;
+    match std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&marker)
+    {
+        Ok(_) => Some(KillOnceObserver {
+            at_step: (total_steps / 2).max(1),
+        }),
+        Err(_) => None,
+    }
+}
+
+/// The `collabsim worker` entry point: runs one spec file through the
+/// shared runner core (CLI registry, timings enabled) and writes its
+/// result record to `out_path` — atomically, via a rename, so a partial
+/// record can never be mistaken for a result.
+pub fn run_worker(spec_path: &Path, out_path: &Path) -> Result<(), CliError> {
+    let spec = crate::runner::load_spec(spec_path)?;
+    let kill = kill_switch(spec.config().phases.total_steps());
+    let registry = crate::chaos::cli_registry();
+    let (outcome, _sim) = crate::runner::run_spec_instrumented(&spec, &registry, |sim| {
+        if let Some(observer) = kill {
+            sim.add_observer(observer);
+        }
+    })?;
+    let record = render_cell_result(&WorkerResult {
+        label: outcome.label.clone(),
+        parameter: spec.parameter(),
+        total_steps: outcome.total_steps,
+        build_seconds: outcome.build_seconds,
+        run_seconds: outcome.run_seconds,
+        steps_per_sec: outcome.steps_per_sec,
+        report_debug: format!("{:?}", outcome.report),
+    });
+    let io_err = |e: std::io::Error| CliError::Io {
+        path: out_path.to_path_buf(),
+        message: e.to_string(),
+    };
+    let tmp = out_path.with_extension("tmp");
+    std::fs::write(&tmp, &record).map_err(io_err)?;
+    std::fs::rename(&tmp, out_path).map_err(io_err)?;
+    Ok(())
+}
+
+/// Coordinator configuration for one grid sweep.
+pub struct GridOptions {
+    /// Maximum worker subprocesses in flight.
+    pub workers: usize,
+    /// Crash re-queues allowed per cell before it is marked failed.
+    pub retries: usize,
+    /// Output directory (cell specs, result records, worker logs, the
+    /// manifest).
+    pub out_dir: PathBuf,
+    /// The `collabsim` binary to spawn workers from (normally
+    /// `std::env::current_exe()`).
+    pub worker_bin: PathBuf,
+    /// Suppress per-cell progress lines on stdout.
+    pub quiet: bool,
+}
+
+/// Terminal state of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell produced a result record.
+    Ok,
+    /// Every attempt crashed.
+    Failed,
+}
+
+/// One cell's entry in the manifest.
+#[derive(Debug)]
+pub struct CellOutcome {
+    /// Position in the dispatched grid.
+    pub index: usize,
+    /// Cell label.
+    pub label: String,
+    /// Worker attempts consumed (> 1 means the cell was retried).
+    pub attempts: usize,
+    /// Terminal state.
+    pub status: CellStatus,
+    /// The parsed result record, when `status` is [`CellStatus::Ok`].
+    pub result: Option<WorkerResult>,
+    /// Why the last attempt failed, when `status` is
+    /// [`CellStatus::Failed`].
+    pub failure: Option<String>,
+}
+
+/// The completed sweep: every cell resolved, one way or the other.
+#[derive(Debug)]
+pub struct GridSummary {
+    /// Per-cell outcomes, in dispatch order.
+    pub cells: Vec<CellOutcome>,
+    /// Where the manifest was written.
+    pub manifest_path: PathBuf,
+    /// End-to-end wall-clock of the sweep.
+    pub wall_seconds: f64,
+}
+
+impl GridSummary {
+    /// Cells that completed.
+    pub fn ok_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Ok)
+            .count()
+    }
+
+    /// Cells that exhausted their retries.
+    pub fn failed_count(&self) -> usize {
+        self.cells.len() - self.ok_count()
+    }
+
+    /// Worker attempts consumed across the sweep.
+    pub fn total_attempts(&self) -> usize {
+        self.cells.iter().map(|c| c.attempts).sum()
+    }
+}
+
+fn describe_exit(status: &std::process::ExitStatus) -> String {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        if let Some(signal) = status.signal() {
+            return format!("killed by signal {signal}");
+        }
+    }
+    match status.code() {
+        Some(code) => format!("exit code {code}"),
+        None => "unknown exit status".to_string(),
+    }
+}
+
+/// Runs `specs` as a crash-isolated multi-process sweep and writes
+/// `manifest.json` under the output directory. Individual cell failures
+/// never fail the sweep — callers inspect the summary (or pass the CLI's
+/// `--strict`) to turn failures into a non-zero exit.
+pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSummary, CliError> {
+    if options.workers == 0 {
+        return Err(CliError::InvalidFlag {
+            flag: "--workers".into(),
+            value: "0".into(),
+            expected: "a worker count ≥ 1".into(),
+        });
+    }
+    let grid_err = |message: String| CliError::Grid { message };
+    let cells_dir = options.out_dir.join("cells");
+    let results_dir = options.out_dir.join("results");
+    let logs_dir = options.out_dir.join("logs");
+    for dir in [&cells_dir, &results_dir, &logs_dir] {
+        std::fs::create_dir_all(dir).map_err(|e| CliError::Io {
+            path: dir.clone(),
+            message: e.to_string(),
+        })?;
+    }
+
+    let total = specs.len();
+    let mut spec_paths = Vec::with_capacity(total);
+    let mut result_paths = Vec::with_capacity(total);
+    for (i, spec) in specs.iter().enumerate() {
+        let spec_path = cells_dir.join(format!("{i:03}.spec"));
+        std::fs::write(&spec_path, spec.to_text()).map_err(|e| CliError::Io {
+            path: spec_path.clone(),
+            message: e.to_string(),
+        })?;
+        spec_paths.push(spec_path);
+        result_paths.push(results_dir.join(format!("{i:03}.result")));
+    }
+
+    let started = Instant::now();
+    let mut pending: VecDeque<usize> = (0..total).collect();
+    let mut attempts = vec![0usize; total];
+    let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(total);
+    outcomes.resize_with(total, || None);
+    let mut running: Vec<(usize, Child)> = Vec::new();
+    let mut completed = 0usize;
+
+    while completed < total {
+        while running.len() < options.workers {
+            let Some(i) = pending.pop_front() else { break };
+            attempts[i] += 1;
+            let _ = std::fs::remove_file(&result_paths[i]);
+            let log_path = logs_dir.join(format!("{i:03}.attempt{}.log", attempts[i]));
+            let log = std::fs::File::create(&log_path).map_err(|e| CliError::Io {
+                path: log_path.clone(),
+                message: e.to_string(),
+            })?;
+            let log_err = log
+                .try_clone()
+                .map_err(|e| grid_err(format!("cannot clone log handle: {e}")))?;
+            let child = Command::new(&options.worker_bin)
+                .arg("worker")
+                .arg("--spec")
+                .arg(&spec_paths[i])
+                .arg("--out")
+                .arg(&result_paths[i])
+                .stdin(Stdio::null())
+                .stdout(Stdio::from(log))
+                .stderr(Stdio::from(log_err))
+                .spawn()
+                .map_err(|e| {
+                    grid_err(format!(
+                        "cannot spawn worker `{}`: {e}",
+                        options.worker_bin.display()
+                    ))
+                })?;
+            running.push((i, child));
+        }
+
+        let mut progressed = false;
+        let mut j = 0;
+        while j < running.len() {
+            let exit = running[j]
+                .1
+                .try_wait()
+                .map_err(|e| grid_err(format!("cannot poll worker: {e}")))?;
+            let Some(status) = exit else {
+                j += 1;
+                continue;
+            };
+            let (i, _) = running.swap_remove(j);
+            progressed = true;
+            let label = specs[i].label().to_string();
+            let parsed = std::fs::read_to_string(&result_paths[i])
+                .ok()
+                .and_then(|text| parse_cell_result(&text));
+            match parsed.filter(|_| status.success()) {
+                Some(result) => {
+                    completed += 1;
+                    if !options.quiet {
+                        println!(
+                            "[{completed}/{total}] {label} — ok ({:.2}s, {:.0} steps/sec, attempt {})",
+                            result.run_seconds, result.steps_per_sec, attempts[i]
+                        );
+                    }
+                    outcomes[i] = Some(CellOutcome {
+                        index: i,
+                        label,
+                        attempts: attempts[i],
+                        status: CellStatus::Ok,
+                        result: Some(result),
+                        failure: None,
+                    });
+                }
+                None => {
+                    let why = if status.success() {
+                        "worker exited 0 without a parseable result record".to_string()
+                    } else {
+                        format!("worker crashed ({})", describe_exit(&status))
+                    };
+                    if attempts[i] <= options.retries {
+                        if !options.quiet {
+                            println!(
+                                "{label} — {why}; re-queued (attempt {} of {})",
+                                attempts[i] + 1,
+                                options.retries + 1
+                            );
+                        }
+                        pending.push_back(i);
+                    } else {
+                        completed += 1;
+                        if !options.quiet {
+                            println!(
+                                "[{completed}/{total}] {label} — FAILED after {} attempts: {why}",
+                                attempts[i]
+                            );
+                        }
+                        outcomes[i] = Some(CellOutcome {
+                            index: i,
+                            label,
+                            attempts: attempts[i],
+                            status: CellStatus::Failed,
+                            result: None,
+                            failure: Some(why),
+                        });
+                    }
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    let cells: Vec<CellOutcome> = outcomes
+        .into_iter()
+        .map(|outcome| outcome.expect("every cell resolved"))
+        .collect();
+    let summary = GridSummary {
+        manifest_path: options.out_dir.join("manifest.json"),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        cells,
+    };
+    let manifest = render_manifest(&summary, options);
+    std::fs::write(&summary.manifest_path, manifest).map_err(|e| CliError::Io {
+        path: summary.manifest_path.clone(),
+        message: e.to_string(),
+    })?;
+    Ok(summary)
+}
+
+/// Renders the partial-results manifest as JSON.
+fn render_manifest(summary: &GridSummary, options: &GridOptions) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(
+        out,
+        "  \"grid\": {{\"cells\": {}, \"workers\": {}, \"retries\": {}}},",
+        summary.cells.len(),
+        options.workers,
+        options.retries
+    );
+    let _ = writeln!(
+        out,
+        "  \"ok\": {}, \"failed\": {}, \"attempts\": {}, \"wall_seconds\": {},",
+        summary.ok_count(),
+        summary.failed_count(),
+        summary.total_attempts(),
+        json_f64(summary.wall_seconds)
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in summary.cells.iter().enumerate() {
+        let sep = if i + 1 < summary.cells.len() { "," } else { "" };
+        let common = format!(
+            "\"index\": {}, \"label\": \"{}\", \"attempts\": {}, \"spec\": \"cells/{:03}.spec\"",
+            cell.index,
+            json_escape(&cell.label),
+            cell.attempts,
+            cell.index
+        );
+        match (&cell.result, &cell.failure) {
+            (Some(result), _) => {
+                let _ = writeln!(
+                    out,
+                    "    {{{common}, \"status\": \"ok\", \"result\": \"results/{:03}.result\", \
+                     \"total_steps\": {}, \"run_seconds\": {}, \"steps_per_sec\": {}}}{sep}",
+                    cell.index,
+                    result.total_steps,
+                    json_f64(result.run_seconds),
+                    json_f64(result.steps_per_sec)
+                );
+            }
+            (None, failure) => {
+                let error = failure.as_deref().unwrap_or("unknown failure");
+                let _ = writeln!(
+                    out,
+                    "    {{{common}, \"status\": \"failed\", \"error\": \"{}\"}}{sep}",
+                    json_escape(error)
+                );
+            }
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_result_records_round_trip() {
+        let result = WorkerResult {
+            label: "altruistic=40%".to_string(),
+            parameter: 40.0,
+            total_steps: 60,
+            build_seconds: 0.012345678901234567,
+            run_seconds: 1.5,
+            steps_per_sec: 40.0,
+            report_debug: "SimulationReport { shared_bandwidth: 0.5, seed: 1 }".to_string(),
+        };
+        let text = render_cell_result(&result);
+        assert!(text.starts_with(CELL_RESULT_HEADER));
+        assert_eq!(parse_cell_result(&text), Some(result));
+    }
+
+    #[test]
+    fn truncated_records_do_not_parse() {
+        let result = WorkerResult {
+            label: "x".into(),
+            parameter: 0.0,
+            total_steps: 1,
+            build_seconds: 0.0,
+            run_seconds: 1.0,
+            steps_per_sec: 1.0,
+            report_debug: "SimulationReport { }".into(),
+        };
+        let text = render_cell_result(&result);
+        let truncated = &text[..text.len() / 2];
+        assert_eq!(parse_cell_result(truncated), None);
+        assert_eq!(parse_cell_result("not a record"), None);
+        assert_eq!(parse_cell_result(""), None);
+    }
+}

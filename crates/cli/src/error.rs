@@ -1,0 +1,150 @@
+//! Typed CLI errors.
+//!
+//! Every failure path of the `collabsim` binary funnels into [`CliError`],
+//! which renders as `error[<kind>]: <detail>` so scripts (and the CLI's
+//! own tests) can match on the kind without parsing prose. Usage mistakes
+//! exit with code 2, everything else with 1.
+
+use collabsim::SpecError;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A typed error from the `collabsim` command line.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself is malformed (unknown subcommand or flag,
+    /// missing positional argument).
+    Usage(String),
+    /// A flag's value did not parse or is out of range.
+    InvalidFlag {
+        /// The flag, e.g. `--workers`.
+        flag: String,
+        /// The rejected value.
+        value: String,
+        /// What would have been accepted.
+        expected: String,
+    },
+    /// A file or directory could not be read or written.
+    Io {
+        /// The offending path.
+        path: PathBuf,
+        /// The rendered I/O error.
+        message: String,
+    },
+    /// A scenario spec failed to load, parse, validate, or resolve.
+    Spec {
+        /// The spec file, when the spec came from disk.
+        path: Option<PathBuf>,
+        /// The underlying spec-layer error.
+        error: SpecError,
+    },
+    /// A baseline file is unreadable or lacks the gated metric.
+    Baseline {
+        /// The baseline file.
+        path: PathBuf,
+        /// What went wrong.
+        message: String,
+    },
+    /// The grid coordinator failed as a whole (not a single cell — cell
+    /// crashes are retried and reported in the manifest instead).
+    Grid {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl CliError {
+    /// The stable kind tag rendered inside `error[...]`.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "usage",
+            CliError::InvalidFlag { .. } => "invalid-flag",
+            CliError::Io { .. } => "io",
+            // A spec that failed because the *file* was unreadable is an
+            // I/O problem; everything else about it is a spec problem.
+            CliError::Spec {
+                error: SpecError::Io { .. },
+                ..
+            } => "io",
+            CliError::Spec { .. } => "spec",
+            CliError::Baseline { .. } => "baseline",
+            CliError::Grid { .. } => "grid",
+        }
+    }
+
+    /// Process exit code: 2 for command-line mistakes, 1 otherwise.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Usage(_) | CliError::InvalidFlag { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]: ", self.kind())?;
+        match self {
+            CliError::Usage(message) => write!(f, "{message}"),
+            CliError::InvalidFlag {
+                flag,
+                value,
+                expected,
+            } => write!(
+                f,
+                "invalid value `{value}` for `{flag}`: expected {expected}"
+            ),
+            CliError::Io { path, message } => write!(f, "{}: {message}", path.display()),
+            CliError::Spec {
+                path: Some(path),
+                error,
+            } => write!(f, "{}: {error}", path.display()),
+            CliError::Spec { path: None, error } => write!(f, "{error}"),
+            CliError::Baseline { path, message } => write!(f, "{}: {message}", path.display()),
+            CliError::Grid { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_exit_codes() {
+        let usage = CliError::Usage("no subcommand".into());
+        assert_eq!(usage.kind(), "usage");
+        assert_eq!(usage.exit_code(), 2);
+
+        let flag = CliError::InvalidFlag {
+            flag: "--workers".into(),
+            value: "zero".into(),
+            expected: "a worker count ≥ 1".into(),
+        };
+        assert_eq!(flag.kind(), "invalid-flag");
+        assert_eq!(flag.exit_code(), 2);
+        assert!(flag.to_string().starts_with("error[invalid-flag]: "));
+
+        let spec = CliError::Spec {
+            path: None,
+            error: SpecError::EmptyPhaseList,
+        };
+        assert_eq!(spec.kind(), "spec");
+        assert_eq!(spec.exit_code(), 1);
+    }
+
+    #[test]
+    fn unreadable_spec_files_report_as_io() {
+        let error = CliError::Spec {
+            path: Some(PathBuf::from("missing.spec")),
+            error: SpecError::Io {
+                path: "missing.spec".into(),
+                message: "No such file or directory".into(),
+            },
+        };
+        assert_eq!(error.kind(), "io");
+        assert!(error.to_string().starts_with("error[io]: "));
+    }
+}

@@ -1,0 +1,53 @@
+//! `collabsim-cli` — the command-line runner for collabsim scenarios, and
+//! the shared runner core behind every perf-gated bench.
+//!
+//! The `collabsim` binary turns the repo from a library-with-benches into
+//! a serving layer for experiment traffic:
+//!
+//! * **`collabsim run <spec>`** loads a [`ScenarioSpec`] text file (the
+//!   exact round-trip format of
+//!   [`ScenarioSpec::to_text`]), runs it with phase timings enabled,
+//!   optionally streams [`StepObserver`](collabsim::StepObserver) metrics
+//!   as JSON lines ([`jsonl`]), and prints a profiling summary
+//!   ([`profile`]) — steps/sec plus the per-phase wall-clock breakdown.
+//! * **`collabsim grid <specs...> --workers N`** dispatches cells to
+//!   `collabsim worker` subprocesses through the crash-isolated
+//!   [`coordinator`]: a panicking phase or a SIGKILLed worker is retried
+//!   and, if it keeps dying, recorded as failed in the partial-results
+//!   manifest — the sweep itself always completes.
+//! * **`collabsim worker`** executes one cell and emits a result record
+//!   whose report is the `Debug` rendering pinned by the determinism
+//!   suite, so cross-process results are byte-comparable with in-process
+//!   ones.
+//! * **`collabsim scaffold`** regenerates the checked-in `scenarios/`
+//!   tree from the canonical constructors in [`scenarios`] — the same
+//!   constructors the four perf-gated bench binaries build their grids
+//!   from.
+//!
+//! [`ScenarioSpec`]: collabsim::ScenarioSpec
+//! [`ScenarioSpec::to_text`]: collabsim::ScenarioSpec::to_text
+
+pub mod args;
+pub mod chaos;
+pub mod commands;
+pub mod coordinator;
+pub mod error;
+pub mod jsonl;
+pub mod profile;
+pub mod runner;
+pub mod scenarios;
+
+pub use args::{Command, USAGE};
+pub use chaos::{cli_registry, CHAOS_PANIC_PHASE};
+pub use commands::dispatch;
+pub use coordinator::{
+    parse_cell_result, render_cell_result, run_grid, run_worker, CellOutcome, CellStatus,
+    GridOptions, GridSummary, WorkerResult, KILL_ONCE_ENV,
+};
+pub use error::CliError;
+pub use jsonl::{json_escape, json_f64, JsonlObserver, JsonlSink};
+pub use profile::render_profile;
+pub use runner::{
+    baseline_number, extract_number, gate_floor, gate_rss_ceiling, load_spec,
+    load_spec_with_overrides, run_spec_instrumented, RunOutcome,
+};

@@ -1,0 +1,13 @@
+//! The `collabsim` binary: see [`collabsim_cli`] for the full
+//! subcommand reference (`collabsim help` prints it).
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match collabsim_cli::dispatch(&argv) {
+        Ok(code) => std::process::exit(code),
+        Err(error) => {
+            eprintln!("collabsim: {error}");
+            std::process::exit(error.exit_code());
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! End-to-end tests of the `collabsim` binary and the multi-process grid
+//! coordinator.
+//!
+//! Covered here:
+//!
+//! * every CLI error path exits non-zero with a typed `error[kind]`
+//!   message (unknown spec key, unreadable file, invalid `--workers`,
+//!   malformed baseline JSON),
+//! * `collabsim run --print-report` on the checked-in golden spec
+//!   reproduces the in-process golden report byte-for-byte, at
+//!   `SCENARIO_THREADS` 1 and 4,
+//! * a `--jsonl -` stream is structurally valid (run_start / step /
+//!   run_end envelopes on machine-owned stdout),
+//! * `collabsim grid --workers 4` over the 18-cell paper mix grid yields
+//!   cell reports identical to the in-process [`ScenarioRunner`],
+//! * a worker SIGKILLed mid-cell is retried and the sweep still completes
+//!   (deterministic one-shot kill injection via `COLLABSIM_TEST_KILL_ONCE`),
+//! * a deliberately panicking registered phase fails its own cell, not the
+//!   surrounding grid (`--strict` turns the recorded failure into exit 1).
+//!
+//! [`ScenarioRunner`]: collabsim::experiment::ScenarioRunner
+
+use collabsim::config::PhaseConfig;
+use collabsim::experiment::ScenarioRunner;
+use collabsim::Simulation;
+use collabsim_cli::coordinator::{run_grid, GridOptions};
+use collabsim_cli::scenarios::{chaos_panic_spec, golden_spec, paper_mix_cells};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn collabsim_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_collabsim")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/cli sits two levels under the repo root")
+        .to_path_buf()
+}
+
+/// A fresh scratch directory per test (plain std, no tempdir crate).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("collabsim-it-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn run_cli(args: &[&str]) -> Output {
+    Command::new(collabsim_bin())
+        .args(args)
+        .output()
+        .expect("collabsim binary runs")
+}
+
+fn stderr_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).into_owned()
+}
+
+fn stdout_of(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+// ---------------------------------------------------------------- errors
+
+#[test]
+fn unknown_spec_key_is_a_typed_spec_error() {
+    let dir = scratch("unknown-key");
+    let path = dir.join("bad.spec");
+    std::fs::write(
+        &path,
+        "# collabsim scenario spec v1\nlabel = bad\nfroopiness = 12\n",
+    )
+    .unwrap();
+    let output = run_cli(&["run", path.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(1));
+    let err = stderr_of(&output);
+    assert!(err.contains("error[spec]"), "stderr: {err}");
+    assert!(
+        err.contains("unknown spec key `froopiness`"),
+        "stderr: {err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unreadable_spec_file_is_a_typed_io_error() {
+    let output = run_cli(&["run", "/nonexistent/collabsim/missing.spec"]);
+    assert_eq!(output.status.code(), Some(1));
+    let err = stderr_of(&output);
+    assert!(err.contains("error[io]"), "stderr: {err}");
+    assert!(err.contains("missing.spec"), "stderr: {err}");
+}
+
+#[test]
+fn invalid_workers_is_a_typed_flag_error_with_usage_exit_code() {
+    for bad in ["0", "banana", "-3"] {
+        let output = run_cli(&["grid", "whatever.spec", "--workers", bad]);
+        assert_eq!(output.status.code(), Some(2), "--workers {bad}");
+        let err = stderr_of(&output);
+        assert!(err.contains("error[invalid-flag]"), "stderr: {err}");
+        assert!(err.contains("--workers"), "stderr: {err}");
+    }
+}
+
+#[test]
+fn malformed_baseline_is_a_typed_baseline_error() {
+    let dir = scratch("bad-baseline");
+    let baseline = dir.join("baseline.json");
+    std::fs::write(&baseline, "this is not json at all\n").unwrap();
+    let golden = repo_root().join("scenarios/golden.spec");
+    let output = run_cli(&[
+        "run",
+        golden.to_str().unwrap(),
+        "--baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let err = stderr_of(&output);
+    assert!(err.contains("error[baseline]"), "stderr: {err}");
+    assert!(err.contains("steps_per_sec"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------- golden identity
+
+/// Extracts the `--print-report` line from a run's stdout.
+fn report_line(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find(|line| line.starts_with("SimulationReport {"))
+        .unwrap_or_else(|| panic!("no report line in stdout: {stdout}"))
+        .to_string()
+}
+
+#[test]
+fn run_on_the_golden_spec_reproduces_the_golden_report_across_thread_counts() {
+    let golden = repo_root().join("scenarios/golden.spec");
+    let expected = format!(
+        "{:?}",
+        Simulation::from_spec(&golden_spec())
+            .expect("golden spec resolves")
+            .run()
+    );
+    for threads in ["1", "4"] {
+        let output = run_cli(&[
+            "run",
+            golden.to_str().unwrap(),
+            "--print-report",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(output.status.code(), Some(0), "threads={threads}");
+        assert_eq!(
+            report_line(&stdout_of(&output)),
+            expected,
+            "report drifted at SCENARIO_THREADS={threads}"
+        );
+    }
+}
+
+// ----------------------------------------------------------------- jsonl
+
+#[test]
+fn jsonl_stream_on_stdout_is_structurally_valid() {
+    let golden = repo_root().join("scenarios/golden.spec");
+    let output = run_cli(&[
+        "run",
+        golden.to_str().unwrap(),
+        "--jsonl",
+        "-",
+        "--every",
+        "50",
+    ]);
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = stdout_of(&output);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(lines.len() >= 3, "run_start + steps + run_end: {stdout}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+        assert!(line.contains("\"event\":\""), "no event field: {line}");
+    }
+    assert!(lines[0].contains("\"event\":\"run_start\""));
+    assert!(lines[0].contains("\"label\":\"golden\""));
+    assert!(lines[0].contains("\"total_steps\":200"));
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"event\":\"run_end\""));
+    assert!(last.contains("\"seed\":12648430"));
+    assert!(last.contains("\"phases\":{"));
+    // Step events at 50, 100, 150, 200.
+    let steps = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"step\""))
+        .count();
+    assert_eq!(steps, 4, "step cadence: {stdout}");
+    // The human-readable summary must have moved to stderr.
+    let err = stderr_of(&output);
+    assert!(err.contains("profile:"), "stderr: {err}");
+}
+
+// ----------------------------------------------- grid == in-process runs
+
+/// The 18-cell paper mix grid at CI-sized steps (the full 900-step cells
+/// would make a debug-build test crawl; identity is step-count agnostic).
+fn reduced_mix_cells() -> Vec<collabsim::ScenarioSpec> {
+    paper_mix_cells(PhaseConfig {
+        training_steps: 40,
+        evaluation_steps: 20,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn grid_workers_reproduce_in_process_reports_bit_for_bit() {
+    let cells = reduced_mix_cells();
+    assert_eq!(cells.len(), 18);
+    let in_process = ScenarioRunner::default()
+        .run_specs(cells.clone())
+        .expect("mix cells resolve");
+
+    let out_dir = scratch("grid-identity");
+    let summary = run_grid(
+        &cells,
+        &GridOptions {
+            workers: 4,
+            retries: 1,
+            out_dir: out_dir.clone(),
+            worker_bin: PathBuf::from(collabsim_bin()),
+            quiet: true,
+        },
+    )
+    .expect("sweep completes");
+
+    assert_eq!(summary.ok_count(), 18);
+    assert_eq!(summary.failed_count(), 0);
+    for (cell, expected) in summary.cells.iter().zip(&in_process) {
+        let result = cell.result.as_ref().expect("ok cell has a result");
+        assert_eq!(result.label, expected.label, "cell order");
+        assert_eq!(result.parameter, expected.parameter, "cell parameter");
+        assert_eq!(
+            result.report_debug,
+            format!("{:?}", expected.report),
+            "worker report for `{}` differs from the in-process run",
+            expected.label
+        );
+    }
+    assert!(summary.manifest_path.is_file(), "manifest written");
+    std::fs::remove_dir_all(&out_dir).ok();
+}
+
+// ------------------------------------------------------- crash isolation
+
+#[cfg(unix)]
+#[test]
+fn sigkilled_worker_is_retried_and_the_sweep_completes() {
+    let dir = scratch("kill-once");
+    let specs_dir = dir.join("specs");
+    std::fs::create_dir_all(&specs_dir).unwrap();
+    // Three small cells; the kill marker is claimed by exactly one worker,
+    // which SIGKILLs itself mid-run. Its retry sees the marker taken and
+    // completes normally.
+    let base = golden_spec().to_text();
+    for (i, seed) in [1u64, 2, 3].iter().enumerate() {
+        std::fs::write(
+            specs_dir.join(format!("cell{i}.spec")),
+            format!("{base}\nseed = {seed}\n"),
+        )
+        .unwrap();
+    }
+    let out_dir = dir.join("out");
+    let marker = dir.join("kill.marker");
+    let output = Command::new(collabsim_bin())
+        .args([
+            "grid",
+            specs_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "1",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ])
+        .env(collabsim_cli::KILL_ONCE_ENV, &marker)
+        .output()
+        .expect("grid runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    assert!(marker.is_file(), "one worker claimed the kill marker");
+
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"ok\": 3"), "manifest: {manifest}");
+    assert!(manifest.contains("\"failed\": 0"), "manifest: {manifest}");
+    // 3 cells + 1 retry of the killed one.
+    assert!(manifest.contains("\"attempts\": 4"), "manifest: {manifest}");
+    assert!(manifest.contains("\"attempts\": 2"), "manifest: {manifest}");
+    let stdout = stdout_of(&output);
+    assert!(stdout.contains("re-queued"), "stdout: {stdout}");
+    assert!(stdout.contains("killed by signal 9"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn panicking_phase_fails_its_cell_but_not_the_grid() {
+    let dir = scratch("chaos");
+    let specs_dir = dir.join("specs");
+    std::fs::create_dir_all(&specs_dir).unwrap();
+    std::fs::write(specs_dir.join("a_chaos.spec"), chaos_panic_spec().to_text()).unwrap();
+    std::fs::write(specs_dir.join("b_golden.spec"), golden_spec().to_text()).unwrap();
+    let out_dir = dir.join("out");
+
+    let output = run_cli(&[
+        "grid",
+        specs_dir.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--retries",
+        "1",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ]);
+    // Tolerant by default: the sweep completes, exit 0, failure recorded.
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"ok\": 1"), "manifest: {manifest}");
+    assert!(manifest.contains("\"failed\": 1"), "manifest: {manifest}");
+    assert!(
+        manifest.contains("\"status\": \"failed\""),
+        "manifest: {manifest}"
+    );
+    assert!(manifest.contains("worker crashed"), "manifest: {manifest}");
+    let stdout = stdout_of(&output);
+    assert!(
+        stdout.contains("FAILED after 2 attempts"),
+        "stdout: {stdout}"
+    );
+
+    // --strict turns the recorded failure into a non-zero exit.
+    let strict_out = dir.join("out-strict");
+    let output = run_cli(&[
+        "grid",
+        specs_dir.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--retries",
+        "0",
+        "--strict",
+        "--out-dir",
+        strict_out.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ------------------------------------------------------------- subcommands
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let output = run_cli(&["help"]);
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = stdout_of(&output);
+    for subcommand in ["run", "grid", "worker", "scaffold"] {
+        assert!(stdout.contains(subcommand), "usage lists {subcommand}");
+    }
+    // No arguments at all behaves the same way.
+    let output = run_cli(&[]);
+    assert_eq!(output.status.code(), Some(0));
+}
+
+#[test]
+fn worker_writes_a_parseable_result_record() {
+    let dir = scratch("worker-record");
+    let spec_path = dir.join("cell.spec");
+    std::fs::write(&spec_path, golden_spec().to_text()).unwrap();
+    let out_path = dir.join("cell.result");
+    let output = run_cli(&[
+        "worker",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--out",
+        out_path.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    let record = std::fs::read_to_string(&out_path).unwrap();
+    let result = collabsim_cli::parse_cell_result(&record).expect("record parses");
+    assert_eq!(result.label, "golden");
+    assert_eq!(result.total_steps, 200);
+    let expected = format!(
+        "{:?}",
+        Simulation::from_spec(&golden_spec())
+            .expect("golden spec resolves")
+            .run()
+    );
+    assert_eq!(result.report_debug, expected);
+    std::fs::remove_dir_all(&dir).ok();
+}

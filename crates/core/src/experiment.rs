@@ -380,34 +380,6 @@ impl ScenarioRunner {
             })
             .collect())
     }
-
-    /// Compatibility shim for pre-spec callers: runs `(label, parameter,
-    /// config)` tuples by wrapping each configuration in a default-phase
-    /// [`ScenarioSpec`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a configuration is invalid (the same contract the
-    /// pre-spec engine enforced at construction time).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build `ScenarioSpec`s (e.g. via `ScenarioSpec::from_config`) and call \
-                `run_specs` instead; the tuple form cannot express phase orders, adversaries \
-                or custom registries"
-    )]
-    pub fn run_cells(&self, configs: Vec<(String, f64, SimulationConfig)>) -> Vec<LabelledReport> {
-        let specs = configs
-            .into_iter()
-            .map(
-                |(label, parameter, config)| match ScenarioSpec::from_config(config) {
-                    Ok(spec) => spec.with_label(label).with_parameter(parameter),
-                    Err(error) => panic!("{error}"),
-                },
-            )
-            .collect();
-        self.run_specs(specs)
-            .expect("default-phase specs always resolve")
-    }
 }
 
 /// Runs a batch of labelled configurations, in parallel when more than one
@@ -625,20 +597,6 @@ mod tests {
         assert_eq!(results[1].label, "b");
         assert_eq!(results[2].label, "c");
         assert_eq!(results[2].parameter, 3.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_cells_shim_still_matches_run_specs() {
-        let config = tiny_base().with_seed(21);
-        let via_shim =
-            ScenarioRunner::sequential().run_cells(vec![("cell".to_string(), 1.5, config.clone())]);
-        let spec = ScenarioSpec::from_config(config)
-            .unwrap()
-            .with_label("cell")
-            .with_parameter(1.5);
-        let via_specs = ScenarioRunner::sequential().run_specs(vec![spec]).unwrap();
-        assert_eq!(via_shim, via_specs);
     }
 
     #[test]

@@ -81,6 +81,13 @@ pub enum SpecError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A spec file could not be read ([`ScenarioSpec::load`]).
+    Io {
+        /// The path that failed to read.
+        path: String,
+        /// The underlying I/O error, rendered.
+        message: String,
+    },
 }
 
 impl SpecError {
@@ -111,6 +118,9 @@ impl fmt::Display for SpecError {
             SpecError::EmptyPhaseList => write!(f, "the phase list must not be empty"),
             SpecError::Parse { line, message } => {
                 write!(f, "spec parse error at line {line}: {message}")
+            }
+            SpecError::Io { path, message } => {
+                write!(f, "cannot read spec file `{path}`: {message}")
             }
         }
     }
@@ -387,6 +397,19 @@ impl ScenarioSpec {
         kv("seed", c.seed.to_string());
         kv("phases", self.phases.join(","));
         out
+    }
+
+    /// Reads and parses a spec file from disk.
+    ///
+    /// A read failure is reported as [`SpecError::Io`] (with the path);
+    /// everything after the read is exactly [`ScenarioSpec::parse`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, SpecError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| SpecError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        Self::parse(&text)
     }
 
     /// Parses the text format produced by [`ScenarioSpec::to_text`].

@@ -3,6 +3,7 @@
 //! single import path.
 
 pub use collabsim;
+pub use collabsim_cli as cli;
 pub use collabsim_gametheory as gametheory;
 pub use collabsim_netsim as netsim;
 pub use collabsim_reputation as reputation;

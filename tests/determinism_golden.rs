@@ -97,6 +97,18 @@ fn golden_report_survives_the_scenario_spec_api() {
 }
 
 #[test]
+fn cli_golden_spec_is_the_golden_config() {
+    // `scenarios/golden.spec` is generated from this constructor, so
+    // pinning the constructor to `golden_config()` pins the checked-in
+    // file (byte-equality is enforced by tests/scenario_files.rs) — and
+    // therefore `collabsim run scenarios/golden.spec --print-report`
+    // reproduces GOLDEN_REPORT_DEBUG.
+    let spec = collabsim_workspace::cli::scenarios::golden_spec();
+    assert_eq!(spec.config(), &golden_config(), "golden spec drifted");
+    assert_eq!(spec.label(), "golden");
+}
+
+#[test]
 fn golden_report_is_shard_and_thread_invariant() {
     // The pinned golden values must be reproduced regardless of how the
     // ledger is sharded and how many intra-step workers apply the

@@ -1,0 +1,81 @@
+//! Pins the checked-in `scenarios/` tree to the canonical constructors in
+//! `collabsim_cli::scenarios`.
+//!
+//! The tree is generated (`collabsim scaffold --dir scenarios`); these
+//! tests make drift impossible: every constructor-produced file must exist
+//! byte-for-byte, no stray `.spec` file may exist that no constructor
+//! produces, and every checked-in file must parse and round-trip through
+//! the text format.
+
+use collabsim_workspace::cli::scenarios::scenario_files;
+use collabsim_workspace::collabsim::spec::ScenarioSpec;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn scenarios_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+fn walk_specs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = std::fs::read_dir(dir).expect("scenarios tree is readable");
+    for entry in entries {
+        let path = entry.expect("readable dir entry").path();
+        if path.is_dir() {
+            walk_specs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "spec") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn checked_in_specs_match_the_constructors_byte_for_byte() {
+    let root = scenarios_root();
+    for (rel, spec) in scenario_files() {
+        let path = root.join(&rel);
+        let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "{} is missing ({e}); regenerate with `collabsim scaffold --dir scenarios`",
+                path.display()
+            )
+        });
+        assert_eq!(
+            on_disk,
+            spec.to_text(),
+            "{} drifted from its constructor; regenerate with \
+             `collabsim scaffold --dir scenarios`",
+            rel.display()
+        );
+    }
+}
+
+#[test]
+fn no_stray_spec_files_exist() {
+    let root = scenarios_root();
+    let expected: BTreeSet<PathBuf> = scenario_files().into_iter().map(|(rel, _)| rel).collect();
+    let mut on_disk = Vec::new();
+    walk_specs(&root, &mut on_disk);
+    assert_eq!(on_disk.len(), expected.len(), "spec file count");
+    for path in on_disk {
+        let rel = path.strip_prefix(&root).expect("under scenarios/");
+        assert!(
+            expected.contains(rel),
+            "{} has no constructor in collabsim_cli::scenarios",
+            rel.display()
+        );
+    }
+}
+
+#[test]
+fn every_checked_in_spec_parses_and_round_trips() {
+    let root = scenarios_root();
+    let mut on_disk = Vec::new();
+    walk_specs(&root, &mut on_disk);
+    assert!(!on_disk.is_empty(), "scenarios/ holds spec files");
+    for path in on_disk {
+        let text = std::fs::read_to_string(&path).expect("readable spec");
+        let spec = ScenarioSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        assert_eq!(spec.to_text(), text, "{} round trip", path.display());
+    }
+}
