@@ -1,0 +1,226 @@
+//! `fault_grid` — the fault-injection bench: steps/sec plus fault-layer
+//! accounting per regime × incentive scheme, written as `BENCH_faults.json`.
+//!
+//! Two stages:
+//!
+//! 1. **End-to-end grid** — the 12 fault cells (four link-model regimes:
+//!    ideal, lossy-5 %, high-latency, partitioned clusters × the three
+//!    incentive schemes) expressed as [`ScenarioSpec`]s and run through
+//!    the [`ScenarioRunner`] — the registry-driven path a custom scenario
+//!    takes (no engine edits anywhere).
+//! 2. **Instrumented runs** — every cell re-run through the shared
+//!    [`collabsim_cli::runner`] core, producing the per-cell steps/sec
+//!    figures (each baseline-gated in CI) and the fault accounting
+//!    ([`NetStats`]): grant bandwidth offered/applied/lost/delayed,
+//!    permanent transfer failures, timeouts and re-routes.
+//!
+//! The headline table reports **incentive-scheme separation per fault
+//! regime**: shared bandwidth under the paper's reputation scheme minus
+//! the no-incentive baseline. The paper's claim holds when the separation
+//! stays positive under every fault regime, not just on an ideal network.
+//!
+//! The cells come from [`collabsim_cli::scenarios::fault_cells`] — the
+//! constructors behind the checked-in `scenarios/faults/` files, so
+//! `collabsim grid scenarios/faults` runs the same cells out of process.
+//!
+//! Flags: `--quick` (reduced steps), `--out <path>` (default
+//! `BENCH_faults.json`), `--baseline <path>` + `--max-regress <pct>`
+//! (steps/sec gate, default 20 %).
+//!
+//! [`ScenarioSpec`]: collabsim::ScenarioSpec
+//! [`NetStats`]: collabsim::NetStats
+
+use collabsim::experiment::ScenarioRunner;
+use collabsim::pipeline::PhaseRegistry;
+use collabsim::{NetStats, ScenarioSpec};
+use collabsim_bench::{arg_value, extract_number, has_flag};
+use collabsim_cli::runner::{gate_floor, run_spec_instrumented};
+use collabsim_cli::scenarios::{fault_cells, fault_phases, fault_regimes};
+use std::fmt::Write as _;
+
+struct FaultResult {
+    label: String,
+    total_steps: u64,
+    steps_per_sec: f64,
+    shared_bandwidth: f64,
+    completed_downloads: usize,
+    net: NetStats,
+}
+
+fn run_instrumented(spec: &ScenarioSpec) -> FaultResult {
+    let (outcome, sim) = run_spec_instrumented(spec, &PhaseRegistry::standard(), |_| {})
+        .expect("fault cells use only standard phases");
+    FaultResult {
+        label: outcome.label,
+        total_steps: outcome.total_steps,
+        steps_per_sec: outcome.steps_per_sec,
+        shared_bandwidth: outcome.report.shared_bandwidth,
+        completed_downloads: outcome.report.completed_downloads,
+        net: sim.world().net_stats,
+    }
+}
+
+fn render_json(results: &[FaultResult]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"fault_grid\",\n  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"total_steps\": {}, \"steps_per_sec\": {:.3}, \
+             \"shared_bandwidth\": {:.6}, \"completed_downloads\": {}, \
+             \"grants_offered\": {:.3}, \"grants_applied\": {:.3}, \
+             \"grants_lost\": {:.3}, \"grants_delayed\": {:.3}, \
+             \"transfers_failed\": {}, \"transfers_timed_out\": {}, \
+             \"transfers_rerouted\": {}}}{sep}",
+            r.label,
+            r.total_steps,
+            r.steps_per_sec,
+            r.shared_bandwidth,
+            r.completed_downloads,
+            r.net.grants_offered,
+            r.net.grants_applied,
+            r.net.grants_lost,
+            r.net.grants_delayed,
+            r.net.transfers_failed,
+            r.net.transfers_timed_out,
+            r.net.transfers_rerouted,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn check_baseline(results: &[FaultResult], baseline_path: &str, max_regress_pct: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    let mut checked = 0usize;
+    for result in results {
+        let Some(reference) = text
+            .lines()
+            .find(|line| line.contains(&format!("\"label\": \"{}\"", result.label)))
+            .and_then(|line| extract_number(line, "steps_per_sec"))
+        else {
+            println!(
+                "{}: no baseline entry (skipping the regression check)",
+                result.label
+            );
+            continue;
+        };
+        checked += 1;
+        ok &= gate_floor(
+            &result.label,
+            result.steps_per_sec,
+            reference,
+            max_regress_pct,
+        );
+    }
+    if checked == 0 {
+        eprintln!("baseline {baseline_path} matched no cells");
+        return false;
+    }
+    ok
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_faults.json".to_string());
+    let max_regress: f64 = arg_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+
+    println!(
+        "collabsim — fault_grid [scale: {}]",
+        if quick { "quick" } else { "full" }
+    );
+    println!("(fault regimes as ScenarioSpecs: registry-driven pipeline, zero engine edits)");
+    println!();
+
+    // Stage 1 — the whole grid end to end through the runner.
+    let specs = fault_cells(fault_phases(quick));
+    let reports = ScenarioRunner::default()
+        .run_specs(specs.clone())
+        .expect("fault cells use only standard phases");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12}",
+        "cell", "articles", "bandwidth", "downloads"
+    );
+    for report in &reports {
+        println!(
+            "{:<28} {:>10.4} {:>10.4} {:>12}",
+            report.label,
+            report.report.shared_articles,
+            report.report.shared_bandwidth,
+            report.report.completed_downloads
+        );
+    }
+    println!();
+
+    // Stage 2 — instrumented runs: steps/sec + fault accounting.
+    let mut results = Vec::new();
+    for spec in &specs {
+        let result = run_instrumented(spec);
+        println!(
+            "{:<28} steps/sec={:>9.2}  offered={:<9.1} applied={:<9.1} lost={:<8.1} \
+             delayed={:<8.1} failed={:<3} timeouts={:<3} rerouted={}",
+            result.label,
+            result.steps_per_sec,
+            result.net.grants_offered,
+            result.net.grants_applied,
+            result.net.grants_lost,
+            result.net.grants_delayed,
+            result.net.transfers_failed,
+            result.net.transfers_timed_out,
+            result.net.transfers_rerouted,
+        );
+        results.push(result);
+    }
+
+    // Headline — incentive-scheme separation per fault regime: shared
+    // bandwidth under the reputation scheme minus the no-incentive
+    // baseline. Positive everywhere ⇒ the scheme's differentiation
+    // survives the fault regime.
+    println!();
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "regime", "none", "tit-for-tat", "reputation", "separation"
+    );
+    let by_label = |label: &str| -> &FaultResult {
+        results
+            .iter()
+            .find(|r| r.label == label)
+            .expect("all 12 cells ran")
+    };
+    for (regime, _) in fault_regimes() {
+        let none = by_label(&format!("faults/{regime}/none")).shared_bandwidth;
+        let tft = by_label(&format!("faults/{regime}/tit-for-tat")).shared_bandwidth;
+        let reputation = by_label(&format!("faults/{regime}/reputation")).shared_bandwidth;
+        println!(
+            "{:<12} {:>12.4} {:>12.4} {:>12.4} {:>12.4}",
+            regime,
+            none,
+            tft,
+            reputation,
+            reputation - none
+        );
+    }
+
+    let json = render_json(&results);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\n(report written to {out_path})"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+
+    if let Some(baseline) = arg_value("--baseline") {
+        println!();
+        if !check_baseline(&results, &baseline, max_regress) {
+            eprintln!("steps/sec regressed more than {max_regress}% against {baseline}");
+            std::process::exit(1);
+        }
+    }
+}

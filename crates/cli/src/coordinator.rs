@@ -4,9 +4,11 @@
 //! `collabsim worker` subprocesses (at most `--workers` in flight), and
 //! collects one result record per cell. A worker that crashes — a
 //! panicking phase, an OOM kill, a stray SIGKILL — is *absorbed*: the
-//! cell is re-queued up to `--retries` times and, if it keeps dying,
-//! recorded as `failed` in the partial-results manifest. The sweep always
-//! completes; no cell can take it down.
+//! cell is re-queued up to `--retries` times — after an exponential
+//! backoff, so a transiently overloaded machine gets room to recover —
+//! and, if it keeps dying, recorded as `failed` in the partial-results
+//! manifest together with the tail of the final attempt's worker log.
+//! The sweep always completes; no cell can take it down.
 //!
 //! Reports cross the process boundary as the `Debug` rendering of
 //! [`SimulationReport`](collabsim::SimulationReport) inside a
@@ -110,6 +112,27 @@ pub fn parse_cell_result(text: &str) -> Option<WorkerResult> {
 /// the retry of the killed cell — sees the marker and runs normally.
 pub const KILL_ONCE_ENV: &str = "COLLABSIM_TEST_KILL_ONCE";
 
+/// Environment variable naming a marker file for the deterministic
+/// truncation-injection test: the first worker to claim the marker writes
+/// only the front half of its result record (a torn write — the header is
+/// present but the record does not parse) and exits 0. The coordinator
+/// must detect the unparseable record, re-queue the cell, and the retry —
+/// which sees the marker taken — completes normally.
+pub const TRUNCATE_ONCE_ENV: &str = "COLLABSIM_TEST_TRUNCATE_ONCE";
+
+/// Claims the truncation marker, mirroring [`kill_switch`]'s atomic
+/// `create_new` claim.
+fn truncate_switch() -> bool {
+    let Ok(marker) = std::env::var(TRUNCATE_ONCE_ENV) else {
+        return false;
+    };
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&marker)
+        .is_ok()
+}
+
 /// Observer that kills the worker process mid-run (test crash injection).
 struct KillOnceObserver {
     at_step: u64,
@@ -174,6 +197,18 @@ pub fn run_worker(spec_path: &Path, out_path: &Path) -> Result<(), CliError> {
         path: out_path.to_path_buf(),
         message: e.to_string(),
     };
+    if truncate_switch() {
+        // Torn-write injection: land the front few lines of the record at
+        // the final path, bypassing the tmp+rename discipline, and report
+        // success — the worst case the atomic rename normally rules out.
+        let torn: String = record
+            .lines()
+            .take(3)
+            .map(|line| format!("{line}\n"))
+            .collect();
+        std::fs::write(out_path, torn).map_err(io_err)?;
+        return Ok(());
+    }
     let tmp = out_path.with_extension("tmp");
     std::fs::write(&tmp, &record).map_err(io_err)?;
     std::fs::rename(&tmp, out_path).map_err(io_err)?;
@@ -221,6 +256,37 @@ pub struct CellOutcome {
     /// Why the last attempt failed, when `status` is
     /// [`CellStatus::Failed`].
     pub failure: Option<String>,
+    /// Last lines of the final attempt's worker log, when `status` is
+    /// [`CellStatus::Failed`] — the panic message or whatever the worker
+    /// said before dying, inlined so the manifest is self-diagnosing.
+    pub log_tail: Vec<String>,
+}
+
+/// Lines of worker log kept per failed cell.
+const LOG_TAIL_LINES: usize = 5;
+
+/// First-retry backoff; doubles per subsequent attempt of the same cell.
+const RETRY_BACKOFF_BASE_MS: u64 = 50;
+
+/// Exponent cap keeping the backoff under ~2 s however high `--retries`.
+const RETRY_BACKOFF_MAX_DOUBLINGS: u32 = 5;
+
+/// Backoff before re-queueing a cell whose `failed_attempts`th attempt
+/// just crashed: 50 ms, 100 ms, 200 ms, … capped at 1.6 s.
+fn retry_backoff(failed_attempts: usize) -> Duration {
+    let doublings = (failed_attempts.saturating_sub(1) as u32).min(RETRY_BACKOFF_MAX_DOUBLINGS);
+    Duration::from_millis(RETRY_BACKOFF_BASE_MS << doublings)
+}
+
+/// Last [`LOG_TAIL_LINES`] lines of a worker log (empty when the log is
+/// missing or empty — a SIGKILL leaves nothing behind).
+fn read_log_tail(path: &Path) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let start = lines.len().saturating_sub(LOG_TAIL_LINES);
+    lines[start..].iter().map(|line| line.to_string()).collect()
 }
 
 /// The completed sweep: every cell resolved, one way or the other.
@@ -306,6 +372,7 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
 
     let started = Instant::now();
     let mut pending: VecDeque<usize> = (0..total).collect();
+    let mut backoff: Vec<(Instant, usize)> = Vec::new();
     let mut attempts = vec![0usize; total];
     let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(total);
     outcomes.resize_with(total, || None);
@@ -313,6 +380,18 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
     let mut completed = 0usize;
 
     while completed < total {
+        // Cells whose retry backoff has elapsed become dispatchable again.
+        let now = Instant::now();
+        let mut k = 0;
+        while k < backoff.len() {
+            if backoff[k].0 <= now {
+                let (_, i) = backoff.swap_remove(k);
+                pending.push_back(i);
+            } else {
+                k += 1;
+            }
+        }
+
         while running.len() < options.workers {
             let Some(i) = pending.pop_front() else { break };
             attempts[i] += 1;
@@ -377,6 +456,7 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
                         status: CellStatus::Ok,
                         result: Some(result),
                         failure: None,
+                        log_tail: Vec::new(),
                     });
                 }
                 None => {
@@ -386,14 +466,16 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
                         format!("worker crashed ({})", describe_exit(&status))
                     };
                     if attempts[i] <= options.retries {
+                        let delay = retry_backoff(attempts[i]);
                         if !options.quiet {
                             println!(
-                                "{label} — {why}; re-queued (attempt {} of {})",
+                                "{label} — {why}; re-queued after {} ms backoff (attempt {} of {})",
+                                delay.as_millis(),
                                 attempts[i] + 1,
                                 options.retries + 1
                             );
                         }
-                        pending.push_back(i);
+                        backoff.push((Instant::now() + delay, i));
                     } else {
                         completed += 1;
                         if !options.quiet {
@@ -402,6 +484,7 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
                                 attempts[i]
                             );
                         }
+                        let log_path = logs_dir.join(format!("{i:03}.attempt{}.log", attempts[i]));
                         outcomes[i] = Some(CellOutcome {
                             index: i,
                             label,
@@ -409,6 +492,7 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
                             status: CellStatus::Failed,
                             result: None,
                             failure: Some(why),
+                            log_tail: read_log_tail(&log_path),
                         });
                     }
                 }
@@ -478,10 +562,19 @@ fn render_manifest(summary: &GridSummary, options: &GridOptions) -> String {
             }
             (None, failure) => {
                 let error = failure.as_deref().unwrap_or("unknown failure");
+                let tail = cell
+                    .log_tail
+                    .iter()
+                    .map(|line| format!("\"{}\"", json_escape(line)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 let _ = writeln!(
                     out,
-                    "    {{{common}, \"status\": \"failed\", \"error\": \"{}\"}}{sep}",
-                    json_escape(error)
+                    "    {{{common}, \"status\": \"failed\", \"error\": \"{}\", \
+                     \"log\": \"logs/{:03}.attempt{}.log\", \"log_tail\": [{tail}]}}{sep}",
+                    json_escape(error),
+                    cell.index,
+                    cell.attempts
                 );
             }
         }

@@ -42,7 +42,7 @@ pub use chaos::{cli_registry, CHAOS_PANIC_PHASE};
 pub use commands::dispatch;
 pub use coordinator::{
     parse_cell_result, render_cell_result, run_grid, run_worker, CellOutcome, CellStatus,
-    GridOptions, GridSummary, WorkerResult, KILL_ONCE_ENV,
+    GridOptions, GridSummary, WorkerResult, KILL_ONCE_ENV, TRUNCATE_ONCE_ENV,
 };
 pub use error::CliError;
 pub use jsonl::{json_escape, json_f64, JsonlObserver, JsonlSink};

@@ -13,6 +13,7 @@ use collabsim::config::PhaseConfig;
 use collabsim::experiment::{LARGE_POPULATION_TIERS, MIX_SWEEP_PERCENTAGES};
 use collabsim::{BehaviorMix, BehaviorType, IncentiveScheme, ScenarioSpec, SimulationConfig};
 use collabsim_netsim::churn::ChurnModel;
+use collabsim_netsim::fault::LinkModel;
 use collabsim_reputation::propagation::PropagationScheme;
 use std::path::{Path, PathBuf};
 
@@ -302,6 +303,69 @@ pub fn attack_cells(scale: &AttackGridScale) -> Vec<AttackCell> {
     cells
 }
 
+/// The fault-regime axis of the `fault_grid` bench: `(name, model)`.
+/// `ideal` anchors the comparison; the other three stress one fault class
+/// each (iid loss, per-link latency, a partitioned two-cluster topology).
+pub fn fault_regimes() -> [(&'static str, LinkModel); 4] {
+    [
+        ("ideal", LinkModel::Ideal),
+        ("lossy", LinkModel::IidLoss { loss: 0.05 }),
+        ("latent", LinkModel::UniformLatency { min: 2, max: 8 }),
+        (
+            "clustered",
+            LinkModel::TwoClusters {
+                loss: 0.1,
+                penalty: 4,
+            },
+        ),
+    ]
+}
+
+/// Phase lengths for the fault grid (`fault_grid` sizes).
+pub fn fault_phases(quick: bool) -> PhaseConfig {
+    let (training, evaluation) = if quick { (300, 150) } else { (1_500, 750) };
+    PhaseConfig {
+        training_steps: training,
+        evaluation_steps: evaluation,
+        ..Default::default()
+    }
+}
+
+/// One fault-grid cell: fault regime × incentive scheme over the paper
+/// mix. The grid reports how much incentive-scheme separation each fault
+/// regime preserves.
+pub fn fault_cell_spec(
+    regime: (&str, LinkModel),
+    scheme: IncentiveScheme,
+    phases: PhaseConfig,
+) -> ScenarioSpec {
+    ScenarioSpec::builder()
+        .label(format!("faults/{}/{}", regime.0, scheme.label()))
+        .mix(BehaviorMix::new(0.5, 0.25, 0.25))
+        .incentive(scheme)
+        .phase_config(phases)
+        .network(regime.1)
+        .seed(0xFA_017)
+        .build()
+        .expect("fault grid specs are valid")
+}
+
+/// The full 12-cell fault grid in bench order: every fault regime × the
+/// three incentive schemes (none, tit-for-tat, reputation).
+pub fn fault_cells(phases: PhaseConfig) -> Vec<ScenarioSpec> {
+    let mut cells = Vec::new();
+    for regime in fault_regimes() {
+        for scheme in [
+            IncentiveScheme::None,
+            IncentiveScheme::TitForTat,
+            IncentiveScheme::ReputationBased,
+        ] {
+            cells.push(fault_cell_spec(regime, scheme, phases));
+        }
+    }
+    cells
+}
+
 /// One population tier of the `scale_population` bench: the
 /// `large_population` preset, optionally with overridden phase lengths
 /// (the reduced-step 10⁶ CI smoke leg).
@@ -382,6 +446,17 @@ pub fn scenario_files() -> Vec<(PathBuf, ScenarioSpec)> {
         let name = format!("attacks/{}.spec", file_stem(cell.spec.label()));
         files.push((PathBuf::from(name), cell.spec));
     }
+    for spec in fault_cells(fault_phases(false)) {
+        let cell = spec
+            .label()
+            .strip_prefix("faults/")
+            .expect("fault cells are labelled faults/<regime>/<scheme>")
+            .to_string();
+        files.push((
+            PathBuf::from(format!("faults/{}.spec", file_stem(&cell))),
+            spec,
+        ));
+    }
     for &peers in &LARGE_POPULATION_TIERS {
         files.push((
             PathBuf::from(format!("scale/pop_{peers}.spec")),
@@ -415,8 +490,8 @@ mod tests {
     fn the_tree_has_the_expected_shape() {
         let files = scenario_files();
         // 1 golden + 1 paper cell + 18 mix + 3 churn + 30 attacks +
-        // 3 scale tiers + 1 chaos probe.
-        assert_eq!(files.len(), 57);
+        // 12 faults + 3 scale tiers + 1 chaos probe.
+        assert_eq!(files.len(), 69);
         let paths: Vec<String> = files
             .iter()
             .map(|(p, _)| p.to_string_lossy().into_owned())
@@ -425,6 +500,7 @@ mod tests {
         assert!(paths.contains(&"paper/mix/altruistic_10.spec".to_string()));
         assert!(paths.contains(&"attacks/adaptive-whitewash_ledger_reputation.spec".to_string()));
         assert!(paths.contains(&"churn/whitewash.spec".to_string()));
+        assert!(paths.contains(&"faults/lossy_reputation.spec".to_string()));
         assert!(paths.contains(&"ci/chaos_panic.spec".to_string()));
         // No two cells may collapse onto the same file name.
         let mut unique = paths.clone();
@@ -449,5 +525,6 @@ mod tests {
         assert_eq!(paper_mix_cells(paper_mix_phases(false, false)).len(), 18);
         assert_eq!(churn_regimes(churn_phases(true)).len(), 3);
         assert_eq!(attack_cells(&attack_scale(true)).len(), 30);
+        assert_eq!(fault_cells(fault_phases(true)).len(), 12);
     }
 }

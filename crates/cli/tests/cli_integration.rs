@@ -15,8 +15,13 @@
 //!   cell reports identical to the in-process [`ScenarioRunner`],
 //! * a worker SIGKILLed mid-cell is retried and the sweep still completes
 //!   (deterministic one-shot kill injection via `COLLABSIM_TEST_KILL_ONCE`),
+//! * a worker that lands a torn half-record while exiting 0 is detected
+//!   and retried (`COLLABSIM_TEST_TRUNCATE_ONCE`), and the sweep completes,
 //! * a deliberately panicking registered phase fails its own cell, not the
-//!   surrounding grid (`--strict` turns the recorded failure into exit 1).
+//!   surrounding grid (`--strict` turns the recorded failure into exit 1),
+//!   and the manifest inlines the tail of the dead worker's log,
+//! * `--set network=<unknown>` surfaces the typed unknown-network-model
+//!   spec error through the `error[spec]` exit path.
 //!
 //! [`ScenarioRunner`]: collabsim::experiment::ScenarioRunner
 
@@ -83,6 +88,24 @@ fn unknown_spec_key_is_a_typed_spec_error() {
         "stderr: {err}"
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_network_model_override_is_a_typed_spec_error() {
+    let golden = repo_root().join("scenarios/golden.spec");
+    let output = run_cli(&[
+        "run",
+        golden.to_str().unwrap(),
+        "--set",
+        "network=carrier-pigeon",
+    ]);
+    assert_eq!(output.status.code(), Some(1));
+    let err = stderr_of(&output);
+    assert!(err.contains("error[spec]"), "stderr: {err}");
+    assert!(
+        err.contains("unknown network model `carrier-pigeon`"),
+        "stderr: {err}"
+    );
 }
 
 #[test]
@@ -309,6 +332,62 @@ fn sigkilled_worker_is_retried_and_the_sweep_completes() {
 }
 
 #[test]
+fn truncated_result_record_is_detected_and_retried() {
+    let dir = scratch("truncate-once");
+    let specs_dir = dir.join("specs");
+    std::fs::create_dir_all(&specs_dir).unwrap();
+    // Three small cells; exactly one worker claims the truncation marker
+    // and lands a torn half-record (valid header, unparseable body) at its
+    // result path while exiting 0. The coordinator must refuse the record,
+    // re-queue the cell, and the retry completes the sweep.
+    let base = golden_spec().to_text();
+    for (i, seed) in [1u64, 2, 3].iter().enumerate() {
+        std::fs::write(
+            specs_dir.join(format!("cell{i}.spec")),
+            format!("{base}\nseed = {seed}\n"),
+        )
+        .unwrap();
+    }
+    let out_dir = dir.join("out");
+    let marker = dir.join("truncate.marker");
+    let output = Command::new(collabsim_bin())
+        .args([
+            "grid",
+            specs_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "1",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ])
+        .env(collabsim_cli::TRUNCATE_ONCE_ENV, &marker)
+        .output()
+        .expect("grid runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    assert!(marker.is_file(), "one worker claimed the truncation marker");
+
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"ok\": 3"), "manifest: {manifest}");
+    assert!(manifest.contains("\"failed\": 0"), "manifest: {manifest}");
+    // 3 cells + 1 retry of the torn-record one.
+    assert!(manifest.contains("\"attempts\": 4"), "manifest: {manifest}");
+    assert!(manifest.contains("\"attempts\": 2"), "manifest: {manifest}");
+    let stdout = stdout_of(&output);
+    assert!(
+        stdout.contains("without a parseable result record"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("re-queued"), "stdout: {stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn panicking_phase_fails_its_cell_but_not_the_grid() {
     let dir = scratch("chaos");
     let specs_dir = dir.join("specs");
@@ -317,16 +396,22 @@ fn panicking_phase_fails_its_cell_but_not_the_grid() {
     std::fs::write(specs_dir.join("b_golden.spec"), golden_spec().to_text()).unwrap();
     let out_dir = dir.join("out");
 
-    let output = run_cli(&[
-        "grid",
-        specs_dir.to_str().unwrap(),
-        "--workers",
-        "2",
-        "--retries",
-        "1",
-        "--out-dir",
-        out_dir.to_str().unwrap(),
-    ]);
+    // Without RUST_BACKTRACE the worker's panic is a compact two-liner,
+    // so the manifest's five-line log tail must capture the message.
+    let output = Command::new(collabsim_bin())
+        .args([
+            "grid",
+            specs_dir.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--retries",
+            "1",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ])
+        .env_remove("RUST_BACKTRACE")
+        .output()
+        .expect("grid runs");
     // Tolerant by default: the sweep completes, exit 0, failure recorded.
     assert_eq!(
         output.status.code(),
@@ -342,6 +427,10 @@ fn panicking_phase_fails_its_cell_but_not_the_grid() {
         "manifest: {manifest}"
     );
     assert!(manifest.contains("worker crashed"), "manifest: {manifest}");
+    // The failed cell inlines the tail of its final attempt's worker log,
+    // so the manifest alone explains *why* the worker died.
+    assert!(manifest.contains("\"log_tail\": ["), "manifest: {manifest}");
+    assert!(manifest.contains("panicked"), "manifest: {manifest}");
     let stdout = stdout_of(&output);
     assert!(
         stdout.contains("FAILED after 2 attempts"),

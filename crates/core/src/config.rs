@@ -13,6 +13,7 @@ use crate::spec::SpecError;
 use collabsim_gametheory::behavior::BehaviorMix;
 use collabsim_gametheory::utility::UtilityModel;
 use collabsim_netsim::churn::ChurnModel;
+use collabsim_netsim::fault::LinkModel;
 use collabsim_reputation::contribution::ContributionParams;
 use collabsim_reputation::propagation::PropagationScheme;
 use collabsim_reputation::punishment::PunishmentPolicy;
@@ -201,6 +202,14 @@ pub struct SimulationConfig {
     /// stream, so a stable model leaves the trajectory bit-identical to a
     /// churn-free configuration.
     pub churn: ChurnModel,
+    /// Link model of the network substrate: per-link latency, grant loss
+    /// and the peer connection-state lifecycle. The paper's network is
+    /// ideal, so the default is [`LinkModel::Ideal`], which draws nothing
+    /// from the dedicated network RNG stream and is bit-identical to an
+    /// engine without any fault layer. Non-ideal models delay and fail
+    /// grants in the download phase's apply stage and run the connection
+    /// lifecycle on their own RNG stream.
+    pub network: LinkModel,
     /// Number of peer-id-range shards of the reputation ledger
     /// (`0` = automatic, based on the population). Sharding never changes
     /// results — parallel shard updates are bit-identical to sequential
@@ -255,6 +264,7 @@ impl Default for SimulationConfig {
             reputation_source: ReputationSource::Ledger,
             adversaries: Vec::new(),
             churn: ChurnModel::stable(),
+            network: LinkModel::Ideal,
             ledger_shards: 0,
             intra_step_threads: 0,
             seed: 0x5EED_C011_AB01,
@@ -390,6 +400,14 @@ impl SimulationConfig {
         self
     }
 
+    /// Builder-style: set the network link model (latency, loss,
+    /// connection lifecycle). [`LinkModel::Ideal`] — the default — is
+    /// bit-identical to an engine without the fault layer.
+    pub fn with_network(mut self, network: LinkModel) -> Self {
+        self.network = network;
+        self
+    }
+
     /// Validates the configuration, returning a typed [`SpecError`] naming
     /// the offending field instead of panicking.
     pub fn check(&self) -> Result<(), SpecError> {
@@ -473,6 +491,9 @@ impl SimulationConfig {
         self.churn
             .check()
             .map_err(|m| SpecError::invalid("churn", &m))?;
+        self.network
+            .check()
+            .map_err(|m| SpecError::invalid("network", &m))?;
         ensure(
             "service",
             self.service.edit_threshold > self.min_reputation,
@@ -610,6 +631,23 @@ mod tests {
             ..Default::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn network_defaults_to_ideal_and_composes_via_builder() {
+        let c = SimulationConfig::default();
+        assert_eq!(c.network, LinkModel::Ideal);
+        let c = c.with_network(LinkModel::IidLoss { loss: 0.05 });
+        assert_eq!(c.network, LinkModel::IidLoss { loss: 0.05 });
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn out_of_range_network_model_rejected() {
+        SimulationConfig::default()
+            .with_network(LinkModel::IidLoss { loss: 1.5 })
+            .validate();
     }
 
     #[test]

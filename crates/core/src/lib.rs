@@ -53,6 +53,7 @@ pub mod config;
 pub mod engine;
 pub mod experiment;
 pub mod incentive;
+pub mod invariants;
 pub mod observer;
 pub mod pipeline;
 pub mod report;
@@ -72,11 +73,14 @@ pub use config::{PhaseConfig, PropagationConfig, ReputationSource, SimulationCon
 pub use engine::Simulation;
 pub use experiment::{ScenarioGrid, ScenarioRunner};
 pub use incentive::IncentiveScheme;
+pub use invariants::{
+    ActiveSetObserver, ArenaBoundObserver, ConservationObserver, ReputationBoundsObserver,
+};
 pub use observer::{StepObserver, TimingObserver, WorldView};
 pub use pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPhase, StepPipeline};
 pub use report::{BehaviorBreakdown, SimulationReport};
 pub use spec::{ScenarioSpec, ScenarioSpecBuilder, SpecError};
-pub use world::{AccumulatorTable, ChurnStats, PeerAccumulator, SimWorld, UploadMatrix};
+pub use world::{AccumulatorTable, ChurnStats, NetStats, PeerAccumulator, SimWorld, UploadMatrix};
 
 // Re-export the pieces downstream users constantly need alongside the core
 // API so examples only import one crate.

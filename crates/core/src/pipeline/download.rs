@@ -31,6 +31,10 @@ use crate::config::DownloadRate;
 use crate::world::SimWorld;
 use collabsim_netsim::bandwidth::{AllocScratch, Allocation, BandwidthAllocator, DownloadRequest};
 use collabsim_netsim::dht::DhtKey;
+use collabsim_netsim::fault::{
+    step_connections, ConnectionState, BACKOFF_BASE_STEPS, MAX_TRANSFER_RETRIES,
+    TRANSFER_TIMEOUT_STEPS,
+};
 use collabsim_netsim::peer::PeerId;
 use collabsim_netsim::transfer::TransferStatus;
 use rand::Rng;
@@ -254,8 +258,19 @@ impl StepPhase for DownloadPhase {
     fn execute(&self, world: &mut SimWorld, ctx: &mut StepContext) {
         let population = world.population();
         let now = ctx.now;
+        let network = world.config.network;
+        let faulty = !network.is_ideal();
+        let seed = world.config.seed;
         let tables = &mut ctx.transfers;
         tables.requests.begin_step(population);
+
+        // Fault layer, step 0 — advance every peer's connection state on
+        // the dedicated `net_rng` stream. The ideal model has no lifecycle
+        // (`connection_rates` is `None`), so it draws nothing here and the
+        // stream — and therefore the whole phase — is untouched.
+        if let Some(rates) = network.connection_rates() {
+            step_connections(&mut world.peers, &rates, &mut world.net_rng);
+        }
 
         // Download sources must actually offer upload bandwidth this step:
         // the paper's competition is over "the source's upload bandwidth",
@@ -268,7 +283,10 @@ impl StepPhase for DownloadPhase {
             let peer = world.peers.peer(PeerId(p as u32));
             if peer.is_sharing() {
                 sharing_count += 1;
-                if peer.offered_upload() > 0.0 {
+                // A disconnected link cannot serve transfers; under the
+                // ideal model every peer is permanently `Connected`, so the
+                // extra condition is vacuously true there.
+                if peer.offered_upload() > 0.0 && peer.connection != ConnectionState::Disconnected {
                     tables.upload_sources.push(peer.id);
                 }
             }
@@ -312,18 +330,40 @@ impl StepPhase for DownloadPhase {
                 bits &= bits - 1;
                 let downloader = PeerId(p as u32);
                 // Continue an in-flight transfer if its source still offers
-                // bandwidth; otherwise abandon it and look for a new source.
+                // bandwidth over a live link and the transfer is neither
+                // timed out nor backing off; otherwise abandon it and look
+                // for a new source (graceful degradation: a downloader
+                // whose source link dropped re-draws from the remaining
+                // sources below instead of stalling). `hold` keeps a
+                // backing-off transfer alive without requesting bandwidth.
                 let mut continued: Option<(PeerId, u64)> = None;
+                let mut hold = false;
                 if let Some(tid) = world.active_transfer[p] {
                     let t = world.transfers.transfer(tid);
                     let (status, t_source) = (t.status, t.source);
+                    let source_peer = world.peers.peer(t_source);
+                    let source_up = source_peer.offered_upload() > 0.0;
+                    let source_connected = source_peer.connection != ConnectionState::Disconnected;
+                    let timed_out =
+                        faulty && world.transfers.timed_out(tid, now, TRANSFER_TIMEOUT_STEPS);
                     if status == TransferStatus::InProgress
-                        && world.peers.peer(t_source).offered_upload() > 0.0
+                        && source_up
+                        && source_connected
+                        && !timed_out
                     {
-                        continued = Some((t_source, tid));
+                        if faulty && world.transfers.in_backoff(tid, now) {
+                            hold = true;
+                        } else {
+                            continued = Some((t_source, tid));
+                        }
                     } else {
                         if status == TransferStatus::InProgress {
                             world.transfers.cancel(tid, now);
+                            if timed_out {
+                                world.net_stats.transfers_timed_out += 1;
+                            } else if source_up && !source_connected {
+                                world.net_stats.transfers_rerouted += 1;
+                            }
                         }
                         world.transfers.release(tid);
                         world.active_transfer[p] = None;
@@ -338,7 +378,8 @@ impl StepPhase for DownloadPhase {
                 // the sorted source list. Same single `gen_range` draw over
                 // the same count, same chosen peer, so the RNG stream and the
                 // trajectory are bit-identical to the list-based code.
-                if continued.is_none()
+                if !hold
+                    && continued.is_none()
                     && !upload_sources.is_empty()
                     && download_probability > 0.0
                     && world.rng.gen_bool(download_probability.min(1.0))
@@ -408,18 +449,52 @@ impl StepPhase for DownloadPhase {
                 .flat_map(GrantBatch::allocations);
             for k in 0..tables.requests.active_sources().len() {
                 let (source, requests, transfers) = tables.requests.bucket(k);
-                let source_fraction = world.peers.peer(source).shared_upload_fraction;
+                let source_peer = world.peers.peer(source);
+                let source_fraction = source_peer.shared_upload_fraction;
+                let source_degraded = source_peer.connection == ConnectionState::Degraded;
                 for (slot, &tid) in requests.iter().zip(transfers.iter()) {
                     let allocation = allocations
                         .next()
                         .expect("one allocation per collected request");
                     debug_assert_eq!(allocation.downloader, slot.downloader);
                     let d = allocation.downloader.index();
-                    ctx.downloaded[d] += allocation.bandwidth;
+                    let bandwidth = allocation.bandwidth;
+                    world.net_stats.grants_offered += bandwidth;
+                    // Fault layer — consume delayed and lost grants before
+                    // they touch the step observables, the upload history
+                    // or the transfer itself. Loss is the only draw, taken
+                    // from `net_rng` in this sequential stage, so the core
+                    // stream and thread-count invariance are untouched; the
+                    // ideal model never enters this block.
+                    if faulty {
+                        let latency =
+                            network.link_latency(seed, allocation.downloader, source, population);
+                        if now < world.transfers.transfer(tid).started_at + latency {
+                            world.net_stats.grants_delayed += bandwidth;
+                            continue;
+                        }
+                        let mut loss = network.link_loss(allocation.downloader, source, population);
+                        if source_degraded {
+                            loss = (loss * 2.0).min(1.0);
+                        }
+                        if loss > 0.0 && world.net_rng.gen_bool(loss) {
+                            world.net_stats.grants_lost += bandwidth;
+                            let fails = world.transfers.fail_grant(tid, now, BACKOFF_BASE_STEPS);
+                            if fails > MAX_TRANSFER_RETRIES {
+                                world.transfers.cancel(tid, now);
+                                world.transfers.release(tid);
+                                world.active_transfer[d] = None;
+                                world.net_stats.transfers_failed += 1;
+                            }
+                            continue;
+                        }
+                    }
+                    world.net_stats.grants_applied += bandwidth;
+                    ctx.downloaded[d] += bandwidth;
                     ctx.source_upload_seen[d] = source_fraction.max(ctx.source_upload_seen[d]);
                     ctx.bandwidth_share[d] = ctx.bandwidth_share[d].max(allocation.share);
-                    world.uploads.add(source.index(), d, allocation.bandwidth);
-                    tables.grant_queue.push((tid, allocation.bandwidth));
+                    world.uploads.add(source.index(), d, bandwidth);
+                    tables.grant_queue.push((tid, bandwidth));
                 }
             }
             debug_assert!(allocations.next().is_none(), "no grants left unapplied");

@@ -39,8 +39,14 @@
 //! every downstream draw; phases with private randomness (like
 //! [`PropagationPhase`], [`ChurnPhase`] and the adversary phase) must use
 //! their own stream (`world.propagation_rng` / `world.churn_rng` /
-//! `world.adversary_rng`). The golden-report test pins the standard
-//! pipeline's exact behaviour.
+//! `world.adversary_rng`). The network-fault layer inside
+//! [`DownloadPhase`] follows the same rule on `world.net_rng`
+//! (connection-state transitions and per-grant loss draws, both in the
+//! phase's sequential sections so thread-count invariance holds for every
+//! link model); the ideal model draws nothing from it, which is what
+//! keeps the default configuration bit-identical to a fault-unaware
+//! build. The golden-report test pins the standard pipeline's exact
+//! behaviour.
 //!
 //! Pipelines are assembled by resolving an ordered list of phase *names*
 //! against a [`PhaseRegistry`] — [`StepPipeline::standard`] is the default

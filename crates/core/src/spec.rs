@@ -48,6 +48,7 @@ use crate::incentive::IncentiveScheme;
 use crate::pipeline::{PhaseRegistry, StepPipeline};
 use collabsim_gametheory::behavior::BehaviorMix;
 use collabsim_netsim::churn::ChurnModel;
+use collabsim_netsim::fault::{LinkModel, LinkModelError};
 use collabsim_reputation::propagation::PropagationScheme;
 use std::fmt;
 
@@ -70,6 +71,11 @@ pub enum SpecError {
     /// [`AdversaryRegistry`](crate::adversary::AdversaryRegistry) in use.
     UnknownStrategy {
         /// The unresolvable strategy name.
+        name: String,
+    },
+    /// The `network` key names a link model the fault layer does not know.
+    UnknownNetworkModel {
+        /// The unresolvable model name.
         name: String,
     },
     /// The spec's phase list is empty.
@@ -113,6 +119,13 @@ impl fmt::Display for SpecError {
                 write!(
                     f,
                     "unknown adversary strategy `{name}` (not in the registry)"
+                )
+            }
+            SpecError::UnknownNetworkModel { name } => {
+                write!(
+                    f,
+                    "unknown network model `{name}` (expected ideal, uniform, lognormal, \
+                     lossy or clustered)"
                 )
             }
             SpecError::EmptyPhaseList => write!(f, "the phase list must not be empty"),
@@ -372,6 +385,11 @@ impl ScenarioSpec {
             },
         );
         kv("reputation_source", c.reputation_source.label().to_string());
+        // Emitted only when non-ideal so every pre-fault-layer spec file
+        // stays byte-identical (parse defaults the key to `ideal`).
+        if !c.network.is_ideal() {
+            kv("network", c.network.label());
+        }
         for adversary in &c.adversaries {
             kv(
                 "adversary",
@@ -554,6 +572,14 @@ impl ScenarioSpec {
                 "reputation_source" => {
                     config.reputation_source = ReputationSource::from_label(value)
                         .ok_or_else(|| parse_err(format!("unknown reputation source `{value}`")))?;
+                }
+                "network" => {
+                    config.network = LinkModel::from_label(value).map_err(|e| match e {
+                        LinkModelError::UnknownModel { name } => {
+                            SpecError::UnknownNetworkModel { name }
+                        }
+                        LinkModelError::InvalidParameter { message } => parse_err(message),
+                    })?;
                 }
                 "adversary" => {
                     let parts: Vec<&str> = value.split(',').map(str::trim).collect();
@@ -844,6 +870,14 @@ impl ScenarioSpecBuilder {
     /// to the default phase order).
     pub fn churn(mut self, churn: ChurnModel) -> Self {
         self.config.churn = churn;
+        self
+    }
+
+    /// Sets the network link model (the fault layer; defaults to the ideal
+    /// model, which injects nothing and keeps runs bit-identical to a
+    /// fault-unaware build).
+    pub fn network(mut self, network: LinkModel) -> Self {
+        self.config.network = network;
         self
     }
 
@@ -1186,6 +1220,60 @@ mod tests {
         ));
         let err = ScenarioSpec::parse("reputation_source = telepathy\n").unwrap_err();
         assert!(matches!(err, SpecError::Parse { .. }));
+    }
+
+    #[test]
+    fn network_round_trips_and_defaults_to_ideal() {
+        // Every non-ideal model round-trips exactly through the text form.
+        for model in [
+            LinkModel::UniformLatency { min: 2, max: 8 },
+            LinkModel::LognormalLatency {
+                mu: 1.5,
+                sigma: 0.75,
+            },
+            LinkModel::IidLoss { loss: 0.05 },
+            LinkModel::TwoClusters {
+                loss: 0.1,
+                penalty: 4,
+            },
+        ] {
+            let spec = ScenarioSpec::builder().network(model).build().unwrap();
+            assert_eq!(spec.config().network, model);
+            let text = spec.to_text();
+            assert!(text.contains(&format!("network = {}", model.label())));
+            let parsed = ScenarioSpec::parse(&text).unwrap();
+            assert_eq!(parsed, spec);
+        }
+        // The ideal default emits no `network` line, so pre-fault-layer
+        // spec files stay byte-identical.
+        let spec = ScenarioSpec::builder().build().unwrap();
+        assert_eq!(spec.config().network, LinkModel::Ideal);
+        assert!(!spec.to_text().contains("network"));
+        assert_eq!(ScenarioSpec::parse(&spec.to_text()).unwrap(), spec);
+    }
+
+    #[test]
+    fn unknown_network_model_is_a_typed_error() {
+        let err = ScenarioSpec::parse("network = carrier-pigeon\n").unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::UnknownNetworkModel {
+                name: "carrier-pigeon".to_string()
+            }
+        );
+        assert!(err.to_string().contains("carrier-pigeon"));
+        // Bad parameters are parse errors with a line number, not unknowns.
+        let err = ScenarioSpec::parse("network = lossy,not-a-number\n").unwrap_err();
+        assert!(matches!(err, SpecError::Parse { line: 1, .. }));
+        // Out-of-range parameters fail config validation.
+        let err = ScenarioSpec::parse("network = lossy,1.5\n").unwrap_err();
+        assert!(matches!(
+            err,
+            SpecError::InvalidField {
+                field: "network",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -386,6 +386,42 @@ impl ChurnStats {
     }
 }
 
+/// Running totals of the fault layer's grant accounting and transfer
+/// outcomes, kept on the world so the conservation invariant and the
+/// fault benches can read them without growing [`SimulationReport`].
+///
+/// Bandwidth conservation holds by construction:
+/// `grants_offered == grants_applied + grants_lost + grants_delayed`
+/// (up to floating-point accumulation error) — every allocated grant is
+/// consumed by exactly one of the three outcomes. On an ideal network
+/// only `grants_offered` and `grants_applied` move, and they are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct NetStats {
+    /// Total bandwidth allocated by the grant stage.
+    pub grants_offered: f64,
+    /// Bandwidth actually delivered to transfers.
+    pub grants_applied: f64,
+    /// Bandwidth lost to link faults (the transfer retries after backoff).
+    pub grants_lost: f64,
+    /// Bandwidth discarded while a link's latency window was still open.
+    pub grants_delayed: f64,
+    /// Transfers failed permanently after exhausting the retry budget.
+    pub transfers_failed: u64,
+    /// Transfers cancelled by the no-progress timeout.
+    pub transfers_timed_out: u64,
+    /// Transfers abandoned because their source disconnected (the
+    /// downloader re-drew a source instead of stalling).
+    pub transfers_rerouted: u64,
+}
+
+impl NetStats {
+    /// The bandwidth-conservation residual
+    /// `offered - (applied + lost + delayed)`; ≈ 0 by construction.
+    pub fn conservation_residual(&self) -> f64 {
+        self.grants_offered - (self.grants_applied + self.grants_lost + self.grants_delayed)
+    }
+}
+
 /// The full mutable state of one simulation: every substrate the phases of
 /// the step pipeline read and write.
 ///
@@ -481,6 +517,14 @@ pub struct SimWorld {
     /// same reason as `churn_rng`: a run without adversaries draws nothing
     /// here and stays bit-identical.
     pub adversary_rng: StdRng,
+    /// Dedicated RNG for the network-fault layer (connection-state
+    /// lifecycle and link-loss draws), independent of `rng` for the same
+    /// reason as `churn_rng`: the ideal link model draws nothing here, so
+    /// the fault layer's presence alone can never perturb the core stream.
+    pub net_rng: StdRng,
+    /// Running fault-layer grant accounting (all zeros under the ideal
+    /// model except `grants_offered == grants_applied`).
+    pub net_stats: NetStats,
     /// Worker-thread count for the intra-step collect/apply stages,
     /// resolved once at construction (config value, or the automatic
     /// `SCENARIO_THREADS`/hardware resolution when the config says 0) so
@@ -570,6 +614,7 @@ impl SimWorld {
         let propagation_rng = StdRng::seed_from_u64(config.seed ^ 0x9E37_79B9_7F4A_7C15);
         let churn_rng = StdRng::seed_from_u64(config.seed ^ 0x5851_F42D_4C95_7F2D);
         let adversary_rng = StdRng::seed_from_u64(config.seed ^ 0x3C6E_F372_FE94_F82A);
+        let net_rng = StdRng::seed_from_u64(config.seed ^ 0xD1B5_4A32_D192_ED03);
         let adversaries = adversary_registry.build_roster(&config)?;
 
         let intra_step_threads = match config.intra_step_threads {
@@ -607,6 +652,8 @@ impl SimWorld {
             propagated_service_reputation: None,
             adversaries,
             adversary_rng,
+            net_rng,
+            net_stats: NetStats::default(),
             intra_step_threads,
             article_scratch: Vec::new(),
             rng,

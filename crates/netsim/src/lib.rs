@@ -21,6 +21,8 @@
 //! * [`storage`] — per-peer article stores with capacity accounting and
 //!   replication bookkeeping,
 //! * [`churn`] — peer join/leave/whitewash dynamics,
+//! * [`fault`] — fault injection: spec-selectable link models (latency,
+//!   loss, regional clusters) and the peer connection-state lifecycle,
 //! * [`clock`] — the discrete time-step clock shared by all components,
 //! * [`metrics`] — network-level counters (shared articles, shared
 //!   bandwidth, transfer completions) the evaluation reads out.
@@ -38,6 +40,7 @@ pub mod bandwidth;
 pub mod churn;
 pub mod clock;
 pub mod dht;
+pub mod fault;
 pub mod metrics;
 pub mod overlay;
 pub mod peer;
@@ -51,6 +54,10 @@ pub use bandwidth::{
 pub use churn::{ChurnEvent, ChurnModel};
 pub use clock::SimClock;
 pub use dht::{Dht, DhtKey};
+pub use fault::{
+    step_connections, ConnectionRates, ConnectionState, LinkModel, LinkModelError,
+    BACKOFF_BASE_STEPS, MAX_TRANSFER_RETRIES, TRANSFER_TIMEOUT_STEPS,
+};
 pub use metrics::NetworkMetrics;
 pub use overlay::{Overlay, Topology};
 pub use peer::{Peer, PeerId, PeerRegistry};

@@ -7,6 +7,7 @@
 //! online flag the churn model toggles; [`PeerRegistry`] owns the population
 //! and hands out dense [`PeerId`]s.
 
+use crate::fault::ConnectionState;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -48,6 +49,11 @@ pub struct Peer {
     pub shared_articles: u32,
     /// Whether the peer is currently online.
     pub online: bool,
+    /// Link-quality state of the peer's network attachment, driven by the
+    /// configured [`LinkModel`](crate::fault::LinkModel)'s connection
+    /// lifecycle. Always [`ConnectionState::Connected`] under the ideal
+    /// model (the lifecycle never runs there).
+    pub connection: ConnectionState,
     /// Time step at which the peer joined the network.
     pub joined_at: u64,
 }
@@ -63,6 +69,7 @@ impl Peer {
             shared_upload_fraction: 0.0,
             shared_articles: 0,
             online: true,
+            connection: ConnectionState::Connected,
             joined_at,
         }
     }
@@ -86,6 +93,7 @@ impl Peer {
             shared_upload_fraction: 0.0,
             shared_articles: 0,
             online: true,
+            connection: ConnectionState::Connected,
             joined_at,
         }
     }
@@ -266,6 +274,7 @@ mod tests {
         assert_eq!(p.download_capacity, 1.0);
         assert_eq!(p.storage_capacity, 100);
         assert!(p.online);
+        assert_eq!(p.connection, ConnectionState::Connected);
         assert!(!p.is_sharing());
     }
 

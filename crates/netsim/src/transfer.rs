@@ -62,6 +62,15 @@ pub struct Transfer {
     pub finished_at: Option<u64>,
     /// Current status.
     pub status: TransferStatus,
+    /// Grants lost to the fault layer so far (bounded by the retry budget;
+    /// always 0 on an ideal network).
+    pub failures: u32,
+    /// First step at which the transfer may request bandwidth again after
+    /// a lost grant (exponential backoff; 0 = not backing off).
+    pub backoff_until: u64,
+    /// Last step at which bytes actually arrived (starts at `started_at`);
+    /// the fault layer's timeout measures idle steps from here.
+    pub last_progress_at: u64,
 }
 
 impl Transfer {
@@ -149,6 +158,9 @@ impl TransferManager {
                     started_at: now,
                     finished_at: None,
                     status: TransferStatus::InProgress,
+                    failures: 0,
+                    backoff_until: 0,
+                    last_progress_at: now,
                 });
                 self.in_use.push(false);
                 self.transfers.len() as u64 - 1
@@ -164,6 +176,9 @@ impl TransferManager {
             started_at: now,
             finished_at: None,
             status: TransferStatus::InProgress,
+            failures: 0,
+            backoff_until: 0,
+            last_progress_at: now,
         };
         self.in_use[id as usize] = true;
         id
@@ -236,6 +251,9 @@ impl TransferManager {
             "grant applied to a finished transfer"
         );
         t.received += bandwidth;
+        if bandwidth > 0.0 {
+            t.last_progress_at = now;
+        }
         if t.received + 1e-12 >= t.size {
             t.received = t.size;
             t.status = TransferStatus::Completed;
@@ -269,6 +287,47 @@ impl TransferManager {
             t.status = TransferStatus::Cancelled;
             t.finished_at = Some(now);
         }
+    }
+
+    /// Records a lost grant on an in-progress transfer: increments its
+    /// failure count and opens an exponential backoff window of
+    /// `backoff_base << (failures - 1)` steps starting at `now`. Returns
+    /// the new failure count so the caller can enforce a retry budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer is not in progress.
+    pub fn fail_grant(&mut self, id: u64, now: u64, backoff_base: u64) -> u32 {
+        assert!(self.in_use[id as usize], "transfer slot has been released");
+        let t = &mut self.transfers[id as usize];
+        assert_eq!(
+            t.status,
+            TransferStatus::InProgress,
+            "lost grant recorded on a finished transfer"
+        );
+        t.failures += 1;
+        t.backoff_until = now + (backoff_base << (t.failures - 1).min(16));
+        t.failures
+    }
+
+    /// Whether the transfer is inside a backoff window at `now` (it should
+    /// not request bandwidth this step).
+    pub fn in_backoff(&self, id: u64, now: u64) -> bool {
+        assert!(self.in_use[id as usize], "transfer slot has been released");
+        now < self.transfers[id as usize].backoff_until
+    }
+
+    /// Whether the transfer has gone `timeout` or more steps without
+    /// receiving bytes at `now`.
+    pub fn timed_out(&self, id: u64, now: u64, timeout: u64) -> bool {
+        assert!(self.in_use[id as usize], "transfer slot has been released");
+        now.saturating_sub(self.transfers[id as usize].last_progress_at) >= timeout
+    }
+
+    /// Lost-grant count of a live transfer.
+    pub fn failures(&self, id: u64) -> u32 {
+        assert!(self.in_use[id as usize], "transfer slot has been released");
+        self.transfers[id as usize].failures
     }
 
     /// Releases a finished transfer's slot for reuse. Its contribution to
@@ -533,5 +592,52 @@ mod tests {
     fn zero_size_transfer_panics() {
         let mut m = TransferManager::new();
         m.start_sized(PeerId(0), PeerId(1), ArticleId(0), 0.0, 0);
+    }
+
+    #[test]
+    fn lost_grants_back_off_exponentially() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        assert_eq!(m.failures(id), 0);
+        assert!(!m.in_backoff(id, 0));
+        // First loss: 2-step window.
+        assert_eq!(m.fail_grant(id, 0, 2), 1);
+        assert!(m.in_backoff(id, 1));
+        assert!(!m.in_backoff(id, 2));
+        // Second loss: 4-step window.
+        assert_eq!(m.fail_grant(id, 2, 2), 2);
+        assert!(m.in_backoff(id, 5));
+        assert!(!m.in_backoff(id, 6));
+        // Third loss: 8-step window.
+        assert_eq!(m.fail_grant(id, 6, 2), 3);
+        assert_eq!(m.transfer(id).backoff_until, 14);
+    }
+
+    #[test]
+    fn timeout_measures_idle_steps_since_last_progress() {
+        let mut m = TransferManager::new();
+        let id = m.start(PeerId(0), PeerId(1), ArticleId(0), 10);
+        assert!(!m.timed_out(id, 10, 16));
+        assert!(m.timed_out(id, 26, 16));
+        // Received bytes reset the idle clock; a zero-bandwidth grant
+        // does not.
+        m.apply_grant(id, 0.2, 20);
+        assert!(!m.timed_out(id, 26, 16));
+        m.apply_grant(id, 0.0, 30);
+        assert!(m.timed_out(id, 36, 16));
+    }
+
+    #[test]
+    fn reused_slots_reset_fault_state() {
+        let mut m = TransferManager::new();
+        let a = m.start(PeerId(0), PeerId(1), ArticleId(0), 0);
+        m.fail_grant(a, 0, 2);
+        m.cancel(a, 1);
+        m.release(a);
+        let b = m.start(PeerId(2), PeerId(3), ArticleId(1), 5);
+        assert_eq!(b, a, "released slot must be reused");
+        assert_eq!(m.failures(b), 0);
+        assert!(!m.in_backoff(b, 5));
+        assert_eq!(m.transfer(b).last_progress_at, 5);
     }
 }

@@ -1,0 +1,338 @@
+//! Scenario-spec fuzzer: random `ScenarioSpec`s run under the invariant
+//! observers of `collabsim::invariants`.
+//!
+//! Each case samples a full scenario (population × behaviour mix × churn ×
+//! adversary × network model × incentive scheme), builds it through the
+//! validating [`ScenarioSpec`] builder path, runs it with all four
+//! invariant observers attached and fails if any observer records a
+//! violation. The offline `proptest` stand-in has no shrinking, so a
+//! hand-rolled greedy shrinker reduces a failing scenario (fewer peers,
+//! fewer steps, no churn/adversary/faults, simplest mix) while the
+//! violation reproduces, and the panic message carries the *minimal* spec
+//! text for replay.
+//!
+//! Case count follows `PROPTEST_CASES` (default 64), matching the stub.
+
+use collabsim_workspace::collabsim::invariants::{
+    ActiveSetObserver, ArenaBoundObserver, ConservationObserver, ReputationBoundsObserver,
+};
+use collabsim_workspace::collabsim::spec::ScenarioSpec;
+use collabsim_workspace::collabsim::{
+    AdversarySpec, BehaviorMix, IncentiveScheme, PhaseConfig, Simulation, StepContext,
+    StepObserver, WorldView,
+};
+use collabsim_workspace::netsim::churn::ChurnModel;
+use collabsim_workspace::netsim::fault::LinkModel;
+use proptest::{case_count, seed_for, Strategy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One sampled scenario, kept as plain parameters so the shrinker can
+/// produce smaller neighbours without re-parsing spec text.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct FuzzParams {
+    population: usize,
+    /// Index into [`MIXES`].
+    mix: usize,
+    /// Index into [`IncentiveScheme::ALL`].
+    incentive: usize,
+    training_steps: u64,
+    evaluation_steps: u64,
+    churn_leave: f64,
+    churn_join: f64,
+    churn_whitewash: f64,
+    /// 0 = no adversary, 1.. = index + 1 into [`ADVERSARIES`].
+    adversary: usize,
+    /// 0 = ideal, 1.. = one of the four non-ideal link models.
+    network: usize,
+    loss: f64,
+    latency: u64,
+    seed: u64,
+}
+
+/// Exact binary fractions, so every mix sums to 1.0 with no float slop.
+const MIXES: [(f64, f64, f64); 5] = [
+    (1.0, 0.0, 0.0),
+    (0.5, 0.5, 0.0),
+    (0.5, 0.25, 0.25),
+    (0.75, 0.125, 0.125),
+    (0.25, 0.5, 0.25),
+];
+
+const ADVERSARIES: [&str; 4] = [
+    "collusion-ring",
+    "naive-whitewash",
+    "adaptive-whitewash",
+    "oscillating-freerider",
+];
+
+impl FuzzParams {
+    fn network_model(&self) -> LinkModel {
+        match self.network {
+            0 => LinkModel::Ideal,
+            1 => LinkModel::UniformLatency {
+                min: 1,
+                max: 1 + self.latency,
+            },
+            2 => LinkModel::LognormalLatency {
+                mu: 0.5 + self.loss,
+                sigma: 0.6,
+            },
+            3 => LinkModel::IidLoss { loss: self.loss },
+            _ => LinkModel::TwoClusters {
+                loss: self.loss,
+                penalty: 1 + self.latency,
+            },
+        }
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        let (r, a, i) = MIXES[self.mix % MIXES.len()];
+        let mut builder = ScenarioSpec::builder()
+            .label(format!("fuzz-{}", self.seed))
+            .population(self.population)
+            .mix(BehaviorMix::new(r, a, i))
+            .incentive(IncentiveScheme::ALL[self.incentive % IncentiveScheme::ALL.len()])
+            .phase_config(PhaseConfig {
+                training_steps: self.training_steps,
+                evaluation_steps: self.evaluation_steps,
+                ..Default::default()
+            })
+            .initial_articles(self.population / 2)
+            .churn(ChurnModel {
+                join_probability: self.churn_join,
+                leave_probability: self.churn_leave,
+                whitewash_probability: self.churn_whitewash,
+            })
+            .network(self.network_model())
+            .seed(self.seed);
+        if self.adversary > 0 {
+            let strategy = ADVERSARIES[(self.adversary - 1) % ADVERSARIES.len()];
+            builder = builder.adversary(AdversarySpec::new(strategy, 2));
+        }
+        builder
+            .build()
+            .unwrap_or_else(|e| panic!("generated params must validate: {e} ({self:?})"))
+    }
+
+    /// Candidate smaller neighbours, most aggressive first.
+    fn shrink_candidates(&self) -> Vec<FuzzParams> {
+        let mut out = Vec::new();
+        if self.population > 6 {
+            out.push(FuzzParams {
+                population: (self.population / 2).max(6),
+                ..*self
+            });
+        }
+        if self.training_steps > 10 {
+            out.push(FuzzParams {
+                training_steps: (self.training_steps / 2).max(10),
+                ..*self
+            });
+        }
+        if self.evaluation_steps > 10 {
+            out.push(FuzzParams {
+                evaluation_steps: (self.evaluation_steps / 2).max(10),
+                ..*self
+            });
+        }
+        if self.churn_leave > 0.0 || self.churn_join > 0.0 || self.churn_whitewash > 0.0 {
+            out.push(FuzzParams {
+                churn_leave: 0.0,
+                churn_join: 0.0,
+                churn_whitewash: 0.0,
+                ..*self
+            });
+        }
+        if self.adversary > 0 {
+            out.push(FuzzParams {
+                adversary: 0,
+                ..*self
+            });
+        }
+        if self.network > 0 {
+            out.push(FuzzParams {
+                network: 0,
+                ..*self
+            });
+        }
+        if self.mix != 0 {
+            out.push(FuzzParams { mix: 0, ..*self });
+        }
+        if self.incentive != 0 {
+            out.push(FuzzParams {
+                incentive: 0,
+                ..*self
+            });
+        }
+        out
+    }
+}
+
+/// Samples one scenario from the stub's range strategies.
+fn sample_params(rng: &mut StdRng) -> FuzzParams {
+    // Tuple strategies cap at five elements, so the thirteen dimensions
+    // sample as three tuples.
+    let (population, mix, incentive, training_steps, evaluation_steps) =
+        (6usize..40, 0usize..5, 0usize..3, 10u64..40, 10u64..30).sample(rng);
+    let (churn_leave, churn_join, churn_whitewash, adversary, network) = (
+        0.0f64..0.03,
+        0.0f64..0.03,
+        0.0f64..0.01,
+        0usize..5,
+        0usize..5,
+    )
+        .sample(rng);
+    let (loss, latency, seed) = (0.01f64..0.3, 1u64..6, 0u64..u64::MAX).sample(rng);
+    FuzzParams {
+        population,
+        mix,
+        incentive,
+        training_steps,
+        evaluation_steps,
+        churn_leave,
+        churn_join,
+        churn_whitewash,
+        adversary,
+        network,
+        loss,
+        latency,
+        seed,
+    }
+}
+
+/// A deliberately broken invariant — "no peer's sharing reputation may
+/// exceed `min_reputation`" — which every healthy run violates as soon as
+/// any peer earns reputation. Used to prove the fuzzer + shrinker actually
+/// catch and reduce a violation.
+#[derive(Debug, Default)]
+struct BrokenInvariantObserver {
+    violations: Vec<String>,
+}
+
+impl StepObserver for BrokenInvariantObserver {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn on_step_end(&mut self, world: WorldView<'_>, _ctx: &StepContext) {
+        if !self.violations.is_empty() {
+            return;
+        }
+        let min = world.world().config.min_reputation;
+        for peer in 0..world.population() {
+            if world.sharing_reputation(peer) > min + 1e-6 {
+                self.violations.push(format!(
+                    "step {}: peer {peer} exceeds the (deliberately broken) bound",
+                    world.now()
+                ));
+                return;
+            }
+        }
+    }
+}
+
+/// Runs a scenario under the four invariant observers (plus, optionally,
+/// the deliberately broken one) and returns every recorded violation.
+fn violations(params: &FuzzParams, with_broken: bool) -> Vec<String> {
+    let spec = params.spec();
+    let mut sim = Simulation::from_spec(&spec).expect("validated spec builds");
+    sim.add_observer(ReputationBoundsObserver::new());
+    sim.add_observer(ConservationObserver::new());
+    sim.add_observer(ArenaBoundObserver::new());
+    sim.add_observer(ActiveSetObserver::new());
+    if with_broken {
+        sim.add_observer(BrokenInvariantObserver::default());
+    }
+    sim.run();
+    let mut all = Vec::new();
+    all.extend_from_slice(
+        sim.observer::<ReputationBoundsObserver>(0)
+            .expect("attached")
+            .violations(),
+    );
+    all.extend_from_slice(
+        sim.observer::<ConservationObserver>(1)
+            .expect("attached")
+            .violations(),
+    );
+    all.extend_from_slice(
+        sim.observer::<ArenaBoundObserver>(2)
+            .expect("attached")
+            .violations(),
+    );
+    all.extend_from_slice(
+        sim.observer::<ActiveSetObserver>(3)
+            .expect("attached")
+            .violations(),
+    );
+    if with_broken {
+        all.extend_from_slice(
+            &sim.observer::<BrokenInvariantObserver>(4)
+                .expect("attached")
+                .violations,
+        );
+    }
+    all
+}
+
+/// Greedy shrink: repeatedly accept the first smaller neighbour that still
+/// violates, until none does.
+fn shrink(mut params: FuzzParams, with_broken: bool) -> FuzzParams {
+    loop {
+        let next = params
+            .shrink_candidates()
+            .into_iter()
+            .find(|candidate| !violations(candidate, with_broken).is_empty());
+        match next {
+            Some(candidate) => params = candidate,
+            None => return params,
+        }
+    }
+}
+
+#[test]
+fn generated_scenarios_uphold_all_invariants() {
+    let mut rng = StdRng::seed_from_u64(seed_for("generated_scenarios_uphold_all_invariants"));
+    for case in 0..case_count() {
+        let params = sample_params(&mut rng);
+        let found = violations(&params, false);
+        if !found.is_empty() {
+            let minimal = shrink(params, false);
+            panic!(
+                "case {case}: invariant violation {found:?}\n\
+                 minimal reproducing spec:\n{}",
+                minimal.spec().to_text()
+            );
+        }
+    }
+}
+
+#[test]
+fn broken_invariant_is_caught_and_shrunk() {
+    let mut rng = StdRng::seed_from_u64(seed_for("broken_invariant_is_caught_and_shrunk"));
+    // Find a case the broken invariant flags (the first healthy run where
+    // anyone earns reputation — effectively immediately).
+    let mut caught = None;
+    for _ in 0..8 {
+        let params = sample_params(&mut rng);
+        if !violations(&params, true).is_empty() {
+            caught = Some(params);
+            break;
+        }
+    }
+    let params = caught.expect("the broken invariant must trip within a few cases");
+    let minimal = shrink(params, true);
+    // The shrinker must strip every accident of the original sample: the
+    // violation needs none of churn, adversaries, faults or a special mix.
+    assert_eq!(minimal.churn_leave, 0.0);
+    assert_eq!(minimal.churn_join, 0.0);
+    assert_eq!(minimal.churn_whitewash, 0.0);
+    assert_eq!(minimal.adversary, 0);
+    assert_eq!(minimal.network, 0, "ideal network suffices to reproduce");
+    assert_eq!(minimal.population, 6, "population shrinks to the floor");
+    assert!(minimal.training_steps <= 10);
+    assert!(minimal.evaluation_steps <= 10);
+    // And the minimal spec still reproduces, i.e. it is a real counterexample.
+    assert!(!violations(&minimal, true).is_empty());
+}
