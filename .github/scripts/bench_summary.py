@@ -41,7 +41,14 @@ def rows_from_report(name, doc):
     yield from walk(doc, None)
     total = doc.get("total_steps_per_sec")
     if total is not None:
-        yield (bench, "aggregate", float(total), "")
+        extra = ""
+        warm = doc.get("warm_start")
+        if isinstance(warm, dict) and "wall_seconds_saved" in warm:
+            extra = (
+                f"warm-start saved {warm['wall_seconds_saved']:.2f}s "
+                f"across {warm.get('cells', '?')} forked cells"
+            )
+        yield (bench, "aggregate", float(total), extra)
 
 
 def main(paths):
@@ -53,6 +60,11 @@ def main(paths):
         try:
             with open(path, encoding="utf-8") as handle:
                 doc = json.load(handle)
+        except FileNotFoundError:
+            # An earlier gate failing means later benches never wrote
+            # their reports; the summary must still render what exists.
+            print(f"| {path} | - | - | missing (bench did not run) |")
+            continue
         except (OSError, ValueError) as err:
             print(f"| {path} | - | - | unreadable: {err} |")
             continue

@@ -30,7 +30,7 @@
 
 use collabsim::adversary::{AttackMetricsObserver, UnitAttackMetrics};
 use collabsim::pipeline::PhaseRegistry;
-use collabsim::AttackStats;
+use collabsim::{AttackStats, MemStore, RunStore, ScenarioSpec, Simulation};
 use collabsim_bench::{arg_value, extract_number, has_flag};
 use collabsim_cli::runner::{gate_floor, run_spec_instrumented};
 use collabsim_cli::scenarios::{attack_cells, attack_scale, AttackCell, ATTACK_STRATEGIES};
@@ -68,7 +68,85 @@ fn run_cell(cell: &AttackCell) -> CellResult {
     }
 }
 
-fn render_json(results: &[CellResult], total_steps_per_sec: f64) -> String {
+/// Measured outcome of the warm-start fork experiment: the shared
+/// equilibration checkpoint vs re-equilibrating every strategy cell.
+struct WarmStartReport {
+    cells: usize,
+    equilibration_seconds: f64,
+    warm_seconds: f64,
+    cold_seconds: f64,
+    identical: bool,
+}
+
+impl WarmStartReport {
+    /// Wall-clock the shared checkpoint saved over per-cell equilibration.
+    fn wall_seconds_saved(&self) -> f64 {
+        self.cold_seconds - (self.equilibration_seconds + self.warm_seconds)
+    }
+}
+
+/// Equilibrates the adversary-free base population once, forks every
+/// ledger-source strategy cell from the shared checkpoint (routed through
+/// a [`MemStore`], so the fork pays the full encode/decode round-trip a
+/// grid coordinator would), and cross-checks each warm report against a
+/// cold run that re-equilibrates from scratch — the two must be
+/// byte-identical, and the difference in wall-clock is the saving the
+/// shared checkpoint buys.
+fn warm_start_experiment(cells: &[AttackCell]) -> WarmStartReport {
+    let strategy_cells: Vec<&AttackCell> = cells
+        .iter()
+        .filter(|c| c.source.label() == "ledger" && c.scheme.label() == "reputation")
+        .collect();
+    let mut base_config = strategy_cells[0].spec.config().clone();
+    base_config.adversaries.clear();
+    let base = ScenarioSpec::from_config(base_config).expect("base config is valid");
+
+    let equilibrating = Instant::now();
+    let mut base_sim = Simulation::from_spec(&base).expect("base spec resolves");
+    base_sim.run_training();
+    let checkpoint = base_sim.snapshot(&base);
+    let equilibration_seconds = equilibrating.elapsed().as_secs_f64();
+
+    let mut store = MemStore::new();
+    let warming = Instant::now();
+    let mut warm_reports = Vec::new();
+    for cell in &strategy_cells {
+        let fork = checkpoint.with_spec(&cell.spec);
+        let key = store.put(&fork).expect("mem store accepts the fork");
+        let fetched = store.get(&key).expect("stored fork reads back");
+        let mut sim = Simulation::resume_from(&fetched).expect("fork resumes");
+        warm_reports.push(format!("{:?}", sim.finish()));
+    }
+    let warm_seconds = warming.elapsed().as_secs_f64();
+
+    let chilling = Instant::now();
+    let mut identical = true;
+    for (cell, warm) in strategy_cells.iter().zip(&warm_reports) {
+        let mut fresh = Simulation::from_spec(&base).expect("base spec resolves");
+        fresh.run_training();
+        let fork = fresh.snapshot(&base).with_spec(&cell.spec);
+        let mut sim = Simulation::resume_from(&fork).expect("fork resumes");
+        let cold = format!("{:?}", sim.finish());
+        if &cold != warm {
+            identical = false;
+            eprintln!(
+                "warm-start mismatch for `{}`:\n  warm: {warm}\n  cold: {cold}",
+                cell.spec.label()
+            );
+        }
+    }
+    let cold_seconds = chilling.elapsed().as_secs_f64();
+
+    WarmStartReport {
+        cells: strategy_cells.len(),
+        equilibration_seconds,
+        warm_seconds,
+        cold_seconds,
+        identical,
+    }
+}
+
+fn render_json(results: &[CellResult], warm: &WarmStartReport, total_steps_per_sec: f64) -> String {
     let mut out = String::from("{\n  \"bench\": \"attack_grid\",\n  \"cells\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
@@ -100,7 +178,19 @@ fn render_json(results: &[CellResult], total_steps_per_sec: f64) -> String {
     }
     let _ = writeln!(
         out,
-        "  ],\n  \"total_steps_per_sec\": {total_steps_per_sec:.3}\n}}"
+        "  ],\n  \"warm_start\": {{\"cells\": {}, \"equilibration_seconds\": {:.3}, \
+         \"warm_seconds\": {:.3}, \"cold_seconds\": {:.3}, \"wall_seconds_saved\": {:.3}, \
+         \"identical\": {}}},",
+        warm.cells,
+        warm.equilibration_seconds,
+        warm.warm_seconds,
+        warm.cold_seconds,
+        warm.wall_seconds_saved(),
+        warm.identical
+    );
+    let _ = writeln!(
+        out,
+        "  \"total_steps_per_sec\": {total_steps_per_sec:.3}\n}}"
     );
     out
 }
@@ -218,7 +308,31 @@ fn main() {
         println!("{row}");
     }
 
-    let json = render_json(&results, total_steps_per_sec);
+    // Warm-start fork experiment: equilibrate the base population once,
+    // fork every ledger-source strategy cell from the shared checkpoint,
+    // and report the wall-clock the checkpoint saved over cold runs.
+    println!();
+    let warm = warm_start_experiment(&cells);
+    println!(
+        "warm start: equilibrated the base population once in {:.2}s; {} strategy cells \
+         forked warm in {:.2}s",
+        warm.equilibration_seconds, warm.cells, warm.warm_seconds
+    );
+    println!(
+        "            cold runs (per-cell equilibration) took {:.2}s — {:.2}s wall-clock saved",
+        warm.cold_seconds,
+        warm.wall_seconds_saved()
+    );
+    println!(
+        "            warm ≡ cold: cell reports {}",
+        if warm.identical {
+            "byte-identical"
+        } else {
+            "DIFFER"
+        }
+    );
+
+    let json = render_json(&results, &warm, total_steps_per_sec);
     match std::fs::write(&out_path, &json) {
         Ok(()) => println!("\n(report written to {out_path})"),
         Err(e) => eprintln!("failed to write {out_path}: {e}"),
@@ -226,6 +340,10 @@ fn main() {
 
     if !beats {
         eprintln!("acceptance violated: adaptive-whitewash must beat naive-whitewash");
+        std::process::exit(1);
+    }
+    if !warm.identical {
+        eprintln!("acceptance violated: warm-started cells must match cold runs byte for byte");
         std::process::exit(1);
     }
     if let Some(baseline) = arg_value("--baseline") {

@@ -11,6 +11,7 @@ collabsim — scenario runner for the Bocek et al. (IPDPS 2008) wiki simulation
 
 USAGE:
   collabsim run <spec-file> [options]      run one scenario spec
+  collabsim resume <snapshot> [options]    finish a checkpointed run from a .snap file
   collabsim grid <spec|dir>... [options]   run many specs as a multi-process sweep
   collabsim worker --spec <f> --out <f>    run one cell, emit a result record (internal)
   collabsim scaffold [--dir <dir>]         (re)generate the scenarios/ tree
@@ -25,6 +26,15 @@ RUN OPTIONS:
   --baseline <path>     gate steps/sec against a bench JSON baseline
   --max-regress <pct>   tolerated steps/sec drop for --baseline (default 20)
   --threads <n>         set SCENARIO_THREADS for this run
+  --checkpoint-every <n>  write a snapshot to the run store every n steps
+                        (requires --store)
+  --store <dir>         the on-disk run store (a directory of .snap files)
+                        receiving --checkpoint-every snapshots
+
+RESUME OPTIONS:
+  --print-report        print the report's Debug line to stdout (byte-stable;
+                        identical to the uninterrupted run's)
+  --threads <n>         set SCENARIO_THREADS for this run
 
 GRID OPTIONS:
   --workers <n>         worker subprocesses in flight (default: CPU count)
@@ -33,9 +43,15 @@ GRID OPTIONS:
   --out-dir <dir>       sweep output directory (default grid-out)
   --strict              exit non-zero if any cell ends up failed
   --threads <n>         SCENARIO_THREADS for every worker
+  --warm-start <snap>   fork every cell from this snapshot instead of
+                        running it from step 0 (cells must describe the
+                        same population)
+  --resume              skip cells already recorded ok in <out-dir>'s
+                        manifest.json; re-dispatch only failed/missing ones
 
 Cell crashes never abort a sweep: crashed cells are retried, then recorded
 in <out-dir>/manifest.json as failed alongside the completed results.
+Corrupt or version-mismatched snapshots exit with error[snapshot], code 3.
 ";
 
 /// Parsed `collabsim run` arguments.
@@ -57,6 +73,21 @@ pub struct RunArgs {
     pub max_regress: f64,
     /// `--threads` override for `SCENARIO_THREADS`.
     pub threads: Option<usize>,
+    /// `--checkpoint-every` stride, if checkpointing.
+    pub checkpoint_every: Option<u64>,
+    /// `--store` run-store directory (required with `--checkpoint-every`).
+    pub store: Option<PathBuf>,
+}
+
+/// Parsed `collabsim resume` arguments.
+#[derive(Debug)]
+pub struct ResumeArgs {
+    /// The snapshot file to resume from.
+    pub snapshot: PathBuf,
+    /// Print the report Debug line to stdout.
+    pub print_report: bool,
+    /// `--threads` override for `SCENARIO_THREADS`.
+    pub threads: Option<usize>,
 }
 
 /// Parsed `collabsim grid` arguments.
@@ -74,6 +105,10 @@ pub struct GridArgs {
     pub strict: bool,
     /// `--threads` override for `SCENARIO_THREADS`.
     pub threads: Option<usize>,
+    /// `--warm-start` snapshot every cell forks from, if given.
+    pub warm_start: Option<PathBuf>,
+    /// Skip cells already recorded ok in an existing manifest.
+    pub resume: bool,
 }
 
 /// Parsed `collabsim worker` arguments.
@@ -83,6 +118,8 @@ pub struct WorkerArgs {
     pub spec: PathBuf,
     /// Where to write the result record.
     pub out: PathBuf,
+    /// Snapshot to fork the cell from, when the sweep is warm-started.
+    pub warm_start: Option<PathBuf>,
 }
 
 /// Parsed `collabsim scaffold` arguments.
@@ -97,6 +134,8 @@ pub struct ScaffoldArgs {
 pub enum Command {
     /// `collabsim run`.
     Run(RunArgs),
+    /// `collabsim resume`.
+    Resume(ResumeArgs),
     /// `collabsim grid`.
     Grid(GridArgs),
     /// `collabsim worker`.
@@ -162,6 +201,8 @@ fn parse_run(rest: &[String]) -> Result<Command, CliError> {
         baseline: None,
         max_regress: 20.0,
         threads: None,
+        checkpoint_every: None,
+        store: None,
     };
     while let Some(arg) = args.next() {
         match arg {
@@ -204,6 +245,19 @@ fn parse_run(rest: &[String]) -> Result<Command, CliError> {
                     "a thread count ≥ 1",
                 )?);
             }
+            "--checkpoint-every" => {
+                let value = args.value("--checkpoint-every")?;
+                let every: u64 = parse_value("--checkpoint-every", value, "a step stride ≥ 1")?;
+                if every == 0 {
+                    return Err(CliError::InvalidFlag {
+                        flag: "--checkpoint-every".into(),
+                        value: value.to_string(),
+                        expected: "a step stride ≥ 1".into(),
+                    });
+                }
+                run.checkpoint_every = Some(every);
+            }
+            "--store" => run.store = Some(PathBuf::from(args.value("--store")?)),
             flag if flag.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}` for `run`")));
             }
@@ -216,8 +270,58 @@ fn parse_run(rest: &[String]) -> Result<Command, CliError> {
             }
         }
     }
+    match (run.checkpoint_every, &run.store) {
+        (Some(_), None) => {
+            return Err(CliError::Usage(
+                "`--checkpoint-every` requires `--store <dir>`".to_string(),
+            ));
+        }
+        (None, Some(_)) => {
+            return Err(CliError::Usage(
+                "`--store` requires `--checkpoint-every <n>`".to_string(),
+            ));
+        }
+        _ => {}
+    }
     run.spec = spec.ok_or_else(|| CliError::Usage("`run` requires a spec file".to_string()))?;
     Ok(Command::Run(run))
+}
+
+fn parse_resume(rest: &[String]) -> Result<Command, CliError> {
+    let mut args = Args::new(rest);
+    let mut snapshot = None;
+    let mut resume = ResumeArgs {
+        snapshot: PathBuf::new(),
+        print_report: false,
+        threads: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg {
+            "--print-report" => resume.print_report = true,
+            "--threads" => {
+                resume.threads = Some(positive(
+                    "--threads",
+                    args.value("--threads")?,
+                    "a thread count ≥ 1",
+                )?);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown flag `{flag}` for `resume`"
+                )));
+            }
+            positional => {
+                if snapshot.replace(PathBuf::from(positional)).is_some() {
+                    return Err(CliError::Usage(
+                        "`resume` takes exactly one snapshot file".to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    resume.snapshot =
+        snapshot.ok_or_else(|| CliError::Usage("`resume` requires a snapshot file".to_string()))?;
+    Ok(Command::Resume(resume))
 }
 
 fn parse_grid(rest: &[String]) -> Result<Command, CliError> {
@@ -229,6 +333,8 @@ fn parse_grid(rest: &[String]) -> Result<Command, CliError> {
         out_dir: PathBuf::from("grid-out"),
         strict: false,
         threads: None,
+        warm_start: None,
+        resume: false,
     };
     while let Some(arg) = args.next() {
         match arg {
@@ -248,6 +354,8 @@ fn parse_grid(rest: &[String]) -> Result<Command, CliError> {
             }
             "--out-dir" => grid.out_dir = PathBuf::from(args.value("--out-dir")?),
             "--strict" => grid.strict = true,
+            "--warm-start" => grid.warm_start = Some(PathBuf::from(args.value("--warm-start")?)),
+            "--resume" => grid.resume = true,
             "--threads" => {
                 grid.threads = Some(positive(
                     "--threads",
@@ -273,10 +381,12 @@ fn parse_worker(rest: &[String]) -> Result<Command, CliError> {
     let mut args = Args::new(rest);
     let mut spec = None;
     let mut out = None;
+    let mut warm_start = None;
     while let Some(arg) = args.next() {
         match arg {
             "--spec" => spec = Some(PathBuf::from(args.value("--spec")?)),
             "--out" => out = Some(PathBuf::from(args.value("--out")?)),
+            "--warm-start" => warm_start = Some(PathBuf::from(args.value("--warm-start")?)),
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown argument `{other}` for `worker`"
@@ -287,6 +397,7 @@ fn parse_worker(rest: &[String]) -> Result<Command, CliError> {
     Ok(Command::Worker(WorkerArgs {
         spec: spec.ok_or_else(|| CliError::Usage("`worker` requires `--spec`".to_string()))?,
         out: out.ok_or_else(|| CliError::Usage("`worker` requires `--out`".to_string()))?,
+        warm_start,
     }))
 }
 
@@ -314,6 +425,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let rest = &args[1..];
     match subcommand.as_str() {
         "run" => parse_run(rest),
+        "resume" => parse_resume(rest),
         "grid" => parse_grid(rest),
         "worker" => parse_worker(rest),
         "scaffold" => parse_scaffold(rest),
@@ -353,6 +465,86 @@ mod tests {
         assert_eq!(run.every, 10);
         assert!(run.print_report);
         assert_eq!(run.sets, vec![("population".to_string(), "50".to_string())]);
+    }
+
+    #[test]
+    fn run_checkpoint_flags_must_come_in_pairs() {
+        let Command::Run(run) = parse(&strings(&[
+            "run",
+            "a.spec",
+            "--checkpoint-every",
+            "25",
+            "--store",
+            "store-dir",
+        ]))
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(run.checkpoint_every, Some(25));
+        assert_eq!(
+            run.store.as_deref(),
+            Some(std::path::Path::new("store-dir"))
+        );
+
+        let lonely_every =
+            parse(&strings(&["run", "a.spec", "--checkpoint-every", "25"])).unwrap_err();
+        assert_eq!(lonely_every.kind(), "usage");
+        let lonely_store = parse(&strings(&["run", "a.spec", "--store", "d"])).unwrap_err();
+        assert_eq!(lonely_store.kind(), "usage");
+        let zero = parse(&strings(&[
+            "run",
+            "a.spec",
+            "--checkpoint-every",
+            "0",
+            "--store",
+            "d",
+        ]))
+        .unwrap_err();
+        assert_eq!(zero.kind(), "invalid-flag");
+    }
+
+    #[test]
+    fn resume_parses_snapshot_and_flags() {
+        let Command::Resume(resume) = parse(&strings(&[
+            "resume",
+            "store/step0000000060-abc.snap",
+            "--print-report",
+            "--threads",
+            "2",
+        ]))
+        .unwrap() else {
+            panic!("expected resume");
+        };
+        assert_eq!(
+            resume.snapshot,
+            PathBuf::from("store/step0000000060-abc.snap")
+        );
+        assert!(resume.print_report);
+        assert_eq!(resume.threads, Some(2));
+
+        assert_eq!(parse(&strings(&["resume"])).unwrap_err().kind(), "usage");
+        assert_eq!(
+            parse(&strings(&["resume", "a.snap", "--bogus"]))
+                .unwrap_err()
+                .kind(),
+            "usage"
+        );
+    }
+
+    #[test]
+    fn grid_parses_warm_start_and_resume() {
+        let Command::Grid(grid) = parse(&strings(&[
+            "grid",
+            "cells/",
+            "--warm-start",
+            "base.snap",
+            "--resume",
+        ]))
+        .unwrap() else {
+            panic!("expected grid");
+        };
+        assert_eq!(grid.warm_start, Some(PathBuf::from("base.snap")));
+        assert!(grid.resume);
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Subcommand implementations shared by the `collabsim` binary.
 
-use crate::args::{Command, GridArgs, RunArgs, ScaffoldArgs, USAGE};
+use crate::args::{Command, GridArgs, ResumeArgs, RunArgs, ScaffoldArgs, USAGE};
 use crate::coordinator::{CellStatus, GridOptions};
 use crate::error::CliError;
 use crate::jsonl::{JsonlObserver, JsonlSink};
 use crate::{args, chaos, coordinator, profile, runner, scenarios};
+use collabsim::snapshot::read_snapshot_file;
 use std::path::{Path, PathBuf};
 
 /// Parses and executes one command line, returning the process exit code.
@@ -15,9 +16,10 @@ pub fn dispatch(argv: &[String]) -> Result<i32, CliError> {
             Ok(0)
         }
         Command::Run(run) => cmd_run(run),
+        Command::Resume(resume) => cmd_resume(resume),
         Command::Grid(grid) => cmd_grid(grid),
         Command::Worker(worker) => {
-            coordinator::run_worker(&worker.spec, &worker.out)?;
+            coordinator::run_worker(&worker.spec, &worker.out, worker.warm_start.as_deref())?;
             Ok(0)
         }
         Command::Scaffold(scaffold) => cmd_scaffold(scaffold),
@@ -63,11 +65,31 @@ fn cmd_run(run: RunArgs) -> Result<i32, CliError> {
         spec.config().population,
         total_steps
     ));
-    let (outcome, sim) = runner::run_spec_instrumented(&spec, &registry, |sim| {
-        if let Some(observer) = observer {
-            sim.add_observer(observer);
+    let (outcome, sim) = match (run.checkpoint_every, &run.store) {
+        (Some(every), Some(store_dir)) => {
+            let (outcome, sim, keys) =
+                runner::run_spec_checkpointed(&spec, &registry, every, store_dir, |sim| {
+                    if let Some(observer) = observer {
+                        sim.add_observer(observer);
+                    }
+                })?;
+            say(&format!(
+                "checkpoints: {} snapshots every {} steps in {}",
+                keys.len(),
+                every,
+                store_dir.display()
+            ));
+            for key in &keys {
+                say(&format!("  checkpoint {key}"));
+            }
+            (outcome, sim)
         }
-    })?;
+        _ => runner::run_spec_instrumented(&spec, &registry, |sim| {
+            if let Some(observer) = observer {
+                sim.add_observer(observer);
+            }
+        })?,
+    };
     say(&format!("build: {:.3}s", outcome.build_seconds));
     for line in profile::render_profile(
         outcome.total_steps,
@@ -98,6 +120,37 @@ fn cmd_run(run: RunArgs) -> Result<i32, CliError> {
         if !ok {
             return Ok(1);
         }
+    }
+    Ok(0)
+}
+
+fn cmd_resume(resume: ResumeArgs) -> Result<i32, CliError> {
+    set_scenario_threads(resume.threads);
+    let snapshot = read_snapshot_file(&resume.snapshot)
+        .map_err(|error| runner::snapshot_err(Some(&resume.snapshot), error))?;
+    println!(
+        "resuming {} from step {}",
+        resume.snapshot.display(),
+        snapshot.state.step
+    );
+    let registry = chaos::cli_registry();
+    let (outcome, sim) = runner::resume_snapshot_instrumented(&snapshot, &registry, |_| {})?;
+    println!(
+        "finished `{}` ({} steps remained)",
+        outcome.label, outcome.total_steps
+    );
+    println!("restore: {:.3}s", outcome.build_seconds);
+    for line in profile::render_profile(
+        outcome.total_steps,
+        outcome.run_seconds,
+        sim.phase_timings(),
+    )
+    .lines()
+    {
+        println!("{line}");
+    }
+    if resume.print_report {
+        println!("{:?}", outcome.report);
     }
     Ok(0)
 }
@@ -162,6 +215,17 @@ fn cmd_grid(grid: GridArgs) -> Result<i32, CliError> {
             .unwrap_or(1)
             .min(specs.len().max(1))
     });
+    if let Some(warm) = &grid.warm_start {
+        // Fail fast with a typed error[snapshot] before dispatching
+        // anything — a bad snapshot would otherwise fail all cells.
+        let snapshot =
+            read_snapshot_file(warm).map_err(|error| runner::snapshot_err(Some(warm), error))?;
+        println!(
+            "warm start: every cell forks from {} (step {})",
+            warm.display(),
+            snapshot.state.step
+        );
+    }
     println!(
         "grid: {} cells, {} workers, {} retries → {}",
         specs.len(),
@@ -177,6 +241,8 @@ fn cmd_grid(grid: GridArgs) -> Result<i32, CliError> {
             out_dir: grid.out_dir.clone(),
             worker_bin,
             quiet: false,
+            warm_start: grid.warm_start.clone(),
+            resume: grid.resume,
         },
     )?;
     println!(

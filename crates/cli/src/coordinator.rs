@@ -20,6 +20,7 @@ use crate::error::CliError;
 use crate::jsonl::{json_escape, json_f64};
 use collabsim::observer::WorldView;
 use collabsim::pipeline::StepContext;
+use collabsim::snapshot::read_snapshot_file;
 use collabsim::{ScenarioSpec, StepObserver};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -175,15 +176,41 @@ fn kill_switch(total_steps: u64) -> Option<KillOnceObserver> {
 /// shared runner core (CLI registry, timings enabled) and writes its
 /// result record to `out_path` — atomically, via a rename, so a partial
 /// record can never be mistaken for a result.
-pub fn run_worker(spec_path: &Path, out_path: &Path) -> Result<(), CliError> {
+///
+/// With `warm_start`, the cell does not run from step 0: the snapshot is
+/// re-specced onto the cell's spec ([`Snapshot::with_spec`]) and only the
+/// remaining protocol is executed — the same equilibrated prefix shared
+/// by every cell of a warm-started sweep. A corrupt, missing or
+/// incompatible snapshot exits with the CLI's `error[snapshot]` code.
+///
+/// [`Snapshot::with_spec`]: collabsim::Snapshot::with_spec
+pub fn run_worker(
+    spec_path: &Path,
+    out_path: &Path,
+    warm_start: Option<&Path>,
+) -> Result<(), CliError> {
     let spec = crate::runner::load_spec(spec_path)?;
     let kill = kill_switch(spec.config().phases.total_steps());
     let registry = crate::chaos::cli_registry();
-    let (outcome, _sim) = crate::runner::run_spec_instrumented(&spec, &registry, |sim| {
+    let configure = |sim: &mut collabsim::Simulation| {
         if let Some(observer) = kill {
             sim.add_observer(observer);
         }
-    })?;
+    };
+    let (outcome, _sim) = match warm_start {
+        Some(snapshot_path) => {
+            let base = read_snapshot_file(snapshot_path)
+                .map_err(|error| crate::runner::snapshot_err(Some(snapshot_path), error))?;
+            let forked = base.with_spec(&spec);
+            let (mut outcome, sim) =
+                crate::runner::resume_snapshot_instrumented(&forked, &registry, configure)?;
+            // The forked snapshot carries the cell's own spec, so the
+            // label is already the cell label; keep it authoritative.
+            outcome.label = spec.label().to_string();
+            (outcome, sim)
+        }
+        None => crate::runner::run_spec_instrumented(&spec, &registry, configure)?,
+    };
     let record = render_cell_result(&WorkerResult {
         label: outcome.label.clone(),
         parameter: spec.parameter(),
@@ -229,6 +256,12 @@ pub struct GridOptions {
     pub worker_bin: PathBuf,
     /// Suppress per-cell progress lines on stdout.
     pub quiet: bool,
+    /// Snapshot every cell forks from instead of running from step 0
+    /// (passed to each worker as `--warm-start`).
+    pub warm_start: Option<PathBuf>,
+    /// Skip cells already recorded ok in an existing `manifest.json`
+    /// under the output directory; re-dispatch only failed/missing ones.
+    pub resume: bool,
 }
 
 /// Terminal state of one cell.
@@ -371,13 +404,51 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
     }
 
     let started = Instant::now();
-    let mut pending: VecDeque<usize> = (0..total).collect();
-    let mut backoff: Vec<(Instant, usize)> = Vec::new();
     let mut attempts = vec![0usize; total];
     let mut outcomes: Vec<Option<CellOutcome>> = Vec::with_capacity(total);
     outcomes.resize_with(total, || None);
-    let mut running: Vec<(usize, Child)> = Vec::new();
     let mut completed = 0usize;
+
+    // `--resume`: trust a cell from the previous sweep only when the old
+    // manifest says ok, its result record still parses, and the record's
+    // label matches the spec we would dispatch — anything less (missing,
+    // torn, relabelled) is re-dispatched like a fresh cell.
+    if options.resume {
+        for (i, prior_attempts) in manifest_ok_cells(&options.out_dir.join("manifest.json")) {
+            if i >= total || outcomes[i].is_some() {
+                continue;
+            }
+            let Some(result) = std::fs::read_to_string(&result_paths[i])
+                .ok()
+                .and_then(|text| parse_cell_result(&text))
+            else {
+                continue;
+            };
+            if result.label != specs[i].label() {
+                continue;
+            }
+            completed += 1;
+            if !options.quiet {
+                println!(
+                    "[{completed}/{total}] {} — skipped (already ok in manifest)",
+                    result.label
+                );
+            }
+            outcomes[i] = Some(CellOutcome {
+                index: i,
+                label: result.label.clone(),
+                attempts: prior_attempts,
+                status: CellStatus::Ok,
+                result: Some(result),
+                failure: None,
+                log_tail: Vec::new(),
+            });
+        }
+    }
+
+    let mut pending: VecDeque<usize> = (0..total).filter(|&i| outcomes[i].is_none()).collect();
+    let mut backoff: Vec<(Instant, usize)> = Vec::new();
+    let mut running: Vec<(usize, Child)> = Vec::new();
 
     while completed < total {
         // Cells whose retry backoff has elapsed become dispatchable again.
@@ -404,12 +475,17 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
             let log_err = log
                 .try_clone()
                 .map_err(|e| grid_err(format!("cannot clone log handle: {e}")))?;
-            let child = Command::new(&options.worker_bin)
+            let mut command = Command::new(&options.worker_bin);
+            command
                 .arg("worker")
                 .arg("--spec")
                 .arg(&spec_paths[i])
                 .arg("--out")
-                .arg(&result_paths[i])
+                .arg(&result_paths[i]);
+            if let Some(warm) = &options.warm_start {
+                command.arg("--warm-start").arg(warm);
+            }
+            let child = command
                 .stdin(Stdio::null())
                 .stdout(Stdio::from(log))
                 .stderr(Stdio::from(log_err))
@@ -518,6 +594,28 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
         message: e.to_string(),
     })?;
     Ok(summary)
+}
+
+/// Scrapes `(index, attempts)` of every `"status": "ok"` cell from a
+/// previous sweep's manifest (the same line-oriented scraping the
+/// baseline gates use — the offline build has no JSON parser). A missing
+/// or unparseable manifest yields no skippable cells, which degrades
+/// `--resume` to a full re-run rather than an error.
+fn manifest_ok_cells(manifest_path: &Path) -> Vec<(usize, usize)> {
+    let Ok(text) = std::fs::read_to_string(manifest_path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter(|line| line.contains("\"status\": \"ok\""))
+        .filter_map(|line| {
+            let index = crate::runner::extract_number(line, "index")?;
+            let attempts = crate::runner::extract_number(line, "attempts")?;
+            if index < 0.0 || attempts < 0.0 {
+                return None;
+            }
+            Some((index as usize, attempts as usize))
+        })
+        .collect()
 }
 
 /// Renders the partial-results manifest as JSON.

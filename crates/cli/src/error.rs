@@ -3,9 +3,11 @@
 //! Every failure path of the `collabsim` binary funnels into [`CliError`],
 //! which renders as `error[<kind>]: <detail>` so scripts (and the CLI's
 //! own tests) can match on the kind without parsing prose. Usage mistakes
-//! exit with code 2, everything else with 1.
+//! exit with code 2, snapshot problems (corrupt, truncated or
+//! version-mismatched checkpoint files) with code 3, everything else
+//! with 1.
 
-use collabsim::SpecError;
+use collabsim::{SnapshotError, SpecError};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -51,6 +53,15 @@ pub enum CliError {
         /// What went wrong.
         message: String,
     },
+    /// A snapshot could not be read, decoded or restored: corrupt or
+    /// truncated bytes, an unsupported format version, a missing store
+    /// entry, or state that no longer fits its embedded spec.
+    Snapshot {
+        /// The snapshot file or store directory, when known.
+        path: Option<PathBuf>,
+        /// The underlying snapshot-layer error.
+        error: SnapshotError,
+    },
 }
 
 impl CliError {
@@ -69,13 +80,17 @@ impl CliError {
             CliError::Spec { .. } => "spec",
             CliError::Baseline { .. } => "baseline",
             CliError::Grid { .. } => "grid",
+            CliError::Snapshot { .. } => "snapshot",
         }
     }
 
-    /// Process exit code: 2 for command-line mistakes, 1 otherwise.
+    /// Process exit code: 2 for command-line mistakes, 3 for snapshot
+    /// problems (so resume scripts can distinguish "the checkpoint is
+    /// bad" from every other failure), 1 otherwise.
     pub fn exit_code(&self) -> i32 {
         match self {
             CliError::Usage(_) | CliError::InvalidFlag { .. } => 2,
+            CliError::Snapshot { .. } => 3,
             _ => 1,
         }
     }
@@ -102,6 +117,11 @@ impl fmt::Display for CliError {
             CliError::Spec { path: None, error } => write!(f, "{error}"),
             CliError::Baseline { path, message } => write!(f, "{}: {message}", path.display()),
             CliError::Grid { message } => write!(f, "{message}"),
+            CliError::Snapshot {
+                path: Some(path),
+                error,
+            } => write!(f, "{}: {error}", path.display()),
+            CliError::Snapshot { path: None, error } => write!(f, "{error}"),
         }
     }
 }
@@ -133,6 +153,16 @@ mod tests {
         };
         assert_eq!(spec.kind(), "spec");
         assert_eq!(spec.exit_code(), 1);
+
+        let snapshot = CliError::Snapshot {
+            path: Some(PathBuf::from("run.snap")),
+            error: SnapshotError::Corrupt("payload truncated".into()),
+        };
+        assert_eq!(snapshot.kind(), "snapshot");
+        assert_eq!(snapshot.exit_code(), 3);
+        let rendered = snapshot.to_string();
+        assert!(rendered.starts_with("error[snapshot]: "), "{rendered}");
+        assert!(rendered.contains("run.snap"), "{rendered}");
     }
 
     #[test]

@@ -10,11 +10,20 @@
 //!   optionally streams [`StepObserver`](collabsim::StepObserver) metrics
 //!   as JSON lines ([`jsonl`]), and prints a profiling summary
 //!   ([`profile`]) — steps/sec plus the per-phase wall-clock breakdown.
+//! * **`collabsim run --checkpoint-every N --store <dir>`** additionally
+//!   writes a versioned, integrity-checked snapshot of the complete
+//!   simulation state to an on-disk run store every N steps, and
+//!   **`collabsim resume <snapshot>`** finishes such a run — the resumed
+//!   report is byte-identical to the uninterrupted one (the determinism
+//!   suite pins this). Bad snapshots exit with `error[snapshot]`, code 3.
 //! * **`collabsim grid <specs...> --workers N`** dispatches cells to
 //!   `collabsim worker` subprocesses through the crash-isolated
 //!   [`coordinator`]: a panicking phase or a SIGKILLed worker is retried
 //!   and, if it keeps dying, recorded as failed in the partial-results
-//!   manifest — the sweep itself always completes.
+//!   manifest — the sweep itself always completes. `--resume` skips
+//!   cells already ok in a previous manifest; `--warm-start <snapshot>`
+//!   forks every cell from a shared equilibrated checkpoint instead of
+//!   paying the training phase once per cell.
 //! * **`collabsim worker`** executes one cell and emits a result record
 //!   whose report is the `Debug` rendering pinned by the determinism
 //!   suite, so cross-process results are byte-comparable with in-process
@@ -49,5 +58,6 @@ pub use jsonl::{json_escape, json_f64, JsonlObserver, JsonlSink};
 pub use profile::render_profile;
 pub use runner::{
     baseline_number, extract_number, gate_floor, gate_rss_ceiling, load_spec,
-    load_spec_with_overrides, run_spec_instrumented, RunOutcome,
+    load_spec_with_overrides, resume_snapshot_instrumented, run_spec_checkpointed,
+    run_spec_instrumented, snapshot_err, RunOutcome,
 };

@@ -11,7 +11,10 @@
 
 use crate::error::CliError;
 use collabsim::pipeline::PhaseRegistry;
-use collabsim::{ScenarioSpec, Simulation, SimulationReport};
+use collabsim::snapshot::Snapshot;
+use collabsim::{
+    AdversaryRegistry, DirStore, ScenarioSpec, Simulation, SimulationReport, SnapshotError,
+};
 use std::path::Path;
 use std::time::Instant;
 
@@ -94,6 +97,88 @@ pub fn run_spec_instrumented(
     let run_seconds = running.elapsed().as_secs_f64();
     let outcome = RunOutcome {
         label: spec.label().to_string(),
+        total_steps,
+        build_seconds,
+        run_seconds,
+        steps_per_sec: total_steps as f64 / run_seconds,
+        report,
+    };
+    Ok((outcome, sim))
+}
+
+/// Wraps a snapshot-layer failure as the CLI's `error[snapshot]`
+/// (exit code 3), attaching the offending file or store path when known.
+pub fn snapshot_err(path: Option<&Path>, error: SnapshotError) -> CliError {
+    CliError::Snapshot {
+        path: path.map(Path::to_path_buf),
+        error,
+    }
+}
+
+/// [`run_spec_instrumented`], checkpointing to an on-disk [`DirStore`]
+/// under `store_dir` every `every` steps. Returns the outcome, the
+/// finished simulation and the store keys written (chronological).
+/// Checkpointing is pure observation: the report is bit-identical to an
+/// uncheckpointed run of the same spec.
+pub fn run_spec_checkpointed(
+    spec: &ScenarioSpec,
+    registry: &PhaseRegistry,
+    every: u64,
+    store_dir: &Path,
+    configure: impl FnOnce(&mut Simulation),
+) -> Result<(RunOutcome, Simulation, Vec<String>), CliError> {
+    let mut store =
+        DirStore::open(store_dir).map_err(|error| snapshot_err(Some(store_dir), error))?;
+    let total_steps = spec.config().phases.total_steps();
+    let building = Instant::now();
+    let mut sim = Simulation::from_spec_with_registry(spec, registry)
+        .map_err(|error| CliError::Spec { path: None, error })?;
+    let build_seconds = building.elapsed().as_secs_f64();
+    sim.enable_phase_timings();
+    configure(&mut sim);
+    let running = Instant::now();
+    let (report, keys) = sim
+        .run_with_checkpoints(spec, every, &mut store)
+        .map_err(|error| snapshot_err(Some(store_dir), error))?;
+    let run_seconds = running.elapsed().as_secs_f64();
+    let outcome = RunOutcome {
+        label: spec.label().to_string(),
+        total_steps,
+        build_seconds,
+        run_seconds,
+        steps_per_sec: total_steps as f64 / run_seconds,
+        report,
+    };
+    Ok((outcome, sim, keys))
+}
+
+/// Resumes a snapshot through the shared instrumented path: rebuilds the
+/// simulation from the embedded spec, overwrites its state, and runs the
+/// remaining protocol with [`Simulation::finish`]. `total_steps` (and the
+/// throughput derived from it) count only the steps *this* process
+/// executed — the remainder the resume paid for, not the checkpointed
+/// prefix.
+pub fn resume_snapshot_instrumented(
+    snapshot: &Snapshot,
+    registry: &PhaseRegistry,
+    configure: impl FnOnce(&mut Simulation),
+) -> Result<(RunOutcome, Simulation), CliError> {
+    let building = Instant::now();
+    let mut sim =
+        Simulation::resume_with_registries(snapshot, registry, &AdversaryRegistry::standard())
+            .map_err(|error| snapshot_err(None, error))?;
+    let build_seconds = building.elapsed().as_secs_f64();
+    let label = ScenarioSpec::parse(&snapshot.spec_text)
+        .map(|spec| spec.label().to_string())
+        .unwrap_or_else(|_| "resumed".to_string());
+    sim.enable_phase_timings();
+    configure(&mut sim);
+    let total_steps = sim.remaining_steps();
+    let running = Instant::now();
+    let report = sim.finish();
+    let run_seconds = running.elapsed().as_secs_f64();
+    let outcome = RunOutcome {
+        label,
         total_steps,
         build_seconds,
         run_seconds,

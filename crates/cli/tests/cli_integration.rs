@@ -21,13 +21,20 @@
 //!   surrounding grid (`--strict` turns the recorded failure into exit 1),
 //!   and the manifest inlines the tail of the dead worker's log,
 //! * `--set network=<unknown>` surfaces the typed unknown-network-model
-//!   spec error through the `error[spec]` exit path.
+//!   spec error through the `error[spec]` exit path,
+//! * `run --checkpoint-every --store` + `resume` reproduces the
+//!   uninterrupted report byte-for-byte; a truncated or missing snapshot
+//!   exits with `error[snapshot]` and code 3,
+//! * `grid --warm-start` workers fork from a shared equilibrated snapshot
+//!   bit-identically to in-process forks, and `grid --resume` skips
+//!   manifest-ok cells while re-dispatching failed ones.
 //!
 //! [`ScenarioRunner`]: collabsim::experiment::ScenarioRunner
 
 use collabsim::config::PhaseConfig;
 use collabsim::experiment::ScenarioRunner;
-use collabsim::Simulation;
+use collabsim::snapshot::write_snapshot_file;
+use collabsim::{ScenarioSpec, Simulation};
 use collabsim_cli::coordinator::{run_grid, GridOptions};
 use collabsim_cli::scenarios::{chaos_panic_spec, golden_spec, paper_mix_cells};
 use std::path::{Path, PathBuf};
@@ -255,6 +262,8 @@ fn grid_workers_reproduce_in_process_reports_bit_for_bit() {
             out_dir: out_dir.clone(),
             worker_bin: PathBuf::from(collabsim_bin()),
             quiet: true,
+            warm_start: None,
+            resume: false,
         },
     )
     .expect("sweep completes");
@@ -454,6 +463,234 @@ fn panicking_phase_fails_its_cell_but_not_the_grid() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+// ------------------------------------------------- checkpoint and resume
+
+/// `run --checkpoint-every --store` followed by `resume` from a
+/// mid-training snapshot reproduces the uninterrupted run's report byte
+/// for byte — the CLI leg of the tentpole's bit-identity guarantee, on
+/// the on-disk store backend.
+#[test]
+fn cli_checkpoint_then_resume_reproduces_the_golden_report() {
+    let dir = scratch("checkpoint-resume");
+    let store = dir.join("store");
+    let golden = repo_root().join("scenarios/golden.spec");
+    let output = run_cli(&[
+        "run",
+        golden.to_str().unwrap(),
+        "--checkpoint-every",
+        "50",
+        "--store",
+        store.to_str().unwrap(),
+        "--print-report",
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    let expected = report_line(&stdout_of(&output));
+    assert!(
+        stdout_of(&output).contains("checkpoints: 4 snapshots"),
+        "steps 50/100/150/200: {}",
+        stdout_of(&output)
+    );
+    // The checkpointed run itself must not perturb the trajectory.
+    assert_eq!(
+        expected,
+        format!("{:?}", Simulation::from_spec(&golden_spec()).unwrap().run()),
+        "checkpointing perturbed the report"
+    );
+
+    // Sorted keys are chronological; resume from the earliest (step 50,
+    // mid-training: both the training tail and the reset still to run).
+    let mut snaps: Vec<PathBuf> = std::fs::read_dir(&store)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "snap"))
+        .collect();
+    snaps.sort();
+    assert_eq!(snaps.len(), 4, "store: {snaps:?}");
+    let output = run_cli(&["resume", snaps[0].to_str().unwrap(), "--print-report"]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    let stdout = stdout_of(&output);
+    assert!(stdout.contains("from step 50"), "stdout: {stdout}");
+    assert_eq!(
+        report_line(&stdout),
+        expected,
+        "resumed run drifted from the uninterrupted one"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A truncated snapshot file is refused with the typed `error[snapshot]`
+/// and the dedicated exit code 3, not a panic or a generic failure.
+#[test]
+fn truncated_snapshot_is_a_typed_snapshot_error_with_exit_code_3() {
+    let dir = scratch("truncated-snapshot");
+    let mut sim = Simulation::from_spec(&golden_spec()).unwrap();
+    sim.run_training();
+    let snapshot = sim.snapshot(&golden_spec());
+    let path = dir.join("good.snap");
+    write_snapshot_file(&path, &snapshot).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let torn = dir.join("torn.snap");
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+
+    let output = run_cli(&["resume", torn.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(3), "snapshot errors exit 3");
+    let err = stderr_of(&output);
+    assert!(err.contains("error[snapshot]"), "stderr: {err}");
+    assert!(err.contains("torn.snap"), "stderr: {err}");
+
+    // A missing snapshot takes the same typed path.
+    let output = run_cli(&["resume", dir.join("absent.snap").to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(3));
+    assert!(
+        stderr_of(&output).contains("error[snapshot]"),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `grid --warm-start`: every worker forks from the shared equilibrated
+/// snapshot and its report is byte-identical to an in-process fork of the
+/// same snapshot onto the same cell spec.
+#[test]
+fn grid_warm_start_forks_match_in_process_forks_bit_for_bit() {
+    let dir = scratch("grid-warm");
+    let base = golden_spec();
+    let mut sim = Simulation::from_spec(&base).unwrap();
+    sim.run_training();
+    let snapshot = sim.snapshot(&base);
+    let snap_path = dir.join("base.snap");
+    write_snapshot_file(&snap_path, &snapshot).unwrap();
+
+    // Two cells sharing the base population (relabelled; later spec keys
+    // win, exactly like a hand-edited file).
+    let cells: Vec<ScenarioSpec> = ["warm-a", "warm-b"]
+        .iter()
+        .map(|label| {
+            ScenarioSpec::parse(&format!("{}\nlabel = {label}\n", base.to_text())).unwrap()
+        })
+        .collect();
+    let expected: Vec<String> = cells
+        .iter()
+        .map(|cell| {
+            let fork = snapshot.with_spec(cell);
+            let mut sim = Simulation::resume_from(&fork).unwrap();
+            format!("{:?}", sim.finish())
+        })
+        .collect();
+
+    let out_dir = dir.join("out");
+    let summary = run_grid(
+        &cells,
+        &GridOptions {
+            workers: 2,
+            retries: 1,
+            out_dir: out_dir.clone(),
+            worker_bin: PathBuf::from(collabsim_bin()),
+            quiet: true,
+            warm_start: Some(snap_path),
+            resume: false,
+        },
+    )
+    .expect("warm sweep completes");
+    assert_eq!(summary.ok_count(), 2);
+    for (cell, expected) in summary.cells.iter().zip(&expected) {
+        let result = cell.result.as_ref().expect("ok cell has a result");
+        assert_eq!(
+            &result.report_debug, expected,
+            "warm-started worker report for `{}` differs from the in-process fork",
+            result.label
+        );
+        // Warm cells only pay the post-checkpoint remainder.
+        assert_eq!(result.total_steps, 80, "remaining evaluation steps");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `grid --resume` re-dispatches only the cells the previous sweep left
+/// failed or missing; manifest-ok cells are carried over untouched.
+#[test]
+fn grid_resume_skips_manifest_ok_cells_and_redispatches_failures() {
+    let dir = scratch("grid-resume");
+    let specs_dir = dir.join("specs");
+    std::fs::create_dir_all(&specs_dir).unwrap();
+    let base = golden_spec().to_text();
+    for (i, seed) in [1u64, 2, 3].iter().enumerate() {
+        std::fs::write(
+            specs_dir.join(format!("cell{i}.spec")),
+            format!("{base}\nseed = {seed}\n"),
+        )
+        .unwrap();
+    }
+    let out_dir = dir.join("out");
+    let marker = dir.join("kill.marker");
+    // First sweep: one worker SIGKILLs itself and, with --retries 0, its
+    // cell is recorded failed while the other two complete.
+    let output = Command::new(collabsim_bin())
+        .args([
+            "grid",
+            specs_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--retries",
+            "0",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ])
+        .env(collabsim_cli::KILL_ONCE_ENV, &marker)
+        .output()
+        .expect("grid runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"ok\": 2"), "manifest: {manifest}");
+    assert!(manifest.contains("\"failed\": 1"), "manifest: {manifest}");
+
+    // Second sweep with --resume (no kill marker): the two ok cells are
+    // skipped, only the failed one is re-dispatched, and it completes.
+    let output = run_cli(&[
+        "grid",
+        specs_dir.to_str().unwrap(),
+        "--workers",
+        "1",
+        "--retries",
+        "0",
+        "--resume",
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    let stdout = stdout_of(&output);
+    assert_eq!(
+        stdout.matches("skipped (already ok in manifest)").count(),
+        2,
+        "stdout: {stdout}"
+    );
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"ok\": 3"), "manifest: {manifest}");
+    assert!(manifest.contains("\"failed\": 0"), "manifest: {manifest}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // ------------------------------------------------------------- subcommands
 
 #[test]
@@ -461,7 +698,7 @@ fn help_prints_usage_and_exits_zero() {
     let output = run_cli(&["help"]);
     assert_eq!(output.status.code(), Some(0));
     let stdout = stdout_of(&output);
-    for subcommand in ["run", "grid", "worker", "scaffold"] {
+    for subcommand in ["run", "resume", "grid", "worker", "scaffold"] {
         assert!(stdout.contains(subcommand), "usage lists {subcommand}");
     }
     // No arguments at all behaves the same way.

@@ -20,6 +20,18 @@ impl StdRng {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^ (z >> 31)
     }
+
+    /// The generator's full internal state, for checkpointing. Restoring it
+    /// with [`StdRng::from_state`] resumes the stream at exactly the next
+    /// output.
+    pub fn to_state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`StdRng::to_state`].
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
 }
 
 impl SeedableRng for StdRng {

@@ -410,6 +410,39 @@ impl AdversaryRoster {
         &self.units
     }
 
+    /// The per-unit running attack counters, in unit order (checkpoint
+    /// export; everything else a roster holds is either rebuilt from the
+    /// spec — units, controller map — or per-step scratch).
+    pub fn export_unit_stats(&self) -> Vec<AttackStats> {
+        self.units.iter().map(|unit| unit.stats).collect()
+    }
+
+    /// Overwrites the per-unit attack counters with a checkpoint export.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export does not match the roster's unit count.
+    pub fn restore_unit_stats(&mut self, stats: &[AttackStats]) {
+        assert_eq!(
+            stats.len(),
+            self.units.len(),
+            "attack-stats export does not match the unit count"
+        );
+        for (unit, restored) in self.units.iter_mut().zip(stats) {
+            unit.stats = *restored;
+        }
+    }
+
+    /// The queued timed re-entries (checkpoint export).
+    pub fn schedule_entries(&self) -> &[(u64, PeerId)] {
+        self.schedule.entries()
+    }
+
+    /// Overwrites the timed re-entry schedule with a checkpoint export.
+    pub fn restore_schedule(&mut self, entries: Vec<(u64, PeerId)>) {
+        self.schedule = ReentrySchedule::from_entries(entries);
+    }
+
     /// The unit index controlling `peer`, if any.
     pub fn controller_of(&self, peer: usize) -> Option<usize> {
         if self.units.is_empty() {

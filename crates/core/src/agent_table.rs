@@ -217,6 +217,62 @@ impl AgentTable {
         self.updates.iter().sum()
     }
 
+    /// The full rank-major flat Q-value array (checkpoint export).
+    pub fn q_values(&self) -> &[f64] {
+        &self.q
+    }
+
+    /// The per-rank Q-update counters (checkpoint export).
+    pub fn update_counts(&self) -> &[u64] {
+        &self.updates
+    }
+
+    /// The sentinel-encoded per-peer last-choice state buckets (checkpoint
+    /// export; `u32::MAX` = no choice recorded yet).
+    pub fn last_states_raw(&self) -> &[u32] {
+        &self.last_state
+    }
+
+    /// The sentinel-encoded per-peer last-choice action indices (checkpoint
+    /// export; `u8::MAX` = no choice recorded yet).
+    pub fn last_actions_raw(&self) -> &[u8] {
+        &self.last_action
+    }
+
+    /// Overwrites the mutable learning state (Q-values, update counters,
+    /// last choices) with a checkpoint export. The immutable layout
+    /// (behaviour assignment, ranks, hyper-parameters) is untouched — it is
+    /// rebuilt from the configuration, so the slices must match the table's
+    /// own dimensions exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length differs from the table's layout.
+    pub fn restore_learning_state(
+        &mut self,
+        q: &[f64],
+        updates: &[u64],
+        last_state: &[u32],
+        last_action: &[u8],
+    ) {
+        assert_eq!(q.len(), self.q.len(), "Q-array length mismatch");
+        assert_eq!(updates.len(), self.updates.len(), "update-counter mismatch");
+        assert_eq!(
+            last_state.len(),
+            self.last_state.len(),
+            "last-state mismatch"
+        );
+        assert_eq!(
+            last_action.len(),
+            self.last_action.len(),
+            "last-action mismatch"
+        );
+        self.q.copy_from_slice(q);
+        self.updates.copy_from_slice(updates);
+        self.last_state.copy_from_slice(last_state);
+        self.last_action.copy_from_slice(last_action);
+    }
+
     /// The rational peer's greedy action index for a state (ties to the
     /// lowest index, like `QTable::greedy_action`); `None` for
     /// fixed-behaviour peers.

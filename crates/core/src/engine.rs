@@ -28,6 +28,7 @@ use crate::config::SimulationConfig;
 use crate::observer::{StepObserver, WorldView};
 use crate::pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPipeline};
 use crate::report::SimulationReport;
+use crate::snapshot::{RunStore, Snapshot, SnapshotError};
 use crate::spec::{ScenarioSpec, SpecError};
 use crate::world::SimWorld;
 use collabsim_gametheory::behavior::BehaviorType;
@@ -243,6 +244,133 @@ impl Simulation {
             &mut self.ctx,
             &mut self.observers,
         );
+    }
+
+    /// Captures a checkpoint of the current state. `spec` must be the
+    /// scenario spec this simulation was built from — the simulation does
+    /// not retain it, and the snapshot embeds its exact text so resuming is
+    /// self-contained. Call only at step boundaries (never from inside a
+    /// phase or observer callback).
+    pub fn snapshot(&self, spec: &ScenarioSpec) -> Snapshot {
+        Snapshot::capture(&self.world, spec)
+    }
+
+    /// Rebuilds a simulation from a checkpoint: the embedded spec
+    /// reconstructs the pipeline and all derived machinery, then the
+    /// captured state overwrites the world exactly. The returned simulation
+    /// continues the checkpointed trajectory bit for bit — drive it with
+    /// [`Simulation::finish`] (or manual [`Simulation::step`] calls).
+    pub fn resume_from(snapshot: &Snapshot) -> Result<Self, SnapshotError> {
+        Self::resume_with_registries(
+            snapshot,
+            &PhaseRegistry::standard(),
+            &AdversaryRegistry::standard(),
+        )
+    }
+
+    /// [`Simulation::resume_from`] with phase and adversary names resolved
+    /// against caller-supplied registries (for snapshots of runs that used
+    /// custom phases or strategies).
+    pub fn resume_with_registries(
+        snapshot: &Snapshot,
+        registry: &PhaseRegistry,
+        adversary_registry: &AdversaryRegistry,
+    ) -> Result<Self, SnapshotError> {
+        let spec = ScenarioSpec::parse(&snapshot.spec_text)
+            .map_err(|error| SnapshotError::Spec(error.to_string()))?;
+        let mut sim = Self::from_spec_with_registries(&spec, registry, adversary_registry)
+            .map_err(|error| SnapshotError::Spec(error.to_string()))?;
+        snapshot.apply(&mut sim.world)?;
+        Ok(sim)
+    }
+
+    /// Runs the rest of the protocol from the current position — however
+    /// far a resumed checkpoint got — and returns the report. On a fresh
+    /// simulation this is exactly [`Simulation::run`]; on a resumed one it
+    /// finishes the remaining training steps, performs the reputation reset
+    /// if it has not happened yet, and runs the remaining evaluation steps.
+    pub fn finish(&mut self) -> SimulationReport {
+        for observer in &mut self.observers {
+            observer.on_run_start(WorldView::new(&self.world));
+        }
+        if !self.world.measuring {
+            let temperature = self.world.config.phases.training_temperature;
+            while self.world.clock.now() < self.world.config.phases.training_steps {
+                self.step(temperature);
+            }
+            self.reset_for_evaluation();
+        }
+        let temperature = self.world.config.phases.evaluation_temperature;
+        while self.world.evaluation_steps_run < self.world.config.phases.evaluation_steps {
+            self.step(temperature);
+            self.world.evaluation_steps_run += 1;
+        }
+        let report = self.world.build_report();
+        for observer in &mut self.observers {
+            observer.on_run_end(WorldView::new(&self.world), &report);
+        }
+        report
+    }
+
+    /// Steps left before [`Simulation::finish`] would return: the
+    /// unfinished tail of the training phase (zero once measurement has
+    /// begun) plus the unfinished tail of the evaluation phase. On a fresh
+    /// simulation this equals the configured total; on a resumed one it is
+    /// what the resume still has to pay.
+    pub fn remaining_steps(&self) -> u64 {
+        let phases = &self.world.config.phases;
+        let training = if self.world.measuring {
+            0
+        } else {
+            phases.training_steps.saturating_sub(self.world.clock.now())
+        };
+        training
+            + phases
+                .evaluation_steps
+                .saturating_sub(self.world.evaluation_steps_run)
+    }
+
+    /// [`Simulation::run`] with a checkpoint written to `store` every
+    /// `every` global steps (training and evaluation alike, always at step
+    /// boundaries). Returns the report and the store keys written, in
+    /// chronological order. Checkpointing is pure observation — the report
+    /// is bit-identical to an uncheckpointed [`Simulation::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn run_with_checkpoints(
+        &mut self,
+        spec: &ScenarioSpec,
+        every: u64,
+        store: &mut dyn RunStore,
+    ) -> Result<(SimulationReport, Vec<String>), SnapshotError> {
+        assert!(every > 0, "checkpoint interval must be at least 1 step");
+        let mut keys = Vec::new();
+        for observer in &mut self.observers {
+            observer.on_run_start(WorldView::new(&self.world));
+        }
+        let temperature = self.world.config.phases.training_temperature;
+        while self.world.clock.now() < self.world.config.phases.training_steps {
+            self.step(temperature);
+            if self.world.clock.now() % every == 0 {
+                keys.push(store.put(&self.snapshot(spec))?);
+            }
+        }
+        self.reset_for_evaluation();
+        let temperature = self.world.config.phases.evaluation_temperature;
+        while self.world.evaluation_steps_run < self.world.config.phases.evaluation_steps {
+            self.step(temperature);
+            self.world.evaluation_steps_run += 1;
+            if self.world.clock.now() % every == 0 {
+                keys.push(store.put(&self.snapshot(spec))?);
+            }
+        }
+        let report = self.world.build_report();
+        for observer in &mut self.observers {
+            observer.on_run_end(WorldView::new(&self.world), &report);
+        }
+        Ok((report, keys))
     }
 }
 

@@ -58,6 +58,7 @@ pub mod observer;
 pub mod pipeline;
 pub mod report;
 pub mod results;
+pub mod snapshot;
 pub mod spec;
 pub mod threads;
 pub mod world;
@@ -79,6 +80,7 @@ pub use invariants::{
 pub use observer::{StepObserver, TimingObserver, WorldView};
 pub use pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPhase, StepPipeline};
 pub use report::{BehaviorBreakdown, SimulationReport};
+pub use snapshot::{DirStore, MemStore, RunStore, Snapshot, SnapshotError, WorldState};
 pub use spec::{ScenarioSpec, ScenarioSpecBuilder, SpecError};
 pub use world::{AccumulatorTable, ChurnStats, NetStats, PeerAccumulator, SimWorld, UploadMatrix};
 

@@ -1,0 +1,241 @@
+//! The hand-rolled binary codec behind the snapshot format.
+//!
+//! The serde façade of this workspace is a no-op offline stub, so the
+//! snapshot format writes its own bytes: little-endian fixed-width
+//! integers, `f64` via [`f64::to_bits`] (bit-exact round-trip, NaN
+//! payloads included), length-prefixed sequences and strings, and
+//! one-byte `Option` tags. Every read is bounds-checked and reports a
+//! typed [`SnapshotError::Corrupt`] instead of panicking, so a truncated
+//! or bit-flipped snapshot surfaces as a recoverable error at every
+//! layer above.
+
+use super::SnapshotError;
+
+/// Append-only byte sink for encoding a snapshot payload.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    pub(crate) fn u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, value: usize) {
+        self.u64(value as u64);
+    }
+
+    pub(crate) fn bool(&mut self, value: bool) {
+        self.u8(u8::from(value));
+    }
+
+    pub(crate) fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    pub(crate) fn str(&mut self, value: &str) {
+        self.usize(value.len());
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+
+    pub(crate) fn opt_u64(&mut self, value: Option<u64>) {
+        match value {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+}
+
+/// Bounds-checked cursor over an encoded snapshot payload.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn truncated() -> SnapshotError {
+    SnapshotError::Corrupt("payload truncated".to_string())
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        if end > self.bytes.len() {
+            return Err(truncated());
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A sequence length: a `u64` additionally sanity-bounded against the
+    /// remaining payload so corrupt lengths fail fast instead of asking
+    /// the allocator for exabytes.
+    pub(crate) fn len(&mut self) -> Result<usize, SnapshotError> {
+        let value = self.u64()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if value > remaining {
+            return Err(SnapshotError::Corrupt(format!(
+                "sequence length {value} exceeds the {remaining} remaining payload bytes"
+            )));
+        }
+        Ok(value as usize)
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Corrupt(format!("invalid bool tag {other}"))),
+        }
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.len()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotError::Corrupt("invalid UTF-8 in string".to_string()))
+    }
+
+    pub(crate) fn opt_u64(&mut self) -> Result<Option<u64>, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            other => Err(SnapshotError::Corrupt(format!(
+                "invalid option tag {other}"
+            ))),
+        }
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub(crate) fn finish(self) -> Result<(), SnapshotError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Corrupt(format!(
+                "{} trailing bytes after the payload",
+                self.bytes.len() - self.pos
+            )))
+        }
+    }
+}
+
+/// The FNV-1a 64-bit hash used as the snapshot content hash: dependency-free,
+/// stable across platforms, and sensitive to every byte — exactly what the
+/// corruption check needs (it guards against accidents, not adversaries).
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(123_456_789);
+        w.u64(u64::MAX - 3);
+        w.bool(true);
+        w.bool(false);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.str("héllo");
+        w.opt_u64(None);
+        w.opt_u64(Some(42));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 123_456_789);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(42));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert!(matches!(r.u64(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_sequence_length_is_rejected() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.len(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        assert!(matches!(r.finish(), Err(SnapshotError::Corrupt(_))));
+    }
+
+    #[test]
+    fn fnv_hash_is_stable_and_byte_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+    }
+}

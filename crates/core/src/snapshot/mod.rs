@@ -1,0 +1,1306 @@
+//! Checkpoint/resume: versioned, exact-round-trip snapshots of a running
+//! simulation, behind a pluggable [`RunStore`].
+//!
+//! A [`Snapshot`] captures *everything* a [`SimWorld`] owns at a step
+//! boundary — every peer, article, edit, transfer slot, ledger record,
+//! Q-value, accumulator and all five named RNG streams — plus the
+//! originating [`ScenarioSpec`] as its exact text form. Restoring builds a
+//! fresh world from the embedded spec (which reconstructs all the derived
+//! machinery: pipeline, service rules, thread plan) and then overwrites the
+//! mutable state byte for byte, so a resumed run continues the exact
+//! trajectory of the run that was checkpointed: the golden determinism
+//! tests pin `full run ≡ half run + snapshot + restore + half run` bit for
+//! bit.
+//!
+//! The wire format is a hand-rolled little-endian binary layout (the
+//! workspace's serde is a no-op offline stub) framed as
+//!
+//! ```text
+//! magic "COLLBSNP" | version u16 | payload length u64 | payload | FNV-1a64(payload)
+//! ```
+//!
+//! so every consumer detects truncation, bit rot and foreign files before
+//! touching the payload, and a future version 2 can be recognised (and
+//! refused with a typed [`SnapshotError::VersionMismatch`]) rather than
+//! misparsed. Two [`RunStore`] backends ship with the crate: the in-memory
+//! [`MemStore`] and the on-disk, content-hash-keyed [`DirStore`].
+
+mod codec;
+mod store;
+
+pub use store::{
+    read_snapshot_file, write_snapshot_file, DirStore, MemStore, RunStore, SNAPSHOT_EXTENSION,
+};
+
+use crate::adversary::AttackStats;
+use crate::spec::ScenarioSpec;
+use crate::world::{AccumulatorTable, ChurnStats, NetStats, SimWorld, UploadMatrix};
+use crate::ActiveSets;
+use codec::{fnv1a64, Reader, Writer};
+use collabsim_gametheory::behavior::BehaviorType;
+use collabsim_netsim::article::{
+    Article, ArticleId, ArticleRegistry, Edit, EditId, EditKind, EditOutcomeCounts, EditStatus,
+};
+use collabsim_netsim::clock::SimClock;
+use collabsim_netsim::dht::{Dht, DhtKey};
+use collabsim_netsim::fault::ConnectionState;
+use collabsim_netsim::peer::{Peer, PeerId, PeerRegistry};
+use collabsim_netsim::storage::ArticleStore;
+use collabsim_netsim::transfer::{Transfer, TransferArenaState, TransferManager, TransferStatus};
+use collabsim_reputation::propagation::GlobalReputation;
+use collabsim_reputation::sharded::PeerLedgerState;
+use rand::rngs::StdRng;
+
+/// Leading magic of every encoded snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"COLLBSNP";
+
+/// The format version this build writes and reads.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// Typed failure of snapshot encoding, decoding, storage or restoration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// The bytes are not a well-formed snapshot: bad magic, truncated
+    /// framing, content-hash mismatch, or a malformed payload.
+    Corrupt(String),
+    /// The snapshot was written by a different (newer or older) format
+    /// version than this build understands.
+    VersionMismatch {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// The embedded scenario spec failed to parse or build a simulation.
+    Spec(String),
+    /// The decoded state is inconsistent with the embedded spec (e.g. a
+    /// population-length mismatch) — a hand-edited or mispaired snapshot.
+    Mismatch(String),
+    /// The requested snapshot key does not exist in the store.
+    NotFound(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(msg) => write!(f, "io error: {msg}"),
+            Self::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            Self::VersionMismatch { found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build reads version {SNAPSHOT_VERSION})"
+            ),
+            Self::Spec(msg) => write!(f, "embedded scenario spec rejected: {msg}"),
+            Self::Mismatch(msg) => write!(f, "snapshot inconsistent with its spec: {msg}"),
+            Self::NotFound(key) => write!(f, "snapshot not found: {key}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// The complete mutable state of a [`SimWorld`] at a step boundary, as
+/// plain data. Everything here is overwritten verbatim on restore; state
+/// that is a pure function of the configuration (service rules, allocator
+/// policy, thread plan, phase pipeline) or derivable from these fields
+/// (active sets, DHT routing, article caches, upload reverse index) is
+/// rebuilt instead of stored.
+#[derive(Debug, Clone, Default)]
+pub struct WorldState {
+    /// Step counter at capture time.
+    pub step: u64,
+    /// Core step RNG state (xoshiro256** words).
+    pub rng: [u64; 4],
+    /// Propagation-phase RNG state.
+    pub propagation_rng: [u64; 4],
+    /// Churn-phase RNG state.
+    pub churn_rng: [u64; 4],
+    /// Adversary-phase RNG state.
+    pub adversary_rng: [u64; 4],
+    /// Fault-layer RNG state.
+    pub net_rng: [u64; 4],
+    /// Every peer record, dense by id.
+    pub peers: Vec<Peer>,
+    /// Every article (revision history, pending edit, damage counter).
+    pub articles: Vec<Article>,
+    /// Every edit ever submitted, dense by id.
+    pub edits: Vec<Edit>,
+    /// Held article replicas per peer (row index = peer id).
+    pub held: Vec<Vec<u32>>,
+    /// Offered article replicas per peer (row index = peer id).
+    pub offered: Vec<Vec<u32>>,
+    /// DHT replication factor.
+    pub dht_replication: u64,
+    /// DHT members in join order.
+    pub dht_members: Vec<u32>,
+    /// DHT replica sets, sorted by key (holders sorted by id).
+    pub dht_replicas: Vec<(u64, Vec<u32>)>,
+    /// Per-peer reputation ledger records, dense by id.
+    pub ledger: Vec<PeerLedgerState>,
+    /// The transfer arena: every slot, the free list and retired totals.
+    pub transfers: TransferArenaState,
+    /// Rank-major flat Q-values of every learner.
+    pub q: Vec<f64>,
+    /// Per-learner Q-update counters.
+    pub updates: Vec<u64>,
+    /// Sentinel-encoded per-peer last-choice state buckets.
+    pub last_state: Vec<u32>,
+    /// Sentinel-encoded per-peer last-choice action indices.
+    pub last_action: Vec<u8>,
+    /// Behaviour type per peer (restore verifies these against the spec's
+    /// deterministic assignment — a mismatch means the snapshot does not
+    /// belong to its embedded spec).
+    pub behaviors: Vec<BehaviorType>,
+    /// Upload-relation rows, sorted by counterparty id.
+    pub uploads: Vec<Vec<(u32, f64)>>,
+    /// In-flight download slot per peer.
+    pub active_transfer: Vec<Option<u64>>,
+    /// Accepted edits since last punishment, per peer.
+    pub accepted_since_punishment: Vec<u32>,
+    /// The evaluation-phase measurement accumulators.
+    pub accumulators: AccumulatorTable,
+    /// Whether the measured evaluation phase is active.
+    pub measuring: bool,
+    /// Steps run since measurement started.
+    pub evaluation_steps_run: u64,
+    /// Completed-download count at measurement start.
+    pub downloads_completed_in_evaluation: u64,
+    /// Edit-outcome counts at measurement start.
+    pub edit_outcome_baseline: EditOutcomeCounts,
+    /// Running churn counters.
+    pub churn_stats: ChurnStats,
+    /// Latest propagated global reputation, if the phase has run.
+    pub global_reputation: Option<GlobalReputation>,
+    /// Propagation-phase execution count.
+    pub propagation_runs: u64,
+    /// Propagated service-reputation cache, if active.
+    pub propagated_service_reputation: Option<Vec<f64>>,
+    /// Per-unit adversary attack counters, in unit order.
+    pub adversary_stats: Vec<AttackStats>,
+    /// Queued timed re-entries of the adversary roster.
+    pub reentry_schedule: Vec<(u64, u32)>,
+    /// Running fault-layer grant accounting.
+    pub net_stats: NetStats,
+}
+
+/// One checkpoint: the full [`WorldState`] plus the exact text of the
+/// [`ScenarioSpec`] the run was built from, so a snapshot is self-contained
+/// — resuming needs no side-channel spec file.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// The originating scenario spec in its exact-round-trip text form.
+    pub spec_text: String,
+    /// The captured world state.
+    pub state: WorldState,
+}
+
+fn behavior_tag(behavior: BehaviorType) -> u8 {
+    match behavior {
+        BehaviorType::Rational => 0,
+        BehaviorType::Altruistic => 1,
+        BehaviorType::Irrational => 2,
+    }
+}
+
+fn behavior_from_tag(tag: u8) -> Result<BehaviorType, SnapshotError> {
+    match tag {
+        0 => Ok(BehaviorType::Rational),
+        1 => Ok(BehaviorType::Altruistic),
+        2 => Ok(BehaviorType::Irrational),
+        other => Err(SnapshotError::Corrupt(format!(
+            "invalid behaviour tag {other}"
+        ))),
+    }
+}
+
+fn connection_tag(state: ConnectionState) -> u8 {
+    match state {
+        ConnectionState::Connected => 0,
+        ConnectionState::Degraded => 1,
+        ConnectionState::Disconnected => 2,
+    }
+}
+
+fn connection_from_tag(tag: u8) -> Result<ConnectionState, SnapshotError> {
+    match tag {
+        0 => Ok(ConnectionState::Connected),
+        1 => Ok(ConnectionState::Degraded),
+        2 => Ok(ConnectionState::Disconnected),
+        other => Err(SnapshotError::Corrupt(format!(
+            "invalid connection-state tag {other}"
+        ))),
+    }
+}
+
+fn transfer_status_tag(status: TransferStatus) -> u8 {
+    match status {
+        TransferStatus::InProgress => 0,
+        TransferStatus::Completed => 1,
+        TransferStatus::Cancelled => 2,
+    }
+}
+
+fn transfer_status_from_tag(tag: u8) -> Result<TransferStatus, SnapshotError> {
+    match tag {
+        0 => Ok(TransferStatus::InProgress),
+        1 => Ok(TransferStatus::Completed),
+        2 => Ok(TransferStatus::Cancelled),
+        other => Err(SnapshotError::Corrupt(format!(
+            "invalid transfer-status tag {other}"
+        ))),
+    }
+}
+
+fn write_rng(w: &mut Writer, state: &[u64; 4]) {
+    for &word in state {
+        w.u64(word);
+    }
+}
+
+fn read_rng(r: &mut Reader<'_>) -> Result<[u64; 4], SnapshotError> {
+    Ok([r.u64()?, r.u64()?, r.u64()?, r.u64()?])
+}
+
+fn write_f64_vec(w: &mut Writer, values: &[f64]) {
+    w.usize(values.len());
+    for &v in values {
+        w.f64(v);
+    }
+}
+
+fn read_f64_vec(r: &mut Reader<'_>) -> Result<Vec<f64>, SnapshotError> {
+    let len = r.len()?;
+    (0..len).map(|_| r.f64()).collect()
+}
+
+fn write_u64_vec(w: &mut Writer, values: &[u64]) {
+    w.usize(values.len());
+    for &v in values {
+        w.u64(v);
+    }
+}
+
+fn read_u64_vec(r: &mut Reader<'_>) -> Result<Vec<u64>, SnapshotError> {
+    let len = r.len()?;
+    (0..len).map(|_| r.u64()).collect()
+}
+
+fn write_u32_vec(w: &mut Writer, values: &[u32]) {
+    w.usize(values.len());
+    for &v in values {
+        w.u32(v);
+    }
+}
+
+fn read_u32_vec(r: &mut Reader<'_>) -> Result<Vec<u32>, SnapshotError> {
+    let len = r.len()?;
+    (0..len).map(|_| r.u32()).collect()
+}
+
+fn write_rows(w: &mut Writer, rows: &[Vec<u32>]) {
+    w.usize(rows.len());
+    for row in rows {
+        write_u32_vec(w, row);
+    }
+}
+
+fn read_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<u32>>, SnapshotError> {
+    let len = r.len()?;
+    (0..len).map(|_| read_u32_vec(r)).collect()
+}
+
+impl WorldState {
+    /// Captures the complete mutable state of a world. Must be called at a
+    /// step boundary (between [`crate::Simulation::step`] calls) — mid-step
+    /// the pipeline holds transient scratch the snapshot cannot see.
+    pub fn capture(world: &SimWorld) -> Self {
+        let population = world.config.population;
+        Self {
+            step: world.clock.now(),
+            rng: world.rng.to_state(),
+            propagation_rng: world.propagation_rng.to_state(),
+            churn_rng: world.churn_rng.to_state(),
+            adversary_rng: world.adversary_rng.to_state(),
+            net_rng: world.net_rng.to_state(),
+            peers: world.peers.iter().cloned().collect(),
+            articles: world.articles.articles().cloned().collect(),
+            edits: world.articles.edits().cloned().collect(),
+            held: world
+                .store
+                .held_rows()
+                .iter()
+                .map(|row| row.iter().map(|a| a.0).collect())
+                .collect(),
+            offered: world
+                .store
+                .offered_rows()
+                .iter()
+                .map(|row| row.iter().map(|a| a.0).collect())
+                .collect(),
+            dht_replication: world.dht.replication() as u64,
+            dht_members: world.dht.member_peers().iter().map(|p| p.0).collect(),
+            dht_replicas: world
+                .dht
+                .replica_entries()
+                .into_iter()
+                .map(|(key, holders)| (key.0, holders.into_iter().map(|p| p.0).collect()))
+                .collect(),
+            ledger: (0..population)
+                .map(|p| world.ledger.export_peer_state(p))
+                .collect(),
+            transfers: world.transfers.export_state(),
+            q: world.agents.q_values().to_vec(),
+            updates: world.agents.update_counts().to_vec(),
+            last_state: world.agents.last_states_raw().to_vec(),
+            last_action: world.agents.last_actions_raw().to_vec(),
+            behaviors: world.behaviors.clone(),
+            uploads: world.uploads.sorted_rows(),
+            active_transfer: world.active_transfer.clone(),
+            accepted_since_punishment: world.accepted_since_punishment.clone(),
+            accumulators: world.accumulators.clone(),
+            measuring: world.measuring,
+            evaluation_steps_run: world.evaluation_steps_run,
+            downloads_completed_in_evaluation: world.downloads_completed_in_evaluation as u64,
+            edit_outcome_baseline: world.edit_outcome_baseline,
+            churn_stats: world.churn_stats,
+            global_reputation: world.global_reputation.as_ref().map(|g| GlobalReputation {
+                values: g.values.clone(),
+                iterations: g.iterations,
+                converged: g.converged,
+            }),
+            propagation_runs: world.propagation_runs,
+            propagated_service_reputation: world.propagated_service_reputation.clone(),
+            adversary_stats: world.adversaries.export_unit_stats(),
+            reentry_schedule: world
+                .adversaries
+                .schedule_entries()
+                .iter()
+                .map(|&(at, peer)| (at, peer.0))
+                .collect(),
+            net_stats: world.net_stats,
+        }
+    }
+
+    /// Overwrites a freshly constructed world (same spec) with this state.
+    /// Derived structures — active sets, DHT routing, article caches, the
+    /// upload reverse index — are rebuilt from the restored data.
+    pub fn apply(&self, world: &mut SimWorld) -> Result<(), SnapshotError> {
+        let population = world.config.population;
+        let mismatch = |what: &str| -> SnapshotError {
+            SnapshotError::Mismatch(format!(
+                "{what} does not match the embedded spec (population {population})"
+            ))
+        };
+        if self.peers.len() != population {
+            return Err(mismatch("peer count"));
+        }
+        if self
+            .peers
+            .iter()
+            .enumerate()
+            .any(|(i, p)| p.id.index() != i)
+        {
+            return Err(SnapshotError::Mismatch(
+                "peer ids are not dense".to_string(),
+            ));
+        }
+        if self.behaviors != world.behaviors {
+            return Err(SnapshotError::Mismatch(
+                "behaviour assignment differs from the spec's deterministic assignment".to_string(),
+            ));
+        }
+        if self.ledger.len() != population
+            || self.active_transfer.len() != population
+            || self.accepted_since_punishment.len() != population
+            || self.uploads.len() != population
+            || self.accumulators.len() != population
+        {
+            return Err(mismatch("a per-peer table's length"));
+        }
+        if self.q.len() != world.agents.q_values().len()
+            || self.updates.len() != world.agents.update_counts().len()
+            || self.last_state.len() != population
+            || self.last_action.len() != population
+        {
+            return Err(mismatch("the agent table's learning-state layout"));
+        }
+        if self.adversary_stats.len() != world.adversaries.units().len() {
+            return Err(mismatch("the adversary unit count"));
+        }
+
+        world.clock = SimClock::starting_at(self.step);
+        world.rng = StdRng::from_state(self.rng);
+        world.propagation_rng = StdRng::from_state(self.propagation_rng);
+        world.churn_rng = StdRng::from_state(self.churn_rng);
+        world.adversary_rng = StdRng::from_state(self.adversary_rng);
+        world.net_rng = StdRng::from_state(self.net_rng);
+        world.peers = PeerRegistry::from_peers(self.peers.clone());
+        world.articles = ArticleRegistry::from_parts(self.articles.clone(), self.edits.clone());
+        world.store = ArticleStore::from_rows(
+            self.held
+                .iter()
+                .map(|row| row.iter().map(|&a| ArticleId(a)).collect())
+                .collect(),
+            self.offered
+                .iter()
+                .map(|row| row.iter().map(|&a| ArticleId(a)).collect())
+                .collect(),
+        );
+        world.dht = Dht::from_parts(
+            self.dht_replication as usize,
+            self.dht_members.iter().map(|&p| PeerId(p)).collect(),
+            self.dht_replicas
+                .iter()
+                .map(|(key, holders)| (DhtKey(*key), holders.iter().map(|&p| PeerId(p)).collect()))
+                .collect(),
+        );
+        for (p, record) in self.ledger.iter().enumerate() {
+            world.ledger.restore_peer_state(p, record);
+        }
+        world.transfers = TransferManager::from_state(self.transfers.clone());
+        world.agents.restore_learning_state(
+            &self.q,
+            &self.updates,
+            &self.last_state,
+            &self.last_action,
+        );
+        world.uploads = UploadMatrix::from_sorted_rows(self.uploads.clone());
+        world.active_transfer = self.active_transfer.clone();
+        world.accepted_since_punishment = self.accepted_since_punishment.clone();
+        world.accumulators = self.accumulators.clone();
+        world.measuring = self.measuring;
+        world.evaluation_steps_run = self.evaluation_steps_run;
+        world.downloads_completed_in_evaluation = self.downloads_completed_in_evaluation as usize;
+        world.edit_outcome_baseline = self.edit_outcome_baseline;
+        world.churn_stats = self.churn_stats;
+        world.global_reputation = self.global_reputation.as_ref().map(|g| GlobalReputation {
+            values: g.values.clone(),
+            iterations: g.iterations,
+            converged: g.converged,
+        });
+        world.propagation_runs = self.propagation_runs;
+        world.propagated_service_reputation = self.propagated_service_reputation.clone();
+        world.adversaries.restore_unit_stats(&self.adversary_stats);
+        world.adversaries.restore_schedule(
+            self.reentry_schedule
+                .iter()
+                .map(|&(at, peer)| (at, PeerId(peer)))
+                .collect(),
+        );
+        world.net_stats = self.net_stats;
+        world.active = ActiveSets::recompute(&world.peers, &world.behaviors);
+        Ok(())
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.step);
+        write_rng(w, &self.rng);
+        write_rng(w, &self.propagation_rng);
+        write_rng(w, &self.churn_rng);
+        write_rng(w, &self.adversary_rng);
+        write_rng(w, &self.net_rng);
+        w.usize(self.peers.len());
+        for peer in &self.peers {
+            w.u32(peer.id.0);
+            w.f64(peer.upload_capacity);
+            w.f64(peer.download_capacity);
+            w.u32(peer.storage_capacity);
+            w.f64(peer.shared_upload_fraction);
+            w.u32(peer.shared_articles);
+            w.bool(peer.online);
+            w.u8(connection_tag(peer.connection));
+            w.u64(peer.joined_at);
+        }
+        w.usize(self.articles.len());
+        for article in &self.articles {
+            w.u32(article.id.0);
+            w.u32(article.creator.0);
+            w.u64(article.created_at);
+            write_u32_vec(
+                w,
+                &article
+                    .revision_authors
+                    .iter()
+                    .map(|p| p.0)
+                    .collect::<Vec<_>>(),
+            );
+            w.u32(article.accepted_destructive);
+            w.opt_u64(article.pending_edit.map(|e| e.0));
+        }
+        w.usize(self.edits.len());
+        for edit in &self.edits {
+            w.u64(edit.id.0);
+            w.u32(edit.article.0);
+            w.u32(edit.author.0);
+            w.u8(match edit.kind {
+                EditKind::Constructive => 0,
+                EditKind::Destructive => 1,
+            });
+            w.u8(match edit.status {
+                EditStatus::Pending => 0,
+                EditStatus::Accepted => 1,
+                EditStatus::Declined => 2,
+            });
+            w.u64(edit.submitted_at);
+            w.opt_u64(edit.decided_at);
+        }
+        write_rows(w, &self.held);
+        write_rows(w, &self.offered);
+        w.u64(self.dht_replication);
+        write_u32_vec(w, &self.dht_members);
+        w.usize(self.dht_replicas.len());
+        for (key, holders) in &self.dht_replicas {
+            w.u64(*key);
+            write_u32_vec(w, holders);
+        }
+        w.usize(self.ledger.len());
+        for record in &self.ledger {
+            w.f64(record.sharing);
+            w.f64(record.editing);
+            w.f64(record.total_articles);
+            w.f64(record.total_bandwidth);
+            w.u64(record.total_votes);
+            w.u64(record.total_edits);
+            w.bool(record.can_edit);
+            w.bool(record.can_vote);
+            w.u32(record.unsuccessful_votes);
+            w.u32(record.declined_edits);
+        }
+        w.usize(self.transfers.transfers.len());
+        for t in &self.transfers.transfers {
+            w.u64(t.id);
+            w.u32(t.downloader.0);
+            w.u32(t.source.0);
+            w.u32(t.article.0);
+            w.f64(t.size);
+            w.f64(t.received);
+            w.u64(t.started_at);
+            w.opt_u64(t.finished_at);
+            w.u8(transfer_status_tag(t.status));
+            w.u32(t.failures);
+            w.u64(t.backoff_until);
+            w.u64(t.last_progress_at);
+        }
+        w.usize(self.transfers.in_use.len());
+        for &b in &self.transfers.in_use {
+            w.bool(b);
+        }
+        write_u32_vec(w, &self.transfers.free);
+        w.u64(self.transfers.completed);
+        w.u64(self.transfers.completed_duration_sum);
+        write_f64_vec(w, &self.transfers.retired_received);
+        write_f64_vec(w, &self.transfers.retired_served);
+        write_f64_vec(w, &self.q);
+        write_u64_vec(w, &self.updates);
+        write_u32_vec(w, &self.last_state);
+        w.usize(self.last_action.len());
+        for &a in &self.last_action {
+            w.u8(a);
+        }
+        w.usize(self.behaviors.len());
+        for &b in &self.behaviors {
+            w.u8(behavior_tag(b));
+        }
+        w.usize(self.uploads.len());
+        for row in &self.uploads {
+            w.usize(row.len());
+            for &(to, amount) in row {
+                w.u32(to);
+                w.f64(amount);
+            }
+        }
+        w.usize(self.active_transfer.len());
+        for &slot in &self.active_transfer {
+            w.opt_u64(slot);
+        }
+        write_u32_vec(w, &self.accepted_since_punishment);
+        write_f64_vec(w, &self.accumulators.shared_bandwidth_sum);
+        write_f64_vec(w, &self.accumulators.shared_articles_sum);
+        write_f64_vec(w, &self.accumulators.downloaded_sum);
+        write_f64_vec(w, &self.accumulators.utility_sum);
+        write_u64_vec(w, &self.accumulators.constructive_edits);
+        write_u64_vec(w, &self.accumulators.destructive_edits);
+        write_u64_vec(w, &self.accumulators.votes);
+        write_u64_vec(w, &self.accumulators.steps);
+        w.bool(self.measuring);
+        w.u64(self.evaluation_steps_run);
+        w.u64(self.downloads_completed_in_evaluation);
+        w.u64(self.edit_outcome_baseline.accepted_constructive);
+        w.u64(self.edit_outcome_baseline.accepted_destructive);
+        w.u64(self.edit_outcome_baseline.declined_constructive);
+        w.u64(self.edit_outcome_baseline.declined_destructive);
+        w.u64(self.edit_outcome_baseline.pending);
+        w.u64(self.churn_stats.joins);
+        w.u64(self.churn_stats.leaves);
+        w.u64(self.churn_stats.whitewashes);
+        w.f64(self.churn_stats.reentry_reputation_sum);
+        w.f64(self.churn_stats.whitewash_reputation_shed_sum);
+        match &self.global_reputation {
+            Some(global) => {
+                w.u8(1);
+                write_f64_vec(w, &global.values);
+                w.usize(global.iterations);
+                w.bool(global.converged);
+            }
+            None => w.u8(0),
+        }
+        w.u64(self.propagation_runs);
+        match &self.propagated_service_reputation {
+            Some(values) => {
+                w.u8(1);
+                write_f64_vec(w, values);
+            }
+            None => w.u8(0),
+        }
+        w.usize(self.adversary_stats.len());
+        for stats in &self.adversary_stats {
+            w.u64(stats.resets);
+            w.f64(stats.reputation_shed_sum);
+            w.u64(stats.forced_steps);
+            w.u64(stats.departures);
+            w.u64(stats.rejoins);
+            w.u64(stats.override_votes);
+        }
+        w.usize(self.reentry_schedule.len());
+        for &(at, peer) in &self.reentry_schedule {
+            w.u64(at);
+            w.u32(peer);
+        }
+        w.f64(self.net_stats.grants_offered);
+        w.f64(self.net_stats.grants_applied);
+        w.f64(self.net_stats.grants_lost);
+        w.f64(self.net_stats.grants_delayed);
+        w.u64(self.net_stats.transfers_failed);
+        w.u64(self.net_stats.transfers_timed_out);
+        w.u64(self.net_stats.transfers_rerouted);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        let step = r.u64()?;
+        let rng = read_rng(r)?;
+        let propagation_rng = read_rng(r)?;
+        let churn_rng = read_rng(r)?;
+        let adversary_rng = read_rng(r)?;
+        let net_rng = read_rng(r)?;
+        let peer_count = r.len()?;
+        let mut peers = Vec::with_capacity(peer_count);
+        for _ in 0..peer_count {
+            peers.push(Peer {
+                id: PeerId(r.u32()?),
+                upload_capacity: r.f64()?,
+                download_capacity: r.f64()?,
+                storage_capacity: r.u32()?,
+                shared_upload_fraction: r.f64()?,
+                shared_articles: r.u32()?,
+                online: r.bool()?,
+                connection: connection_from_tag(r.u8()?)?,
+                joined_at: r.u64()?,
+            });
+        }
+        let article_count = r.len()?;
+        let mut articles = Vec::with_capacity(article_count);
+        for _ in 0..article_count {
+            let id = ArticleId(r.u32()?);
+            let creator = PeerId(r.u32()?);
+            let created_at = r.u64()?;
+            let revision_authors = read_u32_vec(r)?.into_iter().map(PeerId).collect();
+            let accepted_destructive = r.u32()?;
+            let pending_edit = r.opt_u64()?.map(EditId);
+            articles.push(Article::from_parts(
+                id,
+                creator,
+                created_at,
+                revision_authors,
+                accepted_destructive,
+                pending_edit,
+            ));
+        }
+        let edit_count = r.len()?;
+        let mut edits = Vec::with_capacity(edit_count);
+        for _ in 0..edit_count {
+            edits.push(Edit {
+                id: EditId(r.u64()?),
+                article: ArticleId(r.u32()?),
+                author: PeerId(r.u32()?),
+                kind: match r.u8()? {
+                    0 => EditKind::Constructive,
+                    1 => EditKind::Destructive,
+                    other => {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "invalid edit-kind tag {other}"
+                        )))
+                    }
+                },
+                status: match r.u8()? {
+                    0 => EditStatus::Pending,
+                    1 => EditStatus::Accepted,
+                    2 => EditStatus::Declined,
+                    other => {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "invalid edit-status tag {other}"
+                        )))
+                    }
+                },
+                submitted_at: r.u64()?,
+                decided_at: r.opt_u64()?,
+            });
+        }
+        let held = read_rows(r)?;
+        let offered = read_rows(r)?;
+        let dht_replication = r.u64()?;
+        let dht_members = read_u32_vec(r)?;
+        let replica_count = r.len()?;
+        let mut dht_replicas = Vec::with_capacity(replica_count);
+        for _ in 0..replica_count {
+            let key = r.u64()?;
+            dht_replicas.push((key, read_u32_vec(r)?));
+        }
+        let ledger_count = r.len()?;
+        let mut ledger = Vec::with_capacity(ledger_count);
+        for _ in 0..ledger_count {
+            ledger.push(PeerLedgerState {
+                sharing: r.f64()?,
+                editing: r.f64()?,
+                total_articles: r.f64()?,
+                total_bandwidth: r.f64()?,
+                total_votes: r.u64()?,
+                total_edits: r.u64()?,
+                can_edit: r.bool()?,
+                can_vote: r.bool()?,
+                unsuccessful_votes: r.u32()?,
+                declined_edits: r.u32()?,
+            });
+        }
+        let transfer_count = r.len()?;
+        let mut transfer_slots = Vec::with_capacity(transfer_count);
+        for _ in 0..transfer_count {
+            transfer_slots.push(Transfer {
+                id: r.u64()?,
+                downloader: PeerId(r.u32()?),
+                source: PeerId(r.u32()?),
+                article: ArticleId(r.u32()?),
+                size: r.f64()?,
+                received: r.f64()?,
+                started_at: r.u64()?,
+                finished_at: r.opt_u64()?,
+                status: transfer_status_from_tag(r.u8()?)?,
+                failures: r.u32()?,
+                backoff_until: r.u64()?,
+                last_progress_at: r.u64()?,
+            });
+        }
+        let in_use_count = r.len()?;
+        let mut in_use = Vec::with_capacity(in_use_count);
+        for _ in 0..in_use_count {
+            in_use.push(r.bool()?);
+        }
+        let transfers = TransferArenaState {
+            transfers: transfer_slots,
+            in_use,
+            free: read_u32_vec(r)?,
+            completed: r.u64()?,
+            completed_duration_sum: r.u64()?,
+            retired_received: read_f64_vec(r)?,
+            retired_served: read_f64_vec(r)?,
+        };
+        let q = read_f64_vec(r)?;
+        let updates = read_u64_vec(r)?;
+        let last_state = read_u32_vec(r)?;
+        let action_count = r.len()?;
+        let mut last_action = Vec::with_capacity(action_count);
+        for _ in 0..action_count {
+            last_action.push(r.u8()?);
+        }
+        let behavior_count = r.len()?;
+        let mut behaviors = Vec::with_capacity(behavior_count);
+        for _ in 0..behavior_count {
+            behaviors.push(behavior_from_tag(r.u8()?)?);
+        }
+        let upload_rows = r.len()?;
+        let mut uploads = Vec::with_capacity(upload_rows);
+        for _ in 0..upload_rows {
+            let entries = r.len()?;
+            let mut row = Vec::with_capacity(entries);
+            for _ in 0..entries {
+                let to = r.u32()?;
+                row.push((to, r.f64()?));
+            }
+            uploads.push(row);
+        }
+        let slot_count = r.len()?;
+        let mut active_transfer = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            active_transfer.push(r.opt_u64()?);
+        }
+        let accepted_since_punishment = read_u32_vec(r)?;
+        let accumulators = AccumulatorTable {
+            shared_bandwidth_sum: read_f64_vec(r)?,
+            shared_articles_sum: read_f64_vec(r)?,
+            downloaded_sum: read_f64_vec(r)?,
+            utility_sum: read_f64_vec(r)?,
+            constructive_edits: read_u64_vec(r)?,
+            destructive_edits: read_u64_vec(r)?,
+            votes: read_u64_vec(r)?,
+            steps: read_u64_vec(r)?,
+        };
+        let measuring = r.bool()?;
+        let evaluation_steps_run = r.u64()?;
+        let downloads_completed_in_evaluation = r.u64()?;
+        let edit_outcome_baseline = EditOutcomeCounts {
+            accepted_constructive: r.u64()?,
+            accepted_destructive: r.u64()?,
+            declined_constructive: r.u64()?,
+            declined_destructive: r.u64()?,
+            pending: r.u64()?,
+        };
+        let churn_stats = ChurnStats {
+            joins: r.u64()?,
+            leaves: r.u64()?,
+            whitewashes: r.u64()?,
+            reentry_reputation_sum: r.f64()?,
+            whitewash_reputation_shed_sum: r.f64()?,
+        };
+        let global_reputation = match r.u8()? {
+            0 => None,
+            1 => Some(GlobalReputation {
+                values: read_f64_vec(r)?,
+                iterations: r.u64()? as usize,
+                converged: r.bool()?,
+            }),
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "invalid option tag {other}"
+                )))
+            }
+        };
+        let propagation_runs = r.u64()?;
+        let propagated_service_reputation = match r.u8()? {
+            0 => None,
+            1 => Some(read_f64_vec(r)?),
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "invalid option tag {other}"
+                )))
+            }
+        };
+        let stats_count = r.len()?;
+        let mut adversary_stats = Vec::with_capacity(stats_count);
+        for _ in 0..stats_count {
+            adversary_stats.push(AttackStats {
+                resets: r.u64()?,
+                reputation_shed_sum: r.f64()?,
+                forced_steps: r.u64()?,
+                departures: r.u64()?,
+                rejoins: r.u64()?,
+                override_votes: r.u64()?,
+            });
+        }
+        let schedule_count = r.len()?;
+        let mut reentry_schedule = Vec::with_capacity(schedule_count);
+        for _ in 0..schedule_count {
+            let at = r.u64()?;
+            reentry_schedule.push((at, r.u32()?));
+        }
+        let net_stats = NetStats {
+            grants_offered: r.f64()?,
+            grants_applied: r.f64()?,
+            grants_lost: r.f64()?,
+            grants_delayed: r.f64()?,
+            transfers_failed: r.u64()?,
+            transfers_timed_out: r.u64()?,
+            transfers_rerouted: r.u64()?,
+        };
+        Ok(Self {
+            step,
+            rng,
+            propagation_rng,
+            churn_rng,
+            adversary_rng,
+            net_rng,
+            peers,
+            articles,
+            edits,
+            held,
+            offered,
+            dht_replication,
+            dht_members,
+            dht_replicas,
+            ledger,
+            transfers,
+            q,
+            updates,
+            last_state,
+            last_action,
+            behaviors,
+            uploads,
+            active_transfer,
+            accepted_since_punishment,
+            accumulators,
+            measuring,
+            evaluation_steps_run,
+            downloads_completed_in_evaluation,
+            edit_outcome_baseline,
+            churn_stats,
+            global_reputation,
+            propagation_runs,
+            propagated_service_reputation,
+            adversary_stats,
+            reentry_schedule,
+            net_stats,
+        })
+    }
+}
+
+impl Snapshot {
+    /// Captures a snapshot of `world`, embedding `spec` (the spec the
+    /// simulation was built from) as its exact text form.
+    pub fn capture(world: &SimWorld, spec: &ScenarioSpec) -> Self {
+        Self {
+            spec_text: spec.to_text(),
+            state: WorldState::capture(world),
+        }
+    }
+
+    /// The step counter at capture time.
+    pub fn step(&self) -> u64 {
+        self.state.step
+    }
+
+    /// Restores this snapshot's state onto a freshly constructed world
+    /// (built from the same spec). See [`WorldState::apply`].
+    pub fn apply(&self, world: &mut SimWorld) -> Result<(), SnapshotError> {
+        self.state.apply(world)
+    }
+
+    /// Encodes the snapshot into its framed binary form:
+    /// magic, version, payload length, payload, FNV-1a64 content hash.
+    /// Encoding is deterministic — equal snapshots produce equal bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Writer::new();
+        payload.str(&self.spec_text);
+        self.state.encode(&mut payload);
+        let payload = payload.into_bytes();
+        let mut bytes = Vec::with_capacity(payload.len() + 26);
+        bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let hash = fnv1a64(&payload);
+        bytes.extend_from_slice(&payload);
+        bytes.extend_from_slice(&hash.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes a framed snapshot, verifying magic, version, length and
+    /// content hash before parsing the payload. Every malformation is a
+    /// typed [`SnapshotError`], never a panic.
+    pub fn decode(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        const HEADER: usize = 8 + 2 + 8;
+        if bytes.len() < HEADER + 8 {
+            return Err(SnapshotError::Corrupt(format!(
+                "{} bytes is shorter than the minimal frame",
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::Corrupt(
+                "bad magic (not a collabsim snapshot)".to_string(),
+            ));
+        }
+        let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch { found: version });
+        }
+        let payload_len = u64::from_le_bytes(bytes[10..HEADER].try_into().unwrap()) as usize;
+        let expected_total = HEADER
+            .checked_add(payload_len)
+            .and_then(|n| n.checked_add(8));
+        if expected_total != Some(bytes.len()) {
+            return Err(SnapshotError::Corrupt(format!(
+                "frame length mismatch: header announces a {payload_len}-byte payload, file has {} bytes",
+                bytes.len()
+            )));
+        }
+        let payload = &bytes[HEADER..HEADER + payload_len];
+        let stored_hash = u64::from_le_bytes(bytes[HEADER + payload_len..].try_into().unwrap());
+        let actual_hash = fnv1a64(payload);
+        if stored_hash != actual_hash {
+            return Err(SnapshotError::Corrupt(format!(
+                "content hash mismatch (stored {stored_hash:016x}, computed {actual_hash:016x})"
+            )));
+        }
+        let mut reader = Reader::new(payload);
+        let spec_text = reader.str()?;
+        let state = WorldState::decode(&mut reader)?;
+        reader.finish()?;
+        Ok(Self { spec_text, state })
+    }
+
+    /// Forks the snapshot onto a different originating spec — the
+    /// warm-start primitive: equilibrate a base population once, then fork
+    /// one cell per scenario variant from the shared checkpoint.
+    ///
+    /// The new spec must describe the *same* population (size, behaviour
+    /// mix, seed — [`WorldState::apply`] rejects anything whose
+    /// deterministic behaviour assignment differs), but may change what
+    /// happens next: incentive scheme, phase lengths, and in particular the
+    /// adversary roster. Per-unit attack counters are realigned to the new
+    /// spec's unit list — units the fork adds start with zeroed
+    /// [`AttackStats`] (fresh attackers entering an equilibrated network),
+    /// units it removes drop their counters, and the re-entry schedule of a
+    /// removed roster is cleared.
+    pub fn with_spec(&self, spec: &ScenarioSpec) -> Snapshot {
+        let mut state = self.state.clone();
+        let units = spec.config().adversaries.len();
+        state.adversary_stats.resize(units, AttackStats::default());
+        if units == 0 {
+            state.reentry_schedule.clear();
+        }
+        Snapshot {
+            spec_text: spec.to_text(),
+            state,
+        }
+    }
+
+    /// The content-derived store key of this snapshot:
+    /// `step<step>-<hash>` — lexicographic order is chronological order,
+    /// and the hash makes distinct states at the same step distinct keys.
+    pub fn key(&self) -> String {
+        let bytes = self.encode();
+        format!("step{:010}-{:016x}", self.state.step, fnv1a64(&bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PhaseConfig, SimulationConfig};
+    use crate::engine::Simulation;
+    use collabsim_gametheory::behavior::BehaviorMix;
+
+    fn quick_spec() -> ScenarioSpec {
+        let config = SimulationConfig {
+            population: 20,
+            initial_articles: 10,
+            phases: PhaseConfig {
+                training_steps: 60,
+                evaluation_steps: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_mix(BehaviorMix::new(0.5, 0.25, 0.25))
+        .with_seed(0xC0FFEE);
+        ScenarioSpec::from_config(config).expect("valid config")
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bitwise() {
+        let spec = quick_spec();
+        let mut sim = Simulation::from_spec(&spec).unwrap();
+        for _ in 0..30 {
+            sim.step(10_000.0);
+        }
+        let snapshot = sim.snapshot(&spec);
+        let bytes = snapshot.encode();
+        let decoded = Snapshot::decode(&bytes).expect("decodes");
+        assert_eq!(decoded.encode(), bytes, "re-encoding must be bit-identical");
+        assert_eq!(decoded.spec_text, snapshot.spec_text);
+        assert_eq!(decoded.step(), 30);
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_are_detected() {
+        let spec = quick_spec();
+        let mut sim = Simulation::from_spec(&spec).unwrap();
+        sim.step(10_000.0);
+        let bytes = sim.snapshot(&spec).encode();
+        for cut in [0, 5, 17, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    Snapshot::decode(&bytes[..cut]),
+                    Err(SnapshotError::Corrupt(_))
+                ),
+                "truncation at {cut} must be detected"
+            );
+        }
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert!(matches!(
+            Snapshot::decode(&flipped),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let spec = quick_spec();
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let mut bytes = sim.snapshot(&spec).encode();
+        bytes[8] = 0x63; // version 0x??63
+        bytes[9] = 0x00;
+        assert!(matches!(
+            Snapshot::decode(&bytes),
+            Err(SnapshotError::VersionMismatch { found: 0x63 })
+        ));
+    }
+
+    #[test]
+    fn resume_mid_training_is_bit_identical() {
+        let spec = quick_spec();
+        let straight = Simulation::from_spec(&spec).unwrap().run();
+
+        let mut first_half = Simulation::from_spec(&spec).unwrap();
+        for _ in 0..25 {
+            first_half.step(spec.config().phases.training_temperature);
+        }
+        let snapshot = first_half.snapshot(&spec);
+        drop(first_half);
+        let bytes = snapshot.encode();
+        let restored = Snapshot::decode(&bytes).unwrap();
+        let mut resumed = Simulation::resume_from(&restored).unwrap();
+        let report = resumed.finish();
+        assert_eq!(
+            format!("{straight:?}"),
+            format!("{report:?}"),
+            "resumed run must reproduce the straight run bit for bit"
+        );
+    }
+
+    #[test]
+    fn checkpointed_run_is_unperturbed_and_resumes_mid_evaluation() {
+        let spec = quick_spec();
+        let straight = Simulation::from_spec(&spec).unwrap().run();
+
+        // 60 training + 40 evaluation steps, checkpoint every 25 global
+        // steps → snapshots at 25, 50 (training), 75, 100 (evaluation).
+        let mut store = MemStore::new();
+        let mut sim = Simulation::from_spec(&spec).unwrap();
+        let (checkpointed, keys) = sim
+            .run_with_checkpoints(&spec, 25, &mut store)
+            .expect("checkpointed run succeeds");
+        assert_eq!(
+            format!("{straight:?}"),
+            format!("{checkpointed:?}"),
+            "taking checkpoints must not perturb the run"
+        );
+        assert_eq!(keys.len(), 4);
+        assert_eq!(store.keys().unwrap(), keys, "keys sort chronologically");
+
+        let mid_evaluation = store.get(&keys[2]).expect("snapshot at step 75");
+        assert!(mid_evaluation.state.measuring);
+        assert_eq!(mid_evaluation.step(), 75);
+        let report = Simulation::resume_from(&mid_evaluation).unwrap().finish();
+        assert_eq!(format!("{straight:?}"), format!("{report:?}"));
+    }
+
+    #[test]
+    fn resume_restores_every_named_rng_stream() {
+        // A scenario exercising churn + adversaries + propagation + faults
+        // draws from all five streams; resume must continue each stream
+        // exactly where it stopped.
+        let mut config = SimulationConfig {
+            population: 24,
+            initial_articles: 8,
+            phases: PhaseConfig {
+                training_steps: 50,
+                evaluation_steps: 30,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_mix(BehaviorMix::new(0.5, 0.25, 0.25))
+        .with_seed(7)
+        .with_propagation(
+            collabsim_reputation::propagation::PropagationScheme::EigenTrust,
+            10,
+        );
+        config.churn = collabsim_netsim::churn::ChurnModel {
+            join_probability: 0.02,
+            leave_probability: 0.02,
+            whitewash_probability: 0.01,
+        };
+        config.network = collabsim_netsim::fault::LinkModel::IidLoss { loss: 0.05 };
+        config.adversaries = vec![crate::adversary::AdversarySpec::new("naive-whitewash", 3)];
+        let spec = ScenarioSpec::from_config(config).expect("valid config");
+
+        let straight = Simulation::from_spec(&spec).unwrap().run();
+        let mut sim = Simulation::from_spec(&spec).unwrap();
+        for _ in 0..23 {
+            sim.step(spec.config().phases.training_temperature);
+        }
+        let restored = Snapshot::decode(&sim.snapshot(&spec).encode()).unwrap();
+        let mut resumed = Simulation::resume_from(&restored).unwrap();
+        let report = resumed.finish();
+        assert_eq!(format!("{straight:?}"), format!("{report:?}"));
+    }
+
+    #[test]
+    fn warm_start_fork_onto_an_adversary_cell_is_deterministic() {
+        // Equilibrate an adversary-free base population through training,
+        // then fork a strategy cell from the shared checkpoint: the fork
+        // realigns the per-unit attack counters (fresh attackers enter an
+        // equilibrated network with zeroed stats), and an in-memory resume
+        // is bit-identical to a resume of the encoded/decoded fork — the
+        // warm == cold property of the warm-started grids.
+        let base = quick_spec();
+        let mut sim = Simulation::from_spec(&base).unwrap();
+        sim.run_training();
+        let checkpoint = sim.snapshot(&base);
+        assert_eq!(checkpoint.step(), 60);
+        assert!(checkpoint.state.adversary_stats.is_empty());
+
+        let cell_config = SimulationConfig {
+            population: 20,
+            initial_articles: 10,
+            phases: PhaseConfig {
+                training_steps: 60,
+                evaluation_steps: 40,
+                ..Default::default()
+            },
+            adversaries: vec![crate::adversary::AdversarySpec::new("collusion-ring", 2)],
+            ..Default::default()
+        }
+        .with_mix(BehaviorMix::new(0.5, 0.25, 0.25))
+        .with_seed(0xC0FFEE);
+        let cell_spec = ScenarioSpec::from_config(cell_config).expect("valid cell config");
+
+        let fork = checkpoint.with_spec(&cell_spec);
+        assert_eq!(fork.state.adversary_stats.len(), 1, "one fresh unit");
+        let warm = Simulation::resume_from(&fork).unwrap().finish();
+        let cold = Simulation::resume_from(&Snapshot::decode(&fork.encode()).unwrap())
+            .unwrap()
+            .finish();
+        assert_eq!(
+            format!("{warm:?}"),
+            format!("{cold:?}"),
+            "warm in-memory fork and cold on-disk fork must agree bit for bit"
+        );
+    }
+
+    #[test]
+    fn mispaired_state_is_a_typed_mismatch() {
+        let spec = quick_spec();
+        let sim = Simulation::from_spec(&spec).unwrap();
+        let mut snapshot = sim.snapshot(&spec);
+        // Embed a spec with a different population: state no longer fits.
+        let other = ScenarioSpec::from_config(
+            SimulationConfig {
+                population: 30,
+                initial_articles: 10,
+                phases: PhaseConfig {
+                    training_steps: 60,
+                    evaluation_steps: 40,
+                    ..Default::default()
+                },
+                ..Default::default()
+            }
+            .with_seed(0xC0FFEE),
+        )
+        .unwrap();
+        snapshot.spec_text = other.to_text();
+        assert!(matches!(
+            Simulation::resume_from(&snapshot),
+            Err(SnapshotError::Mismatch(_))
+        ));
+    }
+}

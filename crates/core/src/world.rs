@@ -323,6 +323,33 @@ impl UploadMatrix {
         self.rows.iter().map(HashMap::len).sum()
     }
 
+    /// The upload relations as one `(counterparty, total)` list per row,
+    /// sorted by counterparty id (checkpoint export: the sorted order makes
+    /// the serialization independent of map insertion history).
+    pub fn sorted_rows(&self) -> Vec<Vec<(u32, f64)>> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let mut entries: Vec<(u32, f64)> = row.iter().map(|(&k, &v)| (k, v)).collect();
+                entries.sort_unstable_by_key(|&(k, _)| k);
+                entries
+            })
+            .collect()
+    }
+
+    /// Rebuilds a matrix from a [`UploadMatrix::sorted_rows`] export,
+    /// including the reverse index. No code path iterates a row, so the
+    /// changed insertion order never influences results.
+    pub fn from_sorted_rows(rows: Vec<Vec<(u32, f64)>>) -> Self {
+        let mut matrix = Self::new(rows.len());
+        for (from, row) in rows.iter().enumerate() {
+            for &(to, amount) in row {
+                matrix.add(from, to as usize, amount);
+            }
+        }
+        matrix
+    }
+
     /// Forgets every relation involving `peer` — uploads by it (its row)
     /// and to it (its column, via the reverse index, so the cost is the
     /// peer's degree rather than the population). A whitewashed identity

@@ -134,6 +134,31 @@ impl Article {
         }
     }
 
+    /// Rebuilds an article from its checkpointed parts. The derived voter
+    /// set is recomputed from the revision history (sorted, de-duplicated),
+    /// exactly as the incremental maintenance would have left it.
+    pub fn from_parts(
+        id: ArticleId,
+        creator: PeerId,
+        created_at: u64,
+        revision_authors: Vec<PeerId>,
+        accepted_destructive: u32,
+        pending_edit: Option<EditId>,
+    ) -> Self {
+        let mut voter_set = revision_authors.clone();
+        voter_set.sort_unstable();
+        voter_set.dedup();
+        Self {
+            id,
+            creator,
+            created_at,
+            revision_authors,
+            voter_set,
+            accepted_destructive,
+            pending_edit,
+        }
+    }
+
     /// Records an accepted revision by `author` (history plus voter set).
     fn record_revision(&mut self, author: PeerId) {
         self.revision_authors.push(author);
@@ -197,6 +222,34 @@ impl ArticleRegistry {
     /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a registry from checkpointed articles and edits. The
+    /// derived caches (pending edits per author, editable articles) are
+    /// recomputed: iterating edits in id order reproduces the per-author
+    /// push order, and article ids are dense so the editable filter is
+    /// already sorted.
+    pub fn from_parts(articles: Vec<Article>, edits: Vec<Edit>) -> Self {
+        let mut pending_by_author: HashMap<PeerId, Vec<EditId>> = HashMap::new();
+        for edit in &edits {
+            if edit.status == EditStatus::Pending {
+                pending_by_author
+                    .entry(edit.author)
+                    .or_default()
+                    .push(edit.id);
+            }
+        }
+        let editable = articles
+            .iter()
+            .filter(|article| article.pending_edit.is_none())
+            .map(|article| article.id)
+            .collect();
+        Self {
+            articles,
+            edits,
+            pending_by_author,
+            editable,
+        }
     }
 
     /// Number of articles.

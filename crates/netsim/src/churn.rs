@@ -183,6 +183,17 @@ impl ReentrySchedule {
         self.entries.iter().any(|&(_, p)| p == peer)
     }
 
+    /// The queued `(due step, peer)` entries in scheduling order, for
+    /// checkpointing.
+    pub fn entries(&self) -> &[(u64, PeerId)] {
+        &self.entries
+    }
+
+    /// Rebuilds a schedule from checkpointed entries, preserving order.
+    pub fn from_entries(entries: Vec<(u64, PeerId)>) -> Self {
+        Self { entries }
+    }
+
     /// Number of queued entries.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -96,6 +96,57 @@ impl Dht {
         self.replication
     }
 
+    /// The member peers in join order, for checkpointing (keys are a pure
+    /// function of the peer id and are not exported).
+    pub fn member_peers(&self) -> Vec<PeerId> {
+        self.members.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// The replica registry as `(key, holders)` pairs with both levels
+    /// sorted, for checkpointing (the in-memory hash containers carry no
+    /// meaningful order).
+    pub fn replica_entries(&self) -> Vec<(DhtKey, Vec<PeerId>)> {
+        let mut entries: Vec<(DhtKey, Vec<PeerId>)> = self
+            .replicas
+            .iter()
+            .map(|(&key, set)| {
+                let mut holders: Vec<PeerId> = set.iter().copied().collect();
+                holders.sort_unstable();
+                (key, holders)
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(key, _)| key);
+        entries
+    }
+
+    /// Rebuilds a DHT from checkpointed members and replicas. Routing
+    /// tables are a pure function of the membership and are recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication` is zero.
+    pub fn from_parts(
+        replication: usize,
+        members: Vec<PeerId>,
+        replicas: Vec<(DhtKey, Vec<PeerId>)>,
+    ) -> Self {
+        assert!(replication > 0, "replication factor must be positive");
+        let mut dht = Self {
+            members: members
+                .into_iter()
+                .map(|p| (p, DhtKey::for_peer(p)))
+                .collect(),
+            routing: HashMap::new(),
+            replicas: replicas
+                .into_iter()
+                .map(|(key, holders)| (key, holders.into_iter().collect()))
+                .collect(),
+            replication,
+        };
+        dht.rebuild_routing();
+        dht
+    }
+
     /// Adds a peer to the DHT and (re)builds its routing table: each peer
     /// keeps its `⌈log2 n⌉ + replication` closest members plus a spread of
     /// exponentially spaced members for long hops.

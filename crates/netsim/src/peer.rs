@@ -145,6 +145,19 @@ impl PeerRegistry {
         Self::default()
     }
 
+    /// Rebuilds a registry from checkpointed peers. Peers must be listed in
+    /// dense-id order (the order [`PeerRegistry::iter`] yields them in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any peer's id does not match its position.
+    pub fn from_peers(peers: Vec<Peer>) -> Self {
+        for (index, peer) in peers.iter().enumerate() {
+            assert_eq!(peer.id.index(), index, "peer ids must be dense");
+        }
+        Self { peers }
+    }
+
     /// Creates a registry pre-populated with `count` homogeneous peers that
     /// joined at time step 0.
     pub fn with_population(count: usize) -> Self {

@@ -64,6 +64,35 @@ impl ArticleStore {
         Self::default()
     }
 
+    /// The held table (peer index → sorted held articles), for
+    /// checkpointing.
+    pub fn held_rows(&self) -> &[Vec<ArticleId>] {
+        &self.held
+    }
+
+    /// The offered table, row-aligned with [`ArticleStore::held_rows`].
+    pub fn offered_rows(&self) -> &[Vec<ArticleId>] {
+        &self.offered
+    }
+
+    /// Rebuilds a store from checkpointed held/offered tables. The inverse
+    /// holder index is recomputed from the held rows (iterating peers in
+    /// ascending order keeps every holder row sorted).
+    pub fn from_rows(held: Vec<Vec<ArticleId>>, offered: Vec<Vec<ArticleId>>) -> Self {
+        let mut holders: Vec<Vec<PeerId>> = Vec::new();
+        for (peer, articles) in held.iter().enumerate() {
+            for article in articles {
+                row_mut(&mut holders, article.index())
+                    .push(PeerId(u32::try_from(peer).expect("too many peers")));
+            }
+        }
+        Self {
+            held,
+            offered,
+            holders,
+        }
+    }
+
     /// Records that `peer` holds a replica of `article`.
     pub fn add_replica(&mut self, peer: PeerId, article: ArticleId) {
         let held = row_mut(&mut self.held, peer.index());

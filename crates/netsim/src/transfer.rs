@@ -113,10 +113,58 @@ pub struct TransferManager {
     retired_served: Vec<f64>,
 }
 
+/// The complete arena state of a [`TransferManager`], exported verbatim
+/// for checkpointing — including the free list and `in_use` flags, so slot
+/// recycling after a restore proceeds exactly as it would have in the
+/// original process.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransferArenaState {
+    /// Every slot, live or released, in slot order.
+    pub transfers: Vec<Transfer>,
+    /// Liveness flag per slot.
+    pub in_use: Vec<bool>,
+    /// Released slot ids in stack order.
+    pub free: Vec<u32>,
+    /// Completed transfers ever.
+    pub completed: u64,
+    /// Summed duration of completed transfers ever.
+    pub completed_duration_sum: u64,
+    /// Retired bytes received per downloader.
+    pub retired_received: Vec<f64>,
+    /// Retired bytes served per source.
+    pub retired_served: Vec<f64>,
+}
+
 impl TransferManager {
     /// Creates an empty manager.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Exports the full arena state for checkpointing.
+    pub fn export_state(&self) -> TransferArenaState {
+        TransferArenaState {
+            transfers: self.transfers.clone(),
+            in_use: self.in_use.clone(),
+            free: self.free.clone(),
+            completed: self.completed,
+            completed_duration_sum: self.completed_duration_sum,
+            retired_received: self.retired_received.clone(),
+            retired_served: self.retired_served.clone(),
+        }
+    }
+
+    /// Rebuilds a manager from an exported arena state, verbatim.
+    pub fn from_state(state: TransferArenaState) -> Self {
+        Self {
+            transfers: state.transfers,
+            in_use: state.in_use,
+            free: state.free,
+            completed: state.completed,
+            completed_duration_sum: state.completed_duration_sum,
+            retired_received: state.retired_received,
+            retired_served: state.retired_served,
+        }
     }
 
     /// Starts a new transfer of a unit-size article and returns its id.

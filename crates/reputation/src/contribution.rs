@@ -259,6 +259,26 @@ impl ContributionTracker {
         }
     }
 
+    /// Overwrites every running value with checkpointed state. The
+    /// parameters are construction-time configuration and stay as-is.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_values(
+        &mut self,
+        sharing: f64,
+        editing: f64,
+        total_articles: f64,
+        total_bandwidth: f64,
+        total_votes: u64,
+        total_edits: u64,
+    ) {
+        self.sharing = sharing;
+        self.editing = editing;
+        self.total_articles = total_articles;
+        self.total_bandwidth = total_bandwidth;
+        self.total_votes = total_votes;
+        self.total_edits = total_edits;
+    }
+
     /// Resets both contribution values to zero (used by the punishment
     /// policy and by the phase switch of the simulation, which "resets the
     /// reputation values but the agents keep their Q-Matrices").

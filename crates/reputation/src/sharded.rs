@@ -198,6 +198,34 @@ impl DeltaBatch {
     }
 }
 
+/// One peer's complete mutable ledger state — contribution values, raw
+/// cumulative counters, rights and punishment counters — exported verbatim
+/// for checkpointing. The reputation functions and contribution parameters
+/// are construction-time configuration and are not part of the state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PeerLedgerState {
+    /// Current sharing contribution `C_S`.
+    pub sharing: f64,
+    /// Current editing/voting contribution `C_E`.
+    pub editing: f64,
+    /// Cumulative articles ever shared.
+    pub total_articles: f64,
+    /// Cumulative bandwidth ever shared.
+    pub total_bandwidth: f64,
+    /// Cumulative successful votes.
+    pub total_votes: u64,
+    /// Cumulative accepted edits.
+    pub total_edits: u64,
+    /// Whether the peer holds editing rights.
+    pub can_edit: bool,
+    /// Whether the peer holds voting rights.
+    pub can_vote: bool,
+    /// Accumulated unsuccessful votes.
+    pub unsuccessful_votes: u32,
+    /// Accumulated declined edits.
+    pub declined_edits: u32,
+}
+
 /// The reputation ledger for a whole population, sharded by peer-id range.
 ///
 /// Drop-in replacement for the dense
@@ -508,6 +536,42 @@ impl ShardedLedger {
                 record.declined_edits = 0;
             }
         }
+    }
+
+    /// Exports one peer's complete mutable state for checkpointing.
+    pub fn export_peer_state(&self, peer: usize) -> PeerLedgerState {
+        let record = self.record(peer);
+        let contributions = &record.contributions;
+        PeerLedgerState {
+            sharing: contributions.sharing(),
+            editing: contributions.editing(),
+            total_articles: contributions.total_articles(),
+            total_bandwidth: contributions.total_bandwidth(),
+            total_votes: contributions.total_votes(),
+            total_edits: contributions.total_edits(),
+            can_edit: record.can_edit,
+            can_vote: record.can_vote,
+            unsuccessful_votes: record.unsuccessful_votes,
+            declined_edits: record.declined_edits,
+        }
+    }
+
+    /// Overwrites one peer's mutable state with checkpointed values,
+    /// verbatim (the exact inverse of [`ShardedLedger::export_peer_state`]).
+    pub fn restore_peer_state(&mut self, peer: usize, state: &PeerLedgerState) {
+        let record = self.record_mut(peer);
+        record.contributions.restore_values(
+            state.sharing,
+            state.editing,
+            state.total_articles,
+            state.total_bandwidth,
+            state.total_votes,
+            state.total_edits,
+        );
+        record.can_edit = state.can_edit;
+        record.can_vote = state.can_vote;
+        record.unsuccessful_votes = state.unsuccessful_votes;
+        record.declined_edits = state.declined_edits;
     }
 
     /// Vector of all sharing reputations, index-aligned with peers.

@@ -12,14 +12,19 @@
 //! text for replay.
 //!
 //! Case count follows `PROPTEST_CASES` (default 64), matching the stub.
+//!
+//! The snapshot subsystem rides the same generator: a mid-run checkpoint
+//! hop (checkpoint → resume → finish) must reproduce the uninterrupted
+//! report byte-for-byte on arbitrary scenarios, and both [`RunStore`]
+//! backends must round-trip arbitrary mid-run snapshots bitwise.
 
 use collabsim_workspace::collabsim::invariants::{
     ActiveSetObserver, ArenaBoundObserver, ConservationObserver, ReputationBoundsObserver,
 };
 use collabsim_workspace::collabsim::spec::ScenarioSpec;
 use collabsim_workspace::collabsim::{
-    AdversarySpec, BehaviorMix, IncentiveScheme, PhaseConfig, Simulation, StepContext,
-    StepObserver, WorldView,
+    AdversarySpec, BehaviorMix, DirStore, IncentiveScheme, MemStore, PhaseConfig, RunStore,
+    Simulation, StepContext, StepObserver, WorldView,
 };
 use collabsim_workspace::netsim::churn::ChurnModel;
 use collabsim_workspace::netsim::fault::LinkModel;
@@ -306,6 +311,90 @@ fn generated_scenarios_uphold_all_invariants() {
             );
         }
     }
+}
+
+/// Snapshot/restore invariant over fuzzed scenarios: a run that takes a
+/// mid-run checkpoint hop — checkpoint to a store, throw the simulation
+/// away, resume from a mid-run key and finish — must produce a report
+/// byte-identical to the uninterrupted run, for arbitrary populations,
+/// mixes, churn, adversaries and fault models. Capped below the full case
+/// count because every case pays three runs.
+#[test]
+fn snapshot_hop_mid_run_preserves_the_report() {
+    let mut rng = StdRng::seed_from_u64(seed_for("snapshot_hop_mid_run_preserves_the_report"));
+    for case in 0..case_count().min(16) {
+        let params = sample_params(&mut rng);
+        let spec = params.spec();
+        let straight = format!(
+            "{:?}",
+            Simulation::from_spec(&spec)
+                .expect("validated spec builds")
+                .run()
+        );
+
+        let every = (params.training_steps / 3).max(1);
+        let mut store = MemStore::new();
+        let mut sim = Simulation::from_spec(&spec).expect("validated spec builds");
+        let (checkpointed, keys) = sim
+            .run_with_checkpoints(&spec, every, &mut store)
+            .expect("checkpointing succeeds");
+        assert_eq!(
+            format!("{checkpointed:?}"),
+            straight,
+            "case {case}: checkpointing perturbed the run\n{}",
+            spec.to_text()
+        );
+        assert!(!keys.is_empty(), "case {case}: no checkpoints written");
+
+        let hop_key = &keys[keys.len() / 2];
+        let snapshot = store.get(hop_key).expect("stored checkpoint reads back");
+        let mut resumed = Simulation::resume_from(&snapshot).expect("checkpoint resumes");
+        assert_eq!(
+            format!("{:?}", resumed.finish()),
+            straight,
+            "case {case}: resume from `{hop_key}` drifted\n{}",
+            spec.to_text()
+        );
+    }
+}
+
+/// Both [`RunStore`] backends must round-trip arbitrary mid-run snapshots
+/// bitwise: the bytes read back decode to a snapshot that re-encodes to
+/// exactly the bytes stored.
+#[test]
+fn run_stores_round_trip_arbitrary_snapshots_bitwise() {
+    let dir = std::env::temp_dir().join(format!("collabsim-fuzz-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = StdRng::seed_from_u64(seed_for(
+        "run_stores_round_trip_arbitrary_snapshots_bitwise",
+    ));
+    let mut mem = MemStore::new();
+    let mut disk = DirStore::open(&dir).expect("temp store opens");
+    for case in 0..case_count().min(16) {
+        let params = sample_params(&mut rng);
+        let spec = params.spec();
+        let mut sim = Simulation::from_spec(&spec).expect("validated spec builds");
+        // An arbitrary mid-run position, not just a phase boundary.
+        for _ in 0..(params.seed % params.training_steps).max(1) {
+            sim.step(spec.config().phases.training_temperature);
+        }
+        let snapshot = sim.snapshot(&spec);
+        let reference = snapshot.encode();
+        for (name, store) in [
+            ("MemStore", &mut mem as &mut dyn RunStore),
+            ("DirStore", &mut disk as &mut dyn RunStore),
+        ] {
+            let key = store.put(&snapshot).expect("store accepts the snapshot");
+            let fetched = store.get(&key).expect("stored snapshot reads back");
+            assert_eq!(
+                fetched.encode(),
+                reference,
+                "case {case}: {name} round-trip is not bitwise\n{}",
+                spec.to_text()
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
