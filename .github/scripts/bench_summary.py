@@ -51,11 +51,47 @@ def rows_from_report(name, doc):
         yield (bench, "aggregate", float(total), extra)
 
 
+def arms_table(doc):
+    """Render the arms_race per-defence robustness table, if present."""
+    defences = doc.get("defences")
+    if doc.get("bench") != "arms_race" or not isinstance(defences, list):
+        return
+    print()
+    print("### Arms race: trained vs scripted attackers, per defence")
+    print()
+    print(
+        "| defence | trained damage | scripted damage | trained retained "
+        "| scripted retained | q-updates | winner |"
+    )
+    print("| --- | ---: | ---: | ---: | ---: | ---: | --- |")
+    for arm in defences:
+        trained = arm.get("trained", {})
+        scripted = arm.get("scripted", {})
+        winner = "trained" if arm.get("trained_beats_scripted") else "scripted"
+        print(
+            f"| {arm.get('defence', '-')} "
+            f"| {trained.get('damage', 0):,.2f} "
+            f"| {scripted.get('damage', 0):,.2f} "
+            f"| {trained.get('mean_reputation_retained', 0):.4f} "
+            f"| {scripted.get('mean_reputation_retained', 0):.4f} "
+            f"| {arm.get('q_updates', 0)} "
+            f"| {winner} |"
+        )
+    wins = doc.get("trained_wins")
+    if wins is not None:
+        print()
+        print(
+            f"Trained attacker out-damages the scripted whitewasher on "
+            f"**{wins}/{len(defences)}** defences."
+        )
+
+
 def main(paths):
     print("## Bench results")
     print()
     print("| bench | entry | steps/sec | detail |")
     print("| --- | --- | ---: | --- |")
+    docs = []
     for path in paths:
         try:
             with open(path, encoding="utf-8") as handle:
@@ -68,12 +104,15 @@ def main(paths):
         except (OSError, ValueError) as err:
             print(f"| {path} | - | - | unreadable: {err} |")
             continue
+        docs.append(doc)
         emitted = False
         for bench, entry, sps, extra in rows_from_report(path, doc):
             print(f"| {bench} | {entry} | {sps:,.1f} | {extra} |")
             emitted = True
         if not emitted:
             print(f"| {path} | - | - | no throughput entries found |")
+    for doc in docs:
+        arms_table(doc)
 
 
 if __name__ == "__main__":

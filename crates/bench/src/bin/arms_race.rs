@@ -1,0 +1,264 @@
+//! `arms_race` — the learning-adversary arms race, written as
+//! `BENCH_arms.json`.
+//!
+//! Equilibrates one adversary-free base population, then for every
+//! defence on the panel ([`ARMS_DEFENCES`]) runs episodic Q-learning
+//! attackers ([`collabsim_cli::training`]) from the shared checkpoint,
+//! freezes the learned policy (α = 0, zero adversary-RNG draws), and
+//! evaluates the frozen attacker and the scripted `naive-whitewash`
+//! opponent from the *same* checkpoint. Per defence the report carries:
+//!
+//! * **trained vs scripted damage** — measurement-phase bandwidth the
+//!   attackers extracted plus destructive edits accepted,
+//! * **retention** — mean sharing reputation the attackers held,
+//! * **resets / updates / visited cells** — whitewash volume and how much
+//!   of the Q-table the training actually explored.
+//!
+//! Acceptance gates (process exits 1 on violation):
+//!
+//! 1. The trained attacker strictly out-damages the scripted
+//!    naive-whitewasher on at least one defence — learning must discover
+//!    something scripting does not.
+//! 2. EigenTrust with a pre-trusted set holds the scripted whitewasher to
+//!    *less* retained reputation than stock EigenTrust — the pre-trusted
+//!    core must blunt the identity-reset exploit.
+//! 3. Aggregate steps/sec against `--baseline` (default tolerance 20 %).
+//!
+//! Flags: `--quick` (reduced scale), `--episodes <n>` (override episodes
+//! per defence), `--out <path>` (default `BENCH_arms.json`),
+//! `--csv <path>` (per-defence series), `--baseline <path>` +
+//! `--max-regress <pct>`.
+//!
+//! [`ARMS_DEFENCES`]: collabsim_cli::training::ARMS_DEFENCES
+
+use collabsim_bench::{arg_value, extract_number, has_flag, maybe_write_csv};
+use collabsim_cli::runner::gate_floor;
+use collabsim_cli::training::{
+    arms_scale, equilibrate_base, run_defence_arm, EvalOutcome, TrainedPolicy, ARMS_DEFENCES,
+};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct ArmResult {
+    defence: &'static str,
+    trained_policy: TrainedPolicy,
+    trained: EvalOutcome,
+    scripted: EvalOutcome,
+}
+
+impl ArmResult {
+    fn trained_wins(&self) -> bool {
+        self.trained.damage() > self.scripted.damage()
+    }
+}
+
+fn render_json(
+    results: &[ArmResult],
+    equilibration_seconds: f64,
+    total_steps_per_sec: f64,
+) -> String {
+    let mut out = String::from("{\n  \"bench\": \"arms_race\",\n  \"defences\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"defence\": \"{}\", \"q_updates\": {}, \"visited_cells\": {}, \
+             \"trained\": {{\"damage\": {:.3}, \"damage_bandwidth\": {:.3}, \
+             \"destructive_accepted\": {}, \"mean_reputation_retained\": {:.6}, \
+             \"resets\": {}}}, \
+             \"scripted\": {{\"damage\": {:.3}, \"damage_bandwidth\": {:.3}, \
+             \"destructive_accepted\": {}, \"mean_reputation_retained\": {:.6}, \
+             \"resets\": {}}}, \
+             \"trained_beats_scripted\": {}}}{sep}",
+            r.defence,
+            r.trained_policy.updates,
+            r.trained_policy.visited_cells,
+            r.trained.damage(),
+            r.trained.metrics.damage_bandwidth,
+            r.trained.metrics.destructive_accepted,
+            r.trained.metrics.mean_reputation_retained(),
+            r.trained.stats.resets,
+            r.scripted.damage(),
+            r.scripted.metrics.damage_bandwidth,
+            r.scripted.metrics.destructive_accepted,
+            r.scripted.metrics.mean_reputation_retained(),
+            r.scripted.stats.resets,
+            r.trained_wins(),
+        );
+    }
+    let wins = results.iter().filter(|r| r.trained_wins()).count();
+    let _ = writeln!(
+        out,
+        "  ],\n  \"trained_wins\": {wins},\n  \
+         \"base_equilibration_seconds\": {equilibration_seconds:.3},\n  \
+         \"total_steps_per_sec\": {total_steps_per_sec:.3}\n}}"
+    );
+    out
+}
+
+fn render_csv(results: &[ArmResult]) -> String {
+    let mut out = String::from(
+        "defence,trained_damage,scripted_damage,trained_retained,scripted_retained,\
+         q_updates,visited_cells,trained_beats_scripted\n",
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{},{:.3},{:.3},{:.6},{:.6},{},{},{}",
+            r.defence,
+            r.trained.damage(),
+            r.scripted.damage(),
+            r.trained.metrics.mean_reputation_retained(),
+            r.scripted.metrics.mean_reputation_retained(),
+            r.trained_policy.updates,
+            r.trained_policy.visited_cells,
+            r.trained_wins(),
+        );
+    }
+    out
+}
+
+fn check_baseline(total_steps_per_sec: f64, baseline_path: &str, max_regress_pct: f64) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let Some(reference) = text
+        .lines()
+        .find_map(|line| extract_number(line, "total_steps_per_sec"))
+    else {
+        eprintln!("baseline {baseline_path} has no total_steps_per_sec entry");
+        return false;
+    };
+    gate_floor("aggregate", total_steps_per_sec, reference, max_regress_pct)
+}
+
+fn main() {
+    let quick = has_flag("--quick");
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_arms.json".to_string());
+    let max_regress: f64 = arg_value("--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let mut scale = arms_scale(quick);
+    if let Some(episodes) = arg_value("--episodes").and_then(|v| v.parse().ok()) {
+        scale.episodes = episodes;
+    }
+
+    println!(
+        "collabsim — arms_race [scale: {}]",
+        if quick { "quick" } else { "full" }
+    );
+    println!(
+        "(Q-learning attackers vs {} defences, {} peers, {} attackers, {} episodes/defence)",
+        ARMS_DEFENCES.len(),
+        scale.population,
+        scale.adversaries,
+        scale.episodes
+    );
+    println!();
+
+    let equilibrating = Instant::now();
+    let (_, checkpoint) = equilibrate_base(&scale).expect("base population equilibrates");
+    let equilibration_seconds = equilibrating.elapsed().as_secs_f64();
+    println!(
+        "base: equilibrated through step {} in {equilibration_seconds:.2}s (shared by every arm)",
+        checkpoint.state.step
+    );
+
+    let grid_started = Instant::now();
+    let mut results = Vec::new();
+    for defence in ARMS_DEFENCES {
+        let (trained_policy, trained, scripted) =
+            run_defence_arm(&scale, &checkpoint, defence).expect("defence arm runs");
+        results.push(ArmResult {
+            defence: defence.0,
+            trained_policy,
+            trained,
+            scripted,
+        });
+    }
+    // Every arm replays the measurement phase once per episode and twice
+    // for evaluation, all forked off the shared checkpoint.
+    let measured_steps = scale.phases.evaluation_steps * (scale.episodes as u64 + 2);
+    let total_steps = scale.phases.training_steps + measured_steps * ARMS_DEFENCES.len() as u64;
+    let total_steps_per_sec =
+        total_steps as f64 / (equilibration_seconds + grid_started.elapsed().as_secs_f64());
+
+    println!();
+    println!(
+        "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "defence", "trained", "scripted", "t-retain", "s-retain", "updates", "visited"
+    );
+    for r in &results {
+        println!(
+            "{:<24} {:>10.2} {:>10.2} {:>10.4} {:>10.4} {:>8} {:>8}",
+            r.defence,
+            r.trained.damage(),
+            r.scripted.damage(),
+            r.trained.metrics.mean_reputation_retained(),
+            r.scripted.metrics.mean_reputation_retained(),
+            r.trained_policy.updates,
+            r.trained_policy.visited_cells,
+        );
+    }
+    println!();
+
+    let wins = results.iter().filter(|r| r.trained_wins()).count();
+    println!(
+        "headline: trained attacker out-damages the scripted whitewasher on {wins}/{} defences",
+        results.len()
+    );
+    let find = |defence: &str| {
+        results
+            .iter()
+            .find(|r| r.defence == defence)
+            .expect("panel covers the headline defences")
+    };
+    let stock = find("eigentrust");
+    let pretrusted = find("eigentrust-pretrusted");
+    let pretrusted_cuts_retention = pretrusted.scripted.metrics.mean_reputation_retained()
+        < stock.scripted.metrics.mean_reputation_retained();
+    println!(
+        "          pre-trusted EigenTrust holds the whitewasher to {:.4} retained vs stock \
+         {:.4} — {}",
+        pretrusted.scripted.metrics.mean_reputation_retained(),
+        stock.scripted.metrics.mean_reputation_retained(),
+        if pretrusted_cuts_retention {
+            "retention cut"
+        } else {
+            "NOT CUT"
+        }
+    );
+
+    let json = render_json(&results, equilibration_seconds, total_steps_per_sec);
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\n(report written to {out_path})"),
+        Err(e) => eprintln!("failed to write {out_path}: {e}"),
+    }
+    maybe_write_csv(&render_csv(&results));
+
+    if wins == 0 {
+        eprintln!(
+            "acceptance violated: the trained attacker must out-damage the scripted \
+             naive-whitewasher on at least one defence"
+        );
+        std::process::exit(1);
+    }
+    if !pretrusted_cuts_retention {
+        eprintln!(
+            "acceptance violated: pre-trusted EigenTrust must cut whitewasher retention \
+             below stock EigenTrust"
+        );
+        std::process::exit(1);
+    }
+    if let Some(baseline) = arg_value("--baseline") {
+        println!();
+        if !check_baseline(total_steps_per_sec, &baseline, max_regress) {
+            eprintln!("steps/sec regressed more than {max_regress}% against {baseline}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,6 +15,7 @@ USAGE:
   collabsim grid <spec|dir>... [options]   run many specs as a multi-process sweep
   collabsim worker --spec <f> --out <f>    run one cell, emit a result record (internal)
   collabsim scaffold [--dir <dir>]         (re)generate the scenarios/ tree
+  collabsim train [options]                run the learning-adversary arms race
   collabsim help                           show this help
 
 RUN OPTIONS:
@@ -48,6 +49,23 @@ GRID OPTIONS:
                         same population)
   --resume              skip cells already recorded ok in <out-dir>'s
                         manifest.json; re-dispatch only failed/missing ones
+
+TRAIN OPTIONS:
+  --quick               smaller population and fewer episodes per defence
+  --episodes <n>        override training episodes per defence
+  --out-dir <dir>       snapshots + evaluation grids directory (default
+                        arms-out)
+  --defence <key>       restrict to one defence (repeatable; default: the
+                        full panel — ledger, eigentrust,
+                        eigentrust-pretrusted, gossip, uptime-discount)
+  --workers <n>         worker subprocesses for the evaluation grids
+  --threads <n>         set SCENARIO_THREADS for this run
+
+`train` equilibrates one adversary-free base population, runs episodic
+Q-learning against each defence, freezes the learned policy (α = 0), and
+evaluates the frozen and scripted attackers through the multi-process grid
+coordinator — cross-checking every worker report against the in-process
+replay byte for byte.
 
 Cell crashes never abort a sweep: crashed cells are retried, then recorded
 in <out-dir>/manifest.json as failed alongside the completed results.
@@ -129,6 +147,23 @@ pub struct ScaffoldArgs {
     pub dir: PathBuf,
 }
 
+/// Parsed `collabsim train` arguments.
+#[derive(Debug)]
+pub struct TrainArgs {
+    /// Use the reduced `--quick` sizing.
+    pub quick: bool,
+    /// Override the episodes-per-defence count.
+    pub episodes: Option<usize>,
+    /// Output directory for frozen snapshots and evaluation grids.
+    pub out_dir: PathBuf,
+    /// Defence keys to run (empty = the full panel).
+    pub defences: Vec<String>,
+    /// `--threads` override for `SCENARIO_THREADS`.
+    pub threads: Option<usize>,
+    /// Worker subprocesses for the evaluation grids.
+    pub workers: Option<usize>,
+}
+
 /// A parsed command line.
 #[derive(Debug)]
 pub enum Command {
@@ -142,6 +177,8 @@ pub enum Command {
     Worker(WorkerArgs),
     /// `collabsim scaffold`.
     Scaffold(ScaffoldArgs),
+    /// `collabsim train`.
+    Train(TrainArgs),
     /// `collabsim help` / `--help` / no arguments.
     Help,
 }
@@ -417,6 +454,52 @@ fn parse_scaffold(rest: &[String]) -> Result<Command, CliError> {
     Ok(Command::Scaffold(ScaffoldArgs { dir }))
 }
 
+fn parse_train(rest: &[String]) -> Result<Command, CliError> {
+    let mut args = Args::new(rest);
+    let mut train = TrainArgs {
+        quick: false,
+        episodes: None,
+        out_dir: PathBuf::from("arms-out"),
+        defences: Vec::new(),
+        threads: None,
+        workers: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg {
+            "--quick" => train.quick = true,
+            "--episodes" => {
+                train.episodes = Some(positive(
+                    "--episodes",
+                    args.value("--episodes")?,
+                    "an episode count ≥ 1",
+                )?);
+            }
+            "--out-dir" => train.out_dir = PathBuf::from(args.value("--out-dir")?),
+            "--defence" => train.defences.push(args.value("--defence")?.to_string()),
+            "--workers" => {
+                train.workers = Some(positive(
+                    "--workers",
+                    args.value("--workers")?,
+                    "a worker count ≥ 1",
+                )?);
+            }
+            "--threads" => {
+                train.threads = Some(positive(
+                    "--threads",
+                    args.value("--threads")?,
+                    "a thread count ≥ 1",
+                )?);
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown argument `{other}` for `train`"
+                )));
+            }
+        }
+    }
+    Ok(Command::Train(train))
+}
+
 /// Parses the command line (without the program name).
 pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let Some(subcommand) = args.first() else {
@@ -429,6 +512,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "grid" => parse_grid(rest),
         "worker" => parse_worker(rest),
         "scaffold" => parse_scaffold(rest),
+        "train" => parse_train(rest),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError::Usage(format!(
             "unknown subcommand `{other}` (try `collabsim help`)"
@@ -545,6 +629,45 @@ mod tests {
         };
         assert_eq!(grid.warm_start, Some(PathBuf::from("base.snap")));
         assert!(grid.resume);
+    }
+
+    #[test]
+    fn train_parses_its_flags() {
+        let Command::Train(train) = parse(&strings(&[
+            "train",
+            "--quick",
+            "--episodes",
+            "3",
+            "--defence",
+            "ledger",
+            "--defence",
+            "gossip",
+            "--out-dir",
+            "arms",
+            "--workers",
+            "2",
+        ]))
+        .unwrap() else {
+            panic!("expected train");
+        };
+        assert!(train.quick);
+        assert_eq!(train.episodes, Some(3));
+        assert_eq!(train.defences, vec!["ledger", "gossip"]);
+        assert_eq!(train.out_dir, PathBuf::from("arms"));
+        assert_eq!(train.workers, Some(2));
+
+        assert_eq!(
+            parse(&strings(&["train", "--episodes", "0"]))
+                .unwrap_err()
+                .kind(),
+            "invalid-flag"
+        );
+        assert_eq!(
+            parse(&strings(&["train", "positional"]))
+                .unwrap_err()
+                .kind(),
+            "usage"
+        );
     }
 
     #[test]

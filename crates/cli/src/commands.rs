@@ -1,11 +1,11 @@
 //! Subcommand implementations shared by the `collabsim` binary.
 
-use crate::args::{Command, GridArgs, ResumeArgs, RunArgs, ScaffoldArgs, USAGE};
+use crate::args::{Command, GridArgs, ResumeArgs, RunArgs, ScaffoldArgs, TrainArgs, USAGE};
 use crate::coordinator::{CellStatus, GridOptions};
 use crate::error::CliError;
 use crate::jsonl::{JsonlObserver, JsonlSink};
-use crate::{args, chaos, coordinator, profile, runner, scenarios};
-use collabsim::snapshot::read_snapshot_file;
+use crate::{args, chaos, coordinator, profile, runner, scenarios, training};
+use collabsim::snapshot::{read_snapshot_file, write_snapshot_file};
 use std::path::{Path, PathBuf};
 
 /// Parses and executes one command line, returning the process exit code.
@@ -23,6 +23,7 @@ pub fn dispatch(argv: &[String]) -> Result<i32, CliError> {
             Ok(0)
         }
         Command::Scaffold(scaffold) => cmd_scaffold(scaffold),
+        Command::Train(train) => cmd_train(train),
     }
 }
 
@@ -265,6 +266,147 @@ fn cmd_grid(grid: GridArgs) -> Result<i32, CliError> {
     if grid.strict && summary.failed_count() > 0 {
         return Ok(1);
     }
+    Ok(0)
+}
+
+fn cmd_train(train: TrainArgs) -> Result<i32, CliError> {
+    set_scenario_threads(train.threads);
+    let mut scale = training::arms_scale(train.quick);
+    if let Some(episodes) = train.episodes {
+        scale.episodes = episodes;
+    }
+    let panel: Vec<(&str, &str)> = training::ARMS_DEFENCES
+        .iter()
+        .copied()
+        .filter(|(key, _)| train.defences.is_empty() || train.defences.iter().any(|d| d == key))
+        .collect();
+    if panel.is_empty() {
+        let known = training::ARMS_DEFENCES
+            .iter()
+            .map(|(key, _)| *key)
+            .collect::<Vec<_>>()
+            .join(", ");
+        return Err(CliError::Usage(format!(
+            "no defence matches {:?} (known: {known})",
+            train.defences
+        )));
+    }
+    let worker_bin = std::env::current_exe().map_err(|e| CliError::Grid {
+        message: format!("cannot locate the collabsim binary: {e}"),
+    })?;
+
+    let started = std::time::Instant::now();
+    let (base, checkpoint) = training::equilibrate_base(&scale)?;
+    println!(
+        "base `{}`: {} peers equilibrated through step {} in {:.2}s",
+        base.label(),
+        scale.population,
+        checkpoint.state.step,
+        started.elapsed().as_secs_f64()
+    );
+
+    let mut rows = Vec::new();
+    for defence in panel {
+        let arm_started = std::time::Instant::now();
+        let trained = training::train_against(
+            &checkpoint,
+            &training::arms_train_spec(&scale, defence),
+            scale.episodes,
+        )?;
+        println!(
+            "train {}: {} episodes, {} q-updates, {} visited q-cells ({:.2}s)",
+            defence.0,
+            scale.episodes,
+            trained.updates,
+            trained.visited_cells,
+            arm_started.elapsed().as_secs_f64()
+        );
+
+        let frozen_spec = training::arms_frozen_spec(&scale, defence);
+        let scripted_spec = training::arms_scripted_spec(&scale, defence);
+        let frozen = training::frozen_snapshot(&checkpoint, &frozen_spec, &trained.policies);
+        let snap_path = train
+            .out_dir
+            .join("snapshots")
+            .join(format!("{}.snap", defence.0));
+        write_snapshot_file(&snap_path, &frozen)
+            .map_err(|error| runner::snapshot_err(Some(&snap_path), error))?;
+        println!("  frozen policy snapshot: {}", snap_path.display());
+
+        let trained_outcome = training::evaluate_fork(&frozen)?;
+        let scripted_outcome = training::evaluate_fork(&checkpoint.with_spec(&scripted_spec))?;
+
+        // Dispatch the frozen and scripted evaluation cells through the
+        // multi-process grid coordinator, warm-started from the frozen
+        // snapshot, and cross-check every worker report byte for byte
+        // against the in-process replay of the identical fork.
+        let summary = coordinator::run_grid(
+            &[frozen_spec.clone(), scripted_spec.clone()],
+            &GridOptions {
+                workers: train.workers.unwrap_or(2),
+                retries: 1,
+                out_dir: train.out_dir.join(format!("grid-{}", defence.0)),
+                worker_bin: worker_bin.clone(),
+                quiet: true,
+                warm_start: Some(snap_path.clone()),
+                resume: false,
+            },
+        )?;
+        for cell in &summary.cells {
+            let result = cell.result.as_ref().ok_or_else(|| CliError::Grid {
+                message: format!(
+                    "evaluation cell `{}` failed: {}",
+                    cell.label,
+                    cell.failure.as_deref().unwrap_or("unknown")
+                ),
+            })?;
+            let cell_spec = if cell.label == frozen_spec.label() {
+                &frozen_spec
+            } else {
+                &scripted_spec
+            };
+            let expected = training::evaluate_fork(&frozen.with_spec(cell_spec))?;
+            if result.report_debug != format!("{:?}", expected.report) {
+                return Err(CliError::Grid {
+                    message: format!(
+                        "worker report for `{}` diverges from the in-process replay",
+                        cell.label
+                    ),
+                });
+            }
+        }
+        println!(
+            "  cross-process: {} worker reports byte-identical to the in-process replay",
+            summary.cells.len()
+        );
+        rows.push((defence.0, trained, trained_outcome, scripted_outcome));
+    }
+
+    println!();
+    println!(
+        "{:<24} {:>14} {:>15} {:>9} {:>9}",
+        "defence", "trained-damage", "scripted-damage", "retained", "updates"
+    );
+    for (key, trained, trained_outcome, scripted_outcome) in &rows {
+        println!(
+            "{:<24} {:>14.2} {:>15.2} {:>9.3} {:>9}",
+            key,
+            trained_outcome.damage(),
+            scripted_outcome.damage(),
+            trained_outcome.metrics.mean_reputation_retained(),
+            trained.updates
+        );
+    }
+    let wins = rows
+        .iter()
+        .filter(|(_, _, trained_outcome, scripted_outcome)| {
+            trained_outcome.damage() > scripted_outcome.damage()
+        })
+        .count();
+    println!(
+        "trained attacker out-damages the scripted whitewasher on {wins}/{} defences",
+        rows.len()
+    );
     Ok(0)
 }
 

@@ -121,6 +121,30 @@ pub const KILL_ONCE_ENV: &str = "COLLABSIM_TEST_KILL_ONCE";
 /// which sees the marker taken — completes normally.
 pub const TRUNCATE_ONCE_ENV: &str = "COLLABSIM_TEST_TRUNCATE_ONCE";
 
+/// Environment variable naming a marker file for the deterministic
+/// nonzero-exit injection test: the first worker to claim the marker
+/// exits with [`EXIT_ONCE_CODE`] before running its cell. The
+/// coordinator must classify this as a worker failure *with* an exit
+/// code (`failure_kind = "worker-exit"`), distinct from a torn record
+/// behind a clean exit.
+pub const EXIT_ONCE_ENV: &str = "COLLABSIM_TEST_EXIT_ONCE";
+
+/// The exit code the [`EXIT_ONCE_ENV`]-injected worker dies with.
+pub const EXIT_ONCE_CODE: i32 = 41;
+
+/// Claims the nonzero-exit marker, mirroring [`kill_switch`]'s atomic
+/// `create_new` claim.
+fn exit_switch() -> bool {
+    let Ok(marker) = std::env::var(EXIT_ONCE_ENV) else {
+        return false;
+    };
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(&marker)
+        .is_ok()
+}
+
 /// Claims the truncation marker, mirroring [`kill_switch`]'s atomic
 /// `create_new` claim.
 fn truncate_switch() -> bool {
@@ -189,6 +213,13 @@ pub fn run_worker(
     out_path: &Path,
     warm_start: Option<&Path>,
 ) -> Result<(), CliError> {
+    if exit_switch() {
+        // Nonzero-exit injection: die with a recognisable code before
+        // doing any work — no result record, no torn write, just the
+        // plain "worker process reported failure" path.
+        eprintln!("injected nonzero exit (code {EXIT_ONCE_CODE})");
+        std::process::exit(EXIT_ONCE_CODE);
+    }
     let spec = crate::runner::load_spec(spec_path)?;
     let kill = kill_switch(spec.config().phases.total_steps());
     let registry = crate::chaos::cli_registry();
@@ -289,6 +320,15 @@ pub struct CellOutcome {
     /// Why the last attempt failed, when `status` is
     /// [`CellStatus::Failed`].
     pub failure: Option<String>,
+    /// Machine-readable failure class, when `status` is
+    /// [`CellStatus::Failed`]: `"torn-record"` (the worker exited 0 but
+    /// its result record is missing or unparseable), `"worker-exit"`
+    /// (non-zero exit code — see `exit_code`) or `"signal"` (killed
+    /// without an exit code).
+    pub failure_kind: Option<&'static str>,
+    /// The worker's exit code on the final attempt, when it exited
+    /// normally with a non-zero code.
+    pub exit_code: Option<i32>,
     /// Last lines of the final attempt's worker log, when `status` is
     /// [`CellStatus::Failed`] — the panic message or whatever the worker
     /// said before dying, inlined so the manifest is self-diagnosing.
@@ -441,6 +481,8 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
                 status: CellStatus::Ok,
                 result: Some(result),
                 failure: None,
+                failure_kind: None,
+                exit_code: None,
                 log_tail: Vec::new(),
             });
         }
@@ -532,14 +574,35 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
                         status: CellStatus::Ok,
                         result: Some(result),
                         failure: None,
+                        failure_kind: None,
+                        exit_code: None,
                         log_tail: Vec::new(),
                     });
                 }
                 None => {
-                    let why = if status.success() {
-                        "worker exited 0 without a parseable result record".to_string()
+                    // A clean exit without a parseable record is a torn
+                    // write — a different diagnosis (and fix) than a
+                    // worker that reported failure through its exit code
+                    // or died to a signal; keep the classes apart all the
+                    // way into the manifest.
+                    let (why, kind, exit_code) = if status.success() {
+                        (
+                            "worker exited 0 without a parseable result record".to_string(),
+                            "torn-record",
+                            None,
+                        )
+                    } else if let Some(code) = status.code() {
+                        (
+                            format!("worker crashed ({})", describe_exit(&status)),
+                            "worker-exit",
+                            Some(code),
+                        )
                     } else {
-                        format!("worker crashed ({})", describe_exit(&status))
+                        (
+                            format!("worker crashed ({})", describe_exit(&status)),
+                            "signal",
+                            None,
+                        )
                     };
                     if attempts[i] <= options.retries {
                         let delay = retry_backoff(attempts[i]);
@@ -568,6 +631,8 @@ pub fn run_grid(specs: &[ScenarioSpec], options: &GridOptions) -> Result<GridSum
                             status: CellStatus::Failed,
                             result: None,
                             failure: Some(why),
+                            failure_kind: Some(kind),
+                            exit_code,
                             log_tail: read_log_tail(&log_path),
                         });
                     }
@@ -660,6 +725,11 @@ fn render_manifest(summary: &GridSummary, options: &GridOptions) -> String {
             }
             (None, failure) => {
                 let error = failure.as_deref().unwrap_or("unknown failure");
+                let kind = cell.failure_kind.unwrap_or("unknown");
+                let exit_code = match cell.exit_code {
+                    Some(code) => code.to_string(),
+                    None => "null".to_string(),
+                };
                 let tail = cell
                     .log_tail
                     .iter()
@@ -669,8 +739,10 @@ fn render_manifest(summary: &GridSummary, options: &GridOptions) -> String {
                 let _ = writeln!(
                     out,
                     "    {{{common}, \"status\": \"failed\", \"error\": \"{}\", \
+                     \"failure_kind\": \"{}\", \"exit_code\": {exit_code}, \
                      \"log\": \"logs/{:03}.attempt{}.log\", \"log_tail\": [{tail}]}}{sep}",
                     json_escape(error),
+                    json_escape(kind),
                     cell.index,
                     cell.attempts
                 );

@@ -45,13 +45,15 @@ pub mod jsonl;
 pub mod profile;
 pub mod runner;
 pub mod scenarios;
+pub mod training;
 
 pub use args::{Command, USAGE};
 pub use chaos::{cli_registry, CHAOS_PANIC_PHASE};
 pub use commands::dispatch;
 pub use coordinator::{
     parse_cell_result, render_cell_result, run_grid, run_worker, CellOutcome, CellStatus,
-    GridOptions, GridSummary, WorkerResult, KILL_ONCE_ENV, TRUNCATE_ONCE_ENV,
+    GridOptions, GridSummary, WorkerResult, EXIT_ONCE_CODE, EXIT_ONCE_ENV, KILL_ONCE_ENV,
+    TRUNCATE_ONCE_ENV,
 };
 pub use error::CliError;
 pub use jsonl::{json_escape, json_f64, JsonlObserver, JsonlSink};

@@ -463,6 +463,32 @@ pub fn scenario_files() -> Vec<(PathBuf, ScenarioSpec)> {
             scale_tier_spec(peers, None, None),
         ));
     }
+    // The arms-race cells: the shared base plus, per defence, the
+    // training cell (α > 0), the frozen-evaluation cell (α = 0) and the
+    // scripted opponent — the specs `collabsim train` and the `arms_race`
+    // bench construct in-process.
+    let arms = crate::training::arms_scale(false);
+    files.push((
+        PathBuf::from("arms/base.spec"),
+        crate::training::arms_base_spec(&arms),
+    ));
+    for defence in crate::training::ARMS_DEFENCES {
+        for spec in [
+            crate::training::arms_train_spec(&arms, defence),
+            crate::training::arms_frozen_spec(&arms, defence),
+            crate::training::arms_scripted_spec(&arms, defence),
+        ] {
+            let cell = spec
+                .label()
+                .strip_prefix("arms/")
+                .expect("arms cells are labelled arms/<defence>/<role>")
+                .to_string();
+            files.push((
+                PathBuf::from(format!("arms/{}.spec", file_stem(&cell))),
+                spec,
+            ));
+        }
+    }
     files.push((PathBuf::from("ci/chaos_panic.spec"), chaos_panic_spec()));
     files
 }
@@ -490,8 +516,8 @@ mod tests {
     fn the_tree_has_the_expected_shape() {
         let files = scenario_files();
         // 1 golden + 1 paper cell + 18 mix + 3 churn + 30 attacks +
-        // 12 faults + 3 scale tiers + 1 chaos probe.
-        assert_eq!(files.len(), 69);
+        // 12 faults + 3 scale tiers + 16 arms cells + 1 chaos probe.
+        assert_eq!(files.len(), 85);
         let paths: Vec<String> = files
             .iter()
             .map(|(p, _)| p.to_string_lossy().into_owned())
@@ -501,6 +527,8 @@ mod tests {
         assert!(paths.contains(&"attacks/adaptive-whitewash_ledger_reputation.spec".to_string()));
         assert!(paths.contains(&"churn/whitewash.spec".to_string()));
         assert!(paths.contains(&"faults/lossy_reputation.spec".to_string()));
+        assert!(paths.contains(&"arms/base.spec".to_string()));
+        assert!(paths.contains(&"arms/eigentrust-pretrusted_trained.spec".to_string()));
         assert!(paths.contains(&"ci/chaos_panic.spec".to_string()));
         // No two cells may collapse onto the same file name.
         let mut unique = paths.clone();

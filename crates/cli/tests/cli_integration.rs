@@ -396,6 +396,96 @@ fn truncated_result_record_is_detected_and_retried() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// With retries exhausted, a torn result record (worker exited 0 but the
+/// record is unparseable) is classified in the manifest as
+/// `failure_kind = "torn-record"` with a null exit code — a different
+/// diagnosis than a worker that failed through its exit status.
+#[test]
+fn torn_record_failure_is_classified_in_the_manifest() {
+    let dir = scratch("torn-kind");
+    let specs_dir = dir.join("specs");
+    std::fs::create_dir_all(&specs_dir).unwrap();
+    std::fs::write(specs_dir.join("cell.spec"), golden_spec().to_text()).unwrap();
+    let out_dir = dir.join("out");
+    let marker = dir.join("truncate.marker");
+    let output = Command::new(collabsim_bin())
+        .args([
+            "grid",
+            specs_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--retries",
+            "0",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ])
+        .env(collabsim_cli::TRUNCATE_ONCE_ENV, &marker)
+        .output()
+        .expect("grid runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"failed\": 1"), "manifest: {manifest}");
+    assert!(
+        manifest.contains("\"failure_kind\": \"torn-record\""),
+        "manifest: {manifest}"
+    );
+    assert!(
+        manifest.contains("\"exit_code\": null"),
+        "manifest: {manifest}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A worker that dies with a non-zero exit code is classified as
+/// `failure_kind = "worker-exit"` and the manifest records the actual
+/// code, so grid consumers can tell a crashed worker from a torn write.
+#[test]
+fn nonzero_worker_exit_is_classified_with_its_code() {
+    let dir = scratch("exit-kind");
+    let specs_dir = dir.join("specs");
+    std::fs::create_dir_all(&specs_dir).unwrap();
+    std::fs::write(specs_dir.join("cell.spec"), golden_spec().to_text()).unwrap();
+    let out_dir = dir.join("out");
+    let marker = dir.join("exit.marker");
+    let output = Command::new(collabsim_bin())
+        .args([
+            "grid",
+            specs_dir.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--retries",
+            "0",
+            "--out-dir",
+            out_dir.to_str().unwrap(),
+        ])
+        .env(collabsim_cli::EXIT_ONCE_ENV, &marker)
+        .output()
+        .expect("grid runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        stderr_of(&output)
+    );
+    assert!(marker.is_file(), "the worker claimed the exit marker");
+    let manifest = std::fs::read_to_string(out_dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"failed\": 1"), "manifest: {manifest}");
+    assert!(
+        manifest.contains("\"failure_kind\": \"worker-exit\""),
+        "manifest: {manifest}"
+    );
+    assert!(
+        manifest.contains(&format!("\"exit_code\": {}", collabsim_cli::EXIT_ONCE_CODE)),
+        "manifest: {manifest}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn panicking_phase_fails_its_cell_but_not_the_grid() {
     let dir = scratch("chaos");

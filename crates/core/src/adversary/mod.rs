@@ -34,8 +34,13 @@
 //! everything the phase does is sequential and seeded, so parallel scenario
 //! execution still reproduces sequential reports bit for bit.
 
+mod learning;
 mod strategies;
 
+pub use learning::{
+    LearningAdversary, ATTACK_ACTIONS, OBSERVATION_STATES, PUNISHMENT_LEVELS, REPUTATION_BUCKETS,
+    RESET_AGE_BUCKETS, VOTE_STATES,
+};
 pub use strategies::{
     AdaptiveWhitewash, AdversaryRegistry, CollusionRing, NaiveWhitewash, OscillatingFreeRider,
     StrategyFactory, SybilSlander,
@@ -245,6 +250,54 @@ pub trait AdversaryStrategy: Send {
         rng: &mut StdRng,
         actions: &mut Vec<AdversaryAction>,
     );
+
+    /// Exports the strategy's learned policy for checkpointing, if it has
+    /// one. Scripted strategies return `None` (the default); the
+    /// [`LearningAdversary`] exports its Q-table and per-peer trajectory
+    /// state so training survives a snapshot/resume cycle.
+    fn export_policy(&self) -> Option<PolicyState> {
+        None
+    }
+
+    /// Restores a previously exported policy. The default is a no-op;
+    /// implementations must tolerate (and ignore) a policy of a foreign
+    /// shape rather than panic, since a snapshot may have been written by a
+    /// differently configured strategy.
+    fn restore_policy(&mut self, _policy: &PolicyState) {}
+}
+
+/// A serialized adversary policy: the learned Q-table plus the per-peer
+/// trajectory state needed to resume training mid-run. Plain data — the
+/// snapshot codec encodes it bit-exactly (f64 via `to_bits`) so a frozen
+/// policy replays identically after a round trip.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PolicyState {
+    /// Observation-state count of the Q-table.
+    pub states: u32,
+    /// Action count of the Q-table.
+    pub actions: u32,
+    /// Row-major Q-values (`states * actions` entries).
+    pub q: Vec<f64>,
+    /// Number of Q-updates applied so far.
+    pub updates: u64,
+    /// Per-controlled-peer trajectory state, index-aligned with the unit's
+    /// peer list.
+    pub per_peer: Vec<PeerPolicyState>,
+}
+
+/// One controlled peer's trajectory state inside a [`PolicyState`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PeerPolicyState {
+    /// The state of the pending `(state, action)` transition, if any.
+    pub last_state: Option<u64>,
+    /// The action of the pending transition (0 when none is pending).
+    pub last_action: u32,
+    /// Steps since the peer's last identity reset (saturating).
+    pub steps_since_reset: u64,
+    /// Damage baseline: total downloaded bandwidth at the last observation.
+    pub last_downloaded: f64,
+    /// Reputation shed by a whitewash, charged against the next reward.
+    pub pending_shed: f64,
 }
 
 /// Running per-unit attack counters maintained by the [`AdversaryPhase`]
@@ -430,6 +483,34 @@ impl AdversaryRoster {
         );
         for (unit, restored) in self.units.iter_mut().zip(stats) {
             unit.stats = *restored;
+        }
+    }
+
+    /// The per-unit learned policies, in unit order (checkpoint export;
+    /// `None` for scripted units).
+    pub fn export_policies(&self) -> Vec<Option<PolicyState>> {
+        self.units
+            .iter()
+            .map(|unit| unit.strategy.export_policy())
+            .collect()
+    }
+
+    /// Hands each unit its checkpointed policy (`None` entries and scripted
+    /// units are no-ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the export does not match the roster's unit count.
+    pub fn restore_policies(&mut self, policies: &[Option<PolicyState>]) {
+        assert_eq!(
+            policies.len(),
+            self.units.len(),
+            "policy export does not match the unit count"
+        );
+        for (unit, policy) in self.units.iter_mut().zip(policies) {
+            if let Some(policy) = policy {
+                unit.strategy.restore_policy(policy);
+            }
         }
     }
 
@@ -765,7 +846,11 @@ impl StepObserver for AttackMetricsObserver {
         for metrics in &mut self.metrics {
             let mut reputation = 0.0;
             for &p in &metrics.peers {
-                reputation += w.ledger.sharing_reputation(p);
+                // Retention is the *service-visible* reputation: the
+                // propagated estimate under `reputation_source =
+                // propagated`, the ledger otherwise — what an attacker
+                // retained is what the service rules still grant it.
+                reputation += w.service_sharing_reputation(p);
                 if w.measuring {
                     metrics.damage_bandwidth += ctx.downloaded[p];
                     if ctx.actions.get(p).map(|a| a.edit)

@@ -1,8 +1,10 @@
 //! The built-in adversary strategies and the registry resolving spec names
 //! into them.
 //!
-//! Five strategies ship with the engine, covering the attack classes the
-//! paper's incentive scheme is supposed to defeat:
+//! Five scripted strategies ship with the engine, covering the attack
+//! classes the paper's incentive scheme is supposed to defeat (a sixth,
+//! the Q-learning [`LearningAdversary`](super::LearningAdversary), lives in
+//! the sibling `learning` module and registers here as `learning`):
 //!
 //! | name | attack |
 //! |------|--------|
@@ -11,6 +13,7 @@
 //! | `collusion-ring` | share fully, cross-vote each other's destructive edits, abstain outside |
 //! | `oscillating-freerider` | build reputation, then free-ride on it, cyclically |
 //! | `sybil-slander` | contribute nothing, slander every outsider edit, cycle identities on detection |
+//! | `learning` | whatever the arms-race trainer discovers (parameter = learning rate, 0 = frozen) |
 //!
 //! Custom strategies register like custom phases: implement
 //! [`AdversaryStrategy`], [`AdversaryRegistry::register`] a factory, and
@@ -315,9 +318,9 @@ impl AdversaryRegistry {
         }
     }
 
-    /// The standard registry: the five built-in strategies under their
-    /// stable names (`adaptive-whitewash`, `naive-whitewash`,
-    /// `collusion-ring`, `oscillating-freerider`, `sybil-slander`).
+    /// The standard registry: the built-in strategies under their stable
+    /// names (`adaptive-whitewash`, `naive-whitewash`, `collusion-ring`,
+    /// `oscillating-freerider`, `sybil-slander`, `learning`).
     pub fn standard() -> Self {
         let mut registry = Self::empty();
         registry
@@ -366,7 +369,16 @@ impl AdversaryRegistry {
                 }
                 Ok(Box::new(OscillatingFreeRider { period }))
             })
-            .register("sybil-slander", |_, _| Ok(Box::new(SybilSlander)));
+            .register("sybil-slander", |_, _| Ok(Box::new(SybilSlander)))
+            .register("learning", |spec, _| {
+                let alpha = spec.parameter();
+                if alpha > 1.0 {
+                    return Err(format!(
+                        "learning rate must lie in [0, 1] (0 = frozen greedy replay), got {alpha}"
+                    ));
+                }
+                Ok(Box::new(super::LearningAdversary::new(alpha)))
+            });
         registry
     }
 
@@ -476,13 +488,14 @@ mod tests {
     #[test]
     fn standard_registry_knows_all_builtin_strategies() {
         let registry = AdversaryRegistry::standard();
-        assert_eq!(registry.len(), 5);
+        assert_eq!(registry.len(), 6);
         for name in [
             "adaptive-whitewash",
             "naive-whitewash",
             "collusion-ring",
             "oscillating-freerider",
             "sybil-slander",
+            "learning",
         ] {
             assert!(registry.contains(name), "missing {name}");
         }
@@ -548,7 +561,7 @@ mod tests {
     fn custom_registrations_replace_standard_ones() {
         let mut registry = AdversaryRegistry::standard();
         registry.register("collusion-ring", |_, _| Ok(Box::new(SybilSlander)));
-        assert_eq!(registry.len(), 5, "replacement, not addition");
+        assert_eq!(registry.len(), 6, "replacement, not addition");
         let config = SimulationConfig::default();
         let strategy = registry
             .instantiate(&AdversarySpec::new("collusion-ring", 1), &config)

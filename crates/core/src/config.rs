@@ -35,6 +35,14 @@ pub struct PropagationConfig {
     pub scheme: Option<PropagationScheme>,
     /// Steps between propagation rounds (must be ≥ 1).
     pub interval: u64,
+    /// Size of the EigenTrust pre-trusted set (`0` = off, the stock
+    /// uniform distribution). With `K > 0` the propagation phase anchors
+    /// the EigenTrust restart distribution on the `K` lowest peer ids —
+    /// honest by construction, since adversary units claim peers from the
+    /// *top* of the id range — so a whitewashed identity can no longer
+    /// inherit propagated trust through the uniform restart. Only valid
+    /// with [`PropagationScheme::EigenTrust`].
+    pub pretrusted: usize,
 }
 
 impl Default for PropagationConfig {
@@ -42,6 +50,7 @@ impl Default for PropagationConfig {
         Self {
             scheme: None,
             interval: 100,
+            pretrusted: 0,
         }
     }
 }
@@ -190,6 +199,13 @@ pub struct SimulationConfig {
     /// backend's latest output. `Propagated` requires a configured
     /// propagation scheme.
     pub reputation_source: ReputationSource,
+    /// Uptime discount on sharing reputation: when a peer that spent `d`
+    /// steps offline rejoins, its sharing-contribution record is scaled by
+    /// `factor^d` before it re-enters service differentiation (through the
+    /// configured [`SimulationConfig::reputation_source`] path). `1.0`
+    /// (default) disables the mechanism entirely — no state is touched and
+    /// runs stay bit-identical to builds without it. Must lie in `(0, 1]`.
+    pub reputation_uptime_discount: f64,
     /// Strategic adversary units (strategy name, controlled-peer count,
     /// parameter). Empty by default; a non-empty list prepends the
     /// `adversary` phase to the default phase order. Peers are assigned
@@ -262,6 +278,7 @@ impl Default for SimulationConfig {
             max_voters_per_edit: 10,
             propagation: PropagationConfig::default(),
             reputation_source: ReputationSource::Ledger,
+            reputation_uptime_discount: 1.0,
             adversaries: Vec::new(),
             churn: ChurnModel::stable(),
             network: LinkModel::Ideal,
@@ -370,7 +387,17 @@ impl SimulationConfig {
         self.propagation = PropagationConfig {
             scheme: Some(scheme),
             interval,
+            pretrusted: 0,
         };
+        self
+    }
+
+    /// Builder-style: anchor the EigenTrust restart distribution on the
+    /// `k` lowest (honest-by-construction) peer ids. Requires
+    /// [`SimulationConfig::with_propagation`] with
+    /// [`PropagationScheme::EigenTrust`].
+    pub fn with_pretrusted(mut self, k: usize) -> Self {
+        self.propagation.pretrusted = k;
         self
     }
 
@@ -379,6 +406,13 @@ impl SimulationConfig {
     /// (requires [`SimulationConfig::with_propagation`]).
     pub fn with_propagated_reputation(mut self) -> Self {
         self.reputation_source = ReputationSource::Propagated;
+        self
+    }
+
+    /// Builder-style: decay a rejoining peer's sharing-contribution record
+    /// by `factor` per offline step (`1.0` = off).
+    pub fn with_uptime_discount(mut self, factor: f64) -> Self {
+        self.reputation_uptime_discount = factor;
         self
     }
 
@@ -464,6 +498,22 @@ impl SimulationConfig {
             "reputation_source",
             self.reputation_source == ReputationSource::Ledger || self.propagation.scheme.is_some(),
             "propagated reputation requires a configured propagation scheme",
+        )?;
+        ensure(
+            "propagation",
+            self.propagation.pretrusted == 0
+                || self.propagation.scheme == Some(PropagationScheme::EigenTrust),
+            "a pre-trusted set requires the eigentrust propagation scheme",
+        )?;
+        ensure(
+            "propagation",
+            self.propagation.pretrusted < self.population,
+            "pre-trusted set must be smaller than the population",
+        )?;
+        ensure(
+            "reputation_uptime_discount",
+            self.reputation_uptime_discount > 0.0 && self.reputation_uptime_discount <= 1.0,
+            "uptime discount factor must lie in (0, 1]",
         )?;
         for adversary in &self.adversaries {
             adversary
@@ -578,6 +628,41 @@ mod tests {
         let mut c = SimulationConfig::default().with_propagation(PropagationScheme::EigenTrust, 1);
         c.propagation.interval = 0;
         c.validate();
+    }
+
+    #[test]
+    fn pretrusted_set_requires_eigentrust_and_room() {
+        let c = SimulationConfig::default()
+            .with_propagation(PropagationScheme::EigenTrust, 50)
+            .with_pretrusted(5);
+        c.validate();
+        let gossip = SimulationConfig::default()
+            .with_propagation(PropagationScheme::Gossip, 50)
+            .with_pretrusted(5);
+        assert!(gossip.check().is_err(), "pretrusted needs eigentrust");
+        let oversized = SimulationConfig::default()
+            .with_propagation(PropagationScheme::EigenTrust, 50)
+            .with_pretrusted(SimulationConfig::default().population);
+        assert!(oversized.check().is_err(), "pretrusted must leave room");
+    }
+
+    #[test]
+    fn uptime_discount_must_lie_in_unit_interval() {
+        SimulationConfig::default()
+            .with_uptime_discount(0.95)
+            .validate();
+        SimulationConfig::default()
+            .with_uptime_discount(1.0)
+            .validate();
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            assert!(
+                SimulationConfig::default()
+                    .with_uptime_discount(bad)
+                    .check()
+                    .is_err(),
+                "factor {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

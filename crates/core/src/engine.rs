@@ -152,6 +152,15 @@ impl Simulation {
         &self.world
     }
 
+    /// Mutable access to the world state, for harnesses that inject state
+    /// between runs — the arms-race trainer uses this to hand a resumed
+    /// episode the policy its learning adversary reached in the previous
+    /// one. Mutating mid-run state voids the determinism contract; inject
+    /// before the first [`Simulation::step`].
+    pub fn world_mut(&mut self) -> &mut SimWorld {
+        &mut self.world
+    }
+
     /// Read access to the (sharded) reputation ledger.
     pub fn ledger(&self) -> &ShardedLedger {
         &self.world.ledger

@@ -67,6 +67,7 @@ pub use action::{CollabAction, EditBehavior, ShareLevel, ACTION_DIMS};
 pub use active::{ActiveSets, PeerBitset};
 pub use adversary::{
     AdversaryRegistry, AdversarySpec, AdversaryStrategy, AttackMetricsObserver, AttackStats,
+    LearningAdversary, PeerPolicyState, PolicyState,
 };
 pub use agent::{AgentState, CollabAgent};
 pub use agent_table::{AgentShardMut, AgentTable};
@@ -81,7 +82,7 @@ pub use observer::{StepObserver, TimingObserver, WorldView};
 pub use pipeline::{PhaseRegistry, PhaseTimings, StepContext, StepPhase, StepPipeline};
 pub use report::{BehaviorBreakdown, SimulationReport};
 pub use snapshot::{DirStore, MemStore, RunStore, Snapshot, SnapshotError, WorldState};
-pub use spec::{ScenarioSpec, ScenarioSpecBuilder, SpecError};
+pub use spec::{apply_defence, ScenarioSpec, ScenarioSpecBuilder, SpecError};
 pub use world::{AccumulatorTable, ChurnStats, NetStats, PeerAccumulator, SimWorld, UploadMatrix};
 
 // Re-export the pieces downstream users constantly need alongside the core

@@ -2,7 +2,8 @@
 
 use super::{StepContext, StepPhase};
 use crate::world::SimWorld;
-use collabsim_reputation::propagation::TrustGraph;
+use collabsim_reputation::propagation::eigentrust::EigenTrust;
+use collabsim_reputation::propagation::{PropagationBackend, TrustGraph};
 
 /// Periodically propagates the upload-derived local-trust graph into a
 /// global reputation vector through the backend selected by
@@ -46,7 +47,21 @@ impl StepPhase for PropagationPhase {
                 }
             }
         }
-        let backend = scheme.backend();
+        // With a configured pre-trusted set, anchor the EigenTrust restart
+        // distribution on the K lowest peer ids (honest by construction:
+        // adversary units claim peers from the *top* of the id range), so a
+        // whitewashed identity cannot inherit propagated trust through the
+        // uniform restart. `check()` guarantees the set only combines with
+        // the eigentrust scheme and is smaller than the population.
+        let pretrusted = world.config.propagation.pretrusted;
+        let backend: Box<dyn PropagationBackend> = if pretrusted > 0 {
+            Box::new(EigenTrust {
+                pre_trusted: (0..pretrusted).collect(),
+                ..Default::default()
+            })
+        } else {
+            scheme.backend()
+        };
         let reputation = backend.propagate(&graph, &mut world.propagation_rng);
         world.global_reputation = Some(reputation);
         world.propagation_runs += 1;

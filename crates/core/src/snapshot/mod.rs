@@ -32,7 +32,7 @@ pub use store::{
     read_snapshot_file, write_snapshot_file, DirStore, MemStore, RunStore, SNAPSHOT_EXTENSION,
 };
 
-use crate::adversary::AttackStats;
+use crate::adversary::{AttackStats, PeerPolicyState, PolicyState};
 use crate::spec::ScenarioSpec;
 use crate::world::{AccumulatorTable, ChurnStats, NetStats, SimWorld, UploadMatrix};
 use crate::ActiveSets;
@@ -54,8 +54,11 @@ use rand::rngs::StdRng;
 /// Leading magic of every encoded snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"COLLBSNP";
 
-/// The format version this build writes and reads.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// The format version this build writes and reads. Version 2 appended the
+/// per-unit learned adversary policies and the per-peer offline-since
+/// markers to the payload; version-1 files are refused with a typed
+/// [`SnapshotError::VersionMismatch`] rather than misparsed.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Typed failure of snapshot encoding, decoding, storage or restoration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -180,6 +183,12 @@ pub struct WorldState {
     pub reentry_schedule: Vec<(u64, u32)>,
     /// Running fault-layer grant accounting.
     pub net_stats: NetStats,
+    /// Per-unit learned adversary policy (Q-table plus per-peer
+    /// trajectories), in unit order; `None` for scripted strategies.
+    pub adversary_policies: Vec<Option<PolicyState>>,
+    /// Step at which each currently offline peer went offline (drives the
+    /// offline reputation-uptime discount), dense by id.
+    pub offline_since: Vec<Option<u64>>,
 }
 
 /// One checkpoint: the full [`WorldState`] plus the exact text of the
@@ -296,6 +305,46 @@ fn read_u32_vec(r: &mut Reader<'_>) -> Result<Vec<u32>, SnapshotError> {
     (0..len).map(|_| r.u32()).collect()
 }
 
+fn write_policy(w: &mut Writer, policy: &PolicyState) {
+    w.u32(policy.states);
+    w.u32(policy.actions);
+    write_f64_vec(w, &policy.q);
+    w.u64(policy.updates);
+    w.usize(policy.per_peer.len());
+    for peer in &policy.per_peer {
+        w.opt_u64(peer.last_state);
+        w.u32(peer.last_action);
+        w.u64(peer.steps_since_reset);
+        w.f64(peer.last_downloaded);
+        w.f64(peer.pending_shed);
+    }
+}
+
+fn read_policy(r: &mut Reader<'_>) -> Result<PolicyState, SnapshotError> {
+    let states = r.u32()?;
+    let actions = r.u32()?;
+    let q = read_f64_vec(r)?;
+    let updates = r.u64()?;
+    let peer_count = r.len()?;
+    let mut per_peer = Vec::with_capacity(peer_count);
+    for _ in 0..peer_count {
+        per_peer.push(PeerPolicyState {
+            last_state: r.opt_u64()?,
+            last_action: r.u32()?,
+            steps_since_reset: r.u64()?,
+            last_downloaded: r.f64()?,
+            pending_shed: r.f64()?,
+        });
+    }
+    Ok(PolicyState {
+        states,
+        actions,
+        q,
+        updates,
+        per_peer,
+    })
+}
+
 fn write_rows(w: &mut Writer, rows: &[Vec<u32>]) {
     w.usize(rows.len());
     for row in rows {
@@ -377,6 +426,8 @@ impl WorldState {
                 .map(|&(at, peer)| (at, peer.0))
                 .collect(),
             net_stats: world.net_stats,
+            adversary_policies: world.adversaries.export_policies(),
+            offline_since: world.offline_since.clone(),
         }
     }
 
@@ -423,8 +474,13 @@ impl WorldState {
         {
             return Err(mismatch("the agent table's learning-state layout"));
         }
-        if self.adversary_stats.len() != world.adversaries.units().len() {
+        if self.adversary_stats.len() != world.adversaries.units().len()
+            || self.adversary_policies.len() != world.adversaries.units().len()
+        {
             return Err(mismatch("the adversary unit count"));
+        }
+        if self.offline_since.len() != population {
+            return Err(mismatch("the offline-since table's length"));
         }
 
         world.clock = SimClock::starting_at(self.step);
@@ -487,6 +543,8 @@ impl WorldState {
                 .collect(),
         );
         world.net_stats = self.net_stats;
+        world.adversaries.restore_policies(&self.adversary_policies);
+        world.offline_since = self.offline_since.clone();
         world.active = ActiveSets::recompute(&world.peers, &world.behaviors);
         Ok(())
     }
@@ -672,6 +730,20 @@ impl WorldState {
         w.u64(self.net_stats.transfers_failed);
         w.u64(self.net_stats.transfers_timed_out);
         w.u64(self.net_stats.transfers_rerouted);
+        w.usize(self.adversary_policies.len());
+        for policy in &self.adversary_policies {
+            match policy {
+                Some(policy) => {
+                    w.u8(1);
+                    write_policy(w, policy);
+                }
+                None => w.u8(0),
+            }
+        }
+        w.usize(self.offline_since.len());
+        for &since in &self.offline_since {
+            w.opt_u64(since);
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
@@ -909,6 +981,24 @@ impl WorldState {
             transfers_timed_out: r.u64()?,
             transfers_rerouted: r.u64()?,
         };
+        let policy_count = r.len()?;
+        let mut adversary_policies = Vec::with_capacity(policy_count);
+        for _ in 0..policy_count {
+            adversary_policies.push(match r.u8()? {
+                0 => None,
+                1 => Some(read_policy(r)?),
+                other => {
+                    return Err(SnapshotError::Corrupt(format!(
+                        "invalid option tag {other}"
+                    )))
+                }
+            });
+        }
+        let since_count = r.len()?;
+        let mut offline_since = Vec::with_capacity(since_count);
+        for _ in 0..since_count {
+            offline_since.push(r.opt_u64()?);
+        }
         Ok(Self {
             step,
             rng,
@@ -946,6 +1036,8 @@ impl WorldState {
             adversary_stats,
             reentry_schedule,
             net_stats,
+            adversary_policies,
+            offline_since,
         })
     }
 }
@@ -1047,10 +1139,17 @@ impl Snapshot {
     /// [`AttackStats`] (fresh attackers entering an equilibrated network),
     /// units it removes drop their counters, and the re-entry schedule of a
     /// removed roster is cleared.
+    /// Learned adversary policies survive the fork only when the new
+    /// spec's unit list has the same length (the train → frozen-eval case,
+    /// where a trained Q-table is carried into a zero-exploration replay);
+    /// any other roster change starts every unit untrained.
     pub fn with_spec(&self, spec: &ScenarioSpec) -> Snapshot {
         let mut state = self.state.clone();
         let units = spec.config().adversaries.len();
         state.adversary_stats.resize(units, AttackStats::default());
+        if state.adversary_policies.len() != units {
+            state.adversary_policies = vec![None; units];
+        }
         if units == 0 {
             state.reentry_schedule.clear();
         }
@@ -1275,6 +1374,63 @@ mod tests {
             format!("{cold:?}"),
             "warm in-memory fork and cold on-disk fork must agree bit for bit"
         );
+    }
+
+    #[test]
+    fn learned_policy_survives_the_codec_and_same_shape_forks() {
+        // A training run of the learning adversary leaves a non-trivial
+        // Q-table in the snapshot; the policy must round-trip bit for bit
+        // through encode/decode, survive a with_spec fork onto a same-shape
+        // roster (the train → frozen-eval handoff), and be dropped by a
+        // fork that changes the unit count.
+        let mut config = SimulationConfig {
+            population: 20,
+            initial_articles: 10,
+            phases: PhaseConfig {
+                training_steps: 60,
+                evaluation_steps: 40,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .with_mix(BehaviorMix::new(0.5, 0.25, 0.25))
+        .with_seed(0xC0FFEE);
+        config.adversaries =
+            vec![crate::adversary::AdversarySpec::new("learning", 3).with_parameter(0.2)];
+        let spec = ScenarioSpec::from_config(config.clone()).expect("valid config");
+        let mut sim = Simulation::from_spec(&spec).unwrap();
+        for _ in 0..40 {
+            sim.step(spec.config().phases.training_temperature);
+        }
+        let snapshot = sim.snapshot(&spec);
+        let policy = snapshot.state.adversary_policies[0]
+            .as_ref()
+            .expect("learning unit exports a policy");
+        assert!(policy.updates > 0, "training must have updated the table");
+        assert!(policy.q.iter().any(|&v| v != 0.0));
+
+        let decoded = Snapshot::decode(&snapshot.encode()).expect("decodes");
+        assert_eq!(
+            decoded.state.adversary_policies,
+            snapshot.state.adversary_policies
+        );
+        assert_eq!(decoded.state.offline_since, snapshot.state.offline_since);
+
+        let mut frozen_config = config.clone();
+        frozen_config.adversaries =
+            vec![crate::adversary::AdversarySpec::new("learning", 3).with_parameter(0.0)];
+        let frozen_spec = ScenarioSpec::from_config(frozen_config).expect("valid config");
+        let fork = snapshot.with_spec(&frozen_spec);
+        assert_eq!(
+            fork.state.adversary_policies, snapshot.state.adversary_policies,
+            "same-shape fork carries the trained policy"
+        );
+
+        let mut bare_config = config;
+        bare_config.adversaries.clear();
+        let bare_spec = ScenarioSpec::from_config(bare_config).expect("valid config");
+        let dropped = snapshot.with_spec(&bare_spec);
+        assert!(dropped.state.adversary_policies.is_empty());
     }
 
     #[test]

@@ -380,11 +380,27 @@ impl ScenarioSpec {
         kv(
             "propagation",
             match c.propagation.scheme {
+                // The pre-trusted suffix is emitted only when set so every
+                // pre-existing spec file stays byte-identical.
+                Some(scheme) if c.propagation.pretrusted > 0 => format!(
+                    "{}@{},pretrusted={}",
+                    scheme.label(),
+                    c.propagation.interval,
+                    c.propagation.pretrusted
+                ),
                 Some(scheme) => format!("{}@{}", scheme.label(), c.propagation.interval),
                 None => "none".to_string(),
             },
         );
         kv("reputation_source", c.reputation_source.label().to_string());
+        // Emitted only when enabled (≠ 1.0) so pre-existing spec files stay
+        // byte-identical (parse defaults the key to 1.0).
+        if c.reputation_uptime_discount != 1.0 {
+            kv(
+                "reputation_uptime_discount",
+                fmt_f64(c.reputation_uptime_discount),
+            );
+        }
         // Emitted only when non-ideal so every pre-fault-layer spec file
         // stays byte-identical (parse defaults the key to `ideal`).
         if !c.network.is_ideal() {
@@ -556,22 +572,42 @@ impl ScenarioSpec {
                     config.propagation = if value == "none" {
                         PropagationConfig::default()
                     } else {
-                        let (scheme, interval) = value.split_once('@').ok_or_else(|| {
+                        let (scheme, rest) = value.split_once('@').ok_or_else(|| {
                             parse_err(format!(
-                                "expected `scheme@interval` or `none`, got `{value}`"
+                                "expected `scheme@interval[,pretrusted=K]` or `none`, got `{value}`"
                             ))
                         })?;
+                        let (interval, pretrusted) = match rest.split_once(',') {
+                            Some((interval, option)) => {
+                                let k =
+                                    option.trim().strip_prefix("pretrusted=").ok_or_else(|| {
+                                        parse_err(format!(
+                                            "expected `pretrusted=K` after the interval, \
+                                             got `{option}`"
+                                        ))
+                                    })?;
+                                (interval.trim(), parse_int(key, k, line_no)?)
+                            }
+                            None => (rest, 0),
+                        };
                         PropagationConfig {
                             scheme: Some(PropagationScheme::from_label(scheme).ok_or_else(
                                 || parse_err(format!("unknown propagation scheme `{scheme}`")),
                             )?),
                             interval: parse_int(key, interval, line_no)?,
+                            pretrusted,
                         }
                     };
                 }
                 "reputation_source" => {
                     config.reputation_source = ReputationSource::from_label(value)
                         .ok_or_else(|| parse_err(format!("unknown reputation source `{value}`")))?;
+                }
+                "reputation_uptime_discount" => {
+                    config.reputation_uptime_discount = parse_f64(key, value, line_no)?;
+                }
+                "defence" => {
+                    apply_defence(&mut config, value).map_err(parse_err)?;
                 }
                 "network" => {
                     config.network = LinkModel::from_label(value).map_err(|e| match e {
@@ -636,6 +672,71 @@ impl ScenarioSpec {
 /// bits.
 fn fmt_f64(value: f64) -> String {
     value.to_string()
+}
+
+/// Expands the `defence = <name>` spec sugar into its concrete fields.
+///
+/// The arms-race harness evaluates attackers against named defence
+/// configurations; this key lets a spec select one by name instead of
+/// repeating the field combination. It is pure parse-time sugar — the
+/// fields below are set as if they had been written out, later keys still
+/// override them, and [`ScenarioSpec::to_text`] always emits the concrete
+/// fields (so the round trip is exact and checked-in files never contain
+/// the sugar form).
+///
+/// | value | expansion |
+/// |-------|-----------|
+/// | `ledger` | no propagation, ledger reputation (the paper's model) |
+/// | `eigentrust` | `propagation = eigentrust@50`, propagated reputation |
+/// | `eigentrust-pretrusted=K` | stock eigentrust plus a `K`-peer pre-trusted set |
+/// | `gossip` | `propagation = gossip@50`, propagated reputation |
+/// | `uptime-discount=F` | ledger reputation with `reputation_uptime_discount = F` |
+pub fn apply_defence(config: &mut SimulationConfig, value: &str) -> Result<(), String> {
+    const DEFENCE_INTERVAL: u64 = 50;
+    let propagated = |scheme, pretrusted| PropagationConfig {
+        scheme: Some(scheme),
+        interval: DEFENCE_INTERVAL,
+        pretrusted,
+    };
+    match value {
+        "ledger" => {
+            config.propagation = PropagationConfig::default();
+            config.reputation_source = ReputationSource::Ledger;
+            config.reputation_uptime_discount = 1.0;
+        }
+        "eigentrust" => {
+            config.propagation = propagated(PropagationScheme::EigenTrust, 0);
+            config.reputation_source = ReputationSource::Propagated;
+        }
+        "gossip" => {
+            config.propagation = propagated(PropagationScheme::Gossip, 0);
+            config.reputation_source = ReputationSource::Propagated;
+        }
+        other => {
+            if let Some(k) = other.strip_prefix("eigentrust-pretrusted=") {
+                let k: usize = k
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid pre-trusted set size `{k}`"))?;
+                config.propagation = propagated(PropagationScheme::EigenTrust, k);
+                config.reputation_source = ReputationSource::Propagated;
+            } else if let Some(f) = other.strip_prefix("uptime-discount=") {
+                let factor: f64 = f
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid uptime discount factor `{f}`"))?;
+                config.propagation = PropagationConfig::default();
+                config.reputation_source = ReputationSource::Ledger;
+                config.reputation_uptime_discount = factor;
+            } else {
+                return Err(format!(
+                    "unknown defence `{other}` (expected ledger, eigentrust, \
+                     eigentrust-pretrusted=K, gossip or uptime-discount=F)"
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Renders a label for the text format. Plain labels are written verbatim;
@@ -862,6 +963,7 @@ impl ScenarioSpecBuilder {
         self.config.propagation = PropagationConfig {
             scheme: Some(scheme),
             interval,
+            pretrusted: 0,
         };
         self
     }
@@ -1220,6 +1322,100 @@ mod tests {
         ));
         let err = ScenarioSpec::parse("reputation_source = telepathy\n").unwrap_err();
         assert!(matches!(err, SpecError::Parse { .. }));
+    }
+
+    #[test]
+    fn pretrusted_set_round_trips_and_defaults_off() {
+        let mut config = SimulationConfig::default()
+            .with_propagation(PropagationScheme::EigenTrust, 50)
+            .with_pretrusted(4);
+        config.reputation_source = crate::config::ReputationSource::Propagated;
+        let spec = ScenarioSpec::from_config(config).unwrap();
+        let text = spec.to_text();
+        assert!(text.contains("propagation = eigentrust@50,pretrusted=4"));
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+        // A zero pre-trusted set emits the historical form, byte-identical.
+        let stock = ScenarioSpec::builder()
+            .propagation(PropagationScheme::EigenTrust, 50)
+            .build()
+            .unwrap();
+        assert!(stock.to_text().contains("propagation = eigentrust@50\n"));
+        // The suffix is validated.
+        assert!(ScenarioSpec::parse("propagation = eigentrust@50,trusted=4\n").is_err());
+        assert!(ScenarioSpec::parse("propagation = gossip@50,pretrusted=4\n").is_err());
+    }
+
+    #[test]
+    fn uptime_discount_round_trips_and_defaults_silent() {
+        let spec =
+            ScenarioSpec::from_config(SimulationConfig::default().with_uptime_discount(0.97))
+                .unwrap();
+        let text = spec.to_text();
+        assert!(text.contains("reputation_uptime_discount = 0.97"));
+        assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+        // The default factor emits no line, so pre-existing files stay
+        // byte-identical.
+        let plain = ScenarioSpec::builder().build().unwrap();
+        assert!(!plain.to_text().contains("reputation_uptime_discount"));
+        assert!(ScenarioSpec::parse("reputation_uptime_discount = 0\n").is_err());
+    }
+
+    type DefenceCheck = Box<dyn Fn(&SimulationConfig)>;
+
+    #[test]
+    fn defence_sugar_expands_to_concrete_fields() {
+        let cases: [(&str, DefenceCheck); 5] = [
+            (
+                "ledger",
+                Box::new(|c: &SimulationConfig| {
+                    assert_eq!(c.propagation.scheme, None);
+                    assert_eq!(c.reputation_source, crate::config::ReputationSource::Ledger);
+                }),
+            ),
+            (
+                "eigentrust",
+                Box::new(|c: &SimulationConfig| {
+                    assert_eq!(c.propagation.scheme, Some(PropagationScheme::EigenTrust));
+                    assert_eq!(c.propagation.pretrusted, 0);
+                    assert_eq!(
+                        c.reputation_source,
+                        crate::config::ReputationSource::Propagated
+                    );
+                }),
+            ),
+            (
+                "eigentrust-pretrusted=3",
+                Box::new(|c: &SimulationConfig| {
+                    assert_eq!(c.propagation.scheme, Some(PropagationScheme::EigenTrust));
+                    assert_eq!(c.propagation.pretrusted, 3);
+                }),
+            ),
+            (
+                "gossip",
+                Box::new(|c: &SimulationConfig| {
+                    assert_eq!(c.propagation.scheme, Some(PropagationScheme::Gossip));
+                }),
+            ),
+            (
+                "uptime-discount=0.9",
+                Box::new(|c: &SimulationConfig| {
+                    assert_eq!(c.propagation.scheme, None);
+                    assert!((c.reputation_uptime_discount - 0.9).abs() < 1e-12);
+                }),
+            ),
+        ];
+        for (value, check) in cases {
+            let spec = ScenarioSpec::parse(&format!("defence = {value}\n"))
+                .unwrap_or_else(|e| panic!("defence {value}: {e}"));
+            check(spec.config());
+            // The sugar never survives to_text: the round trip re-parses
+            // the concrete fields to the same spec.
+            let text = spec.to_text();
+            assert!(!text.contains("defence"), "sugar must not be emitted");
+            assert_eq!(ScenarioSpec::parse(&text).unwrap(), spec);
+        }
+        assert!(ScenarioSpec::parse("defence = moat\n").is_err());
+        assert!(ScenarioSpec::parse("defence = uptime-discount=zero\n").is_err());
     }
 
     #[test]

@@ -505,6 +505,13 @@ pub struct SimWorld {
     /// Accepted edits since the peer's last punishment (for restoring
     /// voting rights).
     pub accepted_since_punishment: Vec<u32>,
+    /// Step at which each currently offline peer departed (`None` while
+    /// online). Feeds the optional
+    /// [`reputation_uptime_discount`](crate::config::SimulationConfig::reputation_uptime_discount):
+    /// at re-entry the absence length prices the decay. Tracked
+    /// unconditionally (it is one store per departure), applied only when
+    /// the discount factor is below 1.
+    pub offline_since: Vec<Option<u64>>,
     /// Evaluation-phase measurement accumulators (struct-of-arrays).
     pub accumulators: AccumulatorTable,
     /// Whether the measured evaluation phase is active.
@@ -666,6 +673,7 @@ impl SimWorld {
             uploads: UploadMatrix::new(population),
             active_transfer: vec![None; population],
             accepted_since_punishment: vec![0; population],
+            offline_since: vec![None; population],
             accumulators: AccumulatorTable::new(population),
             measuring: false,
             evaluation_steps_run: 0,
@@ -814,6 +822,7 @@ impl SimWorld {
         record.set_shared_articles(0);
         record.online = false;
         self.active.set_offline(p);
+        self.offline_since[p] = Some(now);
         self.churn_stats.leaves += 1;
     }
 
@@ -824,6 +833,22 @@ impl SimWorld {
     /// is accumulated in [`ChurnStats::reentry_reputation_sum`].
     pub fn rejoin_peer(&mut self, peer: PeerId, now: u64) {
         let p = peer.index();
+        // Uptime discount: an absence of `d` steps scales the sharing
+        // contribution by `factor^d` before the identity re-enters service
+        // differentiation. The guard keeps the default factor of 1.0 a
+        // provable no-op (no ledger access, bit-identical runs).
+        let factor = self.config.reputation_uptime_discount;
+        if let Some(since) = self.offline_since[p].take() {
+            if factor < 1.0 {
+                let absence = now.saturating_sub(since);
+                if absence > 0 {
+                    self.ledger.scale_sharing_contribution(
+                        p,
+                        factor.powi(absence.min(i32::MAX as u64) as i32),
+                    );
+                }
+            }
+        }
         self.churn_stats.joins += 1;
         self.churn_stats.reentry_reputation_sum += self.ledger.sharing_reputation(p);
         let record = self.peers.peer_mut(peer);
@@ -864,6 +889,8 @@ impl SimWorld {
         self.ledger.reset_peer_identity(p);
         self.uploads.clear_peer(p);
         self.accepted_since_punishment[p] = 0;
+        // A fresh identity has no absence to discount.
+        self.offline_since[p] = None;
         let record = self.peers.peer_mut(peer);
         record.online = true;
         record.joined_at = now;

@@ -293,6 +293,18 @@ impl ContributionTracker {
         self.sharing = 0.0;
     }
 
+    /// Scales the sharing contribution by `factor` (the uptime discount
+    /// applied when a peer rejoins after an absence: the logistic
+    /// reputation function is monotone in `C_S`, so scaling the
+    /// contribution decays the reputation towards `R_min` without ever
+    /// crossing it). Factors ≥ 1 are clamped to a no-op — the discount
+    /// only ever shrinks a record.
+    pub fn scale_sharing(&mut self, factor: f64) {
+        if factor < 1.0 {
+            self.sharing = (self.sharing * factor).max(0.0);
+        }
+    }
+
     /// Resets only the editing contribution.
     pub fn reset_editing(&mut self) {
         self.editing = 0.0;

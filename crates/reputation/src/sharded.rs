@@ -411,6 +411,13 @@ impl ShardedLedger {
         self.record_mut(peer).contributions.record_editing(action);
     }
 
+    /// Scales a peer's sharing contribution by `factor` (see
+    /// [`ContributionTracker::scale_sharing`]) — the uptime-discount hook
+    /// applied at churn re-entry.
+    pub fn scale_sharing_contribution(&mut self, peer: usize, factor: f64) {
+        self.record_mut(peer).contributions.scale_sharing(factor);
+    }
+
     /// Applies a batch of deltas shard-by-shard, in shard order.
     ///
     /// # Panics

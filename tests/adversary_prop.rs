@@ -348,3 +348,101 @@ fn collusion_ring_amplifies_destructive_acceptance() {
         lone.edit_revocations
     );
 }
+
+/// An *untrained* frozen learner (α = 0, all-zero Q-table) must be
+/// perfectly inert: greedy ties break towards action 0 — "lurk", which
+/// emits nothing — and a frozen policy draws nothing from the adversary
+/// RNG stream, so attaching the unit to the golden configuration cannot
+/// move the pinned report by a single bit.
+#[test]
+fn untrained_frozen_learner_leaves_the_golden_report_untouched() {
+    let golden = SimulationConfig {
+        population: 20,
+        initial_articles: 10,
+        phases: PhaseConfig {
+            training_steps: 120,
+            evaluation_steps: 80,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_mix(BehaviorMix::new(0.5, 0.25, 0.25))
+    .with_incentive(IncentiveScheme::ReputationBased)
+    .with_seed(0xC0FFEE);
+
+    let baseline = format!("{:?}", Simulation::new(golden.clone()).run());
+
+    let mut with_learner = golden;
+    with_learner.adversaries = vec![AdversarySpec::new("learning", 3).with_parameter(0.0)];
+    let spec = ScenarioSpec::from_config(with_learner).expect("golden + learner validates");
+    let report = format!(
+        "{:?}",
+        Simulation::from_spec(&spec).expect("resolves").run()
+    );
+    assert_eq!(
+        report, baseline,
+        "an untrained frozen learner must leave the golden report untouched"
+    );
+}
+
+/// A *trained* frozen learner replays bit-identically regardless of the
+/// intra-step worker count: train once, inject the Q-table into an α = 0
+/// evaluation fork, and the greedy replay at 1, 3 and 4 intra-step
+/// threads must produce byte-identical reports (the learning adversary
+/// lives on the deterministic adversary RNG stream and a frozen policy
+/// draws from it not at all).
+#[test]
+fn frozen_learner_replay_is_bit_identical_across_thread_counts() {
+    let base_config = SimulationConfig {
+        population: 28,
+        initial_articles: 14,
+        phases: PhaseConfig {
+            training_steps: 90,
+            evaluation_steps: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+    .with_mix(BehaviorMix::new(0.5, 0.3, 0.2))
+    .with_incentive(IncentiveScheme::ReputationBased)
+    .with_seed(0x1EA21);
+
+    // Equilibrate the adversary-free base and train a learner from it.
+    let base = ScenarioSpec::from_config(base_config.clone()).expect("base validates");
+    let mut sim = Simulation::from_spec(&base).expect("base resolves");
+    sim.run_training();
+    let checkpoint = sim.snapshot(&base);
+
+    let mut train_config = base_config.clone();
+    train_config.adversaries = vec![AdversarySpec::new("learning", 4).with_parameter(0.25)];
+    let train_spec = ScenarioSpec::from_config(train_config)
+        .expect("training config validates")
+        .with_label("threads/train");
+    let mut trainer =
+        Simulation::resume_from(&checkpoint.with_spec(&train_spec)).expect("fork resumes");
+    trainer.finish();
+    let policies = trainer.world().adversaries.export_policies();
+    let lead = policies[0].as_ref().expect("learner exports a policy");
+    assert!(lead.updates > 0, "training must fill the Q-table");
+
+    let mut reports = Vec::new();
+    for threads in [1usize, 3, 4] {
+        let mut frozen_config = base_config.clone().with_intra_step_threads(threads);
+        frozen_config.adversaries = vec![AdversarySpec::new("learning", 4).with_parameter(0.0)];
+        let frozen_spec = ScenarioSpec::from_config(frozen_config)
+            .expect("frozen config validates")
+            .with_label("threads/frozen");
+        let mut fork = checkpoint.with_spec(&frozen_spec);
+        fork.state.adversary_policies = policies.clone();
+        let mut replay = Simulation::resume_from(&fork).expect("frozen fork resumes");
+        reports.push(format!("{:?}", replay.finish()));
+    }
+    assert_eq!(
+        reports[0], reports[1],
+        "1 vs 3 intra-step threads must match"
+    );
+    assert_eq!(
+        reports[0], reports[2],
+        "1 vs 4 intra-step threads must match"
+    );
+}

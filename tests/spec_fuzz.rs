@@ -24,7 +24,7 @@ use collabsim_workspace::collabsim::invariants::{
 use collabsim_workspace::collabsim::spec::ScenarioSpec;
 use collabsim_workspace::collabsim::{
     AdversarySpec, BehaviorMix, DirStore, IncentiveScheme, MemStore, PhaseConfig, RunStore,
-    Simulation, StepContext, StepObserver, WorldView,
+    Simulation, Snapshot, StepContext, StepObserver, WorldView,
 };
 use collabsim_workspace::netsim::churn::ChurnModel;
 use collabsim_workspace::netsim::fault::LinkModel;
@@ -64,11 +64,12 @@ const MIXES: [(f64, f64, f64); 5] = [
     (0.25, 0.5, 0.25),
 ];
 
-const ADVERSARIES: [&str; 4] = [
+const ADVERSARIES: [&str; 5] = [
     "collusion-ring",
     "naive-whitewash",
     "adaptive-whitewash",
     "oscillating-freerider",
+    "learning",
 ];
 
 impl FuzzParams {
@@ -113,7 +114,15 @@ impl FuzzParams {
             .seed(self.seed);
         if self.adversary > 0 {
             let strategy = ADVERSARIES[(self.adversary - 1) % ADVERSARIES.len()];
-            builder = builder.adversary(AdversarySpec::new(strategy, 2));
+            // The learning adversary's parameter is its learning rate —
+            // give it a non-zero α so the fuzz actually exercises
+            // Q-updates and Boltzmann draws, not the inert frozen path.
+            let unit = if strategy == "learning" {
+                AdversarySpec::new(strategy, 2).with_parameter(0.3)
+            } else {
+                AdversarySpec::new(strategy, 2)
+            };
+            builder = builder.adversary(unit);
         }
         builder
             .build()
@@ -354,6 +363,61 @@ fn snapshot_hop_mid_run_preserves_the_report() {
             straight,
             "case {case}: resume from `{hop_key}` drifted\n{}",
             spec.to_text()
+        );
+    }
+}
+
+/// Learned Q-tables survive the snapshot codec bitwise: a mid-run
+/// snapshot of a training learner re-encodes to identical bytes, the
+/// decoded policy state equals the captured one exactly (f64 bit
+/// patterns included), and a simulation restored from the decoded
+/// snapshot exports the very same policies.
+#[test]
+fn learned_q_tables_round_trip_the_snapshot_codec() {
+    let mut rng = StdRng::seed_from_u64(seed_for("learned_q_tables_round_trip_the_snapshot_codec"));
+    for case in 0..case_count().min(16) {
+        let (population, adversaries, steps, seed) =
+            (10usize..32, 1usize..4, 8u64..40, 0u64..u64::MAX).sample(&mut rng);
+        let alpha = (0.05f64..0.6).sample(&mut rng);
+        let spec = ScenarioSpec::builder()
+            .label(format!("qfuzz/{case}"))
+            .population(population)
+            .initial_articles(population / 2)
+            .phase_config(PhaseConfig {
+                training_steps: 60,
+                evaluation_steps: 30,
+                ..Default::default()
+            })
+            .seed(seed)
+            .adversary(AdversarySpec::new("learning", adversaries).with_parameter(alpha))
+            .build()
+            .expect("qfuzz specs are valid");
+        let mut sim = Simulation::from_spec(&spec).expect("learning spec resolves");
+        // An arbitrary mid-run position, so trajectories are in flight.
+        for _ in 0..steps {
+            sim.step(spec.config().phases.training_temperature);
+        }
+        let snapshot = sim.snapshot(&spec);
+        assert!(
+            snapshot.state.adversary_policies[0].is_some(),
+            "case {case}: the learning unit must export a policy"
+        );
+        let bytes = snapshot.encode();
+        let decoded = Snapshot::decode(&bytes).expect("snapshot decodes");
+        assert_eq!(
+            decoded.encode(),
+            bytes,
+            "case {case}: re-encode is not bitwise"
+        );
+        assert_eq!(
+            decoded.state.adversary_policies, snapshot.state.adversary_policies,
+            "case {case}: decoded policy state drifted"
+        );
+        let resumed = Simulation::resume_from(&decoded).expect("decoded snapshot resumes");
+        assert_eq!(
+            resumed.world().adversaries.export_policies(),
+            snapshot.state.adversary_policies,
+            "case {case}: restore → export drifted"
         );
     }
 }
